@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark behind **Figure 11**: lower-envelope
+//! construction, naive vs divide & conquer (the full-scale sweep with the
+//! paper's N up to 12 000 is `--bin fig11`; Criterion keeps the smaller
+//! sizes statistically tight).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_bench::{distance_functions, workload};
+use unn_core::algorithms::lower_envelope;
+use unn_core::naive::lower_envelope_naive;
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope_construction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[250usize, 500, 1000, 2000] {
+        let trs = workload(n, 42);
+        let fs = distance_functions(&trs, 0);
+        group.bench_with_input(BenchmarkId::new("divide_conquer", n), &fs, |b, fs| {
+            b.iter(|| black_box(lower_envelope(fs)))
+        });
+        if n <= 500 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &fs, |b, fs| {
+                b.iter(|| black_box(lower_envelope_naive(fs)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_envelope);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: STR R-tree vs uniform grid vs linear scan for the coarse
+//! spatial prefiltering step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_modb::index::grid::GridIndex;
+use unn_modb::index::rtree::RTree;
+use unn_modb::index::scan::LinearScan;
+use unn_modb::index::{query_box, segment_boxes, SegmentIndex};
+use unn_traj::generator::{generate_uncertain, WorkloadConfig};
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexes");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[1000usize, 5000] {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(n, 42), 0.5);
+        let boxes = segment_boxes(&trs);
+        let rtree = RTree::build(boxes.clone());
+        let grid = GridIndex::build(boxes.clone(), 1024);
+        let scan = LinearScan::build(boxes.clone());
+        let queries: Vec<_> = (0..16)
+            .map(|k| {
+                let x = (k % 4) as f64 * 10.0;
+                let y = (k / 4) as f64 * 10.0;
+                query_box(x, y, x + 8.0, y + 8.0, 10.0, 30.0)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("rtree", n), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(rtree.query_bbox(q));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(grid.query_bbox(q));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    black_box(scan.query_bbox(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

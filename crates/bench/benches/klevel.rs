@@ -1,0 +1,31 @@
+//! Ablation: IPAC-NN tree construction cost and size vs depth bound and
+//! uncertainty radius (the Theorem 2 complexity in practice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_bench::{distance_functions, workload};
+use unn_core::ipac::{build_ipac_tree, IpacConfig};
+
+fn bench_ipac(c: &mut Criterion) {
+    let trs = workload(500, 42);
+    let fs = distance_functions(&trs, 0);
+    let query = trs[0].oid();
+    let mut group = c.benchmark_group("ipac_tree");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &depth in &[1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            b.iter(|| black_box(build_ipac_tree(query, &fs, &IpacConfig::with_depth(0.5, d))))
+        });
+    }
+    for &r in &[0.25f64, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::new("radius_depth3", format!("r{r}")), &r, |b, &r| {
+            b.iter(|| black_box(build_ipac_tree(query, &fs, &IpacConfig::with_depth(r, 3))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipac);
+criterion_main!(benches);

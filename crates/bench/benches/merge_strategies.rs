@@ -1,0 +1,30 @@
+//! Ablation: sequential vs crossbeam-parallel divide & conquer envelope
+//! construction, sweeping the sequential-fallback threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_bench::{distance_functions, workload};
+use unn_core::algorithms::{lower_envelope, lower_envelope_parallel};
+
+fn bench_merge_strategies(c: &mut Criterion) {
+    let trs = workload(2000, 42);
+    let fs = distance_functions(&trs, 0);
+    let mut group = c.benchmark_group("merge_strategies");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(lower_envelope(&fs)))
+    });
+    for &threshold in &[64usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threshold),
+            &threshold,
+            |b, &th| b.iter(|| black_box(lower_envelope_parallel(&fs, th))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_strategies);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Ablation: the Eq. 5 `P^NN` evaluator with the §2.2-III sorted-boundary
+//! decomposition vs the unoptimized uniform-grid evaluator, and the
+//! closed-form uniform `P^WD` vs generic radial integration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_prob::nn_prob::{nn_probabilities, nn_probabilities_naive, NnCandidate, NnConfig};
+use unn_prob::uniform::UniformDiskPdf;
+use unn_prob::uniform_diff::UniformDifferencePdf;
+use unn_prob::within_distance::{uniform_within_distance, within_distance};
+
+fn bench_nn_probabilities(c: &mut Criterion) {
+    let pdf = UniformDifferencePdf::new(0.5);
+    let mut group = c.benchmark_group("nn_probabilities");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[4usize, 16, 64] {
+        let cands: Vec<NnCandidate> = (0..n)
+            .map(|k| NnCandidate {
+                center_distance: 2.0 + 0.15 * k as f64,
+                pdf: &pdf,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sorted_eq5", n), &cands, |b, cands| {
+            b.iter(|| black_box(nn_probabilities(cands, NnConfig::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_grid", n), &cands, |b, cands| {
+            b.iter(|| black_box(nn_probabilities_naive(cands, 512)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_within_distance(c: &mut Criterion) {
+    let pdf = UniformDiskPdf::new(1.0);
+    let mut group = c.benchmark_group("within_distance");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("uniform_closed_form", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..64 {
+                acc += uniform_within_distance(3.0, 1.0, 2.0 + 0.05 * k as f64);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("generic_radial_integration", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..64 {
+                acc += within_distance(&pdf, 3.0, 2.0 + 0.05 * k as f64);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// The §3.1 motivation, quantified: the moving-convolution route (the
+/// difference pdf is convolved **once**, then each `P^WD` is a single
+/// radial integral) vs the naive quadruple integration (each `P^WD`
+/// re-integrates over the query's disk, `order²` inner evaluations).
+///
+/// Measured on the truncated-Gaussian model — the general case, where
+/// neither route has a closed-form inner kernel. (For uniform disks both
+/// inner kernels are closed-form lens areas, which flattens the gap; the
+/// `uniform` series documents that nuance.)
+fn bench_uncertain_query_within_distance(c: &mut Criterion) {
+    use unn_prob::pdf::PdfKind;
+    use unn_prob::quadruple::{within_distance_convolved, within_distance_quadruple};
+    use unn_prob::uniform_diff::UniformDifferencePdf;
+    let mut group = c.benchmark_group("uncertain_query_pwd");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let kind = PdfKind::TruncatedGaussian { radius: 1.0, sigma: 0.4 };
+    let gauss = kind.build();
+    // Convolved once, outside the measurement — §3.1's amortization.
+    let gauss_diff = kind.convolve_with(&kind);
+    group.bench_function("gaussian/convolution_route", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..16 {
+                acc += within_distance_convolved(gauss_diff.as_ref(), 4.5, 3.0 + 0.1 * k as f64);
+            }
+            black_box(acc)
+        })
+    });
+    for &order in &[16usize, 48] {
+        group.bench_with_input(
+            BenchmarkId::new("gaussian/quadruple_route", order),
+            &order,
+            |b, &order| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for k in 0..16 {
+                        acc += within_distance_quadruple(
+                            gauss.as_ref(),
+                            gauss.as_ref(),
+                            4.5,
+                            3.0 + 0.1 * k as f64,
+                            order,
+                        );
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+
+    let uniform = UniformDiskPdf::new(1.0);
+    let uniform_diff = UniformDifferencePdf::new(1.0);
+    group.bench_function("uniform/convolution_route", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..16 {
+                acc += within_distance_convolved(&uniform_diff, 4.5, 3.0 + 0.1 * k as f64);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("uniform/quadruple_route", 48usize),
+        &48usize,
+        |b, &order| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for k in 0..16 {
+                    acc += within_distance_quadruple(
+                        &uniform,
+                        &uniform,
+                        4.5,
+                        3.0 + 0.1 * k as f64,
+                        order,
+                    );
+                }
+                black_box(acc)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nn_probabilities,
+    bench_within_distance,
+    bench_uncertain_query_within_distance
+);
+criterion_main!(benches);

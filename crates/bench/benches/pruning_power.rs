@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark behind **Figure 13**: cost of the `4r`-band
+//! pruning pass at varying uncertainty radii (the kept-fraction *values*
+//! are produced by `--bin fig13`; this measures the pass itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unn_bench::{distance_functions, workload};
+use unn_core::algorithms::lower_envelope;
+use unn_core::band::prune_by_band;
+
+fn bench_pruning(c: &mut Criterion) {
+    let trs = workload(2000, 42);
+    let fs = distance_functions(&trs, 0);
+    let le = lower_envelope(&fs);
+    let mut group = c.benchmark_group("pruning_power");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &r in &[0.1f64, 0.5, 1.0, 2.0, 5.0] {
+        group.bench_with_input(BenchmarkId::new("prune_by_band", format!("r{r}")), &r, |b, &r| {
+            b.iter(|| black_box(prune_by_band(&fs, &le, r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Figure 11 reproduction**: running time for constructing the lower
+//! envelope — the naive O(N² log N) all-pairs approach vs the O(N log N)
+//! divide & conquer of Algorithm 1.
+//!
+//! The paper varies the number of moving objects from 1 000 to 12 000 on
+//! the 40×40 mi², 15–60 mph, 60-minute random-waypoint workload and plots
+//! time on a log scale; the divide & conquer wins by orders of magnitude,
+//! with the gap growing in N.
+//!
+//! ```text
+//! cargo run --release -p unn-bench --bin fig11 [-- --max-n 12000 --seed 42]
+//! ```
+
+use unn_bench::{arg_value, distance_functions, ln_seconds, time_once, workload, write_csv};
+use unn_core::algorithms::lower_envelope;
+use unn_core::naive::lower_envelope_naive;
+
+fn main() {
+    let max_n: usize = arg_value("--max-n")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
+    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let sweep = [1_000usize, 2_000, 4_000, 6_000, 8_000, 10_000, 12_000];
+
+    println!("Figure 11: lower-envelope construction, naive vs divide & conquer");
+    println!("(workload: 40x40 mi^2, 15-60 mph, 60 min, synchronous epochs; seed {seed})\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "N", "naive (s)", "D&C (s)", "ln naive", "ln D&C", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &n in sweep.iter().filter(|&&n| n <= max_n) {
+        let trs = workload(n, seed);
+        let fs = distance_functions(&trs, 0);
+        let (t_dc, env_dc) = time_once(|| lower_envelope(&fs));
+        let (t_naive, env_naive) = time_once(|| lower_envelope_naive(&fs));
+        // Cross-validate: both must produce the same pointwise envelope.
+        for k in 0..=120 {
+            let t = k as f64 * 0.5;
+            let a = env_dc.eval(t).unwrap();
+            let b = env_naive.eval(t).unwrap();
+            assert!(
+                (a - b).abs() < 1e-6,
+                "envelopes disagree at t={t}: {a} vs {b}"
+            );
+        }
+        let speedup = t_naive.as_secs_f64() / t_dc.as_secs_f64().max(1e-9);
+        println!(
+            "{:>8} {:>14.4} {:>14.4} {:>10.2} {:>10.2} {:>9.1}x",
+            n,
+            t_naive.as_secs_f64(),
+            t_dc.as_secs_f64(),
+            ln_seconds(t_naive),
+            ln_seconds(t_dc),
+            speedup
+        );
+        rows.push(format!(
+            "{n},{},{},{},{},{speedup}",
+            t_naive.as_secs_f64(),
+            t_dc.as_secs_f64(),
+            ln_seconds(t_naive),
+            ln_seconds(t_dc)
+        ));
+    }
+    let path = write_csv(
+        "fig11_envelope_construction.csv",
+        "n,naive_s,dc_s,ln_naive,ln_dc,speedup",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+    println!(
+        "\nExpected shape (paper): D&C is orders of magnitude faster; both curves\n\
+         grow with N but the naive curve grows ~quadratically (its log-scale gap\n\
+         over D&C widens)."
+    );
+}

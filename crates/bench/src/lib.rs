@@ -1,0 +1,131 @@
+//! # unn-bench
+//!
+//! Benchmark harness reproducing the evaluation of §5 of *"Continuous
+//! Probabilistic Nearest-Neighbor Queries for Uncertain Trajectories"*
+//! (EDBT 2009):
+//!
+//! * **Figure 11** — lower-envelope construction time, naive vs divide &
+//!   conquer (`cargo run --release -p unn-bench --bin fig11`);
+//! * **Figure 12** — existential (UQ11) and quantitative (UQ13, X = 50%)
+//!   query time, naive vs envelope-based (`--bin fig12`);
+//! * **Figure 13** — pruning power of the lower envelope vs uncertainty
+//!   radius (`--bin fig13`).
+//!
+//! Criterion micro-benchmarks (including the ablations listed in
+//! DESIGN.md) live under `benches/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use unn_geom::interval::TimeInterval;
+use unn_traj::difference::difference_distances;
+use unn_traj::distance::DistanceFunction;
+use unn_traj::generator::{generate, WorkloadConfig};
+use unn_traj::trajectory::Trajectory;
+
+/// The paper's query window: the full 60-minute motion.
+pub const WINDOW: (f64, f64) = (0.0, 60.0);
+
+/// The time window as a [`TimeInterval`].
+pub fn window() -> TimeInterval {
+    TimeInterval::new(WINDOW.0, WINDOW.1)
+}
+
+/// Generates the §5 workload for `n` objects with the given seed.
+pub fn workload(n: usize, seed: u64) -> Vec<Trajectory> {
+    generate(&WorkloadConfig::with_objects(n, seed))
+}
+
+/// Builds the difference-trajectory distance functions of every object
+/// relative to `query_idx` over the full window.
+pub fn distance_functions(trs: &[Trajectory], query_idx: usize) -> Vec<DistanceFunction> {
+    difference_distances(&trs[query_idx], trs, &window())
+        .expect("workload trajectories share the window")
+}
+
+/// Times a closure once, returning (elapsed, result).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed(), out)
+}
+
+/// Writes a CSV file into `results/` (relative to the workspace root),
+/// creating the directory if needed. Returns the path written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    path
+}
+
+/// `results/` next to the workspace `Cargo.toml`.
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p
+}
+
+/// Parses `--flag value` style overrides from `std::env::args`.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Natural logarithm formatted like the paper's log-scale axes, guarding
+/// zero durations.
+pub fn ln_seconds(d: Duration) -> f64 {
+    d.as_secs_f64().max(1e-9).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_reproducible() {
+        let a = workload(10, 3);
+        let b = workload(10, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn distance_functions_exclude_query() {
+        let trs = workload(8, 1);
+        let fs = distance_functions(&trs, 2);
+        assert_eq!(fs.len(), 7);
+        assert!(fs.iter().all(|f| f.owner() != trs[2].oid()));
+    }
+
+    #[test]
+    fn csv_written_to_results() {
+        let p = write_csv(
+            "unit_test.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("a,b"));
+        assert!(text.contains("3,4"));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn ln_seconds_guards_zero() {
+        assert!(ln_seconds(Duration::ZERO).is_finite());
+        let one = ln_seconds(Duration::from_secs(1));
+        assert!(one.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! `LE_Alg` (Algorithm 1 of the paper): divide & conquer lower-envelope
+//! construction, O(N log N) by the recurrence `T(2N) = 2T(N) + 2N`.
+//!
+//! The base case is the envelope of a single distance function (its own
+//! pieces); the combine step is `Merge_LE` (Algorithm 2). A
+//! crossbeam-based parallel variant is provided as an engineering
+//! extension (ablated in the benchmarks; the paper's algorithm is
+//! sequential).
+
+use crate::envelope::Envelope;
+use crate::merge::merge_envelopes;
+use unn_traj::distance::DistanceFunction;
+
+/// Computes the lower envelope of a non-empty set of distance functions
+/// sharing one window (Algorithm 1, sequential).
+///
+/// # Panics
+///
+/// Panics when `fs` is empty or the windows differ.
+pub fn lower_envelope(fs: &[DistanceFunction]) -> Envelope {
+    assert!(!fs.is_empty(), "lower_envelope requires at least one function");
+    check_common_window(fs);
+    le_alg(fs)
+}
+
+fn le_alg(fs: &[DistanceFunction]) -> Envelope {
+    match fs {
+        [one] => Envelope::from_distance_function(one),
+        _ => {
+            let c = fs.len() / 2;
+            let left = le_alg(&fs[..c]);
+            let right = le_alg(&fs[c..]);
+            merge_envelopes(&left, &right)
+        }
+    }
+}
+
+/// Parallel divide & conquer: halves larger than `sequential_threshold`
+/// are processed on separate crossbeam scoped threads.
+///
+/// # Panics
+///
+/// Panics when `fs` is empty or the windows differ.
+pub fn lower_envelope_parallel(
+    fs: &[DistanceFunction],
+    sequential_threshold: usize,
+) -> Envelope {
+    assert!(!fs.is_empty(), "lower_envelope requires at least one function");
+    check_common_window(fs);
+    let threshold = sequential_threshold.max(1);
+    par_le(fs, threshold)
+}
+
+fn par_le(fs: &[DistanceFunction], threshold: usize) -> Envelope {
+    if fs.len() <= threshold {
+        return le_alg(fs);
+    }
+    let c = fs.len() / 2;
+    let (lhs, rhs) = fs.split_at(c);
+    let (left, right) = crossbeam::scope(|scope| {
+        let l = scope.spawn(|_| par_le(lhs, threshold));
+        let r = par_le(rhs, threshold);
+        (l.join().expect("left half panicked"), r)
+    })
+    .expect("crossbeam scope failed");
+    merge_envelopes(&left, &right)
+}
+
+fn check_common_window(fs: &[DistanceFunction]) {
+    let w = fs[0].span();
+    for f in fs.iter().skip(1) {
+        let s = f.span();
+        assert!(
+            (s.start() - w.start()).abs() < 1e-9 && (s.end() - w.end()).abs() < 1e-9,
+            "all distance functions must share the query window ({w} vs {s})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::interval::TimeInterval;
+    use unn_geom::point::Vec2;
+    use unn_traj::trajectory::Oid;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    #[test]
+    fn envelope_of_one_is_itself() {
+        let w = TimeInterval::new(0.0, 10.0);
+        let f = flyby(1, -5.0, 1.0, 1.0, w);
+        let e = lower_envelope(std::slice::from_ref(&f));
+        assert_eq!(e.pieces().len(), 1);
+        assert_eq!(e.owner_at(3.0), Some(Oid(1)));
+    }
+
+    #[test]
+    fn envelope_is_pointwise_min_many() {
+        let w = TimeInterval::new(0.0, 20.0);
+        let fs: Vec<DistanceFunction> = (0..12)
+            .map(|k| flyby(k, -(k as f64) * 2.0, 0.5 + k as f64 * 0.3, 1.0, w))
+            .collect();
+        let e = lower_envelope(&fs);
+        e.validate_against(&fs, 16, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let w = TimeInterval::new(0.0, 20.0);
+        let fs: Vec<DistanceFunction> = (0..33)
+            .map(|k| {
+                flyby(
+                    k,
+                    -(k as f64 % 7.0) * 3.0,
+                    0.25 + (k as f64 * 0.37) % 4.0,
+                    0.5 + (k as f64 * 0.13) % 1.5,
+                    w,
+                )
+            })
+            .collect();
+        let seq = lower_envelope(&fs);
+        let par = lower_envelope_parallel(&fs, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn davenport_schinzel_bound_holds() {
+        // λ₂(N) = 2N − 1 pieces at most for single-segment functions.
+        let w = TimeInterval::new(0.0, 30.0);
+        let fs: Vec<DistanceFunction> = (0..40)
+            .map(|k| {
+                flyby(
+                    k,
+                    -25.0 + (k as f64 * 1.3) % 20.0,
+                    0.1 + (k as f64 * 0.29) % 3.0,
+                    0.4 + (k as f64 * 0.17) % 2.0,
+                    w,
+                )
+            })
+            .collect();
+        let e = lower_envelope(&fs);
+        assert!(
+            e.len() < 2 * fs.len(),
+            "envelope has {} pieces for {} functions",
+            e.len(),
+            fs.len()
+        );
+        e.validate_against(&fs, 8, 1e-9).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        let _ = lower_envelope(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_windows_panic() {
+        let f1 = flyby(1, 0.0, 1.0, 0.0, TimeInterval::new(0.0, 5.0));
+        let f2 = flyby(2, 0.0, 2.0, 0.0, TimeInterval::new(0.0, 6.0));
+        let _ = lower_envelope(&[f1, f2]);
+    }
+}

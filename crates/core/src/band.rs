@@ -1,0 +1,356 @@
+//! The `4r` pruning band (§3.2 of the paper).
+//!
+//! "The trajectories whose distance functions do not intersect the region
+//! bounded by the lower envelope and its vertically-translated copy for a
+//! vector of length 4r in the (distance, time) space, can never have a
+//! non-zero probability of being a nearest neighbor to `Tr_q`."
+//!
+//! The bound is `4r` because, after convolution, both the candidate and
+//! the current nearest neighbor are supported on disks of radius `2r`
+//! around their difference-trajectory centers. The band supports the
+//! continuous-pruning criterion (Figure 10, `TR_7`) and the Category 1/3
+//! query variants of §4.
+
+use crate::envelope::Envelope;
+use unn_geom::interval::{IntervalSet, TimeInterval};
+use unn_traj::distance::DistanceFunction;
+
+/// Statistics of a pruning pass — the quantity Figure 13 reports
+/// ("percentage of integration required" = `kept / total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandStats {
+    /// Number of candidate objects examined (excluding the query).
+    pub total: usize,
+    /// Number of objects that may have non-zero probability (kept).
+    pub kept: usize,
+}
+
+impl BandStats {
+    /// Fraction of objects whose probabilities still require integration.
+    pub fn kept_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.kept as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of objects pruned away.
+    pub fn pruned_fraction(&self) -> f64 {
+        1.0 - self.kept_fraction()
+    }
+}
+
+/// Enumerates the elementary intervals of the overlay of `f`'s pieces and
+/// `le`'s pieces, invoking `visit(sub, f_piece_idx, le_piece_idx)`.
+/// Stops early when `visit` returns `false`.
+fn overlay<F>(f: &DistanceFunction, le: &Envelope, mut visit: F)
+where
+    F: FnMut(TimeInterval, usize, usize) -> bool,
+{
+    let window = match f.span().intersection(&le.span()) {
+        Some(w) if !w.is_degenerate() => w,
+        _ => return,
+    };
+    let fp = f.pieces();
+    let lp = le.pieces();
+    let mut i = fp.partition_point(|p| p.span.end() <= window.start());
+    let mut j = lp.partition_point(|p| p.span.end() <= window.start());
+    let mut cursor = window.start();
+    while i < fp.len() && j < lp.len() && cursor < window.end() - 1e-15 {
+        let end = fp[i].span.end().min(lp[j].span.end()).min(window.end());
+        if end > cursor {
+            let sub = TimeInterval::new(cursor, end);
+            if !sub.is_degenerate() && !visit(sub, i, j) {
+                return;
+            }
+            cursor = end;
+        }
+        if fp[i].span.end() <= end + 1e-12 {
+            i += 1;
+        }
+        if lp[j].span.end() <= end + 1e-12 {
+            j += 1;
+        }
+    }
+}
+
+/// Minimum of `f(t) − LE(t)` over the window: the candidate's clearance
+/// above the envelope (zero or negative when the candidate touches or
+/// realizes the envelope).
+pub fn band_clearance(f: &DistanceFunction, le: &Envelope) -> f64 {
+    let mut best = f64::INFINITY;
+    overlay(f, le, |sub, i, j| {
+        let c = f.pieces()[i]
+            .hyperbola
+            .min_clearance_above(&le.pieces()[j].hyperbola, &sub);
+        best = best.min(c);
+        true
+    });
+    best
+}
+
+/// `true` when `f` enters the band `LE + delta` somewhere (i.e. the object
+/// has non-zero probability of being the NN at some instant). Early-exits
+/// on the first sub-interval that dips into the band.
+pub fn enters_band(f: &DistanceFunction, le: &Envelope, delta: f64) -> bool {
+    let mut inside = false;
+    overlay(f, le, |sub, i, j| {
+        let c = f.pieces()[i]
+            .hyperbola
+            .min_clearance_above(&le.pieces()[j].hyperbola, &sub);
+        if c <= delta {
+            inside = true;
+            return false;
+        }
+        true
+    });
+    inside
+}
+
+/// Partitions candidates into kept (may have non-zero NN probability) and
+/// pruned, using the `4r` band criterion. Returns the kept indices and
+/// the statistics Figure 13 plots.
+pub fn prune_by_band(
+    fs: &[DistanceFunction],
+    le: &Envelope,
+    r: f64,
+) -> (Vec<usize>, BandStats) {
+    assert!(r >= 0.0, "negative uncertainty radius {r}");
+    let delta = 4.0 * r;
+    let mut kept = Vec::new();
+    for (idx, f) in fs.iter().enumerate() {
+        if enters_band(f, le, delta) {
+            kept.push(idx);
+        }
+    }
+    let stats = BandStats { total: fs.len(), kept: kept.len() };
+    (kept, stats)
+}
+
+/// Heterogeneous-radii pruning — the paper's last future-work item (§7:
+/// "allow for different uncertainty zones of the object locations").
+///
+/// With per-object radii `r_i` (candidates), query radius `r_q`, object
+/// `i` can be the NN at `t` only if some position of `i` is at least as
+/// close as some position of the envelope owner `j`:
+///
+/// ```text
+/// d_i(t) − (r_i + r_q) ≤ d_j(t) + (r_j + r_q)
+/// ⇔ d_i(t) ≤ LE(t) + r_i + r_j + 2 r_q .
+/// ```
+///
+/// Since the owner `j` varies along the envelope, the sound (slightly
+/// conservative) per-object band is `delta_i = r_i + max_j r_j + 2 r_q`.
+/// With all radii equal this reduces to the paper's `4r` band exactly.
+pub fn prune_by_band_heterogeneous(
+    fs: &[DistanceFunction],
+    le: &Envelope,
+    radii: &[f64],
+    query_radius: f64,
+) -> (Vec<usize>, BandStats) {
+    assert_eq!(fs.len(), radii.len(), "one radius per candidate");
+    assert!(query_radius >= 0.0, "negative query radius");
+    let r_max = radii.iter().fold(0.0f64, |m, &r| m.max(r));
+    let mut kept = Vec::new();
+    for (idx, f) in fs.iter().enumerate() {
+        let delta = radii[idx] + r_max + 2.0 * query_radius;
+        if enters_band(f, le, delta) {
+            kept.push(idx);
+        }
+    }
+    let stats = BandStats { total: fs.len(), kept: kept.len() };
+    (kept, stats)
+}
+
+/// The set of times at which `f(t) ≤ LE(t) + delta`: the instants where
+/// the object has non-zero probability of being the nearest neighbor.
+///
+/// Crossing instants are found exactly (quartic root isolation via
+/// [`unn_geom::hyperbola::Hyperbola::crossings_shifted`]); each slice
+/// between crossings is classified by a midpoint probe.
+pub fn inside_band_intervals(
+    f: &DistanceFunction,
+    le: &Envelope,
+    delta: f64,
+) -> IntervalSet {
+    let mut spans: Vec<TimeInterval> = Vec::new();
+    overlay(f, le, |sub, i, j| {
+        let fh = &f.pieces()[i].hyperbola;
+        let lh = &le.pieces()[j].hyperbola;
+        let mut cuts = vec![sub.start()];
+        for t in fh.crossings_shifted(lh, delta, &sub) {
+            if t > sub.start() + 1e-12 && t < sub.end() - 1e-12 {
+                cuts.push(t);
+            }
+        }
+        cuts.push(sub.end());
+        for w in cuts.windows(2) {
+            let slice = TimeInterval::new(w[0], w[1]);
+            if slice.is_degenerate() {
+                continue;
+            }
+            let mid = slice.midpoint();
+            if fh.eval(mid) <= lh.eval(mid) + delta {
+                spans.push(slice);
+            }
+        }
+        true
+    });
+    IntervalSet::from_intervals(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::lower_envelope;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+    use unn_traj::trajectory::Oid;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    fn setup() -> (Vec<DistanceFunction>, Envelope, TimeInterval) {
+        let w = TimeInterval::new(0.0, 10.0);
+        // Close pair forming the envelope, plus a distant one (TR_7-like).
+        let fs = vec![
+            flyby(1, -5.0, 1.0, 1.0, w), // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w), // dips to 2 at t=2
+            flyby(3, 0.0, 50.0, 0.0, w), // static, far away
+        ];
+        let le = lower_envelope(&fs);
+        (fs, le, w)
+    }
+
+    #[test]
+    fn clearance_of_envelope_member_is_nonpositive() {
+        let (fs, le, _) = setup();
+        assert!(band_clearance(&fs[0], &le) <= 1e-9);
+        // Far object's clearance is roughly its distance minus the
+        // envelope (~48 at the envelope's minimum region).
+        assert!(band_clearance(&fs[2], &le) > 40.0);
+    }
+
+    #[test]
+    fn prune_discards_far_objects() {
+        let (fs, le, _) = setup();
+        let r = 0.5; // band = 2.0
+        let (kept, stats) = prune_by_band(&fs, &le, r);
+        assert_eq!(kept, vec![0, 1]);
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.kept, 2);
+        assert!((stats.kept_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // A huge radius keeps everything.
+        let (kept_all, _) = prune_by_band(&fs, &le, 20.0);
+        assert_eq!(kept_all.len(), 3);
+    }
+
+    #[test]
+    fn inside_intervals_cover_envelope_ownership() {
+        let (fs, le, w) = setup();
+        // The envelope member is inside its own band at all times where it
+        // realizes the envelope; with delta = 0 it is inside exactly there
+        // (plus tangency points).
+        let inside = inside_band_intervals(&fs[0], &le, 0.0);
+        for (oid, iv) in le.answer_sequence() {
+            if oid == Oid(1) {
+                assert!(
+                    inside.covers(iv.midpoint()),
+                    "owner must be inside its own band at {}",
+                    iv.midpoint()
+                );
+            }
+        }
+        // With a generous delta the candidate is inside everywhere.
+        let all = inside_band_intervals(&fs[1], &le, 100.0);
+        assert!((all.total_len() - w.len()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inside_intervals_match_dense_sampling() {
+        let (fs, le, w) = setup();
+        for (fi, f) in fs.iter().enumerate() {
+            for delta in [0.5, 2.0, 10.0] {
+                let inside = inside_band_intervals(f, &le, delta);
+                for k in 0..=400 {
+                    let t = w.start() + k as f64 * w.len() / 400.0;
+                    let expected = f.eval(t).unwrap() <= le.eval(t).unwrap() + delta;
+                    let got = inside.covers(t);
+                    // Skip instants within a hair of a crossing.
+                    let margin =
+                        (f.eval(t).unwrap() - le.eval(t).unwrap() - delta).abs();
+                    if margin > 1e-6 {
+                        assert_eq!(
+                            got, expected,
+                            "f{fi} delta={delta} t={t} margin={margin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enters_band_consistent_with_clearance() {
+        let (fs, le, _) = setup();
+        for f in &fs {
+            let c = band_clearance(f, &le);
+            for delta in [0.1, 1.0, 5.0, 60.0] {
+                assert_eq!(
+                    enters_band(f, &le, delta),
+                    c <= delta,
+                    "delta={delta}, clearance={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pruning_reduces_to_4r_for_equal_radii() {
+        let (fs, le, _) = setup();
+        let r = 0.5;
+        let radii = vec![r; fs.len()];
+        let (hom, _) = prune_by_band(&fs, &le, r);
+        let (het, _) = prune_by_band_heterogeneous(&fs, &le, &radii, r);
+        assert_eq!(hom, het);
+    }
+
+    #[test]
+    fn heterogeneous_pruning_keeps_large_radius_objects_longer() {
+        let (fs, le, _) = setup();
+        // Give the far object (index 2) a huge uncertainty radius: it can
+        // now reach the envelope and must be kept.
+        let radii = vec![0.5, 0.5, 50.0];
+        let (kept, stats) = prune_by_band_heterogeneous(&fs, &le, &radii, 0.5);
+        assert!(kept.contains(&2), "{kept:?}");
+        assert_eq!(stats.kept, kept.len());
+        // With uniformly tiny radii it is pruned again.
+        let (kept_small, _) =
+            prune_by_band_heterogeneous(&fs, &le, &[0.1, 0.1, 0.1], 0.1);
+        assert!(!kept_small.contains(&2), "{kept_small:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn heterogeneous_pruning_checks_radius_count() {
+        let (fs, le, _) = setup();
+        let _ = prune_by_band_heterogeneous(&fs, &le, &[0.5], 0.5);
+    }
+
+    #[test]
+    fn empty_overlap_yields_empty_results() {
+        let w1 = TimeInterval::new(0.0, 5.0);
+        let w2 = TimeInterval::new(6.0, 9.0);
+        let f = flyby(1, 0.0, 1.0, 0.0, w1);
+        let g = flyby(2, 0.0, 1.0, 0.0, w2);
+        let le = lower_envelope(std::slice::from_ref(&g));
+        assert!(inside_band_intervals(&f, &le, 1.0).is_empty());
+        assert_eq!(band_clearance(&f, &le), f64::INFINITY);
+    }
+}

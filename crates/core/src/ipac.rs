@@ -1,0 +1,581 @@
+//! The IPAC-NN tree (Interval-based Probabilistic Answer to a Continuous
+//! NN query) — §1 and Algorithm 3 of the paper.
+//!
+//! * Level 1 is the lower envelope: the highest-probability NN per
+//!   sub-interval (Theorem 1 reduces probability ranking to distance
+//!   ranking).
+//! * The children of a node re-rank the remaining candidates inside the
+//!   node's interval after *excluding the ancestors' owners*.
+//! * Recursion stops when no candidate with non-zero probability remains
+//!   (every candidate is further than `4r` above the level-1 envelope) or
+//!   when the configured depth bound is reached.
+//!
+//! Each node carries a descriptor `D_i` (the paper leaves its contents
+//! open; ours records the min/max center distance and, optionally,
+//! sampled `P^NN` values computed with the convolved pdf — see
+//! [`annotate_probabilities`]).
+
+use crate::algorithms::lower_envelope;
+use crate::band::{enters_band, prune_by_band, BandStats};
+use crate::envelope::Envelope;
+use std::fmt::Write as _;
+use unn_geom::interval::TimeInterval;
+use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+use unn_prob::uniform_diff::UniformDifferencePdf;
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::Oid;
+
+/// Descriptor of a node: properties of the owner's distance (and
+/// optionally probability) during the node's interval.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Descriptor {
+    /// Minimum center distance over the interval.
+    pub min_distance: f64,
+    /// Maximum center distance over the interval.
+    pub max_distance: f64,
+    /// Sampled `(t, P^NN)` values (empty until
+    /// [`annotate_probabilities`] runs).
+    pub prob_samples: Vec<(f64, f64)>,
+}
+
+/// One node of the IPAC-NN tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpacNode {
+    /// The trajectory ranked at this node's level during `span`.
+    pub owner: Oid,
+    /// The node's time interval of relevance.
+    pub span: TimeInterval,
+    /// 1-based level (level 1 = highest-probability NN).
+    pub level: usize,
+    /// The descriptor `D_i`.
+    pub descriptor: Descriptor,
+    /// Children: the next-highest-probability candidates within disjoint
+    /// sub-intervals of `span`.
+    pub children: Vec<IpacNode>,
+}
+
+impl IpacNode {
+    fn count(&self) -> usize {
+        1 + self.children.iter().map(IpacNode::count).sum::<usize>()
+    }
+}
+
+/// Configuration for building an [`IpacTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct IpacConfig {
+    /// Shared uncertainty-disk radius `r` (the band is `4r`).
+    pub radius: f64,
+    /// Maximum tree depth (`0` = unbounded: recurse until no candidate
+    /// has non-zero probability).
+    pub max_depth: usize,
+}
+
+impl IpacConfig {
+    /// Unbounded-depth configuration for radius `r`.
+    pub fn unbounded(radius: f64) -> Self {
+        IpacConfig { radius, max_depth: 0 }
+    }
+
+    /// Depth-bounded configuration (enough for rank-`k` queries with
+    /// `k <= max_depth`).
+    pub fn with_depth(radius: f64, max_depth: usize) -> Self {
+        IpacConfig { radius, max_depth }
+    }
+}
+
+/// The IPAC-NN tree: root parameters (query id and window) plus the
+/// level-1 pieces and their recursive refinements.
+#[derive(Debug, Clone)]
+pub struct IpacTree {
+    /// The querying trajectory.
+    pub query: Oid,
+    /// The query window `[tb, te]`.
+    pub window: TimeInterval,
+    /// The level-1 lower envelope (kept for band tests and queries).
+    pub envelope: Envelope,
+    /// Level-1 nodes, in time order.
+    pub roots: Vec<IpacNode>,
+    /// Pruning statistics of the band pass.
+    pub stats: BandStats,
+}
+
+impl IpacTree {
+    /// Total number of nodes (the combinatorial complexity bounded by
+    /// Theorem 2).
+    pub fn node_count(&self) -> usize {
+        self.roots.iter().map(IpacNode::count).sum()
+    }
+
+    /// Maximum depth (number of levels) present in the tree.
+    pub fn depth(&self) -> usize {
+        fn d(n: &IpacNode) -> usize {
+            1 + n.children.iter().map(d).max().unwrap_or(0)
+        }
+        self.roots.iter().map(d).max().unwrap_or(0)
+    }
+
+    /// All `(owner, span)` pieces at a given 1-based level — the "Level k
+    /// lower envelope" of the paper's Category 2 query processing.
+    pub fn level_pieces(&self, level: usize) -> Vec<(Oid, TimeInterval)> {
+        let mut out = Vec::new();
+        fn walk(n: &IpacNode, level: usize, out: &mut Vec<(Oid, TimeInterval)>) {
+            if n.level == level {
+                out.push((n.owner, n.span));
+                return;
+            }
+            for c in &n.children {
+                walk(c, level, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, level, &mut out);
+        }
+        out.sort_by(|a, b| a.1.start().total_cmp(&b.1.start()));
+        out
+    }
+
+    /// The continuous (crisp) NN answer `A_nn(q)` of §1: the level-1
+    /// owner/interval sequence.
+    pub fn answer_sequence(&self) -> Vec<(Oid, TimeInterval)> {
+        self.envelope.answer_sequence()
+    }
+
+    /// Flattens the tree into the DAG of Theorem 2 (the root removed):
+    /// returns the nodes in preorder and the parent→child edge list as
+    /// indices into that node list.
+    pub fn to_dag(&self) -> (Vec<&IpacNode>, Vec<(usize, usize)>) {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        fn walk<'a>(
+            n: &'a IpacNode,
+            nodes: &mut Vec<&'a IpacNode>,
+            edges: &mut Vec<(usize, usize)>,
+        ) -> usize {
+            let idx = nodes.len();
+            nodes.push(n);
+            for c in &n.children {
+                let ci = walk(c, nodes, edges);
+                edges.push((idx, ci));
+            }
+            idx
+        }
+        for r in &self.roots {
+            walk(r, &mut nodes, &mut edges);
+        }
+        (nodes, edges)
+    }
+
+    /// Graphviz `dot` rendering of the DAG (for inspection and the
+    /// examples).
+    pub fn to_dot(&self) -> String {
+        let (nodes, edges) = self.to_dag();
+        let mut s = String::from("digraph ipac {\n  rankdir=TB;\n");
+        let _ = writeln!(
+            s,
+            "  root [label=\"{} [{:.2}, {:.2}]\", shape=box];",
+            self.query,
+            self.window.start(),
+            self.window.end()
+        );
+        for (i, n) in nodes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  n{i} [label=\"{} L{} [{:.2}, {:.2}]\"];",
+                n.owner,
+                n.level,
+                n.span.start(),
+                n.span.end()
+            );
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if n.level == 1 {
+                let _ = writeln!(s, "  root -> n{i};");
+            }
+        }
+        for (a, b) in edges {
+            let _ = writeln!(s, "  n{a} -> n{b};");
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Pretty-prints the tree (one line per node, indented by level).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "[{} , {:.3}, {:.3}]",
+            self.query,
+            self.window.start(),
+            self.window.end()
+        );
+        fn walk(n: &IpacNode, s: &mut String) {
+            let indent = "  ".repeat(n.level);
+            let probs = if n.descriptor.prob_samples.is_empty() {
+                String::new()
+            } else {
+                let avg: f64 = n
+                    .descriptor
+                    .prob_samples
+                    .iter()
+                    .map(|(_, p)| *p)
+                    .sum::<f64>()
+                    / n.descriptor.prob_samples.len() as f64;
+                format!(", avg P^NN ≈ {avg:.3}")
+            };
+            let _ = writeln!(
+                s,
+                "{indent}{} [{:.3}, {:.3}] d∈[{:.3}, {:.3}]{probs}",
+                n.owner,
+                n.span.start(),
+                n.span.end(),
+                n.descriptor.min_distance,
+                n.descriptor.max_distance
+            );
+            for c in &n.children {
+                walk(c, s);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut s);
+        }
+        s
+    }
+}
+
+/// Builds the IPAC-NN tree for query object `query` over the given
+/// distance functions (Algorithm 3).
+///
+/// `fs` are the difference-trajectory distance functions of all candidate
+/// objects (the query itself excluded), all sharing the query window.
+///
+/// # Panics
+///
+/// Panics when `fs` is empty.
+pub fn build_ipac_tree(
+    query: Oid,
+    fs: &[DistanceFunction],
+    cfg: &IpacConfig,
+) -> IpacTree {
+    assert!(!fs.is_empty(), "IPAC tree needs at least one candidate");
+    // Step 1: the lower envelope = Level 1.
+    let envelope = lower_envelope(fs);
+    // Step 2: prune objects that can never have non-zero probability.
+    let (kept_idx, stats) = prune_by_band(fs, &envelope, cfg.radius);
+    let kept: Vec<&DistanceFunction> = kept_idx.iter().map(|&i| &fs[i]).collect();
+    let delta = 4.0 * cfg.radius;
+
+    // Steps 3-8: recursively refine each level interval.
+    let window = envelope.span();
+    let roots = build_level(
+        &kept,
+        &envelope,
+        window,
+        &mut Vec::new(),
+        1,
+        cfg.max_depth,
+        delta,
+    );
+    IpacTree { query, window, envelope, roots, stats }
+}
+
+/// Builds the nodes of one level within `span`, excluding `excluded`
+/// owners (the ancestors), and recurses.
+fn build_level(
+    kept: &[&DistanceFunction],
+    global_le: &Envelope,
+    span: TimeInterval,
+    excluded: &mut Vec<Oid>,
+    level: usize,
+    max_depth: usize,
+    delta: f64,
+) -> Vec<IpacNode> {
+    if span.is_degenerate() {
+        return vec![];
+    }
+    let le_here = match global_le.restrict(&span) {
+        Some(e) => e,
+        None => return vec![],
+    };
+    // Candidates: not an ancestor, restricted to the span, and with
+    // non-zero probability somewhere in it (inside the 4r band over the
+    // *level-1* envelope — probability is always relative to the true
+    // nearest neighbor).
+    let mut cands: Vec<DistanceFunction> = Vec::new();
+    for f in kept {
+        if excluded.contains(&f.owner()) {
+            continue;
+        }
+        if let Some(res) = f.restrict(&span) {
+            if enters_band(&res, &le_here, delta) {
+                cands.push(res);
+            }
+        }
+    }
+    if cands.is_empty() {
+        return vec![];
+    }
+    let env = lower_envelope(&cands);
+    let mut nodes = Vec::new();
+    for (owner, iv) in env.answer_sequence() {
+        let f = cands
+            .iter()
+            .find(|f| f.owner() == owner)
+            .expect("answer owner among candidates");
+        let restricted = f.restrict(&iv).expect("answer interval within candidate span");
+        let descriptor = Descriptor {
+            min_distance: restricted.min_over_window().1,
+            max_distance: restricted.max_over_window().1,
+            prob_samples: Vec::new(),
+        };
+        let children = if max_depth != 0 && level >= max_depth {
+            vec![]
+        } else {
+            excluded.push(owner);
+            let c = build_level(
+                kept,
+                global_le,
+                iv,
+                excluded,
+                level + 1,
+                max_depth,
+                delta,
+            );
+            excluded.pop();
+            c
+        };
+        nodes.push(IpacNode { owner, span: iv, level, descriptor, children });
+    }
+    nodes
+}
+
+/// Post-pass: samples `P^NN` values into every node's descriptor.
+///
+/// At `samples` instants inside each node's span, the NN probability of
+/// the node's owner is computed with the Eq. 5 evaluator over all
+/// candidates inside the `4r` band at that instant, using the exact
+/// convolved pdf of the difference objects (`UniformDifferencePdf`).
+pub fn annotate_probabilities(
+    tree: &mut IpacTree,
+    fs: &[DistanceFunction],
+    radius: f64,
+    samples: usize,
+) {
+    if samples == 0 {
+        return;
+    }
+    let pdf = UniformDifferencePdf::new(radius);
+    let delta = 4.0 * radius;
+    let envelope = tree.envelope.clone();
+    let cfg = NnConfig::default();
+    for root in &mut tree.roots {
+        annotate_node(root, fs, &envelope, &pdf, delta, samples, cfg);
+    }
+}
+
+fn annotate_node(
+    node: &mut IpacNode,
+    fs: &[DistanceFunction],
+    le: &Envelope,
+    pdf: &UniformDifferencePdf,
+    delta: f64,
+    samples: usize,
+    cfg: NnConfig,
+) {
+    let probe_count = samples.max(1);
+    let times = node.span.sample_points(probe_count);
+    // Interior probes (avoid boundary instants shared with siblings).
+    let probes: Vec<f64> = if times.len() > 2 {
+        times[1..times.len() - 1].to_vec()
+    } else {
+        vec![node.span.midpoint()]
+    };
+    node.descriptor.prob_samples.clear();
+    for t in probes {
+        let le_v = match le.eval(t) {
+            Some(v) => v,
+            None => continue,
+        };
+        // Candidates with non-zero probability at t.
+        let mut dists = Vec::new();
+        let mut owner_pos = None;
+        for f in fs {
+            if let Some(d) = f.eval(t) {
+                if d <= le_v + delta {
+                    if f.owner() == node.owner {
+                        owner_pos = Some(dists.len());
+                    }
+                    dists.push(d);
+                }
+            }
+        }
+        let Some(pos) = owner_pos else { continue };
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, cfg);
+        node.descriptor.prob_samples.push((t, probs[pos]));
+    }
+    for c in &mut node.children {
+        annotate_node(c, fs, le, pdf, delta, samples, cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    fn setup() -> (Vec<DistanceFunction>, TimeInterval) {
+        let w = TimeInterval::new(0.0, 10.0);
+        let fs = vec![
+            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
+            flyby(3, -8.0, 3.0, 1.0, w),  // dips to 3 at t=8
+            flyby(4, 0.0, 50.0, 0.0, w),  // unreachable
+        ];
+        (fs, w)
+    }
+
+    #[test]
+    fn level_one_is_the_envelope() {
+        let (fs, w) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
+        assert_eq!(tree.window, w);
+        let l1 = tree.level_pieces(1);
+        let ans = tree.answer_sequence();
+        assert_eq!(l1.len(), ans.len());
+        for (a, b) in l1.iter().zip(&ans) {
+            assert_eq!(a.0, b.0);
+        }
+    }
+
+    #[test]
+    fn pruned_objects_never_appear() {
+        let (fs, _) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
+        assert_eq!(tree.stats.kept, 3);
+        let (nodes, _) = tree.to_dag();
+        assert!(nodes.iter().all(|n| n.owner != Oid(4)));
+    }
+
+    #[test]
+    fn children_exclude_ancestors() {
+        let (fs, _) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
+        fn check(n: &IpacNode, ancestors: &mut Vec<Oid>) {
+            assert!(!ancestors.contains(&n.owner), "ancestor repeated: {}", n.owner);
+            assert!(n.children.iter().all(|c| n.span.contains_interval(&c.span)));
+            ancestors.push(n.owner);
+            for c in &n.children {
+                check(c, ancestors);
+            }
+            ancestors.pop();
+        }
+        for r in &tree.roots {
+            check(r, &mut Vec::new());
+        }
+    }
+
+    #[test]
+    fn depth_bound_respected() {
+        let (fs, _) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 2));
+        assert!(tree.depth() <= 2);
+        let unbounded = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
+        assert!(unbounded.depth() >= tree.depth());
+    }
+
+    #[test]
+    fn level_two_owners_are_second_ranked() {
+        let (fs, _) = setup();
+        // Use a radius large enough that everything near stays in band.
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(1.0));
+        for (owner, iv) in tree.level_pieces(2) {
+            let t = iv.midpoint();
+            // Rank the first three functions by distance at t.
+            let mut vals: Vec<(f64, Oid)> = fs[..3]
+                .iter()
+                .map(|f| (f.eval(t).unwrap(), f.owner()))
+                .collect();
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert_eq!(owner, vals[1].1, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn dag_and_dot_are_consistent() {
+        let (fs, _) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 3));
+        let (nodes, edges) = tree.to_dag();
+        assert_eq!(nodes.len(), tree.node_count());
+        // Every edge connects level L to level L+1.
+        for (a, b) in &edges {
+            assert_eq!(nodes[*a].level + 1, nodes[*b].level);
+        }
+        let dot = tree.to_dot();
+        assert!(dot.contains("digraph ipac"));
+        assert!(dot.contains("root"));
+        let rendered = tree.render();
+        assert!(rendered.contains("Tr1"));
+    }
+
+    #[test]
+    fn annotate_probabilities_fills_descriptors() {
+        let (fs, _) = setup();
+        let mut tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 2));
+        annotate_probabilities(&mut tree, &fs, 0.5, 3);
+        fn check(n: &IpacNode) {
+            assert!(!n.descriptor.prob_samples.is_empty());
+            for &(_, p) in &n.descriptor.prob_samples {
+                assert!((0.0..=1.0).contains(&p), "probability {p}");
+            }
+            for c in &n.children {
+                check(c);
+            }
+        }
+        for r in &tree.roots {
+            check(r);
+        }
+        // Level-1 nodes should carry higher average probability than their
+        // children (Theorem 1: closer rank = higher probability).
+        for r in &tree.roots {
+            let avg = |n: &IpacNode| {
+                n.descriptor.prob_samples.iter().map(|(_, p)| *p).sum::<f64>()
+                    / n.descriptor.prob_samples.len().max(1) as f64
+            };
+            for c in &r.children {
+                assert!(
+                    avg(r) >= avg(c) - 0.05,
+                    "level-1 avg {} vs child {}",
+                    avg(r),
+                    avg(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_min_max_match_function() {
+        let (fs, _) = setup();
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 1));
+        for n in &tree.roots {
+            let f = fs.iter().find(|f| f.owner() == n.owner).unwrap();
+            for t in n.span.sample_points(8) {
+                let d = f.eval(t).unwrap();
+                assert!(d >= n.descriptor.min_distance - 1e-9);
+                assert!(d <= n.descriptor.max_distance + 1e-9);
+            }
+        }
+    }
+}

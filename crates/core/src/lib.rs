@@ -1,0 +1,69 @@
+//! # unn-core
+//!
+//! The primary contribution of *"Continuous Probabilistic Nearest-Neighbor
+//! Queries for Uncertain Trajectories"* (Trajcevski, Tamassia, Ding,
+//! Scheuermann, Cruz — EDBT 2009), implemented in Rust:
+//!
+//! * [`envelope`] — owner-labelled lower envelopes with the
+//!   ⊎-concatenation of Algorithm 2;
+//! * [`env2`] — `Env2`, the O(1) two-hyperbola envelope (§3.2);
+//! * [`merge`] — `Merge_LE` (Algorithm 2), the linear-time envelope merge;
+//! * [`algorithms`] — `LE_Alg` (Algorithm 1), the O(N log N) divide &
+//!   conquer construction (plus a crossbeam-parallel variant);
+//! * [`naive`] — the §5 O(N² log N) all-pairs baseline of Figure 11;
+//! * [`band`] — the `4r` pruning band and per-object non-zero-probability
+//!   intervals (Figure 10 / Figure 13);
+//! * [`ipac`] — the IPAC-NN tree (Algorithm 3), descriptors, and the DAG
+//!   dual of Theorem 2;
+//! * [`query`] — the §4 query variants (Categories 1–4, UQ11…UQ43, and
+//!   fixed-time forms) with naive baselines for Figure 12;
+//! * [`threshold`] — continuous *threshold* NN queries (the §7 future-work
+//!   item, built on the probability engine);
+//! * [`shifted`] — lower envelopes of *shifted* hyperbolas `d_j(t) + c_j`
+//!   (substrate for the §7 heterogeneous-radii extension);
+//! * [`hetero`] — continuous probabilistic NN queries with per-object
+//!   uncertainty radii (the §7 "different uncertainty zones" item);
+//! * [`reverse`] — continuous probabilistic *reverse* NN queries and the
+//!   *all-pairs* answer (the §7 "all pairs, reverse" item);
+//! * [`topk`] — crisp continuous k-NN answers and the crisp-vs-uncertain
+//!   Top-k semantics comparison (the §7 Top-k item);
+//! * [`oracle`] — brute-force dense-sampling references for the tests.
+//!
+//! The within-distance / NN probability machinery the semantics rest on
+//! (Eq. 3–7, Theorem 1) lives in the `unn-prob` substrate; trajectories,
+//! difference transforms, and workloads live in `unn-traj`.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod band;
+pub mod env2;
+pub mod envelope;
+pub mod hetero;
+pub mod ipac;
+pub mod merge;
+pub mod naive;
+pub mod oracle;
+pub mod query;
+pub mod reverse;
+pub mod shifted;
+pub mod threshold;
+pub mod topk;
+
+pub use algorithms::{lower_envelope, lower_envelope_parallel};
+pub use band::{
+    band_clearance, enters_band, inside_band_intervals, prune_by_band,
+    prune_by_band_heterogeneous, BandStats,
+};
+pub use envelope::{Envelope, EnvelopeBuilder, EnvelopePiece};
+pub use hetero::{HeteroCandidate, HeteroEngine, HeteroStats};
+pub use ipac::{annotate_probabilities, build_ipac_tree, Descriptor, IpacConfig, IpacNode, IpacTree};
+pub use naive::lower_envelope_naive;
+pub use query::QueryEngine;
+pub use reverse::{all_pairs_nn, PairAnswer, ReverseNnEngine};
+pub use shifted::{shifted_lower_envelope, ShiftedEnvelope, ShiftedFunction};
+pub use threshold::{
+    probability_at, probability_at_with, threshold_nn_query, threshold_nn_query_with,
+    threshold_nn_sweep, threshold_nn_sweep_with, ThresholdRow,
+};
+pub use topk::{continuous_knn, probabilistic_topk_at, semantics_agreement, KnnAnswer, KnnCell};

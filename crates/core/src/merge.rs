@@ -1,0 +1,166 @@
+//! `Merge_LE` (Algorithm 2 of the paper): merging two lower envelopes.
+//!
+//! The sweep maintains the *current lower bound* and *current upper bound*
+//! among the critical times of the two inputs; on every elementary
+//! interval both envelopes are single hyperbola pieces, so `Env2` applies,
+//! and the results are ⊎-concatenated (adjacent same-owner/same-function
+//! pieces merge back into maximal pieces).
+
+use crate::env2::{env2_into, Labelled};
+use crate::envelope::{Envelope, EnvelopeBuilder};
+use unn_geom::interval::TimeInterval;
+
+/// Merges two lower envelopes over the same window.
+///
+/// # Panics
+///
+/// Panics when the windows differ (the divide & conquer driver always
+/// merges equal windows).
+pub fn merge_envelopes(le1: &Envelope, le2: &Envelope) -> Envelope {
+    let span1 = le1.span();
+    let span2 = le2.span();
+    assert!(
+        (span1.start() - span2.start()).abs() < 1e-9
+            && (span1.end() - span2.end()).abs() < 1e-9,
+        "merge_envelopes requires equal windows: {span1} vs {span2}"
+    );
+    let mut out = EnvelopeBuilder::with_capacity(le1.len() + le2.len());
+    let p1 = le1.pieces();
+    let p2 = le2.pieces();
+    let (mut k, mut p) = (0usize, 0usize);
+    let mut cursor = span1.start();
+    while k < p1.len() && p < p2.len() {
+        // Current upper bound of the sweeping interval: the earlier of the
+        // two active pieces' ends.
+        let e1 = p1[k].span.end();
+        let e2 = p2[p].span.end();
+        let upper = e1.min(e2).min(span1.end());
+        if upper > cursor {
+            let a = Labelled { owner: p1[k].owner, hyperbola: p1[k].hyperbola };
+            let b = Labelled { owner: p2[p].owner, hyperbola: p2[p].hyperbola };
+            env2_into(&a, &b, TimeInterval::new(cursor, upper), &mut out);
+            cursor = upper;
+        }
+        // Advance the envelope(s) whose piece ends here.
+        if e1 <= upper + 1e-12 {
+            k += 1;
+        }
+        if e2 <= upper + 1e-12 {
+            p += 1;
+        }
+    }
+    out.build().expect("merged envelope covers the window")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::EnvelopePiece;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+    use unn_traj::trajectory::Oid;
+
+    fn hyp_moving(p0: (f64, f64), v: (f64, f64)) -> Hyperbola {
+        Hyperbola::from_relative_motion(Vec2::new(p0.0, p0.1), Vec2::new(v.0, v.1), 0.0)
+    }
+
+    fn single(owner: u64, h: Hyperbola, a: f64, b: f64) -> Envelope {
+        Envelope::new(vec![EnvelopePiece {
+            owner: Oid(owner),
+            span: TimeInterval::new(a, b),
+            hyperbola: h,
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn merge_two_singletons() {
+        let w = (0.0, 10.0);
+        let le1 = single(1, Hyperbola::constant(2.0), w.0, w.1);
+        let le2 = single(2, hyp_moving((-5.0, 1.0), (1.0, 0.0)), w.0, w.1);
+        let m = merge_envelopes(&le1, &le2);
+        // Pointwise minimality on a dense grid.
+        for k in 0..=100 {
+            let t = k as f64 * 0.1;
+            let expected = le1.eval(t).unwrap().min(le2.eval(t).unwrap());
+            assert!((m.eval(t).unwrap() - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn merge_respects_example_5_structure() {
+        // Figure 9: LE12 has owners [2, 1, 2] and LE34 owners [4, 3].
+        // Their merge produces the overall envelope with ⊎-concatenation.
+        let w = TimeInterval::new(0.0, 10.0);
+        let tr1 = hyp_moving((-4.0, 2.0), (1.0, 0.0)); // dips to 2 at t=4
+        let tr2 = Hyperbola::constant(3.0);
+        let tr3 = hyp_moving((-8.0, 1.0), (1.0, 0.0)); // dips to 1 at t=8
+        let tr4 = Hyperbola::constant(4.0);
+        let f = |o: u64, h: Hyperbola| {
+            crate::envelope::Envelope::from_distance_function(
+                &unn_traj::distance::DistanceFunction::single(Oid(o), w, h),
+            )
+        };
+        let le12 = merge_envelopes(&f(1, tr1), &f(2, tr2));
+        let le34 = merge_envelopes(&f(3, tr3), &f(4, tr4));
+        let all = merge_envelopes(&le12, &le34);
+        for k in 0..=200 {
+            let t = k as f64 * 0.05;
+            let expected = [tr1, tr2, tr3, tr4]
+                .iter()
+                .map(|h| h.eval(t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (all.eval(t).unwrap() - expected).abs() < 1e-9,
+                "t={t}: {} vs {expected}",
+                all.eval(t).unwrap()
+            );
+        }
+        // The envelope is maximal: consecutive pieces differ.
+        for w2 in all.pieces().windows(2) {
+            assert!(
+                w2[0].owner != w2[1].owner || w2[0].hyperbola != w2[1].hyperbola,
+                "non-maximal pieces {w2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_handles_multi_piece_inputs() {
+        // le1 switches function mid-window (same owner, different legs).
+        let w = TimeInterval::new(0.0, 10.0);
+        let le1 = Envelope::new(vec![
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 5.0),
+                hyperbola: hyp_moving((1.0, 0.0), (1.0, 0.0)),
+            },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(5.0, 10.0),
+                hyperbola: Hyperbola::from_relative_motion(
+                    Vec2::new(6.0, 0.0),
+                    Vec2::new(-1.0, 0.0),
+                    5.0,
+                ),
+            },
+        ])
+        .unwrap();
+        let le2 = single(2, Hyperbola::constant(3.0), 0.0, 10.0);
+        let m = merge_envelopes(&le1, &le2);
+        assert_eq!(m.span(), w);
+        for k in 0..=100 {
+            let t = k as f64 * 0.1;
+            let expected = le1.eval(t).unwrap().min(le2.eval(t).unwrap());
+            assert!((m.eval(t).unwrap() - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_windows_panic() {
+        let le1 = single(1, Hyperbola::constant(1.0), 0.0, 5.0);
+        let le2 = single(2, Hyperbola::constant(2.0), 0.0, 10.0);
+        let _ = merge_envelopes(&le1, &le2);
+    }
+}

@@ -1,0 +1,261 @@
+//! The naive lower-envelope baseline of §5.
+//!
+//! "The naive approach … finds the intersection of all the distance
+//! functions, sorts them in time, then sweeps in time comparing the lowest
+//! values in-between intersections (O(N² log N), since there are O(N²)
+//! such intersections)."
+//!
+//! The sweep keeps the current winner; by continuity, the identity of the
+//! minimum can only change at an intersection *involving the current
+//! winner*, so each event is processed in O(1) after the O(N² log N) sort
+//! — matching the paper's stated complexity. The quadratic all-pairs
+//! intersection enumeration is what Figure 11 measures against the divide
+//! & conquer of Algorithm 1.
+
+use crate::envelope::{Envelope, EnvelopeBuilder, EnvelopePiece};
+use unn_geom::interval::TimeInterval;
+use unn_traj::distance::DistanceFunction;
+
+/// A sweep event: an intersection of functions `i` and `j` (or a piece
+/// breakpoint when `i == j`) at time `t`.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    t: f64,
+    i: u32,
+    j: u32,
+}
+
+/// Computes the lower envelope by the naive all-pairs algorithm.
+///
+/// Produces the same envelope as [`crate::algorithms::lower_envelope`]
+/// (asserted by the cross-validation tests), only slower.
+///
+/// # Panics
+///
+/// Panics when `fs` is empty or the windows differ.
+pub fn lower_envelope_naive(fs: &[DistanceFunction]) -> Envelope {
+    assert!(!fs.is_empty(), "lower_envelope_naive requires at least one function");
+    let window = fs[0].span();
+    for f in fs {
+        let s = f.span();
+        assert!(
+            (s.start() - window.start()).abs() < 1e-9
+                && (s.end() - window.end()).abs() < 1e-9,
+            "all distance functions must share the query window"
+        );
+    }
+
+    // 1. All pairwise intersection times (restricted to overlapping piece
+    //    spans), plus every piece breakpoint of every function.
+    let mut events: Vec<Event> = Vec::new();
+    for (i, f) in fs.iter().enumerate() {
+        for t in f.breakpoints() {
+            events.push(Event { t, i: i as u32, j: i as u32 });
+        }
+    }
+    let mut scratch = Vec::new();
+    for i in 0..fs.len() {
+        for j in (i + 1)..fs.len() {
+            scratch.clear();
+            pairwise_intersections(&fs[i], &fs[j], &mut scratch);
+            for &t in &scratch {
+                events.push(Event { t, i: i as u32, j: j as u32 });
+            }
+        }
+    }
+    // 2. Sort the critical times.
+    events.sort_by(|a, b| a.t.total_cmp(&b.t));
+
+    // 3. Sweep, maintaining the current winner: it can only change at an
+    //    event involving the winner.
+    let mut out = EnvelopeBuilder::new();
+    let first_end = events
+        .iter()
+        .map(|e| e.t)
+        .find(|&t| t > window.start() + 1e-12)
+        .unwrap_or(window.end());
+    let mut winner = argmin_at(fs, 0.5 * (window.start() + first_end.min(window.end())));
+    let mut cursor = window.start();
+    for e in events.iter() {
+        if e.t <= window.start() + 1e-12 || e.t >= window.end() - 1e-12 {
+            continue;
+        }
+        // Emit the piece(s) for [cursor, e.t] under the current winner.
+        if e.t > cursor + 1e-12 {
+            emit_winner(fs, winner, cursor, e.t, &mut out);
+            cursor = e.t;
+        }
+        if e.i != e.j && (e.i as usize == winner || e.j as usize == winner) {
+            // The winner may hand over to the other party of the event.
+            let other = if e.i as usize == winner { e.j as usize } else { e.i as usize };
+            let probe = 0.5 * (e.t + next_event_time(&events, e.t, window.end()));
+            let vo = fs[other].eval_clamped(probe);
+            let vw = fs[winner].eval_clamped(probe);
+            if vo < vw || (vo == vw && fs[other].owner() < fs[winner].owner()) {
+                winner = other;
+            }
+        }
+    }
+    if window.end() > cursor + 1e-12 {
+        emit_winner(fs, winner, cursor, window.end(), &mut out);
+    }
+    out.build().expect("sweep covered the window")
+}
+
+fn next_event_time(events: &[Event], t: f64, window_end: f64) -> f64 {
+    // Events are sorted; binary search for the first time strictly later
+    // than t (with an epsilon so that clusters of numerically-coincident
+    // events — common with synchronized workloads — are stepped over and
+    // the probe lands strictly inside the next elementary interval).
+    let idx = events.partition_point(|e| e.t <= t + 1e-9);
+    events.get(idx).map(|e| e.t).unwrap_or(window_end).min(window_end)
+}
+
+/// Emits the winner's distance function over `[a, b]`, split at its own
+/// piece breakpoints.
+fn emit_winner(
+    fs: &[DistanceFunction],
+    winner: usize,
+    a: f64,
+    b: f64,
+    out: &mut EnvelopeBuilder,
+) {
+    let f = &fs[winner];
+    let span = TimeInterval::new(a, b);
+    for p in f.pieces() {
+        if let Some(overlap) = p.span.intersection(&span) {
+            if !overlap.is_degenerate() {
+                out.push(EnvelopePiece {
+                    owner: f.owner(),
+                    span: overlap,
+                    hyperbola: p.hyperbola,
+                });
+            }
+        }
+    }
+}
+
+/// Collects intersection times of two piecewise distance functions into
+/// `events`.
+pub(crate) fn pairwise_intersections(
+    a: &DistanceFunction,
+    b: &DistanceFunction,
+    events: &mut Vec<f64>,
+) {
+    for pa in a.pieces() {
+        for pb in b.pieces() {
+            if let Some(overlap) = pa.span.intersection(&pb.span) {
+                if overlap.is_degenerate() {
+                    continue;
+                }
+                for t in pa.hyperbola.intersections(&pb.hyperbola, &overlap) {
+                    events.push(t);
+                }
+            }
+        }
+    }
+}
+
+fn argmin_at(fs: &[DistanceFunction], t: f64) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::INFINITY;
+    for (i, f) in fs.iter().enumerate() {
+        let v = f.eval_clamped(t);
+        // Exact ties resolve to the smaller owner id — the same
+        // deterministic rule as Env2, so all envelope algorithms agree
+        // even on identical functions.
+        if v < best_v || (v == best_v && f.owner() < fs[best].owner()) {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::lower_envelope;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+    use unn_traj::trajectory::Oid;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    #[test]
+    fn naive_matches_divide_and_conquer_small() {
+        let w = TimeInterval::new(0.0, 20.0);
+        let fs: Vec<DistanceFunction> = (0..9)
+            .map(|k| flyby(k, -(k as f64) * 2.5, 0.4 + k as f64 * 0.5, 1.0, w))
+            .collect();
+        let naive = lower_envelope_naive(&fs);
+        let fast = lower_envelope(&fs);
+        // Same answer sequence (owners and switch times).
+        let a = naive.answer_sequence();
+        let b = fast.answer_sequence();
+        assert_eq!(a.len(), b.len(), "naive {a:?} vs fast {b:?}");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1.start() - y.1.start()).abs() < 1e-6);
+            assert!((x.1.end() - y.1.end()).abs() < 1e-6);
+        }
+        naive.validate_against(&fs, 16, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn naive_handles_single_function() {
+        let w = TimeInterval::new(0.0, 5.0);
+        let f = flyby(3, -1.0, 1.0, 1.0, w);
+        let e = lower_envelope_naive(std::slice::from_ref(&f));
+        assert_eq!(e.owner_at(2.0), Some(Oid(3)));
+    }
+
+    #[test]
+    fn naive_on_generated_workload_matches() {
+        let cfg = unn_traj::generator::WorkloadConfig {
+            num_objects: 14,
+            seed: 5,
+            ..Default::default()
+        };
+        let trs = unn_traj::generator::generate(&cfg);
+        let w = TimeInterval::new(0.0, 60.0);
+        let fs =
+            unn_traj::difference::difference_distances(&trs[0], &trs, &w).unwrap();
+        let naive = lower_envelope_naive(&fs);
+        let fast = lower_envelope(&fs);
+        for k in 0..=600 {
+            let t = k as f64 * 0.1;
+            let a = naive.eval(t).unwrap();
+            let b = fast.eval(t).unwrap();
+            assert!((a - b).abs() < 1e-7, "t={t}: naive {a} vs fast {b}");
+        }
+        naive.validate_against(&fs, 4, 1e-7).unwrap();
+    }
+
+    #[test]
+    fn naive_on_larger_generated_workload_matches() {
+        let cfg = unn_traj::generator::WorkloadConfig {
+            num_objects: 40,
+            seed: 17,
+            ..Default::default()
+        };
+        let trs = unn_traj::generator::generate(&cfg);
+        let w = TimeInterval::new(0.0, 60.0);
+        let fs =
+            unn_traj::difference::difference_distances(&trs[7], &trs, &w).unwrap();
+        let naive = lower_envelope_naive(&fs);
+        let fast = lower_envelope(&fs);
+        for k in 0..=1200 {
+            let t = k as f64 * 0.05;
+            let a = naive.eval(t).unwrap();
+            let b = fast.eval(t).unwrap();
+            assert!((a - b).abs() < 1e-7, "t={t}: naive {a} vs fast {b}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Brute-force dense-sampling oracles.
+//!
+//! Reference implementations used by the test suite (and nothing else):
+//! they evaluate every distance function on a fine time grid and answer
+//! by direct comparison, with no envelopes, pruning, or trees involved.
+
+use unn_geom::interval::TimeInterval;
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::Oid;
+
+/// The minimum distance and its owner at instant `t`.
+pub fn min_at(fs: &[DistanceFunction], t: f64) -> Option<(f64, Oid)> {
+    let mut best: Option<(f64, Oid)> = None;
+    for f in fs {
+        if let Some(d) = f.eval(t) {
+            match best {
+                Some((bd, _)) if bd <= d => {}
+                _ => best = Some((d, f.owner())),
+            }
+        }
+    }
+    best
+}
+
+/// The 1-based distance rank of `oid` at instant `t` (1 = closest).
+pub fn rank_at(fs: &[DistanceFunction], oid: Oid, t: f64) -> Option<usize> {
+    let mine = fs.iter().find(|f| f.owner() == oid)?.eval(t)?;
+    let mut rank = 1;
+    for f in fs {
+        if f.owner() == oid {
+            continue;
+        }
+        if let Some(d) = f.eval(t) {
+            if d < mine || (d == mine && f.owner() < oid) {
+                rank += 1;
+            }
+        }
+    }
+    Some(rank)
+}
+
+/// Grid-sampled fraction of the window during which
+/// `d_oid(t) <= min(t) + delta`.
+pub fn inside_fraction(
+    fs: &[DistanceFunction],
+    oid: Oid,
+    delta: f64,
+    window: TimeInterval,
+    grid: usize,
+) -> Option<f64> {
+    let f = fs.iter().find(|f| f.owner() == oid)?;
+    let mut hits = 0usize;
+    for k in 0..grid {
+        let t = window.start() + (k as f64 + 0.5) * window.len() / grid as f64;
+        let (min, _) = min_at(fs, t)?;
+        if f.eval(t)? <= min + delta {
+            hits += 1;
+        }
+    }
+    Some(hits as f64 / grid as f64)
+}
+
+/// Grid-sampled fraction of the window during which `oid` is inside the
+/// band **and** has distance rank `<= k` among in-band objects.
+pub fn rank_fraction(
+    fs: &[DistanceFunction],
+    oid: Oid,
+    k: usize,
+    delta: f64,
+    window: TimeInterval,
+    grid: usize,
+) -> Option<f64> {
+    let f = fs.iter().find(|f| f.owner() == oid)?;
+    let mut hits = 0usize;
+    for g in 0..grid {
+        let t = window.start() + (g as f64 + 0.5) * window.len() / grid as f64;
+        let (min, _) = min_at(fs, t)?;
+        let mine = f.eval(t)?;
+        if mine > min + delta {
+            continue;
+        }
+        let mut rank = 1;
+        for other in fs {
+            if other.owner() == oid {
+                continue;
+            }
+            if let Some(d) = other.eval(t) {
+                // Only in-band objects participate in the probability
+                // ranking.
+                if d <= min + delta && (d < mine || (d == mine && other.owner() < oid)) {
+                    rank += 1;
+                }
+            }
+        }
+        if rank <= k {
+            hits += 1;
+        }
+    }
+    Some(hits as f64 / grid as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+
+    fn constant(owner: u64, d: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(Oid(owner), w, Hyperbola::constant(d))
+    }
+
+    #[test]
+    fn min_and_rank() {
+        let w = TimeInterval::new(0.0, 1.0);
+        let fs = vec![constant(1, 3.0, w), constant(2, 1.0, w), constant(3, 2.0, w)];
+        assert_eq!(min_at(&fs, 0.5), Some((1.0, Oid(2))));
+        assert_eq!(rank_at(&fs, Oid(2), 0.5), Some(1));
+        assert_eq!(rank_at(&fs, Oid(3), 0.5), Some(2));
+        assert_eq!(rank_at(&fs, Oid(1), 0.5), Some(3));
+        assert_eq!(rank_at(&fs, Oid(9), 0.5), None);
+    }
+
+    #[test]
+    fn inside_fraction_extremes() {
+        let w = TimeInterval::new(0.0, 1.0);
+        let fs = vec![constant(1, 1.0, w), constant(2, 10.0, w)];
+        assert_eq!(inside_fraction(&fs, Oid(1), 0.5, w, 100), Some(1.0));
+        assert_eq!(inside_fraction(&fs, Oid(2), 0.5, w, 100), Some(0.0));
+        assert_eq!(inside_fraction(&fs, Oid(2), 20.0, w, 100), Some(1.0));
+    }
+
+    #[test]
+    fn rank_fraction_counts_in_band_only() {
+        let w = TimeInterval::new(0.0, 1.0);
+        // Object 3 is out of band; object 2 is rank 2 among in-band.
+        let fs = vec![constant(1, 1.0, w), constant(2, 1.5, w), constant(3, 50.0, w)];
+        assert_eq!(rank_fraction(&fs, Oid(2), 2, 2.0, w, 50), Some(1.0));
+        assert_eq!(rank_fraction(&fs, Oid(2), 1, 2.0, w, 50), Some(0.0));
+        assert_eq!(rank_fraction(&fs, Oid(3), 3, 2.0, w, 50), Some(0.0));
+    }
+}

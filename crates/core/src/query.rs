@@ -1,0 +1,540 @@
+//! The continuous probabilistic NN query variants of §4.
+//!
+//! Four syntactic categories over a query window `[tb, te]`:
+//!
+//! * **Category 1** — one trajectory: `UQ11(∃t)`, `UQ12(∀t)`,
+//!   `UQ13(X%)` ("does `Tr_i` have non-zero probability of being the NN
+//!   … at some time / throughout / at least X% of the time?"), plus the
+//!   fixed-time variant.
+//! * **Category 2** — one trajectory with rank `k`: `UQ21`, `UQ22`,
+//!   `UQ23` (k-th highest-probability NN), plus fixed time.
+//! * **Category 3** — the whole MOD: `UQ31`, `UQ32`, `UQ33`.
+//! * **Category 4** — the whole MOD with rank `k`: `UQ41`, `UQ42`, `UQ43`.
+//!
+//! All variants are answered from the lower envelope / IPAC-NN tree, with
+//! the complexities of Claims 1–3. Naive baselines (recomputing the
+//! envelope from scratch with the all-pairs algorithm on every query) live
+//! in [`naive_queries`] and are what Figure 12 compares against.
+
+use crate::algorithms::lower_envelope;
+use crate::band::{inside_band_intervals, prune_by_band, BandStats};
+use crate::envelope::Envelope;
+use crate::ipac::{build_ipac_tree, IpacConfig, IpacTree};
+use std::cell::RefCell;
+use unn_geom::interval::{IntervalSet, TimeInterval};
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::Oid;
+
+/// Engine answering the §4 query variants for one query trajectory.
+///
+/// Construction performs the `O(N log N)` envelope preprocessing; each
+/// Category 1 query then costs `O(N)` (Claim 1), Category 2 costs `O(kN)`
+/// (Claim 2) after the first (cached) IPAC-tree build, and Category 3/4
+/// iterate the per-object answers (Claim 3).
+#[derive(Debug)]
+pub struct QueryEngine {
+    query: Oid,
+    window: TimeInterval,
+    radius: f64,
+    fs: Vec<DistanceFunction>,
+    envelope: Envelope,
+    kept: Vec<usize>,
+    stats: BandStats,
+    /// Deepest IPAC tree built so far (depth, tree).
+    tree_cache: RefCell<Option<(usize, IpacTree)>>,
+}
+
+impl QueryEngine {
+    /// Builds the engine: computes the lower envelope (Algorithm 1) and
+    /// the `4r`-band pruning pass over the given difference-trajectory
+    /// distance functions (the query itself excluded).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fs` is empty or `radius` is not positive.
+    pub fn new(query: Oid, fs: Vec<DistanceFunction>, radius: f64) -> Self {
+        assert!(!fs.is_empty(), "query engine needs at least one candidate");
+        assert!(radius.is_finite() && radius > 0.0, "invalid radius {radius}");
+        let envelope = lower_envelope(&fs);
+        let (kept, stats) = prune_by_band(&fs, &envelope, radius);
+        let window = envelope.span();
+        QueryEngine {
+            query,
+            window,
+            radius,
+            fs,
+            envelope,
+            kept,
+            stats,
+            tree_cache: RefCell::new(None),
+        }
+    }
+
+    /// The query trajectory's id.
+    pub fn query(&self) -> Oid {
+        self.query
+    }
+
+    /// The query window.
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// The shared uncertainty radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The band half-width `4r`.
+    pub fn band_delta(&self) -> f64 {
+        4.0 * self.radius
+    }
+
+    /// The level-1 lower envelope.
+    pub fn envelope(&self) -> &Envelope {
+        &self.envelope
+    }
+
+    /// Pruning statistics (Figure 13's quantity).
+    pub fn stats(&self) -> BandStats {
+        self.stats
+    }
+
+    /// The candidate distance functions.
+    pub fn functions(&self) -> &[DistanceFunction] {
+        &self.fs
+    }
+
+    fn function_of(&self, oid: Oid) -> Option<&DistanceFunction> {
+        self.fs.iter().find(|f| f.owner() == oid)
+    }
+
+    /// The continuous NN answer `A_nn(q)` (crisp semantics): the envelope
+    /// owners with their intervals.
+    pub fn continuous_nn_answer(&self) -> Vec<(Oid, TimeInterval)> {
+        self.envelope.answer_sequence()
+    }
+
+    /// Times during which `oid` has non-zero probability of being the NN
+    /// (inside the `4r` band). `None` for unknown ids.
+    pub fn nonzero_intervals(&self, oid: Oid) -> Option<IntervalSet> {
+        let f = self.function_of(oid)?;
+        Some(inside_band_intervals(f, &self.envelope, self.band_delta()))
+    }
+
+    // ------------------------------------------------------------------
+    // Category 1
+    // ------------------------------------------------------------------
+
+    /// `UQ11(∃t)`: does `oid` have non-zero probability of being the NN at
+    /// some time during the window?
+    pub fn uq11_exists(&self, oid: Oid) -> Option<bool> {
+        let f = self.function_of(oid)?;
+        Some(crate::band::enters_band(f, &self.envelope, self.band_delta()))
+    }
+
+    /// `UQ12(∀t)`: non-zero probability throughout the window?
+    pub fn uq12_always(&self, oid: Oid) -> Option<bool> {
+        let inside = self.nonzero_intervals(oid)?;
+        Some(inside.covers_interval(self.window, 1e-7 * self.window.len().max(1.0)))
+    }
+
+    /// `UQ13`: the fraction of the window during which `oid` has non-zero
+    /// probability (compare against `X%`).
+    pub fn uq13_fraction(&self, oid: Oid) -> Option<f64> {
+        let inside = self.nonzero_intervals(oid)?;
+        Some(inside.total_len() / self.window.len())
+    }
+
+    /// `UQ13(X%)`: at least `x` (in `[0, 1]`) of the window?
+    pub fn uq13_at_least(&self, oid: Oid, x: f64) -> Option<bool> {
+        Some(self.uq13_fraction(oid)? + 1e-12 >= x)
+    }
+
+    /// Fixed-time variant of UQ11: non-zero probability at instant `t`.
+    pub fn uq1_at(&self, oid: Oid, t: f64) -> Option<bool> {
+        if !self.window.contains(t) {
+            return Some(false);
+        }
+        let f = self.function_of(oid)?;
+        let d = f.eval(t)?;
+        let le = self.envelope.eval(t)?;
+        Some(d <= le + self.band_delta())
+    }
+
+    // ------------------------------------------------------------------
+    // Category 2 (rank k)
+    // ------------------------------------------------------------------
+
+    /// Returns (building or reusing) an IPAC tree of depth at least `k`.
+    fn tree_with_depth(&self, k: usize) -> std::cell::Ref<'_, (usize, IpacTree)> {
+        {
+            let cache = self.tree_cache.borrow();
+            if let Some((depth, _)) = cache.as_ref() {
+                if *depth >= k {
+                    return std::cell::Ref::map(cache, |c| c.as_ref().unwrap());
+                }
+            }
+        }
+        let tree =
+            build_ipac_tree(self.query, &self.fs, &IpacConfig::with_depth(self.radius, k));
+        *self.tree_cache.borrow_mut() = Some((k, tree));
+        std::cell::Ref::map(self.tree_cache.borrow(), |c| c.as_ref().unwrap())
+    }
+
+    /// Times during which `oid` appears at level `<= k` of the IPAC tree
+    /// **and** has non-zero probability (is inside the `4r` band): the
+    /// instants where it is a possible k-th highest-probability NN.
+    pub fn rank_intervals(&self, oid: Oid, k: usize) -> Option<IntervalSet> {
+        self.function_of(oid)?;
+        let mut spans = Vec::new();
+        {
+            let guard = self.tree_with_depth(k);
+            let tree = &guard.1;
+            for level in 1..=k {
+                for (owner, iv) in tree.level_pieces(level) {
+                    if owner == oid {
+                        spans.push(iv);
+                    }
+                }
+            }
+        }
+        // A node span covers where the object is the k-th *lowest*; the
+        // probabilistic semantics additionally require non-zero
+        // probability at the instant, i.e. membership in the band.
+        let ranked = IntervalSet::from_intervals(spans);
+        let inside = self.nonzero_intervals(oid)?;
+        Some(ranked.intersect(&inside))
+    }
+
+    /// `UQ21([∃t, k])`: is `oid` a k-th highest-probability NN at some
+    /// time?
+    pub fn uq21_exists(&self, oid: Oid, k: usize) -> Option<bool> {
+        Some(!self.rank_intervals(oid, k)?.is_empty())
+    }
+
+    /// `UQ22([∀t, k])`: throughout the window?
+    pub fn uq22_always(&self, oid: Oid, k: usize) -> Option<bool> {
+        let iv = self.rank_intervals(oid, k)?;
+        Some(iv.covers_interval(self.window, 1e-7 * self.window.len().max(1.0)))
+    }
+
+    /// `UQ23`: fraction of the window at rank `<= k`.
+    pub fn uq23_fraction(&self, oid: Oid, k: usize) -> Option<f64> {
+        Some(self.rank_intervals(oid, k)?.total_len() / self.window.len())
+    }
+
+    /// `UQ23(X%, k)`: at least `x` of the window?
+    pub fn uq23_at_least(&self, oid: Oid, k: usize, x: f64) -> Option<bool> {
+        Some(self.uq23_fraction(oid, k)? + 1e-12 >= x)
+    }
+
+    /// Fixed-time variant of UQ21: rank `<= k` with non-zero probability
+    /// at instant `t`.
+    pub fn uq2_at(&self, oid: Oid, k: usize, t: f64) -> Option<bool> {
+        Some(self.rank_intervals(oid, k)?.covers(t))
+    }
+
+    // ------------------------------------------------------------------
+    // Category 3 (whole MOD)
+    // ------------------------------------------------------------------
+
+    /// `UQ31(∃t)`: all objects with non-zero probability of being the NN
+    /// at some time, with their intervals.
+    pub fn uq31_all(&self) -> Vec<(Oid, IntervalSet)> {
+        self.kept
+            .iter()
+            .map(|&i| {
+                let f = &self.fs[i];
+                (
+                    f.owner(),
+                    inside_band_intervals(f, &self.envelope, self.band_delta()),
+                )
+            })
+            .filter(|(_, iv)| !iv.is_empty())
+            .collect()
+    }
+
+    /// `UQ32(∀t)`: objects with non-zero probability throughout.
+    pub fn uq32_all(&self) -> Vec<Oid> {
+        let tol = 1e-7 * self.window.len().max(1.0);
+        self.uq31_all()
+            .into_iter()
+            .filter(|(_, iv)| iv.covers_interval(self.window, tol))
+            .map(|(oid, _)| oid)
+            .collect()
+    }
+
+    /// `UQ33(X%)`: objects with non-zero probability at least `x` of the
+    /// window, with their fractions.
+    pub fn uq33_all(&self, x: f64) -> Vec<(Oid, f64)> {
+        self.uq31_all()
+            .into_iter()
+            .map(|(oid, iv)| (oid, iv.total_len() / self.window.len()))
+            .filter(|(_, frac)| *frac + 1e-12 >= x)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Category 4 (whole MOD, rank k)
+    // ------------------------------------------------------------------
+
+    /// `UQ41(k)`: all objects that are k-th highest-probability NNs at
+    /// some time, with their rank intervals.
+    pub fn uq41_all(&self, k: usize) -> Vec<(Oid, IntervalSet)> {
+        let owners: Vec<Oid> = self.kept.iter().map(|&i| self.fs[i].owner()).collect();
+        owners
+            .into_iter()
+            .filter_map(|oid| {
+                let iv = self.rank_intervals(oid, k)?;
+                if iv.is_empty() {
+                    None
+                } else {
+                    Some((oid, iv))
+                }
+            })
+            .collect()
+    }
+
+    /// `UQ42(k)`: objects at rank `<= k` throughout the window.
+    pub fn uq42_all(&self, k: usize) -> Vec<Oid> {
+        let tol = 1e-7 * self.window.len().max(1.0);
+        self.uq41_all(k)
+            .into_iter()
+            .filter(|(_, iv)| iv.covers_interval(self.window, tol))
+            .map(|(oid, _)| oid)
+            .collect()
+    }
+
+    /// `UQ43(k, X%)`: objects at rank `<= k` for at least `x` of the
+    /// window, with their fractions.
+    pub fn uq43_all(&self, k: usize, x: f64) -> Vec<(Oid, f64)> {
+        self.uq41_all(k)
+            .into_iter()
+            .map(|(oid, iv)| (oid, iv.total_len() / self.window.len()))
+            .filter(|(_, frac)| *frac + 1e-12 >= x)
+            .collect()
+    }
+
+    /// Builds (or returns the cached) IPAC tree of the given depth for
+    /// external consumption. `depth == 0` means unbounded.
+    pub fn ipac_tree(&self, depth: usize) -> IpacTree {
+        if depth == 0 {
+            build_ipac_tree(self.query, &self.fs, &IpacConfig::unbounded(self.radius))
+        } else {
+            self.tree_with_depth(depth).1.clone()
+        }
+    }
+}
+
+/// Naive baselines for Figure 12: every query recomputes the envelope
+/// from scratch with the O(N² log N) all-pairs algorithm — no shared
+/// preprocessing.
+pub mod naive_queries {
+    use super::*;
+    use crate::naive::lower_envelope_naive;
+
+    /// Naive `UQ11`: recompute the envelope, then test the band.
+    pub fn uq11_exists(fs: &[DistanceFunction], oid: Oid, radius: f64) -> Option<bool> {
+        let f = fs.iter().find(|f| f.owner() == oid)?;
+        let le = lower_envelope_naive(fs);
+        Some(crate::band::enters_band(f, &le, 4.0 * radius))
+    }
+
+    /// Naive `UQ13`: recompute the envelope, then accumulate the inside
+    /// intervals.
+    pub fn uq13_fraction(fs: &[DistanceFunction], oid: Oid, radius: f64) -> Option<f64> {
+        let f = fs.iter().find(|f| f.owner() == oid)?;
+        let le = lower_envelope_naive(fs);
+        let inside = inside_band_intervals(f, &le, 4.0 * radius);
+        Some(inside.total_len() / le.span().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    fn engine() -> QueryEngine {
+        let w = TimeInterval::new(0.0, 10.0);
+        let fs = vec![
+            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
+            flyby(3, -8.0, 3.0, 1.0, w),  // dips to 3 at t=8
+            flyby(4, 0.0, 50.0, 0.0, w),  // unreachable
+        ];
+        QueryEngine::new(Oid(0), fs, 0.5)
+    }
+
+    #[test]
+    fn uq11_existential() {
+        let e = engine();
+        assert_eq!(e.uq11_exists(Oid(1)), Some(true));
+        assert_eq!(e.uq11_exists(Oid(2)), Some(true));
+        assert_eq!(e.uq11_exists(Oid(4)), Some(false));
+        assert_eq!(e.uq11_exists(Oid(99)), None);
+    }
+
+    #[test]
+    fn uq12_universal() {
+        let e = engine();
+        // Object 4 never; the close flybys are in-band only part-time
+        // (their distance grows far beyond LE + 2 near the window edges)...
+        assert_eq!(e.uq12_always(Oid(4)), Some(false));
+        // Sanity: fractions in [0, 1], consistent with uq12.
+        for oid in [1, 2, 3] {
+            let frac = e.uq13_fraction(Oid(oid)).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&frac));
+            let always = e.uq12_always(Oid(oid)).unwrap();
+            assert_eq!(always, frac >= 1.0 - 1e-6, "oid {oid} frac {frac}");
+        }
+    }
+
+    #[test]
+    fn uq13_fraction_matches_dense_sampling() {
+        let e = engine();
+        for oid in [1u64, 2, 3, 4] {
+            let frac = e.uq13_fraction(Oid(oid)).unwrap();
+            let f = e.function_of(Oid(oid)).unwrap();
+            let mut hits = 0usize;
+            let n = 2000;
+            for k in 0..n {
+                let t = e.window().start() + (k as f64 + 0.5) * e.window().len() / n as f64;
+                if f.eval(t).unwrap() <= e.envelope().eval(t).unwrap() + e.band_delta() {
+                    hits += 1;
+                }
+            }
+            let sampled = hits as f64 / n as f64;
+            assert!(
+                (frac - sampled).abs() < 0.01,
+                "oid {oid}: engine {frac} vs sampled {sampled}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_time_variant() {
+        let e = engine();
+        // Near t=5, object 1 realizes the envelope: inside its own band.
+        assert_eq!(e.uq1_at(Oid(1), 5.0), Some(true));
+        assert_eq!(e.uq1_at(Oid(4), 5.0), Some(false));
+        assert_eq!(e.uq1_at(Oid(1), 20.0), Some(false)); // outside window
+    }
+
+    #[test]
+    fn rank_queries() {
+        let e = engine();
+        // Rank 1 at t=5 is object 1; object 2 is rank <= 2 around there.
+        assert_eq!(e.uq21_exists(Oid(1), 1), Some(true));
+        assert_eq!(e.uq21_exists(Oid(4), 3), Some(false));
+        let r1 = e.rank_intervals(Oid(1), 1).unwrap();
+        assert!(r1.covers(5.0));
+        let r2 = e.rank_intervals(Oid(2), 2).unwrap();
+        assert!(r2.covers(2.0));
+        // Monotonicity: rank intervals grow with k.
+        let a = e.rank_intervals(Oid(3), 1).unwrap().total_len();
+        let b = e.rank_intervals(Oid(3), 2).unwrap().total_len();
+        let c = e.rank_intervals(Oid(3), 3).unwrap().total_len();
+        assert!(a <= b + 1e-9 && b <= c + 1e-9, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn uq22_uq23_consistency() {
+        let e = engine();
+        for oid in [1u64, 2, 3] {
+            for k in [1usize, 2, 3] {
+                let frac = e.uq23_fraction(Oid(oid), k).unwrap();
+                assert!((0.0..=1.0 + 1e-9).contains(&frac));
+                assert_eq!(
+                    e.uq22_always(Oid(oid), k).unwrap(),
+                    frac >= 1.0 - 1e-6,
+                    "oid {oid} k {k} frac {frac}"
+                );
+                assert_eq!(
+                    e.uq21_exists(Oid(oid), k).unwrap(),
+                    frac > 0.0,
+                    "oid {oid} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn category_3_retrievals() {
+        let e = engine();
+        let all = e.uq31_all();
+        let oids: Vec<Oid> = all.iter().map(|(o, _)| *o).collect();
+        assert!(oids.contains(&Oid(1)));
+        assert!(oids.contains(&Oid(2)));
+        assert!(oids.contains(&Oid(3)));
+        assert!(!oids.contains(&Oid(4)));
+        // UQ33 with x=0 returns everything UQ31 returned.
+        assert_eq!(e.uq33_all(0.0).len(), all.len());
+        // With x=1.01 nothing qualifies.
+        assert!(e.uq33_all(1.01).is_empty());
+        // UQ32 result is a subset of UQ31 owners.
+        for oid in e.uq32_all() {
+            assert!(oids.contains(&oid));
+        }
+    }
+
+    #[test]
+    fn category_4_retrievals() {
+        let e = engine();
+        let k2 = e.uq41_all(2);
+        let k3 = e.uq41_all(3);
+        assert!(k2.len() <= k3.len());
+        // With k = 3 every in-band object ranks somewhere.
+        let oids: Vec<Oid> = k3.iter().map(|(o, _)| *o).collect();
+        assert!(oids.contains(&Oid(1)) && oids.contains(&Oid(2)) && oids.contains(&Oid(3)));
+        for (oid, frac) in e.uq43_all(3, 0.5) {
+            assert!(frac >= 0.5, "{oid} {frac}");
+        }
+    }
+
+    #[test]
+    fn naive_queries_agree_with_engine() {
+        let w = TimeInterval::new(0.0, 10.0);
+        let fs = vec![
+            flyby(1, -5.0, 1.0, 1.0, w),
+            flyby(2, -2.0, 2.0, 1.0, w),
+            flyby(3, -8.0, 3.0, 1.0, w),
+            flyby(4, 0.0, 50.0, 0.0, w),
+        ];
+        let e = QueryEngine::new(Oid(0), fs.clone(), 0.5);
+        for oid in [1u64, 2, 3, 4] {
+            assert_eq!(
+                naive_queries::uq11_exists(&fs, Oid(oid), 0.5),
+                e.uq11_exists(Oid(oid)),
+                "uq11 oid {oid}"
+            );
+            let nf = naive_queries::uq13_fraction(&fs, Oid(oid), 0.5).unwrap();
+            let ef = e.uq13_fraction(Oid(oid)).unwrap();
+            assert!((nf - ef).abs() < 1e-6, "uq13 oid {oid}: {nf} vs {ef}");
+        }
+    }
+
+    #[test]
+    fn continuous_answer_is_time_parameterized() {
+        let e = engine();
+        let ans = e.continuous_nn_answer();
+        assert!(!ans.is_empty());
+        // Intervals tile the window.
+        assert_eq!(ans.first().unwrap().1.start(), 0.0);
+        assert_eq!(ans.last().unwrap().1.end(), 10.0);
+        for w in ans.windows(2) {
+            assert!((w[0].1.end() - w[1].1.start()).abs() < 1e-9);
+            assert_ne!(w[0].0, w[1].0);
+        }
+    }
+}

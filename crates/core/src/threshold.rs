@@ -1,0 +1,324 @@
+//! Continuous *threshold* NN queries — the first item of the paper's
+//! future work (§7):
+//!
+//! > "identify the basic properties of the descriptors of the probability
+//! > values in the IPAC-NN trees which, in turn, will enable processing of
+//! > continuous threshold NN-queries (e.g., retrieve the objects that have
+//! > more than 65% probability of being a nearest neighbor within 50% of
+//! > the time)".
+//!
+//! We realize this with the machinery the reproduction already has: at
+//! sampled instants the in-band candidates and their center distances are
+//! read off the envelope, the exact convolved pdf
+//! ([`unn_prob::uniform_diff::UniformDifferencePdf`]) turns them into an
+//! instantaneous `P^NN` vector (Eq. 5), and per-object time fractions
+//! with `P^NN > p` are accumulated. The per-instant evaluation shares the
+//! survival products across all candidates, so a full sweep costs
+//! `O(samples · B²)` where `B` is the band population.
+
+use crate::query::QueryEngine;
+use std::collections::BTreeMap;
+use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+use unn_prob::pdf::RadialPdf;
+use unn_prob::uniform_diff::UniformDifferencePdf;
+use unn_traj::trajectory::Oid;
+
+/// Result row of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRow {
+    /// The candidate object.
+    pub oid: Oid,
+    /// Fraction of the sampled instants with `P^NN > p`.
+    pub fraction: f64,
+    /// Mean `P^NN` over the instants where the object was in the band.
+    pub mean_probability: f64,
+}
+
+/// Sweeps the query window with `samples` probes and returns, for every
+/// object that ever exceeds the probability threshold `p`, the fraction
+/// of probes where it did (plus its mean in-band probability).
+///
+/// Assumes the paper's running uniform location model: the difference pdf
+/// is the exact disk autocorrelation of radius `2r`. For other
+/// rotationally symmetric models use [`threshold_nn_sweep_with`].
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 1)` or `samples == 0`.
+pub fn threshold_nn_sweep(
+    engine: &QueryEngine,
+    p: f64,
+    samples: usize,
+) -> Vec<ThresholdRow> {
+    let pdf = UniformDifferencePdf::new(engine.radius());
+    threshold_nn_sweep_with(engine, &pdf, p, samples)
+}
+
+/// [`threshold_nn_sweep`] generalized to an arbitrary rotationally
+/// symmetric **difference** pdf (the convolution of the two location
+/// pdfs, cf. §3.1 / [`unn_prob::pdf::PdfKind::convolve_with`]).
+///
+/// The in-band test uses `2 × support_radius(pdf)` — for disk-bounded
+/// location pdfs of radius `r` the convolved support is `2r`, so this is
+/// the paper's `4r` band exactly, independent of the pdf's shape.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 1)` or `samples == 0`.
+pub fn threshold_nn_sweep_with(
+    engine: &QueryEngine,
+    pdf: &dyn RadialPdf,
+    p: f64,
+    samples: usize,
+) -> Vec<ThresholdRow> {
+    assert!((0.0..1.0).contains(&p), "threshold {p} outside [0, 1)");
+    assert!(samples > 0, "need at least one probe");
+    let delta = 2.0 * pdf.support_radius();
+    let window = engine.window();
+    let cfg = NnConfig::default();
+
+    let mut hits: BTreeMap<Oid, (usize, f64, usize)> = BTreeMap::new();
+    // Probe at midpoints of `samples` equal slices (avoids boundary
+    // instants where the envelope switches owner).
+    for k in 0..samples {
+        let t = window.start() + (k as f64 + 0.5) * window.len() / samples as f64;
+        let le = match engine.envelope().eval(t) {
+            Some(v) => v,
+            None => continue,
+        };
+        let mut ids = Vec::new();
+        let mut dists = Vec::new();
+        for f in engine.functions() {
+            if let Some(d) = f.eval(t) {
+                if d <= le + delta {
+                    ids.push(f.owner());
+                    dists.push(d);
+                }
+            }
+        }
+        if ids.is_empty() {
+            continue;
+        }
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, cfg);
+        for (oid, prob) in ids.iter().zip(&probs) {
+            let e = hits.entry(*oid).or_insert((0, 0.0, 0));
+            if *prob > p {
+                e.0 += 1;
+            }
+            e.1 += *prob;
+            e.2 += 1;
+        }
+    }
+    hits.into_iter()
+        .filter(|(_, (n, _, _))| *n > 0)
+        .map(|(oid, (n, psum, present))| ThresholdRow {
+            oid,
+            fraction: n as f64 / samples as f64,
+            mean_probability: psum / present.max(1) as f64,
+        })
+        .collect()
+}
+
+/// The §7 example query: objects whose `P^NN` exceeds `p` for at least
+/// fraction `x` of the window.
+pub fn threshold_nn_query(
+    engine: &QueryEngine,
+    p: f64,
+    x: f64,
+    samples: usize,
+) -> Vec<ThresholdRow> {
+    threshold_nn_sweep(engine, p, samples)
+        .into_iter()
+        .filter(|row| row.fraction + 1e-12 >= x)
+        .collect()
+}
+
+/// [`threshold_nn_query`] generalized to an arbitrary rotationally
+/// symmetric difference pdf.
+pub fn threshold_nn_query_with(
+    engine: &QueryEngine,
+    pdf: &dyn RadialPdf,
+    p: f64,
+    x: f64,
+    samples: usize,
+) -> Vec<ThresholdRow> {
+    threshold_nn_sweep_with(engine, pdf, p, samples)
+        .into_iter()
+        .filter(|row| row.fraction + 1e-12 >= x)
+        .collect()
+}
+
+/// The instantaneous `P^NN` of one object at time `t` (or `None` when the
+/// object is unknown, the instant is outside the window, or the object is
+/// out of the band — i.e. probability zero). Uniform location model; see
+/// [`probability_at_with`] for other pdfs.
+pub fn probability_at(engine: &QueryEngine, oid: Oid, t: f64) -> Option<f64> {
+    let pdf = UniformDifferencePdf::new(engine.radius());
+    probability_at_with(engine, &pdf, oid, t)
+}
+
+/// [`probability_at`] generalized to an arbitrary rotationally symmetric
+/// difference pdf.
+pub fn probability_at_with(
+    engine: &QueryEngine,
+    pdf: &dyn RadialPdf,
+    oid: Oid,
+    t: f64,
+) -> Option<f64> {
+    if !engine.window().contains(t) {
+        return None;
+    }
+    let le = engine.envelope().eval(t)?;
+    let delta = 2.0 * pdf.support_radius();
+    let mut target_idx = None;
+    let mut dists = Vec::new();
+    for f in engine.functions() {
+        if let Some(d) = f.eval(t) {
+            if d <= le + delta {
+                if f.owner() == oid {
+                    target_idx = Some(dists.len());
+                }
+                dists.push(d);
+            }
+        }
+    }
+    let idx = target_idx?;
+    let cands: Vec<NnCandidate> = dists
+        .iter()
+        .map(|&d| NnCandidate { center_distance: d, pdf })
+        .collect();
+    Some(nn_probabilities(&cands, NnConfig::default())[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::interval::TimeInterval;
+    use unn_geom::point::Vec2;
+    use unn_traj::distance::DistanceFunction;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64, w: TimeInterval) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    fn engine() -> QueryEngine {
+        let w = TimeInterval::new(0.0, 10.0);
+        let fs = vec![
+            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
+            flyby(3, 0.0, 50.0, 0.0, w),  // unreachable
+        ];
+        QueryEngine::new(Oid(0), fs, 0.5)
+    }
+
+    #[test]
+    fn dominant_object_passes_high_threshold() {
+        let e = engine();
+        let rows = threshold_nn_query(&e, 0.6, 0.3, 64);
+        // Object 1 dominates around its closest approach.
+        assert!(rows.iter().any(|r| r.oid == Oid(1)), "{rows:?}");
+        // The unreachable object never appears.
+        assert!(rows.iter().all(|r| r.oid != Oid(3)));
+    }
+
+    #[test]
+    fn fractions_shrink_with_threshold() {
+        let e = engine();
+        let lo = threshold_nn_sweep(&e, 0.1, 64);
+        let hi = threshold_nn_sweep(&e, 0.8, 64);
+        let f = |rows: &[ThresholdRow], oid: u64| {
+            rows.iter()
+                .find(|r| r.oid == Oid(oid))
+                .map(|r| r.fraction)
+                .unwrap_or(0.0)
+        };
+        for oid in [1u64, 2] {
+            assert!(
+                f(&lo, oid) >= f(&hi, oid),
+                "oid {oid}: {} vs {}",
+                f(&lo, oid),
+                f(&hi, oid)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_at_instant_matches_ranking() {
+        let e = engine();
+        // At t=5 object 1 is at distance 1, object 2 at sqrt(9+4)≈3.6:
+        // object 1 clearly dominates.
+        let p1 = probability_at(&e, Oid(1), 5.0).unwrap();
+        let p2 = probability_at(&e, Oid(2), 5.0);
+        assert!(p1 > 0.9, "{p1}");
+        if let Some(p2) = p2 {
+            assert!(p1 > p2);
+        }
+        // Out-of-band object has no probability (None).
+        assert!(probability_at(&e, Oid(3), 5.0).is_none());
+        // Outside the window.
+        assert!(probability_at(&e, Oid(1), 99.0).is_none());
+    }
+
+    #[test]
+    fn mean_probability_bounded() {
+        let e = engine();
+        for row in threshold_nn_sweep(&e, 0.05, 48) {
+            assert!((0.0..=1.0).contains(&row.mean_probability), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.fraction));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn threshold_must_be_below_one() {
+        let e = engine();
+        let _ = threshold_nn_sweep(&e, 1.0, 8);
+    }
+
+    #[test]
+    fn gaussian_model_sharpens_the_leader() {
+        // §3.1: the machinery applies to every rotationally symmetric pdf.
+        // A concentrated truncated Gaussian (σ = r/4) puts nearly all mass
+        // at the expected location, so the leading object's P^NN is at
+        // least the uniform model's almost everywhere.
+        use unn_prob::pdf::PdfKind;
+        let e = engine();
+        let r = e.radius();
+        let uniform_pdf = UniformDifferencePdf::new(r);
+        let gauss_kind = PdfKind::TruncatedGaussian { radius: r, sigma: r / 4.0 };
+        let gauss_diff = gauss_kind.convolve_with(&gauss_kind);
+        // Same support ⇒ same band ⇒ same candidate sets.
+        assert!((gauss_diff.support_radius() - uniform_pdf.support_radius()).abs() < 1e-6);
+        let pu = probability_at_with(&e, &uniform_pdf, Oid(1), 5.0).unwrap();
+        let pg = probability_at_with(&e, gauss_diff.as_ref(), Oid(1), 5.0).unwrap();
+        assert!(pg >= pu - 1e-6, "gaussian {pg} vs uniform {pu}");
+        assert!(pg <= 1.0 + 1e-9);
+        // Threshold sweeps run under the Gaussian model too, and the
+        // leader qualifies at a high threshold.
+        let rows = threshold_nn_query_with(&e, gauss_diff.as_ref(), 0.6, 0.3, 48);
+        assert!(rows.iter().any(|row| row.oid == Oid(1)), "{rows:?}");
+    }
+
+    #[test]
+    fn generalized_and_uniform_entry_points_agree() {
+        let e = engine();
+        let pdf = UniformDifferencePdf::new(e.radius());
+        let a = threshold_nn_sweep(&e, 0.2, 32);
+        let b = threshold_nn_sweep_with(&e, &pdf, 0.2, 32);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.oid, y.oid);
+            assert!((x.fraction - y.fraction).abs() < 1e-12);
+            assert!((x.mean_probability - y.mean_probability).abs() < 1e-12);
+        }
+    }
+}

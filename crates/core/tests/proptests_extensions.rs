@@ -1,0 +1,243 @@
+//! Property-based tests for the §7 extension modules: shifted envelopes,
+//! heterogeneous-radii possibility sets, continuous k-NN, and reverse NN.
+
+use proptest::prelude::*;
+use unn_core::hetero::{HeteroCandidate, HeteroEngine};
+use unn_core::reverse::ReverseNnEngine;
+use unn_core::shifted::{shifted_lower_envelope, ShiftedFunction};
+use unn_core::topk::continuous_knn;
+use unn_geom::hyperbola::Hyperbola;
+use unn_geom::interval::TimeInterval;
+use unn_geom::point::Vec2;
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::{Oid, Trajectory};
+
+fn window() -> TimeInterval {
+    TimeInterval::new(0.0, 20.0)
+}
+
+/// A random single-segment flyby distance function.
+fn flyby_strategy(owner: u64) -> impl Strategy<Value = DistanceFunction> {
+    (
+        -30.0..10.0f64,  // x0
+        0.1..10.0f64,    // closest-approach offset y
+        0.05..2.0f64,    // speed
+    )
+        .prop_map(move |(x0, y, v)| {
+            DistanceFunction::single(
+                Oid(owner),
+                window(),
+                Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+            )
+        })
+}
+
+fn fleet_strategy(n: usize) -> impl Strategy<Value = Vec<DistanceFunction>> {
+    (0..n as u64)
+        .map(|k| flyby_strategy(k + 1).boxed())
+        .collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The shifted envelope is the pointwise minimum of the shifted
+    /// inputs.
+    #[test]
+    fn shifted_envelope_is_pointwise_minimal(
+        fs in fleet_strategy(6),
+        shifts in proptest::collection::vec(0.0..5.0f64, 6),
+    ) {
+        let shifted: Vec<ShiftedFunction> = fs
+            .iter()
+            .zip(&shifts)
+            .map(|(f, &s)| ShiftedFunction::new(f.clone(), s))
+            .collect();
+        let env = shifted_lower_envelope(&shifted);
+        for k in 0..=100 {
+            let t = window().start() + k as f64 * window().len() / 100.0;
+            let expected = shifted
+                .iter()
+                .filter_map(|f| f.eval(t))
+                .fold(f64::INFINITY, f64::min);
+            let got = env.eval(t).unwrap();
+            prop_assert!(
+                (got - expected).abs() < 1e-7,
+                "t={t}: envelope {got} vs min {expected}"
+            );
+        }
+    }
+
+    /// The shifted-envelope owner realizes the minimum at piece midpoints.
+    #[test]
+    fn shifted_envelope_owner_is_argmin(
+        fs in fleet_strategy(5),
+        shifts in proptest::collection::vec(0.0..4.0f64, 5),
+    ) {
+        let shifted: Vec<ShiftedFunction> = fs
+            .iter()
+            .zip(&shifts)
+            .map(|(f, &s)| ShiftedFunction::new(f.clone(), s))
+            .collect();
+        let env = shifted_lower_envelope(&shifted);
+        for p in env.pieces() {
+            let mid = p.span.midpoint();
+            let owner_val = p.eval(mid);
+            for f in &shifted {
+                prop_assert!(
+                    owner_val <= f.eval(mid).unwrap() + 1e-7,
+                    "owner {} beaten by {} at {mid}",
+                    p.owner,
+                    f.owner()
+                );
+            }
+        }
+    }
+
+    /// Hetero possibility sets match the direct per-instant predicate.
+    #[test]
+    fn hetero_possibility_matches_predicate(
+        fs in fleet_strategy(5),
+        radii in proptest::collection::vec(0.1..2.0f64, 5),
+        rq in 0.1..1.0f64,
+    ) {
+        let cands: Vec<HeteroCandidate> = fs
+            .iter()
+            .zip(&radii)
+            .map(|(f, &r)| HeteroCandidate { f: f.clone(), radius: r })
+            .collect();
+        let engine = HeteroEngine::new(Oid(0), cands.clone(), rq);
+        for (i, c) in cands.iter().enumerate() {
+            let set = engine.possible_intervals(c.f.owner()).unwrap();
+            for k in 0..60 {
+                let t = window().start() + (k as f64 + 0.5) * window().len() / 60.0;
+                let d_i = c.f.eval(t).unwrap();
+                let s_i = radii[i] + rq;
+                let thr = cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(j, o)| o.f.eval(t).unwrap() + radii[j] + rq)
+                    .fold(f64::INFINITY, f64::min);
+                let margin = (d_i - s_i - thr).abs();
+                if margin > 1e-6 {
+                    prop_assert_eq!(
+                        set.covers(t),
+                        d_i - s_i <= thr,
+                        "owner {} t {}",
+                        c.f.owner(),
+                        t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hetero instant probabilities are a distribution supported on the
+    /// possible candidates.
+    #[test]
+    fn hetero_probabilities_form_distribution(
+        fs in fleet_strategy(4),
+        radii in proptest::collection::vec(0.2..1.5f64, 4),
+        rq in 0.2..1.0f64,
+        frac in 0.1..0.9f64,
+    ) {
+        let cands: Vec<HeteroCandidate> = fs
+            .iter()
+            .zip(&radii)
+            .map(|(f, &r)| HeteroCandidate { f: f.clone(), radius: r })
+            .collect();
+        let engine = HeteroEngine::new(Oid(0), cands, rq);
+        let t = window().start() + frac * window().len();
+        let probs = engine.probabilities_at(t).unwrap();
+        let sum: f64 = probs.iter().map(|(_, p)| p).sum();
+        prop_assert!((sum - 1.0).abs() < 5e-3, "sum {sum}");
+        for (oid, p) in &probs {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(p), "{oid}: {p}");
+        }
+    }
+
+    /// The k-NN answer matches sorting the distances at random probes.
+    #[test]
+    fn knn_matches_sorted_distances(
+        fs in fleet_strategy(6),
+        k in 1usize..6,
+    ) {
+        let ans = continuous_knn(&fs, k);
+        ans.validate_against(&fs, 200, 1e-6)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// k-NN prefixes nest: the (k)-NN list is a prefix of the (k+1)-NN
+    /// list at every probe.
+    #[test]
+    fn knn_prefixes_nest(fs in fleet_strategy(5), k in 1usize..4) {
+        let a = continuous_knn(&fs, k);
+        let b = continuous_knn(&fs, k + 1);
+        for p in 0..80 {
+            let t = window().start() + (p as f64 + 0.5) * window().len() / 80.0;
+            let la = a.knn_at(t).unwrap();
+            let lb = b.knn_at(t).unwrap();
+            // Skip probes near rank crossings (the two constructions may
+            // classify boundary slivers differently).
+            let mut dists: Vec<f64> = fs.iter().map(|f| f.eval(t).unwrap()).collect();
+            dists.sort_by(f64::total_cmp);
+            let tight = dists.windows(2).take(k + 1).any(|w| (w[0] - w[1]).abs() < 1e-6);
+            if tight {
+                continue;
+            }
+            prop_assert_eq!(la, &lb[..la.len()], "t={}", t);
+        }
+    }
+}
+
+/// Deterministic random-trajectory strategy for the reverse engine (uses
+/// `Trajectory`, not bare distance functions).
+fn trajectory_strategy(oid: u64) -> impl Strategy<Value = Trajectory> {
+    (
+        -20.0..20.0f64,
+        -20.0..20.0f64,
+        -1.5..1.5f64,
+        -1.5..1.5f64,
+    )
+        .prop_map(move |(x0, y0, vx, vy)| {
+            Trajectory::from_triples(
+                Oid(oid),
+                &[(x0, y0, 0.0), (x0 + vx * 20.0, y0 + vy * 20.0, 20.0)],
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reverse-NN membership equals the forward predicate from each
+    /// candidate's perspective (checked against direct geometry).
+    #[test]
+    fn reverse_matches_pairwise_geometry(
+        trs in (0..5u64).map(|k| trajectory_strategy(k).boxed()).collect::<Vec<_>>(),
+        r in 0.1..1.0f64,
+    ) {
+        let engine = match ReverseNnEngine::new(&trs, Oid(0), window(), r) {
+            Ok(e) => e,
+            Err(_) => return Ok(()), // degenerate window configs can't occur; domain errors skip
+        };
+        let pos = |k: usize, t: f64| trs[k].position_at(t).unwrap();
+        for i in 1..trs.len() {
+            let set = engine.rnn_intervals(Oid(i as u64)).unwrap();
+            for p in 0..50 {
+                let t = window().start() + (p as f64 + 0.5) * window().len() / 50.0;
+                let d_qi = (pos(0, t) - pos(i, t)).norm();
+                let min_other = (0..trs.len())
+                    .filter(|&j| j != i)
+                    .map(|j| (pos(j, t) - pos(i, t)).norm())
+                    .fold(f64::INFINITY, f64::min);
+                let margin = (d_qi - min_other - 4.0 * r).abs();
+                if margin > 1e-6 {
+                    prop_assert_eq!(set.covers(t), d_qi <= min_other + 4.0 * r, "i={} t={}", i, t);
+                }
+            }
+        }
+    }
+}

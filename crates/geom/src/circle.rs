@@ -1,0 +1,183 @@
+//! Circle–circle intersection geometry.
+//!
+//! The within-distance probability for a *uniform* location pdf (Eq. 4 of
+//! the paper, after Cheng et al.) is exactly the area of the lens formed by
+//! the query disk of radius `R_d` and the uncertainty disk, divided by the
+//! uncertainty disk's area. This module provides the lens area and the
+//! circle intersection points in a numerically careful way.
+
+use crate::point::Point2;
+
+/// Area of the intersection (lens) of two disks with radii `r1`, `r2`
+/// whose centers are `d` apart. All arguments must be non-negative.
+///
+/// Handles the disjoint (`d >= r1 + r2`) and contained
+/// (`d <= |r1 - r2|`) cases exactly.
+pub fn lens_area(d: f64, r1: f64, r2: f64) -> f64 {
+    assert!(
+        d >= 0.0 && r1 >= 0.0 && r2 >= 0.0,
+        "lens_area: negative argument (d={d}, r1={r1}, r2={r2})"
+    );
+    if r1 == 0.0 || r2 == 0.0 {
+        return 0.0;
+    }
+    if d >= r1 + r2 {
+        return 0.0;
+    }
+    if d <= (r1 - r2).abs() {
+        let r = r1.min(r2);
+        return std::f64::consts::PI * r * r;
+    }
+    // Clamp acos arguments: analytic values lie in [-1, 1] but rounding
+    // can push them slightly outside near the tangency configurations.
+    let a1 = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0);
+    let a2 = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0);
+    let t1 = a1.acos();
+    let t2 = a2.acos();
+    // Stable form of the triangle-area term (Heron / Kahan).
+    let k = (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2);
+    let tri = 0.5 * k.max(0.0).sqrt();
+    let area = r1 * r1 * t1 + r2 * r2 * t2 - tri;
+    // Cancellation near tangency can produce tiny negative values; the
+    // exact result always lies in [0, π·min(r1,r2)²].
+    let rmin = r1.min(r2);
+    area.clamp(0.0, std::f64::consts::PI * rmin * rmin)
+}
+
+/// Intersection points of two circles (`c1`, `r1`) and (`c2`, `r2`).
+///
+/// Returns `None` when the circles do not intersect (disjoint or one
+/// strictly inside the other) or are identical. Tangent circles return the
+/// single tangency point duplicated.
+pub fn circle_intersections(
+    c1: Point2,
+    r1: f64,
+    c2: Point2,
+    r2: f64,
+) -> Option<(Point2, Point2)> {
+    let dv = c2 - c1;
+    let d = dv.norm();
+    if d == 0.0 {
+        return None; // concentric: none or infinitely many
+    }
+    if d > r1 + r2 || d < (r1 - r2).abs() {
+        return None;
+    }
+    // Distance from c1 to the chord line along the center line.
+    let a = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+    let h_sq = r1 * r1 - a * a;
+    let h = h_sq.max(0.0).sqrt();
+    let base = c1 + dv * (a / d);
+    let perp = crate::point::Vec2::new(-dv.y, dv.x) * (h / d);
+    Some((base + perp, base - perp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn lens_area_disjoint_and_contained() {
+        assert_eq!(lens_area(5.0, 1.0, 2.0), 0.0);
+        assert_eq!(lens_area(3.0, 1.0, 2.0), 0.0); // tangent externally
+        assert!((lens_area(0.0, 1.0, 2.0) - PI).abs() < 1e-12); // contained
+        assert!((lens_area(0.5, 1.0, 2.0) - PI).abs() < 1e-12); // still contained
+    }
+
+    #[test]
+    fn lens_area_equal_circles_half_overlap() {
+        // Two unit circles d apart; compare against the closed form
+        // 2 r^2 acos(d/2r) - (d/2) sqrt(4r^2 - d^2).
+        for &d in &[0.1, 0.5, 1.0, 1.5, 1.9] {
+            let expected = 2.0 * (d / 2.0_f64).acos() - (d / 2.0) * (4.0 - d * d).sqrt();
+            let got = lens_area(d, 1.0, 1.0);
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "d={d}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn lens_area_monotone_in_distance() {
+        let mut prev = lens_area(0.0, 1.0, 1.5);
+        let mut d = 0.05;
+        while d < 2.6 {
+            let a = lens_area(d, 1.0, 1.5);
+            assert!(a <= prev + 1e-9, "area must not grow with distance");
+            prev = a;
+            d += 0.05;
+        }
+    }
+
+    #[test]
+    fn lens_area_zero_radius() {
+        assert_eq!(lens_area(1.0, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn intersections_symmetric_configuration() {
+        let (p, q) = circle_intersections(
+            Point2::new(0.0, 0.0),
+            1.0,
+            Point2::new(1.0, 0.0),
+            1.0,
+        )
+        .unwrap();
+        // Intersections of two unit circles 1 apart: x = 0.5, y = ±sqrt(3)/2.
+        let s3 = (3.0_f64).sqrt() / 2.0;
+        assert!((p.x - 0.5).abs() < 1e-12 && (p.y - s3).abs() < 1e-12);
+        assert!((q.x - 0.5).abs() < 1e-12 && (q.y + s3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersections_none_cases() {
+        assert!(circle_intersections(
+            Point2::new(0.0, 0.0),
+            1.0,
+            Point2::new(5.0, 0.0),
+            1.0
+        )
+        .is_none());
+        assert!(circle_intersections(
+            Point2::new(0.0, 0.0),
+            3.0,
+            Point2::new(0.5, 0.0),
+            1.0
+        )
+        .is_none()); // contained
+        assert!(circle_intersections(
+            Point2::new(0.0, 0.0),
+            1.0,
+            Point2::new(0.0, 0.0),
+            1.0
+        )
+        .is_none()); // identical
+    }
+
+    #[test]
+    fn tangent_circles_touch_once() {
+        let (p, q) = circle_intersections(
+            Point2::new(0.0, 0.0),
+            1.0,
+            Point2::new(2.0, 0.0),
+            1.0,
+        )
+        .unwrap();
+        assert!((p.x - 1.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+        assert!((q.x - 1.0).abs() < 1e-9 && q.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_points_lie_on_both_circles() {
+        let c1 = Point2::new(0.3, -0.7);
+        let c2 = Point2::new(1.4, 0.9);
+        let (r1, r2) = (1.2, 1.7);
+        let (p, q) = circle_intersections(c1, r1, c2, r2).unwrap();
+        for pt in [p, q] {
+            assert!((pt.distance(c1) - r1).abs() < 1e-10);
+            assert!((pt.distance(c2) - r2).abs() < 1e-10);
+        }
+    }
+}

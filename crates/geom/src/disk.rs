@@ -1,0 +1,137 @@
+//! Uncertainty disks.
+//!
+//! In the paper's model (§2.1) the possible whereabouts of a moving object
+//! at a time instant form a disk of radius `r` centered at its *expected
+//! location*. This module provides the disk primitive together with the
+//! min/max distance helpers used by the pruning arguments of §2.2 (the
+//! `R_min` / `R_max` bounds of Figure 4).
+
+use crate::point::Point2;
+
+/// A closed disk: all points within `radius` of `center`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disk {
+    /// Center (the object's expected location).
+    pub center: Point2,
+    /// Radius of the uncertainty zone (non-negative).
+    pub radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or non-finite, or the center is not
+    /// finite.
+    pub fn new(center: Point2, radius: f64) -> Self {
+        assert!(
+            center.is_finite() && radius.is_finite() && radius >= 0.0,
+            "invalid disk: center {center:?} radius {radius}"
+        );
+        Disk { center, radius }
+    }
+
+    /// `true` when `p` lies inside the closed disk.
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// `true` when the two closed disks share at least one point.
+    pub fn overlaps(&self, other: &Disk) -> bool {
+        let rr = self.radius + other.radius;
+        self.center.distance_sq(other.center) <= rr * rr
+    }
+
+    /// Smallest distance from `p` to any point of the disk
+    /// (`R_min` in §2.2; zero when `p` is inside).
+    pub fn min_distance(&self, p: Point2) -> f64 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// Largest distance from `p` to any point of the disk
+    /// (`R_max` in §2.2).
+    pub fn max_distance(&self, p: Point2) -> f64 {
+        self.center.distance(p) + self.radius
+    }
+
+    /// Smallest distance between any pair of points from the two disks
+    /// (zero when they overlap). This is the uncertain-querying-object
+    /// analogue used in §3.1 (Figure 5).
+    pub fn min_distance_to_disk(&self, other: &Disk) -> f64 {
+        (self.center.distance(other.center) - self.radius - other.radius).max(0.0)
+    }
+
+    /// Largest distance between any pair of points from the two disks.
+    pub fn max_distance_to_disk(&self, other: &Disk) -> f64 {
+        self.center.distance(other.center) + self.radius + other.radius
+    }
+
+    /// The Minkowski sum of this disk with a disk of radius `rd` centered
+    /// at the origin: a disk with the same center and enlarged radius
+    /// (`D_q ⊕ R_d` in §3.1).
+    pub fn minkowski_grow(&self, rd: f64) -> Disk {
+        Disk::new(self.center, self.radius + rd)
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment() {
+        let d = Disk::new(Point2::new(1.0, 1.0), 2.0);
+        assert!(d.contains(Point2::new(1.0, 1.0)));
+        assert!(d.contains(Point2::new(3.0, 1.0))); // boundary
+        assert!(!d.contains(Point2::new(3.1, 1.0)));
+    }
+
+    #[test]
+    fn min_max_distance_from_point() {
+        let d = Disk::new(Point2::new(0.0, 0.0), 1.0);
+        let p = Point2::new(5.0, 0.0);
+        assert_eq!(d.min_distance(p), 4.0);
+        assert_eq!(d.max_distance(p), 6.0);
+        // inside: min distance clamps to zero
+        assert_eq!(d.min_distance(Point2::new(0.5, 0.0)), 0.0);
+        assert_eq!(d.max_distance(Point2::new(0.5, 0.0)), 1.5);
+    }
+
+    #[test]
+    fn disk_to_disk_distances() {
+        let a = Disk::new(Point2::new(0.0, 0.0), 1.0);
+        let b = Disk::new(Point2::new(10.0, 0.0), 2.0);
+        assert_eq!(a.min_distance_to_disk(&b), 7.0);
+        assert_eq!(a.max_distance_to_disk(&b), 13.0);
+        let c = Disk::new(Point2::new(2.0, 0.0), 1.5);
+        assert_eq!(a.min_distance_to_disk(&c), 0.0); // overlapping
+        assert!(a.overlaps(&c));
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn minkowski_grow_enlarges_radius() {
+        let d = Disk::new(Point2::new(1.0, -1.0), 0.5);
+        let g = d.minkowski_grow(2.0);
+        assert_eq!(g.center, d.center);
+        assert_eq!(g.radius, 2.5);
+    }
+
+    #[test]
+    fn area() {
+        let d = Disk::new(Point2::ORIGIN, 2.0);
+        assert!((d.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_radius_panics() {
+        let _ = Disk::new(Point2::ORIGIN, -1.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Closed time intervals and sets of disjoint intervals.
+//!
+//! Continuous NN answers are *time parameterized* (§1 of the paper): every
+//! element of an answer is tagged with the closed interval during which it
+//! holds. The `X% of [tb, te]` query variants (UQ13/UQ23/UQ33) additionally
+//! need to accumulate the total duration covered by a set of intervals,
+//! which is what [`IntervalSet`] provides.
+
+use std::fmt;
+
+/// A closed, non-empty time interval `[start, end]` with `start <= end`.
+///
+/// Degenerate intervals (`start == end`) are allowed; they have zero
+/// length but still `contain` their single instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    start: f64,
+    end: f64,
+}
+
+impl TimeInterval {
+    /// Creates a new interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or either bound is not finite. Use
+    /// [`TimeInterval::try_new`] for a fallible constructor.
+    pub fn new(start: f64, end: f64) -> Self {
+        Self::try_new(start, end)
+            .unwrap_or_else(|| panic!("invalid interval [{start}, {end}]"))
+    }
+
+    /// Creates a new interval, returning `None` when the bounds are not
+    /// finite or are out of order.
+    pub fn try_new(start: f64, end: f64) -> Option<Self> {
+        if start.is_finite() && end.is_finite() && start <= end {
+            Some(TimeInterval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Duration `end - start`.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// `true` when the interval is a single instant.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Midpoint of the interval.
+    #[inline]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.start + self.end)
+    }
+
+    /// `true` when `t` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// `true` when `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains_interval(&self, other: &TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// `true` when the two closed intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection of two closed intervals, if non-empty.
+    pub fn intersection(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let s = self.start.max(other.start);
+        let e = self.end.min(other.end);
+        if s <= e {
+            Some(TimeInterval { start: s, end: e })
+        } else {
+            None
+        }
+    }
+
+    /// Clamps `t` into the interval.
+    #[inline]
+    pub fn clamp(&self, t: f64) -> f64 {
+        t.clamp(self.start, self.end)
+    }
+
+    /// Returns `n + 1` evenly spaced sample instants covering the interval
+    /// (including both endpoints). `n = 0` yields just the start.
+    pub fn sample_points(&self, n: usize) -> Vec<f64> {
+        if n == 0 || self.is_degenerate() {
+            return vec![self.start];
+        }
+        let step = self.len() / n as f64;
+        let mut out = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            out.push((self.start + step * i as f64).min(self.end));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}, {:.6}]", self.start, self.end)
+    }
+}
+
+/// A set of pairwise-disjoint, sorted closed intervals.
+///
+/// Used to accumulate "the times during which property P holds" for the
+/// percentage-quantified query variants. Touching intervals (sharing an
+/// endpoint) are coalesced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntervalSet {
+    spans: Vec<TimeInterval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// intervals, normalizing into disjoint sorted spans.
+    pub fn from_intervals<I: IntoIterator<Item = TimeInterval>>(iter: I) -> Self {
+        let mut spans: Vec<TimeInterval> = iter.into_iter().collect();
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        let mut out: Vec<TimeInterval> = Vec::with_capacity(spans.len());
+        for iv in spans {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    if iv.end > last.end {
+                        last.end = iv.end;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Inserts one interval, merging as needed.
+    pub fn insert(&mut self, iv: TimeInterval) {
+        // Binary search for the insertion point, then merge neighbours.
+        let idx = self
+            .spans
+            .partition_point(|s| s.start < iv.start);
+        self.spans.insert(idx, iv);
+        self.coalesce();
+    }
+
+    fn coalesce(&mut self) {
+        let mut out: Vec<TimeInterval> = Vec::with_capacity(self.spans.len());
+        for iv in self.spans.drain(..) {
+            match out.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    if iv.end > last.end {
+                        last.end = iv.end;
+                    }
+                }
+                _ => out.push(iv),
+            }
+        }
+        self.spans = out;
+    }
+
+    /// The disjoint sorted spans.
+    pub fn spans(&self) -> &[TimeInterval] {
+        &self.spans
+    }
+
+    /// `true` when the set contains no interval.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total duration covered.
+    pub fn total_len(&self) -> f64 {
+        self.spans.iter().map(TimeInterval::len).sum()
+    }
+
+    /// `true` when some span contains `t`.
+    pub fn covers(&self, t: f64) -> bool {
+        // spans are sorted by start; find the last span starting <= t
+        let idx = self.spans.partition_point(|s| s.start <= t);
+        idx > 0 && self.spans[idx - 1].contains(t)
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(
+            self.spans.iter().chain(other.spans.iter()).copied(),
+        )
+    }
+
+    /// Intersection of two sets.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            if let Some(iv) = self.spans[i].intersection(&other.spans[j]) {
+                out.push(iv);
+            }
+            if self.spans[i].end < other.spans[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// Complement of the set within `span`.
+    pub fn complement_within(&self, span: TimeInterval) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut cursor = span.start();
+        for iv in &self.spans {
+            if iv.end < span.start() {
+                continue;
+            }
+            if iv.start > span.end() {
+                break;
+            }
+            let s = iv.start.max(span.start());
+            if cursor < s {
+                out.push(TimeInterval::new(cursor, s));
+            }
+            cursor = cursor.max(iv.end.min(span.end()));
+        }
+        if cursor < span.end() {
+            out.push(TimeInterval::new(cursor, span.end()));
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// `true` when the set fully covers `span` (up to `tol` slack in
+    /// total length, to absorb floating-point seams).
+    pub fn covers_interval(&self, span: TimeInterval, tol: f64) -> bool {
+        self.intersect(&IntervalSet::from_intervals([span])).total_len()
+            >= span.len() - tol
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = TimeInterval::new(1.0, 3.0);
+        assert_eq!(iv.len(), 2.0);
+        assert_eq!(iv.midpoint(), 2.0);
+        assert!(iv.contains(1.0));
+        assert!(iv.contains(3.0));
+        assert!(!iv.contains(3.0001));
+        assert!(!iv.is_degenerate());
+        assert!(TimeInterval::new(2.0, 2.0).is_degenerate());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_bounds() {
+        assert!(TimeInterval::try_new(3.0, 1.0).is_none());
+        assert!(TimeInterval::try_new(f64::NAN, 1.0).is_none());
+        assert!(TimeInterval::try_new(0.0, f64::INFINITY).is_none());
+        assert!(TimeInterval::try_new(0.0, 0.0).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_reversed_bounds() {
+        let _ = TimeInterval::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = TimeInterval::new(0.0, 2.0);
+        let b = TimeInterval::new(1.0, 3.0);
+        let c = TimeInterval::new(2.5, 4.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersection(&b), Some(TimeInterval::new(1.0, 2.0)));
+        assert_eq!(a.intersection(&c), None);
+        // touching intervals intersect in a single instant
+        let d = TimeInterval::new(2.0, 5.0);
+        assert_eq!(a.intersection(&d), Some(TimeInterval::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn sample_points_cover_endpoints() {
+        let iv = TimeInterval::new(0.0, 1.0);
+        let pts = iv.sample_points(4);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], 0.0);
+        assert_eq!(*pts.last().unwrap(), 1.0);
+        assert_eq!(iv.sample_points(0), vec![0.0]);
+    }
+
+    #[test]
+    fn interval_set_normalizes_overlaps() {
+        let s = IntervalSet::from_intervals([
+            TimeInterval::new(3.0, 4.0),
+            TimeInterval::new(0.0, 1.0),
+            TimeInterval::new(0.5, 2.0),
+            TimeInterval::new(2.0, 2.5),
+        ]);
+        assert_eq!(
+            s.spans(),
+            &[TimeInterval::new(0.0, 2.5), TimeInterval::new(3.0, 4.0)]
+        );
+        assert!((s.total_len() - 3.5).abs() < 1e-12);
+        assert!(s.covers(0.75));
+        assert!(s.covers(2.5));
+        assert!(!s.covers(2.75));
+        assert!(s.covers(3.0));
+    }
+
+    #[test]
+    fn interval_set_insert_merges() {
+        let mut s = IntervalSet::new();
+        s.insert(TimeInterval::new(0.0, 1.0));
+        s.insert(TimeInterval::new(2.0, 3.0));
+        assert_eq!(s.spans().len(), 2);
+        s.insert(TimeInterval::new(0.5, 2.5));
+        assert_eq!(s.spans(), &[TimeInterval::new(0.0, 3.0)]);
+    }
+
+    #[test]
+    fn interval_set_intersection() {
+        let a = IntervalSet::from_intervals([
+            TimeInterval::new(0.0, 2.0),
+            TimeInterval::new(4.0, 6.0),
+        ]);
+        let b = IntervalSet::from_intervals([
+            TimeInterval::new(1.0, 5.0),
+        ]);
+        let c = a.intersect(&b);
+        assert_eq!(
+            c.spans(),
+            &[TimeInterval::new(1.0, 2.0), TimeInterval::new(4.0, 5.0)]
+        );
+    }
+
+    #[test]
+    fn interval_set_complement() {
+        let a = IntervalSet::from_intervals([
+            TimeInterval::new(1.0, 2.0),
+            TimeInterval::new(3.0, 4.0),
+        ]);
+        let c = a.complement_within(TimeInterval::new(0.0, 5.0));
+        assert_eq!(
+            c.spans(),
+            &[
+                TimeInterval::new(0.0, 1.0),
+                TimeInterval::new(2.0, 3.0),
+                TimeInterval::new(4.0, 5.0),
+            ]
+        );
+        // complement of empty set is the whole span
+        let e = IntervalSet::new().complement_within(TimeInterval::new(0.0, 1.0));
+        assert_eq!(e.spans(), &[TimeInterval::new(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn covers_interval_with_tolerance() {
+        let a = IntervalSet::from_intervals([
+            TimeInterval::new(0.0, 0.5),
+            TimeInterval::new(0.5, 1.0),
+        ]);
+        assert!(a.covers_interval(TimeInterval::new(0.0, 1.0), 1e-12));
+        let b = IntervalSet::from_intervals([TimeInterval::new(0.0, 0.9)]);
+        assert!(!b.covers_interval(TimeInterval::new(0.0, 1.0), 1e-12));
+    }
+}

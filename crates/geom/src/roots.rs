@@ -1,0 +1,334 @@
+//! Real-root isolation and refinement via Sturm sequences.
+//!
+//! Used to find the instants where a distance hyperbola crosses the
+//! `4r`-translated lower envelope (a quartic equation after squaring; see
+//! `unn-core::band`). The approach is classical: build the Sturm chain of
+//! the square-free part, count real roots per interval by sign-variation
+//! differences, bisect until each interval holds exactly one root, then
+//! polish with bisection + Newton.
+
+use crate::poly::Poly;
+
+/// A Sturm chain for a square-free polynomial.
+#[derive(Debug, Clone)]
+pub struct SturmChain {
+    chain: Vec<Poly>,
+}
+
+impl SturmChain {
+    /// Builds the Sturm chain of `p` (which should be square-free; use
+    /// [`Poly::squarefree`] first — [`find_roots`] does this for you).
+    pub fn new(p: &Poly) -> Self {
+        let mut chain = Vec::new();
+        if p.is_zero() {
+            return SturmChain { chain };
+        }
+        chain.push(p.clone());
+        let d = p.derivative();
+        if d.is_zero() {
+            return SturmChain { chain };
+        }
+        chain.push(d);
+        loop {
+            let n = chain.len();
+            let (_, mut r) = chain[n - 2].div_rem(&chain[n - 1]);
+            r.trim_relative(1e-12);
+            if r.is_zero() {
+                break;
+            }
+            chain.push(r.scale(-1.0));
+            if chain.last().unwrap().degree() == Some(0) {
+                break;
+            }
+        }
+        SturmChain { chain }
+    }
+
+    /// Number of sign variations of the chain evaluated at `x`.
+    fn variations(&self, x: f64) -> usize {
+        let mut count = 0;
+        let mut last_sign = 0i8;
+        for p in &self.chain {
+            let v = p.eval(x);
+            let s: i8 = if v > 0.0 {
+                1
+            } else if v < 0.0 {
+                -1
+            } else {
+                0
+            };
+            if s != 0 {
+                if last_sign != 0 && s != last_sign {
+                    count += 1;
+                }
+                last_sign = s;
+            }
+        }
+        count
+    }
+
+    /// Number of distinct real roots in the half-open interval `(a, b]`.
+    pub fn count_roots(&self, a: f64, b: f64) -> usize {
+        if self.chain.is_empty() || a >= b {
+            return 0;
+        }
+        self.variations(a).saturating_sub(self.variations(b))
+    }
+}
+
+/// Configuration for root finding.
+#[derive(Debug, Clone, Copy)]
+pub struct RootFindConfig {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Maximum bisection depth during isolation.
+    pub max_depth: u32,
+}
+
+impl Default for RootFindConfig {
+    fn default() -> Self {
+        RootFindConfig { x_tol: 1e-12, max_depth: 80 }
+    }
+}
+
+/// Finds all distinct real roots of `p` within the closed interval
+/// `[lo, hi]`, in ascending order.
+///
+/// Multiplicities are collapsed (the square-free part is used), which is
+/// what the geometric callers want: a tangency counts as one crossing time.
+pub fn find_roots(p: &Poly, lo: f64, hi: f64) -> Vec<f64> {
+    find_roots_with(p, lo, hi, RootFindConfig::default())
+}
+
+/// [`find_roots`] with explicit configuration.
+pub fn find_roots_with(p: &Poly, lo: f64, hi: f64, cfg: RootFindConfig) -> Vec<f64> {
+    if p.is_zero() || lo > hi {
+        return vec![];
+    }
+    match p.degree() {
+        None => return vec![],
+        Some(0) => return vec![],
+        Some(1) => {
+            let c = p.coeffs();
+            let r = -c[0] / c[1];
+            return if (lo..=hi).contains(&r) { vec![r] } else { vec![] };
+        }
+        _ => {}
+    }
+    let sf = p.squarefree().monic();
+    let chain = SturmChain::new(&sf);
+    let mut roots = Vec::new();
+
+    // Nudge the left end slightly left so a root exactly at `lo` is counted
+    // by the half-open Sturm interval (a, b].
+    let span = (hi - lo).abs().max(1.0);
+    let a0 = lo - span * 1e-12 - 1e-300;
+    let total = chain.count_roots(a0, hi);
+    if total == 0 {
+        return roots;
+    }
+    isolate(&sf, &chain, a0, hi, total, cfg, &mut roots, 0);
+    roots.sort_by(f64::total_cmp);
+    // Clamp roots found marginally outside [lo, hi] by the nudging.
+    roots
+        .into_iter()
+        .map(|r| r.clamp(lo, hi))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn isolate(
+    p: &Poly,
+    chain: &SturmChain,
+    a: f64,
+    b: f64,
+    count: usize,
+    cfg: RootFindConfig,
+    out: &mut Vec<f64>,
+    depth: u32,
+) {
+    if count == 0 {
+        return;
+    }
+    if count == 1 {
+        out.push(refine(p, a, b, cfg));
+        return;
+    }
+    if depth >= cfg.max_depth || (b - a) <= cfg.x_tol {
+        // Cluster of roots tighter than the tolerance: report the midpoint
+        // once. This is the honest answer at f64 resolution.
+        out.push(0.5 * (a + b));
+        return;
+    }
+    let mut mid = 0.5 * (a + b);
+    // Avoid splitting exactly on a root of the chain (rare but possible).
+    if p.eval(mid) == 0.0 {
+        mid += (b - a) * 1e-9;
+    }
+    let left = chain.count_roots(a, mid);
+    isolate(p, chain, a, mid, left, cfg, out, depth + 1);
+    isolate(p, chain, mid, b, count - left, cfg, out, depth + 1);
+}
+
+/// Refines the single root of `p` known to lie in `(a, b]`.
+fn refine(p: &Poly, a: f64, b: f64, cfg: RootFindConfig) -> f64 {
+    let (mut lo, mut hi) = (a, b);
+    let (mut flo, fhi) = (p.eval(lo), p.eval(hi));
+    if fhi == 0.0 {
+        return hi;
+    }
+    if flo == 0.0 {
+        return lo;
+    }
+    if flo.signum() == fhi.signum() {
+        // No sign change detected (e.g. the Sturm count came from a root
+        // extremely close to an endpoint). Fall back to Newton from the
+        // midpoint, guarded to stay in the bracket.
+        return newton_guarded(p, 0.5 * (a + b), a, b, cfg);
+    }
+    // Bisection with a Newton polish at the end.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo) <= cfg.x_tol {
+            break;
+        }
+        let fm = p.eval(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    newton_guarded(p, 0.5 * (lo + hi), lo, hi, cfg)
+}
+
+fn newton_guarded(p: &Poly, x0: f64, lo: f64, hi: f64, cfg: RootFindConfig) -> f64 {
+    let d = p.derivative();
+    let mut x = x0;
+    for _ in 0..8 {
+        let fx = p.eval(x);
+        let dx = d.eval(x);
+        if dx == 0.0 {
+            break;
+        }
+        let step = fx / dx;
+        let nx = x - step;
+        if !nx.is_finite() || nx < lo || nx > hi {
+            break;
+        }
+        x = nx;
+        if step.abs() <= cfg.x_tol {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(coeffs: &[f64]) -> Poly {
+        Poly::new(coeffs.to_vec())
+    }
+
+    /// Builds the monic polynomial with the given roots.
+    fn from_roots(roots: &[f64]) -> Poly {
+        let mut p = Poly::constant(1.0);
+        for &r in roots {
+            p = p.mul(&poly(&[-r, 1.0]));
+        }
+        p
+    }
+
+    fn assert_roots_close(got: &[f64], expected: &[f64], tol: f64) {
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "root count mismatch: got {got:?}, expected {expected:?}"
+        );
+        for (g, e) in got.iter().zip(expected) {
+            assert!((g - e).abs() < tol, "root {g} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn linear_root() {
+        let p = poly(&[-3.0, 1.5]); // 1.5x - 3
+        assert_roots_close(&find_roots(&p, 0.0, 10.0), &[2.0], 1e-12);
+        assert!(find_roots(&p, 3.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        let p = from_roots(&[1.0, 3.0]);
+        assert_roots_close(&find_roots(&p, 0.0, 10.0), &[1.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn quartic_distinct_roots() {
+        let expected = [-2.5, -0.5, 0.75, 4.0];
+        let p = from_roots(&expected);
+        assert_roots_close(&find_roots(&p, -10.0, 10.0), &expected, 1e-9);
+    }
+
+    #[test]
+    fn quartic_close_roots() {
+        let expected = [1.0, 1.001, 2.0, 2.0005];
+        let p = from_roots(&expected);
+        assert_roots_close(&find_roots(&p, 0.0, 3.0), &expected, 1e-6);
+    }
+
+    #[test]
+    fn repeated_roots_collapse() {
+        // (x-1)^2 (x-2): distinct roots {1, 2}
+        let p = from_roots(&[1.0, 1.0, 2.0]);
+        assert_roots_close(&find_roots(&p, 0.0, 3.0), &[1.0, 2.0], 1e-8);
+    }
+
+    #[test]
+    fn no_real_roots() {
+        let p = poly(&[1.0, 0.0, 1.0]); // x^2 + 1
+        assert!(find_roots(&p, -10.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn root_at_interval_endpoints() {
+        let p = from_roots(&[0.0, 5.0]);
+        let roots = find_roots(&p, 0.0, 5.0);
+        assert_roots_close(&roots, &[0.0, 5.0], 1e-9);
+    }
+
+    #[test]
+    fn interval_filters_outside_roots() {
+        let p = from_roots(&[-1.0, 2.0, 7.0]);
+        assert_roots_close(&find_roots(&p, 0.0, 5.0), &[2.0], 1e-9);
+    }
+
+    #[test]
+    fn sturm_count_matches() {
+        let p = from_roots(&[1.0, 2.0, 3.0]).squarefree().monic();
+        let chain = SturmChain::new(&p);
+        assert_eq!(chain.count_roots(0.0, 4.0), 3);
+        assert_eq!(chain.count_roots(1.5, 4.0), 2);
+        assert_eq!(chain.count_roots(3.5, 4.0), 0);
+    }
+
+    #[test]
+    fn scaled_coefficients_do_not_break_isolation() {
+        // Same roots but badly scaled coefficients.
+        let p = from_roots(&[0.001, 0.002, 30.0]).scale(1e8);
+        let roots = find_roots(&p, 0.0, 100.0);
+        assert_roots_close(&roots, &[0.001, 0.002, 30.0], 1e-6);
+    }
+
+    #[test]
+    fn zero_and_constant_polys() {
+        assert!(find_roots(&Poly::zero(), 0.0, 1.0).is_empty());
+        assert!(find_roots(&Poly::constant(3.0), 0.0, 1.0).is_empty());
+    }
+}

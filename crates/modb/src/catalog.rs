@@ -1,0 +1,189 @@
+//! The MOD object catalog: descriptive metadata alongside the trajectory
+//! store.
+//!
+//! The paper's motivating deployments (§1/§2.1 — commercial fleets,
+//! MapQuest-style routed trips) attach identity to every moving object:
+//! which fleet it belongs to, what kind of vehicle it is, free-form tags.
+//! None of that participates in the geometry, so it lives in its own
+//! thread-safe registry keyed by [`Oid`], and query layers join against it
+//! after the spatial work is done (e.g. "of the objects with non-zero NN
+//! probability, keep the ambulances").
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use unn_traj::trajectory::Oid;
+
+/// Descriptive metadata of one registered moving object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObjectMeta {
+    /// Human-readable label ("truck-17", "medevac-3").
+    pub label: String,
+    /// Coarse category ("truck", "taxi", "drone", …).
+    pub kind: String,
+    /// Free-form tags ("refrigerated", "priority", …).
+    pub tags: Vec<String>,
+}
+
+impl ObjectMeta {
+    /// Metadata with a label only.
+    pub fn labelled(label: impl Into<String>) -> Self {
+        ObjectMeta { label: label.into(), ..ObjectMeta::default() }
+    }
+
+    /// Metadata with a label and a kind.
+    pub fn new(label: impl Into<String>, kind: impl Into<String>) -> Self {
+        ObjectMeta { label: label.into(), kind: kind.into(), tags: Vec::new() }
+    }
+
+    /// Adds a tag (builder style).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.push(tag.into());
+        self
+    }
+
+    /// `true` when the object carries the tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+/// Thread-safe metadata registry keyed by object id.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<BTreeMap<Oid, ObjectMeta>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) the metadata of an object. Returns the
+    /// previous entry, if any.
+    pub fn upsert(&self, oid: Oid, meta: ObjectMeta) -> Option<ObjectMeta> {
+        self.inner.write().insert(oid, meta)
+    }
+
+    /// Removes an object's metadata.
+    pub fn remove(&self, oid: Oid) -> Option<ObjectMeta> {
+        self.inner.write().remove(&oid)
+    }
+
+    /// The metadata of one object.
+    pub fn get(&self, oid: Oid) -> Option<ObjectMeta> {
+        self.inner.read().get(&oid).cloned()
+    }
+
+    /// `true` when the object has metadata.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.inner.read().contains_key(&oid)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Resolves a label to an id (labels are not enforced unique — the
+    /// first match in id order wins).
+    pub fn resolve_label(&self, label: &str) -> Option<Oid> {
+        self.inner
+            .read()
+            .iter()
+            .find(|(_, m)| m.label == label)
+            .map(|(oid, _)| *oid)
+    }
+
+    /// All ids of the given kind, in id order.
+    pub fn of_kind(&self, kind: &str) -> Vec<Oid> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|(_, m)| m.kind == kind)
+            .map(|(oid, _)| *oid)
+            .collect()
+    }
+
+    /// All ids carrying the tag, in id order.
+    pub fn with_tag(&self, tag: &str) -> Vec<Oid> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|(_, m)| m.has_tag(tag))
+            .map(|(oid, _)| *oid)
+            .collect()
+    }
+
+    /// Joins a spatial answer against the catalog: keeps the `(Oid, T)`
+    /// rows whose metadata satisfies `pred` (objects without metadata are
+    /// dropped).
+    pub fn filter_answer<T, F>(&self, rows: Vec<(Oid, T)>, pred: F) -> Vec<(Oid, T)>
+    where
+        F: Fn(&ObjectMeta) -> bool,
+    {
+        let g = self.inner.read();
+        rows.into_iter()
+            .filter(|(oid, _)| g.get(oid).map(&pred).unwrap_or(false))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.upsert(Oid(1), ObjectMeta::new("truck-1", "truck").with_tag("refrigerated"));
+        c.upsert(Oid(2), ObjectMeta::new("taxi-7", "taxi"));
+        c.upsert(Oid(3), ObjectMeta::new("truck-2", "truck").with_tag("priority"));
+        c
+    }
+
+    #[test]
+    fn upsert_get_remove_round_trip() {
+        let c = catalog();
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(Oid(1)));
+        assert_eq!(c.get(Oid(2)).unwrap().label, "taxi-7");
+        let prev = c.upsert(Oid(2), ObjectMeta::labelled("taxi-7b"));
+        assert_eq!(prev.unwrap().label, "taxi-7");
+        assert_eq!(c.get(Oid(2)).unwrap().label, "taxi-7b");
+        assert!(c.remove(Oid(2)).is_some());
+        assert!(c.get(Oid(2)).is_none());
+        assert!(c.remove(Oid(2)).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lookups_by_label_kind_tag() {
+        let c = catalog();
+        assert_eq!(c.resolve_label("truck-2"), Some(Oid(3)));
+        assert_eq!(c.resolve_label("nobody"), None);
+        assert_eq!(c.of_kind("truck"), vec![Oid(1), Oid(3)]);
+        assert_eq!(c.of_kind("drone"), Vec::<Oid>::new());
+        assert_eq!(c.with_tag("priority"), vec![Oid(3)]);
+    }
+
+    #[test]
+    fn filter_answer_joins_metadata() {
+        let c = catalog();
+        let rows = vec![(Oid(1), 0.9), (Oid(2), 0.5), (Oid(3), 0.2), (Oid(9), 1.0)];
+        let trucks = c.filter_answer(rows, |m| m.kind == "truck");
+        assert_eq!(trucks, vec![(Oid(1), 0.9), (Oid(3), 0.2)]);
+    }
+
+    #[test]
+    fn empty_catalog_behaviour() {
+        let c = Catalog::new();
+        assert!(c.is_empty());
+        assert!(c.get(Oid(1)).is_none());
+        assert!(c.filter_answer(vec![(Oid(1), ())], |_| true).is_empty());
+    }
+}

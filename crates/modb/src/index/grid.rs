@@ -1,0 +1,148 @@
+//! A uniform spatial grid index over segment bounding boxes.
+//!
+//! Cells partition the `(x, y)` plane; each cell stores the (radius
+//! inflated) segment boxes overlapping it. Queries enumerate the covered
+//! cells and verify candidate boxes exactly. Simple, predictable, and a
+//! good baseline for the R-tree in the `indexes` ablation bench.
+
+use super::bbox::Aabb3;
+use super::SegmentIndex;
+use unn_traj::trajectory::Oid;
+
+/// Uniform grid over the spatial extent of the indexed boxes.
+#[derive(Debug)]
+pub struct GridIndex {
+    cells: Vec<Vec<(Aabb3, Oid)>>,
+    nx: usize,
+    ny: usize,
+    x0: f64,
+    y0: f64,
+    cell: f64,
+    entries: usize,
+}
+
+impl GridIndex {
+    /// Builds a grid with approximately `target_cells` cells covering the
+    /// bounding rectangle of all entries.
+    pub fn build(items: Vec<(Aabb3, Oid)>, target_cells: usize) -> Self {
+        let entries = items.len();
+        if items.is_empty() {
+            return GridIndex {
+                cells: vec![],
+                nx: 0,
+                ny: 0,
+                x0: 0.0,
+                y0: 0.0,
+                cell: 1.0,
+                entries: 0,
+            };
+        }
+        let world = items
+            .iter()
+            .fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
+        let w = (world.max[0] - world.min[0]).max(1e-9);
+        let h = (world.max[1] - world.min[1]).max(1e-9);
+        let target = target_cells.max(1) as f64;
+        let cell = ((w * h) / target).sqrt().max(1e-9);
+        let nx = (w / cell).ceil() as usize + 1;
+        let ny = (h / cell).ceil() as usize + 1;
+        let mut grid = GridIndex {
+            cells: vec![Vec::new(); nx * ny],
+            nx,
+            ny,
+            x0: world.min[0],
+            y0: world.min[1],
+            cell,
+            entries,
+        };
+        for (b, oid) in items {
+            let (ix0, iy0) = grid.cell_of(b.min[0], b.min[1]);
+            let (ix1, iy1) = grid.cell_of(b.max[0], b.max[1]);
+            for iy in iy0..=iy1 {
+                for ix in ix0..=ix1 {
+                    grid.cells[iy * nx + ix].push((b, oid));
+                }
+            }
+        }
+        grid
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let ix = ((x - self.x0) / self.cell).floor().max(0.0) as usize;
+        let iy = ((y - self.y0) / self.cell).floor().max(0.0) as usize;
+        (ix.min(self.nx.saturating_sub(1)), iy.min(self.ny.saturating_sub(1)))
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+}
+
+impl SegmentIndex for GridIndex {
+    fn query_bbox(&self, query: &Aabb3) -> Vec<Oid> {
+        if self.entries == 0 {
+            return vec![];
+        }
+        let (ix0, iy0) = self.cell_of(query.min[0], query.min[1]);
+        let (ix1, iy1) = self.cell_of(query.max[0], query.max[1]);
+        let mut hits = Vec::new();
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                for (b, oid) in &self.cells[iy * self.nx + ix] {
+                    if b.intersects(query) {
+                        hits.push(*oid);
+                    }
+                }
+            }
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan::LinearScan;
+    use super::super::{query_box, segment_boxes, SegmentIndex};
+    use super::*;
+    use unn_traj::generator::{generate_uncertain, WorkloadConfig};
+
+    #[test]
+    fn empty_grid() {
+        let g = GridIndex::build(vec![], 64);
+        assert_eq!(g.entry_count(), 0);
+        assert!(g.query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn matches_linear_scan_on_workload() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(60, 33), 0.5);
+        let boxes = segment_boxes(&trs);
+        let grid = GridIndex::build(boxes.clone(), 256);
+        let scan = LinearScan::build(boxes);
+        let queries = [
+            query_box(0.0, 0.0, 40.0, 40.0, 0.0, 60.0),
+            query_box(5.0, 25.0, 18.0, 33.0, 10.0, 40.0),
+            query_box(0.0, 0.0, 2.0, 2.0, 58.0, 60.0),
+            query_box(-10.0, -10.0, -5.0, -5.0, 0.0, 60.0),
+        ];
+        for q in &queries {
+            assert_eq!(grid.query_bbox(q), scan.query_bbox(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn grid_dimensions_track_target() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(40, 2), 0.5);
+        let g = GridIndex::build(segment_boxes(&trs), 100);
+        let (nx, ny) = g.dims();
+        assert!(nx * ny >= 100, "{nx}x{ny}");
+        assert!(nx * ny < 1000, "{nx}x{ny}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Spatial indexing of trajectory segments.
+//!
+//! The paper's related work (§6) relies on R-tree-family indexes for
+//! scalable spatio-temporal query processing; this module provides two
+//! from-scratch implementations over segment bounding boxes in
+//! `(x, y, t)` space — an STR-packed R-tree and a uniform grid — plus the
+//! brute-force scan they are validated against. Indexes answer the coarse
+//! filtering step (which objects *could* be near the query trajectory);
+//! the envelope machinery of `unn-core` provides the exact continuous
+//! semantics.
+
+pub mod bbox;
+pub mod grid;
+pub mod rtree;
+pub mod scan;
+
+use bbox::Aabb3;
+use unn_traj::trajectory::Oid;
+use unn_traj::uncertain::UncertainTrajectory;
+
+/// A segment-level index over a snapshot of uncertain trajectories.
+pub trait SegmentIndex {
+    /// All object ids with at least one (radius-inflated) segment box
+    /// intersecting `query`, ascending and deduplicated.
+    fn query_bbox(&self, query: &Aabb3) -> Vec<Oid>;
+
+    /// Number of indexed segment entries.
+    fn entry_count(&self) -> usize;
+}
+
+/// Builds the radius-inflated `(x, y, t)` boxes of every segment of every
+/// trajectory: the common input to all index implementations.
+pub fn segment_boxes(trs: &[UncertainTrajectory]) -> Vec<(Aabb3, Oid)> {
+    let mut out = Vec::new();
+    for tr in trs {
+        let r = tr.radius();
+        for seg in tr.trajectory().segments() {
+            let (a, b) = (seg.start, seg.end);
+            let bbox = Aabb3::new(
+                [
+                    a.position.x.min(b.position.x),
+                    a.position.y.min(b.position.y),
+                    a.time,
+                ],
+                [
+                    a.position.x.max(b.position.x),
+                    a.position.y.max(b.position.y),
+                    b.time,
+                ],
+            )
+            .inflate_xy(r);
+            out.push((bbox, tr.oid()));
+        }
+    }
+    out
+}
+
+/// A query box covering a spatial rectangle over a time range.
+pub fn query_box(x0: f64, y0: f64, x1: f64, y1: f64, t0: f64, t1: f64) -> Aabb3 {
+    Aabb3::new([x0.min(x1), y0.min(y1), t0.min(t1)], [x0.max(x1), y0.max(y1), t0.max(t1)])
+}

@@ -1,0 +1,199 @@
+//! An STR-packed R-tree over segment bounding boxes.
+//!
+//! Sort-Tile-Recursive packing: entries are sorted by x-center into
+//! vertical slabs, each slab by y-center into tiles, each tile by
+//! t-center into leaves of up to `M` entries; upper levels pack the child
+//! boxes the same way. The result is a static, cache-friendly R-tree with
+//! near-perfect space utilization — appropriate for the MOD setting where
+//! trajectories are bulk-registered and queried many times.
+
+use super::bbox::Aabb3;
+use super::SegmentIndex;
+use unn_traj::trajectory::Oid;
+
+const M: usize = 16;
+
+#[derive(Debug)]
+enum Node {
+    Leaf { entries: Vec<(Aabb3, Oid)> },
+    Inner { children: Vec<(Aabb3, Box<Node>)> },
+}
+
+/// A static STR-bulk-loaded R-tree.
+#[derive(Debug)]
+pub struct RTree {
+    root: Option<(Aabb3, Box<Node>)>,
+    entries: usize,
+}
+
+impl RTree {
+    /// Bulk-loads the tree from `(box, oid)` entries.
+    pub fn build(mut items: Vec<(Aabb3, Oid)>) -> Self {
+        let entries = items.len();
+        if items.is_empty() {
+            return RTree { root: None, entries: 0 };
+        }
+        // --- leaf level via STR tiling ---
+        let leaves = str_pack_leaves(&mut items);
+        let mut level: Vec<(Aabb3, Box<Node>)> = leaves
+            .into_iter()
+            .map(|entries| {
+                let bbox = entries
+                    .iter()
+                    .fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
+                (bbox, Box::new(Node::Leaf { entries }))
+            })
+            .collect();
+        // --- pack upper levels until a single root remains ---
+        while level.len() > 1 {
+            level = pack_level(level);
+        }
+        let root = level.pop();
+        RTree { root, entries }
+    }
+
+    /// Height of the tree (0 for empty; 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn h(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Inner { children } => {
+                    1 + children.first().map(|(_, c)| h(c)).unwrap_or(0)
+                }
+            }
+        }
+        self.root.as_ref().map(|(_, n)| h(n)).unwrap_or(0)
+    }
+}
+
+fn str_pack_leaves(items: &mut [(Aabb3, Oid)]) -> Vec<Vec<(Aabb3, Oid)>> {
+    let n = items.len();
+    let leaf_count = n.div_ceil(M);
+    // Number of vertical slabs ~ leaf_count^(2/3); inside each slab,
+    // tiles ~ leaf_count^(1/3).
+    let s1 = (leaf_count as f64).powf(2.0 / 3.0).ceil() as usize;
+    let slab_size = n.div_ceil(s1.max(1));
+    items.sort_by(|a, b| a.0.center(0).total_cmp(&b.0.center(0)));
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for slab in items.chunks_mut(slab_size.max(1)) {
+        let tiles = (slab.len() as f64 / (M * M) as f64).ceil() as usize;
+        let tile_size = slab.len().div_ceil(tiles.max(1));
+        slab.sort_by(|a, b| a.0.center(1).total_cmp(&b.0.center(1)));
+        for tile in slab.chunks_mut(tile_size.max(1)) {
+            tile.sort_by(|a, b| a.0.center(2).total_cmp(&b.0.center(2)));
+            for leaf in tile.chunks(M) {
+                leaves.push(leaf.to_vec());
+            }
+        }
+    }
+    leaves
+}
+
+fn pack_level(mut nodes: Vec<(Aabb3, Box<Node>)>) -> Vec<(Aabb3, Box<Node>)> {
+    nodes.sort_by(|a, b| {
+        a.0.center(0)
+            .total_cmp(&b.0.center(0))
+            .then(a.0.center(1).total_cmp(&b.0.center(1)))
+    });
+    let mut out = Vec::with_capacity(nodes.len().div_ceil(M));
+    let mut iter = nodes.into_iter().peekable();
+    while iter.peek().is_some() {
+        let children: Vec<(Aabb3, Box<Node>)> = iter.by_ref().take(M).collect();
+        let bbox = children
+            .iter()
+            .fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
+        out.push((bbox, Box::new(Node::Inner { children })));
+    }
+    out
+}
+
+impl SegmentIndex for RTree {
+    fn query_bbox(&self, query: &Aabb3) -> Vec<Oid> {
+        let mut hits = Vec::new();
+        if let Some((bbox, node)) = &self.root {
+            if bbox.intersects(query) {
+                collect(node, query, &mut hits);
+            }
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entries
+    }
+}
+
+fn collect(node: &Node, query: &Aabb3, hits: &mut Vec<Oid>) {
+    match node {
+        Node::Leaf { entries } => {
+            for (b, oid) in entries {
+                if b.intersects(query) {
+                    hits.push(*oid);
+                }
+            }
+        }
+        Node::Inner { children } => {
+            for (b, c) in children {
+                if b.intersects(query) {
+                    collect(c, query, hits);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scan::LinearScan;
+    use super::super::{query_box, segment_boxes, SegmentIndex};
+    use super::*;
+    use unn_traj::generator::{generate_uncertain, WorkloadConfig};
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(vec![]);
+        assert_eq!(t.entry_count(), 0);
+        assert_eq!(t.height(), 0);
+        assert!(t.query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn matches_linear_scan_on_workload() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(60, 21), 0.5);
+        let boxes = segment_boxes(&trs);
+        let tree = RTree::build(boxes.clone());
+        let scan = LinearScan::build(boxes.clone());
+        assert_eq!(tree.entry_count(), scan.entry_count());
+        let queries = [
+            query_box(0.0, 0.0, 40.0, 40.0, 0.0, 60.0), // everything
+            query_box(10.0, 10.0, 20.0, 20.0, 0.0, 30.0),
+            query_box(0.0, 0.0, 5.0, 5.0, 50.0, 60.0),
+            query_box(39.0, 39.0, 40.0, 40.0, 0.0, 1.0),
+            query_box(-10.0, -10.0, -5.0, -5.0, 0.0, 60.0), // nothing
+        ];
+        for q in &queries {
+            assert_eq!(tree.query_bbox(q), scan.query_bbox(q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn full_region_returns_all_objects() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(25, 9), 0.25);
+        let tree = RTree::build(segment_boxes(&trs));
+        let all = tree.query_bbox(&query_box(-1.0, -1.0, 41.0, 41.0, 0.0, 60.0));
+        assert_eq!(all.len(), 25);
+    }
+
+    #[test]
+    fn tree_is_balanced_and_packed() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(200, 4), 0.5);
+        let boxes = segment_boxes(&trs);
+        let n = boxes.len();
+        let tree = RTree::build(boxes);
+        // Packed height close to log_M(n).
+        let expected = (n as f64).log(M as f64).ceil() as usize + 1;
+        assert!(tree.height() <= expected, "height {} for {n} entries", tree.height());
+    }
+}

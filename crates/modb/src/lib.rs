@@ -1,0 +1,37 @@
+//! # unn-modb
+//!
+//! Moving Objects Database engine for the `uncertain-nn` workspace — the
+//! Rust reproduction of *"Continuous Probabilistic Nearest-Neighbor
+//! Queries for Uncertain Trajectories"* (Trajcevski et al., EDBT 2009).
+//!
+//! * [`store`] — the thread-safe trajectory store (the MOD of §1);
+//! * [`catalog`] — descriptive object metadata joined against spatial
+//!   answers;
+//! * [`index`] — from-scratch STR R-tree and uniform-grid segment indexes
+//!   with a linear-scan baseline;
+//! * [`prefilter`] — the conservative epoch-box prefilter (§2.2-I's
+//!   R_min/R_max rule at box granularity) feeding the NN path;
+//! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
+//!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
+//!   index-accelerated;
+//! * [`ql`] — the §4 SQL-ish query language (lexer, AST, parser), with the
+//!   `PROB_RNN` reverse-NN extension of §7;
+//! * [`server`] — the query-execution facade mapping parsed statements
+//!   onto the `unn-core` engine (forward, reverse, heterogeneous-radii,
+//!   and k-NN paths), with execution statistics;
+//! * [`persist`] — replayable text snapshots of MOD contents.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod index;
+pub mod instantaneous;
+pub mod persist;
+pub mod prefilter;
+pub mod ql;
+pub mod server;
+pub mod store;
+
+pub use catalog::{Catalog, ObjectMeta};
+pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
+pub use store::{ModStore, StoreError};

@@ -1,0 +1,157 @@
+//! Abstract syntax of the MOD query language.
+
+use std::fmt;
+
+/// The SELECT target: one named trajectory (Categories 1/2) or all
+/// trajectories (`*`, Categories 3/4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// All trajectories in the MOD.
+    All,
+    /// One named trajectory, e.g. `Tr5`.
+    One(String),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::All => write!(f, "*"),
+            Target::One(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The temporal quantifier of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Quantifier {
+    /// `EXISTS TIME IN [a, b]` — some instant (UQx1).
+    Exists,
+    /// `FORALL TIME IN [a, b]` — every instant (UQx2).
+    Forall,
+    /// `ATLEAST f OF TIME IN [a, b]` — fraction `f` of the window (UQx3).
+    AtLeast(f64),
+    /// `AT t TIME IN [a, b]` — the fixed instant `t` (the `t = tf`
+    /// variant noted at the end of §4).
+    At(f64),
+}
+
+/// The probabilistic predicate of the WHERE clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateKind {
+    /// `PROB_NN(target, q, TIME [, RANK k])` — the forward NN predicate of
+    /// §4 (Categories 1–4).
+    Nn,
+    /// `PROB_RNN(target, q, TIME)` — the *reverse* NN predicate (a §7
+    /// future-work variant): "does `q` have non-zero probability of being
+    /// `target`'s nearest neighbor?" RANK bounds are not supported.
+    Rnn,
+}
+
+/// A parsed query:
+///
+/// ```sql
+/// SELECT <target> FROM MOD
+/// WHERE <quantifier> TIME IN [a, b]
+///   AND PROB_NN(<target>, <query>, TIME [, RANK k]) > 0
+/// -- or, for reverse NN:
+///   AND PROB_RNN(<target>, <query>, TIME) > 0
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// What to retrieve.
+    pub target: Target,
+    /// The temporal quantifier.
+    pub quantifier: Quantifier,
+    /// The query window `[tb, te]`.
+    pub window: (f64, f64),
+    /// The name of the querying trajectory (`Tr_q`).
+    pub query_object: String,
+    /// Which probabilistic predicate is being tested.
+    pub predicate: PredicateKind,
+    /// Optional rank bound `k` (Categories 2/4; forward NN only).
+    pub rank: Option<usize>,
+    /// Probability threshold of the comparison `PROB_NN(...) > p`.
+    /// `0.0` is the paper's §4 semantics (non-zero probability); positive
+    /// values give the §7 *threshold* queries.
+    pub prob_threshold: f64,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT {} FROM MOD WHERE ", self.target)?;
+        match &self.quantifier {
+            Quantifier::Exists => write!(f, "EXISTS TIME IN ")?,
+            Quantifier::Forall => write!(f, "FORALL TIME IN ")?,
+            Quantifier::AtLeast(x) => write!(f, "ATLEAST {x} OF TIME IN ")?,
+            Quantifier::At(t) => write!(f, "AT {t} TIME IN ")?,
+        }
+        let pred = match self.predicate {
+            PredicateKind::Nn => "PROB_NN",
+            PredicateKind::Rnn => "PROB_RNN",
+        };
+        write!(
+            f,
+            "[{}, {}] AND {pred}({}, {}, TIME",
+            self.window.0, self.window.1, self.target, self.query_object
+        )?;
+        if let Some(k) = self.rank {
+            write!(f, ", RANK {k}")?;
+        }
+        write!(f, ") > {}", self.prob_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trippable_surface() {
+        let q = Query {
+            target: Target::One("Tr3".into()),
+            quantifier: Quantifier::AtLeast(0.5),
+            window: (0.0, 60.0),
+            query_object: "Tr0".into(),
+            predicate: PredicateKind::Nn,
+            rank: Some(2),
+            prob_threshold: 0.0,
+        };
+        let s = q.to_string();
+        assert!(s.contains("SELECT Tr3"));
+        assert!(s.contains("ATLEAST 0.5 OF TIME"));
+        assert!(s.contains("RANK 2"));
+        let q2 = crate::ql::parser::parse(&s).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn star_target_display() {
+        let q = Query {
+            target: Target::All,
+            quantifier: Quantifier::Exists,
+            window: (0.0, 1.0),
+            query_object: "Tr9".into(),
+            predicate: PredicateKind::Nn,
+            rank: None,
+            prob_threshold: 0.0,
+        };
+        assert!(q.to_string().contains("SELECT *"));
+    }
+
+    #[test]
+    fn reverse_display_round_trips() {
+        let q = Query {
+            target: Target::All,
+            quantifier: Quantifier::Exists,
+            window: (0.0, 60.0),
+            query_object: "Tr0".into(),
+            predicate: PredicateKind::Rnn,
+            rank: None,
+            prob_threshold: 0.0,
+        };
+        let s = q.to_string();
+        assert!(s.contains("PROB_RNN"), "{s}");
+        let q2 = crate::ql::parser::parse(&s).unwrap();
+        assert_eq!(q, q2);
+    }
+}

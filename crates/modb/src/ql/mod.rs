@@ -1,0 +1,14 @@
+//! The MOD query language of §4: lexer, AST, and parser.
+//!
+//! The paper sketches SQL-style predicates for the continuous
+//! probabilistic NN query variants; this module provides a concrete
+//! surface syntax covering all four categories (see
+//! [`parser::parse`] for the grammar) and the [`crate::server::ModServer`]
+//! executes the parsed statements against the store.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Quantifier, Query, Target};
+pub use parser::{parse, ParseError};

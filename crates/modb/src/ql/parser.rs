@@ -1,0 +1,439 @@
+//! Recursive-descent parser for the MOD query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT target FROM MOD WHERE quant AND prob EOF
+//! target     := '*' | IDENT
+//! quant      := EXISTS  TIME IN interval
+//!             | FORALL  TIME IN interval
+//!             | ATLEAST number ['%'] OF TIME IN interval
+//!             | AT number TIME IN interval
+//! interval   := '[' number ',' number ']'
+//! prob       := PROB_NN  '(' target ',' IDENT ',' TIME [',' RANK number] ')' cmp
+//!             | PROB_RNN '(' target ',' IDENT ',' TIME ')' cmp
+//! cmp        := '>' number          -- number in [0, 1); 0 = the §4
+//!                                   -- non-zero-probability semantics,
+//!                                   -- positive = §7 threshold queries
+//! ```
+//!
+//! `PROB_RNN` is the reverse-NN predicate of the §7 extensions: "`target`
+//! has `query` as a possible nearest neighbor". It takes no RANK bound.
+
+use super::ast::{PredicateKind, Quantifier, Query, Target};
+use super::lexer::{tokenize, LexError, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, pos: e.pos }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        let t = self.advance();
+        if std::mem::discriminant(&t.kind) == std::mem::discriminant(kind) {
+            Ok(t)
+        } else {
+            Err(ParseError {
+                message: format!("expected {kind}, found {}", t.kind),
+                pos: t.pos,
+            })
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Number(n) => Ok(n),
+            other => Err(ParseError {
+                message: format!("expected a number, found {other}"),
+                pos: t.pos,
+            }),
+        }
+    }
+
+    fn target(&mut self) -> Result<Target, ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Star => Ok(Target::All),
+            TokenKind::Ident(s) => Ok(Target::One(s)),
+            other => Err(ParseError {
+                message: format!("expected '*' or an identifier, found {other}"),
+                pos: t.pos,
+            }),
+        }
+    }
+
+    fn interval(&mut self) -> Result<(f64, f64), ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let a = self.number()?;
+        self.expect(&TokenKind::Comma)?;
+        let b = self.number()?;
+        let closing = self.expect(&TokenKind::RBracket)?;
+        if !(a.is_finite() && b.is_finite() && a < b) {
+            return Err(ParseError {
+                message: format!("invalid window [{a}, {b}]"),
+                pos: closing.pos,
+            });
+        }
+        Ok((a, b))
+    }
+
+    fn quantifier(&mut self) -> Result<(Quantifier, (f64, f64)), ParseError> {
+        let t = self.advance();
+        let quant = match t.kind {
+            TokenKind::Exists => Quantifier::Exists,
+            TokenKind::Forall => Quantifier::Forall,
+            TokenKind::AtLeast => {
+                let n = self.number()?;
+                // Optional '%' turns 50 into 0.5.
+                let frac = if self.peek().kind == TokenKind::Percent {
+                    self.advance();
+                    n / 100.0
+                } else {
+                    n
+                };
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(ParseError {
+                        message: format!("fraction {frac} outside [0, 1]"),
+                        pos: t.pos,
+                    });
+                }
+                self.expect(&TokenKind::Of)?;
+                Quantifier::AtLeast(frac)
+            }
+            TokenKind::At => Quantifier::At(self.number()?),
+            other => {
+                return Err(ParseError {
+                    message: format!(
+                        "expected EXISTS, FORALL, ATLEAST or AT, found {other}"
+                    ),
+                    pos: t.pos,
+                })
+            }
+        };
+        self.expect(&TokenKind::Time)?;
+        self.expect(&TokenKind::In)?;
+        let window = self.interval()?;
+        if let Quantifier::At(t_at) = quant {
+            if t_at < window.0 || t_at > window.1 {
+                return Err(ParseError {
+                    message: format!(
+                        "fixed time {t_at} outside window [{}, {}]",
+                        window.0, window.1
+                    ),
+                    pos: 0,
+                });
+            }
+        }
+        Ok((quant, window))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn prob(
+        &mut self,
+    ) -> Result<(PredicateKind, Target, String, Option<usize>, f64), ParseError> {
+        let head = self.advance();
+        let predicate = match head.kind {
+            TokenKind::ProbNn => PredicateKind::Nn,
+            TokenKind::ProbRnn => PredicateKind::Rnn,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected PROB_NN or PROB_RNN, found {other}"),
+                    pos: head.pos,
+                })
+            }
+        };
+        self.expect(&TokenKind::LParen)?;
+        let target = self.target()?;
+        self.expect(&TokenKind::Comma)?;
+        let q = self.advance();
+        let query_object = match q.kind {
+            TokenKind::Ident(s) => s,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected the query trajectory name, found {other}"),
+                    pos: q.pos,
+                })
+            }
+        };
+        self.expect(&TokenKind::Comma)?;
+        self.expect(&TokenKind::Time)?;
+        let mut rank = None;
+        if self.peek().kind == TokenKind::Comma {
+            self.advance();
+            let rank_tok = self.expect(&TokenKind::Rank)?;
+            if predicate == PredicateKind::Rnn {
+                return Err(ParseError {
+                    message: "PROB_RNN does not support RANK bounds".to_string(),
+                    pos: rank_tok.pos,
+                });
+            }
+            let t = self.advance();
+            match t.kind {
+                TokenKind::Number(n) if n >= 1.0 && n.fract() == 0.0 => {
+                    rank = Some(n as usize)
+                }
+                other => {
+                    return Err(ParseError {
+                        message: format!("RANK expects a positive integer, found {other}"),
+                        pos: t.pos,
+                    })
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::Greater)?;
+        let cmp = self.advance();
+        let prob_threshold = match cmp.kind {
+            TokenKind::Number(n) if (0.0..1.0).contains(&n) => n,
+            other => {
+                return Err(ParseError {
+                    message: format!(
+                        "probability comparisons need '> p' with p in [0, 1), found {other}"
+                    ),
+                    pos: cmp.pos,
+                })
+            }
+        };
+        Ok((predicate, target, query_object, rank, prob_threshold))
+    }
+}
+
+/// Parses a query statement.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, idx: 0 };
+    p.expect(&TokenKind::Select)?;
+    let target = p.target()?;
+    p.expect(&TokenKind::From)?;
+    p.expect(&TokenKind::Mod)?;
+    p.expect(&TokenKind::Where)?;
+    let (quantifier, window) = p.quantifier()?;
+    p.expect(&TokenKind::And)?;
+    let (predicate, prob_target, query_object, rank, prob_threshold) = p.prob()?;
+    let eof = p.expect(&TokenKind::Eof)?;
+    // Semantic check: the SELECT target and the predicate subject must
+    // agree.
+    if target != prob_target {
+        return Err(ParseError {
+            message: format!(
+                "SELECT target {target} does not match predicate subject {prob_target}"
+            ),
+            pos: eof.pos,
+        });
+    }
+    if let Target::One(name) = &target {
+        if *name == query_object {
+            return Err(ParseError {
+                message: format!("target {name} cannot be its own query object"),
+                pos: eof.pos,
+            });
+        }
+    }
+    Ok(Query { target, quantifier, window, query_object, predicate, rank, prob_threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_uq11() {
+        let q = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr3, Tr0, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.target, Target::One("Tr3".into()));
+        assert_eq!(q.quantifier, Quantifier::Exists);
+        assert_eq!(q.window, (0.0, 60.0));
+        assert_eq!(q.query_object, "Tr0");
+        assert_eq!(q.rank, None);
+    }
+
+    #[test]
+    fn parses_uq23_with_percent() {
+        let q = parse(
+            "SELECT Tr3 FROM MOD WHERE ATLEAST 50 % OF TIME IN [0, 60] \
+             AND PROB_NN(Tr3, Tr0, TIME, RANK 2) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.quantifier, Quantifier::AtLeast(0.5));
+        assert_eq!(q.rank, Some(2));
+    }
+
+    #[test]
+    fn parses_uq31_star() {
+        let q = parse(
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [10, 20] AND PROB_NN(*, Tr7, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.target, Target::All);
+        assert_eq!(q.query_object, "Tr7");
+    }
+
+    #[test]
+    fn parses_fixed_time() {
+        let q = parse(
+            "SELECT Tr1 FROM MOD WHERE AT 30 TIME IN [0, 60] AND PROB_NN(Tr1, Tr0, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.quantifier, Quantifier::At(30.0));
+    }
+
+    #[test]
+    fn rejects_target_mismatch() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr4, Tr0, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("does not match"));
+    }
+
+    #[test]
+    fn rejects_self_query() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr3, Tr3, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("own query object"));
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [60, 0] AND PROB_NN(Tr3, Tr0, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("invalid window"));
+    }
+
+    #[test]
+    fn rejects_fixed_time_outside_window() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE AT 99 TIME IN [0, 60] AND PROB_NN(Tr3, Tr0, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("outside window"));
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(Tr3, Tr0, TIME, RANK 0.5) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("positive integer"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_comparison() {
+        for bad in ["> 5", "> 1", "> -0.1"] {
+            let err = parse(&format!(
+                "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr3, Tr0, TIME) {bad}",
+            ))
+            .unwrap_err();
+            assert!(err.message.contains("p in [0, 1)"), "{bad}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn accepts_threshold_comparison() {
+        let q = parse(
+            "SELECT Tr3 FROM MOD WHERE ATLEAST 0.5 OF TIME IN [0, 60] \
+             AND PROB_NN(Tr3, Tr0, TIME) > 0.65",
+        )
+        .unwrap();
+        assert!((q.prob_threshold - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_fraction_above_one() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE ATLEAST 1.5 OF TIME IN [0, 60] \
+             AND PROB_NN(Tr3, Tr0, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn parses_reverse_nn() {
+        let q = parse(
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_RNN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.predicate, PredicateKind::Rnn);
+        assert_eq!(q.rank, None);
+        let q1 = parse(
+            "SELECT Tr2 FROM MOD WHERE FORALL TIME IN [0, 60] AND PROB_RNN(Tr2, Tr0, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q1.predicate, PredicateKind::Rnn);
+        assert_eq!(q1.target, Target::One("Tr2".into()));
+    }
+
+    #[test]
+    fn reverse_nn_rejects_rank() {
+        let err = parse(
+            "SELECT Tr2 FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_RNN(Tr2, Tr0, TIME, RANK 2) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("does not support RANK"), "{}", err.message);
+    }
+
+    #[test]
+    fn forward_queries_carry_nn_predicate() {
+        let q = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr3, Tr0, TIME) > 0",
+        )
+        .unwrap();
+        assert_eq!(q.predicate, PredicateKind::Nn);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse(
+            "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(Tr3, Tr0, TIME) > 0 EXTRA",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expected <eof>"), "{}", err.message);
+    }
+}

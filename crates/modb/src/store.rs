@@ -1,0 +1,196 @@
+//! The in-memory MOD store: the server-side collection of uncertain
+//! trajectories (§2.1: the server "keeps a copy ... for query
+//! processing").
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use unn_traj::trajectory::Oid;
+use unn_traj::uncertain::UncertainTrajectory;
+
+/// Errors raised by [`ModStore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An object with this id is already stored.
+    DuplicateOid(Oid),
+    /// No object with this id.
+    NotFound(Oid),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateOid(oid) => write!(f, "duplicate object id {oid}"),
+            StoreError::NotFound(oid) => write!(f, "no object with id {oid}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Thread-safe store of uncertain trajectories, keyed by [`Oid`].
+///
+/// Mutations bump an epoch counter so index structures and caches built
+/// from a snapshot can detect staleness cheaply.
+#[derive(Debug, Default)]
+pub struct ModStore {
+    inner: RwLock<BTreeMap<Oid, UncertainTrajectory>>,
+    epoch: AtomicU64,
+}
+
+impl ModStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ModStore::default()
+    }
+
+    /// Inserts a trajectory; fails on duplicate ids.
+    pub fn insert(&self, tr: UncertainTrajectory) -> Result<(), StoreError> {
+        let mut g = self.inner.write();
+        let oid = tr.oid();
+        if g.contains_key(&oid) {
+            return Err(StoreError::DuplicateOid(oid));
+        }
+        g.insert(oid, tr);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Inserts many trajectories (all-or-nothing on duplicate ids).
+    pub fn bulk_load<I: IntoIterator<Item = UncertainTrajectory>>(
+        &self,
+        trs: I,
+    ) -> Result<usize, StoreError> {
+        let mut g = self.inner.write();
+        let items: Vec<UncertainTrajectory> = trs.into_iter().collect();
+        for tr in &items {
+            if g.contains_key(&tr.oid()) {
+                return Err(StoreError::DuplicateOid(tr.oid()));
+            }
+        }
+        let n = items.len();
+        for tr in items {
+            g.insert(tr.oid(), tr);
+        }
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Removes a trajectory.
+    pub fn remove(&self, oid: Oid) -> Result<UncertainTrajectory, StoreError> {
+        let mut g = self.inner.write();
+        let out = g.remove(&oid).ok_or(StoreError::NotFound(oid))?;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Clones the trajectory with the given id.
+    pub fn get(&self, oid: Oid) -> Option<UncertainTrajectory> {
+        self.inner.read().get(&oid).cloned()
+    }
+
+    /// `true` when the id is present.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.inner.read().contains_key(&oid)
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// All ids, ascending.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.inner.read().keys().copied().collect()
+    }
+
+    /// A consistent snapshot of all trajectories, ascending by id.
+    pub fn snapshot(&self) -> Vec<UncertainTrajectory> {
+        self.inner.read().values().cloned().collect()
+    }
+
+    /// Monotonic mutation counter.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Removes everything.
+    pub fn clear(&self) {
+        self.inner.write().clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_traj::trajectory::Trajectory;
+
+    fn tr(oid: u64) -> UncertainTrajectory {
+        UncertainTrajectory::with_uniform_pdf(
+            Trajectory::from_triples(Oid(oid), &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+                .unwrap(),
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let s = ModStore::new();
+        assert!(s.is_empty());
+        s.insert(tr(1)).unwrap();
+        s.insert(tr(2)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Oid(1)));
+        assert_eq!(s.get(Oid(1)).unwrap().oid(), Oid(1));
+        assert_eq!(s.insert(tr(1)), Err(StoreError::DuplicateOid(Oid(1))));
+        s.remove(Oid(1)).unwrap();
+        assert_eq!(s.remove(Oid(1)), Err(StoreError::NotFound(Oid(1))));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_is_atomic() {
+        let s = ModStore::new();
+        s.insert(tr(3)).unwrap();
+        let res = s.bulk_load(vec![tr(4), tr(3)]);
+        assert_eq!(res, Err(StoreError::DuplicateOid(Oid(3))));
+        // Nothing from the failed batch is visible.
+        assert!(!s.contains(Oid(4)));
+        assert_eq!(s.bulk_load(vec![tr(5), tr(6)]).unwrap(), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn epoch_bumps_on_mutation() {
+        let s = ModStore::new();
+        let e0 = s.epoch();
+        s.insert(tr(1)).unwrap();
+        let e1 = s.epoch();
+        assert!(e1 > e0);
+        let _ = s.get(Oid(1));
+        assert_eq!(s.epoch(), e1); // reads do not bump
+        s.clear();
+        assert!(s.epoch() > e1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let s = ModStore::new();
+        s.insert(tr(9)).unwrap();
+        s.insert(tr(2)).unwrap();
+        s.insert(tr(5)).unwrap();
+        let snap = s.snapshot();
+        let oids: Vec<u64> = snap.iter().map(|t| t.oid().0).collect();
+        assert_eq!(oids, vec![2, 5, 9]);
+        assert_eq!(s.oids(), vec![Oid(2), Oid(5), Oid(9)]);
+    }
+}

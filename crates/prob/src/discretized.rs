@@ -1,0 +1,253 @@
+//! Discretized NN probabilities with explicit joint ("tie") terms.
+//!
+//! §2.2-IV of the paper observes that evaluating Eq. 5 alone does not
+//! yield a probability space: `Σ_i P^NN_i < 1`, the missing mass being the
+//! *joint* probability of several objects being nearest neighbors
+//! simultaneously (Eq. 6). For **continuous** distance distributions exact
+//! ties have probability zero and Eq. 5 alone sums to one (the paper's
+//! integrals of density *products* vanish); the discrepancy materializes
+//! when the computation is discretized, as in Cheng et al.'s histogram
+//! evaluation — two objects falling into the same distance bin are a tie
+//! with non-zero probability.
+//!
+//! This module makes the paper's discussion concrete: it discretizes each
+//! candidate's distance distribution into bins and computes
+//!
+//! * the **exclusive** probability `P^NNE_j` (only `j` in the minimal bin),
+//! * the **joint** terms of order 2 and 3 (pairs/triples sharing the
+//!   minimal bin — the sums written out in §2.2-IV),
+//! * the total mass recovered up to a given order, which converges to 1 as
+//!   the order grows or the bins shrink.
+
+use crate::nn_prob::NnCandidate;
+use crate::within_distance::{distance_bounds, within_distance_auto};
+
+/// Discretized NN evaluation engine over `bins` equal-width distance bins.
+#[derive(Debug)]
+pub struct DiscretizedNn {
+    /// `q[i][b]`: probability that candidate `i`'s distance falls in bin `b`.
+    q: Vec<Vec<f64>>,
+    /// `s[i][b]`: probability that candidate `i`'s distance exceeds the top
+    /// of bin `b`.
+    s: Vec<Vec<f64>>,
+    bins: usize,
+}
+
+impl DiscretizedNn {
+    /// Builds the engine: the distance CDF of each candidate is exactly its
+    /// within-distance probability `P^WD`, evaluated at the bin edges.
+    pub fn new(cands: &[NnCandidate<'_>], bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        let hi = cands
+            .iter()
+            .map(|c| distance_bounds(c.pdf, c.center_distance).1)
+            .fold(0.0, f64::max);
+        let n = cands.len();
+        let mut q = vec![vec![0.0; bins]; n];
+        let mut s = vec![vec![0.0; bins]; n];
+        for (i, c) in cands.iter().enumerate() {
+            let mut cdf_lo = 0.0;
+            for b in 0..bins {
+                let edge_hi = hi * (b + 1) as f64 / bins as f64;
+                let cdf_hi = within_distance_auto(c.pdf, c.center_distance, edge_hi);
+                q[i][b] = (cdf_hi - cdf_lo).max(0.0);
+                s[i][b] = (1.0 - cdf_hi).max(0.0);
+                cdf_lo = cdf_hi;
+            }
+        }
+        DiscretizedNn { q, s, bins }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// `true` when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Exclusive NN probability `P^NNE_j`: `j`'s distance lands in some bin
+    /// while every other candidate's distance is strictly beyond that bin.
+    pub fn exclusive(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for b in 0..self.bins {
+            // prefix/suffix products of the survival factors.
+            let mut prefix = vec![1.0; n + 1];
+            for i in 0..n {
+                prefix[i + 1] = prefix[i] * self.s[i][b];
+            }
+            let mut suffix = vec![1.0; n + 1];
+            for i in (0..n).rev() {
+                suffix[i] = suffix[i + 1] * self.s[i][b];
+            }
+            for j in 0..n {
+                out[j] += self.q[j][b] * prefix[j] * suffix[j + 1];
+            }
+        }
+        out
+    }
+
+    /// Pairwise joint NN probability: for each `j`, the summed probability
+    /// that `j` *ties* with exactly one other candidate in the minimal bin
+    /// (the first sum of §2.2-IV).
+    pub fn joint_pairs(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for b in 0..self.bins {
+            for j in 0..n {
+                for k in (j + 1)..n {
+                    let mut rest = 1.0;
+                    for i in 0..n {
+                        if i != j && i != k {
+                            rest *= self.s[i][b];
+                        }
+                    }
+                    let p = self.q[j][b] * self.q[k][b] * rest;
+                    out[j] += p;
+                    out[k] += p;
+                }
+            }
+        }
+        out
+    }
+
+    /// Triple joint NN probability per candidate (the second sum of
+    /// §2.2-IV). Cubic in the number of candidates; intended for the small
+    /// configurations where the decomposition is being studied.
+    pub fn joint_triples(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = vec![0.0; n];
+        for b in 0..self.bins {
+            for j in 0..n {
+                for k in (j + 1)..n {
+                    for l in (k + 1)..n {
+                        let mut rest = 1.0;
+                        for i in 0..n {
+                            if i != j && i != k && i != l {
+                                rest *= self.s[i][b];
+                            }
+                        }
+                        let p = self.q[j][b] * self.q[k][b] * self.q[l][b] * rest;
+                        out[j] += p;
+                        out[k] += p;
+                        out[l] += p;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total probability mass recovered when ties are resolved at
+    /// increasing order:
+    ///
+    /// * order 1 — `Σ_j P^NNE_j` (what Eq. 5 alone captures; `< 1`);
+    /// * order 2 — adds each unordered pair tie once;
+    /// * order 3 — adds each unordered triple tie once.
+    ///
+    /// As the order approaches the candidate count (or bins shrink) the
+    /// total converges to exactly 1 (the telescoping identity
+    /// `Σ_b [Π_i (q_i + s_i) − Π_i s_i] = 1`).
+    pub fn total_mass(&self, order: usize) -> f64 {
+        let mut total: f64 = self.exclusive().iter().sum();
+        if order >= 2 {
+            total += self.joint_pairs().iter().sum::<f64>() / 2.0;
+        }
+        if order >= 3 {
+            total += self.joint_triples().iter().sum::<f64>() / 3.0;
+        }
+        total
+    }
+
+    /// The exact total mass across *all* orders, via the telescoping
+    /// product identity — always 1 up to floating error; exposed for tests.
+    pub fn total_mass_exact(&self) -> f64 {
+        let n = self.len();
+        let mut total = 0.0;
+        for b in 0..self.bins {
+            let mut all = 1.0;
+            let mut none = 1.0;
+            for i in 0..n {
+                all *= self.q[i][b] + self.s[i][b];
+                none *= self.s[i][b];
+            }
+            total += all - none;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformDiskPdf;
+
+    fn setup() -> (UniformDiskPdf, Vec<f64>) {
+        (UniformDiskPdf::new(1.0), vec![2.0, 2.3, 2.8, 3.1])
+    }
+
+    #[test]
+    fn exclusive_sum_is_below_one_with_coarse_bins() {
+        let (p, ds) = setup();
+        let cands: Vec<NnCandidate> = ds
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .collect();
+        let engine = DiscretizedNn::new(&cands, 8);
+        let total: f64 = engine.exclusive().iter().sum();
+        assert!(total < 0.999, "coarse bins must lose tie mass, got {total}");
+        assert!(total > 0.5);
+    }
+
+    #[test]
+    fn joint_terms_recover_missing_mass() {
+        let (p, ds) = setup();
+        let cands: Vec<NnCandidate> = ds
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .collect();
+        let engine = DiscretizedNn::new(&cands, 8);
+        let t1 = engine.total_mass(1);
+        let t2 = engine.total_mass(2);
+        let t3 = engine.total_mass(3);
+        let exact = engine.total_mass_exact();
+        assert!(t1 < t2 && t2 <= t3 + 1e-12, "t1={t1} t2={t2} t3={t3}");
+        assert!(t3 <= exact + 1e-9);
+        // With 4 candidates, order-4 ties remain; order 3 must already be
+        // very close.
+        assert!((t3 - exact).abs() < 0.02, "t3={t3} exact={exact}");
+        assert!((exact - 1.0).abs() < 1e-6, "exact mass {exact}");
+    }
+
+    #[test]
+    fn fine_bins_approach_continuous_behavior() {
+        let (p, ds) = setup();
+        let cands: Vec<NnCandidate> = ds
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .collect();
+        let coarse = DiscretizedNn::new(&cands, 8).total_mass(1);
+        let fine = DiscretizedNn::new(&cands, 256).total_mass(1);
+        assert!(
+            fine > coarse,
+            "finer bins must shrink tie mass: coarse {coarse}, fine {fine}"
+        );
+        assert!(fine > 0.98, "fine-bin exclusive mass {fine}");
+    }
+
+    #[test]
+    fn discretized_exclusive_matches_continuous_ranking() {
+        let (p, ds) = setup();
+        let cands: Vec<NnCandidate> = ds
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .collect();
+        let excl = DiscretizedNn::new(&cands, 128).exclusive();
+        for w in excl.windows(2) {
+            assert!(w[0] > w[1], "ranking must follow distance: {excl:?}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The exact pdf of the difference of two independent uniform-disk
+//! locations with **different** radii `r1`, `r2`.
+//!
+//! This generalizes [`crate::uniform_diff`] (the equal-radius case) and is
+//! the probability substrate for the paper's last future-work item (§7:
+//! "allow for different uncertainty zones of the object locations, i.e.,
+//! circles with different radii"). For `V_1 ~ U(D(0, r1))` and
+//! `V_2 ~ U(D(0, r2))` independent, the difference `W = V_1 − V_2` has
+//! density
+//!
+//! ```text
+//! f(w) = ∫ f_1(v + w) f_2(v) dv
+//!      = lens_area(|w|; r1, r2) / (π r1² · π r2²) ,   0 ≤ |w| ≤ r1 + r2,
+//! ```
+//!
+//! the normalized cross-correlation of the two disk indicators. It is
+//! rotationally symmetric and monotonically non-increasing in `|w|` (flat
+//! at `min(r1,r2)² / (r1² r2² π)` on `[0, |r1 − r2|]`, then strictly
+//! decreasing), so Lemma 1 applies to each candidate *individually*;
+//! however, with unequal radii different candidates have **different**
+//! difference pdfs and Theorem 1's ranking-by-center-distance no longer
+//! holds across candidates — see `unn-core::hetero` for the machinery
+//! replacing it.
+
+use crate::pdf::RadialPdf;
+use crate::uniform::UniformDiskPdf;
+use rand::RngCore;
+use std::f64::consts::PI;
+use unn_geom::circle::lens_area;
+use unn_geom::point::Vec2;
+
+/// Exact pdf of `V_1 − V_2` for independent uniform disks of radii `r1`
+/// and `r2` (support radius `r1 + r2`).
+#[derive(Debug, Clone)]
+pub struct DiskDifferencePdf {
+    r1: f64,
+    r2: f64,
+    peak: f64,
+    s1: UniformDiskPdf,
+    s2: UniformDiskPdf,
+    /// Radial CDF on a uniform grid over `[0, r1 + r2]` for `mass_within`.
+    cdf: Vec<f64>,
+}
+
+const CDF_GRID: usize = 2048;
+
+impl DiskDifferencePdf {
+    /// Creates the difference pdf for disk radii `r1`, `r2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either radius is non-positive or not finite.
+    pub fn new(r1: f64, r2: f64) -> Self {
+        assert!(r1.is_finite() && r1 > 0.0, "invalid radius r1 = {r1}");
+        assert!(r2.is_finite() && r2 > 0.0, "invalid radius r2 = {r2}");
+        let norm = (PI * r1 * r1) * (PI * r2 * r2);
+        let support = r1 + r2;
+        let density = |s: f64| -> f64 {
+            if s >= support {
+                0.0
+            } else {
+                lens_area(s, r1, r2) / norm
+            }
+        };
+        // Radial CDF by trapezoid accumulation of density(s)·2πs, then
+        // normalized so the grid ends exactly at 1.
+        let mut cdf = Vec::with_capacity(CDF_GRID + 1);
+        cdf.push(0.0);
+        let step = support / CDF_GRID as f64;
+        let mut acc = 0.0;
+        let mut prev = 0.0;
+        for k in 1..=CDF_GRID {
+            let s = k as f64 * step;
+            let cur = density(s) * 2.0 * PI * s;
+            acc += 0.5 * (prev + cur) * step;
+            cdf.push(acc);
+            prev = cur;
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let rmin = r1.min(r2);
+        DiskDifferencePdf {
+            r1,
+            r2,
+            peak: (PI * rmin * rmin) / norm,
+            s1: UniformDiskPdf::new(r1),
+            s2: UniformDiskPdf::new(r2),
+            cdf,
+        }
+    }
+
+    /// The first disk radius.
+    pub fn r1(&self) -> f64 {
+        self.r1
+    }
+
+    /// The second disk radius.
+    pub fn r2(&self) -> f64 {
+        self.r2
+    }
+}
+
+impl RadialPdf for DiskDifferencePdf {
+    fn support_radius(&self) -> f64 {
+        self.r1 + self.r2
+    }
+
+    fn density(&self, s: f64) -> f64 {
+        if s < 0.0 || s >= self.r1 + self.r2 {
+            0.0
+        } else {
+            lens_area(s, self.r1, self.r2)
+                / ((PI * self.r1 * self.r1) * (PI * self.r2 * self.r2))
+        }
+    }
+
+    fn density_bound(&self) -> f64 {
+        self.peak
+    }
+
+    fn mass_within(&self, radius: f64) -> f64 {
+        let support = self.r1 + self.r2;
+        if radius <= 0.0 {
+            return 0.0;
+        }
+        if radius >= support {
+            return 1.0;
+        }
+        let x = radius / support * CDF_GRID as f64;
+        let k = (x.floor() as usize).min(CDF_GRID - 1);
+        let frac = x - k as f64;
+        (self.cdf[k] * (1.0 - frac) + self.cdf[k + 1] * frac).clamp(0.0, 1.0)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Vec2 {
+        // Exact: the difference of independent uniform samples has
+        // precisely this distribution.
+        self.s1.sample(rng) - self.s2.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::total_mass;
+    use crate::uniform_diff::UniformDifferencePdf;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reduces_to_equal_radius_difference_pdf() {
+        let a = DiskDifferencePdf::new(1.2, 1.2);
+        let b = UniformDifferencePdf::new(1.2);
+        for s in [0.0, 0.4, 1.0, 1.7, 2.3, 2.4] {
+            assert!(
+                (a.density(s) - b.density(s)).abs() < 1e-12,
+                "s={s}: {} vs {}",
+                a.density(s),
+                b.density(s)
+            );
+            assert!((a.mass_within(s) - b.mass_within(s)).abs() < 1e-6, "s={s}");
+        }
+        assert_eq!(a.support_radius(), b.support_radius());
+    }
+
+    #[test]
+    fn total_mass_is_one() {
+        for (r1, r2) in [(0.3, 1.0), (1.0, 1.0), (2.5, 0.5), (0.1, 3.0)] {
+            let p = DiskDifferencePdf::new(r1, r2);
+            assert!((total_mass(&p) - 1.0).abs() < 1e-6, "r1={r1} r2={r2}");
+            assert!((p.mass_within(r1 + r2) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flat_plateau_inside_radius_gap() {
+        // For |s| ≤ |r1 − r2| the smaller disk is fully inside the larger:
+        // density is constant at min² / (π r1² r2²).
+        let p = DiskDifferencePdf::new(2.0, 0.5);
+        let plateau = (0.5f64 * 0.5) / (PI * 2.0 * 2.0 * 0.5 * 0.5);
+        for s in [0.0, 0.5, 1.0, 1.49] {
+            assert!((p.density(s) - plateau).abs() < 1e-12, "s={s}");
+        }
+        // Beyond the gap it strictly decreases to zero at the support edge.
+        assert!(p.density(1.6) < plateau);
+        assert!(p.density(2.4) < p.density(1.6));
+        assert_eq!(p.density(2.5), 0.0);
+    }
+
+    #[test]
+    fn density_monotone_non_increasing() {
+        for (r1, r2) in [(1.0, 0.4), (0.7, 2.0)] {
+            let p = DiskDifferencePdf::new(r1, r2);
+            let sup = r1 + r2;
+            let mut prev = p.density(0.0);
+            let mut s = sup / 400.0;
+            while s < sup {
+                let d = p.density(s);
+                assert!(d <= prev + 1e-12, "r1={r1} r2={r2} s={s}");
+                prev = d;
+                s += sup / 400.0;
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_cdf() {
+        let p = DiskDifferencePdf::new(1.0, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let n = 40_000;
+        for probe in [0.4, 0.9, 1.3] {
+            let expected = p.mass_within(probe);
+            let count = (0..n)
+                .filter(|_| p.sample(&mut rng).norm() <= probe)
+                .count();
+            let frac = count as f64 / n as f64;
+            assert!(
+                (frac - expected).abs() < 0.015,
+                "probe {probe}: frac {frac} vs cdf {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn mass_within_monotone() {
+        let p = DiskDifferencePdf::new(0.8, 1.7);
+        let mut prev = 0.0;
+        for k in 0..=100 {
+            let s = k as f64 * 2.5 / 100.0;
+            let m = p.mass_within(s);
+            assert!(m + 1e-12 >= prev, "s={s}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_radius() {
+        let _ = DiskDifferencePdf::new(0.0, 1.0);
+    }
+}

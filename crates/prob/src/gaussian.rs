@@ -1,0 +1,164 @@
+//! Gaussian location pdf truncated to a disk ("bounded Gaussian").
+//!
+//! Figure 3.c of the paper shows both uniform and bounded-Gaussian location
+//! pdfs inside the uncertainty circle. The truncated Gaussian is
+//! rotationally symmetric, so all results of §3 apply to it (Theorem 1).
+
+use crate::pdf::RadialPdf;
+use rand::Rng;
+use std::f64::consts::PI;
+use unn_geom::point::Vec2;
+
+/// An isotropic 2D Gaussian with standard deviation `sigma`, truncated to
+/// a disk of radius `radius` and renormalized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussianPdf {
+    radius: f64,
+    sigma: f64,
+    /// Normalization constant: density(s) = norm · exp(−s²/(2σ²)).
+    norm: f64,
+    /// Total (untruncated) mass inside the disk: 1 − exp(−r²/(2σ²)).
+    inside_mass: f64,
+}
+
+impl TruncatedGaussianPdf {
+    /// Creates the pdf.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` or `sigma` is non-positive or not finite.
+    pub fn new(radius: f64, sigma: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0 && sigma.is_finite() && sigma > 0.0,
+            "truncated Gaussian requires positive radius and sigma (got r={radius}, σ={sigma})"
+        );
+        let inside_mass = 1.0 - (-radius * radius / (2.0 * sigma * sigma)).exp();
+        let norm = 1.0 / (2.0 * PI * sigma * sigma * inside_mass);
+        TruncatedGaussianPdf { radius, sigma, norm, inside_mass }
+    }
+
+    /// The truncation radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The standard deviation of the underlying Gaussian.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl RadialPdf for TruncatedGaussianPdf {
+    fn support_radius(&self) -> f64 {
+        self.radius
+    }
+
+    fn density(&self, s: f64) -> f64 {
+        if s <= self.radius {
+            self.norm * (-s * s / (2.0 * self.sigma * self.sigma)).exp()
+        } else {
+            0.0
+        }
+    }
+
+    fn density_bound(&self) -> f64 {
+        self.norm
+    }
+
+    fn mass_within(&self, radius: f64) -> f64 {
+        if radius <= 0.0 {
+            return 0.0;
+        }
+        let rr = radius.min(self.radius);
+        let raw = 1.0 - (-rr * rr / (2.0 * self.sigma * self.sigma)).exp();
+        (raw / self.inside_mass).clamp(0.0, 1.0)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec2 {
+        // Inverse transform on the radial CDF:
+        //   F(s) = (1 − exp(−s²/2σ²)) / inside_mass  ⇒
+        //   s = σ sqrt(−2 ln(1 − u · inside_mass)).
+        let u: f64 = rng.random_range(0.0..1.0);
+        let s = self.sigma * (-2.0 * (1.0 - u * self.inside_mass).ln()).sqrt();
+        let s = s.min(self.radius);
+        let theta: f64 = rng.random_range(0.0..(2.0 * PI));
+        Vec2::new(s * theta.cos(), s * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::total_mass;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalized() {
+        for (r, s) in [(1.0, 0.3), (2.0, 1.0), (0.5, 5.0)] {
+            let p = TruncatedGaussianPdf::new(r, s);
+            assert!((total_mass(&p) - 1.0).abs() < 1e-8, "r={r} σ={s}");
+        }
+    }
+
+    #[test]
+    fn density_decreasing_and_truncated() {
+        let p = TruncatedGaussianPdf::new(2.0, 0.8);
+        assert!(p.density(0.0) > p.density(1.0));
+        assert!(p.density(1.0) > p.density(2.0));
+        assert!(p.density(2.0) > 0.0);
+        assert_eq!(p.density(2.0001), 0.0);
+        assert_eq!(p.density_bound(), p.density(0.0));
+    }
+
+    #[test]
+    fn mass_within_closed_form_matches_numeric() {
+        let p = TruncatedGaussianPdf::new(1.5, 0.6);
+        for rr in [0.2, 0.5, 1.0, 1.5] {
+            let numeric = crate::integrate::adaptive_simpson(
+                &|s: f64| p.density(s) * 2.0 * PI * s,
+                0.0,
+                rr,
+                1e-12,
+                40,
+            );
+            assert!(
+                (p.mass_within(rr) - numeric).abs() < 1e-8,
+                "R={rr}: {} vs {numeric}",
+                p.mass_within(rr)
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_matches_radial_cdf() {
+        let p = TruncatedGaussianPdf::new(1.0, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 30_000;
+        let r_half = 0.5;
+        let expected = p.mass_within(r_half);
+        let mut count = 0usize;
+        for _ in 0..n {
+            let v = p.sample(&mut rng);
+            assert!(v.norm() <= 1.0 + 1e-9);
+            if v.norm() <= r_half {
+                count += 1;
+            }
+        }
+        let frac = count as f64 / n as f64;
+        assert!((frac - expected).abs() < 0.02, "frac {frac} vs {expected}");
+    }
+
+    #[test]
+    fn wide_sigma_approaches_uniform() {
+        // With σ >> r the truncated Gaussian is nearly flat.
+        let p = TruncatedGaussianPdf::new(1.0, 100.0);
+        let ratio = p.density(1.0) / p.density(0.0);
+        assert!(ratio > 0.9999, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_sigma_panics() {
+        let _ = TruncatedGaussianPdf::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Numerical quadrature.
+//!
+//! The paper notes (§2.2) that "the actual evaluation of the integrals like
+//! those in Equation (5) may often rely on numerical computations". This
+//! module supplies the two quadratures used throughout the crate:
+//! adaptive Simpson (for integrands with localized features, e.g. the
+//! within-distance probability near support boundaries) and Gauss–Legendre
+//! (for smooth angular integrals).
+
+/// Adaptive Simpson integration of `f` over `[a, b]`.
+///
+/// `tol` is the absolute tolerance; recursion is capped at `max_depth`
+/// levels (each level halves the panel), so the worst-case cost is bounded.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: u32,
+) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    simpson_rec(f, a, b, fa, fm, fb, whole, tol, max_depth)
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_rec(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+            + simpson_rec(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+    }
+}
+
+/// A Gauss–Legendre quadrature rule with `n` nodes on `[-1, 1]`.
+///
+/// Nodes and weights are generated with the classical Newton iteration on
+/// the Legendre polynomial recurrence; accurate to near machine precision
+/// for the orders used here (`n <= 128`).
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds the `n`-point rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Gauss-Legendre rule needs at least one node");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Initial guess (Chebyshev-like).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut dp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and P'_n(x) by recurrence.
+                let mut p0 = 1.0;
+                let mut p1 = x;
+                if n == 1 {
+                    p1 = x;
+                }
+                let mut pn = if n == 1 { p1 } else { 0.0 };
+                if n >= 2 {
+                    for k in 2..=n {
+                        let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0)
+                            / k as f64;
+                        p0 = p1;
+                        p1 = pk;
+                    }
+                    pn = p1;
+                } else {
+                    p0 = 1.0;
+                }
+                dp = n as f64 * (x * pn - p0) / (x * x - 1.0);
+                let dx = pn / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        if n % 2 == 1 {
+            // Middle node of odd rules is exactly zero.
+            nodes[n / 2] = 0.0;
+        }
+        GaussLegendre { nodes, weights }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the rule has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The nodes on `[-1, 1]`, ascending.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// The weights matching [`GaussLegendre::nodes`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Returns the `k`-th node (on `[-1, 1]`) and its weight.
+    pub fn node_weight(&self, k: usize) -> (f64, f64) {
+        (self.nodes[k], self.weights[k])
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    pub fn integrate<F: Fn(f64) -> f64>(&self, f: F, a: f64, b: f64) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (x, w) in self.nodes.iter().zip(&self.weights) {
+            acc += w * f(mid + half * x);
+        }
+        acc * half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact on cubics.
+        let f = |x: f64| 3.0 * x * x * x - x + 2.0;
+        let got = adaptive_simpson(&f, -1.0, 2.0, 1e-12, 30);
+        // ∫ = 3/4 x^4 - x^2/2 + 2x over [-1,2] = (12 - 2 + 4) - (3/4 - 1/2 - 2)
+        let expected = (0.75 * 16.0 - 2.0 + 4.0) - (0.75 - 0.5 - 2.0);
+        assert!((got - expected).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_transcendental() {
+        let got = adaptive_simpson(&|x: f64| x.sin(), 0.0, PI, 1e-12, 40);
+        assert!((got - 2.0).abs() < 1e-10, "{got}");
+    }
+
+    #[test]
+    fn simpson_empty_interval() {
+        assert_eq!(adaptive_simpson(&|x: f64| x, 1.0, 1.0, 1e-12, 10), 0.0);
+    }
+
+    #[test]
+    fn simpson_handles_kink() {
+        // |x| over [-1, 1] = 1
+        let got = adaptive_simpson(&|x: f64| x.abs(), -1.0, 1.0, 1e-10, 40);
+        assert!((got - 1.0).abs() < 1e-8, "{got}");
+    }
+
+    #[test]
+    fn gauss_legendre_degree_exactness() {
+        // n-point GL is exact for polynomials of degree 2n-1.
+        let rule = GaussLegendre::new(5);
+        let f = |x: f64| x.powi(9) + 3.0 * x.powi(4) - x + 1.0;
+        // over [-1, 1]: odd terms vanish; ∫3x^4 = 6/5; ∫1 = 2
+        let got = rule.integrate(f, -1.0, 1.0);
+        assert!((got - (6.0 / 5.0 + 2.0)).abs() < 1e-12, "{got}");
+    }
+
+    #[test]
+    fn gauss_legendre_scaled_interval() {
+        let rule = GaussLegendre::new(32);
+        let got = rule.integrate(|x: f64| x.exp(), 0.0, 1.0);
+        assert!((got - (std::f64::consts::E - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_weights_sum_to_interval_length() {
+        for n in [1, 2, 3, 7, 16, 33, 64] {
+            let rule = GaussLegendre::new(n);
+            let got = rule.integrate(|_| 1.0, -3.0, 5.0);
+            assert!((got - 8.0).abs() < 1e-10, "n={n}: {got}");
+        }
+    }
+
+    #[test]
+    fn gauss_legendre_odd_rule_has_zero_node() {
+        let rule = GaussLegendre::new(7);
+        assert_eq!(rule.len(), 7);
+        assert!(!rule.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn gauss_legendre_zero_nodes_panics() {
+        let _ = GaussLegendre::new(0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Monte Carlo estimation of NN probabilities.
+//!
+//! Used as an independent oracle against the analytic Eq. 5 evaluator and
+//! for validating Theorem 1 (probability ranking == center-distance
+//! ranking) on random configurations.
+
+use crate::nn_prob::NnCandidate;
+use rand::RngCore;
+use unn_geom::point::Vec2;
+
+/// Estimates `P^NN` for every candidate by direct simulation: in every
+/// trial each candidate's location is sampled from its pdf (placed, by
+/// rotational symmetry, with its center on the positive x-axis at the
+/// candidate's center distance) and the closest location to the origin
+/// wins the trial. Exact ties (probability zero for continuous pdfs)
+/// split the trial evenly.
+pub fn monte_carlo_nn_probabilities(
+    cands: &[NnCandidate<'_>],
+    trials: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<f64> {
+    let n = cands.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut wins = vec![0.0f64; n];
+    let mut dists = vec![0.0f64; n];
+    for _ in 0..trials {
+        for (i, c) in cands.iter().enumerate() {
+            let offset = c.pdf.sample(rng);
+            let pos = Vec2::new(c.center_distance + offset.x, offset.y);
+            dists[i] = pos.norm_sq();
+        }
+        let best = dists.iter().copied().fold(f64::INFINITY, f64::min);
+        let winners: Vec<usize> = (0..n).filter(|&i| dists[i] == best).collect();
+        let share = 1.0 / winners.len() as f64;
+        for w in winners {
+            wins[w] += share;
+        }
+    }
+    wins.iter().map(|w| w / trials as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn_prob::{nn_probabilities, NnConfig};
+    use crate::uniform::UniformDiskPdf;
+    use rand::SeedableRng;
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let p = UniformDiskPdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 2.0, pdf: &p },
+            NnCandidate { center_distance: 2.5, pdf: &p },
+            NnCandidate { center_distance: 3.2, pdf: &p },
+        ];
+        let analytic = nn_probabilities(&cands, NnConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mc = monte_carlo_nn_probabilities(&cands, 60_000, &mut rng);
+        for (a, m) in analytic.iter().zip(&mc) {
+            assert!((a - m).abs() < 0.01, "analytic {analytic:?} vs mc {mc:?}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_probabilities_sum_to_one() {
+        let p = UniformDiskPdf::new(0.5);
+        let cands = [
+            NnCandidate { center_distance: 1.0, pdf: &p },
+            NnCandidate { center_distance: 1.1, pdf: &p },
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mc = monte_carlo_nn_probabilities(&cands, 10_000, &mut rng);
+        let total: f64 = mc.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(monte_carlo_nn_probabilities(&[], 100, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Nearest-neighbor probabilities `P^NN` (Eq. 5 of the paper).
+//!
+//! Given a crisp query point `Q` (after the convolution transform of §3.1
+//! this covers the uncertain-query case too) and a set of uncertain
+//! candidates, the probability that candidate `j` is the NN of `Q` is
+//!
+//! ```text
+//! P^NN_j = ∫_0^∞ pdf^WD_j(R) · Π_{i≠j} (1 − P^WD_i(R)) dR .
+//! ```
+//!
+//! §2.2-III observes that the integration can be restricted to the ring
+//! `[R_min, R_max]` and split at the sorted `R_min_i` boundaries so that
+//! factors that are identically one are skipped; [`nn_probabilities`]
+//! implements exactly that scheme, while [`nn_probabilities_naive`] is the
+//! unoptimized evaluator kept for the ablation benchmarks.
+
+use crate::integrate::GaussLegendre;
+use crate::pdf::RadialPdf;
+use crate::within_distance::{
+    distance_bounds, within_distance_auto, within_distance_density_auto,
+};
+
+/// One NN candidate: a rotationally symmetric pdf centered `center_distance`
+/// away from the crisp query point.
+#[derive(Debug)]
+pub struct NnCandidate<'a> {
+    /// Distance from the query point to the pdf center (expected location).
+    pub center_distance: f64,
+    /// The location pdf (for difference objects: the convolved pdf).
+    pub pdf: &'a dyn RadialPdf,
+}
+
+/// Configuration for the Eq. 5 evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct NnConfig {
+    /// Gauss–Legendre points per integration segment.
+    pub points_per_segment: usize,
+}
+
+impl Default for NnConfig {
+    fn default() -> Self {
+        NnConfig { points_per_segment: 32 }
+    }
+}
+
+/// Evaluates `P^NN` for every candidate using the sorted-boundary
+/// decomposition of §2.2-III.
+///
+/// Candidates whose `R_min` exceeds the global `R_max` (the pruning rule of
+/// Figure 4) receive probability exactly `0.0` without any integration.
+///
+/// For continuous pdfs the result is a probability distribution over
+/// candidates: the values sum to one up to quadrature error (see the module
+/// documentation of [`crate::discretized`] for the paper's discussion of
+/// discretization-induced "joint" probabilities).
+pub fn nn_probabilities(cands: &[NnCandidate<'_>], cfg: NnConfig) -> Vec<f64> {
+    let n = cands.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let bounds: Vec<(f64, f64)> = cands
+        .iter()
+        .map(|c| distance_bounds(c.pdf, c.center_distance))
+        .collect();
+    // Global R_max: the farthest point of the *closest* disk bounds every
+    // possible NN distance (§2.2-I).
+    let global_rmax = bounds
+        .iter()
+        .map(|b| b.1)
+        .fold(f64::INFINITY, f64::min);
+    // Segment boundaries: the sorted R_min_i values (only those below
+    // R_max matter) plus the bracket ends.
+    let mut cuts: Vec<f64> = bounds
+        .iter()
+        .map(|b| b.0)
+        .filter(|&rmin| rmin < global_rmax)
+        .collect();
+    cuts.push(global_rmax);
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+    let rule = GaussLegendre::new(cfg.points_per_segment);
+    let mut probs = vec![0.0; n];
+    // Scratch buffers reused across quadrature nodes.
+    let mut pwd = vec![0.0; n];
+    let mut dens = vec![0.0; n];
+    let mut prefix = vec![0.0; n + 1];
+    let mut suffix = vec![0.0; n + 1];
+
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b - a <= 1e-15 {
+            continue;
+        }
+        // Which candidates are "active" (R_min_i < b)? Inactive ones have
+        // P^WD = 0 and pdf^WD = 0 throughout the segment: their survival
+        // factor is 1 and they collect no probability here.
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        for k in 0..rule.len() {
+            // Manual node iteration so per-node vectors are shared between
+            // all candidates (Π computed once via prefix/suffix products).
+            let (x, wgt) = rule.node_weight(k);
+            let r = mid + half * x;
+            for (i, c) in cands.iter().enumerate() {
+                if bounds[i].0 >= r {
+                    pwd[i] = 0.0;
+                    dens[i] = 0.0;
+                } else {
+                    pwd[i] = within_distance_auto(c.pdf, c.center_distance, r);
+                    dens[i] = within_distance_density_auto(c.pdf, c.center_distance, r);
+                }
+            }
+            prefix[0] = 1.0;
+            for i in 0..n {
+                prefix[i + 1] = prefix[i] * (1.0 - pwd[i]);
+            }
+            suffix[n] = 1.0;
+            for i in (0..n).rev() {
+                suffix[i] = suffix[i + 1] * (1.0 - pwd[i]);
+            }
+            for i in 0..n {
+                if dens[i] > 0.0 {
+                    probs[i] += wgt * half * dens[i] * prefix[i] * suffix[i + 1];
+                }
+            }
+        }
+    }
+    for p in &mut probs {
+        *p = p.clamp(0.0, 1.0);
+    }
+    probs
+}
+
+/// The unoptimized Eq. 5 evaluator: a single uniform grid over
+/// `[0, max R_max_i]`, no boundary decomposition, full product at every
+/// node. Kept as the baseline for the `probability` ablation bench.
+pub fn nn_probabilities_naive(cands: &[NnCandidate<'_>], grid_points: usize) -> Vec<f64> {
+    let n = cands.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let bounds: Vec<(f64, f64)> = cands
+        .iter()
+        .map(|c| distance_bounds(c.pdf, c.center_distance))
+        .collect();
+    let hi = bounds.iter().map(|b| b.1).fold(0.0, f64::max);
+    let m = grid_points.max(4);
+    let step = hi / m as f64;
+    let mut probs = vec![0.0; n];
+    for j in 0..n {
+        let mut acc = 0.0;
+        for k in 0..m {
+            // Midpoint rule.
+            let r = (k as f64 + 0.5) * step;
+            let d = within_distance_density_auto(cands[j].pdf, cands[j].center_distance, r);
+            if d == 0.0 {
+                continue;
+            }
+            let mut surv = 1.0;
+            for (i, c) in cands.iter().enumerate() {
+                if i != j {
+                    surv *= 1.0 - within_distance_auto(c.pdf, c.center_distance, r);
+                }
+            }
+            acc += d * surv * step;
+        }
+        probs[j] = acc.clamp(0.0, 1.0);
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::ConePdf;
+    use crate::uniform::UniformDiskPdf;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(nn_probabilities(&[], NnConfig::default()).is_empty());
+        let p = UniformDiskPdf::new(1.0);
+        let c = [NnCandidate { center_distance: 5.0, pdf: &p }];
+        assert_eq!(nn_probabilities(&c, NnConfig::default()), vec![1.0]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let p = UniformDiskPdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 2.0, pdf: &p },
+            NnCandidate { center_distance: 2.5, pdf: &p },
+            NnCandidate { center_distance: 3.0, pdf: &p },
+            NnCandidate { center_distance: 3.5, pdf: &p },
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "total {total}, probs {probs:?}");
+    }
+
+    #[test]
+    fn closer_candidate_has_higher_probability_lemma_1() {
+        // Lemma 1: equal rotationally symmetric pdfs => closer center wins.
+        let p = ConePdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 2.0, pdf: &p },
+            NnCandidate { center_distance: 2.6, pdf: &p },
+            NnCandidate { center_distance: 3.4, pdf: &p },
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        assert!(probs[0] > probs[1], "{probs:?}");
+        assert!(probs[1] > probs[2], "{probs:?}");
+    }
+
+    #[test]
+    fn pruned_candidate_gets_zero() {
+        // R_min_4 > R_max_1 (Figure 4): far object has zero probability.
+        let p = UniformDiskPdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 2.0, pdf: &p }, // R_max = 3
+            NnCandidate { center_distance: 10.0, pdf: &p }, // R_min = 9 > 3
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        assert!(probs[0] > 0.999, "{probs:?}");
+        assert_eq!(probs[1], 0.0, "{probs:?}");
+    }
+
+    #[test]
+    fn equidistant_candidates_split_evenly() {
+        let p = UniformDiskPdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 3.0, pdf: &p },
+            NnCandidate { center_distance: 3.0, pdf: &p },
+            NnCandidate { center_distance: 3.0, pdf: &p },
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        for &p in &probs {
+            assert!((p - 1.0 / 3.0).abs() < 1e-3, "{probs:?}");
+        }
+    }
+
+    #[test]
+    fn naive_agrees_with_optimized() {
+        let p = UniformDiskPdf::new(1.0);
+        let q = ConePdf::new(0.7);
+        let cands = [
+            NnCandidate { center_distance: 2.0, pdf: &p },
+            NnCandidate { center_distance: 2.4, pdf: &q },
+            NnCandidate { center_distance: 3.1, pdf: &p },
+        ];
+        let fast = nn_probabilities(&cands, NnConfig::default());
+        let naive = nn_probabilities_naive(&cands, 4000);
+        for (f, n) in fast.iter().zip(&naive) {
+            assert!((f - n).abs() < 5e-3, "fast {fast:?} vs naive {naive:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_query_configuration() {
+        // Candidate centered at the query point itself (d = 0): it is very
+        // likely (but not certain) to be the NN against a farther one.
+        let p = UniformDiskPdf::new(1.0);
+        let cands = [
+            NnCandidate { center_distance: 0.0, pdf: &p },
+            NnCandidate { center_distance: 1.5, pdf: &p },
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        assert!(probs[0] > 0.8, "{probs:?}");
+        assert!(probs[1] > 0.0, "{probs:?}");
+        assert!((probs[0] + probs[1] - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,212 @@
+//! The naive **quadruple integration** for the uncertain-query
+//! within-distance probability (§3.1 of the paper) — the baseline that the
+//! moving-convolution transformation replaces.
+//!
+//! With both the candidate `Tr_i` and the query `Tr_q` uncertain, the
+//! probability that they are within distance `R_d` of each other is, in
+//! the paper's words, obtained by finding "`D_i ∩ (D_q ⊕ R_d)`", then for
+//! each point evaluating `P^WD` and "adding the uncountably-many such
+//! results — which is, integrate over the area … with `dx_p` and `dy_p`
+//! as the extra-variables of differentiation. This yields a quadruple
+//! integration" (Example 3 / Figure 6).
+//!
+//! Conditioning on the query's location `v ∈ D_q` instead (the two forms
+//! are the same by Fubini):
+//!
+//! ```text
+//! P(‖V_i − V_q‖ ≤ R_d) = ∫_{D_q} pdf_q(v) · P^WD_i(‖c_i − v‖, R_d) dv ,
+//! ```
+//!
+//! where the inner `P^WD` is itself a double integral (closed-form lens
+//! area for the uniform pdf). This module implements that outer
+//! integration with a polar product rule, giving an *independent oracle*
+//! for the §3.1 convolution identity
+//!
+//! ```text
+//! P(‖V_i − V_q‖ ≤ R_d) = P^WD(pdf_i ∘ pdf_{−q}; ‖c_i − c_q‖, R_d)
+//! ```
+//!
+//! (validated in the tests for uniform, asymmetric-uniform, and truncated
+//! Gaussian models, plus the paper's Example 3 configuration), and the
+//! quantitative cost comparison behind §3.1's motivation (see the
+//! `probability` bench).
+
+use crate::integrate::GaussLegendre;
+use crate::pdf::RadialPdf;
+use crate::within_distance::within_distance_auto;
+use std::f64::consts::PI;
+
+/// `P(‖V_i − V_q‖ ≤ rd)` by direct integration over the query's support
+/// disk — the §3.1 naive scheme.
+///
+/// * `pdf_i`, `pdf_q` — the two location pdfs (centered);
+/// * `center_distance` — `‖c_i − c_q‖`;
+/// * `rd` — the query distance `R_d`;
+/// * `order` — Gauss–Legendre points per polar axis (the rule is a tensor
+///   product, so the inner `P^WD` is evaluated `order²` times).
+///
+/// # Panics
+///
+/// Panics on a negative distance, a non-positive order, or a negative
+/// `rd`.
+pub fn within_distance_quadruple(
+    pdf_i: &dyn RadialPdf,
+    pdf_q: &dyn RadialPdf,
+    center_distance: f64,
+    rd: f64,
+    order: usize,
+) -> f64 {
+    assert!(center_distance >= 0.0, "negative center distance");
+    assert!(rd >= 0.0, "negative query distance");
+    assert!(order > 0, "quadrature order must be positive");
+    let rq = pdf_q.support_radius();
+    let rule = GaussLegendre::new(order);
+    // Polar integration over D_q: v = (s cos φ, s sin φ), area element
+    // s ds dφ. By symmetry we may place c_q at the origin and c_i on the
+    // positive x axis; the φ range halves to [0, π] with a factor 2.
+    let mut acc = 0.0;
+    for ks in 0..rule.len() {
+        let (xs, ws) = rule.node_weight(ks);
+        let s = 0.5 * rq * (xs + 1.0); // s ∈ [0, rq]
+        let w_s = 0.5 * rq * ws;
+        let dens = pdf_q.density(s);
+        if dens == 0.0 {
+            continue;
+        }
+        for kp in 0..rule.len() {
+            let (xp, wp) = rule.node_weight(kp);
+            let phi = 0.5 * PI * (xp + 1.0); // φ ∈ [0, π]
+            let w_phi = 0.5 * PI * wp;
+            // Distance from the sampled query location to c_i.
+            let dx = center_distance - s * phi.cos();
+            let dy = s * phi.sin();
+            let d = (dx * dx + dy * dy).sqrt();
+            let inner = within_distance_auto(pdf_i, d, rd);
+            acc += 2.0 * dens * inner * s * w_s * w_phi;
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// The convolution-route evaluation of the same probability: `P^WD` of
+/// the convolved difference pdf at the center distance (§3.1's
+/// transformation, one double integral instead of four).
+pub fn within_distance_convolved(
+    diff_pdf: &dyn RadialPdf,
+    center_distance: f64,
+    rd: f64,
+) -> f64 {
+    within_distance_auto(diff_pdf, center_distance, rd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk_diff::DiskDifferencePdf;
+    use crate::pdf::PdfKind;
+    use crate::uniform::UniformDiskPdf;
+    use crate::uniform_diff::UniformDifferencePdf;
+
+    #[test]
+    fn quadruple_equals_convolution_for_uniform_disks() {
+        // The §3.1 identity: the naive quadruple integration agrees with
+        // P^WD of the convolved (autocorrelation) pdf.
+        let r = 1.0;
+        let pdf = UniformDiskPdf::new(r);
+        let diff = UniformDifferencePdf::new(r);
+        for (d, rd) in [(5.0, 4.0), (3.0, 2.5), (1.5, 1.0), (0.5, 2.0), (6.0, 4.0)] {
+            let naive = within_distance_quadruple(&pdf, &pdf, d, rd, 48);
+            let conv = within_distance_convolved(&diff, d, rd);
+            assert!(
+                (naive - conv).abs() < 2e-3,
+                "d={d} rd={rd}: quadruple {naive} vs convolution {conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadruple_equals_convolution_for_unequal_radii() {
+        let p1 = UniformDiskPdf::new(0.5);
+        let p2 = UniformDiskPdf::new(1.5);
+        let diff = DiskDifferencePdf::new(0.5, 1.5);
+        for (d, rd) in [(4.0, 3.0), (2.0, 1.0), (1.0, 2.5)] {
+            let naive = within_distance_quadruple(&p1, &p2, d, rd, 48);
+            let conv = within_distance_convolved(&diff, d, rd);
+            assert!(
+                (naive - conv).abs() < 2e-3,
+                "d={d} rd={rd}: quadruple {naive} vs convolution {conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadruple_equals_convolution_for_gaussians() {
+        let kind = PdfKind::TruncatedGaussian { radius: 1.0, sigma: 0.4 };
+        let pdf = kind.build();
+        let diff = kind.convolve_with(&kind);
+        for (d, rd) in [(4.0, 3.5), (2.5, 2.0)] {
+            let naive = within_distance_quadruple(pdf.as_ref(), pdf.as_ref(), d, rd, 48);
+            let conv = within_distance_convolved(diff.as_ref(), d, rd);
+            assert!(
+                (naive - conv).abs() < 5e-3,
+                "d={d} rd={rd}: quadruple {naive} vs convolution {conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_3_configuration() {
+        // Example 3: r = 1, Eloc(Tr_q) = (2,2), Eloc(Tr_1) = (7,3),
+        // Eloc(Tr_2) = (3,8); probability of being within distance 4.
+        let pdf = UniformDiskPdf::new(1.0);
+        let d1 = ((7.0f64 - 2.0).powi(2) + (3.0f64 - 2.0).powi(2)).sqrt(); // √26 ≈ 5.10
+        let d2 = ((3.0f64 - 2.0).powi(2) + (8.0f64 - 2.0).powi(2)).sqrt(); // √37 ≈ 6.08
+        let p1 = within_distance_quadruple(&pdf, &pdf, d1, 4.0, 48);
+        let p2 = within_distance_quadruple(&pdf, &pdf, d2, 4.0, 48);
+        // Tr_1 partially reachable, Tr_2 "obviously 0".
+        assert!(p1 > 0.05 && p1 < 0.95, "p1 = {p1}");
+        assert!(p2 < 1e-9, "p2 = {p2}");
+        // Example 4's reformulation: the same value as the convolution
+        // volume intersection (cone/autocorrelation vs cylinder).
+        let diff = UniformDifferencePdf::new(1.0);
+        let conv1 = within_distance_convolved(&diff, d1, 4.0);
+        assert!((p1 - conv1).abs() < 2e-3, "{p1} vs {conv1}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let pdf = UniformDiskPdf::new(1.0);
+        // rd = 0: zero probability (a circle has measure zero).
+        assert_eq!(within_distance_quadruple(&pdf, &pdf, 3.0, 0.0, 32), 0.0);
+        // Far beyond the joint support: certainty.
+        let p = within_distance_quadruple(&pdf, &pdf, 1.0, 10.0, 32);
+        assert!((p - 1.0).abs() < 1e-9, "{p}");
+        // Disjoint beyond rd + supports: zero.
+        let p0 = within_distance_quadruple(&pdf, &pdf, 20.0, 4.0, 32);
+        assert!(p0 < 1e-12, "{p0}");
+    }
+
+    #[test]
+    fn order_convergence() {
+        // The quadrature converges as the order grows.
+        let pdf = UniformDiskPdf::new(1.0);
+        let diff = UniformDifferencePdf::new(1.0);
+        let exact = within_distance_convolved(&diff, 4.0, 3.5);
+        let mut prev_err = f64::INFINITY;
+        for order in [8usize, 16, 32, 64] {
+            let v = within_distance_quadruple(&pdf, &pdf, 4.0, 3.5, order);
+            let err = (v - exact).abs();
+            // Allow small non-monotonic wiggles near machine precision.
+            assert!(err <= prev_err + 5e-3, "order {order}: err {err} (prev {prev_err})");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-3, "final error {prev_err}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_order() {
+        let pdf = UniformDiskPdf::new(1.0);
+        let _ = within_distance_quadruple(&pdf, &pdf, 1.0, 1.0, 0);
+    }
+}

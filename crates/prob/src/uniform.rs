@@ -1,0 +1,129 @@
+//! The uniform location pdf on a disk (Eq. 2 of the paper).
+
+use crate::pdf::RadialPdf;
+use rand::Rng;
+use std::f64::consts::PI;
+use unn_geom::point::Vec2;
+
+/// Uniform density `1 / (π r²)` over a disk of radius `r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformDiskPdf {
+    radius: f64,
+    density: f64,
+}
+
+impl UniformDiskPdf {
+    /// Creates the uniform pdf on a disk of radius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the radius is non-positive or not finite.
+    pub fn new(radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "uniform pdf requires a positive radius, got {radius}"
+        );
+        UniformDiskPdf { radius, density: 1.0 / (PI * radius * radius) }
+    }
+
+    /// The disk radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl RadialPdf for UniformDiskPdf {
+    fn support_radius(&self) -> f64 {
+        self.radius
+    }
+
+    fn density(&self, s: f64) -> f64 {
+        if s <= self.radius {
+            self.density
+        } else {
+            0.0
+        }
+    }
+
+    fn density_bound(&self) -> f64 {
+        self.density
+    }
+
+    fn mass_within(&self, radius: f64) -> f64 {
+        if radius <= 0.0 {
+            0.0
+        } else if radius >= self.radius {
+            1.0
+        } else {
+            (radius / self.radius).powi(2)
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec2 {
+        // Inverse transform: radius ~ r·sqrt(U), angle uniform.
+        let u: f64 = rng.random_range(0.0..1.0);
+        let s = self.radius * u.sqrt();
+        let theta: f64 = rng.random_range(0.0..(2.0 * PI));
+        Vec2::new(s * theta.cos(), s * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::total_mass;
+    use rand::SeedableRng;
+
+    #[test]
+    fn density_is_constant_inside_zero_outside() {
+        let p = UniformDiskPdf::new(2.0);
+        let d = 1.0 / (PI * 4.0);
+        assert_eq!(p.density(0.0), d);
+        assert_eq!(p.density(2.0), d);
+        assert_eq!(p.density(2.0001), 0.0);
+        assert_eq!(p.density_bound(), d);
+    }
+
+    #[test]
+    fn mass_within_closed_form() {
+        let p = UniformDiskPdf::new(2.0);
+        assert_eq!(p.mass_within(0.0), 0.0);
+        assert_eq!(p.mass_within(1.0), 0.25);
+        assert_eq!(p.mass_within(2.0), 1.0);
+        assert_eq!(p.mass_within(5.0), 1.0);
+        assert!((total_mass(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_matches_radial_cdf() {
+        let p = UniformDiskPdf::new(1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut inside_half = 0usize;
+        for _ in 0..n {
+            let v = p.sample(&mut rng);
+            assert!(v.norm() <= 1.0 + 1e-12);
+            if v.norm() <= 0.5 {
+                inside_half += 1;
+            }
+        }
+        // P(|V| <= 0.5) = 0.25
+        let frac = inside_half as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn sampler_mean_radius() {
+        // E[s] for uniform disk of radius r is 2r/3.
+        let p = UniformDiskPdf::new(3.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mean = crate::pdf::mean_sample_radius(&p, 20_000, &mut rng);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_panics() {
+        let _ = UniformDiskPdf::new(0.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Within-distance probabilities `P^WD` (Eq. 3/4 of the paper).
+//!
+//! `P^WD_{i,Q}(R_d)` is the probability that the (uncertain) location of
+//! object `i` lies within distance `R_d` of the crisp point `Q`. After the
+//! convolution transformation of §3.1, *both* the crisp-query case of §2.2
+//! and the uncertain-query case reduce to this computation with `Q` at the
+//! origin and the appropriate (possibly convolved) pdf.
+//!
+//! For the uniform pdf the probability is the lens area over the disk area
+//! — Eq. 4 of the paper. (As printed, Eq. 4's first term carries a typo:
+//! `1/(R_d² π)` should read `R_d²/(r² π)`; the lens-area formulation used
+//! here is the standard, dimensionally consistent form, and is validated
+//! against numeric integration in the tests.)
+
+use crate::integrate::{adaptive_simpson, GaussLegendre};
+use crate::pdf::RadialPdf;
+use crate::uniform::UniformDiskPdf;
+use std::f64::consts::PI;
+use unn_geom::circle::lens_area;
+
+/// `P^WD` for the uniform pdf: closed form via the lens area (Eq. 4).
+///
+/// * `d` — distance from `Q` to the expected location (disk center);
+/// * `r` — uncertainty-disk radius;
+/// * `rd` — the query distance `R_d`.
+///
+/// Handles `Q` inside the uncertainty zone (the "appropriate
+/// modifications" footnote of §2.2) for free: the lens area is valid for
+/// any configuration.
+pub fn uniform_within_distance(d: f64, r: f64, rd: f64) -> f64 {
+    assert!(d >= 0.0 && r > 0.0 && rd >= 0.0, "invalid arguments d={d} r={r} rd={rd}");
+    lens_area(d, rd, r) / (PI * r * r)
+}
+
+/// Fraction of the circle of radius `s` centered at distance `d` from `Q`
+/// that lies within distance `rd` of `Q`, as an angle in `[0, 2π]`.
+fn arc_angle_inside(s: f64, d: f64, rd: f64) -> f64 {
+    if s + d <= rd {
+        return 2.0 * PI; // entire circle inside the query disk
+    }
+    if (d - s).abs() >= rd {
+        // Entire circle outside: both when it is too far (d - s >= rd) and
+        // when it surrounds the query disk entirely (s - d >= rd).
+        return 0.0;
+    }
+    if d == 0.0 {
+        // Concentric: inside iff s <= rd, handled above; otherwise outside.
+        return 0.0;
+    }
+    let c = ((d * d + s * s - rd * rd) / (2.0 * d * s)).clamp(-1.0, 1.0);
+    2.0 * c.acos()
+}
+
+/// Generic `P^WD(R_d)` for any rotationally symmetric pdf whose center is
+/// at distance `d` from the crisp query point:
+///
+/// ```text
+/// P^WD(R_d) = ∫_0^S  g(s) · s · θ(s; d, R_d)  ds
+/// ```
+///
+/// where `θ` is the angular measure of the circle of radius `s` (around
+/// the pdf center) that falls inside the query disk.
+pub fn within_distance(pdf: &dyn RadialPdf, d: f64, rd: f64) -> f64 {
+    assert!(d >= 0.0 && rd >= 0.0, "invalid arguments d={d} rd={rd}");
+    let s_max = pdf.support_radius();
+    if rd == 0.0 || d - s_max >= rd {
+        return 0.0;
+    }
+    if d + s_max <= rd {
+        return 1.0;
+    }
+    if d == 0.0 {
+        // Concentric: the query disk covers exactly the central mass.
+        return pdf.mass_within(rd);
+    }
+    // The integrand is non-zero only for s < d + rd, and switches from the
+    // full-circle regime (θ = 2π) to the partial-arc regime at
+    // s = |rd − d|. Splitting the panels there keeps adaptive Simpson from
+    // missing narrow features and from stalling on the kink.
+    let hi = s_max.min(d + rd);
+    let kink = (rd - d).abs();
+    let mut cuts = vec![0.0, hi];
+    if kink > 0.0 && kink < hi {
+        cuts.push(kink);
+    }
+    cuts.sort_by(f64::total_cmp);
+    let f = |s: f64| pdf.density(s) * s * arc_angle_inside(s, d, rd);
+    let mut v = 0.0;
+    for w in cuts.windows(2) {
+        v += adaptive_simpson(&f, w[0], w[1], 1e-11, 32);
+    }
+    v.clamp(0.0, 1.0)
+}
+
+/// The density `pdf^WD(R_d) = d/dR_d P^WD(R_d)`: the (1D) density of the
+/// random distance between the uncertain location and `Q`.
+///
+/// Computed as the line integral of the 2D pdf along the circle of radius
+/// `R_d` centered at `Q`:
+///
+/// ```text
+/// pdf^WD(R) = R · 2 ∫_0^π  f(√(R² + d² − 2Rd·cosφ)) dφ
+/// ```
+pub fn within_distance_density(pdf: &dyn RadialPdf, d: f64, rd: f64) -> f64 {
+    assert!(d >= 0.0 && rd >= 0.0, "invalid arguments d={d} rd={rd}");
+    if rd == 0.0 {
+        return 0.0;
+    }
+    let s_max = pdf.support_radius();
+    // The circle of radius rd around Q only meets the support when
+    // |rd - d| <= s_max.
+    if (rd - d).abs() >= s_max {
+        return 0.0;
+    }
+    if d == 0.0 {
+        // Concentric: the circle stays at constant radial distance rd.
+        return pdf.density(rd) * 2.0 * PI * rd;
+    }
+    // The integrand vanishes for angles where the circle point leaves the
+    // support disk: s(φ) = √(R² + d² − 2Rd cosφ) is increasing in φ, so
+    // restrict to [0, φ_max] with s(φ_max) = s_max. This keeps the
+    // Gauss–Legendre rule on a smooth integrand even for pdfs with a
+    // density jump at the support boundary (uniform, truncated Gaussian).
+    let cos_phi_max = (rd * rd + d * d - s_max * s_max) / (2.0 * rd * d);
+    let phi_max = if rd + d <= s_max {
+        PI
+    } else {
+        cos_phi_max.clamp(-1.0, 1.0).acos()
+    };
+    let rule = GaussLegendre::new(64);
+    let v = rule.integrate(
+        |phi: f64| {
+            let s2 = rd * rd + d * d - 2.0 * rd * d * phi.cos();
+            pdf.density(s2.max(0.0).sqrt())
+        },
+        0.0,
+        phi_max,
+    );
+    (rd * 2.0 * v).max(0.0)
+}
+
+/// `pdf^WD` for the uniform pdf in closed form: the derivative of the
+/// lens area with respect to `R_d` is the arc length of the query circle
+/// inside the uncertainty disk, so
+///
+/// ```text
+/// pdf^WD(R) = 2 R α / (π r²) ,
+///   α = acos((d² + R² − r²) / (2 d R))   (the half-angle at Q),
+/// ```
+///
+/// with the degenerate cases handled explicitly.
+pub fn uniform_within_distance_density(d: f64, r: f64, rd: f64) -> f64 {
+    assert!(d >= 0.0 && r > 0.0 && rd >= 0.0, "invalid arguments d={d} r={r} rd={rd}");
+    if rd == 0.0 || (rd - d).abs() >= r {
+        return 0.0;
+    }
+    let alpha = if rd + d <= r {
+        PI // the whole query circle lies inside the uncertainty disk
+    } else if d == 0.0 {
+        if rd < r {
+            PI
+        } else {
+            0.0
+        }
+    } else {
+        ((d * d + rd * rd - r * r) / (2.0 * d * rd)).clamp(-1.0, 1.0).acos()
+    };
+    2.0 * rd * alpha / (PI * r * r)
+}
+
+/// Detects a uniform disk pdf by probing the density profile (cheap: two
+/// probes suffice because `RadialPdf` densities are radial).
+fn is_uniform(pdf: &dyn RadialPdf) -> bool {
+    let s = pdf.support_radius();
+    let d0 = pdf.density(0.0);
+    (pdf.density(0.5 * s) - d0).abs() < 1e-15 && (d0 - 1.0 / (PI * s * s)).abs() < 1e-12
+}
+
+/// `P^WD` dispatch that takes the uniform closed-form shortcut when
+/// possible.
+pub fn within_distance_auto(pdf: &dyn RadialPdf, d: f64, rd: f64) -> f64 {
+    if is_uniform(pdf) {
+        uniform_within_distance(d, pdf.support_radius(), rd)
+    } else {
+        within_distance(pdf, d, rd)
+    }
+}
+
+/// `pdf^WD` dispatch that takes the uniform closed-form shortcut when
+/// possible.
+pub fn within_distance_density_auto(pdf: &dyn RadialPdf, d: f64, rd: f64) -> f64 {
+    if is_uniform(pdf) {
+        uniform_within_distance_density(d, pdf.support_radius(), rd)
+    } else {
+        within_distance_density(pdf, d, rd)
+    }
+}
+
+/// The effective integration bounds of §2.2-III for one candidate:
+/// `R_min = max(0, d − S)` and `R_max = d + S` (distance from `Q` to the
+/// nearest / farthest point of the support disk).
+pub fn distance_bounds(pdf: &dyn RadialPdf, d: f64) -> (f64, f64) {
+    let s = pdf.support_radius();
+    ((d - s).max(0.0), d + s)
+}
+
+/// Convenience: Eq. 4 for a uniform disk, exposed as a struct method too.
+impl UniformDiskPdf {
+    /// `P^WD(R_d)` for this uniform disk centered `d` away from `Q`.
+    pub fn within_distance(&self, d: f64, rd: f64) -> f64 {
+        uniform_within_distance(d, self.radius(), rd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::ConePdf;
+    use crate::gaussian::TruncatedGaussianPdf;
+
+    #[test]
+    fn uniform_within_distance_regimes() {
+        // Paper Eq. 4: 0 below d - r, 1 above d + r, lens ratio between.
+        let (d, r) = (5.0, 1.0);
+        assert_eq!(uniform_within_distance(d, r, 3.9), 0.0);
+        assert_eq!(uniform_within_distance(d, r, 6.1), 1.0);
+        let mid = uniform_within_distance(d, r, 5.0);
+        assert!(mid > 0.4 && mid < 0.6, "half-covered disk: {mid}");
+    }
+
+    #[test]
+    fn uniform_within_distance_monotone_in_rd() {
+        let (d, r) = (3.0, 1.5);
+        let mut prev = 0.0;
+        let mut rd = 0.0;
+        while rd <= 6.0 {
+            let p = uniform_within_distance(d, r, rd);
+            assert!(p + 1e-12 >= prev, "monotonicity at rd={rd}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+            rd += 0.05;
+        }
+    }
+
+    #[test]
+    fn generic_matches_uniform_closed_form() {
+        let pdf = UniformDiskPdf::new(1.0);
+        for d in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            for rd in [0.2, 0.8, 1.5, 3.0, 5.5] {
+                let exact = uniform_within_distance(d, 1.0, rd);
+                let generic = within_distance(&pdf, d, rd);
+                assert!(
+                    (exact - generic).abs() < 1e-6,
+                    "d={d} rd={rd}: exact {exact} vs generic {generic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_inside_uncertainty_zone() {
+        // The "appropriate modifications" case: Q inside the disk (d < r).
+        let pdf = UniformDiskPdf::new(2.0);
+        let d = 0.5;
+        // Small rd: the query disk is entirely inside the support,
+        // P = area ratio = rd² / r².
+        let rd = 0.3;
+        let expected = rd * rd / 4.0;
+        assert!((uniform_within_distance(d, 2.0, rd) - expected).abs() < 1e-12);
+        assert!((within_distance(&pdf, d, rd) - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn density_is_derivative_of_probability() {
+        for pdf in [
+            Box::new(UniformDiskPdf::new(1.0)) as Box<dyn RadialPdf>,
+            Box::new(ConePdf::new(0.8)),
+            Box::new(TruncatedGaussianPdf::new(1.2, 0.5)),
+        ] {
+            let d = 2.0;
+            let h = 1e-5;
+            for rd in [1.2, 1.7, 2.3, 2.9] {
+                let grad = (within_distance(pdf.as_ref(), d, rd + h)
+                    - within_distance(pdf.as_ref(), d, rd - h))
+                    / (2.0 * h);
+                let dens = within_distance_density(pdf.as_ref(), d, rd);
+                assert!(
+                    (grad - dens).abs() < 1e-3 * (1.0 + dens),
+                    "{pdf:?} rd={rd}: fd {grad} vs analytic {dens}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one_over_bounds() {
+        let pdf = ConePdf::new(1.0);
+        let d = 3.0;
+        let (rmin, rmax) = distance_bounds(&pdf, d);
+        assert_eq!(rmin, 1.0);
+        assert_eq!(rmax, 5.0);
+        let total = adaptive_simpson(
+            &|rd: f64| within_distance_density(&pdf, d, rd),
+            rmin,
+            rmax,
+            1e-9,
+            32,
+        );
+        assert!((total - 1.0).abs() < 1e-5, "total {total}");
+    }
+
+    #[test]
+    fn density_zero_outside_bounds() {
+        let pdf = UniformDiskPdf::new(1.0);
+        assert_eq!(within_distance_density(&pdf, 5.0, 3.0), 0.0);
+        assert_eq!(within_distance_density(&pdf, 5.0, 7.0), 0.0);
+        assert!(within_distance_density(&pdf, 5.0, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn auto_dispatch_agrees_with_generic() {
+        let uni = UniformDiskPdf::new(1.0);
+        let cone = ConePdf::new(1.0);
+        for (d, rd) in [(2.0, 1.5), (0.5, 1.0), (4.0, 4.5)] {
+            assert!(
+                (within_distance_auto(&uni, d, rd) - within_distance(&uni, d, rd)).abs()
+                    < 1e-6
+            );
+            assert!(
+                (within_distance_auto(&cone, d, rd) - within_distance(&cone, d, rd)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn distance_bounds_clamp_at_zero() {
+        let pdf = UniformDiskPdf::new(2.0);
+        let (rmin, rmax) = distance_bounds(&pdf, 1.0);
+        assert_eq!(rmin, 0.0); // Q inside the disk
+        assert_eq!(rmax, 3.0);
+    }
+}

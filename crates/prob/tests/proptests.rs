@@ -1,0 +1,143 @@
+//! Property-based tests for the probability substrate.
+
+use proptest::prelude::*;
+use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+use unn_prob::pdf::RadialPdf;
+use unn_prob::uniform::UniformDiskPdf;
+use unn_prob::uniform_diff::UniformDifferencePdf;
+use unn_prob::within_distance::{
+    uniform_within_distance, within_distance_auto, within_distance_density_auto,
+};
+use unn_prob::TruncatedGaussianPdf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_within_distance_is_a_cdf(
+        d in 0.0..10.0f64,
+        r in 0.05..3.0f64,
+    ) {
+        // Monotone from 0 to 1 as rd grows.
+        let mut prev = 0.0;
+        for k in 0..=60 {
+            let rd = k as f64 * 0.25;
+            let p = uniform_within_distance(d, r, rd);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p + 1e-9 >= prev, "rd={rd}: {p} < {prev}");
+            prev = p;
+        }
+        prop_assert!(uniform_within_distance(d, r, d + r + 0.01) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn within_distance_zero_below_rmin_one_above_rmax(
+        d in 0.0..8.0f64,
+        r in 0.1..2.0f64,
+    ) {
+        let pdf = UniformDiskPdf::new(r);
+        let rmin = (d - r).max(0.0);
+        let rmax = d + r;
+        if rmin > 0.05 {
+            prop_assert_eq!(within_distance_auto(&pdf, d, rmin * 0.9), 0.0);
+        }
+        prop_assert!(within_distance_auto(&pdf, d, rmax * 1.01 + 1e-9) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn density_nonnegative_and_zero_outside_bounds(
+        d in 0.0..8.0f64,
+        r in 0.1..2.0f64,
+        rd in 0.0..12.0f64,
+    ) {
+        let pdf = UniformDiskPdf::new(r);
+        let v = within_distance_density_auto(&pdf, d, rd);
+        prop_assert!(v >= 0.0);
+        if (rd - d).abs() >= r {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn nn_probabilities_form_distribution(
+        dists in prop::collection::vec(0.5..6.0f64, 2..6),
+        r in 0.2..1.0f64,
+    ) {
+        let pdf = UniformDifferencePdf::new(r);
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        let total: f64 = probs.iter().sum();
+        prop_assert!(
+            (total - 1.0).abs() < 2e-3,
+            "Σ = {total} for {dists:?} (r={r})"
+        );
+        for &p in &probs {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn theorem_1_ranking_on_random_configurations(
+        raw in prop::collection::vec(0.5..6.0f64, 2..6),
+        r in 0.2..1.0f64,
+    ) {
+        // Sort and space out the distances to avoid numerical ties.
+        let mut dists = raw;
+        dists.sort_by(f64::total_cmp);
+        let mut ok = true;
+        for w in dists.windows(2) {
+            if w[1] - w[0] < 0.02 {
+                ok = false;
+            }
+        }
+        prop_assume!(ok);
+        let pdf = UniformDifferencePdf::new(r);
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        for w in probs.windows(2) {
+            prop_assert!(w[0] + 1e-9 >= w[1], "{probs:?} for {dists:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_mass_within_is_monotone(
+        r in 0.2..2.0f64,
+        sigma in 0.05..1.5f64,
+    ) {
+        let pdf = TruncatedGaussianPdf::new(r, sigma);
+        let mut prev = 0.0;
+        for k in 1..=20 {
+            let radius = r * k as f64 / 20.0;
+            let m = pdf.mass_within(radius);
+            prop_assert!(m + 1e-12 >= prev);
+            prop_assert!((0.0..=1.0).contains(&m));
+            prev = m;
+        }
+        prop_assert!((pdf.mass_within(r) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_difference_cdf_properties(r in 0.1..2.0f64) {
+        let pdf = UniformDifferencePdf::new(r);
+        // Support is 2r; density decreasing; CDF monotone to 1.
+        prop_assert!((pdf.support_radius() - 2.0 * r).abs() < 1e-12);
+        let mut prev_mass = 0.0;
+        let mut prev_density = f64::INFINITY;
+        for k in 0..=20 {
+            let s = 2.0 * r * k as f64 / 20.0;
+            let dens = pdf.density(s);
+            prop_assert!(dens <= prev_density + 1e-12);
+            prev_density = dens;
+            let m = pdf.mass_within(s);
+            prop_assert!(m + 1e-12 >= prev_mass);
+            prev_mass = m;
+        }
+        prop_assert!((pdf.mass_within(2.0 * r) - 1.0).abs() < 1e-9);
+    }
+}

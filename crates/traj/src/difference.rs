@@ -1,0 +1,223 @@
+//! Difference trajectories `TR_iq = Tr_i − Tr_q` (§3.2 of the paper).
+//!
+//! The key transformation: instead of tracking two uncertain objects, view
+//! their vector difference as a single object whose distance from the
+//! origin equals the distance between the two expected locations. On every
+//! *synchronized* segment (between consecutive sample times of either
+//! trajectory) the difference moves linearly, so its distance from the
+//! origin is a hyperbola piece.
+
+use crate::distance::{DistanceFunction, DistancePiece};
+use crate::trajectory::{Oid, Trajectory};
+use std::fmt;
+use unn_geom::hyperbola::Hyperbola;
+use unn_geom::interval::TimeInterval;
+
+/// Error constructing a difference trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DifferenceError {
+    /// The query window is not contained in a trajectory's time domain.
+    WindowOutsideDomain {
+        /// The trajectory whose domain is too small.
+        oid: Oid,
+    },
+    /// The query window is degenerate (zero length).
+    DegenerateWindow,
+}
+
+impl fmt::Display for DifferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifferenceError::WindowOutsideDomain { oid } => {
+                write!(f, "query window extends outside the domain of {oid}")
+            }
+            DifferenceError::DegenerateWindow => write!(f, "query window has zero length"),
+        }
+    }
+}
+
+impl std::error::Error for DifferenceError {}
+
+/// Builds the distance function `d_iq(t)` of the difference trajectory
+/// `TR_iq = Tr_i − Tr_q` over `window`.
+///
+/// The segmentation is the union of both trajectories' sample times inside
+/// the window (synchronized re-segmentation); on each elementary segment
+/// the relative motion is linear and the distance is one hyperbola piece.
+pub fn difference_distance(
+    query: &Trajectory,
+    other: &Trajectory,
+    window: &TimeInterval,
+) -> Result<DistanceFunction, DifferenceError> {
+    if window.is_degenerate() {
+        return Err(DifferenceError::DegenerateWindow);
+    }
+    for tr in [query, other] {
+        if !tr.span().contains_interval(window) {
+            return Err(DifferenceError::WindowOutsideDomain { oid: tr.oid() });
+        }
+    }
+    // Elementary breakpoints: window ends plus interior sample times of
+    // both trajectories.
+    let mut cuts = vec![window.start(), window.end()];
+    for tr in [query, other] {
+        for t in tr.breakpoints_in(window) {
+            if t > window.start() && t < window.end() {
+                cuts.push(t);
+            }
+        }
+    }
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut pieces = Vec::with_capacity(cuts.len() - 1);
+    for w in cuts.windows(2) {
+        let span = TimeInterval::new(w[0], w[1]);
+        if span.is_degenerate() {
+            continue;
+        }
+        let mid = span.midpoint();
+        // Velocities are constant on the elementary segment; sample them at
+        // its midpoint to avoid boundary ambiguity.
+        let vq = query.velocity_at(mid).expect("window checked against domain");
+        let vi = other.velocity_at(mid).expect("window checked against domain");
+        let pq = query.position_at(span.start()).expect("window checked");
+        let pi = other.position_at(span.start()).expect("window checked");
+        let rel_p0 = pi - pq;
+        let rel_v = vi - vq;
+        pieces.push(DistancePiece {
+            span,
+            hyperbola: Hyperbola::from_relative_motion(rel_p0, rel_v, span.start()),
+        });
+    }
+    DistanceFunction::new(other.oid(), pieces)
+        .map_err(|_| DifferenceError::DegenerateWindow)
+}
+
+/// Builds the distance functions of all trajectories in `others` relative
+/// to `query`, skipping any entry with the query's own `oid`.
+pub fn difference_distances(
+    query: &Trajectory,
+    others: &[Trajectory],
+    window: &TimeInterval,
+) -> Result<Vec<DistanceFunction>, DifferenceError> {
+    let mut out = Vec::with_capacity(others.len());
+    for tr in others {
+        if tr.oid() == query.oid() {
+            continue;
+        }
+        out.push(difference_distance(query, tr, window)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight(oid: u64, x0: f64, y0: f64, vx: f64, vy: f64, t_end: f64) -> Trajectory {
+        Trajectory::from_triples(
+            Oid(oid),
+            &[(x0, y0, 0.0), (x0 + vx * t_end, y0 + vy * t_end, t_end)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_segment_difference_matches_geometry() {
+        // Query moves +x from origin; other is static at (0, 3).
+        let q = straight(0, 0.0, 0.0, 1.0, 0.0, 10.0);
+        let o = straight(1, 0.0, 3.0, 0.0, 0.0, 10.0);
+        let w = TimeInterval::new(0.0, 10.0);
+        let f = difference_distance(&q, &o, &w).unwrap();
+        assert_eq!(f.owner(), Oid(1));
+        assert_eq!(f.pieces().len(), 1);
+        // Distance at t: |(−t, 3)| = sqrt(t² + 9).
+        for t in [0.0, 1.0, 4.0, 10.0] {
+            let expected = (t * t + 9.0_f64).sqrt();
+            assert!((f.eval(t).unwrap() - expected).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn multi_segment_resegmentation() {
+        // Other changes direction at t=5; query at t=4: expect 3 pieces
+        // within [0, 10] (cuts at 4 and 5).
+        let q = Trajectory::from_triples(
+            Oid(0),
+            &[(0.0, 0.0, 0.0), (4.0, 0.0, 4.0), (4.0, 6.0, 10.0)],
+        )
+        .unwrap();
+        let o = Trajectory::from_triples(
+            Oid(1),
+            &[(10.0, 0.0, 0.0), (5.0, 0.0, 5.0), (5.0, 5.0, 10.0)],
+        )
+        .unwrap();
+        let w = TimeInterval::new(0.0, 10.0);
+        let f = difference_distance(&q, &o, &w).unwrap();
+        assert_eq!(f.pieces().len(), 3);
+        assert_eq!(f.breakpoints(), vec![4.0, 5.0]);
+        // Cross-check against direct distances on a dense grid.
+        for k in 0..=100 {
+            let t = k as f64 * 0.1;
+            let expected = q
+                .position_at(t)
+                .unwrap()
+                .distance(o.position_at(t).unwrap());
+            assert!(
+                (f.eval(t).unwrap() - expected).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                f.eval(t).unwrap(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn window_restriction_applies() {
+        let q = straight(0, 0.0, 0.0, 1.0, 0.0, 10.0);
+        let o = straight(1, 5.0, 0.0, -1.0, 0.0, 10.0);
+        let w = TimeInterval::new(2.0, 8.0);
+        let f = difference_distance(&q, &o, &w).unwrap();
+        assert_eq!(f.span(), w);
+    }
+
+    #[test]
+    fn errors_for_bad_windows() {
+        let q = straight(0, 0.0, 0.0, 1.0, 0.0, 10.0);
+        let o = straight(1, 5.0, 0.0, -1.0, 0.0, 5.0);
+        assert_eq!(
+            difference_distance(&q, &o, &TimeInterval::new(0.0, 10.0)),
+            Err(DifferenceError::WindowOutsideDomain { oid: Oid(1) })
+        );
+        assert_eq!(
+            difference_distance(&q, &o, &TimeInterval::new(3.0, 3.0)),
+            Err(DifferenceError::DegenerateWindow)
+        );
+    }
+
+    #[test]
+    fn batch_skips_query_itself() {
+        let q = straight(0, 0.0, 0.0, 1.0, 0.0, 10.0);
+        let o1 = straight(1, 5.0, 0.0, -1.0, 0.0, 10.0);
+        let o2 = straight(2, 0.0, 5.0, 0.0, -1.0, 10.0);
+        let all = vec![q.clone(), o1, o2];
+        let w = TimeInterval::new(0.0, 10.0);
+        let fs = difference_distances(&q, &all, &w).unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].owner(), Oid(1));
+        assert_eq!(fs[1].owner(), Oid(2));
+    }
+
+    #[test]
+    fn closest_approach_matches_vertex() {
+        // Head-on: q at origin moving +x at 1; o at (10,0) moving −x at 1.
+        // Relative position (10 − 2t, 0): meet at t = 5.
+        let q = straight(0, 0.0, 0.0, 1.0, 0.0, 10.0);
+        let o = straight(1, 10.0, 0.0, -1.0, 0.0, 10.0);
+        let f = difference_distance(&q, &o, &TimeInterval::new(0.0, 10.0)).unwrap();
+        let (tmin, dmin) = f.min_over_window();
+        assert!((tmin - 5.0).abs() < 1e-9);
+        assert!(dmin < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! Piecewise-hyperbola distance functions of difference trajectories
+//! (§3.2 of the paper).
+//!
+//! For a query trajectory `Tr_q` and a candidate `Tr_i`, the *difference
+//! trajectory* `TR_iq = Tr_i − Tr_q` moves piecewise linearly, and its
+//! distance from the origin — equal to the distance between the two
+//! expected locations — is `d_iq(t) = √(A t² + B t + C)` on every segment:
+//! a hyperbola. A [`DistanceFunction`] is the full piecewise function over
+//! the query window, one hyperbola piece per synchronized segment.
+
+use crate::trajectory::Oid;
+use std::fmt;
+use unn_geom::hyperbola::Hyperbola;
+use unn_geom::interval::TimeInterval;
+
+/// One hyperbola piece of a distance function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistancePiece {
+    /// Validity window of this piece.
+    pub span: TimeInterval,
+    /// The hyperbola on that window (in global time).
+    pub hyperbola: Hyperbola,
+}
+
+/// The distance-from-origin function of one difference trajectory over a
+/// query window: contiguous hyperbola pieces covering the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceFunction {
+    owner: Oid,
+    pieces: Vec<DistancePiece>,
+}
+
+/// Error constructing a [`DistanceFunction`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistanceFunctionError {
+    /// No pieces supplied.
+    Empty,
+    /// Pieces do not tile the window contiguously.
+    NonContiguous {
+        /// Index of the offending piece.
+        at: usize,
+    },
+}
+
+impl fmt::Display for DistanceFunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceFunctionError::Empty => write!(f, "distance function has no pieces"),
+            DistanceFunctionError::NonContiguous { at } => {
+                write!(f, "distance-function pieces are not contiguous at index {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistanceFunctionError {}
+
+impl DistanceFunction {
+    /// Builds a distance function from contiguous pieces.
+    pub fn new(
+        owner: Oid,
+        pieces: Vec<DistancePiece>,
+    ) -> Result<Self, DistanceFunctionError> {
+        if pieces.is_empty() {
+            return Err(DistanceFunctionError::Empty);
+        }
+        for (i, w) in pieces.windows(2).enumerate() {
+            if (w[0].span.end() - w[1].span.start()).abs() > 1e-9 {
+                return Err(DistanceFunctionError::NonContiguous { at: i + 1 });
+            }
+        }
+        Ok(DistanceFunction { owner, pieces })
+    }
+
+    /// A single-piece distance function (the paper's running assumption in
+    /// the complexity analysis).
+    pub fn single(owner: Oid, span: TimeInterval, hyperbola: Hyperbola) -> Self {
+        DistanceFunction {
+            owner,
+            pieces: vec![DistancePiece { span, hyperbola }],
+        }
+    }
+
+    /// The owning object's identifier.
+    pub fn owner(&self) -> Oid {
+        self.owner
+    }
+
+    /// The hyperbola pieces, in time order.
+    pub fn pieces(&self) -> &[DistancePiece] {
+        &self.pieces
+    }
+
+    /// The covered window.
+    pub fn span(&self) -> TimeInterval {
+        TimeInterval::new(
+            self.pieces.first().unwrap().span.start(),
+            self.pieces.last().unwrap().span.end(),
+        )
+    }
+
+    /// The piece active at instant `t` (the last piece whose span contains
+    /// `t` when `t` is a breakpoint).
+    pub fn piece_at(&self, t: f64) -> Option<&DistancePiece> {
+        if !self.span().contains(t) {
+            return None;
+        }
+        let idx = self
+            .pieces
+            .partition_point(|p| p.span.start() <= t)
+            .clamp(1, self.pieces.len());
+        Some(&self.pieces[idx - 1])
+    }
+
+    /// Distance at instant `t` (`None` outside the window).
+    pub fn eval(&self, t: f64) -> Option<f64> {
+        self.piece_at(t).map(|p| p.hyperbola.eval(t))
+    }
+
+    /// Distance at instant `t`, clamped into the window.
+    pub fn eval_clamped(&self, t: f64) -> f64 {
+        let t = self.span().clamp(t);
+        self.piece_at(t)
+            .map(|p| p.hyperbola.eval(t))
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Global minimum distance over the window, with the instant where it
+    /// is attained.
+    pub fn min_over_window(&self) -> (f64, f64) {
+        let mut best = (self.pieces[0].span.start(), f64::INFINITY);
+        for p in &self.pieces {
+            let (t, d) = p.hyperbola.min_on(&p.span);
+            if d < best.1 {
+                best = (t, d);
+            }
+        }
+        best
+    }
+
+    /// Global maximum distance over the window.
+    pub fn max_over_window(&self) -> (f64, f64) {
+        let mut best = (self.pieces[0].span.start(), f64::NEG_INFINITY);
+        for p in &self.pieces {
+            let (t, d) = p.hyperbola.max_on(&p.span);
+            if d > best.1 {
+                best = (t, d);
+            }
+        }
+        best
+    }
+
+    /// The interior breakpoints (piece boundaries).
+    pub fn breakpoints(&self) -> Vec<f64> {
+        self.pieces
+            .windows(2)
+            .map(|w| w[1].span.start())
+            .collect()
+    }
+
+    /// Restricts the function to `window`, dropping/trimming pieces.
+    /// Returns `None` when the intersection is empty or degenerate.
+    pub fn restrict(&self, window: &TimeInterval) -> Option<DistanceFunction> {
+        let mut pieces = Vec::new();
+        for p in &self.pieces {
+            if let Some(iv) = p.span.intersection(window) {
+                if !iv.is_degenerate() {
+                    pieces.push(DistancePiece { span: iv, hyperbola: p.hyperbola });
+                }
+            }
+        }
+        if pieces.is_empty() {
+            None
+        } else {
+            Some(DistanceFunction { owner: self.owner, pieces })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::point::Vec2;
+
+    fn h(p0: (f64, f64), v: (f64, f64), t0: f64) -> Hyperbola {
+        Hyperbola::from_relative_motion(Vec2::new(p0.0, p0.1), Vec2::new(v.0, v.1), t0)
+    }
+
+    fn two_piece() -> DistanceFunction {
+        // Piece 1: at (1,0) moving +x on [0,5]; piece 2 continues from
+        // (6,0) moving -x on [5,10].
+        DistanceFunction::new(
+            Oid(7),
+            vec![
+                DistancePiece {
+                    span: TimeInterval::new(0.0, 5.0),
+                    hyperbola: h((1.0, 0.0), (1.0, 0.0), 0.0),
+                },
+                DistancePiece {
+                    span: TimeInterval::new(5.0, 10.0),
+                    hyperbola: h((6.0, 0.0), (-1.0, 0.0), 5.0),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_contiguity() {
+        let res = DistanceFunction::new(
+            Oid(1),
+            vec![
+                DistancePiece {
+                    span: TimeInterval::new(0.0, 1.0),
+                    hyperbola: h((0.0, 1.0), (0.0, 0.0), 0.0),
+                },
+                DistancePiece {
+                    span: TimeInterval::new(2.0, 3.0),
+                    hyperbola: h((0.0, 1.0), (0.0, 0.0), 0.0),
+                },
+            ],
+        );
+        assert_eq!(res.unwrap_err(), DistanceFunctionError::NonContiguous { at: 1 });
+        assert_eq!(
+            DistanceFunction::new(Oid(1), vec![]).unwrap_err(),
+            DistanceFunctionError::Empty
+        );
+    }
+
+    #[test]
+    fn eval_across_pieces() {
+        let f = two_piece();
+        assert_eq!(f.eval(0.0), Some(1.0));
+        assert_eq!(f.eval(4.0), Some(5.0));
+        assert_eq!(f.eval(5.0), Some(6.0)); // continuous at the breakpoint
+        assert_eq!(f.eval(10.0), Some(1.0));
+        assert_eq!(f.eval(10.5), None);
+        assert_eq!(f.eval_clamped(12.0), 1.0);
+    }
+
+    #[test]
+    fn min_max_over_window() {
+        let f = two_piece();
+        let (tmin, dmin) = f.min_over_window();
+        assert_eq!(tmin, 0.0);
+        assert_eq!(dmin, 1.0);
+        let (tmax, dmax) = f.max_over_window();
+        assert_eq!(tmax, 5.0);
+        assert_eq!(dmax, 6.0);
+    }
+
+    #[test]
+    fn breakpoints_and_span() {
+        let f = two_piece();
+        assert_eq!(f.breakpoints(), vec![5.0]);
+        assert_eq!(f.span(), TimeInterval::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn restrict_trims_pieces() {
+        let f = two_piece();
+        let g = f.restrict(&TimeInterval::new(3.0, 7.0)).unwrap();
+        assert_eq!(g.pieces().len(), 2);
+        assert_eq!(g.span(), TimeInterval::new(3.0, 7.0));
+        assert_eq!(g.eval(3.0), Some(4.0));
+        assert!(f.restrict(&TimeInterval::new(20.0, 30.0)).is_none());
+        // Degenerate restriction yields nothing.
+        assert!(f.restrict(&TimeInterval::new(10.0, 10.0)).is_none());
+    }
+}

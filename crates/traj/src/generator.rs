@@ -1,0 +1,246 @@
+//! Synthetic workload generator (§5 of the paper).
+//!
+//! "The moving objects were generated using a modified version of the
+//! random waypoint model, and each object starts at a randomly selected
+//! position in the region of interest. Subsequently, the object picks a
+//! random direction and moves at a speed randomly distributed between
+//! 15mph and 60mph. For simplicity, we assumed that all the objects change
+//! their velocity vectors synchronously. The duration of the motion is
+//! fixed to 60min", over "a geographic area of size 40 × 40 miles²."
+//!
+//! Distances are miles, times are minutes; speeds are converted from mph.
+
+use crate::trajectory::{Oid, Trajectory, TrajectorySample};
+use crate::uncertain::UncertainTrajectory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unn_geom::point::{Point2, Vec2};
+
+/// Parameters of the random waypoint workload. Defaults match §5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Width of the region in miles.
+    pub region_width: f64,
+    /// Height of the region in miles.
+    pub region_height: f64,
+    /// Minimum speed in miles per hour.
+    pub min_speed_mph: f64,
+    /// Maximum speed in miles per hour.
+    pub max_speed_mph: f64,
+    /// Total motion duration in minutes.
+    pub duration_minutes: f64,
+    /// Synchronous velocity-change period in minutes (all objects turn at
+    /// the same epochs, per the paper's simplification).
+    pub epoch_minutes: f64,
+    /// Number of moving objects to generate.
+    pub num_objects: usize,
+    /// Random seed (the workload is fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            region_width: 40.0,
+            region_height: 40.0,
+            min_speed_mph: 15.0,
+            max_speed_mph: 60.0,
+            duration_minutes: 60.0,
+            epoch_minutes: 10.0,
+            num_objects: 1000,
+            seed: 0xEDB7_2009,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Convenience: same defaults with a different population and seed.
+    pub fn with_objects(num_objects: usize, seed: u64) -> Self {
+        WorkloadConfig { num_objects, seed, ..WorkloadConfig::default() }
+    }
+}
+
+/// Generates the trajectory population described by `cfg`.
+///
+/// Every trajectory starts at a uniform random position; at each
+/// synchronous epoch boundary it draws a direction uniformly and a speed
+/// uniformly in `[min_speed, max_speed]`, rejecting draws that would leave
+/// the region by the end of the epoch (the "modified" part of the random
+/// waypoint model — legs stay linear, objects stay in bounds).
+pub fn generate(cfg: &WorkloadConfig) -> Vec<Trajectory> {
+    assert!(cfg.num_objects > 0, "num_objects must be positive");
+    assert!(
+        cfg.region_width > 0.0 && cfg.region_height > 0.0,
+        "region must have positive area"
+    );
+    assert!(
+        cfg.min_speed_mph > 0.0 && cfg.max_speed_mph >= cfg.min_speed_mph,
+        "invalid speed range"
+    );
+    assert!(
+        cfg.duration_minutes > 0.0 && cfg.epoch_minutes > 0.0,
+        "invalid durations"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Epoch boundaries (shared by all objects: synchronous changes).
+    let mut epochs = vec![0.0];
+    let mut t = cfg.epoch_minutes;
+    while t < cfg.duration_minutes - 1e-9 {
+        epochs.push(t);
+        t += cfg.epoch_minutes;
+    }
+    epochs.push(cfg.duration_minutes);
+
+    (0..cfg.num_objects)
+        .map(|i| {
+            let mut pos = Point2::new(
+                rng.random_range(0.0..cfg.region_width),
+                rng.random_range(0.0..cfg.region_height),
+            );
+            let mut samples = Vec::with_capacity(epochs.len());
+            samples.push(TrajectorySample { position: pos, time: epochs[0] });
+            for w in epochs.windows(2) {
+                let dt = w[1] - w[0];
+                let next = next_leg_endpoint(&mut rng, cfg, pos, dt);
+                samples.push(TrajectorySample { position: next, time: w[1] });
+                pos = next;
+            }
+            Trajectory::new(Oid(i as u64), samples)
+                .expect("generator produces valid samples")
+        })
+        .collect()
+}
+
+/// Generates the same population wrapped in the uniform-pdf uncertainty
+/// model with disk radius `radius` (miles).
+pub fn generate_uncertain(cfg: &WorkloadConfig, radius: f64) -> Vec<UncertainTrajectory> {
+    generate(cfg)
+        .into_iter()
+        .map(|tr| {
+            UncertainTrajectory::with_uniform_pdf(tr, radius)
+                .expect("valid uncertainty radius")
+        })
+        .collect()
+}
+
+fn next_leg_endpoint(
+    rng: &mut StdRng,
+    cfg: &WorkloadConfig,
+    pos: Point2,
+    dt_minutes: f64,
+) -> Point2 {
+    for _ in 0..128 {
+        let dir: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let mph: f64 = rng.random_range(cfg.min_speed_mph..=cfg.max_speed_mph);
+        let miles_per_min = mph / 60.0;
+        let step = Vec2::new(dir.cos(), dir.sin()) * (miles_per_min * dt_minutes);
+        let cand = pos + step;
+        if (0.0..=cfg.region_width).contains(&cand.x)
+            && (0.0..=cfg.region_height).contains(&cand.y)
+        {
+            return cand;
+        }
+    }
+    // Extremely unlikely fallback (tiny region / long epoch): head toward
+    // the center at minimum speed, clamped into the region.
+    let center = Point2::new(0.5 * cfg.region_width, 0.5 * cfg.region_height);
+    let toward = (center - pos).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    let step = toward * (cfg.min_speed_mph / 60.0 * dt_minutes);
+    let cand = pos + step;
+    Point2::new(
+        cand.x.clamp(0.0, cfg.region_width),
+        cand.y.clamp(0.0, cfg.region_height),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_population() {
+        let cfg = WorkloadConfig::with_objects(25, 1);
+        let trs = generate(&cfg);
+        assert_eq!(trs.len(), 25);
+        for (i, tr) in trs.iter().enumerate() {
+            assert_eq!(tr.oid(), Oid(i as u64));
+            // 60 min / 10 min epochs -> 6 legs, 7 samples.
+            assert_eq!(tr.segment_count(), 6);
+            assert_eq!(tr.span().start(), 0.0);
+            assert_eq!(tr.span().end(), 60.0);
+        }
+    }
+
+    #[test]
+    fn objects_stay_in_region() {
+        let cfg = WorkloadConfig::with_objects(50, 7);
+        for tr in generate(&cfg) {
+            for s in tr.samples() {
+                assert!((0.0..=40.0).contains(&s.position.x), "{:?}", s.position);
+                assert!((0.0..=40.0).contains(&s.position.y), "{:?}", s.position);
+            }
+        }
+    }
+
+    #[test]
+    fn speeds_respect_configured_range() {
+        let cfg = WorkloadConfig::with_objects(50, 99);
+        let lo = cfg.min_speed_mph / 60.0;
+        let hi = cfg.max_speed_mph / 60.0;
+        for tr in generate(&cfg) {
+            for seg in tr.segments() {
+                let v = seg.speed();
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "speed {v} outside [{lo}, {hi}] miles/min"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&WorkloadConfig::with_objects(10, 42));
+        let b = generate(&WorkloadConfig::with_objects(10, 42));
+        assert_eq!(a, b);
+        let c = generate(&WorkloadConfig::with_objects(10, 43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synchronous_epochs_are_shared() {
+        let cfg = WorkloadConfig::with_objects(5, 3);
+        let trs = generate(&cfg);
+        let times: Vec<Vec<f64>> = trs
+            .iter()
+            .map(|t| t.samples().iter().map(|s| s.time).collect())
+            .collect();
+        for w in times.windows(2) {
+            assert_eq!(w[0], w[1], "all objects share the same epochs");
+        }
+    }
+
+    #[test]
+    fn uncertain_wrapper_applies_radius() {
+        let cfg = WorkloadConfig::with_objects(3, 5);
+        let trs = generate_uncertain(&cfg, 0.5);
+        for tr in &trs {
+            assert_eq!(tr.radius(), 0.5);
+        }
+    }
+
+    #[test]
+    fn non_divisible_epoch_still_covers_duration() {
+        let cfg = WorkloadConfig {
+            duration_minutes: 25.0,
+            epoch_minutes: 10.0,
+            ..WorkloadConfig::with_objects(2, 11)
+        };
+        let trs = generate(&cfg);
+        for tr in &trs {
+            assert_eq!(tr.span().end(), 25.0);
+            // epochs 0,10,20,25 -> 3 segments
+            assert_eq!(tr.segment_count(), 3);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # unn-traj
+//!
+//! Trajectory substrate for the `uncertain-nn` workspace — the Rust
+//! reproduction of *"Continuous Probabilistic Nearest-Neighbor Queries for
+//! Uncertain Trajectories"* (Trajcevski et al., EDBT 2009).
+//!
+//! * [`trajectory`] — validated `(x, y, t)` polylines with linear
+//!   interpolation (§2.1, Eq. 1);
+//! * [`uncertain`] — trajectories with uncertainty disks and location pdfs;
+//! * [`difference`] — the §3.2 transformation to difference trajectories
+//!   `TR_iq = Tr_i − Tr_q` with synchronized re-segmentation;
+//! * [`distance`] — piecewise-hyperbola distance functions `d_iq(t)`;
+//! * [`generator`] — the §5 random-waypoint workload (40×40 mi²,
+//!   15–60 mph, 60 min, synchronous velocity changes), fully seeded.
+
+#![warn(missing_docs)]
+
+pub mod difference;
+pub mod distance;
+pub mod generator;
+pub mod trajectory;
+pub mod uncertain;
+
+pub use difference::{difference_distance, difference_distances};
+pub use distance::{DistanceFunction, DistancePiece};
+pub use generator::{generate, generate_uncertain, WorkloadConfig};
+pub use trajectory::{Oid, Segment, Trajectory, TrajectoryError, TrajectorySample};
+pub use uncertain::{common_radius, UncertainTrajectory};

@@ -1,0 +1,307 @@
+//! Trajectories: polylines in (2D space) × time (§2.1 of the paper).
+//!
+//! A trajectory is a function `Time → R²` represented as a sequence of 3D
+//! points `(x, y, t)` with non-decreasing time, interpolated linearly in
+//! between — the object moves along straight segments at constant speed
+//! (Eq. 1).
+
+use std::fmt;
+use unn_geom::interval::TimeInterval;
+use unn_geom::point::{Point2, Vec2};
+
+/// Unique identifier of a moving object (`oid` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tr{}", self.0)
+    }
+}
+
+/// A single trajectory vertex: location at a time instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySample {
+    /// Location at the instant.
+    pub position: Point2,
+    /// The instant.
+    pub time: f64,
+}
+
+impl TrajectorySample {
+    /// Creates a sample.
+    pub fn new(x: f64, y: f64, t: f64) -> Self {
+        TrajectorySample { position: Point2::new(x, y), time: t }
+    }
+}
+
+/// Errors raised when constructing a [`Trajectory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A trajectory needs at least two samples to define motion.
+    TooFewSamples,
+    /// Sample times must be strictly increasing.
+    NonMonotonicTime,
+    /// A coordinate or time was NaN/∞.
+    NonFiniteValue,
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::TooFewSamples => {
+                write!(f, "trajectory needs at least two samples")
+            }
+            TrajectoryError::NonMonotonicTime => {
+                write!(f, "trajectory sample times must be strictly increasing")
+            }
+            TrajectoryError::NonFiniteValue => {
+                write!(f, "trajectory contains a non-finite coordinate or time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+/// One straight-line, constant-speed leg of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Sample opening the leg.
+    pub start: TrajectorySample,
+    /// Sample closing the leg.
+    pub end: TrajectorySample,
+}
+
+impl Segment {
+    /// Constant velocity along the leg.
+    pub fn velocity(&self) -> Vec2 {
+        let dt = self.end.time - self.start.time;
+        (self.end.position - self.start.position) / dt
+    }
+
+    /// Constant speed along the leg (Eq. 1 of the paper).
+    pub fn speed(&self) -> f64 {
+        self.velocity().norm()
+    }
+
+    /// Time span of the leg.
+    pub fn span(&self) -> TimeInterval {
+        TimeInterval::new(self.start.time, self.end.time)
+    }
+
+    /// Position at `t ∈ span` by linear interpolation.
+    pub fn position_at(&self, t: f64) -> Point2 {
+        let dt = self.end.time - self.start.time;
+        let s = (t - self.start.time) / dt;
+        self.start.position.lerp(self.end.position, s)
+    }
+}
+
+/// A validated trajectory: `oid` plus at least two samples with strictly
+/// increasing times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    oid: Oid,
+    samples: Vec<TrajectorySample>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory, validating the sample sequence.
+    pub fn new(oid: Oid, samples: Vec<TrajectorySample>) -> Result<Self, TrajectoryError> {
+        if samples.len() < 2 {
+            return Err(TrajectoryError::TooFewSamples);
+        }
+        for s in &samples {
+            if !s.position.is_finite() || !s.time.is_finite() {
+                return Err(TrajectoryError::NonFiniteValue);
+            }
+        }
+        for w in samples.windows(2) {
+            if w[1].time <= w[0].time {
+                return Err(TrajectoryError::NonMonotonicTime);
+            }
+        }
+        Ok(Trajectory { oid, samples })
+    }
+
+    /// Convenience constructor from `(x, y, t)` triples.
+    pub fn from_triples(oid: Oid, triples: &[(f64, f64, f64)]) -> Result<Self, TrajectoryError> {
+        Trajectory::new(
+            oid,
+            triples
+                .iter()
+                .map(|&(x, y, t)| TrajectorySample::new(x, y, t))
+                .collect(),
+        )
+    }
+
+    /// The object identifier.
+    pub fn oid(&self) -> Oid {
+        self.oid
+    }
+
+    /// The validated samples, in time order.
+    pub fn samples(&self) -> &[TrajectorySample] {
+        &self.samples
+    }
+
+    /// The trajectory's time domain.
+    pub fn span(&self) -> TimeInterval {
+        TimeInterval::new(
+            self.samples.first().unwrap().time,
+            self.samples.last().unwrap().time,
+        )
+    }
+
+    /// Iterates over the straight-line legs.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.samples
+            .windows(2)
+            .map(|w| Segment { start: w[0], end: w[1] })
+    }
+
+    /// Number of legs.
+    pub fn segment_count(&self) -> usize {
+        self.samples.len() - 1
+    }
+
+    /// Expected location at `t`, or `None` outside the time domain.
+    pub fn position_at(&self, t: f64) -> Option<Point2> {
+        if !self.span().contains(t) {
+            return None;
+        }
+        Some(self.position_clamped(t))
+    }
+
+    /// Expected location at `t`, clamping `t` into the time domain.
+    pub fn position_clamped(&self, t: f64) -> Point2 {
+        let t = self.span().clamp(t);
+        // Binary search for the segment containing t.
+        let idx = self
+            .samples
+            .partition_point(|s| s.time <= t)
+            .clamp(1, self.samples.len() - 1);
+        let seg = Segment { start: self.samples[idx - 1], end: self.samples[idx] };
+        seg.position_at(t)
+    }
+
+    /// Velocity at `t` (constant per leg; the right-continuous choice is
+    /// made at sample instants), or `None` outside the domain.
+    pub fn velocity_at(&self, t: f64) -> Option<Vec2> {
+        if !self.span().contains(t) {
+            return None;
+        }
+        let idx = self
+            .samples
+            .partition_point(|s| s.time <= t)
+            .clamp(1, self.samples.len() - 1);
+        Some(Segment { start: self.samples[idx - 1], end: self.samples[idx] }.velocity())
+    }
+
+    /// The sample instants (breakpoints of the piecewise-linear motion)
+    /// that fall inside `iv`, in order.
+    pub fn breakpoints_in(&self, iv: &TimeInterval) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| s.time)
+            .filter(|t| iv.contains(*t))
+            .collect()
+    }
+
+    /// Total length of the travelled path.
+    pub fn path_length(&self) -> f64 {
+        self.segments()
+            .map(|s| s.start.position.distance(s.end.position))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::from_triples(
+            Oid(1),
+            &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0), (10.0, 5.0, 15.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert_eq!(
+            Trajectory::from_triples(Oid(1), &[(0.0, 0.0, 0.0)]),
+            Err(TrajectoryError::TooFewSamples)
+        );
+        assert_eq!(
+            Trajectory::from_triples(Oid(1), &[(0.0, 0.0, 5.0), (1.0, 1.0, 5.0)]),
+            Err(TrajectoryError::NonMonotonicTime)
+        );
+        assert_eq!(
+            Trajectory::from_triples(Oid(1), &[(0.0, 0.0, 1.0), (1.0, 1.0, 0.0)]),
+            Err(TrajectoryError::NonMonotonicTime)
+        );
+        assert_eq!(
+            Trajectory::from_triples(Oid(1), &[(f64::NAN, 0.0, 0.0), (1.0, 1.0, 1.0)]),
+            Err(TrajectoryError::NonFiniteValue)
+        );
+    }
+
+    #[test]
+    fn interpolation_inside_segments() {
+        let t = traj();
+        assert_eq!(t.position_at(0.0), Some(Point2::new(0.0, 0.0)));
+        assert_eq!(t.position_at(5.0), Some(Point2::new(5.0, 0.0)));
+        assert_eq!(t.position_at(10.0), Some(Point2::new(10.0, 0.0)));
+        assert_eq!(t.position_at(12.5), Some(Point2::new(10.0, 2.5)));
+        assert_eq!(t.position_at(15.0), Some(Point2::new(10.0, 5.0)));
+        assert_eq!(t.position_at(15.1), None);
+        assert_eq!(t.position_at(-0.1), None);
+        assert_eq!(t.position_clamped(100.0), Point2::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn speeds_follow_eq_1() {
+        let t = traj();
+        let segs: Vec<Segment> = t.segments().collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].speed(), 1.0); // 10 units in 10 time units
+        assert_eq!(segs[1].speed(), 1.0); // 5 units in 5 time units
+        assert_eq!(segs[0].velocity(), Vec2::new(1.0, 0.0));
+        assert_eq!(segs[1].velocity(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn velocity_at_instants_is_right_continuous() {
+        let t = traj();
+        assert_eq!(t.velocity_at(10.0), Some(Vec2::new(0.0, 1.0)));
+        assert_eq!(t.velocity_at(9.99), Some(Vec2::new(1.0, 0.0)));
+        assert_eq!(t.velocity_at(16.0), None);
+    }
+
+    #[test]
+    fn breakpoints_and_span() {
+        let t = traj();
+        assert_eq!(t.span(), TimeInterval::new(0.0, 15.0));
+        assert_eq!(
+            t.breakpoints_in(&TimeInterval::new(1.0, 14.0)),
+            vec![10.0]
+        );
+        assert_eq!(
+            t.breakpoints_in(&TimeInterval::new(0.0, 15.0)),
+            vec![0.0, 10.0, 15.0]
+        );
+    }
+
+    #[test]
+    fn path_length() {
+        assert_eq!(traj().path_length(), 15.0);
+    }
+
+    #[test]
+    fn oid_display() {
+        assert_eq!(Oid(42).to_string(), "Tr42");
+    }
+}

@@ -1,0 +1,237 @@
+//! Uncertain trajectories (§2.1): a trajectory plus an uncertainty disk
+//! radius and a location pdf.
+
+use crate::trajectory::{Oid, Trajectory};
+use std::fmt;
+use unn_geom::disk::Disk;
+use unn_geom::point::Point2;
+use unn_prob::pdf::PdfKind;
+
+/// An uncertain trajectory `Tr^u = {oid, r, pdf, (x₁,y₁,t₁), ...}`.
+///
+/// At every instant `t` in its span the object lies inside the
+/// *uncertainty disk* `D(t)` of radius `r` around the expected location,
+/// distributed by `pdf` (assumed rotationally symmetric; see
+/// [`unn_prob::pdf::RadialPdf`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainTrajectory {
+    trajectory: Trajectory,
+    radius: f64,
+    pdf: PdfKind,
+}
+
+/// Error constructing an [`UncertainTrajectory`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UncertainError {
+    /// The uncertainty radius must be positive and finite.
+    InvalidRadius(f64),
+    /// The pdf's support must match the uncertainty radius.
+    PdfSupportMismatch {
+        /// The uncertainty radius.
+        radius: f64,
+        /// The pdf's support radius.
+        support: f64,
+    },
+}
+
+impl fmt::Display for UncertainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UncertainError::InvalidRadius(r) => {
+                write!(f, "invalid uncertainty radius {r}")
+            }
+            UncertainError::PdfSupportMismatch { radius, support } => write!(
+                f,
+                "pdf support radius {support} does not match uncertainty radius {radius}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UncertainError {}
+
+impl UncertainTrajectory {
+    /// Wraps a trajectory with an uncertainty model.
+    pub fn new(
+        trajectory: Trajectory,
+        radius: f64,
+        pdf: PdfKind,
+    ) -> Result<Self, UncertainError> {
+        if !(radius.is_finite() && radius > 0.0) {
+            return Err(UncertainError::InvalidRadius(radius));
+        }
+        let support = pdf.support_radius();
+        if (support - radius).abs() > 1e-9 * radius.max(1.0) {
+            return Err(UncertainError::PdfSupportMismatch { radius, support });
+        }
+        Ok(UncertainTrajectory { trajectory, radius, pdf })
+    }
+
+    /// Shorthand: uniform location pdf over the uncertainty disk (the
+    /// paper's running example, Eq. 2).
+    pub fn with_uniform_pdf(
+        trajectory: Trajectory,
+        radius: f64,
+    ) -> Result<Self, UncertainError> {
+        UncertainTrajectory::new(trajectory, radius, PdfKind::Uniform { radius })
+    }
+
+    /// The underlying (expected-location) trajectory.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// The object identifier.
+    pub fn oid(&self) -> Oid {
+        self.trajectory.oid()
+    }
+
+    /// The uncertainty-disk radius `r`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The location pdf descriptor.
+    pub fn pdf(&self) -> PdfKind {
+        self.pdf
+    }
+
+    /// The uncertainty disk `D(t)` at instant `t`, or `None` outside the
+    /// trajectory's span.
+    pub fn disk_at(&self, t: f64) -> Option<Disk> {
+        self.trajectory
+            .position_at(t)
+            .map(|c| Disk::new(c, self.radius))
+    }
+
+    /// Expected location at `t` (the disk center), or `None` outside the
+    /// span.
+    pub fn expected_location(&self, t: f64) -> Option<Point2> {
+        self.trajectory.position_at(t)
+    }
+}
+
+/// Checks that a set of uncertain trajectories share the same uncertainty
+/// radius and pdf — the standing assumption of the paper ("we assume the
+/// parameters r and pdf are the same for the trajectories in a given
+/// set"). Returns the common radius.
+pub fn common_radius(trs: &[UncertainTrajectory]) -> Result<f64, UncertainError> {
+    let mut radius = None;
+    for tr in trs {
+        match radius {
+            None => radius = Some(tr.radius()),
+            Some(r) => {
+                if (tr.radius() - r).abs() > 1e-12 * r.max(1.0) {
+                    return Err(UncertainError::PdfSupportMismatch {
+                        radius: r,
+                        support: tr.radius(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(radius.unwrap_or(0.0))
+}
+
+/// Checks that a set of uncertain trajectories share one location pdf
+/// (the same standing assumption as [`common_radius`], for the pdf
+/// component). Returns the common [`PdfKind`], or the first mismatching
+/// pair's radii wrapped in [`UncertainError::PdfSupportMismatch`].
+pub fn common_pdf_kind(trs: &[UncertainTrajectory]) -> Result<Option<PdfKind>, UncertainError> {
+    let mut kind: Option<PdfKind> = None;
+    for tr in trs {
+        match kind {
+            None => kind = Some(tr.pdf()),
+            Some(k) => {
+                if tr.pdf() != k {
+                    return Err(UncertainError::PdfSupportMismatch {
+                        radius: k.support_radius(),
+                        support: tr.pdf().support_radius(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::Trajectory;
+
+    fn traj(oid: u64) -> Trajectory {
+        Trajectory::from_triples(Oid(oid), &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let u = UncertainTrajectory::with_uniform_pdf(traj(3), 0.5).unwrap();
+        assert_eq!(u.oid(), Oid(3));
+        assert_eq!(u.radius(), 0.5);
+        assert_eq!(u.pdf(), PdfKind::Uniform { radius: 0.5 });
+    }
+
+    #[test]
+    fn rejects_invalid_radius() {
+        assert!(matches!(
+            UncertainTrajectory::with_uniform_pdf(traj(1), 0.0),
+            Err(UncertainError::InvalidRadius(_))
+        ));
+        assert!(matches!(
+            UncertainTrajectory::with_uniform_pdf(traj(1), f64::NAN),
+            Err(UncertainError::InvalidRadius(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_pdf_support_mismatch() {
+        let res = UncertainTrajectory::new(
+            traj(1),
+            0.5,
+            PdfKind::Uniform { radius: 0.7 },
+        );
+        assert!(matches!(res, Err(UncertainError::PdfSupportMismatch { .. })));
+    }
+
+    #[test]
+    fn disk_at_follows_expected_location() {
+        let u = UncertainTrajectory::with_uniform_pdf(traj(1), 0.25).unwrap();
+        let d = u.disk_at(0.5).unwrap();
+        assert_eq!(d.center, Point2::new(0.5, 0.5));
+        assert_eq!(d.radius, 0.25);
+        assert!(u.disk_at(2.0).is_none());
+    }
+
+    #[test]
+    fn common_radius_checks_uniformity() {
+        let a = UncertainTrajectory::with_uniform_pdf(traj(1), 0.5).unwrap();
+        let b = UncertainTrajectory::with_uniform_pdf(traj(2), 0.5).unwrap();
+        assert_eq!(common_radius(&[a.clone(), b]).unwrap(), 0.5);
+        let c = UncertainTrajectory::with_uniform_pdf(traj(3), 0.6).unwrap();
+        assert!(common_radius(&[a, c]).is_err());
+        assert_eq!(common_radius(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn common_pdf_kind_checks_uniformity() {
+        let a = UncertainTrajectory::with_uniform_pdf(traj(1), 0.5).unwrap();
+        let b = UncertainTrajectory::with_uniform_pdf(traj(2), 0.5).unwrap();
+        assert_eq!(
+            common_pdf_kind(&[a.clone(), b]).unwrap(),
+            Some(PdfKind::Uniform { radius: 0.5 })
+        );
+        let g = UncertainTrajectory::new(
+            traj(3),
+            0.5,
+            PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 },
+        )
+        .unwrap();
+        assert!(common_pdf_kind(&[a.clone(), g.clone()]).is_err());
+        assert_eq!(
+            common_pdf_kind(std::slice::from_ref(&g)).unwrap(),
+            Some(PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 })
+        );
+        assert_eq!(common_pdf_kind(&[]).unwrap(), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the trajectory substrate.
+
+use proptest::prelude::*;
+use unn_geom::interval::TimeInterval;
+use unn_traj::difference::difference_distance;
+use unn_traj::generator::{generate, WorkloadConfig};
+use unn_traj::trajectory::{Oid, Trajectory};
+
+fn arb_polyline(oid: u64) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0.0..50.0f64, 0.0..50.0f64), 2..6).prop_map(move |wps| {
+        let samples: Vec<(f64, f64, f64)> = wps
+            .into_iter()
+            .enumerate()
+            .map(|(k, (x, y))| (x, y, k as f64 * 5.0))
+            .collect();
+        Trajectory::from_triples(Oid(oid), &samples).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interpolation_stays_on_segments(tr in arb_polyline(1), s in 0.0..1.0f64) {
+        let span = tr.span();
+        let t = span.start() + s * span.len();
+        let p = tr.position_at(t).unwrap();
+        // The point lies within the bounding box of its segment's
+        // endpoints.
+        let samples = tr.samples();
+        let idx = samples.partition_point(|sm| sm.time <= t).clamp(1, samples.len() - 1);
+        let (a, b) = (samples[idx - 1].position, samples[idx].position);
+        prop_assert!(p.x >= a.x.min(b.x) - 1e-9 && p.x <= a.x.max(b.x) + 1e-9);
+        prop_assert!(p.y >= a.y.min(b.y) - 1e-9 && p.y <= a.y.max(b.y) + 1e-9);
+    }
+
+    #[test]
+    fn difference_distance_equals_pointwise_distance(
+        a in arb_polyline(1),
+        b in arb_polyline(2),
+        s in 0.01..0.99f64,
+    ) {
+        // Use the overlap of both spans (identical construction: [0, 5(k-1)]).
+        let end = a.span().end().min(b.span().end());
+        prop_assume!(end > 0.0);
+        let w = TimeInterval::new(0.0, end);
+        let f = difference_distance(&a, &b, &w).unwrap();
+        let t = s * end;
+        let expected = a.position_at(t).unwrap().distance(b.position_at(t).unwrap());
+        let got = f.eval(t).unwrap();
+        prop_assert!(
+            (got - expected).abs() < 1e-7 * (1.0 + expected),
+            "t={t}: {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn difference_is_antisymmetric_in_value(
+        a in arb_polyline(1),
+        b in arb_polyline(2),
+        s in 0.01..0.99f64,
+    ) {
+        let end = a.span().end().min(b.span().end());
+        prop_assume!(end > 0.0);
+        let w = TimeInterval::new(0.0, end);
+        let fab = difference_distance(&a, &b, &w).unwrap();
+        let fba = difference_distance(&b, &a, &w).unwrap();
+        let t = s * end;
+        prop_assert!((fab.eval(t).unwrap() - fba.eval(t).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_objects_stay_in_bounds_and_on_schedule(
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let cfg = WorkloadConfig::with_objects(n, seed);
+        let trs = generate(&cfg);
+        prop_assert_eq!(trs.len(), n);
+        for tr in &trs {
+            prop_assert_eq!(tr.span().start(), 0.0);
+            prop_assert_eq!(tr.span().end(), 60.0);
+            for sm in tr.samples() {
+                prop_assert!((0.0..=40.0).contains(&sm.position.x));
+                prop_assert!((0.0..=40.0).contains(&sm.position.y));
+            }
+            for seg in tr.segments() {
+                let v = seg.speed() * 60.0; // mph
+                prop_assert!((15.0 - 1e-6..=60.0 + 1e-6).contains(&v), "speed {v} mph");
+            }
+        }
+    }
+
+    #[test]
+    fn min_over_window_is_global_minimum(
+        a in arb_polyline(1),
+        b in arb_polyline(2),
+    ) {
+        let end = a.span().end().min(b.span().end());
+        prop_assume!(end > 0.0);
+        let w = TimeInterval::new(0.0, end);
+        let f = difference_distance(&a, &b, &w).unwrap();
+        let (_, dmin) = f.min_over_window();
+        for k in 0..=200 {
+            let t = end * k as f64 / 200.0;
+            prop_assert!(f.eval(t).unwrap() + 1e-9 >= dmin);
+        }
+    }
+}

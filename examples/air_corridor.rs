@@ -1,0 +1,81 @@
+//! Air-corridor deconfliction: uncertain trajectories with *Gaussian*
+//! location pdfs and the full query-language surface.
+//!
+//! A regional control center tracks aircraft flying fixed flight plans
+//! through a corridor. Position uncertainty is a truncated Gaussian
+//! (Figure 3.c of the paper shows exactly this option) — Theorem 1 holds
+//! for every rotationally symmetric pdf, so the same envelope machinery
+//! answers the queries. The controller interrogates the MOD in the §4
+//! query language.
+//!
+//! Run with: `cargo run --release --example air_corridor`
+
+use uncertain_nn::prelude::*;
+
+type Waypoints = Vec<(u64, Vec<(f64, f64, f64)>)>;
+
+fn main() {
+    let server = ModServer::new();
+    let radius = 1.0; // miles of lateral uncertainty
+    let pdf = PdfKind::TruncatedGaussian { radius, sigma: 0.4 };
+
+    // Flight plans: (oid, waypoints). The monitored flight is Tr0.
+    let plans: Waypoints = vec![
+        (0, vec![(0.0, 20.0, 0.0), (60.0, 20.0, 30.0)]),          // west → east
+        (1, vec![(0.0, 24.0, 0.0), (60.0, 18.0, 30.0)]),          // converging
+        (2, vec![(30.0, 0.0, 0.0), (30.0, 45.0, 30.0)]),          // crossing at mid-corridor
+        (3, vec![(60.0, 25.0, 0.0), (0.0, 25.0, 30.0)]),          // opposite direction
+        (4, vec![(10.0, 60.0, 0.0), (50.0, 55.0, 30.0)]),         // distant northern route
+        (5, vec![(0.0, 21.5, 0.0), (25.0, 21.5, 15.0), (60.0, 16.0, 30.0)]), // wing change
+    ];
+    for (oid, pts) in plans {
+        let tr = Trajectory::from_triples(Oid(oid), &pts).expect("valid plan");
+        server
+            .register(UncertainTrajectory::new(tr, radius, pdf).expect("valid model"))
+            .expect("unique flight id");
+    }
+
+    println!("Air corridor: 6 flights, Gaussian uncertainty (r = {radius} mi, σ = 0.4 mi)\n");
+
+    let statements = [
+        // Which flights can ever be closest to Tr0?
+        "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 30] AND PROB_NN(*, Tr0, TIME) > 0",
+        // Is the converging flight a possible nearest neighbor throughout?
+        "SELECT Tr1 FROM MOD WHERE FORALL TIME IN [0, 30] AND PROB_NN(Tr1, Tr0, TIME) > 0",
+        // Does the crossing flight matter at least a quarter of the window?
+        "SELECT Tr2 FROM MOD WHERE ATLEAST 25 % OF TIME IN [0, 30] AND PROB_NN(Tr2, Tr0, TIME) > 0",
+        // Fixed-time check at the crossing instant.
+        "SELECT Tr2 FROM MOD WHERE AT 15 TIME IN [0, 30] AND PROB_NN(Tr2, Tr0, TIME) > 0",
+        // Who is in the top-2 ranks at least 40% of the time?
+        "SELECT * FROM MOD WHERE ATLEAST 0.4 OF TIME IN [0, 30] AND PROB_NN(*, Tr0, TIME, RANK 2) > 0",
+        // The distant northern route should be prunable.
+        "SELECT Tr4 FROM MOD WHERE EXISTS TIME IN [0, 30] AND PROB_NN(Tr4, Tr0, TIME) > 0",
+        // §7 threshold extension: who exceeds 60% NN probability at least
+        // a third of the window?
+        "SELECT * FROM MOD WHERE ATLEAST 0.33 OF TIME IN [0, 30] AND PROB_NN(*, Tr0, TIME) > 0.6",
+    ];
+
+    for stmt in statements {
+        println!("> {stmt}");
+        match server.execute(stmt) {
+            Ok(QueryOutput::Boolean(b)) => println!("  {b}\n"),
+            Ok(QueryOutput::Objects(objs)) => {
+                if objs.is_empty() {
+                    println!("  (none)\n");
+                } else {
+                    for (oid, frac) in objs {
+                        println!("  {oid}: {:.0}% of the window", frac * 100.0);
+                    }
+                    println!();
+                }
+            }
+            Err(e) => println!("  error: {e}\n"),
+        }
+    }
+
+    // The dual view: print the deconfliction DAG for the window.
+    let tree = server
+        .ipac_tree(Oid(0), TimeInterval::new(0.0, 30.0), 2)
+        .expect("tree builds");
+    println!("IPAC-NN tree (2 levels) in graphviz dot:\n{}", tree.to_dot());
+}

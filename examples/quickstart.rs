@@ -1,0 +1,85 @@
+//! Quickstart: build a small MOD, ask for the continuous probabilistic
+//! nearest neighbor of one object, and inspect the IPAC-NN tree.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use uncertain_nn::core::ipac::annotate_probabilities;
+use uncertain_nn::prelude::*;
+
+type Waypoints = Vec<(u64, Vec<(f64, f64, f64)>)>;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Register a handful of uncertain trajectories (radius 0.5 miles,
+    //    uniform location pdf — the paper's running example).
+    // ------------------------------------------------------------------
+    let server = ModServer::new();
+    let radius = 0.5;
+    let objects: Waypoints = vec![
+        // The querying object drives east along y = 0.
+        (0, vec![(0.0, 0.0, 0.0), (20.0, 0.0, 20.0)]),
+        // Tr1 shadows it one mile north.
+        (1, vec![(0.0, 1.0, 0.0), (20.0, 1.0, 20.0)]),
+        // Tr2 crosses the route around t = 10.
+        (2, vec![(10.0, -8.0, 0.0), (10.0, 12.0, 20.0)]),
+        // Tr3 approaches from the east late in the window.
+        (3, vec![(30.0, 2.0, 0.0), (12.0, 2.0, 20.0)]),
+        // Tr4 is far away throughout (will be pruned).
+        (4, vec![(0.0, 35.0, 0.0), (20.0, 35.0, 20.0)]),
+    ];
+    for (oid, pts) in objects {
+        let tr = Trajectory::from_triples(Oid(oid), &pts).expect("valid trajectory");
+        server
+            .register(UncertainTrajectory::with_uniform_pdf(tr, radius).expect("valid radius"))
+            .expect("unique oid");
+    }
+
+    let window = TimeInterval::new(0.0, 20.0);
+
+    // ------------------------------------------------------------------
+    // 2. The continuous (crisp) NN answer: time parameterized, as in §1.
+    // ------------------------------------------------------------------
+    let answer = server.continuous_nn(Oid(0), window).expect("query succeeds");
+    println!("Continuous NN of Tr0 over {window}:");
+    for (oid, iv) in &answer.sequence {
+        println!("  {oid} is the nearest neighbor during {iv}");
+    }
+    println!(
+        "\n({} candidates, {} kept after 4r-band pruning, envelope has {} pieces)\n",
+        answer.stats.candidates, answer.stats.kept, answer.stats.envelope_pieces
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The probabilistic refinement: the IPAC-NN tree with sampled
+    //    P^NN descriptors.
+    // ------------------------------------------------------------------
+    let (engine, _) = server.engine(Oid(0), window).expect("engine builds");
+    let mut tree = engine.ipac_tree(3);
+    annotate_probabilities(&mut tree, engine.functions(), radius, 3);
+    println!("IPAC-NN tree (3 levels, descriptors carry avg P^NN):");
+    print!("{}", tree.render());
+
+    // ------------------------------------------------------------------
+    // 4. The same semantics through the §4 query language.
+    // ------------------------------------------------------------------
+    let statements = [
+        "SELECT Tr1 FROM MOD WHERE FORALL TIME IN [0, 20] AND PROB_NN(Tr1, Tr0, TIME) > 0",
+        "SELECT Tr2 FROM MOD WHERE EXISTS TIME IN [0, 20] AND PROB_NN(Tr2, Tr0, TIME) > 0",
+        "SELECT Tr4 FROM MOD WHERE EXISTS TIME IN [0, 20] AND PROB_NN(Tr4, Tr0, TIME) > 0",
+        "SELECT * FROM MOD WHERE ATLEAST 25 % OF TIME IN [0, 20] AND PROB_NN(*, Tr0, TIME) > 0",
+        "SELECT Tr2 FROM MOD WHERE EXISTS TIME IN [0, 20] AND PROB_NN(Tr2, Tr0, TIME, RANK 2) > 0",
+    ];
+    println!("\nQuery language:");
+    for stmt in statements {
+        match server.execute(stmt).expect("statement executes") {
+            QueryOutput::Boolean(b) => println!("  {stmt}\n    -> {b}"),
+            QueryOutput::Objects(objs) => {
+                let rendered: Vec<String> = objs
+                    .iter()
+                    .map(|(oid, frac)| format!("{oid} ({:.0}% of the window)", frac * 100.0))
+                    .collect();
+                println!("  {stmt}\n    -> [{}]", rendered.join(", "));
+            }
+        }
+    }
+}

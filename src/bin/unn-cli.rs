@@ -1,0 +1,274 @@
+//! `unn-cli` — an interactive / scriptable shell over the MOD server.
+//!
+//! Reads commands from stdin (one per line), so it works both as a REPL
+//! and in pipelines:
+//!
+//! ```text
+//! printf 'gen 200 42 0.5\nnn Tr0 0 60\n' | cargo run --release --bin unn-cli
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! gen <n> <seed> <radius>     generate the §5 random-waypoint workload
+//! load <path>                 load a MOD snapshot (persist format)
+//! save <path>                 save the current MOD
+//! list                        population summary
+//! nn <TrQ> <tb> <te>          crisp continuous NN timeline (§1)
+//! snapshot <TrQ> <t>          instantaneous P^NN ranking at t (§2.2)
+//! knn <TrQ> <k> <tb> <te>     continuous k-NN cells (§7 Top-k)
+//! rnn <TrQ> <tb> <te>         probabilistic reverse-NN answer (§7)
+//! ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
+//! stats <TrQ> <tb> <te>       envelope size and pruning statistics
+//! sql <statement>             execute a §4/§7 query-language statement
+//! help                        this text
+//! quit                        exit
+//! ```
+
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use uncertain_nn::modb::persist;
+use uncertain_nn::prelude::*;
+
+const HELP: &str = "\
+commands:
+  gen <n> <seed> <radius>     generate the random-waypoint workload
+  load <path>                 load a MOD snapshot
+  save <path>                 save the current MOD
+  list                        population summary
+  nn <TrQ> <tb> <te>          crisp continuous NN timeline
+  snapshot <TrQ> <t>          instantaneous P^NN ranking at t
+  knn <TrQ> <k> <tb> <te>     continuous k-NN cells
+  rnn <TrQ> <tb> <te>         probabilistic reverse-NN answer
+  ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
+  stats <TrQ> <tb> <te>       envelope size and pruning statistics
+  sql <statement>             execute a query-language statement
+  help                        this text
+  quit                        exit";
+
+fn main() {
+    let stdin = io::stdin();
+    let mut server = ModServer::new();
+    // Prompts are opt-in (`UNN_CLI_PROMPT=1`) so piped scripts stay clean;
+    // TTY detection would need a platform dependency.
+    let interactive = std::env::var_os("UNN_CLI_PROMPT").is_some();
+    if interactive {
+        println!("unn-cli — continuous probabilistic NN queries over uncertain trajectories");
+        println!("type 'help' for commands");
+    }
+    let mut out = io::stdout();
+    loop {
+        if interactive {
+            print!("unn> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if let Err(msg) = dispatch(&mut server, line) {
+            println!("error: {msg}");
+        }
+    }
+}
+
+fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "help" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        "gen" => {
+            let [n, seed, radius]: [f64; 3] = parse_numbers(rest)?;
+            let cfg = WorkloadConfig::with_objects(n as usize, seed as u64);
+            let fleet = generate_uncertain(&cfg, radius);
+            *server = ModServer::new();
+            server
+                .register_all(fleet)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "generated {} objects (seed {}, r = {radius} mi, 40x40 mi^2, 60 min)",
+                n as usize, seed as u64
+            );
+            Ok(())
+        }
+        "load" => {
+            let trs = persist::load(Path::new(rest)).map_err(|e| e.to_string())?;
+            let count = trs.len();
+            *server = ModServer::new();
+            server.register_all(trs).map_err(|e| e.to_string())?;
+            println!("loaded {count} objects from {rest}");
+            Ok(())
+        }
+        "save" => {
+            persist::save(server.store(), Path::new(rest)).map_err(|e| e.to_string())?;
+            println!("saved {} objects to {rest}", server.store().len());
+            Ok(())
+        }
+        "list" => {
+            let oids = server.store().oids();
+            match (oids.first(), oids.last()) {
+                (Some(a), Some(b)) => {
+                    println!("{} objects, ids {a} .. {b}", oids.len())
+                }
+                _ => println!("empty MOD"),
+            }
+            Ok(())
+        }
+        "nn" => {
+            let (q, w) = parse_query_window(server, rest)?;
+            let ans = server.continuous_nn(q, w).map_err(|e| e.to_string())?;
+            println!(
+                "A_nn({q}): {} entries ({} candidates, {} kept, {} envelope pieces)",
+                ans.sequence.len(),
+                ans.stats.candidates,
+                ans.stats.kept,
+                ans.stats.envelope_pieces
+            );
+            for (oid, iv) in &ans.sequence {
+                println!("  {oid:>6} during [{:8.3}, {:8.3}]", iv.start(), iv.end());
+            }
+            Ok(())
+        }
+        "snapshot" => {
+            let mut parts = rest.split_whitespace();
+            let q = resolve(server, parts.next().ok_or("usage: snapshot <TrQ> <t>")?)?;
+            let t: f64 = parse(parts.next().ok_or("missing t")?)?;
+            let ans = server.instantaneous_nn(q, t).map_err(|e| e.to_string())?;
+            println!(
+                "P^NN ranking at t = {t} ({} candidates, {} pruned by the R_min/R_max rule):",
+                ans.examined, ans.pruned
+            );
+            for (oid, p) in &ans.rows {
+                println!("  {oid:>6}: {p:.4}");
+            }
+            Ok(())
+        }
+        "knn" => {
+            let mut parts = rest.split_whitespace();
+            let q = resolve(server, parts.next().ok_or("usage: knn <TrQ> <k> <tb> <te>")?)?;
+            let k: usize = parse(parts.next().ok_or("missing k")?)?;
+            let tb: f64 = parse(parts.next().ok_or("missing tb")?)?;
+            let te: f64 = parse(parts.next().ok_or("missing te")?)?;
+            let w = TimeInterval::try_new(tb, te).ok_or("invalid window")?;
+            let ans = server.knn_answer(q, w, k).map_err(|e| e.to_string())?;
+            println!("continuous {k}-NN of {q}: {} cells", ans.cells().len());
+            for c in ans.cells() {
+                let names: Vec<String> =
+                    c.ranked.iter().map(|o| o.to_string()).collect();
+                println!(
+                    "  [{:8.3}, {:8.3}]: {}",
+                    c.span.start(),
+                    c.span.end(),
+                    names.join(" < ")
+                );
+            }
+            Ok(())
+        }
+        "rnn" => {
+            let (q, w) = parse_query_window(server, rest)?;
+            let rev = server.reverse_engine(q, w).map_err(|e| e.to_string())?;
+            let mut all = rev.rnn_all();
+            all.sort_by(|a, b| b.1.total_len().total_cmp(&a.1.total_len()));
+            println!("objects that may have {q} as their NN: {}", all.len());
+            for (oid, iv) in &all {
+                println!(
+                    "  {oid:>6}: {:8.3} time units ({:5.1}%)",
+                    iv.total_len(),
+                    100.0 * iv.total_len() / w.len()
+                );
+            }
+            Ok(())
+        }
+        "ipac" => {
+            let mut parts = rest.split_whitespace();
+            let q = resolve(server, parts.next().ok_or("usage: ipac <TrQ> <tb> <te> <depth>")?)?;
+            let tb: f64 = parse(parts.next().ok_or("missing tb")?)?;
+            let te: f64 = parse(parts.next().ok_or("missing te")?)?;
+            let d: usize = parse(parts.next().ok_or("missing depth")?)?;
+            let w = TimeInterval::try_new(tb, te).ok_or("invalid window")?;
+            let tree = server.ipac_tree(q, w, d).map_err(|e| e.to_string())?;
+            print!("{}", tree.render());
+            Ok(())
+        }
+        "stats" => {
+            let (q, w) = parse_query_window(server, rest)?;
+            let (engine, stats) = server.engine(q, w).map_err(|e| e.to_string())?;
+            println!(
+                "query {q}: {} candidates, {} kept ({:.1}% pruned), {} envelope \
+                 pieces, preprocess {:?}",
+                stats.candidates,
+                stats.kept,
+                100.0 * (1.0 - stats.kept as f64 / stats.candidates.max(1) as f64),
+                stats.envelope_pieces,
+                stats.preprocess
+            );
+            let seq = engine.continuous_nn_answer();
+            println!("answer has {} time-parameterized entries", seq.len());
+            Ok(())
+        }
+        "sql" => {
+            match server.execute(rest).map_err(|e| e.to_string())? {
+                QueryOutput::Boolean(b) => println!("{b}"),
+                QueryOutput::Objects(rows) => {
+                    println!("{} objects", rows.len());
+                    let mut rows = rows;
+                    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    for (oid, frac) in rows {
+                        println!("  {oid:>6}: {:.1}%", frac * 100.0);
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("cannot parse '{s}': {e}"))
+}
+
+fn parse_numbers<const N: usize>(rest: &str) -> Result<[f64; N], String> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    if parts.len() != N {
+        return Err(format!("expected {N} arguments, got {}", parts.len()));
+    }
+    let mut out = [0.0; N];
+    for (slot, p) in out.iter_mut().zip(&parts) {
+        *slot = parse(p)?;
+    }
+    Ok(out)
+}
+
+fn resolve(server: &ModServer, name: &str) -> Result<Oid, String> {
+    server.resolve(name).map_err(|e| e.to_string())
+}
+
+fn parse_query_window(server: &ModServer, rest: &str) -> Result<(Oid, TimeInterval), String> {
+    let mut parts = rest.split_whitespace();
+    let q = resolve(server, parts.next().ok_or("usage: <cmd> <TrQ> <tb> <te>")?)?;
+    let tb: f64 = parse(parts.next().ok_or("missing tb")?)?;
+    let te: f64 = parse(parts.next().ok_or("missing te")?)?;
+    let w = TimeInterval::try_new(tb, te).ok_or("invalid window")?;
+    Ok((q, w))
+}

@@ -1,0 +1,79 @@
+//! # uncertain-nn
+//!
+//! A Rust implementation of **"Continuous Probabilistic Nearest-Neighbor
+//! Queries for Uncertain Trajectories"** (Goce Trajcevski, Roberto
+//! Tamassia, Hui Ding, Peter Scheuermann, Isabel F. Cruz — EDBT 2009).
+//!
+//! The crate is an umbrella over the workspace:
+//!
+//! * [`geom`] — geometry & numerics (hyperbolas, Sturm root isolation, …);
+//! * [`prob`] — rotationally symmetric pdfs, convolution, `P^WD`/`P^NN`;
+//! * [`traj`] — trajectories, difference transforms, workload generator;
+//! * [`core`] — lower envelopes, `4r` pruning, IPAC-NN tree, query
+//!   variants (the paper's contribution);
+//! * [`modb`] — the MOD engine: store, spatial indexes, query language,
+//!   server.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uncertain_nn::prelude::*;
+//!
+//! // A tiny MOD: the query object and two candidates.
+//! let server = ModServer::new();
+//! for (oid, pts) in [
+//!     (0u64, vec![(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]),
+//!     (1, vec![(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)]),
+//!     (2, vec![(10.0, 9.0, 0.0), (0.0, 2.0, 10.0)]),
+//! ] {
+//!     let tr = Trajectory::from_triples(Oid(oid), &pts).unwrap();
+//!     server
+//!         .register(UncertainTrajectory::with_uniform_pdf(tr, 0.5).unwrap())
+//!         .unwrap();
+//! }
+//!
+//! // Continuous NN of Tr0 over [0, 10] (time-parameterized answer).
+//! let answer = server
+//!     .continuous_nn(Oid(0), TimeInterval::new(0.0, 10.0))
+//!     .unwrap();
+//! assert!(!answer.sequence.is_empty());
+//!
+//! // The probabilistic variants via the §4 query language.
+//! let out = server
+//!     .execute(
+//!         "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] \
+//!          AND PROB_NN(*, Tr0, TIME) > 0",
+//!     )
+//!     .unwrap();
+//! assert!(matches!(out, QueryOutput::Objects(_)));
+//! ```
+
+pub use unn_core as core;
+pub use unn_geom as geom;
+pub use unn_modb as modb;
+pub use unn_prob as prob;
+pub use unn_traj as traj;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use unn_core::envelope::Envelope;
+    pub use unn_core::hetero::{HeteroCandidate, HeteroEngine};
+    pub use unn_core::ipac::{IpacConfig, IpacTree};
+    pub use unn_core::query::QueryEngine;
+    pub use unn_core::reverse::{all_pairs_nn, ReverseNnEngine};
+    pub use unn_core::topk::{continuous_knn, probabilistic_topk_at, KnnAnswer};
+    pub use unn_core::{
+        build_ipac_tree, inside_band_intervals, lower_envelope, lower_envelope_naive,
+        prune_by_band, threshold_nn_query,
+    };
+    pub use unn_geom::interval::{IntervalSet, TimeInterval};
+    pub use unn_geom::point::{Point2, Vec2};
+    pub use unn_modb::catalog::{Catalog, ObjectMeta};
+    pub use unn_modb::server::{ModServer, QueryOutput};
+    pub use unn_modb::store::ModStore;
+    pub use unn_prob::pdf::{PdfKind, RadialPdf};
+    pub use unn_traj::generator::{generate, generate_uncertain, WorkloadConfig};
+    pub use unn_traj::trajectory::{Oid, Trajectory};
+    pub use unn_traj::uncertain::UncertainTrajectory;
+    pub use unn_traj::{difference_distance, difference_distances};
+}

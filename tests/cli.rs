@@ -1,0 +1,98 @@
+//! End-to-end tests of the `unn-cli` binary: commands are piped through
+//! stdin and the output is checked, including a save/load round trip.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(script: &str) -> (String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_unn-cli"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(out.status.success(), "cli exited with {:?}", out.status);
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+#[test]
+fn generate_and_query_pipeline() {
+    let (stdout, stderr) = run_cli(
+        "gen 60 42 0.5\n\
+         list\n\
+         nn Tr0 0 60\n\
+         stats Tr0 0 60\n\
+         sql SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("generated 60 objects"), "{stdout}");
+    assert!(stdout.contains("60 objects, ids Tr0 .. Tr59"), "{stdout}");
+    assert!(stdout.contains("A_nn(Tr0):"), "{stdout}");
+    assert!(stdout.contains("candidates"), "{stdout}");
+    assert!(stdout.contains("objects"), "{stdout}");
+}
+
+#[test]
+fn knn_rnn_snapshot_and_ipac_commands() {
+    let (stdout, _) = run_cli(
+        "gen 40 7 0.5\n\
+         knn Tr0 2 0 30\n\
+         rnn Tr0 0 30\n\
+         snapshot Tr0 15\n\
+         ipac Tr0 0 30 2\n\
+         quit\n",
+    );
+    assert!(stdout.contains("continuous 2-NN of Tr0"), "{stdout}");
+    assert!(stdout.contains("objects that may have Tr0 as their NN"), "{stdout}");
+    assert!(stdout.contains("P^NN ranking at t = 15"), "{stdout}");
+    assert!(stdout.contains("pruned by the R_min/R_max rule"), "{stdout}");
+    // The IPAC render names the query and window.
+    assert!(stdout.contains("Tr0"), "{stdout}");
+}
+
+#[test]
+fn save_load_round_trip() {
+    let dir = std::env::temp_dir().join(format!("unn-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mod.unn");
+    let script = format!(
+        "gen 25 3 0.4\nsave {p}\ngen 5 1 0.2\nload {p}\nlist\nquit\n",
+        p = path.display()
+    );
+    let (stdout, _) = run_cli(&script);
+    assert!(stdout.contains("saved 25 objects"), "{stdout}");
+    assert!(stdout.contains("loaded 25 objects"), "{stdout}");
+    assert!(stdout.contains("25 objects, ids Tr0 .. Tr24"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let (stdout, _) = run_cli(
+        "bogus command\n\
+         nn Tr0 0 60\n\
+         gen 10 1 0.5\n\
+         nn Tr99 0 60\n\
+         sql SELECT nonsense\n\
+         list\n\
+         quit\n",
+    );
+    assert!(stdout.contains("unknown command 'bogus'"), "{stdout}");
+    // nn before any MOD exists
+    assert!(stdout.contains("error:"), "{stdout}");
+    // unknown object and parse errors are reported…
+    assert!(stdout.contains("unknown object") || stdout.contains("Tr99"), "{stdout}");
+    // …and the session keeps going.
+    assert!(stdout.contains("10 objects, ids Tr0 .. Tr9"), "{stdout}");
+}

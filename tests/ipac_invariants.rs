@@ -1,0 +1,117 @@
+//! Structural invariants of the IPAC-NN tree on generated workloads, and
+//! the Theorem 2 complexity bound.
+
+use uncertain_nn::core::ipac::{build_ipac_tree, IpacConfig, IpacNode};
+use uncertain_nn::core::oracle;
+use uncertain_nn::prelude::*;
+
+fn functions(n: usize, seed: u64) -> Vec<uncertain_nn::traj::DistanceFunction> {
+    let cfg = WorkloadConfig { num_objects: n, seed, ..WorkloadConfig::default() };
+    let trs = generate(&cfg);
+    difference_distances(&trs[0], &trs, &TimeInterval::new(0.0, 60.0)).unwrap()
+}
+
+fn walk(node: &IpacNode, ancestors: &mut Vec<Oid>, check: &mut impl FnMut(&IpacNode, &[Oid])) {
+    check(node, ancestors);
+    ancestors.push(node.owner);
+    for c in &node.children {
+        walk(c, ancestors, check);
+    }
+    ancestors.pop();
+}
+
+#[test]
+fn tree_structure_invariants_hold_on_workloads() {
+    for seed in [1u64, 2, 3] {
+        let fs = functions(30, seed);
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 4));
+        let mut seen_any = false;
+        for root in &tree.roots {
+            walk(root, &mut Vec::new(), &mut |node, ancestors| {
+                seen_any = true;
+                // 1. Levels increase along root paths.
+                assert_eq!(node.level, ancestors.len() + 1);
+                // 2. No ancestor owner repeats.
+                assert!(!ancestors.contains(&node.owner));
+                // 3. Children tile within the parent's span.
+                let mut cursor = None;
+                for c in &node.children {
+                    assert!(node.span.contains_interval(&c.span), "child span escapes");
+                    if let Some(prev) = cursor {
+                        assert!(c.span.start() >= prev - 1e-9, "children out of order");
+                    }
+                    cursor = Some(c.span.end());
+                }
+                // 4. Descriptor bounds are consistent.
+                assert!(node.descriptor.min_distance <= node.descriptor.max_distance + 1e-9);
+            });
+        }
+        assert!(seen_any);
+    }
+}
+
+#[test]
+fn level_one_owner_is_true_nearest_at_midpoints() {
+    let fs = functions(40, 9);
+    let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 2));
+    for (owner, iv) in tree.level_pieces(1) {
+        let t = iv.midpoint();
+        let (_, oracle_owner) = oracle::min_at(&fs, t).unwrap();
+        assert_eq!(owner, oracle_owner, "level-1 owner at t={t}");
+    }
+}
+
+#[test]
+fn level_two_owner_is_second_nearest_among_band_members() {
+    let fs = functions(30, 13);
+    let radius = 0.5;
+    let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(radius, 2));
+    for (owner, iv) in tree.level_pieces(2) {
+        let t = iv.midpoint();
+        let rank = oracle::rank_at(&fs, owner, t).unwrap();
+        // The level-2 node owner must be the second-closest overall
+        // (excluding pathological boundary instants).
+        assert!(
+            rank == 2,
+            "level-2 owner {owner} has oracle rank {rank} at t={t}"
+        );
+    }
+}
+
+#[test]
+fn theorem_2_complexity_bound() {
+    // Node count is O((N/K)²) where kept = N/K survives pruning. We check
+    // the concrete bound: nodes ≤ C · kept² with a small constant, for
+    // unbounded depth on modest inputs.
+    for seed in [5u64, 6] {
+        let fs = functions(20, seed);
+        let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
+        let kept = tree.stats.kept.max(1);
+        let bound = 8 * kept * kept + 8;
+        assert!(
+            tree.node_count() <= bound,
+            "nodes {} exceed bound {bound} (kept {kept})",
+            tree.node_count()
+        );
+    }
+}
+
+#[test]
+fn deeper_trees_are_supersets() {
+    let fs = functions(25, 21);
+    let shallow = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 1));
+    let deep = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 3));
+    // Level-1 pieces are identical regardless of the depth bound.
+    assert_eq!(shallow.level_pieces(1), deep.level_pieces(1));
+    assert!(deep.node_count() >= shallow.node_count());
+    assert!(deep.depth() >= shallow.depth());
+}
+
+#[test]
+fn dag_dual_edge_counts() {
+    let fs = functions(25, 33);
+    let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(0.5, 3));
+    let (nodes, edges) = tree.to_dag();
+    // A forest: edges = nodes - roots.
+    assert_eq!(edges.len(), nodes.len() - tree.roots.len());
+}

@@ -1,0 +1,63 @@
+//! Persistence round-trips: a saved MOD reloads bit-identically and
+//! answers queries identically.
+
+use uncertain_nn::modb::persist;
+use uncertain_nn::prelude::*;
+
+#[test]
+fn reloaded_mod_answers_identically() {
+    let cfg = WorkloadConfig { num_objects: 25, seed: 55, ..WorkloadConfig::default() };
+    let trs = generate_uncertain(&cfg, 0.5);
+
+    let original = ModServer::new();
+    original.register_all(trs.clone()).unwrap();
+
+    // Save to a buffer and reload into a fresh server.
+    let mut buf = Vec::new();
+    persist::save_to(&original.store().snapshot(), &mut buf).unwrap();
+    let reloaded_trs = persist::load_from(buf.as_slice()).unwrap();
+    assert_eq!(reloaded_trs, original.store().snapshot());
+
+    let reloaded = ModServer::new();
+    reloaded.register_all(reloaded_trs).unwrap();
+
+    let window = TimeInterval::new(0.0, 60.0);
+    let a = original.continuous_nn(Oid(3), window).unwrap();
+    let b = reloaded.continuous_nn(Oid(3), window).unwrap();
+    assert_eq!(a.sequence, b.sequence);
+
+    let stmt = "SELECT * FROM MOD WHERE ATLEAST 0.25 OF TIME IN [0, 60] \
+                AND PROB_NN(*, Tr3, TIME) > 0";
+    assert_eq!(original.execute(stmt).unwrap(), reloaded.execute(stmt).unwrap());
+}
+
+#[test]
+fn file_round_trip_with_mixed_pdfs() {
+    use uncertain_nn::prob::PdfKind;
+    use uncertain_nn::traj::trajectory::Trajectory;
+
+    let dir = std::env::temp_dir().join("unn_integration_persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mixed.mod");
+
+    let store = ModStore::new();
+    let t1 = Trajectory::from_triples(Oid(1), &[(0.0, 0.0, 0.0), (5.0, 5.0, 10.0)]).unwrap();
+    let t2 = Trajectory::from_triples(Oid(2), &[(1.0, 0.0, 0.0), (6.0, 4.0, 10.0)]).unwrap();
+    store
+        .insert(UncertainTrajectory::with_uniform_pdf(t1, 0.5).unwrap())
+        .unwrap();
+    store
+        .insert(
+            UncertainTrajectory::new(
+                t2,
+                0.5,
+                PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 },
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    persist::save(&store, &path).unwrap();
+    let loaded = persist::load(&path).unwrap();
+    assert_eq!(loaded, store.snapshot());
+    std::fs::remove_file(&path).unwrap();
+}

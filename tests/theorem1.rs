@@ -1,0 +1,151 @@
+//! Validation of the paper's probabilistic core: Lemma 1, Theorem 1, and
+//! the soundness discussion of §2.2-IV.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_nn::prob::discretized::DiscretizedNn;
+use uncertain_nn::prob::monte_carlo::monte_carlo_nn_probabilities;
+use uncertain_nn::prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+use uncertain_nn::prob::uniform_diff::UniformDifferencePdf;
+use uncertain_nn::prob::TruncatedGaussianPdf;
+
+/// Theorem 1: for equal rotationally symmetric pdfs, the probability
+/// ranking equals the center-distance ranking — checked with the exact
+/// convolved pdf of the difference objects on random configurations.
+#[test]
+fn theorem_1_ranking_matches_distance_ranking() {
+    let mut rng = StdRng::seed_from_u64(2009);
+    let pdf = UniformDifferencePdf::new(0.5);
+    for trial in 0..25 {
+        let n = rng.random_range(2..7);
+        let mut dists: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(1.0..6.0))
+            .collect();
+        // Ensure distinct distances (ties make the ranking ambiguous).
+        dists.sort_by(f64::total_cmp);
+        let mut ok = true;
+        for w in dists.windows(2) {
+            if w[1] - w[0] < 0.05 {
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        // dists ascending => probs must be strictly descending.
+        for (k, w) in probs.windows(2).enumerate() {
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "trial {trial}: P ranking violates Theorem 1 at {k}: {probs:?} for {dists:?}"
+            );
+        }
+    }
+}
+
+/// Theorem 1 also holds for non-uniform rotationally symmetric pdfs
+/// (truncated Gaussian).
+#[test]
+fn theorem_1_holds_for_gaussian_pdfs() {
+    let pdf = TruncatedGaussianPdf::new(1.0, 0.4);
+    let dists = [1.5, 2.1, 2.8, 3.9];
+    let cands: Vec<NnCandidate> = dists
+        .iter()
+        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .collect();
+    let probs = nn_probabilities(&cands, NnConfig::default());
+    for w in probs.windows(2) {
+        assert!(w[0] > w[1], "{probs:?}");
+    }
+}
+
+/// The Eq. 5 evaluator agrees with direct Monte Carlo simulation.
+#[test]
+fn analytic_matches_monte_carlo() {
+    let pdf = UniformDifferencePdf::new(0.5);
+    let dists = [1.2, 1.5, 2.0, 2.4];
+    let cands: Vec<NnCandidate> = dists
+        .iter()
+        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .collect();
+    let analytic = nn_probabilities(&cands, NnConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mc = monte_carlo_nn_probabilities(&cands, 80_000, &mut rng);
+    for (i, (a, m)) in analytic.iter().zip(&mc).enumerate() {
+        assert!(
+            (a - m).abs() < 0.01,
+            "candidate {i}: analytic {a} vs monte carlo {m}"
+        );
+    }
+}
+
+/// For continuous pdfs the Eq. 5 probabilities form a probability space:
+/// they sum to one (the joint terms of §2.2-IV vanish in the continuum).
+#[test]
+fn continuous_probabilities_sum_to_one() {
+    let pdf = UniformDifferencePdf::new(1.0);
+    for dists in [
+        vec![2.0, 2.5],
+        vec![3.0, 3.1, 3.2, 3.3, 3.4],
+        vec![1.0, 4.0, 4.05, 6.0],
+    ] {
+        let cands: Vec<NnCandidate> = dists
+            .iter()
+            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .collect();
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 5e-4,
+            "Σ P^NN = {total} for {dists:?} ({probs:?})"
+        );
+    }
+}
+
+/// §2.2-IV made concrete: under discretization the exclusive
+/// probabilities alone sum to < 1, and adding the joint (tie) terms
+/// recovers the missing mass.
+#[test]
+fn discretization_exposes_joint_probability_terms() {
+    let pdf = UniformDifferencePdf::new(1.0);
+    let dists = [2.0, 2.2, 2.5, 2.9];
+    let cands: Vec<NnCandidate> = dists
+        .iter()
+        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .collect();
+    let engine = DiscretizedNn::new(&cands, 12);
+    let order1 = engine.total_mass(1);
+    let order2 = engine.total_mass(2);
+    let order3 = engine.total_mass(3);
+    assert!(order1 < 0.999, "exclusive-only mass {order1} should be < 1");
+    assert!(order2 > order1);
+    assert!(order3 >= order2);
+    assert!((engine.total_mass_exact() - 1.0).abs() < 1e-9);
+}
+
+/// Lemma 1 in its sharpest form: two candidates only, closer wins, and
+/// the gap grows with the distance difference.
+#[test]
+fn lemma_1_two_candidate_gap() {
+    let pdf = UniformDifferencePdf::new(0.5);
+    let base = 2.0;
+    let mut last_gap = 0.0;
+    for delta in [0.1, 0.4, 0.8, 1.0] {
+        let cands = [
+            NnCandidate { center_distance: base, pdf: &pdf },
+            NnCandidate { center_distance: base + delta, pdf: &pdf },
+        ];
+        let probs = nn_probabilities(&cands, NnConfig::default());
+        assert!(probs[0] > probs[1], "delta {delta}: {probs:?}");
+        let gap = probs[0] - probs[1];
+        assert!(
+            gap >= last_gap - 1e-9,
+            "gap must grow with separation: {gap} after {last_gap}"
+        );
+        last_gap = gap;
+    }
+}
