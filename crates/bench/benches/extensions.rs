@@ -64,7 +64,10 @@ fn bench_hetero_engine(c: &mut Criterion) {
         let cands: Vec<HeteroCandidate> = fs
             .iter()
             .zip(&radii)
-            .map(|(f, &r)| HeteroCandidate { f: f.clone(), radius: r })
+            .map(|(f, &r)| HeteroCandidate {
+                f: f.clone(),
+                radius: r,
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("build", n), &cands, |b, cands| {
             b.iter(|| black_box(HeteroEngine::new(Oid(0), cands.clone(), 0.1)))
@@ -136,7 +139,7 @@ fn bench_instantaneous(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for &n in &[1_000usize] {
+    for &n in &[500usize, 1_000] {
         let trs: Vec<UncertainTrajectory> = workload(n, 42)
             .into_iter()
             .map(|tr| UncertainTrajectory::with_uniform_pdf(tr, 0.5).unwrap())
@@ -146,9 +149,7 @@ fn bench_instantaneous(c: &mut Criterion) {
             b.iter(|| black_box(instantaneous_nn(trs, Oid(0), 30.0).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("grid_indexed", n), &trs, |b, trs| {
-            b.iter(|| {
-                black_box(instantaneous_nn_indexed(trs, &grid, Oid(0), 30.0).unwrap())
-            })
+            b.iter(|| black_box(instantaneous_nn_indexed(trs, &grid, Oid(0), 30.0).unwrap()))
         });
     }
     group.finish();

@@ -20,9 +20,13 @@ fn bench_ipac(c: &mut Criterion) {
         });
     }
     for &r in &[0.25f64, 0.5, 1.0] {
-        group.bench_with_input(BenchmarkId::new("radius_depth3", format!("r{r}")), &r, |b, &r| {
-            b.iter(|| black_box(build_ipac_tree(query, &fs, &IpacConfig::with_depth(r, 3))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("radius_depth3", format!("r{r}")),
+            &r,
+            |b, &r| {
+                b.iter(|| black_box(build_ipac_tree(query, &fs, &IpacConfig::with_depth(r, 3))))
+            },
+        );
     }
     group.finish();
 }

@@ -13,9 +13,7 @@ fn bench_merge_strategies(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
-    group.bench_function("sequential", |b| {
-        b.iter(|| black_box(lower_envelope(&fs)))
-    });
+    group.bench_function("sequential", |b| b.iter(|| black_box(lower_envelope(&fs))));
     for &threshold in &[64usize, 256, 1024] {
         group.bench_with_input(
             BenchmarkId::new("parallel", threshold),

@@ -76,7 +76,10 @@ fn bench_uncertain_query_within_distance(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
 
-    let kind = PdfKind::TruncatedGaussian { radius: 1.0, sigma: 0.4 };
+    let kind = PdfKind::TruncatedGaussian {
+        radius: 1.0,
+        sigma: 0.4,
+    };
     let gauss = kind.build();
     // Convolved once, outside the measurement — §3.1's amortization.
     let gauss_diff = kind.convolve_with(&kind);

@@ -17,9 +17,11 @@ fn bench_pruning(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for &r in &[0.1f64, 0.5, 1.0, 2.0, 5.0] {
-        group.bench_with_input(BenchmarkId::new("prune_by_band", format!("r{r}")), &r, |b, &r| {
-            b.iter(|| black_box(prune_by_band(&fs, &le, r)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prune_by_band", format!("r{r}")),
+            &r,
+            |b, &r| b.iter(|| black_box(prune_by_band(&fs, &le, r))),
+        );
     }
     group.finish();
 }

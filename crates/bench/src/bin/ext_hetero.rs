@@ -27,9 +27,15 @@ use unn_core::hetero::{HeteroCandidate, HeteroEngine};
 use unn_traj::difference::difference_distances;
 
 fn main() {
-    let queries: usize = arg_value("--queries").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let n: usize = arg_value("--objects").and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let queries: usize = arg_value("--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let n: usize = arg_value("--objects")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
     let (r_small, r_big) = (0.1f64, 1.0f64);
     let shares = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
 
@@ -62,12 +68,14 @@ fn main() {
             let cands: Vec<HeteroCandidate> = fs
                 .iter()
                 .enumerate()
-                .map(|(k, f)| HeteroCandidate { f: f.clone(), radius: radius_of(k) })
+                .map(|(k, f)| HeteroCandidate {
+                    f: f.clone(),
+                    radius: radius_of(k),
+                })
                 .collect();
             let engine = HeteroEngine::new(query_tr.oid(), cands, radius_of(query_idx));
             let possible: Vec<_> = engine.all_possible();
-            let kept: std::collections::BTreeSet<_> =
-                possible.iter().map(|(o, _)| *o).collect();
+            let kept: std::collections::BTreeSet<_> = possible.iter().map(|(o, _)| *o).collect();
             let mut coarse_total = 0.0;
             let mut coarse_kept = 0.0;
             let mut precise_total = 0.0;
@@ -94,7 +102,13 @@ fn main() {
                 weight[2] += 1.0;
             }
         }
-        let f = |i: usize| if weight[i] > 0.0 { acc[i] / weight[i] } else { f64::NAN };
+        let f = |i: usize| {
+            if weight[i] > 0.0 {
+                acc[i] / weight[i]
+            } else {
+                f64::NAN
+            }
+        };
         println!(
             "{:>8.2} {:>13.2}% {:>13.2}% {:>13.2}%",
             phi,

@@ -19,7 +19,9 @@ fn main() {
     let max_n: usize = arg_value("--max-n")
         .and_then(|s| s.parse().ok())
         .unwrap_or(12_000);
-    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let sweep = [1_000usize, 2_000, 4_000, 6_000, 8_000, 10_000, 12_000];
 
     println!("Figure 11: lower-envelope construction, naive vs divide & conquer");

@@ -14,19 +14,23 @@
 //!     [-- --max-n 12000 --reps 100 --naive-reps 2 --seed 42]
 //! ```
 
+use std::time::Instant;
 use unn_bench::{arg_value, distance_functions, ln_seconds, window, workload, write_csv};
 use unn_core::query::{naive_queries, QueryEngine};
-use std::time::Instant;
 
 fn main() {
     let max_n: usize = arg_value("--max-n")
         .and_then(|s| s.parse().ok())
         .unwrap_or(12_000);
-    let reps: usize = arg_value("--reps").and_then(|s| s.parse().ok()).unwrap_or(100);
+    let reps: usize = arg_value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
     let naive_reps: usize = arg_value("--naive-reps")
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
-    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let radius = 0.5;
     let x = 0.5; // the paper's X = 50%
     let sweep = [1_000usize, 2_000, 4_000, 6_000, 8_000, 10_000, 12_000];
@@ -58,9 +62,7 @@ fn main() {
         let t0 = Instant::now();
         for i in 0..reps {
             let oid = pick(i);
-            std::hint::black_box(
-                engine.uq13_fraction(oid).map(|f| f + 1e-12 >= x),
-            );
+            std::hint::black_box(engine.uq13_fraction(oid).map(|f| f + 1e-12 >= x));
         }
         let ours_quant = t0.elapsed() / reps as u32;
 

@@ -16,8 +16,12 @@ use unn_core::algorithms::lower_envelope;
 use unn_core::band::prune_by_band;
 
 fn main() {
-    let queries: usize = arg_value("--queries").and_then(|s| s.parse().ok()).unwrap_or(10);
-    let seed: u64 = arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let queries: usize = arg_value("--queries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let radii = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0];
     let populations = [2_000usize, 10_000];
 

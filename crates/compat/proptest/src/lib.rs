@@ -1,0 +1,151 @@
+//! In-tree stand-in for the subset of the `proptest` API this workspace's
+//! property tests use: the [`proptest!`] macro, range/tuple/`Just`/map/
+//! flat-map/boxed strategies, `prop::collection::{vec, btree_set}`,
+//! [`prop_oneof!`], and the `prop_assert*` family.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency. Semantics differ from real
+//! proptest in two deliberate ways: inputs are drawn from a per-test
+//! deterministic RNG (seeded from the test name) rather than an
+//! adaptive source, and failing cases are reported without shrinking.
+//! Each generated failure therefore reproduces exactly across runs.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Mirrors the `prop` module alias of the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic property tests over generated inputs.
+///
+/// Supports the `#![proptest_config(...)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident
+         ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}",
+                                case + 1,
+                                config.cases,
+                                msg
+                            )
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (av, bv) = (&$a, &$b);
+        if !(av == bv) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "assertion failed: `{:?} == {:?}`",
+                    av, bv
+                )),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (av, bv) = (&$a, &$b);
+        if !(av == bv) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    av,
+                    bv,
+                    format!($($fmt)*)
+                )),
+            );
+        }
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing uniformly among the listed strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

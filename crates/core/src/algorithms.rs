@@ -3,7 +3,7 @@
 //!
 //! The base case is the envelope of a single distance function (its own
 //! pieces); the combine step is `Merge_LE` (Algorithm 2). A
-//! crossbeam-based parallel variant is provided as an engineering
+//! scoped-thread parallel variant is provided as an engineering
 //! extension (ablated in the benchmarks; the paper's algorithm is
 //! sequential).
 
@@ -18,7 +18,10 @@ use unn_traj::distance::DistanceFunction;
 ///
 /// Panics when `fs` is empty or the windows differ.
 pub fn lower_envelope(fs: &[DistanceFunction]) -> Envelope {
-    assert!(!fs.is_empty(), "lower_envelope requires at least one function");
+    assert!(
+        !fs.is_empty(),
+        "lower_envelope requires at least one function"
+    );
     check_common_window(fs);
     le_alg(fs)
 }
@@ -36,16 +39,16 @@ fn le_alg(fs: &[DistanceFunction]) -> Envelope {
 }
 
 /// Parallel divide & conquer: halves larger than `sequential_threshold`
-/// are processed on separate crossbeam scoped threads.
+/// are processed on separate scoped threads.
 ///
 /// # Panics
 ///
 /// Panics when `fs` is empty or the windows differ.
-pub fn lower_envelope_parallel(
-    fs: &[DistanceFunction],
-    sequential_threshold: usize,
-) -> Envelope {
-    assert!(!fs.is_empty(), "lower_envelope requires at least one function");
+pub fn lower_envelope_parallel(fs: &[DistanceFunction], sequential_threshold: usize) -> Envelope {
+    assert!(
+        !fs.is_empty(),
+        "lower_envelope requires at least one function"
+    );
     check_common_window(fs);
     let threshold = sequential_threshold.max(1);
     par_le(fs, threshold)
@@ -57,12 +60,11 @@ fn par_le(fs: &[DistanceFunction], threshold: usize) -> Envelope {
     }
     let c = fs.len() / 2;
     let (lhs, rhs) = fs.split_at(c);
-    let (left, right) = crossbeam::scope(|scope| {
-        let l = scope.spawn(|_| par_le(lhs, threshold));
+    let (left, right) = std::thread::scope(|scope| {
+        let l = scope.spawn(|| par_le(lhs, threshold));
         let r = par_le(rhs, threshold);
         (l.join().expect("left half panicked"), r)
-    })
-    .expect("crossbeam scope failed");
+    });
     merge_envelopes(&left, &right)
 }
 

@@ -111,11 +111,7 @@ pub fn enters_band(f: &DistanceFunction, le: &Envelope, delta: f64) -> bool {
 /// Partitions candidates into kept (may have non-zero NN probability) and
 /// pruned, using the `4r` band criterion. Returns the kept indices and
 /// the statistics Figure 13 plots.
-pub fn prune_by_band(
-    fs: &[DistanceFunction],
-    le: &Envelope,
-    r: f64,
-) -> (Vec<usize>, BandStats) {
+pub fn prune_by_band(fs: &[DistanceFunction], le: &Envelope, r: f64) -> (Vec<usize>, BandStats) {
     assert!(r >= 0.0, "negative uncertainty radius {r}");
     let delta = 4.0 * r;
     let mut kept = Vec::new();
@@ -124,7 +120,10 @@ pub fn prune_by_band(
             kept.push(idx);
         }
     }
-    let stats = BandStats { total: fs.len(), kept: kept.len() };
+    let stats = BandStats {
+        total: fs.len(),
+        kept: kept.len(),
+    };
     (kept, stats)
 }
 
@@ -159,7 +158,10 @@ pub fn prune_by_band_heterogeneous(
             kept.push(idx);
         }
     }
-    let stats = BandStats { total: fs.len(), kept: kept.len() };
+    let stats = BandStats {
+        total: fs.len(),
+        kept: kept.len(),
+    };
     (kept, stats)
 }
 
@@ -169,11 +171,7 @@ pub fn prune_by_band_heterogeneous(
 /// Crossing instants are found exactly (quartic root isolation via
 /// [`unn_geom::hyperbola::Hyperbola::crossings_shifted`]); each slice
 /// between crossings is classified by a midpoint probe.
-pub fn inside_band_intervals(
-    f: &DistanceFunction,
-    le: &Envelope,
-    delta: f64,
-) -> IntervalSet {
+pub fn inside_band_intervals(f: &DistanceFunction, le: &Envelope, delta: f64) -> IntervalSet {
     let mut spans: Vec<TimeInterval> = Vec::new();
     overlay(f, le, |sub, i, j| {
         let fh = &f.pieces()[i].hyperbola;
@@ -283,13 +281,9 @@ mod tests {
                     let expected = f.eval(t).unwrap() <= le.eval(t).unwrap() + delta;
                     let got = inside.covers(t);
                     // Skip instants within a hair of a crossing.
-                    let margin =
-                        (f.eval(t).unwrap() - le.eval(t).unwrap() - delta).abs();
+                    let margin = (f.eval(t).unwrap() - le.eval(t).unwrap() - delta).abs();
                     if margin > 1e-6 {
-                        assert_eq!(
-                            got, expected,
-                            "f{fi} delta={delta} t={t} margin={margin}"
-                        );
+                        assert_eq!(got, expected, "f{fi} delta={delta} t={t} margin={margin}");
                     }
                 }
             }
@@ -331,8 +325,7 @@ mod tests {
         assert!(kept.contains(&2), "{kept:?}");
         assert_eq!(stats.kept, kept.len());
         // With uniformly tiny radii it is pruned again.
-        let (kept_small, _) =
-            prune_by_band_heterogeneous(&fs, &le, &[0.1, 0.1, 0.1], 0.1);
+        let (kept_small, _) = prune_by_band_heterogeneous(&fs, &le, &[0.1, 0.1, 0.1], 0.1);
         assert!(!kept_small.contains(&2), "{kept_small:?}");
     }
 

@@ -59,7 +59,11 @@ pub fn env2_into(a: &Labelled, b: &Labelled, span: TimeInterval, out: &mut Envel
                 }
             }
         };
-        out.push(EnvelopePiece { owner: winner.owner, span: sub, hyperbola: winner.hyperbola });
+        out.push(EnvelopePiece {
+            owner: winner.owner,
+            span: sub,
+            hyperbola: winner.hyperbola,
+        });
     }
 }
 
@@ -87,7 +91,10 @@ mod tests {
     }
 
     fn lab_const(owner: u64, d: f64) -> Labelled {
-        Labelled { owner: Oid(owner), hyperbola: Hyperbola::constant(d) }
+        Labelled {
+            owner: Oid(owner),
+            hyperbola: Hyperbola::constant(d),
+        }
     }
 
     #[test]
@@ -153,7 +160,7 @@ mod tests {
         // Functions crossing exactly at the window start.
         let a = lab(1, (-2.0, 0.0), (1.0, 0.0)); // |t-2|
         let b = lab(2, (2.0, 0.0), (1.0, 0.0)); // |t+2|
-        // cross where |t-2| = |t+2| => t = 0
+                                                // cross where |t-2| = |t+2| => t = 0
         let e = env2(&a, &b, TimeInterval::new(0.0, 5.0));
         assert_eq!(e.len(), 1);
         assert_eq!(e.pieces()[0].owner, Oid(1));

@@ -132,10 +132,7 @@ impl Envelope {
     /// The critical time points: piece boundaries interior to the window
     /// (where the realizing object or its hyperbola changes).
     pub fn critical_times(&self) -> Vec<f64> {
-        self.pieces
-            .windows(2)
-            .map(|w| w[1].span.start())
-            .collect()
+        self.pieces.windows(2).map(|w| w[1].span.start()).collect()
     }
 
     /// The time-parameterized answer `[(Tr_i1, [tb, t1]), ...]` of §1:
@@ -220,7 +217,9 @@ impl EnvelopeBuilder {
 
     /// An empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EnvelopeBuilder { pieces: Vec::with_capacity(cap) }
+        EnvelopeBuilder {
+            pieces: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a piece, merging with the previous piece when owner and
@@ -267,16 +266,32 @@ mod tests {
     #[test]
     fn construction_validates() {
         let e = Envelope::new(vec![
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) },
-            EnvelopePiece { owner: Oid(2), span: TimeInterval::new(1.0, 2.0), hyperbola: hyp(2.0) },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 1.0),
+                hyperbola: hyp(1.0),
+            },
+            EnvelopePiece {
+                owner: Oid(2),
+                span: TimeInterval::new(1.0, 2.0),
+                hyperbola: hyp(2.0),
+            },
         ])
         .unwrap();
         assert_eq!(e.len(), 2);
         assert_eq!(e.span(), TimeInterval::new(0.0, 2.0));
         assert_eq!(Envelope::new(vec![]).unwrap_err(), EnvelopeError::Empty);
         let gap = Envelope::new(vec![
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) },
-            EnvelopePiece { owner: Oid(2), span: TimeInterval::new(1.5, 2.0), hyperbola: hyp(2.0) },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 1.0),
+                hyperbola: hyp(1.0),
+            },
+            EnvelopePiece {
+                owner: Oid(2),
+                span: TimeInterval::new(1.5, 2.0),
+                hyperbola: hyp(2.0),
+            },
         ]);
         assert_eq!(gap.unwrap_err(), EnvelopeError::NonContiguous { at: 1 });
     }
@@ -284,8 +299,16 @@ mod tests {
     #[test]
     fn eval_and_owner_lookup() {
         let e = Envelope::new(vec![
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) },
-            EnvelopePiece { owner: Oid(2), span: TimeInterval::new(1.0, 2.0), hyperbola: hyp(2.0) },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 1.0),
+                hyperbola: hyp(1.0),
+            },
+            EnvelopePiece {
+                owner: Oid(2),
+                span: TimeInterval::new(1.0, 2.0),
+                hyperbola: hyp(2.0),
+            },
         ])
         .unwrap();
         assert_eq!(e.eval(0.5), Some(1.0));
@@ -299,9 +322,21 @@ mod tests {
     #[test]
     fn builder_merges_same_owner_same_hyperbola() {
         let mut b = EnvelopeBuilder::new();
-        b.push(EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) });
-        b.push(EnvelopePiece { owner: Oid(1), span: TimeInterval::new(1.0, 2.0), hyperbola: hyp(1.0) });
-        b.push(EnvelopePiece { owner: Oid(1), span: TimeInterval::new(2.0, 3.0), hyperbola: hyp(5.0) });
+        b.push(EnvelopePiece {
+            owner: Oid(1),
+            span: TimeInterval::new(0.0, 1.0),
+            hyperbola: hyp(1.0),
+        });
+        b.push(EnvelopePiece {
+            owner: Oid(1),
+            span: TimeInterval::new(1.0, 2.0),
+            hyperbola: hyp(1.0),
+        });
+        b.push(EnvelopePiece {
+            owner: Oid(1),
+            span: TimeInterval::new(2.0, 3.0),
+            hyperbola: hyp(5.0),
+        });
         let e = b.build().unwrap();
         // First two merge (same owner & function), third stays (same owner,
         // different hyperbola).
@@ -312,8 +347,16 @@ mod tests {
     #[test]
     fn builder_drops_degenerate_pieces() {
         let mut b = EnvelopeBuilder::new();
-        b.push(EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 0.0), hyperbola: hyp(1.0) });
-        b.push(EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) });
+        b.push(EnvelopePiece {
+            owner: Oid(1),
+            span: TimeInterval::new(0.0, 0.0),
+            hyperbola: hyp(1.0),
+        });
+        b.push(EnvelopePiece {
+            owner: Oid(1),
+            span: TimeInterval::new(0.0, 1.0),
+            hyperbola: hyp(1.0),
+        });
         let e = b.build().unwrap();
         assert_eq!(e.len(), 1);
     }
@@ -321,9 +364,21 @@ mod tests {
     #[test]
     fn answer_sequence_merges_across_owner_breakpoints() {
         let e = Envelope::new(vec![
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 1.0), hyperbola: hyp(1.0) },
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(1.0, 2.0), hyperbola: hyp(1.5) },
-            EnvelopePiece { owner: Oid(2), span: TimeInterval::new(2.0, 3.0), hyperbola: hyp(2.0) },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 1.0),
+                hyperbola: hyp(1.0),
+            },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(1.0, 2.0),
+                hyperbola: hyp(1.5),
+            },
+            EnvelopePiece {
+                owner: Oid(2),
+                span: TimeInterval::new(2.0, 3.0),
+                hyperbola: hyp(2.0),
+            },
         ])
         .unwrap();
         let ans = e.answer_sequence();
@@ -350,7 +405,9 @@ mod tests {
             hyperbola: moving((0.0, 1.0), (0.0, 0.0), 0.0),
         }])
         .unwrap();
-        assert!(good.validate_against(&[f1.clone(), f2.clone()], 8, 1e-9).is_ok());
+        assert!(good
+            .validate_against(&[f1.clone(), f2.clone()], 8, 1e-9)
+            .is_ok());
         let bad = Envelope::new(vec![EnvelopePiece {
             owner: Oid(2),
             span: TimeInterval::new(0.0, 10.0),
@@ -363,8 +420,16 @@ mod tests {
     #[test]
     fn restrict_clips_pieces() {
         let e = Envelope::new(vec![
-            EnvelopePiece { owner: Oid(1), span: TimeInterval::new(0.0, 2.0), hyperbola: hyp(1.0) },
-            EnvelopePiece { owner: Oid(2), span: TimeInterval::new(2.0, 4.0), hyperbola: hyp(2.0) },
+            EnvelopePiece {
+                owner: Oid(1),
+                span: TimeInterval::new(0.0, 2.0),
+                hyperbola: hyp(1.0),
+            },
+            EnvelopePiece {
+                owner: Oid(2),
+                span: TimeInterval::new(2.0, 4.0),
+                hyperbola: hyp(2.0),
+            },
         ])
         .unwrap();
         let r = e.restrict(&TimeInterval::new(1.0, 3.0)).unwrap();

@@ -101,7 +101,10 @@ impl HeteroEngine {
     /// Panics when `cands` is empty, any radius is non-positive, or
     /// `query_radius` is non-positive.
     pub fn new(query: Oid, cands: Vec<HeteroCandidate>, query_radius: f64) -> Self {
-        assert!(!cands.is_empty(), "hetero engine needs at least one candidate");
+        assert!(
+            !cands.is_empty(),
+            "hetero engine needs at least one candidate"
+        );
         assert!(
             query_radius.is_finite() && query_radius > 0.0,
             "invalid query radius {query_radius}"
@@ -127,7 +130,16 @@ impl HeteroEngine {
             .iter()
             .map(|c| DiskDifferencePdf::new(c.radius, query_radius))
             .collect();
-        HeteroEngine { query, window, query_radius, cands, slacks, upper, second, pdfs }
+        HeteroEngine {
+            query,
+            window,
+            query_radius,
+            cands,
+            slacks,
+            upper,
+            second,
+            pdfs,
+        }
     }
 
     /// The query trajectory's id.
@@ -232,12 +244,17 @@ impl HeteroEngine {
     ) {
         let delta = piece.shift + s_i; // ≥ 0: d_i = thr ⇔ d_i = h + delta
         for fp in f.pieces() {
-            let Some(seg) = fp.span.intersection(&sub) else { continue };
+            let Some(seg) = fp.span.intersection(&sub) else {
+                continue;
+            };
             if seg.is_degenerate() {
                 continue;
             }
             let mut cuts = vec![seg.start()];
-            for t in fp.hyperbola.crossings_shifted(&piece.hyperbola, delta, &seg) {
+            for t in fp
+                .hyperbola
+                .crossings_shifted(&piece.hyperbola, delta, &seg)
+            {
                 if t > seg.start() + 1e-12 && t < seg.end() - 1e-12 {
                     cuts.push(t);
                 }
@@ -292,7 +309,10 @@ impl HeteroEngine {
     /// Pruning statistics (how many candidates survive anywhere).
     pub fn stats(&self) -> HeteroStats {
         let kept = self.all_possible().len();
-        HeteroStats { total: self.cands.len(), kept }
+        HeteroStats {
+            total: self.cands.len(),
+            kept,
+        }
     }
 
     /// The exact Eq. 5 NN probabilities of every candidate at instant `t`,
@@ -319,14 +339,16 @@ impl HeteroEngine {
             };
         }
         let active: Vec<usize> = (0..n).filter(|&i| possible[i]).collect();
-        let mut out: Vec<(Oid, f64)> =
-            self.cands.iter().map(|c| (c.f.owner(), 0.0)).collect();
+        let mut out: Vec<(Oid, f64)> = self.cands.iter().map(|c| (c.f.owner(), 0.0)).collect();
         if active.is_empty() {
             return Some(out);
         }
         let nn_cands: Vec<NnCandidate> = active
             .iter()
-            .map(|&i| NnCandidate { center_distance: dists[i], pdf: &self.pdfs[i] })
+            .map(|&i| NnCandidate {
+                center_distance: dists[i],
+                pdf: &self.pdfs[i],
+            })
             .collect();
         let probs = nn_probabilities(&nn_cands, NnConfig::default());
         for (&i, p) in active.iter().zip(&probs) {
@@ -365,8 +387,10 @@ fn build_second_envelope(
             .iter()
             .filter(|f| f.owner() != owner)
             .filter_map(|f| {
-                f.f.restrict(&iv)
-                    .map(|g| ShiftedFunction { f: g, shift: f.shift })
+                f.f.restrict(&iv).map(|g| ShiftedFunction {
+                    f: g,
+                    shift: f.shift,
+                })
             })
             .collect();
         debug_assert!(!rest.is_empty(), "n ≥ 2 leaves a non-empty remainder");
@@ -395,7 +419,10 @@ mod tests {
     }
 
     fn cand(owner: u64, x0: f64, y: f64, v: f64, r: f64, w: TimeInterval) -> HeteroCandidate {
-        HeteroCandidate { f: flyby(owner, x0, y, v, w), radius: r }
+        HeteroCandidate {
+            f: flyby(owner, x0, y, v, w),
+            radius: r,
+        }
     }
 
     #[test]
@@ -411,7 +438,12 @@ mod tests {
         let hom = QueryEngine::new(Oid(0), fs.clone(), r);
         let het = HeteroEngine::new(
             Oid(0),
-            fs.iter().map(|f| HeteroCandidate { f: f.clone(), radius: r }).collect(),
+            fs.iter()
+                .map(|f| HeteroCandidate {
+                    f: f.clone(),
+                    radius: r,
+                })
+                .collect(),
             r,
         );
         for oid in [1u64, 2, 3, 4] {
@@ -524,7 +556,10 @@ mod tests {
         let mc_cands: Vec<NnCandidate> = pdfs
             .iter()
             .zip(&dists)
-            .map(|(p, &d)| NnCandidate { center_distance: d, pdf: p })
+            .map(|(p, &d)| NnCandidate {
+                center_distance: d,
+                pdf: p,
+            })
             .collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let mc = monte_carlo_nn_probabilities(&mc_cands, 60_000, &mut rng);

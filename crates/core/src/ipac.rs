@@ -73,7 +73,10 @@ pub struct IpacConfig {
 impl IpacConfig {
     /// Unbounded-depth configuration for radius `r`.
     pub fn unbounded(radius: f64) -> Self {
-        IpacConfig { radius, max_depth: 0 }
+        IpacConfig {
+            radius,
+            max_depth: 0,
+        }
     }
 
     /// Depth-bounded configuration (enough for rank-`k` queries with
@@ -252,11 +255,7 @@ impl IpacTree {
 /// # Panics
 ///
 /// Panics when `fs` is empty.
-pub fn build_ipac_tree(
-    query: Oid,
-    fs: &[DistanceFunction],
-    cfg: &IpacConfig,
-) -> IpacTree {
+pub fn build_ipac_tree(query: Oid, fs: &[DistanceFunction], cfg: &IpacConfig) -> IpacTree {
     assert!(!fs.is_empty(), "IPAC tree needs at least one candidate");
     // Step 1: the lower envelope = Level 1.
     let envelope = lower_envelope(fs);
@@ -276,7 +275,13 @@ pub fn build_ipac_tree(
         cfg.max_depth,
         delta,
     );
-    IpacTree { query, window, envelope, roots, stats }
+    IpacTree {
+        query,
+        window,
+        envelope,
+        roots,
+        stats,
+    }
 }
 
 /// Builds the nodes of one level within `span`, excluding `excluded`
@@ -322,7 +327,9 @@ fn build_level(
             .iter()
             .find(|f| f.owner() == owner)
             .expect("answer owner among candidates");
-        let restricted = f.restrict(&iv).expect("answer interval within candidate span");
+        let restricted = f
+            .restrict(&iv)
+            .expect("answer interval within candidate span");
         let descriptor = Descriptor {
             min_distance: restricted.min_over_window().1,
             max_distance: restricted.max_over_window().1,
@@ -332,19 +339,17 @@ fn build_level(
             vec![]
         } else {
             excluded.push(owner);
-            let c = build_level(
-                kept,
-                global_le,
-                iv,
-                excluded,
-                level + 1,
-                max_depth,
-                delta,
-            );
+            let c = build_level(kept, global_le, iv, excluded, level + 1, max_depth, delta);
             excluded.pop();
             c
         };
-        nodes.push(IpacNode { owner, span: iv, level, descriptor, children });
+        nodes.push(IpacNode {
+            owner,
+            span: iv,
+            level,
+            descriptor,
+            children,
+        });
     }
     nodes
 }
@@ -412,7 +417,10 @@ fn annotate_node(
         let Some(pos) = owner_pos else { continue };
         let cands: Vec<NnCandidate> = dists
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf,
+            })
             .collect();
         let probs = nn_probabilities(&cands, cfg);
         node.descriptor.prob_samples.push((t, probs[pos]));
@@ -439,10 +447,10 @@ mod tests {
     fn setup() -> (Vec<DistanceFunction>, TimeInterval) {
         let w = TimeInterval::new(0.0, 10.0);
         let fs = vec![
-            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
-            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
-            flyby(3, -8.0, 3.0, 1.0, w),  // dips to 3 at t=8
-            flyby(4, 0.0, 50.0, 0.0, w),  // unreachable
+            flyby(1, -5.0, 1.0, 1.0, w), // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w), // dips to 2 at t=2
+            flyby(3, -8.0, 3.0, 1.0, w), // dips to 3 at t=8
+            flyby(4, 0.0, 50.0, 0.0, w), // unreachable
         ];
         (fs, w)
     }
@@ -474,7 +482,11 @@ mod tests {
         let (fs, _) = setup();
         let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::unbounded(0.5));
         fn check(n: &IpacNode, ancestors: &mut Vec<Oid>) {
-            assert!(!ancestors.contains(&n.owner), "ancestor repeated: {}", n.owner);
+            assert!(
+                !ancestors.contains(&n.owner),
+                "ancestor repeated: {}",
+                n.owner
+            );
             assert!(n.children.iter().all(|c| n.span.contains_interval(&c.span)));
             ancestors.push(n.owner);
             for c in &n.children {
@@ -551,7 +563,11 @@ mod tests {
         // children (Theorem 1: closer rank = higher probability).
         for r in &tree.roots {
             let avg = |n: &IpacNode| {
-                n.descriptor.prob_samples.iter().map(|(_, p)| *p).sum::<f64>()
+                n.descriptor
+                    .prob_samples
+                    .iter()
+                    .map(|(_, p)| *p)
+                    .sum::<f64>()
                     / n.descriptor.prob_samples.len().max(1) as f64
             };
             for c in &r.children {

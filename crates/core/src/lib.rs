@@ -4,6 +4,8 @@
 //! Queries for Uncertain Trajectories"* (Trajcevski, Tamassia, Ding,
 //! Scheuermann, Cruz — EDBT 2009), implemented in Rust:
 //!
+//! * [`candidates`] — shared zero-copy candidate-set construction (the
+//!   snapshot → prefilter → envelope pipeline's entry into this crate);
 //! * [`envelope`] — owner-labelled lower envelopes with the
 //!   ⊎-concatenation of Algorithm 2;
 //! * [`env2`] — `Env2`, the O(1) two-hyperbola envelope (§3.2);
@@ -37,6 +39,7 @@
 
 pub mod algorithms;
 pub mod band;
+pub mod candidates;
 pub mod env2;
 pub mod envelope;
 pub mod hetero;
@@ -52,12 +55,15 @@ pub mod topk;
 
 pub use algorithms::{lower_envelope, lower_envelope_parallel};
 pub use band::{
-    band_clearance, enters_band, inside_band_intervals, prune_by_band,
-    prune_by_band_heterogeneous, BandStats,
+    band_clearance, enters_band, inside_band_intervals, prune_by_band, prune_by_band_heterogeneous,
+    BandStats,
 };
+pub use candidates::CandidateSet;
 pub use envelope::{Envelope, EnvelopeBuilder, EnvelopePiece};
 pub use hetero::{HeteroCandidate, HeteroEngine, HeteroStats};
-pub use ipac::{annotate_probabilities, build_ipac_tree, Descriptor, IpacConfig, IpacNode, IpacTree};
+pub use ipac::{
+    annotate_probabilities, build_ipac_tree, Descriptor, IpacConfig, IpacNode, IpacTree,
+};
 pub use naive::lower_envelope_naive;
 pub use query::QueryEngine;
 pub use reverse::{all_pairs_nn, PairAnswer, ReverseNnEngine};

@@ -20,8 +20,7 @@ pub fn merge_envelopes(le1: &Envelope, le2: &Envelope) -> Envelope {
     let span1 = le1.span();
     let span2 = le2.span();
     assert!(
-        (span1.start() - span2.start()).abs() < 1e-9
-            && (span1.end() - span2.end()).abs() < 1e-9,
+        (span1.start() - span2.start()).abs() < 1e-9 && (span1.end() - span2.end()).abs() < 1e-9,
         "merge_envelopes requires equal windows: {span1} vs {span2}"
     );
     let mut out = EnvelopeBuilder::with_capacity(le1.len() + le2.len());
@@ -36,8 +35,14 @@ pub fn merge_envelopes(le1: &Envelope, le2: &Envelope) -> Envelope {
         let e2 = p2[p].span.end();
         let upper = e1.min(e2).min(span1.end());
         if upper > cursor {
-            let a = Labelled { owner: p1[k].owner, hyperbola: p1[k].hyperbola };
-            let b = Labelled { owner: p2[p].owner, hyperbola: p2[p].hyperbola };
+            let a = Labelled {
+                owner: p1[k].owner,
+                hyperbola: p1[k].hyperbola,
+            };
+            let b = Labelled {
+                owner: p2[p].owner,
+                hyperbola: p2[p].hyperbola,
+            };
             env2_into(&a, &b, TimeInterval::new(cursor, upper), &mut out);
             cursor = upper;
         }

@@ -34,13 +34,15 @@ struct Event {
 ///
 /// Panics when `fs` is empty or the windows differ.
 pub fn lower_envelope_naive(fs: &[DistanceFunction]) -> Envelope {
-    assert!(!fs.is_empty(), "lower_envelope_naive requires at least one function");
+    assert!(
+        !fs.is_empty(),
+        "lower_envelope_naive requires at least one function"
+    );
     let window = fs[0].span();
     for f in fs {
         let s = f.span();
         assert!(
-            (s.start() - window.start()).abs() < 1e-9
-                && (s.end() - window.end()).abs() < 1e-9,
+            (s.start() - window.start()).abs() < 1e-9 && (s.end() - window.end()).abs() < 1e-9,
             "all distance functions must share the query window"
         );
     }
@@ -50,7 +52,11 @@ pub fn lower_envelope_naive(fs: &[DistanceFunction]) -> Envelope {
     let mut events: Vec<Event> = Vec::new();
     for (i, f) in fs.iter().enumerate() {
         for t in f.breakpoints() {
-            events.push(Event { t, i: i as u32, j: i as u32 });
+            events.push(Event {
+                t,
+                i: i as u32,
+                j: i as u32,
+            });
         }
     }
     let mut scratch = Vec::new();
@@ -59,7 +65,11 @@ pub fn lower_envelope_naive(fs: &[DistanceFunction]) -> Envelope {
             scratch.clear();
             pairwise_intersections(&fs[i], &fs[j], &mut scratch);
             for &t in &scratch {
-                events.push(Event { t, i: i as u32, j: j as u32 });
+                events.push(Event {
+                    t,
+                    i: i as u32,
+                    j: j as u32,
+                });
             }
         }
     }
@@ -87,7 +97,11 @@ pub fn lower_envelope_naive(fs: &[DistanceFunction]) -> Envelope {
         }
         if e.i != e.j && (e.i as usize == winner || e.j as usize == winner) {
             // The winner may hand over to the other party of the event.
-            let other = if e.i as usize == winner { e.j as usize } else { e.i as usize };
+            let other = if e.i as usize == winner {
+                e.j as usize
+            } else {
+                e.i as usize
+            };
             let probe = 0.5 * (e.t + next_event_time(&events, e.t, window.end()));
             let vo = fs[other].eval_clamped(probe);
             let vw = fs[winner].eval_clamped(probe);
@@ -108,18 +122,16 @@ fn next_event_time(events: &[Event], t: f64, window_end: f64) -> f64 {
     // events — common with synchronized workloads — are stepped over and
     // the probe lands strictly inside the next elementary interval).
     let idx = events.partition_point(|e| e.t <= t + 1e-9);
-    events.get(idx).map(|e| e.t).unwrap_or(window_end).min(window_end)
+    events
+        .get(idx)
+        .map(|e| e.t)
+        .unwrap_or(window_end)
+        .min(window_end)
 }
 
 /// Emits the winner's distance function over `[a, b]`, split at its own
 /// piece breakpoints.
-fn emit_winner(
-    fs: &[DistanceFunction],
-    winner: usize,
-    a: f64,
-    b: f64,
-    out: &mut EnvelopeBuilder,
-) {
+fn emit_winner(fs: &[DistanceFunction], winner: usize, a: f64, b: f64, out: &mut EnvelopeBuilder) {
     let f = &fs[winner];
     let span = TimeInterval::new(a, b);
     for p in f.pieces() {
@@ -225,8 +237,7 @@ mod tests {
         };
         let trs = unn_traj::generator::generate(&cfg);
         let w = TimeInterval::new(0.0, 60.0);
-        let fs =
-            unn_traj::difference::difference_distances(&trs[0], &trs, &w).unwrap();
+        let fs = unn_traj::difference::difference_distances(&trs[0], &trs, &w).unwrap();
         let naive = lower_envelope_naive(&fs);
         let fast = lower_envelope(&fs);
         for k in 0..=600 {
@@ -247,8 +258,7 @@ mod tests {
         };
         let trs = unn_traj::generator::generate(&cfg);
         let w = TimeInterval::new(0.0, 60.0);
-        let fs =
-            unn_traj::difference::difference_distances(&trs[7], &trs, &w).unwrap();
+        let fs = unn_traj::difference::difference_distances(&trs[7], &trs, &w).unwrap();
         let naive = lower_envelope_naive(&fs);
         let fast = lower_envelope(&fs);
         for k in 0..=1200 {

@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn min_and_rank() {
         let w = TimeInterval::new(0.0, 1.0);
-        let fs = vec![constant(1, 3.0, w), constant(2, 1.0, w), constant(3, 2.0, w)];
+        let fs = vec![
+            constant(1, 3.0, w),
+            constant(2, 1.0, w),
+            constant(3, 2.0, w),
+        ];
         assert_eq!(min_at(&fs, 0.5), Some((1.0, Oid(2))));
         assert_eq!(rank_at(&fs, Oid(2), 0.5), Some(1));
         assert_eq!(rank_at(&fs, Oid(3), 0.5), Some(2));
@@ -132,7 +136,11 @@ mod tests {
     fn rank_fraction_counts_in_band_only() {
         let w = TimeInterval::new(0.0, 1.0);
         // Object 3 is out of band; object 2 is rank 2 among in-band.
-        let fs = vec![constant(1, 1.0, w), constant(2, 1.5, w), constant(3, 50.0, w)];
+        let fs = vec![
+            constant(1, 1.0, w),
+            constant(2, 1.5, w),
+            constant(3, 50.0, w),
+        ];
         assert_eq!(rank_fraction(&fs, Oid(2), 2, 2.0, w, 50), Some(1.0));
         assert_eq!(rank_fraction(&fs, Oid(2), 1, 2.0, w, 50), Some(0.0));
         assert_eq!(rank_fraction(&fs, Oid(3), 3, 2.0, w, 50), Some(0.0));

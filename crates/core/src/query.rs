@@ -20,7 +20,7 @@ use crate::algorithms::lower_envelope;
 use crate::band::{inside_band_intervals, prune_by_band, BandStats};
 use crate::envelope::Envelope;
 use crate::ipac::{build_ipac_tree, IpacConfig, IpacTree};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use unn_geom::interval::{IntervalSet, TimeInterval};
 use unn_traj::distance::DistanceFunction;
 use unn_traj::trajectory::Oid;
@@ -40,8 +40,10 @@ pub struct QueryEngine {
     envelope: Envelope,
     kept: Vec<usize>,
     stats: BandStats,
-    /// Deepest IPAC tree built so far (depth, tree).
-    tree_cache: RefCell<Option<(usize, IpacTree)>>,
+    /// Deepest IPAC tree built so far (depth, tree). A `Mutex` (not a
+    /// `RefCell`) so built engines are `Sync` and can be shared through
+    /// the epoch-keyed engine cache.
+    tree_cache: Mutex<Option<(usize, IpacTree)>>,
 }
 
 impl QueryEngine {
@@ -54,7 +56,10 @@ impl QueryEngine {
     /// Panics when `fs` is empty or `radius` is not positive.
     pub fn new(query: Oid, fs: Vec<DistanceFunction>, radius: f64) -> Self {
         assert!(!fs.is_empty(), "query engine needs at least one candidate");
-        assert!(radius.is_finite() && radius > 0.0, "invalid radius {radius}");
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "invalid radius {radius}"
+        );
         let envelope = lower_envelope(&fs);
         let (kept, stats) = prune_by_band(&fs, &envelope, radius);
         let window = envelope.span();
@@ -66,7 +71,7 @@ impl QueryEngine {
             envelope,
             kept,
             stats,
-            tree_cache: RefCell::new(None),
+            tree_cache: Mutex::new(None),
         }
     }
 
@@ -130,7 +135,11 @@ impl QueryEngine {
     /// some time during the window?
     pub fn uq11_exists(&self, oid: Oid) -> Option<bool> {
         let f = self.function_of(oid)?;
-        Some(crate::band::enters_band(f, &self.envelope, self.band_delta()))
+        Some(crate::band::enters_band(
+            f,
+            &self.envelope,
+            self.band_delta(),
+        ))
     }
 
     /// `UQ12(∀t)`: non-zero probability throughout the window?
@@ -166,20 +175,23 @@ impl QueryEngine {
     // Category 2 (rank k)
     // ------------------------------------------------------------------
 
-    /// Returns (building or reusing) an IPAC tree of depth at least `k`.
-    fn tree_with_depth(&self, k: usize) -> std::cell::Ref<'_, (usize, IpacTree)> {
-        {
-            let cache = self.tree_cache.borrow();
-            if let Some((depth, _)) = cache.as_ref() {
-                if *depth >= k {
-                    return std::cell::Ref::map(cache, |c| c.as_ref().unwrap());
-                }
-            }
+    /// Runs `f` against an IPAC tree of depth at least `k`, building (or
+    /// deepening) the cached tree on demand.
+    fn with_tree<R>(&self, k: usize, f: impl FnOnce(&IpacTree) -> R) -> R {
+        let mut cache = self.tree_cache.lock().expect("tree cache poisoned");
+        let needs_build = match cache.as_ref() {
+            Some((depth, _)) => *depth < k,
+            None => true,
+        };
+        if needs_build {
+            let tree = build_ipac_tree(
+                self.query,
+                &self.fs,
+                &IpacConfig::with_depth(self.radius, k),
+            );
+            *cache = Some((k, tree));
         }
-        let tree =
-            build_ipac_tree(self.query, &self.fs, &IpacConfig::with_depth(self.radius, k));
-        *self.tree_cache.borrow_mut() = Some((k, tree));
-        std::cell::Ref::map(self.tree_cache.borrow(), |c| c.as_ref().unwrap())
+        f(&cache.as_ref().expect("tree built above").1)
     }
 
     /// Times during which `oid` appears at level `<= k` of the IPAC tree
@@ -187,10 +199,8 @@ impl QueryEngine {
     /// instants where it is a possible k-th highest-probability NN.
     pub fn rank_intervals(&self, oid: Oid, k: usize) -> Option<IntervalSet> {
         self.function_of(oid)?;
-        let mut spans = Vec::new();
-        {
-            let guard = self.tree_with_depth(k);
-            let tree = &guard.1;
+        let spans = self.with_tree(k, |tree| {
+            let mut spans = Vec::new();
             for level in 1..=k {
                 for (owner, iv) in tree.level_pieces(level) {
                     if owner == oid {
@@ -198,7 +208,8 @@ impl QueryEngine {
                     }
                 }
             }
-        }
+            spans
+        });
         // A node span covers where the object is the k-th *lowest*; the
         // probabilistic semantics additionally require non-zero
         // probability at the instant, i.e. membership in the band.
@@ -322,7 +333,7 @@ impl QueryEngine {
         if depth == 0 {
             build_ipac_tree(self.query, &self.fs, &IpacConfig::unbounded(self.radius))
         } else {
-            self.tree_with_depth(depth).1.clone()
+            self.with_tree(depth, IpacTree::clone)
         }
     }
 }
@@ -368,10 +379,10 @@ mod tests {
     fn engine() -> QueryEngine {
         let w = TimeInterval::new(0.0, 10.0);
         let fs = vec![
-            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
-            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
-            flyby(3, -8.0, 3.0, 1.0, w),  // dips to 3 at t=8
-            flyby(4, 0.0, 50.0, 0.0, w),  // unreachable
+            flyby(1, -5.0, 1.0, 1.0, w), // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w), // dips to 2 at t=2
+            flyby(3, -8.0, 3.0, 1.0, w), // dips to 3 at t=8
+            flyby(4, 0.0, 50.0, 0.0, w), // unreachable
         ];
         QueryEngine::new(Oid(0), fs, 0.5)
     }

@@ -24,7 +24,7 @@
 
 use crate::query::QueryEngine;
 use unn_geom::interval::{IntervalSet, TimeInterval};
-use unn_traj::difference::{difference_distances, DifferenceError};
+use unn_traj::difference::{difference_distances, difference_distances_refs, DifferenceError};
 use unn_traj::trajectory::{Oid, Trajectory};
 
 /// Engine answering continuous probabilistic *reverse* NN queries: which
@@ -58,21 +58,49 @@ impl ReverseNnEngine {
         window: TimeInterval,
         radius: f64,
     ) -> Result<Self, DifferenceError> {
-        assert!(trajectories.len() >= 2, "reverse NN needs at least two objects");
-        assert!(radius.is_finite() && radius > 0.0, "invalid radius {radius}");
+        let refs: Vec<&Trajectory> = trajectories.iter().collect();
+        ReverseNnEngine::build(&refs, query, window, radius)
+    }
+
+    /// Like [`ReverseNnEngine::new`], but over borrowed trajectories (the
+    /// shared-snapshot pipeline entry point). The `N` per-perspective
+    /// envelope constructions are independent, so they are chunked across
+    /// scoped threads; the perspective order (and every answer) matches
+    /// the sequential construction exactly.
+    pub fn build(
+        trajectories: &[&Trajectory],
+        query: Oid,
+        window: TimeInterval,
+        radius: f64,
+    ) -> Result<Self, DifferenceError> {
+        assert!(
+            trajectories.len() >= 2,
+            "reverse NN needs at least two objects"
+        );
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "invalid radius {radius}"
+        );
         assert!(
             trajectories.iter().any(|t| t.oid() == query),
             "query trajectory must be in the collection"
         );
-        let mut engines = Vec::with_capacity(trajectories.len() - 1);
-        for tr in trajectories {
-            if tr.oid() == query {
-                continue;
-            }
-            let fs = difference_distances(tr, trajectories, &window)?;
-            engines.push((tr.oid(), QueryEngine::new(tr.oid(), fs, radius)));
-        }
-        Ok(ReverseNnEngine { query, window, engines })
+        let perspectives: Vec<&Trajectory> = trajectories
+            .iter()
+            .copied()
+            .filter(|t| t.oid() != query)
+            .collect();
+        let engines = unn_traj::par::par_map(&perspectives, 8, |tr| {
+            let fs = difference_distances_refs(tr, trajectories.iter().copied(), &window)?;
+            Ok::<_, DifferenceError>((tr.oid(), QueryEngine::new(tr.oid(), fs, radius)))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReverseNnEngine {
+            query,
+            window,
+            engines,
+        })
     }
 
     /// The query trajectory's id.
@@ -92,10 +120,7 @@ impl ReverseNnEngine {
     }
 
     fn engine_of(&self, oid: Oid) -> Option<&QueryEngine> {
-        self.engines
-            .iter()
-            .find(|(o, _)| *o == oid)
-            .map(|(_, e)| e)
+        self.engines.iter().find(|(o, _)| *o == oid).map(|(_, e)| e)
     }
 
     /// Times during which the query has non-zero probability of being
@@ -195,8 +220,14 @@ pub fn all_pairs_nn(
     window: TimeInterval,
     radius: f64,
 ) -> Result<Vec<PairAnswer>, DifferenceError> {
-    assert!(trajectories.len() >= 2, "all-pairs needs at least two objects");
-    assert!(radius.is_finite() && radius > 0.0, "invalid radius {radius}");
+    assert!(
+        trajectories.len() >= 2,
+        "all-pairs needs at least two objects"
+    );
+    assert!(
+        radius.is_finite() && radius > 0.0,
+        "invalid radius {radius}"
+    );
     let mut out = Vec::with_capacity(trajectories.len());
     for tr in trajectories {
         let fs = difference_distances(tr, trajectories, &window)?;
@@ -262,7 +293,10 @@ mod tests {
 
     #[test]
     fn two_objects_are_mutually_reverse_neighbors() {
-        let trs = vec![straight(0, 0.0, 0.0, 1.0, 0.0), straight(7, 5.0, 3.0, -0.5, 0.1)];
+        let trs = vec![
+            straight(0, 0.0, 0.0, 1.0, 0.0),
+            straight(7, 5.0, 3.0, -0.5, 0.1),
+        ];
         let w = TimeInterval::new(0.0, 10.0);
         let e = ReverseNnEngine::new(&trs, Oid(0), w, 0.5).unwrap();
         // With a single other object, q is its only (hence certain) NN.

@@ -102,7 +102,10 @@ impl fmt::Display for ShiftedEnvelopeError {
         match self {
             ShiftedEnvelopeError::Empty => write!(f, "shifted envelope has no pieces"),
             ShiftedEnvelopeError::NonContiguous { at } => {
-                write!(f, "shifted-envelope pieces are not contiguous at index {at}")
+                write!(
+                    f,
+                    "shifted-envelope pieces are not contiguous at index {at}"
+                )
             }
         }
     }
@@ -378,15 +381,11 @@ pub fn env2_shifted_into(
 /// # Panics
 ///
 /// Panics when the windows differ.
-pub fn merge_shifted_envelopes(
-    le1: &ShiftedEnvelope,
-    le2: &ShiftedEnvelope,
-) -> ShiftedEnvelope {
+pub fn merge_shifted_envelopes(le1: &ShiftedEnvelope, le2: &ShiftedEnvelope) -> ShiftedEnvelope {
     let span1 = le1.span();
     let span2 = le2.span();
     assert!(
-        (span1.start() - span2.start()).abs() < 1e-9
-            && (span1.end() - span2.end()).abs() < 1e-9,
+        (span1.start() - span2.start()).abs() < 1e-9 && (span1.end() - span2.end()).abs() < 1e-9,
         "merge_shifted_envelopes requires equal windows: {span1} vs {span2}"
     );
     let mut out = ShiftedEnvelopeBuilder::new();
@@ -419,7 +418,8 @@ pub fn merge_shifted_envelopes(
             p += 1;
         }
     }
-    out.build().expect("merged shifted envelope covers the window")
+    out.build()
+        .expect("merged shifted envelope covers the window")
 }
 
 /// Algorithm 1 (divide & conquer) for shifted functions: the lower
@@ -656,6 +656,9 @@ mod tests {
                 shift: 0.0,
             },
         ]);
-        assert_eq!(gap.unwrap_err(), ShiftedEnvelopeError::NonContiguous { at: 1 });
+        assert_eq!(
+            gap.unwrap_err(),
+            ShiftedEnvelopeError::NonContiguous { at: 1 }
+        );
     }
 }

@@ -45,11 +45,7 @@ pub struct ThresholdRow {
 /// # Panics
 ///
 /// Panics when `p` is outside `[0, 1)` or `samples == 0`.
-pub fn threshold_nn_sweep(
-    engine: &QueryEngine,
-    p: f64,
-    samples: usize,
-) -> Vec<ThresholdRow> {
+pub fn threshold_nn_sweep(engine: &QueryEngine, p: f64, samples: usize) -> Vec<ThresholdRow> {
     let pdf = UniformDifferencePdf::new(engine.radius());
     threshold_nn_sweep_with(engine, &pdf, p, samples)
 }
@@ -101,7 +97,10 @@ pub fn threshold_nn_sweep_with(
         }
         let cands: Vec<NnCandidate> = dists
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf,
+            })
             .collect();
         let probs = nn_probabilities(&cands, cfg);
         for (oid, prob) in ids.iter().zip(&probs) {
@@ -189,7 +188,10 @@ pub fn probability_at_with(
     let idx = target_idx?;
     let cands: Vec<NnCandidate> = dists
         .iter()
-        .map(|&d| NnCandidate { center_distance: d, pdf })
+        .map(|&d| NnCandidate {
+            center_distance: d,
+            pdf,
+        })
         .collect();
     Some(nn_probabilities(&cands, NnConfig::default())[idx])
 }
@@ -213,9 +215,9 @@ mod tests {
     fn engine() -> QueryEngine {
         let w = TimeInterval::new(0.0, 10.0);
         let fs = vec![
-            flyby(1, -5.0, 1.0, 1.0, w),  // dips to 1 at t=5
-            flyby(2, -2.0, 2.0, 1.0, w),  // dips to 2 at t=2
-            flyby(3, 0.0, 50.0, 0.0, w),  // unreachable
+            flyby(1, -5.0, 1.0, 1.0, w), // dips to 1 at t=5
+            flyby(2, -2.0, 2.0, 1.0, w), // dips to 2 at t=2
+            flyby(3, 0.0, 50.0, 0.0, w), // unreachable
         ];
         QueryEngine::new(Oid(0), fs, 0.5)
     }
@@ -294,7 +296,10 @@ mod tests {
         let e = engine();
         let r = e.radius();
         let uniform_pdf = UniformDifferencePdf::new(r);
-        let gauss_kind = PdfKind::TruncatedGaussian { radius: r, sigma: r / 4.0 };
+        let gauss_kind = PdfKind::TruncatedGaussian {
+            radius: r,
+            sigma: r / 4.0,
+        };
         let gauss_diff = gauss_kind.convolve_with(&gauss_kind);
         // Same support ⇒ same band ⇒ same candidate sets.
         assert!((gauss_diff.support_radius() - uniform_pdf.support_radius()).abs() < 1e-6);

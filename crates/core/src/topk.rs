@@ -122,8 +122,7 @@ impl KnnAnswer {
             if ambiguous {
                 continue;
             }
-            let expected: Vec<Oid> =
-                dists.iter().take(self.k).map(|(o, _)| *o).collect();
+            let expected: Vec<Oid> = dists.iter().take(self.k).map(|(o, _)| *o).collect();
             let got = self.knn_at(t).ok_or_else(|| format!("no cell at t={t}"))?;
             if got != expected.as_slice() {
                 return Err(format!("t={t}: got {got:?}, expected {expected:?}"));
@@ -179,7 +178,10 @@ fn peel(
         return vec![];
     }
     if remaining == 0 {
-        return vec![KnnCell { span, ranked: vec![] }];
+        return vec![KnnCell {
+            span,
+            ranked: vec![],
+        }];
     }
     let cands: Vec<DistanceFunction> = fs
         .iter()
@@ -187,7 +189,10 @@ fn peel(
         .filter_map(|f| f.restrict(&span))
         .collect();
     if cands.is_empty() {
-        return vec![KnnCell { span, ranked: vec![] }];
+        return vec![KnnCell {
+            span,
+            ranked: vec![],
+        }];
     }
     let env = lower_envelope(&cands);
     let mut out = Vec::new();
@@ -197,7 +202,10 @@ fn peel(
             let mut ranked = Vec::with_capacity(remaining);
             ranked.push(owner);
             ranked.extend(deeper.ranked);
-            out.push(KnnCell { span: deeper.span, ranked });
+            out.push(KnnCell {
+                span: deeper.span,
+                ranked,
+            });
         }
         excluded.pop();
     }
@@ -241,7 +249,9 @@ pub fn semantics_agreement(
     let mut probes = 0usize;
     for p in 0..samples {
         let t = window.start() + (p as f64 + 0.5) * window.len() / samples as f64;
-        let Some(crisp_list) = crisp.knn_at(t) else { continue };
+        let Some(crisp_list) = crisp.knn_at(t) else {
+            continue;
+        };
         let prob_list = probabilistic_topk_at(engine, t, k);
         if crisp_list.is_empty() || prob_list.is_empty() {
             continue;

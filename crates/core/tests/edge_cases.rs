@@ -43,10 +43,7 @@ fn identical_distance_functions_resolve_deterministically() {
 #[test]
 fn all_candidates_tie_in_band() {
     let w = TimeInterval::new(0.0, 10.0);
-    let fs = vec![
-        flyby(1, -5.0, 1.0, 1.0, w),
-        flyby(2, -5.0, 1.0, 1.0, w),
-    ];
+    let fs = vec![flyby(1, -5.0, 1.0, 1.0, w), flyby(2, -5.0, 1.0, 1.0, w)];
     let engine = QueryEngine::new(Oid(0), fs, 0.5);
     // Both are always inside each other's band (distance difference 0).
     assert_eq!(engine.uq12_always(Oid(1)), Some(true));
@@ -90,7 +87,7 @@ fn window_grazing_tangency() {
     // Candidate tangent to the band boundary exactly at the window start.
     let w = TimeInterval::new(0.0, 10.0);
     let near = flyby(1, 0.0, 1.0, 0.0, w); // constant distance 1
-    // Band with r = 0.5 -> delta = 2; boundary at distance 3.
+                                           // Band with r = 0.5 -> delta = 2; boundary at distance 3.
     let tangent = flyby(2, -5.0, 3.0, 1.0, w); // dips to exactly 3 at t=5
     let fs = vec![near, tangent];
     let engine = QueryEngine::new(Oid(0), fs, 0.5);

@@ -19,9 +19,9 @@ fn window() -> TimeInterval {
 /// A random single-segment flyby distance function.
 fn flyby_strategy(owner: u64) -> impl Strategy<Value = DistanceFunction> {
     (
-        -30.0..10.0f64,  // x0
-        0.1..10.0f64,    // closest-approach offset y
-        0.05..2.0f64,    // speed
+        -30.0..10.0f64, // x0
+        0.1..10.0f64,   // closest-approach offset y
+        0.05..2.0f64,   // speed
     )
         .prop_map(move |(x0, y, v)| {
             DistanceFunction::single(
@@ -194,19 +194,15 @@ proptest! {
 /// Deterministic random-trajectory strategy for the reverse engine (uses
 /// `Trajectory`, not bare distance functions).
 fn trajectory_strategy(oid: u64) -> impl Strategy<Value = Trajectory> {
-    (
-        -20.0..20.0f64,
-        -20.0..20.0f64,
-        -1.5..1.5f64,
-        -1.5..1.5f64,
-    )
-        .prop_map(move |(x0, y0, vx, vy)| {
+    (-20.0..20.0f64, -20.0..20.0f64, -1.5..1.5f64, -1.5..1.5f64).prop_map(
+        move |(x0, y0, vx, vy)| {
             Trajectory::from_triples(
                 Oid(oid),
                 &[(x0, y0, 0.0), (x0 + vx * 20.0, y0 + vy * 20.0, 20.0)],
             )
             .unwrap()
-        })
+        },
+    )
 }
 
 proptest! {

@@ -49,12 +49,7 @@ pub fn lens_area(d: f64, r1: f64, r2: f64) -> f64 {
 /// Returns `None` when the circles do not intersect (disjoint or one
 /// strictly inside the other) or are identical. Tangent circles return the
 /// single tangency point duplicated.
-pub fn circle_intersections(
-    c1: Point2,
-    r1: f64,
-    c2: Point2,
-    r2: f64,
-) -> Option<(Point2, Point2)> {
+pub fn circle_intersections(c1: Point2, r1: f64, c2: Point2, r2: f64) -> Option<(Point2, Point2)> {
     let dv = c2 - c1;
     let d = dv.norm();
     if d == 0.0 {
@@ -118,13 +113,8 @@ mod tests {
 
     #[test]
     fn intersections_symmetric_configuration() {
-        let (p, q) = circle_intersections(
-            Point2::new(0.0, 0.0),
-            1.0,
-            Point2::new(1.0, 0.0),
-            1.0,
-        )
-        .unwrap();
+        let (p, q) =
+            circle_intersections(Point2::new(0.0, 0.0), 1.0, Point2::new(1.0, 0.0), 1.0).unwrap();
         // Intersections of two unit circles 1 apart: x = 0.5, y = ±sqrt(3)/2.
         let s3 = (3.0_f64).sqrt() / 2.0;
         assert!((p.x - 0.5).abs() < 1e-12 && (p.y - s3).abs() < 1e-12);
@@ -133,38 +123,21 @@ mod tests {
 
     #[test]
     fn intersections_none_cases() {
-        assert!(circle_intersections(
-            Point2::new(0.0, 0.0),
-            1.0,
-            Point2::new(5.0, 0.0),
-            1.0
-        )
-        .is_none());
-        assert!(circle_intersections(
-            Point2::new(0.0, 0.0),
-            3.0,
-            Point2::new(0.5, 0.0),
-            1.0
-        )
-        .is_none()); // contained
-        assert!(circle_intersections(
-            Point2::new(0.0, 0.0),
-            1.0,
-            Point2::new(0.0, 0.0),
-            1.0
-        )
-        .is_none()); // identical
+        assert!(
+            circle_intersections(Point2::new(0.0, 0.0), 1.0, Point2::new(5.0, 0.0), 1.0).is_none()
+        );
+        assert!(
+            circle_intersections(Point2::new(0.0, 0.0), 3.0, Point2::new(0.5, 0.0), 1.0).is_none()
+        ); // contained
+        assert!(
+            circle_intersections(Point2::new(0.0, 0.0), 1.0, Point2::new(0.0, 0.0), 1.0).is_none()
+        ); // identical
     }
 
     #[test]
     fn tangent_circles_touch_once() {
-        let (p, q) = circle_intersections(
-            Point2::new(0.0, 0.0),
-            1.0,
-            Point2::new(2.0, 0.0),
-            1.0,
-        )
-        .unwrap();
+        let (p, q) =
+            circle_intersections(Point2::new(0.0, 0.0), 1.0, Point2::new(2.0, 0.0), 1.0).unwrap();
         assert!((p.x - 1.0).abs() < 1e-9 && p.y.abs() < 1e-9);
         assert!((q.x - 1.0).abs() < 1e-9 && q.y.abs() < 1e-9);
     }

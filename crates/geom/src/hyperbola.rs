@@ -51,7 +51,9 @@ impl Hyperbola {
         let ag = a;
         let bg = b - 2.0 * a * t_ref;
         let cg = a * t_ref * t_ref - b * t_ref + c;
-        Hyperbola { q: Quadratic::new(ag, bg, cg) }
+        Hyperbola {
+            q: Quadratic::new(ag, bg, cg),
+        }
     }
 
     /// Wraps an existing quadratic, verifying it is non-negative
@@ -75,8 +77,13 @@ impl Hyperbola {
 
     /// A constant distance function `d(t) = d0`.
     pub fn constant(d0: f64) -> Hyperbola {
-        assert!(d0 >= 0.0 && d0.is_finite(), "invalid constant distance {d0}");
-        Hyperbola { q: Quadratic::new(0.0, 0.0, d0 * d0) }
+        assert!(
+            d0 >= 0.0 && d0.is_finite(),
+            "invalid constant distance {d0}"
+        );
+        Hyperbola {
+            q: Quadratic::new(0.0, 0.0, d0 * d0),
+        }
     }
 
     /// The underlying squared-distance quadratic.
@@ -158,12 +165,7 @@ impl Hyperbola {
     /// `(q_s − q_o − δ²)² = 4 δ² q_o`, solved by Sturm isolation, and the
     /// candidates are verified against the original (unsquared) equation to
     /// drop the spurious `self = other − δ` branch.
-    pub fn crossings_shifted(
-        &self,
-        other: &Hyperbola,
-        delta: f64,
-        iv: &TimeInterval,
-    ) -> Vec<f64> {
+    pub fn crossings_shifted(&self, other: &Hyperbola, delta: f64, iv: &TimeInterval) -> Vec<f64> {
         assert!(delta >= 0.0, "negative shift {delta}");
         if delta == 0.0 {
             return self.intersections(other, iv);
@@ -350,10 +352,7 @@ mod tests {
         let f = Hyperbola::constant(2.0);
         let g = h((-2.0, 1.0), (1.0, 0.0), 0.0);
         let iv = TimeInterval::new(0.0, 5.0);
-        assert_eq!(
-            g.crossings_shifted(&f, 0.0, &iv),
-            g.intersections(&f, &iv)
-        );
+        assert_eq!(g.crossings_shifted(&f, 0.0, &iv), g.intersections(&f, &iv));
     }
 
     #[test]

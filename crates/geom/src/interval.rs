@@ -26,8 +26,7 @@ impl TimeInterval {
     /// Panics if `start > end` or either bound is not finite. Use
     /// [`TimeInterval::try_new`] for a fallible constructor.
     pub fn new(start: f64, end: f64) -> Self {
-        Self::try_new(start, end)
-            .unwrap_or_else(|| panic!("invalid interval [{start}, {end}]"))
+        Self::try_new(start, end).unwrap_or_else(|| panic!("invalid interval [{start}, {end}]"))
     }
 
     /// Creates a new interval, returning `None` when the bounds are not
@@ -164,9 +163,7 @@ impl IntervalSet {
     /// Inserts one interval, merging as needed.
     pub fn insert(&mut self, iv: TimeInterval) {
         // Binary search for the insertion point, then merge neighbours.
-        let idx = self
-            .spans
-            .partition_point(|s| s.start < iv.start);
+        let idx = self.spans.partition_point(|s| s.start < iv.start);
         self.spans.insert(idx, iv);
         self.coalesce();
     }
@@ -210,9 +207,7 @@ impl IntervalSet {
 
     /// Union of two sets.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
-        IntervalSet::from_intervals(
-            self.spans.iter().chain(other.spans.iter()).copied(),
-        )
+        IntervalSet::from_intervals(self.spans.iter().chain(other.spans.iter()).copied())
     }
 
     /// Intersection of two sets.
@@ -258,7 +253,8 @@ impl IntervalSet {
     /// `true` when the set fully covers `span` (up to `tol` slack in
     /// total length, to absorb floating-point seams).
     pub fn covers_interval(&self, span: TimeInterval, tol: f64) -> bool {
-        self.intersect(&IntervalSet::from_intervals([span])).total_len()
+        self.intersect(&IntervalSet::from_intervals([span]))
+            .total_len()
             >= span.len() - tol
     }
 }
@@ -361,13 +357,9 @@ mod tests {
 
     #[test]
     fn interval_set_intersection() {
-        let a = IntervalSet::from_intervals([
-            TimeInterval::new(0.0, 2.0),
-            TimeInterval::new(4.0, 6.0),
-        ]);
-        let b = IntervalSet::from_intervals([
-            TimeInterval::new(1.0, 5.0),
-        ]);
+        let a =
+            IntervalSet::from_intervals([TimeInterval::new(0.0, 2.0), TimeInterval::new(4.0, 6.0)]);
+        let b = IntervalSet::from_intervals([TimeInterval::new(1.0, 5.0)]);
         let c = a.intersect(&b);
         assert_eq!(
             c.spans(),
@@ -377,10 +369,8 @@ mod tests {
 
     #[test]
     fn interval_set_complement() {
-        let a = IntervalSet::from_intervals([
-            TimeInterval::new(1.0, 2.0),
-            TimeInterval::new(3.0, 4.0),
-        ]);
+        let a =
+            IntervalSet::from_intervals([TimeInterval::new(1.0, 2.0), TimeInterval::new(3.0, 4.0)]);
         let c = a.complement_within(TimeInterval::new(0.0, 5.0));
         assert_eq!(
             c.spans(),
@@ -397,10 +387,8 @@ mod tests {
 
     #[test]
     fn covers_interval_with_tolerance() {
-        let a = IntervalSet::from_intervals([
-            TimeInterval::new(0.0, 0.5),
-            TimeInterval::new(0.5, 1.0),
-        ]);
+        let a =
+            IntervalSet::from_intervals([TimeInterval::new(0.0, 0.5), TimeInterval::new(0.5, 1.0)]);
         assert!(a.covers_interval(TimeInterval::new(0.0, 1.0), 1e-12));
         let b = IntervalSet::from_intervals([TimeInterval::new(0.0, 0.9)]);
         assert!(!b.covers_interval(TimeInterval::new(0.0, 1.0), 1e-12));

@@ -50,7 +50,10 @@ impl Point2 {
     /// The displacement vector from the origin to this point.
     #[inline]
     pub fn to_vec(self) -> Vec2 {
-        Vec2 { x: self.x, y: self.y }
+        Vec2 {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     /// Linear interpolation between `self` (at `s = 0`) and `other`
@@ -107,7 +110,10 @@ impl Vec2 {
     /// Interprets the vector as a point displaced from the origin.
     #[inline]
     pub fn to_point(self) -> Point2 {
-        Point2 { x: self.x, y: self.y }
+        Point2 {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     /// Returns `true` when both components are finite.
@@ -120,7 +126,10 @@ impl Vec2 {
     pub fn normalized(&self) -> Option<Vec2> {
         let n = self.norm();
         if n > 0.0 {
-            Some(Vec2 { x: self.x / n, y: self.y / n })
+            Some(Vec2 {
+                x: self.x / n,
+                y: self.y / n,
+            })
         } else {
             None
         }
@@ -131,7 +140,10 @@ impl Sub for Point2 {
     type Output = Vec2;
     #[inline]
     fn sub(self, rhs: Point2) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
@@ -139,7 +151,10 @@ impl Add<Vec2> for Point2 {
     type Output = Point2;
     #[inline]
     fn add(self, rhs: Vec2) -> Point2 {
-        Point2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        Point2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
@@ -147,7 +162,10 @@ impl Sub<Vec2> for Point2 {
     type Output = Point2;
     #[inline]
     fn sub(self, rhs: Vec2) -> Point2 {
-        Point2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Point2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
@@ -171,7 +189,10 @@ impl Add for Vec2 {
     type Output = Vec2;
     #[inline]
     fn add(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x + rhs.x, y: self.y + rhs.y }
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
@@ -179,7 +200,10 @@ impl Sub for Vec2 {
     type Output = Vec2;
     #[inline]
     fn sub(self, rhs: Vec2) -> Vec2 {
-        Vec2 { x: self.x - rhs.x, y: self.y - rhs.y }
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
@@ -187,7 +211,10 @@ impl Neg for Vec2 {
     type Output = Vec2;
     #[inline]
     fn neg(self) -> Vec2 {
-        Vec2 { x: -self.x, y: -self.y }
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
     }
 }
 
@@ -195,7 +222,10 @@ impl Mul<f64> for Vec2 {
     type Output = Vec2;
     #[inline]
     fn mul(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x * rhs, y: self.y * rhs }
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
     }
 }
 
@@ -203,7 +233,10 @@ impl Div<f64> for Vec2 {
     type Output = Vec2;
     #[inline]
     fn div(self, rhs: f64) -> Vec2 {
-        Vec2 { x: self.x / rhs, y: self.y / rhs }
+        Vec2 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+        }
     }
 }
 

@@ -87,7 +87,10 @@ pub struct RootFindConfig {
 
 impl Default for RootFindConfig {
     fn default() -> Self {
-        RootFindConfig { x_tol: 1e-12, max_depth: 80 }
+        RootFindConfig {
+            x_tol: 1e-12,
+            max_depth: 80,
+        }
     }
 }
 
@@ -111,7 +114,11 @@ pub fn find_roots_with(p: &Poly, lo: f64, hi: f64, cfg: RootFindConfig) -> Vec<f
         Some(1) => {
             let c = p.coeffs();
             let r = -c[0] / c[1];
-            return if (lo..=hi).contains(&r) { vec![r] } else { vec![] };
+            return if (lo..=hi).contains(&r) {
+                vec![r]
+            } else {
+                vec![]
+            };
         }
         _ => {}
     }
@@ -130,10 +137,7 @@ pub fn find_roots_with(p: &Poly, lo: f64, hi: f64, cfg: RootFindConfig) -> Vec<f
     isolate(&sf, &chain, a0, hi, total, cfg, &mut roots, 0);
     roots.sort_by(f64::total_cmp);
     // Clamp roots found marginally outside [lo, hi] by the nudging.
-    roots
-        .into_iter()
-        .map(|r| r.clamp(lo, hi))
-        .collect()
+    roots.into_iter().map(|r| r.clamp(lo, hi)).collect()
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,258 @@
+//! The epoch-keyed engine cache — the execution-side memoization of the
+//! snapshot → prefilter → envelope → execute pipeline.
+//!
+//! The paper's whole premise (Claims 1–3) is that the `O(N log N)`
+//! lower-envelope / IPAC preprocessing is paid **once** and amortized
+//! across the §4 query variants. [`EngineCache`] realizes that across
+//! server calls: built engines are stored under a key containing the
+//! store **epoch**, the query object, the window, the engine kind, and
+//! the prefilter policy. Any store mutation bumps the epoch, so stale
+//! engines can never be served; they are evicted lazily on the next
+//! insertion.
+//!
+//! ## Invalidation contract
+//!
+//! * An entry built at epoch `e` is returned only for keys carrying the
+//!   same `e`; callers always derive the key from the *current* snapshot.
+//! * `register`/`unregister`/`clear` (any [`crate::store::ModStore`]
+//!   mutation) bumps the epoch, which orphans every cached engine.
+//! * Orphaned entries are dropped on the next insertion; a bounded
+//!   capacity evicts arbitrary same-epoch entries beyond it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use unn_core::hetero::HeteroEngine;
+use unn_core::query::QueryEngine;
+use unn_core::reverse::ReverseNnEngine;
+use unn_geom::interval::TimeInterval;
+use unn_traj::trajectory::Oid;
+
+/// Which engine family a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The forward §4 engine ([`QueryEngine`]).
+    Forward,
+    /// The §7 reverse-NN engine.
+    Reverse,
+    /// The §7 heterogeneous-radii engine.
+    Hetero,
+}
+
+/// Cache key: epoch + engine kind + query + window bits + policy tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineKey {
+    epoch: u64,
+    kind: EngineKind,
+    query: Oid,
+    window: (u64, u64),
+    policy_tag: u8,
+}
+
+impl EngineKey {
+    /// A key for the given coordinates. `policy_tag` distinguishes
+    /// prefilter policies so per-policy statistics stay truthful (all
+    /// policies produce identical answers).
+    pub fn new(
+        epoch: u64,
+        kind: EngineKind,
+        query: Oid,
+        window: TimeInterval,
+        policy_tag: u8,
+    ) -> Self {
+        EngineKey {
+            epoch,
+            kind,
+            query,
+            window: (window.start().to_bits(), window.end().to_bits()),
+            policy_tag,
+        }
+    }
+}
+
+/// A cached engine of any family.
+#[derive(Debug, Clone)]
+pub enum CachedEngine {
+    /// A forward engine.
+    Forward(Arc<QueryEngine>),
+    /// A reverse-NN engine.
+    Reverse(Arc<ReverseNnEngine>),
+    /// A heterogeneous-radii engine.
+    Hetero(Arc<HeteroEngine>),
+}
+
+impl CachedEngine {
+    /// The forward engine, if that is what this entry holds.
+    pub fn forward(&self) -> Option<Arc<QueryEngine>> {
+        match self {
+            CachedEngine::Forward(e) => Some(Arc::clone(e)),
+            _ => None,
+        }
+    }
+
+    /// The reverse engine, if that is what this entry holds.
+    pub fn reverse(&self) -> Option<Arc<ReverseNnEngine>> {
+        match self {
+            CachedEngine::Reverse(e) => Some(Arc::clone(e)),
+            _ => None,
+        }
+    }
+
+    /// The heterogeneous engine, if that is what this entry holds.
+    pub fn hetero(&self) -> Option<Arc<HeteroEngine>> {
+        match self {
+            CachedEngine::Hetero(e) => Some(Arc::clone(e)),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build an engine.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A bounded, epoch-keyed engine cache.
+#[derive(Debug, Default)]
+pub struct EngineCache {
+    inner: Mutex<HashMap<EngineKey, CachedEngine>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EngineCache {
+    /// A cache holding at most `capacity` engines (0 disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EngineCache {
+            capacity,
+            ..EngineCache::default()
+        }
+    }
+
+    /// Returns the cached engine for `key`, or builds, stores, and
+    /// returns it. Builds run outside the lock: concurrent misses on the
+    /// same key may build twice, but the result is identical and one copy
+    /// simply wins the insert.
+    pub fn get_or_build<E>(
+        &self,
+        key: EngineKey,
+        build: impl FnOnce() -> Result<CachedEngine, E>,
+    ) -> Result<(CachedEngine, bool), E> {
+        if let Some(found) = self.inner.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((found.clone(), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = build()?;
+        if self.capacity > 0 {
+            let mut map = self.inner.lock().unwrap();
+            // Keep only the newest epoch present. A slow build that
+            // started before a store mutation must neither evict the
+            // fresher entries inserted meanwhile nor park a stale,
+            // never-again-hittable entry in the cache.
+            let newest = map
+                .keys()
+                .map(|k| k.epoch)
+                .max()
+                .unwrap_or(key.epoch)
+                .max(key.epoch);
+            map.retain(|k, _| k.epoch == newest);
+            if key.epoch == newest {
+                if map.len() >= self.capacity {
+                    if let Some(victim) = map.keys().next().copied() {
+                        map.remove(&victim);
+                    }
+                }
+                map.insert(key, built.clone());
+            }
+        }
+        Ok((built, false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::point::Vec2;
+    use unn_traj::distance::DistanceFunction;
+
+    fn engine() -> CachedEngine {
+        let w = TimeInterval::new(0.0, 10.0);
+        let f = DistanceFunction::single(
+            Oid(1),
+            w,
+            Hyperbola::from_relative_motion(Vec2::new(0.0, 1.0), Vec2::new(1.0, 0.0), 0.0),
+        );
+        CachedEngine::Forward(Arc::new(QueryEngine::new(Oid(0), vec![f], 0.5)))
+    }
+
+    #[test]
+    fn hit_after_miss_and_epoch_eviction() {
+        let cache = EngineCache::with_capacity(8);
+        let w = TimeInterval::new(0.0, 10.0);
+        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 0);
+        let (_, hit) = cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache
+            .get_or_build::<()>(k1, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats().entries, 1);
+        // A key at a newer epoch evicts the stale entry on insert.
+        let k2 = EngineKey::new(2, EngineKind::Forward, Oid(0), w, 0);
+        let (_, hit) = cache.get_or_build::<()>(k2, || Ok(engine())).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn distinct_windows_and_kinds_do_not_collide() {
+        let cache = EngineCache::with_capacity(8);
+        let w1 = TimeInterval::new(0.0, 10.0);
+        let w2 = TimeInterval::new(0.0, 5.0);
+        let a = EngineKey::new(1, EngineKind::Forward, Oid(0), w1, 0);
+        let b = EngineKey::new(1, EngineKind::Forward, Oid(0), w2, 0);
+        let c = EngineKey::new(1, EngineKind::Hetero, Oid(0), w1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        cache.get_or_build::<()>(a, || Ok(engine())).unwrap();
+        let (_, hit) = cache.get_or_build::<()>(b, || Ok(engine())).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = EngineCache::with_capacity(0);
+        let w = TimeInterval::new(0.0, 10.0);
+        let k = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 0);
+        cache.get_or_build::<()>(k, || Ok(engine())).unwrap();
+        let (_, hit) = cache.get_or_build::<()>(k, || Ok(engine())).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -9,8 +9,8 @@
 //! after the spatial work is done (e.g. "of the objects with non-zero NN
 //! probability, keep the ambulances").
 
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 use unn_traj::trajectory::Oid;
 
 /// Descriptive metadata of one registered moving object.
@@ -27,12 +27,19 @@ pub struct ObjectMeta {
 impl ObjectMeta {
     /// Metadata with a label only.
     pub fn labelled(label: impl Into<String>) -> Self {
-        ObjectMeta { label: label.into(), ..ObjectMeta::default() }
+        ObjectMeta {
+            label: label.into(),
+            ..ObjectMeta::default()
+        }
     }
 
     /// Metadata with a label and a kind.
     pub fn new(label: impl Into<String>, kind: impl Into<String>) -> Self {
-        ObjectMeta { label: label.into(), kind: kind.into(), tags: Vec::new() }
+        ObjectMeta {
+            label: label.into(),
+            kind: kind.into(),
+            tags: Vec::new(),
+        }
     }
 
     /// Adds a tag (builder style).
@@ -62,32 +69,32 @@ impl Catalog {
     /// Registers (or replaces) the metadata of an object. Returns the
     /// previous entry, if any.
     pub fn upsert(&self, oid: Oid, meta: ObjectMeta) -> Option<ObjectMeta> {
-        self.inner.write().insert(oid, meta)
+        self.inner.write().unwrap().insert(oid, meta)
     }
 
     /// Removes an object's metadata.
     pub fn remove(&self, oid: Oid) -> Option<ObjectMeta> {
-        self.inner.write().remove(&oid)
+        self.inner.write().unwrap().remove(&oid)
     }
 
     /// The metadata of one object.
     pub fn get(&self, oid: Oid) -> Option<ObjectMeta> {
-        self.inner.read().get(&oid).cloned()
+        self.inner.read().unwrap().get(&oid).cloned()
     }
 
     /// `true` when the object has metadata.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.inner.read().contains_key(&oid)
+        self.inner.read().unwrap().contains_key(&oid)
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     /// `true` when the catalog is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().unwrap().is_empty()
     }
 
     /// Resolves a label to an id (labels are not enforced unique — the
@@ -95,6 +102,7 @@ impl Catalog {
     pub fn resolve_label(&self, label: &str) -> Option<Oid> {
         self.inner
             .read()
+            .unwrap()
             .iter()
             .find(|(_, m)| m.label == label)
             .map(|(oid, _)| *oid)
@@ -104,6 +112,7 @@ impl Catalog {
     pub fn of_kind(&self, kind: &str) -> Vec<Oid> {
         self.inner
             .read()
+            .unwrap()
             .iter()
             .filter(|(_, m)| m.kind == kind)
             .map(|(oid, _)| *oid)
@@ -114,6 +123,7 @@ impl Catalog {
     pub fn with_tag(&self, tag: &str) -> Vec<Oid> {
         self.inner
             .read()
+            .unwrap()
             .iter()
             .filter(|(_, m)| m.has_tag(tag))
             .map(|(oid, _)| *oid)
@@ -127,7 +137,7 @@ impl Catalog {
     where
         F: Fn(&ObjectMeta) -> bool,
     {
-        let g = self.inner.read();
+        let g = self.inner.read().unwrap();
         rows.into_iter()
             .filter(|(oid, _)| g.get(oid).map(&pred).unwrap_or(false))
             .collect()
@@ -140,9 +150,15 @@ mod tests {
 
     fn catalog() -> Catalog {
         let c = Catalog::new();
-        c.upsert(Oid(1), ObjectMeta::new("truck-1", "truck").with_tag("refrigerated"));
+        c.upsert(
+            Oid(1),
+            ObjectMeta::new("truck-1", "truck").with_tag("refrigerated"),
+        );
         c.upsert(Oid(2), ObjectMeta::new("taxi-7", "taxi"));
-        c.upsert(Oid(3), ObjectMeta::new("truck-2", "truck").with_tag("priority"));
+        c.upsert(
+            Oid(3),
+            ObjectMeta::new("truck-2", "truck").with_tag("priority"),
+        );
         c
     }
 

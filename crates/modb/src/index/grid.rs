@@ -70,7 +70,10 @@ impl GridIndex {
     fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
         let ix = ((x - self.x0) / self.cell).floor().max(0.0) as usize;
         let iy = ((y - self.y0) / self.cell).floor().max(0.0) as usize;
-        (ix.min(self.nx.saturating_sub(1)), iy.min(self.ny.saturating_sub(1)))
+        (
+            ix.min(self.nx.saturating_sub(1)),
+            iy.min(self.ny.saturating_sub(1)),
+        )
     }
 
     /// Grid dimensions `(nx, ny)`.
@@ -117,7 +120,9 @@ mod tests {
     fn empty_grid() {
         let g = GridIndex::build(vec![], 64);
         assert_eq!(g.entry_count(), 0);
-        assert!(g.query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0)).is_empty());
+        assert!(g
+            .query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0))
+            .is_empty());
     }
 
     #[test]

@@ -57,5 +57,8 @@ pub fn segment_boxes(trs: &[UncertainTrajectory]) -> Vec<(Aabb3, Oid)> {
 
 /// A query box covering a spatial rectangle over a time range.
 pub fn query_box(x0: f64, y0: f64, x1: f64, y1: f64, t0: f64, t1: f64) -> Aabb3 {
-    Aabb3::new([x0.min(x1), y0.min(y1), t0.min(t1)], [x0.max(x1), y0.max(y1), t0.max(t1)])
+    Aabb3::new(
+        [x0.min(x1), y0.min(y1), t0.min(t1)],
+        [x0.max(x1), y0.max(y1), t0.max(t1)],
+    )
 }

@@ -31,7 +31,10 @@ impl RTree {
     pub fn build(mut items: Vec<(Aabb3, Oid)>) -> Self {
         let entries = items.len();
         if items.is_empty() {
-            return RTree { root: None, entries: 0 };
+            return RTree {
+                root: None,
+                entries: 0,
+            };
         }
         // --- leaf level via STR tiling ---
         let leaves = str_pack_leaves(&mut items);
@@ -57,9 +60,7 @@ impl RTree {
         fn h(n: &Node) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Inner { children } => {
-                    1 + children.first().map(|(_, c)| h(c)).unwrap_or(0)
-                }
+                Node::Inner { children } => 1 + children.first().map(|(_, c)| h(c)).unwrap_or(0),
             }
         }
         self.root.as_ref().map(|(_, n)| h(n)).unwrap_or(0)
@@ -156,7 +157,9 @@ mod tests {
         let t = RTree::build(vec![]);
         assert_eq!(t.entry_count(), 0);
         assert_eq!(t.height(), 0);
-        assert!(t.query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0)).is_empty());
+        assert!(t
+            .query_bbox(&query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0))
+            .is_empty());
     }
 
     #[test]
@@ -194,6 +197,10 @@ mod tests {
         let tree = RTree::build(boxes);
         // Packed height close to log_M(n).
         let expected = (n as f64).log(M as f64).ceil() as usize + 1;
-        assert!(tree.height() <= expected, "height {} for {n} entries", tree.height());
+        assert!(
+            tree.height() <= expected,
+            "height {} for {n} entries",
+            tree.height()
+        );
     }
 }

@@ -146,10 +146,7 @@ fn rank(
         .iter()
         .map(|&i| {
             let r_i = candidates[i].0.radius();
-            match pdf_cache
-                .iter()
-                .position(|(r, _)| (r - r_i).abs() < 1e-12)
-            {
+            match pdf_cache.iter().position(|(r, _)| (r - r_i).abs() < 1e-12) {
                 Some(k) => k,
                 None => {
                     pdf_cache.push((r_i, DiskDifferencePdf::new(r_i, r_q)));
@@ -161,7 +158,10 @@ fn rank(
     let nn_cands: Vec<NnCandidate> = survivors
         .iter()
         .zip(&pdf_idx)
-        .map(|(&i, &k)| NnCandidate { center_distance: dists[i], pdf: &pdf_cache[k].1 })
+        .map(|(&i, &k)| NnCandidate {
+            center_distance: dists[i],
+            pdf: &pdf_cache[k].1,
+        })
         .collect();
     let probs = nn_probabilities(&nn_cands, NnConfig::default());
     let mut rows: Vec<(Oid, f64)> = survivors
@@ -171,7 +171,12 @@ fn rank(
         .map(|(&i, &p)| (candidates[i].0.oid(), p))
         .collect();
     rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    Ok(InstantRanking { t, rows, examined: candidates.len(), pruned })
+    Ok(InstantRanking {
+        t,
+        rows,
+        examined: candidates.len(),
+        pruned,
+    })
 }
 
 /// Index-accelerated variant: narrows the snapshot with a time-slice box
@@ -218,7 +223,10 @@ pub fn instantaneous_nn_indexed(
     // Upper bound on the NN distance from the seed candidates.
     let mut r_max = f64::INFINITY;
     for oid in &seed {
-        let tr = trs.iter().find(|tr| tr.oid() == *oid).expect("indexed object stored");
+        let tr = trs
+            .iter()
+            .find(|tr| tr.oid() == *oid)
+            .expect("indexed object stored");
         if let Some(c) = tr.expected_location(t) {
             r_max = r_max.min((c - c_q).norm() + tr.radius() + r_q);
         }

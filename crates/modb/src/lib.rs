@@ -4,13 +4,29 @@
 //! Rust reproduction of *"Continuous Probabilistic Nearest-Neighbor
 //! Queries for Uncertain Trajectories"* (Trajcevski et al., EDBT 2009).
 //!
-//! * [`store`] — the thread-safe trajectory store (the MOD of §1);
+//! * [`store`] — the thread-safe trajectory store (the MOD of §1), with
+//!   epoch-stamped `Arc`-shared snapshots;
+//! * [`snapshot`] — the shared [`snapshot::QuerySnapshot`] view with
+//!   lazily built per-snapshot segment indexes;
+//! * [`plan`] — the query planner: one-shot invariant resolution plus the
+//!   pluggable scan/grid/R-tree prefilter ([`plan::PrefilterPolicy`]);
+//! * [`cache`] — the epoch-keyed engine cache amortizing envelope/IPAC
+//!   preprocessing across queries (invalidated by any store mutation);
 //! * [`catalog`] — descriptive object metadata joined against spatial
 //!   answers;
 //! * [`index`] — from-scratch STR R-tree and uniform-grid segment indexes
 //!   with a linear-scan baseline;
 //! * [`prefilter`] — the conservative epoch-box prefilter (§2.2-I's
-//!   R_min/R_max rule at box granularity) feeding the NN path;
+//!   R_min/R_max rule at box granularity) in scan and index-backed forms;
+//!
+//! ## The query pipeline
+//!
+//! Every server query runs **snapshot → plan/prefilter → envelope →
+//! execute**: [`store::ModStore::snapshot`] hands out the shared
+//! epoch-stamped view; [`plan::QueryPlanner`] validates invariants once
+//! and narrows candidates conservatively (answers are provably identical
+//! to the exhaustive path); [`cache::EngineCache`] reuses the built
+//! engine for repeated queries until a store mutation bumps the epoch.
 //! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
 //!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
 //!   index-accelerated;
@@ -23,15 +39,21 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
 pub mod index;
 pub mod instantaneous;
 pub mod persist;
+pub mod plan;
 pub mod prefilter;
 pub mod ql;
 pub mod server;
+pub mod snapshot;
 pub mod store;
 
+pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
+pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
+pub use snapshot::QuerySnapshot;
 pub use store::{ModStore, StoreError};

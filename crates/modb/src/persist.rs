@@ -56,10 +56,7 @@ impl From<io::Error> for PersistError {
 }
 
 /// Serializes trajectories to a writer.
-pub fn save_to<W: Write>(
-    trs: &[UncertainTrajectory],
-    w: &mut W,
-) -> Result<(), PersistError> {
+pub fn save_to<W: Write>(trs: &[UncertainTrajectory], w: &mut W) -> Result<(), PersistError> {
     writeln!(w, "# unn-modb v1")?;
     for tr in trs {
         match tr.pdf() {
@@ -122,9 +119,7 @@ pub fn load_from<R: BufRead>(r: R) -> Result<Vec<UncertainTrajectory>, PersistEr
                 let y: f64 = parse_field(parts.next(), lineno, "y")?;
                 let t: f64 = parse_field(parts.next(), lineno, "t")?;
                 match &mut current {
-                    Some((_, _, _, samples)) => {
-                        samples.push(TrajectorySample::new(x, y, t))
-                    }
+                    Some((_, _, _, samples)) => samples.push(TrajectorySample::new(x, y, t)),
                     None => {
                         return Err(PersistError::Format {
                             line: lineno,
@@ -210,7 +205,7 @@ mod tests {
         save(&store, &path).unwrap();
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 5);
-        assert_eq!(loaded, store.snapshot());
+        assert_eq!(loaded, store.snapshot().to_vec());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -219,7 +214,10 @@ mod tests {
         let tr = UncertainTrajectory::new(
             Trajectory::from_triples(Oid(4), &[(0.5, 1.5, 0.0), (2.0, 3.0, 5.0)]).unwrap(),
             0.75,
-            PdfKind::TruncatedGaussian { radius: 0.75, sigma: 0.3 },
+            PdfKind::TruncatedGaussian {
+                radius: 0.75,
+                sigma: 0.3,
+            },
         )
         .unwrap();
         let mut buf = Vec::new();

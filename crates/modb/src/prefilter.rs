@@ -25,21 +25,21 @@ use unn_traj::trajectory::{Oid, Trajectory};
 use unn_traj::uncertain::UncertainTrajectory;
 
 /// Smallest distance between the `(x, y)` projections of two boxes.
-fn min_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
+pub(crate) fn min_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
     let dx = (a.min[0] - b.max[0]).max(b.min[0] - a.max[0]).max(0.0);
     let dy = (a.min[1] - b.max[1]).max(b.min[1] - a.max[1]).max(0.0);
     (dx * dx + dy * dy).sqrt()
 }
 
 /// Largest distance between the `(x, y)` projections of two boxes.
-fn max_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
+pub(crate) fn max_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
     let dx = (a.max[0] - b.min[0]).abs().max((b.max[0] - a.min[0]).abs());
     let dy = (a.max[1] - b.min[1]).abs().max((b.max[1] - a.min[1]).abs());
     (dx * dx + dy * dy).sqrt()
 }
 
 /// The spatial box of a trajectory's expected location over `[t0, t1]`.
-fn corridor_box(tr: &Trajectory, t0: f64, t1: f64) -> Aabb3 {
+pub(crate) fn corridor_box(tr: &Trajectory, t0: f64, t1: f64) -> Aabb3 {
     // The expected location over an interval is contained in the box of
     // the interval's endpoint positions and any interior vertices.
     let mut min = [f64::INFINITY; 3];
@@ -82,8 +82,7 @@ pub fn epoch_box_prefilter(
         .iter()
         .find(|t| t.oid() == query_oid)
         .expect("query object present");
-    let others: Vec<&UncertainTrajectory> =
-        trs.iter().filter(|t| t.oid() != query_oid).collect();
+    let others: Vec<&UncertainTrajectory> = trs.iter().filter(|t| t.oid() != query_oid).collect();
     if others.is_empty() {
         return vec![];
     }
@@ -117,6 +116,77 @@ pub fn epoch_box_prefilter(
         .collect()
 }
 
+/// Index-backed epoch prefilter: the same conservative `R_min ≤ U + 4r`
+/// rule as [`epoch_box_prefilter`], but with candidate retrieval delegated
+/// to a [`SegmentIndex`] (grid or STR R-tree) instead of an `O(N)` box
+/// scan per epoch — the role §7 assigns to R-tree-family access methods.
+///
+/// Per epoch, an envelope upper bound `U_e` is obtained by probing the
+/// index around the query corridor with a doubling radius until some
+/// candidate is found (`U_e` = the min max-distance over the candidates
+/// found; a min over *any* non-empty candidate subset upper-bounds the
+/// envelope, so the bound is sound no matter which candidates the probe
+/// surfaces). All objects within `U_e + 4r` of the corridor are then
+/// fetched in one box query. Like the scan variant, the result is a
+/// superset of the exact `4r`-band survivors, so downstream answers are
+/// identical.
+pub fn index_prefilter(
+    snapshot: &crate::snapshot::QuerySnapshot,
+    index: &dyn crate::index::SegmentIndex,
+    query_oid: Oid,
+    window: TimeInterval,
+    radius: f64,
+    epochs: usize,
+) -> Vec<Oid> {
+    use std::collections::BTreeSet;
+
+    let epochs = epochs.max(1);
+    let query = snapshot.get(query_oid).expect("query object present");
+    if snapshot.len() < 2 {
+        return vec![];
+    }
+    let delta = 4.0 * radius;
+    // Global fallback bound from the cached whole-trajectory boxes: the
+    // smallest max-distance any candidate can be from the query.
+    let q_full = &snapshot.full_boxes()[snapshot.index_of(query_oid).expect("present")];
+    let u_global = snapshot
+        .iter()
+        .zip(snapshot.full_boxes())
+        .filter(|(t, _)| t.oid() != query_oid)
+        .map(|(_, b)| max_dist_xy(b, q_full))
+        .fold(f64::INFINITY, f64::min);
+    let mut keep: BTreeSet<Oid> = BTreeSet::new();
+    let step = window.len() / epochs as f64;
+    for e in 0..epochs {
+        let t0 = window.start() + e as f64 * step;
+        let t1 = (t0 + step).min(window.end());
+        let qbox = corridor_box(query.trajectory(), t0, t1);
+        // Probe outward until some candidate bounds the envelope.
+        let mut upper = u_global;
+        let mut probe = (delta + radius).max(1e-3);
+        while probe < u_global {
+            let hits = index.query_bbox(&qbox.inflate_xy(probe));
+            let local = hits
+                .iter()
+                .filter(|&&oid| oid != query_oid)
+                .filter_map(|&oid| snapshot.get(oid))
+                .map(|t| max_dist_xy(&corridor_box(t.trajectory(), t0, t1), &qbox))
+                .fold(f64::INFINITY, f64::min);
+            if local.is_finite() {
+                upper = local.min(u_global);
+                break;
+            }
+            probe *= 2.0;
+        }
+        for oid in index.query_bbox(&qbox.inflate_xy(upper + delta)) {
+            if oid != query_oid {
+                keep.insert(oid);
+            }
+        }
+    }
+    keep.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,18 +194,15 @@ mod tests {
     use unn_traj::trajectory::Trajectory;
 
     fn tr(oid: u64, pts: &[(f64, f64, f64)]) -> UncertainTrajectory {
-        UncertainTrajectory::with_uniform_pdf(
-            Trajectory::from_triples(Oid(oid), pts).unwrap(),
-            0.5,
-        )
-        .unwrap()
+        UncertainTrajectory::with_uniform_pdf(Trajectory::from_triples(Oid(oid), pts).unwrap(), 0.5)
+            .unwrap()
     }
 
     #[test]
     fn obvious_cases() {
         let trs = vec![
             tr(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]),
-            tr(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)]),   // near
+            tr(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)]), // near
             tr(2, &[(0.0, 500.0, 0.0), (10.0, 500.0, 10.0)]), // far
         ];
         let kept = epoch_box_prefilter(&trs, Oid(0), TimeInterval::new(0.0, 10.0), 0.5, 4);
@@ -149,8 +216,7 @@ mod tests {
         let trs = generate_uncertain(&WorkloadConfig::with_objects(80, 19), 0.5);
         let window = TimeInterval::new(0.0, 60.0);
         let raw: Vec<Trajectory> = trs.iter().map(|t| t.trajectory().clone()).collect();
-        let fs = unn_traj::difference::difference_distances(&raw[0], &raw, &window)
-            .unwrap();
+        let fs = unn_traj::difference::difference_distances(&raw[0], &raw, &window).unwrap();
         let le = unn_core::algorithms::lower_envelope(&fs);
         let (kept_exact, _) = unn_core::band::prune_by_band(&fs, &le, 0.5);
         let exact_oids: Vec<Oid> = kept_exact.iter().map(|&i| fs[i].owner()).collect();
@@ -174,8 +240,12 @@ mod tests {
         // Finer epochs cannot be *looser* in aggregate (they may keep a
         // few different borderline objects, but in practice the set
         // shrinks); assert the coarse filter keeps at least 90% as many.
-        assert!(fine.len() <= coarse.len() + coarse.len() / 10 + 1,
-            "fine {} vs coarse {}", fine.len(), coarse.len());
+        assert!(
+            fine.len() <= coarse.len() + coarse.len() / 10 + 1,
+            "fine {} vs coarse {}",
+            fine.len(),
+            coarse.len()
+        );
     }
 
     #[test]

@@ -197,7 +197,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '+'
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '+'
                         || (d == '-' && matches!(bytes[i - 1] as char, 'e' | 'E'))
                     {
                         i += 1;
@@ -252,7 +256,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
         };
         out.push(Token { kind, pos });
     }
-    out.push(Token { kind: TokenKind::Eof, pos: bytes.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: bytes.len(),
+    });
     Ok(out)
 }
 
@@ -292,10 +299,7 @@ mod tests {
 
     #[test]
     fn probabilitynn_alias() {
-        assert_eq!(
-            kinds("ProbabilityNN")[0],
-            TokenKind::ProbNn
-        );
+        assert_eq!(kinds("ProbabilityNN")[0], TokenKind::ProbNn);
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, pos: e.pos }
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
     }
 }
 
@@ -139,9 +142,7 @@ impl Parser {
             TokenKind::At => Quantifier::At(self.number()?),
             other => {
                 return Err(ParseError {
-                    message: format!(
-                        "expected EXISTS, FORALL, ATLEAST or AT, found {other}"
-                    ),
+                    message: format!("expected EXISTS, FORALL, ATLEAST or AT, found {other}"),
                     pos: t.pos,
                 })
             }
@@ -164,9 +165,7 @@ impl Parser {
     }
 
     #[allow(clippy::type_complexity)]
-    fn prob(
-        &mut self,
-    ) -> Result<(PredicateKind, Target, String, Option<usize>, f64), ParseError> {
+    fn prob(&mut self) -> Result<(PredicateKind, Target, String, Option<usize>, f64), ParseError> {
         let head = self.advance();
         let predicate = match head.kind {
             TokenKind::ProbNn => PredicateKind::Nn,
@@ -205,9 +204,7 @@ impl Parser {
             }
             let t = self.advance();
             match t.kind {
-                TokenKind::Number(n) if n >= 1.0 && n.fract() == 0.0 => {
-                    rank = Some(n as usize)
-                }
+                TokenKind::Number(n) if n >= 1.0 && n.fract() == 0.0 => rank = Some(n as usize),
                 other => {
                     return Err(ParseError {
                         message: format!("RANK expects a positive integer, found {other}"),
@@ -265,7 +262,15 @@ pub fn parse(src: &str) -> Result<Query, ParseError> {
             });
         }
     }
-    Ok(Query { target, quantifier, window, query_object, predicate, rank, prob_threshold })
+    Ok(Query {
+        target,
+        quantifier,
+        window,
+        query_object,
+        predicate,
+        rank,
+        prob_threshold,
+    })
 }
 
 #[cfg(test)]
@@ -298,10 +303,9 @@ mod tests {
 
     #[test]
     fn parses_uq31_star() {
-        let q = parse(
-            "SELECT * FROM MOD WHERE EXISTS TIME IN [10, 20] AND PROB_NN(*, Tr7, TIME) > 0",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM MOD WHERE EXISTS TIME IN [10, 20] AND PROB_NN(*, Tr7, TIME) > 0")
+                .unwrap();
         assert_eq!(q.target, Target::All);
         assert_eq!(q.query_object, "Tr7");
     }
@@ -368,7 +372,11 @@ mod tests {
                 "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr3, Tr0, TIME) {bad}",
             ))
             .unwrap_err();
-            assert!(err.message.contains("p in [0, 1)"), "{bad}: {}", err.message);
+            assert!(
+                err.message.contains("p in [0, 1)"),
+                "{bad}: {}",
+                err.message
+            );
         }
     }
 
@@ -394,10 +402,9 @@ mod tests {
 
     #[test]
     fn parses_reverse_nn() {
-        let q = parse(
-            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_RNN(*, Tr0, TIME) > 0",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_RNN(*, Tr0, TIME) > 0")
+                .unwrap();
         assert_eq!(q.predicate, PredicateKind::Rnn);
         assert_eq!(q.rank, None);
         let q1 = parse(
@@ -415,7 +422,11 @@ mod tests {
              AND PROB_RNN(Tr2, Tr0, TIME, RANK 2) > 0",
         )
         .unwrap_err();
-        assert!(err.message.contains("does not support RANK"), "{}", err.message);
+        assert!(
+            err.message.contains("does not support RANK"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

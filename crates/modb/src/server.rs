@@ -1,20 +1,23 @@
 //! The MOD server facade: registration, continuous PNN query execution,
 //! SQL-ish statement evaluation, and execution statistics.
 
+use crate::cache::{CacheStats, CachedEngine, EngineCache, EngineKey, EngineKind};
+use crate::plan::{PlanError, PrefilterPolicy, QueryPlanner};
 use crate::ql::ast::{PredicateKind, Quantifier, Query, Target};
 use crate::ql::parser::{parse, ParseError};
 use crate::store::{ModStore, StoreError};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use unn_core::hetero::{HeteroCandidate, HeteroEngine};
+use unn_core::hetero::HeteroEngine;
 use unn_core::ipac::IpacTree;
 use unn_core::query::QueryEngine;
 use unn_core::reverse::ReverseNnEngine;
 use unn_core::topk::{continuous_knn, KnnAnswer};
 use unn_geom::interval::TimeInterval;
-use unn_traj::difference::{difference_distances, DifferenceError};
+use unn_traj::difference::DifferenceError;
 use unn_traj::trajectory::Oid;
-use unn_traj::uncertain::{common_pdf_kind, common_radius, UncertainTrajectory};
+use unn_traj::uncertain::{common_pdf_kind, UncertainTrajectory};
 
 /// Errors raised by [`ModServer`] operations.
 #[derive(Debug)]
@@ -78,19 +81,37 @@ impl From<DifferenceError> for ServerError {
     }
 }
 
+impl From<PlanError> for ServerError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            PlanError::NotEnoughObjects => ServerError::NotEnoughObjects,
+            PlanError::UnknownObject(oid) => ServerError::UnknownObject(oid.to_string()),
+            PlanError::MixedRadii => ServerError::MixedRadii,
+            PlanError::Window(e) => ServerError::Window(e),
+        }
+    }
+}
+
 /// Statistics of one query execution.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecutionStats {
     /// Number of candidate objects considered (MOD size minus the query).
     pub candidates: usize,
+    /// Candidates surviving the coarse prefilter (the set handed to
+    /// envelope construction; equals `candidates` on the exhaustive
+    /// path).
+    pub prefiltered: usize,
     /// Candidates surviving the `4r`-band pruning.
     pub kept: usize,
     /// Pieces of the level-1 lower envelope.
     pub envelope_pieces: usize,
-    /// Wall-clock time of the preprocessing (envelope + pruning).
+    /// Wall-clock time of the preprocessing (planning + envelope +
+    /// pruning; near zero on a cache hit).
     pub preprocess: Duration,
     /// Wall-clock time of the query proper.
     pub query_time: Duration,
+    /// `true` when the engine came from the epoch-keyed cache.
+    pub cache_hit: bool,
 }
 
 /// Result of executing a statement.
@@ -114,21 +135,67 @@ pub struct ContinuousAnswer {
 }
 
 /// The MOD server: owns the trajectory store and executes continuous
-/// probabilistic NN queries against snapshots of it.
-#[derive(Debug, Default)]
+/// probabilistic NN queries through the shared snapshot → prefilter →
+/// envelope → execute pipeline.
+///
+/// Every query path goes through the [`QueryPlanner`] (which takes the
+/// `Arc`-shared [`crate::snapshot::QuerySnapshot`] and runs the
+/// configured [`PrefilterPolicy`]) and the epoch-keyed [`EngineCache`]
+/// (which reuses envelope/IPAC preprocessing while the store is
+/// unchanged). Prefiltered and cached execution is the **default** and
+/// produces answers identical to the exhaustive path; see the
+/// crate-level docs for the invalidation contract.
+#[derive(Debug)]
 pub struct ModServer {
     store: ModStore,
+    planner: QueryPlanner,
+    cache: EngineCache,
+}
+
+impl Default for ModServer {
+    fn default() -> Self {
+        ModServer {
+            store: ModStore::new(),
+            planner: QueryPlanner::default(),
+            cache: EngineCache::with_capacity(128),
+        }
+    }
 }
 
 impl ModServer {
-    /// A server with an empty MOD.
+    /// A server with an empty MOD, the default prefilter policy, and an
+    /// engine cache.
     pub fn new() -> Self {
         ModServer::default()
+    }
+
+    /// A server using `policy` for candidate prefiltering.
+    pub fn with_policy(policy: PrefilterPolicy) -> Self {
+        ModServer {
+            planner: QueryPlanner::new(policy),
+            ..ModServer::default()
+        }
     }
 
     /// The underlying store.
     pub fn store(&self) -> &ModStore {
         &self.store
+    }
+
+    /// The active prefilter policy.
+    pub fn prefilter_policy(&self) -> PrefilterPolicy {
+        self.planner.policy()
+    }
+
+    /// Changes the prefilter policy (cached engines stay valid — every
+    /// policy produces identical answers).
+    pub fn set_prefilter_policy(&mut self, policy: PrefilterPolicy) {
+        self.planner = QueryPlanner::new(policy);
+    }
+
+    /// Engine-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Registers one trajectory.
@@ -146,7 +213,10 @@ impl ModServer {
 
     /// Resolves an object name (`Tr5`, `tr5`, or plain `5`) to an id.
     pub fn resolve(&self, name: &str) -> Result<Oid, ServerError> {
-        let digits = name.trim_start_matches("Tr").trim_start_matches("tr").trim_start_matches("TR");
+        let digits = name
+            .trim_start_matches("Tr")
+            .trim_start_matches("tr")
+            .trim_start_matches("TR");
         let id: u64 = digits
             .parse()
             .map_err(|_| ServerError::UnknownObject(name.to_string()))?;
@@ -158,92 +228,75 @@ impl ModServer {
         }
     }
 
-    /// Builds the query engine (envelope preprocessing) for a query
-    /// trajectory over a window, returning it with the statistics.
+    /// Builds (or fetches from the epoch-keyed cache) the query engine
+    /// for a query trajectory over a window, returning it with the
+    /// statistics. Uses the server's default prefilter policy; answers
+    /// are identical to the exhaustive path.
     pub fn engine(
         &self,
         query_oid: Oid,
         window: TimeInterval,
-    ) -> Result<(QueryEngine, ExecutionStats), ServerError> {
-        let snapshot = self.store.snapshot();
-        if snapshot.len() < 2 {
-            return Err(ServerError::NotEnoughObjects);
-        }
-        if !self.store.contains(query_oid) {
-            return Err(ServerError::UnknownObject(query_oid.to_string()));
-        }
-        let radius = common_radius(&snapshot).map_err(|_| ServerError::MixedRadii)?;
-        let query_tr = snapshot
-            .iter()
-            .find(|t| t.oid() == query_oid)
-            .expect("checked above")
-            .trajectory()
-            .clone();
-        let trajectories: Vec<_> =
-            snapshot.iter().map(|t| t.trajectory().clone()).collect();
+    ) -> Result<(Arc<QueryEngine>, ExecutionStats), ServerError> {
+        self.engine_with_policy(query_oid, window, self.planner.policy())
+    }
+
+    /// Like [`ModServer::engine`] with an explicit prefilter policy for
+    /// this call (the k-NN path uses [`PrefilterPolicy::Exhaustive`];
+    /// benches ablate scan vs grid vs R-tree).
+    pub fn engine_with_policy(
+        &self,
+        query_oid: Oid,
+        window: TimeInterval,
+        policy: PrefilterPolicy,
+    ) -> Result<(Arc<QueryEngine>, ExecutionStats), ServerError> {
         let t0 = Instant::now();
-        let fs = difference_distances(&query_tr, &trajectories, &window)?;
-        let engine = QueryEngine::new(query_oid, fs, radius);
-        let preprocess = t0.elapsed();
+        // The cache key depends only on the snapshot epoch, not on the
+        // prefilter's output, so planning (validation + prefilter) runs
+        // inside the build closure: a cache hit skips it entirely. A hit
+        // is sound without re-validating — the same key implies the same
+        // snapshot, query, and window that validated when the entry was
+        // built.
+        let snapshot = self.store.snapshot();
+        let key = EngineKey::new(
+            snapshot.epoch(),
+            EngineKind::Forward,
+            query_oid,
+            window,
+            policy.tag(),
+        );
+        let (cached, cache_hit) = self.cache.get_or_build(key, || {
+            let plan = QueryPlanner::new(policy)
+                .plan(Arc::clone(&snapshot), query_oid, window)
+                .map_err(ServerError::from)?;
+            plan.build_engine()
+                .map(|e| CachedEngine::Forward(Arc::new(e)))
+                .map_err(ServerError::Window)
+        })?;
+        let engine = cached.forward().expect("forward key holds forward engine");
         let stats = ExecutionStats {
-            candidates: engine.functions().len(),
+            candidates: snapshot.len().saturating_sub(1),
+            prefiltered: engine.functions().len(),
             kept: engine.stats().kept,
             envelope_pieces: engine.envelope().len(),
-            preprocess,
+            preprocess: t0.elapsed(),
             query_time: Duration::ZERO,
+            cache_hit,
         };
         Ok((engine, stats))
     }
 
-    /// Like [`ModServer::engine`], but first discards most of the MOD
-    /// with the conservative epoch-box prefilter
-    /// ([`crate::prefilter::epoch_box_prefilter`]). Produces identical
-    /// query answers (the prefilter provably keeps a superset of the
-    /// exact `4r`-band survivors) while building far fewer difference
-    /// trajectories on large MODs.
+    /// Like [`ModServer::engine`], but forcing the analytic epoch-box
+    /// scan prefilter with the given temporal granularity. Kept as the
+    /// explicit-prefilter entry point; it is a thin wrapper over the
+    /// planner (the old duplicated snapshot/radius/window validation
+    /// lives there now).
     pub fn engine_prefiltered(
         &self,
         query_oid: Oid,
         window: TimeInterval,
         epochs: usize,
-    ) -> Result<(QueryEngine, ExecutionStats), ServerError> {
-        let snapshot = self.store.snapshot();
-        if snapshot.len() < 2 {
-            return Err(ServerError::NotEnoughObjects);
-        }
-        if !self.store.contains(query_oid) {
-            return Err(ServerError::UnknownObject(query_oid.to_string()));
-        }
-        let radius = common_radius(&snapshot).map_err(|_| ServerError::MixedRadii)?;
-        let t0 = Instant::now();
-        let keep = crate::prefilter::epoch_box_prefilter(
-            &snapshot, query_oid, window, radius, epochs,
-        );
-        if keep.is_empty() {
-            return Err(ServerError::NotEnoughObjects);
-        }
-        let query_tr = snapshot
-            .iter()
-            .find(|t| t.oid() == query_oid)
-            .expect("checked above")
-            .trajectory()
-            .clone();
-        let trajectories: Vec<_> = snapshot
-            .iter()
-            .filter(|t| keep.contains(&t.oid()))
-            .map(|t| t.trajectory().clone())
-            .collect();
-        let fs = difference_distances(&query_tr, &trajectories, &window)?;
-        let engine = QueryEngine::new(query_oid, fs, radius);
-        let preprocess = t0.elapsed();
-        let stats = ExecutionStats {
-            candidates: engine.functions().len(),
-            kept: engine.stats().kept,
-            envelope_pieces: engine.envelope().len(),
-            preprocess,
-            query_time: Duration::ZERO,
-        };
-        Ok((engine, stats))
+    ) -> Result<(Arc<QueryEngine>, ExecutionStats), ServerError> {
+        self.engine_with_policy(query_oid, window, PrefilterPolicy::Scan { epochs })
     }
 
     /// Runs the continuous (crisp) NN query of §1, returning the
@@ -302,11 +355,24 @@ impl ModServer {
                     (Quantifier::Forall, None) => engine.uq12_always(oid),
                     (Quantifier::Forall, Some(k)) => engine.uq22_always(oid, k),
                     (Quantifier::AtLeast(x), None) => engine.uq13_at_least(oid, *x),
-                    (Quantifier::AtLeast(x), Some(k)) => {
-                        engine.uq23_at_least(oid, k, *x)
-                    }
+                    (Quantifier::AtLeast(x), Some(k)) => engine.uq23_at_least(oid, k, *x),
                     (Quantifier::At(t), None) => engine.uq1_at(oid, *t),
                     (Quantifier::At(t), Some(k)) => engine.uq2_at(oid, k, *t),
+                };
+                // The engine only knows prefilter survivors; an object
+                // that is registered but was conservatively filtered out
+                // is provably outside the 4r band throughout the window —
+                // its in-band fraction is exactly zero. Evaluate each
+                // quantifier at fraction zero so the answer matches what
+                // the exhaustive engine returns for the same object
+                // (notably `ATLEAST x` holds at x = 0).
+                let answer = match answer {
+                    Some(b) => Some(b),
+                    None if oid != q_oid => Some(match &query.quantifier {
+                        Quantifier::AtLeast(x) => 1e-12 >= *x,
+                        _ => false,
+                    }),
+                    None => None,
                 };
                 answer
                     .map(QueryOutput::Boolean)
@@ -377,72 +443,76 @@ impl ModServer {
         Ok(out)
     }
 
-    /// Builds the full reverse-NN engine (every candidate's perspective
-    /// envelope) for `query_oid` over the window — the `O(N² log N)`
-    /// structure behind the `PROB_RNN` statements.
+    /// Builds (or fetches from the cache) the full reverse-NN engine
+    /// (every candidate's perspective envelope) for `query_oid` over the
+    /// window — the `O(N² log N)` structure behind the `PROB_RNN`
+    /// statements. Always planned exhaustively: every perspective object
+    /// needs its envelope over the whole MOD.
     pub fn reverse_engine(
         &self,
         query_oid: Oid,
         window: TimeInterval,
-    ) -> Result<ReverseNnEngine, ServerError> {
+    ) -> Result<Arc<ReverseNnEngine>, ServerError> {
         let snapshot = self.store.snapshot();
-        if snapshot.len() < 2 {
-            return Err(ServerError::NotEnoughObjects);
-        }
-        if !self.store.contains(query_oid) {
-            return Err(ServerError::UnknownObject(query_oid.to_string()));
-        }
-        let radius = common_radius(&snapshot).map_err(|_| ServerError::MixedRadii)?;
-        let trajectories: Vec<_> =
-            snapshot.iter().map(|t| t.trajectory().clone()).collect();
-        ReverseNnEngine::new(&trajectories, query_oid, window, radius)
-            .map_err(ServerError::Window)
+        let key = EngineKey::new(
+            snapshot.epoch(),
+            EngineKind::Reverse,
+            query_oid,
+            window,
+            PrefilterPolicy::Exhaustive.tag(),
+        );
+        let (cached, _) = self.cache.get_or_build(key, || {
+            let plan = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+                .plan(Arc::clone(&snapshot), query_oid, window)
+                .map_err(ServerError::from)?;
+            plan.build_reverse_engine()
+                .map(|e| CachedEngine::Reverse(Arc::new(e)))
+                .map_err(ServerError::Window)
+        })?;
+        Ok(cached.reverse().expect("reverse key holds reverse engine"))
     }
 
-    /// Builds the heterogeneous-radii engine (the §7 "different
-    /// uncertainty zones" extension) using each registered object's **own**
-    /// radius — the one configuration [`ModServer::engine`] rejects with
-    /// [`ServerError::MixedRadii`].
+    /// Builds (or fetches from the cache) the heterogeneous-radii engine
+    /// (the §7 "different uncertainty zones" extension) using each
+    /// registered object's **own** radius — the one configuration
+    /// [`ModServer::engine`] rejects with [`ServerError::MixedRadii`].
     pub fn hetero_engine(
         &self,
         query_oid: Oid,
         window: TimeInterval,
-    ) -> Result<HeteroEngine, ServerError> {
+    ) -> Result<Arc<HeteroEngine>, ServerError> {
         let snapshot = self.store.snapshot();
-        if snapshot.len() < 2 {
-            return Err(ServerError::NotEnoughObjects);
-        }
-        let query = snapshot
-            .iter()
-            .find(|t| t.oid() == query_oid)
-            .ok_or_else(|| ServerError::UnknownObject(query_oid.to_string()))?;
-        let query_tr = query.trajectory().clone();
-        let query_radius = query.radius();
-        let mut cands = Vec::with_capacity(snapshot.len() - 1);
-        for t in &snapshot {
-            if t.oid() == query_oid {
-                continue;
-            }
-            let f = unn_traj::difference::difference_distance(
-                &query_tr,
-                t.trajectory(),
-                &window,
-            )?;
-            cands.push(HeteroCandidate { f, radius: t.radius() });
-        }
-        Ok(HeteroEngine::new(query_oid, cands, query_radius))
+        let key = EngineKey::new(
+            snapshot.epoch(),
+            EngineKind::Hetero,
+            query_oid,
+            window,
+            PrefilterPolicy::Exhaustive.tag(),
+        );
+        let (cached, _) = self.cache.get_or_build(key, || {
+            let plan = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+                .plan_heterogeneous(Arc::clone(&snapshot), query_oid, window)
+                .map_err(ServerError::from)?;
+            plan.build_hetero_engine()
+                .map(|e| CachedEngine::Hetero(Arc::new(e)))
+                .map_err(ServerError::Window)
+        })?;
+        Ok(cached.hetero().expect("hetero key holds hetero engine"))
     }
 
     /// The crisp continuous k-NN answer for `query_oid` (the §7 Top-k
     /// comparison substrate): a partition of the window into cells with
-    /// the ordered k nearest objects.
+    /// the ordered k nearest objects. Planned exhaustively — crisp rank
+    /// `k` is not bounded by the `4r` band, so the prefilter does not
+    /// apply.
     pub fn knn_answer(
         &self,
         query_oid: Oid,
         window: TimeInterval,
         k: usize,
     ) -> Result<KnnAnswer, ServerError> {
-        let (engine, _) = self.engine(query_oid, window)?;
+        let (engine, _) =
+            self.engine_with_policy(query_oid, window, PrefilterPolicy::Exhaustive)?;
         Ok(continuous_knn(engine.functions(), k))
     }
 
@@ -456,13 +526,12 @@ impl ModServer {
         t: f64,
     ) -> Result<crate::instantaneous::InstantRanking, ServerError> {
         let snapshot = self.store.snapshot();
-        crate::instantaneous::instantaneous_nn(&snapshot, query_oid, t)
-            .map_err(|e| match e {
-                crate::instantaneous::InstantError::UnknownQuery(oid) => {
-                    ServerError::UnknownObject(oid.to_string())
-                }
-                _ => ServerError::NotEnoughObjects,
-            })
+        crate::instantaneous::instantaneous_nn(&snapshot, query_oid, t).map_err(|e| match e {
+            crate::instantaneous::InstantError::UnknownQuery(oid) => {
+                ServerError::UnknownObject(oid.to_string())
+            }
+            _ => ServerError::NotEnoughObjects,
+        })
     }
 
     /// Evaluates a `PROB_RNN` statement: the reverse-NN predicate over the
@@ -477,7 +546,11 @@ impl ModServer {
         use unn_core::threshold::probability_at_with;
         let rev = self.reverse_engine(q_oid, window)?;
         let p = query.prob_threshold;
-        let diff_pdf = if p > 0.0 { Some(self.difference_pdf()?) } else { None };
+        let diff_pdf = if p > 0.0 {
+            Some(self.difference_pdf()?)
+        } else {
+            None
+        };
         // Fraction of the window during which the query may be (p == 0) or
         // probably is (p > 0) `oid`'s nearest neighbor.
         let fraction_of = |oid: Oid| -> Option<f64> {
@@ -511,32 +584,38 @@ impl ModServer {
         };
         let at_hit_of = |oid: Oid, t: f64| -> bool {
             if p == 0.0 {
-                rev.rnn_intervals(oid).map(|iv| iv.covers(t)).unwrap_or(false)
+                rev.rnn_intervals(oid)
+                    .map(|iv| iv.covers(t))
+                    .unwrap_or(false)
             } else {
                 let pdf = diff_pdf.as_ref().expect("built for p > 0");
                 rev.perspective_engines()
                     .find(|(o, _)| *o == oid)
-                    .map(|(_, e)| {
-                        probability_at_with(e, pdf.as_ref(), q_oid, t).unwrap_or(0.0) > p
-                    })
+                    .map(|(_, e)| probability_at_with(e, pdf.as_ref(), q_oid, t).unwrap_or(0.0) > p)
                     .unwrap_or(false)
             }
         };
         match &query.target {
             Target::One(name) => {
                 let oid = self.resolve(name)?;
-                let frac = fraction_of(oid)
-                    .ok_or_else(|| ServerError::UnknownObject(name.clone()))?;
+                let frac =
+                    fraction_of(oid).ok_or_else(|| ServerError::UnknownObject(name.clone()))?;
                 let at_hit = match &query.quantifier {
                     Quantifier::At(t) => at_hit_of(oid, *t),
                     _ => false,
                 };
-                Ok(QueryOutput::Boolean(decide(frac, &query.quantifier, at_hit)))
+                Ok(QueryOutput::Boolean(decide(
+                    frac,
+                    &query.quantifier,
+                    at_hit,
+                )))
             }
             Target::All => {
                 let mut out = Vec::new();
                 for (oid, _) in rev.perspective_engines() {
-                    let Some(frac) = fraction_of(oid) else { continue };
+                    let Some(frac) = fraction_of(oid) else {
+                        continue;
+                    };
                     let at_hit = match &query.quantifier {
                         Quantifier::At(t) => at_hit_of(oid, *t),
                         _ => false,
@@ -586,9 +665,7 @@ impl ModServer {
                 Some(k) => {
                     // Conservative composition: intersect the sampled
                     // threshold fraction with the rank-interval fraction.
-                    let rk = engine
-                        .uq23_fraction(oid, k)
-                        .unwrap_or(0.0);
+                    let rk = engine.uq23_fraction(oid, k).unwrap_or(0.0);
                     base.min(rk)
                 }
             }
@@ -604,9 +681,7 @@ impl ModServer {
                     Quantifier::Forall => fraction_of(oid) >= full,
                     Quantifier::AtLeast(x) => fraction_of(oid) + 1e-12 >= *x,
                     Quantifier::At(t) => {
-                        probability_at_with(engine, diff_pdf.as_ref(), oid, *t)
-                            .unwrap_or(0.0)
-                            > p
+                        probability_at_with(engine, diff_pdf.as_ref(), oid, *t).unwrap_or(0.0) > p
                     }
                 };
                 Ok(QueryOutput::Boolean(ans))
@@ -641,21 +716,22 @@ mod tests {
     use unn_traj::trajectory::Trajectory;
 
     fn tr(oid: u64, pts: &[(f64, f64, f64)]) -> UncertainTrajectory {
-        UncertainTrajectory::with_uniform_pdf(
-            Trajectory::from_triples(Oid(oid), pts).unwrap(),
-            0.5,
-        )
-        .unwrap()
+        UncertainTrajectory::with_uniform_pdf(Trajectory::from_triples(Oid(oid), pts).unwrap(), 0.5)
+            .unwrap()
     }
 
     fn server() -> ModServer {
         let s = ModServer::new();
         // Query object 0 moves along the x axis; 1 stays near; 2 dips in
         // mid-window; 3 is far away.
-        s.register(tr(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)])).unwrap();
-        s.register(tr(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)])).unwrap();
-        s.register(tr(2, &[(0.0, 8.0, 0.0), (10.0, 2.0, 10.0)])).unwrap();
-        s.register(tr(3, &[(0.0, 30.0, 0.0), (10.0, 30.0, 10.0)])).unwrap();
+        s.register(tr(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]))
+            .unwrap();
+        s.register(tr(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)]))
+            .unwrap();
+        s.register(tr(2, &[(0.0, 8.0, 0.0), (10.0, 2.0, 10.0)]))
+            .unwrap();
+        s.register(tr(3, &[(0.0, 30.0, 0.0), (10.0, 30.0, 10.0)]))
+            .unwrap();
         s
     }
 
@@ -699,7 +775,10 @@ mod tests {
             QueryOutput::Objects(objs) => {
                 let oids: Vec<Oid> = objs.iter().map(|(o, _)| *o).collect();
                 assert!(oids.contains(&Oid(1)));
-                assert!(!oids.contains(&Oid(3)), "far object must be pruned: {objs:?}");
+                assert!(
+                    !oids.contains(&Oid(3)),
+                    "far object must be pruned: {objs:?}"
+                );
                 for (_, frac) in objs {
                     assert!((0.0..=1.0 + 1e-9).contains(&frac));
                 }
@@ -711,7 +790,8 @@ mod tests {
     #[test]
     fn execute_atleast_percent() {
         let s = server();
-        let q = "SELECT * FROM MOD WHERE ATLEAST 90 % OF TIME IN [0, 10] AND PROB_NN(*, Tr0, TIME) > 0";
+        let q =
+            "SELECT * FROM MOD WHERE ATLEAST 90 % OF TIME IN [0, 10] AND PROB_NN(*, Tr0, TIME) > 0";
         match s.execute(q).unwrap() {
             QueryOutput::Objects(objs) => {
                 for (_, frac) in &objs {
@@ -799,20 +879,26 @@ mod tests {
 
     #[test]
     fn gaussian_mod_threshold_statements() {
-        use unn_traj::uncertain::UncertainTrajectory;
         use unn_prob::pdf::PdfKind;
+        use unn_traj::uncertain::UncertainTrajectory;
         let s = ModServer::new();
         let mk = |oid: u64, pts: &[(f64, f64, f64)]| {
             UncertainTrajectory::new(
                 Trajectory::from_triples(Oid(oid), pts).unwrap(),
                 0.5,
-                PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.15 },
+                PdfKind::TruncatedGaussian {
+                    radius: 0.5,
+                    sigma: 0.15,
+                },
             )
             .unwrap()
         };
-        s.register(mk(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)])).unwrap();
-        s.register(mk(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)])).unwrap();
-        s.register(mk(2, &[(0.0, 1.6, 0.0), (10.0, 1.6, 10.0)])).unwrap();
+        s.register(mk(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]))
+            .unwrap();
+        s.register(mk(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)]))
+            .unwrap();
+        s.register(mk(2, &[(0.0, 1.6, 0.0), (10.0, 1.6, 10.0)]))
+            .unwrap();
         // The concentrated Gaussian model leaves Tr1 dominant: its P^NN
         // stays above 90% (under uniform it would be lower because Tr2's
         // diffuse mass competes more).
@@ -822,8 +908,7 @@ mod tests {
         // Mixing pdf kinds is rejected for threshold evaluation.
         s.register(
             UncertainTrajectory::with_uniform_pdf(
-                Trajectory::from_triples(Oid(3), &[(0.0, 5.0, 0.0), (10.0, 5.0, 10.0)])
-                    .unwrap(),
+                Trajectory::from_triples(Oid(3), &[(0.0, 5.0, 0.0), (10.0, 5.0, 10.0)]).unwrap(),
                 0.5,
             )
             .unwrap(),
@@ -913,9 +998,12 @@ mod tests {
             )
             .unwrap()
         };
-        s.register(mk(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)], 0.3)).unwrap();
-        s.register(mk(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)], 0.2)).unwrap();
-        s.register(mk(2, &[(0.0, 9.0, 0.0), (10.0, 9.0, 10.0)], 3.0)).unwrap();
+        s.register(mk(0, &[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)], 0.3))
+            .unwrap();
+        s.register(mk(1, &[(0.0, 1.0, 0.0), (10.0, 1.0, 10.0)], 0.2))
+            .unwrap();
+        s.register(mk(2, &[(0.0, 9.0, 0.0), (10.0, 9.0, 10.0)], 3.0))
+            .unwrap();
         let w = TimeInterval::new(0.0, 10.0);
         // The homogeneous path refuses mixed radii…
         assert!(matches!(s.engine(Oid(0), w), Err(ServerError::MixedRadii)));

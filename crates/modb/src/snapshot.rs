@@ -1,0 +1,173 @@
+//! Epoch-stamped, `Arc`-shared snapshots of the MOD — the first stage of
+//! the snapshot → prefilter → envelope → execute query pipeline.
+//!
+//! A [`QuerySnapshot`] is an immutable view of the store's contents taken
+//! at one mutation epoch. The store hands out the **same** `Arc` until a
+//! mutation bumps the epoch, so concurrent queries share one copy of
+//! every trajectory instead of deep-cloning the MOD per call (the §2.1
+//! "server keeps a copy" made cheap). Derived per-snapshot structures —
+//! the STR R-tree and uniform-grid segment indexes and the per-object
+//! corridor boxes the prefilter consults — are built lazily at most once
+//! per snapshot and shared the same way, which is how the §7 access-method
+//! delegation gets amortized across the §4 query variants.
+
+use crate::index::bbox::Aabb3;
+use crate::index::grid::GridIndex;
+use crate::index::rtree::RTree;
+use crate::index::segment_boxes;
+use std::ops::Deref;
+use std::sync::OnceLock;
+use unn_traj::trajectory::{Oid, Trajectory};
+use unn_traj::uncertain::UncertainTrajectory;
+
+/// An immutable, epoch-stamped view of the MOD's trajectories (ascending
+/// by id), with lazily built per-snapshot index structures.
+#[derive(Debug)]
+pub struct QuerySnapshot {
+    epoch: u64,
+    objects: Vec<UncertainTrajectory>,
+    grid: OnceLock<GridIndex>,
+    rtree: OnceLock<RTree>,
+    full_boxes: OnceLock<Vec<Aabb3>>,
+}
+
+impl QuerySnapshot {
+    /// Wraps the objects (which must be ascending by id) captured at
+    /// `epoch`.
+    pub fn new(epoch: u64, objects: Vec<UncertainTrajectory>) -> Self {
+        debug_assert!(objects.windows(2).all(|w| w[0].oid() < w[1].oid()));
+        QuerySnapshot {
+            epoch,
+            objects,
+            grid: OnceLock::new(),
+            rtree: OnceLock::new(),
+            full_boxes: OnceLock::new(),
+        }
+    }
+
+    /// The store epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The trajectories, ascending by id.
+    pub fn objects(&self) -> &[UncertainTrajectory] {
+        &self.objects
+    }
+
+    /// Position of `oid` in [`QuerySnapshot::objects`].
+    pub fn index_of(&self, oid: Oid) -> Option<usize> {
+        self.objects.binary_search_by_key(&oid, |t| t.oid()).ok()
+    }
+
+    /// The trajectory with the given id.
+    pub fn get(&self, oid: Oid) -> Option<&UncertainTrajectory> {
+        self.index_of(oid).map(|i| &self.objects[i])
+    }
+
+    /// `true` when the id is present.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.index_of(oid).is_some()
+    }
+
+    /// Owned copies of the trajectories (persistence and tests).
+    pub fn to_vec(&self) -> Vec<UncertainTrajectory> {
+        self.objects.clone()
+    }
+
+    /// The uniform-grid segment index over this snapshot, built on first
+    /// use and shared by every query against the same epoch.
+    pub fn grid(&self) -> &GridIndex {
+        self.grid.get_or_init(|| {
+            let boxes = segment_boxes(&self.objects);
+            let cells = boxes.len().max(1);
+            GridIndex::build(boxes, cells)
+        })
+    }
+
+    /// The STR R-tree segment index over this snapshot, built on first
+    /// use and shared by every query against the same epoch.
+    pub fn rtree(&self) -> &RTree {
+        self.rtree
+            .get_or_init(|| RTree::build(segment_boxes(&self.objects)))
+    }
+
+    /// Per-object full-domain corridor boxes (same order as
+    /// [`QuerySnapshot::objects`]): the cheap whole-trajectory bounds the
+    /// indexed prefilter uses to seed its envelope upper bound.
+    pub fn full_boxes(&self) -> &[Aabb3] {
+        self.full_boxes.get_or_init(|| {
+            self.objects
+                .iter()
+                .map(|t| trajectory_box(t.trajectory()))
+                .collect()
+        })
+    }
+}
+
+impl Deref for QuerySnapshot {
+    type Target = [UncertainTrajectory];
+
+    fn deref(&self) -> &[UncertainTrajectory] {
+        &self.objects
+    }
+}
+
+/// The `(x, y, t)` bounding box of a whole trajectory's expected
+/// locations.
+fn trajectory_box(tr: &Trajectory) -> Aabb3 {
+    let mut min = [f64::INFINITY; 3];
+    let mut max = [f64::NEG_INFINITY; 3];
+    for s in tr.samples() {
+        min[0] = min[0].min(s.position.x);
+        min[1] = min[1].min(s.position.y);
+        min[2] = min[2].min(s.time);
+        max[0] = max[0].max(s.position.x);
+        max[1] = max[1].max(s.position.y);
+        max[2] = max[2].max(s.time);
+    }
+    Aabb3::new(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_traj::trajectory::Trajectory;
+
+    fn tr(oid: u64, y: f64) -> UncertainTrajectory {
+        UncertainTrajectory::with_uniform_pdf(
+            Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (10.0, y, 10.0)]).unwrap(),
+            0.5,
+        )
+        .unwrap()
+    }
+
+    fn snapshot() -> QuerySnapshot {
+        QuerySnapshot::new(7, vec![tr(1, 0.0), tr(3, 2.0), tr(9, 5.0)])
+    }
+
+    #[test]
+    fn lookup_and_deref() {
+        let s = snapshot();
+        assert_eq!(s.epoch(), 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of(Oid(3)), Some(1));
+        assert_eq!(s.get(Oid(9)).unwrap().oid(), Oid(9));
+        assert!(!s.contains(Oid(2)));
+        // Deref to a slice keeps the old Vec-shaped call sites working.
+        let oids: Vec<u64> = s.iter().map(|t| t.oid().0).collect();
+        assert_eq!(oids, vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn lazy_indexes_cover_all_objects() {
+        use crate::index::{query_box, SegmentIndex};
+        let s = snapshot();
+        let everything = query_box(-100.0, -100.0, 100.0, 100.0, 0.0, 10.0);
+        assert_eq!(s.grid().query_bbox(&everything).len(), 3);
+        assert_eq!(s.rtree().query_bbox(&everything).len(), 3);
+        assert_eq!(s.full_boxes().len(), 3);
+        // The second call returns the same built structure.
+        assert_eq!(s.grid().entry_count(), s.grid().entry_count());
+    }
+}

@@ -1,11 +1,19 @@
 //! The in-memory MOD store: the server-side collection of uncertain
 //! trajectories (§2.1: the server "keeps a copy ... for query
 //! processing").
+//!
+//! Mutations bump a monotonic epoch; [`ModStore::snapshot`] hands out an
+//! `Arc`-shared, epoch-stamped [`QuerySnapshot`] that is reused until the
+//! next mutation, so query execution never deep-clones the MOD. The
+//! epoch is also the invalidation key for every derived structure (the
+//! per-snapshot segment indexes and the engine cache): a structure built
+//! from epoch `e` is valid exactly while `store.epoch() == e`.
 
-use parking_lot::RwLock;
+use crate::snapshot::QuerySnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use unn_traj::trajectory::Oid;
 use unn_traj::uncertain::UncertainTrajectory;
 
@@ -37,6 +45,8 @@ impl std::error::Error for StoreError {}
 pub struct ModStore {
     inner: RwLock<BTreeMap<Oid, UncertainTrajectory>>,
     epoch: AtomicU64,
+    /// The snapshot most recently built, reused while its epoch matches.
+    cached: RwLock<Option<Arc<QuerySnapshot>>>,
 }
 
 impl ModStore {
@@ -47,13 +57,14 @@ impl ModStore {
 
     /// Inserts a trajectory; fails on duplicate ids.
     pub fn insert(&self, tr: UncertainTrajectory) -> Result<(), StoreError> {
-        let mut g = self.inner.write();
+        let mut g = self.inner.write().unwrap();
         let oid = tr.oid();
         if g.contains_key(&oid) {
             return Err(StoreError::DuplicateOid(oid));
         }
         g.insert(oid, tr);
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+        *self.cached.write().unwrap() = None;
         Ok(())
     }
 
@@ -62,7 +73,7 @@ impl ModStore {
         &self,
         trs: I,
     ) -> Result<usize, StoreError> {
-        let mut g = self.inner.write();
+        let mut g = self.inner.write().unwrap();
         let items: Vec<UncertainTrajectory> = trs.into_iter().collect();
         for tr in &items {
             if g.contains_key(&tr.oid()) {
@@ -73,57 +84,86 @@ impl ModStore {
         for tr in items {
             g.insert(tr.oid(), tr);
         }
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+        *self.cached.write().unwrap() = None;
         Ok(n)
     }
 
     /// Removes a trajectory.
     pub fn remove(&self, oid: Oid) -> Result<UncertainTrajectory, StoreError> {
-        let mut g = self.inner.write();
+        let mut g = self.inner.write().unwrap();
         let out = g.remove(&oid).ok_or(StoreError::NotFound(oid))?;
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+        *self.cached.write().unwrap() = None;
         Ok(out)
     }
 
     /// Clones the trajectory with the given id.
     pub fn get(&self, oid: Oid) -> Option<UncertainTrajectory> {
-        self.inner.read().get(&oid).cloned()
+        self.inner.read().unwrap().get(&oid).cloned()
     }
 
     /// `true` when the id is present.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.inner.read().contains_key(&oid)
+        self.inner.read().unwrap().contains_key(&oid)
     }
 
     /// Number of stored trajectories.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().unwrap().len()
     }
 
     /// `true` when the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().unwrap().is_empty()
     }
 
     /// All ids, ascending.
     pub fn oids(&self) -> Vec<Oid> {
-        self.inner.read().keys().copied().collect()
+        self.inner.read().unwrap().keys().copied().collect()
     }
 
-    /// A consistent snapshot of all trajectories, ascending by id.
-    pub fn snapshot(&self) -> Vec<UncertainTrajectory> {
-        self.inner.read().values().cloned().collect()
+    /// An `Arc`-shared, epoch-stamped snapshot of the MOD, ascending by
+    /// id.
+    ///
+    /// The same snapshot is returned until a mutation bumps the epoch, so
+    /// repeated queries against an unchanged store share one copy of the
+    /// trajectories and of every lazily built per-snapshot index.
+    pub fn snapshot(&self) -> Arc<QuerySnapshot> {
+        if let Some(s) = self.cached.read().unwrap().as_ref() {
+            if s.epoch() == self.epoch.load(Ordering::Acquire) {
+                return Arc::clone(s);
+            }
+        }
+        // (Re)build from the live contents. The epoch is read while the
+        // content lock is held, so it is consistent with the copy.
+        let snap = {
+            let g = self.inner.read().unwrap();
+            let epoch = self.epoch.load(Ordering::Acquire);
+            Arc::new(QuerySnapshot::new(epoch, g.values().cloned().collect()))
+        };
+        let mut cached = self.cached.write().unwrap();
+        match cached.as_ref() {
+            // Never replace a newer snapshot with an older rebuild.
+            Some(existing) if existing.epoch() >= snap.epoch() => Arc::clone(existing),
+            _ => {
+                *cached = Some(Arc::clone(&snap));
+                snap
+            }
+        }
     }
 
     /// Monotonic mutation counter.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Removes everything.
     pub fn clear(&self) {
-        self.inner.write().clear();
-        self.epoch.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.inner.write().unwrap();
+        g.clear();
+        self.epoch.fetch_add(1, Ordering::Release);
+        *self.cached.write().unwrap() = None;
     }
 }
 
@@ -134,8 +174,7 @@ mod tests {
 
     fn tr(oid: u64) -> UncertainTrajectory {
         UncertainTrajectory::with_uniform_pdf(
-            Trajectory::from_triples(Oid(oid), &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
-                .unwrap(),
+            Trajectory::from_triples(Oid(oid), &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap(),
             0.5,
         )
         .unwrap()
@@ -192,5 +231,29 @@ mod tests {
         let oids: Vec<u64> = snap.iter().map(|t| t.oid().0).collect();
         assert_eq!(oids, vec![2, 5, 9]);
         assert_eq!(s.oids(), vec![Oid(2), Oid(5), Oid(9)]);
+    }
+
+    #[test]
+    fn snapshot_is_shared_until_mutation() {
+        let s = ModStore::new();
+        s.insert(tr(1)).unwrap();
+        s.insert(tr(2)).unwrap();
+        let a = s.snapshot();
+        let b = s.snapshot();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "unchanged store must share the snapshot"
+        );
+        assert_eq!(a.epoch(), s.epoch());
+        s.insert(tr(3)).unwrap();
+        let c = s.snapshot();
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "mutation must invalidate the snapshot"
+        );
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.epoch(), s.epoch());
+        // The old snapshot still reads consistently at its own epoch.
+        assert_eq!(a.len(), 2);
     }
 }

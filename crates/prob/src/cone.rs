@@ -35,8 +35,14 @@ impl ConePdf {
     ///
     /// Panics when `r` is non-positive or not finite.
     pub fn new(r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "cone pdf requires positive r, got {r}");
-        ConePdf { r, peak: 3.0 / (4.0 * r * r * PI) }
+        assert!(
+            r.is_finite() && r > 0.0,
+            "cone pdf requires positive r, got {r}"
+        );
+        ConePdf {
+            r,
+            peak: 3.0 / (4.0 * r * r * PI),
+        }
     }
 
     /// The original uniform-disk radius `r` (the support radius is `2r`).
@@ -91,8 +97,16 @@ impl RadialPdf for ConePdf {
                 lo = s;
             }
             let dens = self.density(s) * 2.0 * PI * s;
-            let next = if dens > 1e-12 { s - m / dens } else { 0.5 * (lo + hi) };
-            s = if next > lo && next < hi { next } else { 0.5 * (lo + hi) };
+            let next = if dens > 1e-12 {
+                s - m / dens
+            } else {
+                0.5 * (lo + hi)
+            };
+            s = if next > lo && next < hi {
+                next
+            } else {
+                0.5 * (lo + hi)
+            };
         }
         let theta: f64 = rng.random_range(0.0..(2.0 * PI));
         Vec2::new(s * theta.cos(), s * theta.sin())

@@ -35,9 +35,17 @@ impl NumericRadialPdf {
     /// not positive.
     pub fn from_samples(support: f64, vals: Vec<f64>) -> Self {
         assert!(vals.len() >= 2, "need at least two radial samples");
-        assert!(support > 0.0 && support.is_finite(), "invalid support {support}");
+        assert!(
+            support > 0.0 && support.is_finite(),
+            "invalid support {support}"
+        );
         let step = support / (vals.len() - 1) as f64;
-        let mut pdf = NumericRadialPdf { support, step, vals, bound: 0.0 };
+        let mut pdf = NumericRadialPdf {
+            support,
+            step,
+            vals,
+            bound: 0.0,
+        };
         // Normalize: total mass = ∫ density(s) 2π s ds via trapezoids on
         // the sample grid (consistent with the interpolation rule).
         let mass = pdf.grid_mass(pdf.vals.len() - 1);

@@ -194,7 +194,10 @@ mod tests {
         let (p, ds) = setup();
         let cands: Vec<NnCandidate> = ds
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &p,
+            })
             .collect();
         let engine = DiscretizedNn::new(&cands, 8);
         let total: f64 = engine.exclusive().iter().sum();
@@ -207,7 +210,10 @@ mod tests {
         let (p, ds) = setup();
         let cands: Vec<NnCandidate> = ds
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &p,
+            })
             .collect();
         let engine = DiscretizedNn::new(&cands, 8);
         let t1 = engine.total_mass(1);
@@ -227,7 +233,10 @@ mod tests {
         let (p, ds) = setup();
         let cands: Vec<NnCandidate> = ds
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &p,
+            })
             .collect();
         let coarse = DiscretizedNn::new(&cands, 8).total_mass(1);
         let fine = DiscretizedNn::new(&cands, 256).total_mass(1);
@@ -243,7 +252,10 @@ mod tests {
         let (p, ds) = setup();
         let cands: Vec<NnCandidate> = ds
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &p })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &p,
+            })
             .collect();
         let excl = DiscretizedNn::new(&cands, 128).exclusive();
         for w in excl.windows(2) {

@@ -111,8 +111,7 @@ impl RadialPdf for DiskDifferencePdf {
         if s < 0.0 || s >= self.r1 + self.r2 {
             0.0
         } else {
-            lens_area(s, self.r1, self.r2)
-                / ((PI * self.r1 * self.r1) * (PI * self.r2 * self.r2))
+            lens_area(s, self.r1, self.r2) / ((PI * self.r1 * self.r1) * (PI * self.r2 * self.r2))
         }
     }
 

@@ -34,7 +34,12 @@ impl TruncatedGaussianPdf {
         );
         let inside_mass = 1.0 - (-radius * radius / (2.0 * sigma * sigma)).exp();
         let norm = 1.0 / (2.0 * PI * sigma * sigma * inside_mass);
-        TruncatedGaussianPdf { radius, sigma, norm, inside_mass }
+        TruncatedGaussianPdf {
+            radius,
+            sigma,
+            norm,
+            inside_mass,
+        }
     }
 
     /// The truncation radius.

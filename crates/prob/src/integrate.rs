@@ -11,13 +11,7 @@
 ///
 /// `tol` is the absolute tolerance; recursion is capped at `max_depth`
 /// levels (each level halves the panel), so the worst-case cost is bounded.
-pub fn adaptive_simpson<F: Fn(f64) -> f64>(
-    f: &F,
-    a: f64,
-    b: f64,
-    tol: f64,
-    max_depth: u32,
-) -> f64 {
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64, max_depth: u32) -> f64 {
     if a == b {
         return 0.0;
     }
@@ -98,8 +92,7 @@ impl GaussLegendre {
                 let mut pn = if n == 1 { p1 } else { 0.0 };
                 if n >= 2 {
                     for k in 2..=n {
-                        let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0)
-                            / k as f64;
+                        let pk = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
                         p0 = p1;
                         p1 = pk;
                     }

@@ -52,9 +52,18 @@ mod tests {
     fn monte_carlo_matches_analytic() {
         let p = UniformDiskPdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 2.0, pdf: &p },
-            NnCandidate { center_distance: 2.5, pdf: &p },
-            NnCandidate { center_distance: 3.2, pdf: &p },
+            NnCandidate {
+                center_distance: 2.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 2.5,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.2,
+                pdf: &p,
+            },
         ];
         let analytic = nn_probabilities(&cands, NnConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
@@ -68,8 +77,14 @@ mod tests {
     fn monte_carlo_probabilities_sum_to_one() {
         let p = UniformDiskPdf::new(0.5);
         let cands = [
-            NnCandidate { center_distance: 1.0, pdf: &p },
-            NnCandidate { center_distance: 1.1, pdf: &p },
+            NnCandidate {
+                center_distance: 1.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 1.1,
+                pdf: &p,
+            },
         ];
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mc = monte_carlo_nn_probabilities(&cands, 10_000, &mut rng);

@@ -16,9 +16,7 @@
 
 use crate::integrate::GaussLegendre;
 use crate::pdf::RadialPdf;
-use crate::within_distance::{
-    distance_bounds, within_distance_auto, within_distance_density_auto,
-};
+use crate::within_distance::{distance_bounds, within_distance_auto, within_distance_density_auto};
 
 /// One NN candidate: a rotationally symmetric pdf centered `center_distance`
 /// away from the crisp query point.
@@ -39,7 +37,9 @@ pub struct NnConfig {
 
 impl Default for NnConfig {
     fn default() -> Self {
-        NnConfig { points_per_segment: 32 }
+        NnConfig {
+            points_per_segment: 32,
+        }
     }
 }
 
@@ -67,10 +67,7 @@ pub fn nn_probabilities(cands: &[NnCandidate<'_>], cfg: NnConfig) -> Vec<f64> {
         .collect();
     // Global R_max: the farthest point of the *closest* disk bounds every
     // possible NN distance (§2.2-I).
-    let global_rmax = bounds
-        .iter()
-        .map(|b| b.1)
-        .fold(f64::INFINITY, f64::min);
+    let global_rmax = bounds.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
     // Segment boundaries: the sorted R_min_i values (only those below
     // R_max matter) plus the bracket ends.
     let mut cuts: Vec<f64> = bounds
@@ -186,7 +183,10 @@ mod tests {
     fn empty_and_singleton() {
         assert!(nn_probabilities(&[], NnConfig::default()).is_empty());
         let p = UniformDiskPdf::new(1.0);
-        let c = [NnCandidate { center_distance: 5.0, pdf: &p }];
+        let c = [NnCandidate {
+            center_distance: 5.0,
+            pdf: &p,
+        }];
         assert_eq!(nn_probabilities(&c, NnConfig::default()), vec![1.0]);
     }
 
@@ -194,10 +194,22 @@ mod tests {
     fn probabilities_sum_to_one() {
         let p = UniformDiskPdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 2.0, pdf: &p },
-            NnCandidate { center_distance: 2.5, pdf: &p },
-            NnCandidate { center_distance: 3.0, pdf: &p },
-            NnCandidate { center_distance: 3.5, pdf: &p },
+            NnCandidate {
+                center_distance: 2.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 2.5,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.5,
+                pdf: &p,
+            },
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         let total: f64 = probs.iter().sum();
@@ -209,9 +221,18 @@ mod tests {
         // Lemma 1: equal rotationally symmetric pdfs => closer center wins.
         let p = ConePdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 2.0, pdf: &p },
-            NnCandidate { center_distance: 2.6, pdf: &p },
-            NnCandidate { center_distance: 3.4, pdf: &p },
+            NnCandidate {
+                center_distance: 2.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 2.6,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.4,
+                pdf: &p,
+            },
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         assert!(probs[0] > probs[1], "{probs:?}");
@@ -223,8 +244,14 @@ mod tests {
         // R_min_4 > R_max_1 (Figure 4): far object has zero probability.
         let p = UniformDiskPdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 2.0, pdf: &p }, // R_max = 3
-            NnCandidate { center_distance: 10.0, pdf: &p }, // R_min = 9 > 3
+            NnCandidate {
+                center_distance: 2.0,
+                pdf: &p,
+            }, // R_max = 3
+            NnCandidate {
+                center_distance: 10.0,
+                pdf: &p,
+            }, // R_min = 9 > 3
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         assert!(probs[0] > 0.999, "{probs:?}");
@@ -235,9 +262,18 @@ mod tests {
     fn equidistant_candidates_split_evenly() {
         let p = UniformDiskPdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 3.0, pdf: &p },
-            NnCandidate { center_distance: 3.0, pdf: &p },
-            NnCandidate { center_distance: 3.0, pdf: &p },
+            NnCandidate {
+                center_distance: 3.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 3.0,
+                pdf: &p,
+            },
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         for &p in &probs {
@@ -250,9 +286,18 @@ mod tests {
         let p = UniformDiskPdf::new(1.0);
         let q = ConePdf::new(0.7);
         let cands = [
-            NnCandidate { center_distance: 2.0, pdf: &p },
-            NnCandidate { center_distance: 2.4, pdf: &q },
-            NnCandidate { center_distance: 3.1, pdf: &p },
+            NnCandidate {
+                center_distance: 2.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 2.4,
+                pdf: &q,
+            },
+            NnCandidate {
+                center_distance: 3.1,
+                pdf: &p,
+            },
         ];
         let fast = nn_probabilities(&cands, NnConfig::default());
         let naive = nn_probabilities_naive(&cands, 4000);
@@ -267,8 +312,14 @@ mod tests {
         // likely (but not certain) to be the NN against a farther one.
         let p = UniformDiskPdf::new(1.0);
         let cands = [
-            NnCandidate { center_distance: 0.0, pdf: &p },
-            NnCandidate { center_distance: 1.5, pdf: &p },
+            NnCandidate {
+                center_distance: 0.0,
+                pdf: &p,
+            },
+            NnCandidate {
+                center_distance: 1.5,
+                pdf: &p,
+            },
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         assert!(probs[0] > 0.8, "{probs:?}");

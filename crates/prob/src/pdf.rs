@@ -163,7 +163,11 @@ mod tests {
     fn pdf_kind_support_radius() {
         assert_eq!(PdfKind::Uniform { radius: 2.0 }.support_radius(), 2.0);
         assert_eq!(
-            PdfKind::TruncatedGaussian { radius: 3.0, sigma: 1.0 }.support_radius(),
+            PdfKind::TruncatedGaussian {
+                radius: 3.0,
+                sigma: 1.0
+            }
+            .support_radius(),
             3.0
         );
     }
@@ -172,7 +176,10 @@ mod tests {
     fn build_produces_normalized_pdfs() {
         for kind in [
             PdfKind::Uniform { radius: 1.5 },
-            PdfKind::TruncatedGaussian { radius: 1.5, sigma: 0.5 },
+            PdfKind::TruncatedGaussian {
+                radius: 1.5,
+                sigma: 0.5,
+            },
         ] {
             let pdf = kind.build();
             let mass = total_mass(pdf.as_ref());

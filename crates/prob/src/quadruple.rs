@@ -91,11 +91,7 @@ pub fn within_distance_quadruple(
 /// The convolution-route evaluation of the same probability: `P^WD` of
 /// the convolved difference pdf at the center distance (§3.1's
 /// transformation, one double integral instead of four).
-pub fn within_distance_convolved(
-    diff_pdf: &dyn RadialPdf,
-    center_distance: f64,
-    rd: f64,
-) -> f64 {
+pub fn within_distance_convolved(diff_pdf: &dyn RadialPdf, center_distance: f64, rd: f64) -> f64 {
     within_distance_auto(diff_pdf, center_distance, rd)
 }
 
@@ -141,7 +137,10 @@ mod tests {
 
     #[test]
     fn quadruple_equals_convolution_for_gaussians() {
-        let kind = PdfKind::TruncatedGaussian { radius: 1.0, sigma: 0.4 };
+        let kind = PdfKind::TruncatedGaussian {
+            radius: 1.0,
+            sigma: 0.4,
+        };
         let pdf = kind.build();
         let diff = kind.convolve_with(&kind);
         for (d, rd) in [(4.0, 3.5), (2.5, 2.0)] {
@@ -197,7 +196,10 @@ mod tests {
             let v = within_distance_quadruple(&pdf, &pdf, 4.0, 3.5, order);
             let err = (v - exact).abs();
             // Allow small non-monotonic wiggles near machine precision.
-            assert!(err <= prev_err + 5e-3, "order {order}: err {err} (prev {prev_err})");
+            assert!(
+                err <= prev_err + 5e-3,
+                "order {order}: err {err} (prev {prev_err})"
+            );
             prev_err = err;
         }
         assert!(prev_err < 1e-3, "final error {prev_err}");

@@ -23,7 +23,10 @@ impl UniformDiskPdf {
             radius.is_finite() && radius > 0.0,
             "uniform pdf requires a positive radius, got {radius}"
         );
-        UniformDiskPdf { radius, density: 1.0 / (PI * radius * radius) }
+        UniformDiskPdf {
+            radius,
+            density: 1.0 / (PI * radius * radius),
+        }
     }
 
     /// The disk radius.

@@ -49,7 +49,10 @@ impl UniformDifferencePdf {
     ///
     /// Panics when `r` is non-positive or not finite.
     pub fn new(r: f64) -> Self {
-        assert!(r.is_finite() && r > 0.0, "difference pdf requires positive r, got {r}");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "difference pdf requires positive r, got {r}"
+        );
         let norm = (PI * r * r) * (PI * r * r);
         let density = |s: f64| -> f64 {
             if s >= 2.0 * r {

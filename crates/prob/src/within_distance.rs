@@ -28,7 +28,10 @@ use unn_geom::circle::lens_area;
 /// modifications" footnote of §2.2) for free: the lens area is valid for
 /// any configuration.
 pub fn uniform_within_distance(d: f64, r: f64, rd: f64) -> f64 {
-    assert!(d >= 0.0 && r > 0.0 && rd >= 0.0, "invalid arguments d={d} r={r} rd={rd}");
+    assert!(
+        d >= 0.0 && r > 0.0 && rd >= 0.0,
+        "invalid arguments d={d} r={r} rd={rd}"
+    );
     lens_area(d, rd, r) / (PI * r * r)
 }
 
@@ -150,7 +153,10 @@ pub fn within_distance_density(pdf: &dyn RadialPdf, d: f64, rd: f64) -> f64 {
 ///
 /// with the degenerate cases handled explicitly.
 pub fn uniform_within_distance_density(d: f64, r: f64, rd: f64) -> f64 {
-    assert!(d >= 0.0 && r > 0.0 && rd >= 0.0, "invalid arguments d={d} r={r} rd={rd}");
+    assert!(
+        d >= 0.0 && r > 0.0 && rd >= 0.0,
+        "invalid arguments d={d} r={r} rd={rd}"
+    );
     if rd == 0.0 || (rd - d).abs() >= r {
         return 0.0;
     }
@@ -163,7 +169,9 @@ pub fn uniform_within_distance_density(d: f64, r: f64, rd: f64) -> f64 {
             0.0
         }
     } else {
-        ((d * d + rd * rd - r * r) / (2.0 * d * rd)).clamp(-1.0, 1.0).acos()
+        ((d * d + rd * rd - r * r) / (2.0 * d * rd))
+            .clamp(-1.0, 1.0)
+            .acos()
     };
     2.0 * rd * alpha / (PI * r * r)
 }
@@ -323,12 +331,10 @@ mod tests {
         let cone = ConePdf::new(1.0);
         for (d, rd) in [(2.0, 1.5), (0.5, 1.0), (4.0, 4.5)] {
             assert!(
-                (within_distance_auto(&uni, d, rd) - within_distance(&uni, d, rd)).abs()
-                    < 1e-6
+                (within_distance_auto(&uni, d, rd) - within_distance(&uni, d, rd)).abs() < 1e-6
             );
             assert!(
-                (within_distance_auto(&cone, d, rd) - within_distance(&cone, d, rd)).abs()
-                    < 1e-12
+                (within_distance_auto(&cone, d, rd) - within_distance(&cone, d, rd)).abs() < 1e-12
             );
         }
     }

@@ -79,8 +79,12 @@ pub fn difference_distance(
         let mid = span.midpoint();
         // Velocities are constant on the elementary segment; sample them at
         // its midpoint to avoid boundary ambiguity.
-        let vq = query.velocity_at(mid).expect("window checked against domain");
-        let vi = other.velocity_at(mid).expect("window checked against domain");
+        let vq = query
+            .velocity_at(mid)
+            .expect("window checked against domain");
+        let vi = other
+            .velocity_at(mid)
+            .expect("window checked against domain");
         let pq = query.position_at(span.start()).expect("window checked");
         let pi = other.position_at(span.start()).expect("window checked");
         let rel_p0 = pi - pq;
@@ -90,8 +94,7 @@ pub fn difference_distance(
             hyperbola: Hyperbola::from_relative_motion(rel_p0, rel_v, span.start()),
         });
     }
-    DistanceFunction::new(other.oid(), pieces)
-        .map_err(|_| DifferenceError::DegenerateWindow)
+    DistanceFunction::new(other.oid(), pieces).map_err(|_| DifferenceError::DegenerateWindow)
 }
 
 /// Builds the distance functions of all trajectories in `others` relative
@@ -101,14 +104,50 @@ pub fn difference_distances(
     others: &[Trajectory],
     window: &TimeInterval,
 ) -> Result<Vec<DistanceFunction>, DifferenceError> {
-    let mut out = Vec::with_capacity(others.len());
-    for tr in others {
+    difference_distances_refs(query, others.iter(), window)
+}
+
+/// Like [`difference_distances`], but over borrowed trajectories — the
+/// entry point the query pipeline uses so candidate sets can be built
+/// straight from a shared snapshot without cloning any trajectory.
+pub fn difference_distances_refs<'a, I>(
+    query: &Trajectory,
+    others: I,
+    window: &TimeInterval,
+) -> Result<Vec<DistanceFunction>, DifferenceError>
+where
+    I: IntoIterator<Item = &'a Trajectory>,
+{
+    let iter = others.into_iter();
+    let mut out = Vec::with_capacity(iter.size_hint().0);
+    for tr in iter {
         if tr.oid() == query.oid() {
             continue;
         }
         out.push(difference_distance(query, tr, window)?);
     }
     Ok(out)
+}
+
+/// Parallel variant of [`difference_distances_refs`]: the per-candidate
+/// hyperbola-piece construction is embarrassingly parallel, so candidates
+/// are mapped through [`crate::par::par_map`] (small inputs and
+/// single-core hosts fall back to the sequential path). The output order
+/// matches the input order exactly, so answers are bit-identical to the
+/// sequential construction.
+pub fn difference_distances_par(
+    query: &Trajectory,
+    others: &[&Trajectory],
+    window: &TimeInterval,
+) -> Result<Vec<DistanceFunction>, DifferenceError> {
+    let cands: Vec<&Trajectory> = others
+        .iter()
+        .copied()
+        .filter(|t| t.oid() != query.oid())
+        .collect();
+    crate::par::par_map(&cands, 64, |tr| difference_distance(query, tr, window))
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

@@ -47,7 +47,10 @@ impl fmt::Display for DistanceFunctionError {
         match self {
             DistanceFunctionError::Empty => write!(f, "distance function has no pieces"),
             DistanceFunctionError::NonContiguous { at } => {
-                write!(f, "distance-function pieces are not contiguous at index {at}")
+                write!(
+                    f,
+                    "distance-function pieces are not contiguous at index {at}"
+                )
             }
         }
     }
@@ -57,10 +60,7 @@ impl std::error::Error for DistanceFunctionError {}
 
 impl DistanceFunction {
     /// Builds a distance function from contiguous pieces.
-    pub fn new(
-        owner: Oid,
-        pieces: Vec<DistancePiece>,
-    ) -> Result<Self, DistanceFunctionError> {
+    pub fn new(owner: Oid, pieces: Vec<DistancePiece>) -> Result<Self, DistanceFunctionError> {
         if pieces.is_empty() {
             return Err(DistanceFunctionError::Empty);
         }
@@ -152,10 +152,7 @@ impl DistanceFunction {
 
     /// The interior breakpoints (piece boundaries).
     pub fn breakpoints(&self) -> Vec<f64> {
-        self.pieces
-            .windows(2)
-            .map(|w| w[1].span.start())
-            .collect()
+        self.pieces.windows(2).map(|w| w[1].span.start()).collect()
     }
 
     /// Restricts the function to `window`, dropping/trimming pieces.
@@ -165,14 +162,20 @@ impl DistanceFunction {
         for p in &self.pieces {
             if let Some(iv) = p.span.intersection(window) {
                 if !iv.is_degenerate() {
-                    pieces.push(DistancePiece { span: iv, hyperbola: p.hyperbola });
+                    pieces.push(DistancePiece {
+                        span: iv,
+                        hyperbola: p.hyperbola,
+                    });
                 }
             }
         }
         if pieces.is_empty() {
             None
         } else {
-            Some(DistanceFunction { owner: self.owner, pieces })
+            Some(DistanceFunction {
+                owner: self.owner,
+                pieces,
+            })
         }
     }
 }
@@ -220,7 +223,10 @@ mod tests {
                 },
             ],
         );
-        assert_eq!(res.unwrap_err(), DistanceFunctionError::NonContiguous { at: 1 });
+        assert_eq!(
+            res.unwrap_err(),
+            DistanceFunctionError::NonContiguous { at: 1 }
+        );
         assert_eq!(
             DistanceFunction::new(Oid(1), vec![]).unwrap_err(),
             DistanceFunctionError::Empty

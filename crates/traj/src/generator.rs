@@ -56,7 +56,11 @@ impl Default for WorkloadConfig {
 impl WorkloadConfig {
     /// Convenience: same defaults with a different population and seed.
     pub fn with_objects(num_objects: usize, seed: u64) -> Self {
-        WorkloadConfig { num_objects, seed, ..WorkloadConfig::default() }
+        WorkloadConfig {
+            num_objects,
+            seed,
+            ..WorkloadConfig::default()
+        }
     }
 }
 
@@ -98,15 +102,20 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<Trajectory> {
                 rng.random_range(0.0..cfg.region_height),
             );
             let mut samples = Vec::with_capacity(epochs.len());
-            samples.push(TrajectorySample { position: pos, time: epochs[0] });
+            samples.push(TrajectorySample {
+                position: pos,
+                time: epochs[0],
+            });
             for w in epochs.windows(2) {
                 let dt = w[1] - w[0];
                 let next = next_leg_endpoint(&mut rng, cfg, pos, dt);
-                samples.push(TrajectorySample { position: next, time: w[1] });
+                samples.push(TrajectorySample {
+                    position: next,
+                    time: w[1],
+                });
                 pos = next;
             }
-            Trajectory::new(Oid(i as u64), samples)
-                .expect("generator produces valid samples")
+            Trajectory::new(Oid(i as u64), samples).expect("generator produces valid samples")
         })
         .collect()
 }
@@ -117,8 +126,7 @@ pub fn generate_uncertain(cfg: &WorkloadConfig, radius: f64) -> Vec<UncertainTra
     generate(cfg)
         .into_iter()
         .map(|tr| {
-            UncertainTrajectory::with_uniform_pdf(tr, radius)
-                .expect("valid uncertainty radius")
+            UncertainTrajectory::with_uniform_pdf(tr, radius).expect("valid uncertainty radius")
         })
         .collect()
 }
@@ -135,8 +143,7 @@ fn next_leg_endpoint(
         let miles_per_min = mph / 60.0;
         let step = Vec2::new(dir.cos(), dir.sin()) * (miles_per_min * dt_minutes);
         let cand = pos + step;
-        if (0.0..=cfg.region_width).contains(&cand.x)
-            && (0.0..=cfg.region_height).contains(&cand.y)
+        if (0.0..=cfg.region_width).contains(&cand.x) && (0.0..=cfg.region_height).contains(&cand.y)
         {
             return cand;
         }

@@ -18,10 +18,13 @@
 pub mod difference;
 pub mod distance;
 pub mod generator;
+pub mod par;
 pub mod trajectory;
 pub mod uncertain;
 
-pub use difference::{difference_distance, difference_distances};
+pub use difference::{
+    difference_distance, difference_distances, difference_distances_par, difference_distances_refs,
+};
 pub use distance::{DistanceFunction, DistancePiece};
 pub use generator::{generate, generate_uncertain, WorkloadConfig};
 pub use trajectory::{Oid, Segment, Trajectory, TrajectoryError, TrajectorySample};

@@ -31,7 +31,10 @@ pub struct TrajectorySample {
 impl TrajectorySample {
     /// Creates a sample.
     pub fn new(x: f64, y: f64, t: f64) -> Self {
-        TrajectorySample { position: Point2::new(x, y), time: t }
+        TrajectorySample {
+            position: Point2::new(x, y),
+            time: t,
+        }
     }
 }
 
@@ -156,9 +159,10 @@ impl Trajectory {
 
     /// Iterates over the straight-line legs.
     pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
-        self.samples
-            .windows(2)
-            .map(|w| Segment { start: w[0], end: w[1] })
+        self.samples.windows(2).map(|w| Segment {
+            start: w[0],
+            end: w[1],
+        })
     }
 
     /// Number of legs.
@@ -182,7 +186,10 @@ impl Trajectory {
             .samples
             .partition_point(|s| s.time <= t)
             .clamp(1, self.samples.len() - 1);
-        let seg = Segment { start: self.samples[idx - 1], end: self.samples[idx] };
+        let seg = Segment {
+            start: self.samples[idx - 1],
+            end: self.samples[idx],
+        };
         seg.position_at(t)
     }
 
@@ -196,7 +203,13 @@ impl Trajectory {
             .samples
             .partition_point(|s| s.time <= t)
             .clamp(1, self.samples.len() - 1);
-        Some(Segment { start: self.samples[idx - 1], end: self.samples[idx] }.velocity())
+        Some(
+            Segment {
+                start: self.samples[idx - 1],
+                end: self.samples[idx],
+            }
+            .velocity(),
+        )
     }
 
     /// The sample instants (breakpoints of the piecewise-linear motion)
@@ -285,10 +298,7 @@ mod tests {
     fn breakpoints_and_span() {
         let t = traj();
         assert_eq!(t.span(), TimeInterval::new(0.0, 15.0));
-        assert_eq!(
-            t.breakpoints_in(&TimeInterval::new(1.0, 14.0)),
-            vec![10.0]
-        );
+        assert_eq!(t.breakpoints_in(&TimeInterval::new(1.0, 14.0)), vec![10.0]);
         assert_eq!(
             t.breakpoints_in(&TimeInterval::new(0.0, 15.0)),
             vec![0.0, 10.0, 15.0]

@@ -52,11 +52,7 @@ impl std::error::Error for UncertainError {}
 
 impl UncertainTrajectory {
     /// Wraps a trajectory with an uncertainty model.
-    pub fn new(
-        trajectory: Trajectory,
-        radius: f64,
-        pdf: PdfKind,
-    ) -> Result<Self, UncertainError> {
+    pub fn new(trajectory: Trajectory, radius: f64, pdf: PdfKind) -> Result<Self, UncertainError> {
         if !(radius.is_finite() && radius > 0.0) {
             return Err(UncertainError::InvalidRadius(radius));
         }
@@ -64,15 +60,16 @@ impl UncertainTrajectory {
         if (support - radius).abs() > 1e-9 * radius.max(1.0) {
             return Err(UncertainError::PdfSupportMismatch { radius, support });
         }
-        Ok(UncertainTrajectory { trajectory, radius, pdf })
+        Ok(UncertainTrajectory {
+            trajectory,
+            radius,
+            pdf,
+        })
     }
 
     /// Shorthand: uniform location pdf over the uncertainty disk (the
     /// paper's running example, Eq. 2).
-    pub fn with_uniform_pdf(
-        trajectory: Trajectory,
-        radius: f64,
-    ) -> Result<Self, UncertainError> {
+    pub fn with_uniform_pdf(trajectory: Trajectory, radius: f64) -> Result<Self, UncertainError> {
         UncertainTrajectory::new(trajectory, radius, PdfKind::Uniform { radius })
     }
 
@@ -186,12 +183,11 @@ mod tests {
 
     #[test]
     fn rejects_pdf_support_mismatch() {
-        let res = UncertainTrajectory::new(
-            traj(1),
-            0.5,
-            PdfKind::Uniform { radius: 0.7 },
-        );
-        assert!(matches!(res, Err(UncertainError::PdfSupportMismatch { .. })));
+        let res = UncertainTrajectory::new(traj(1), 0.5, PdfKind::Uniform { radius: 0.7 });
+        assert!(matches!(
+            res,
+            Err(UncertainError::PdfSupportMismatch { .. })
+        ));
     }
 
     #[test]
@@ -224,13 +220,19 @@ mod tests {
         let g = UncertainTrajectory::new(
             traj(3),
             0.5,
-            PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 },
+            PdfKind::TruncatedGaussian {
+                radius: 0.5,
+                sigma: 0.2,
+            },
         )
         .unwrap();
         assert!(common_pdf_kind(&[a.clone(), g.clone()]).is_err());
         assert_eq!(
             common_pdf_kind(std::slice::from_ref(&g)).unwrap(),
-            Some(PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 })
+            Some(PdfKind::TruncatedGaussian {
+                radius: 0.5,
+                sigma: 0.2
+            })
         );
         assert_eq!(common_pdf_kind(&[]).unwrap(), None);
     }

@@ -21,12 +21,15 @@ fn main() {
 
     // Flight plans: (oid, waypoints). The monitored flight is Tr0.
     let plans: Waypoints = vec![
-        (0, vec![(0.0, 20.0, 0.0), (60.0, 20.0, 30.0)]),          // west → east
-        (1, vec![(0.0, 24.0, 0.0), (60.0, 18.0, 30.0)]),          // converging
-        (2, vec![(30.0, 0.0, 0.0), (30.0, 45.0, 30.0)]),          // crossing at mid-corridor
-        (3, vec![(60.0, 25.0, 0.0), (0.0, 25.0, 30.0)]),          // opposite direction
-        (4, vec![(10.0, 60.0, 0.0), (50.0, 55.0, 30.0)]),         // distant northern route
-        (5, vec![(0.0, 21.5, 0.0), (25.0, 21.5, 15.0), (60.0, 16.0, 30.0)]), // wing change
+        (0, vec![(0.0, 20.0, 0.0), (60.0, 20.0, 30.0)]), // west → east
+        (1, vec![(0.0, 24.0, 0.0), (60.0, 18.0, 30.0)]), // converging
+        (2, vec![(30.0, 0.0, 0.0), (30.0, 45.0, 30.0)]), // crossing at mid-corridor
+        (3, vec![(60.0, 25.0, 0.0), (0.0, 25.0, 30.0)]), // opposite direction
+        (4, vec![(10.0, 60.0, 0.0), (50.0, 55.0, 30.0)]), // distant northern route
+        (
+            5,
+            vec![(0.0, 21.5, 0.0), (25.0, 21.5, 15.0), (60.0, 16.0, 30.0)],
+        ), // wing change
     ];
     for (oid, pts) in plans {
         let tr = Trajectory::from_triples(Oid(oid), &pts).expect("valid plan");
@@ -77,5 +80,8 @@ fn main() {
     let tree = server
         .ipac_tree(Oid(0), TimeInterval::new(0.0, 30.0), 2)
         .expect("tree builds");
-    println!("IPAC-NN tree (2 levels) in graphviz dot:\n{}", tree.to_dot());
+    println!(
+        "IPAC-NN tree (2 levels) in graphviz dot:\n{}",
+        tree.to_dot()
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
     let shift = TimeInterval::new(0.0, 60.0);
 
     let (engine, stats) = server.engine(truck, shift).expect("engine builds");
-    println!("Fleet of {} vehicles; dispatch focus: {truck}", server.store().len());
+    println!(
+        "Fleet of {} vehicles; dispatch focus: {truck}",
+        server.store().len()
+    );
     println!(
         "Envelope preprocessing: {} candidates -> {} possible NNs after pruning \
          ({:.1}% pruned), {} envelope pieces, {:?}",
@@ -47,12 +50,19 @@ fn main() {
     // Crisp continuous NN timeline.
     println!("\nNearest-vehicle timeline (crisp semantics):");
     for (oid, iv) in engine.continuous_nn_answer() {
-        println!("  {oid:>6} during [{:5.1}, {:5.1}] min", iv.start(), iv.end());
+        println!(
+            "  {oid:>6} during [{:5.1}, {:5.1}] min",
+            iv.start(),
+            iv.end()
+        );
     }
 
     // UQ31: everything with non-zero probability sometime.
     let possible = engine.uq31_all();
-    println!("\nUQ31 — vehicles with non-zero NN probability at some point: {}", possible.len());
+    println!(
+        "\nUQ31 — vehicles with non-zero NN probability at some point: {}",
+        possible.len()
+    );
 
     // UQ32: throughout the shift.
     let always = engine.uq32_all();
@@ -82,7 +92,11 @@ fn main() {
         let avg = if node.descriptor.prob_samples.is_empty() {
             f64::NAN
         } else {
-            node.descriptor.prob_samples.iter().map(|(_, p)| p).sum::<f64>()
+            node.descriptor
+                .prob_samples
+                .iter()
+                .map(|(_, p)| p)
+                .sum::<f64>()
                 / node.descriptor.prob_samples.len() as f64
         };
         println!(

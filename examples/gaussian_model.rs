@@ -37,7 +37,10 @@ fn main() {
                 UncertainTrajectory::new(
                     tr.clone(),
                     radius,
-                    PdfKind::TruncatedGaussian { radius, sigma: radius / 3.0 },
+                    PdfKind::TruncatedGaussian {
+                        radius,
+                        sigma: radius / 3.0,
+                    },
                 )
                 .unwrap(),
             )
@@ -85,15 +88,14 @@ fn main() {
         let q = trs.iter().find(|tr| tr.oid() == Oid(0)).unwrap();
         let fs = difference_distances(q, &trs, &window).unwrap();
         let engine = QueryEngine::new(Oid(0), fs, radius);
-        let kind = PdfKind::TruncatedGaussian { radius, sigma: radius / 3.0 };
+        let kind = PdfKind::TruncatedGaussian {
+            radius,
+            sigma: radius / 3.0,
+        };
         let diff = kind.convolve_with(&kind);
-        let p_gauss = uncertain_nn::core::threshold::probability_at_with(
-            &engine,
-            diff.as_ref(),
-            leader,
-            t,
-        )
-        .unwrap_or(0.0);
+        let p_gauss =
+            uncertain_nn::core::threshold::probability_at_with(&engine, diff.as_ref(), leader, t)
+                .unwrap_or(0.0);
         println!(
             "\nleader at t = {t}: {leader} — P^NN {p_uni:.3} (uniform) vs \
              {p_gauss:.3} (gaussian)"

@@ -45,7 +45,9 @@ fn main() {
     }
 
     // ...the §7 extension handles them.
-    let engine = server.hetero_engine(focus, shift).expect("hetero engine builds");
+    let engine = server
+        .hetero_engine(focus, shift)
+        .expect("hetero engine builds");
     let stats = engine.stats();
     println!(
         "hetero engine: {} candidates, {} possible somewhere ({:.1}% pruned)",

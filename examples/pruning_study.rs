@@ -18,8 +18,14 @@ fn main() {
     let fs = difference_distances(query, &trajectories, &window).expect("same window");
     let envelope = lower_envelope(&fs);
 
-    println!("Pruning power vs uncertainty radius ({} objects):\n", cfg.num_objects);
-    println!("{:>10} {:>12} {:>12} {:>10}", "radius", "kept", "pruned", "kept %");
+    println!(
+        "Pruning power vs uncertainty radius ({} objects):\n",
+        cfg.num_objects
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "radius", "kept", "pruned", "kept %"
+    );
     for radius in [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0] {
         let (kept, stats) = prune_by_band(&fs, &envelope, radius);
         println!(

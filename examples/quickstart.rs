@@ -39,7 +39,9 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. The continuous (crisp) NN answer: time parameterized, as in §1.
     // ------------------------------------------------------------------
-    let answer = server.continuous_nn(Oid(0), window).expect("query succeeds");
+    let answer = server
+        .continuous_nn(Oid(0), window)
+        .expect("query succeeds");
     println!("Continuous NN of Tr0 over {window}:");
     for (oid, iv) in &answer.sequence {
         println!("  {oid} is the nearest neighbor during {iv}");

@@ -37,7 +37,9 @@ fn main() {
     );
 
     // Full reverse engine: one perspective envelope per object.
-    let rev = server.reverse_engine(ambulance, shift).expect("engine builds");
+    let rev = server
+        .reverse_engine(ambulance, shift)
+        .expect("engine builds");
     let mut probabilistic = rev.rnn_all();
     probabilistic.sort_by(|a, b| {
         b.1.total_len()
@@ -91,7 +93,9 @@ fn main() {
 
     // Asymmetry demonstration: the forward NN of the ambulance need not
     // have the ambulance as its own possible NN and vice versa.
-    let forward = server.continuous_nn(ambulance, shift).expect("forward answer");
+    let forward = server
+        .continuous_nn(ambulance, shift)
+        .expect("forward answer");
     let forward_first = forward.sequence[0].0;
     let is_reverse = probabilistic.iter().any(|(o, _)| *o == forward_first);
     println!(

@@ -66,7 +66,10 @@ fn main() {
     for (oid, p) in &probabilistic {
         println!("  {oid:>6}: P^NN = {p:.3}");
     }
-    println!("Crisp Top-{k} at t = {t} min:      {:?}", crisp.knn_at(t).unwrap());
+    println!(
+        "Crisp Top-{k} at t = {t} min:      {:?}",
+        crisp.knn_at(t).unwrap()
+    );
 
     // Quantified agreement across the window (Theorem 1 in action).
     let agreement = semantics_agreement(&engine, &crisp, k, 600);
@@ -82,10 +85,13 @@ fn main() {
         .cells()
         .iter()
         .flat_map(|c| c.ranked.iter().map(move |o| (*o, c.span.len())))
-        .fold(std::collections::BTreeMap::<Oid, f64>::new(), |mut m, (o, l)| {
-            *m.entry(o).or_insert(0.0) += l;
-            m
-        })
+        .fold(
+            std::collections::BTreeMap::<Oid, f64>::new(),
+            |mut m, (o, l)| {
+                *m.entry(o).or_insert(0.0) += l;
+                m
+            },
+        )
         .into_iter()
         .collect();
     tenure.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -20,6 +20,8 @@
 //! rnn <TrQ> <tb> <te>         probabilistic reverse-NN answer (§7)
 //! ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
 //! stats <TrQ> <tb> <te>       envelope size and pruning statistics
+//! policy <kind> [epochs]      set the prefilter (exhaustive|scan|grid|rtree)
+//! cache                       engine-cache hit/miss counters
 //! sql <statement>             execute a §4/§7 query-language statement
 //! help                        this text
 //! quit                        exit
@@ -42,6 +44,8 @@ commands:
   rnn <TrQ> <tb> <te>         probabilistic reverse-NN answer
   ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
   stats <TrQ> <tb> <te>       envelope size and pruning statistics
+  policy <kind> [epochs]      set the prefilter (exhaustive|scan|grid|rtree)
+  cache                       engine-cache hit/miss counters
   sql <statement>             execute a query-language statement
   help                        this text
   quit                        exit";
@@ -99,9 +103,7 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
             let cfg = WorkloadConfig::with_objects(n as usize, seed as u64);
             let fleet = generate_uncertain(&cfg, radius);
             *server = ModServer::new();
-            server
-                .register_all(fleet)
-                .map_err(|e| e.to_string())?;
+            server.register_all(fleet).map_err(|e| e.to_string())?;
             println!(
                 "generated {} objects (seed {}, r = {radius} mi, 40x40 mi^2, 60 min)",
                 n as usize, seed as u64
@@ -162,7 +164,10 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
         }
         "knn" => {
             let mut parts = rest.split_whitespace();
-            let q = resolve(server, parts.next().ok_or("usage: knn <TrQ> <k> <tb> <te>")?)?;
+            let q = resolve(
+                server,
+                parts.next().ok_or("usage: knn <TrQ> <k> <tb> <te>")?,
+            )?;
             let k: usize = parse(parts.next().ok_or("missing k")?)?;
             let tb: f64 = parse(parts.next().ok_or("missing tb")?)?;
             let te: f64 = parse(parts.next().ok_or("missing te")?)?;
@@ -170,8 +175,7 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
             let ans = server.knn_answer(q, w, k).map_err(|e| e.to_string())?;
             println!("continuous {k}-NN of {q}: {} cells", ans.cells().len());
             for c in ans.cells() {
-                let names: Vec<String> =
-                    c.ranked.iter().map(|o| o.to_string()).collect();
+                let names: Vec<String> = c.ranked.iter().map(|o| o.to_string()).collect();
                 println!(
                     "  [{:8.3}, {:8.3}]: {}",
                     c.span.start(),
@@ -198,7 +202,10 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
         }
         "ipac" => {
             let mut parts = rest.split_whitespace();
-            let q = resolve(server, parts.next().ok_or("usage: ipac <TrQ> <tb> <te> <depth>")?)?;
+            let q = resolve(
+                server,
+                parts.next().ok_or("usage: ipac <TrQ> <tb> <te> <depth>")?,
+            )?;
             let tb: f64 = parse(parts.next().ok_or("missing tb")?)?;
             let te: f64 = parse(parts.next().ok_or("missing te")?)?;
             let d: usize = parse(parts.next().ok_or("missing depth")?)?;
@@ -211,16 +218,47 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
             let (q, w) = parse_query_window(server, rest)?;
             let (engine, stats) = server.engine(q, w).map_err(|e| e.to_string())?;
             println!(
-                "query {q}: {} candidates, {} kept ({:.1}% pruned), {} envelope \
-                 pieces, preprocess {:?}",
+                "query {q}: {} candidates, {} prefiltered, {} kept ({:.1}% pruned), \
+                 {} envelope pieces, preprocess {:?}{}",
                 stats.candidates,
+                stats.prefiltered,
                 stats.kept,
                 100.0 * (1.0 - stats.kept as f64 / stats.candidates.max(1) as f64),
                 stats.envelope_pieces,
-                stats.preprocess
+                stats.preprocess,
+                if stats.cache_hit { " (cache hit)" } else { "" }
             );
             let seq = engine.continuous_nn_answer();
             println!("answer has {} time-parameterized entries", seq.len());
+            Ok(())
+        }
+        "policy" => {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().ok_or("usage: policy <kind> [epochs]")?;
+            let epochs: usize = match parts.next() {
+                Some(e) => parse(e)?,
+                None => 8,
+            };
+            let policy = match kind {
+                "exhaustive" | "none" => PrefilterPolicy::Exhaustive,
+                "scan" => PrefilterPolicy::Scan { epochs },
+                "grid" => PrefilterPolicy::Grid { epochs },
+                "rtree" => PrefilterPolicy::RTree { epochs },
+                other => return Err(format!("unknown policy '{other}'")),
+            };
+            server.set_prefilter_policy(policy);
+            println!("prefilter policy set to {policy}");
+            Ok(())
+        }
+        "cache" => {
+            let stats = server.cache_stats();
+            println!(
+                "engine cache: {} hits, {} misses, {} entries (epoch {})",
+                stats.hits,
+                stats.misses,
+                stats.entries,
+                server.store().epoch()
+            );
             Ok(())
         }
         "sql" => {

@@ -11,8 +11,38 @@
 //! * [`traj`] — trajectories, difference transforms, workload generator;
 //! * [`core`] — lower envelopes, `4r` pruning, IPAC-NN tree, query
 //!   variants (the paper's contribution);
-//! * [`modb`] — the MOD engine: store, spatial indexes, query language,
-//!   server.
+//! * [`modb`] — the MOD engine: store, snapshots, planner, engine cache,
+//!   spatial indexes, query language, server.
+//!
+//! ## Architecture: the query pipeline
+//!
+//! Every [`modb::server::ModServer`] query — the §4 categories, the §7
+//! reverse / heterogeneous / k-NN extensions, and the query language —
+//! flows through one shared four-stage pipeline:
+//!
+//! 1. **Snapshot** — [`modb::store::ModStore::snapshot`] returns an
+//!    `Arc`-shared, epoch-stamped [`modb::snapshot::QuerySnapshot`]. The
+//!    same snapshot (and its lazily built STR R-tree / grid segment
+//!    indexes) is reused until a mutation bumps the store epoch; no
+//!    trajectory is cloned per query.
+//! 2. **Plan / prefilter** — [`modb::plan::QueryPlanner`] validates the
+//!    window, query object, and radius invariants once, then narrows the
+//!    candidate population with a pluggable
+//!    [`modb::plan::PrefilterPolicy`] (analytic epoch-box scan, grid, or
+//!    STR R-tree — the access-method delegation §7 of the paper calls
+//!    for). Every policy keeps a provable superset of the exact
+//!    `4r`-band survivors, so answers are identical to the exhaustive
+//!    path.
+//! 3. **Envelope** — [`core::candidates::CandidateSet`] builds the
+//!    difference-trajectory distance functions zero-copy (and in
+//!    parallel) and feeds the `O(N log N)` lower-envelope / IPAC
+//!    preprocessing of Claims 1–3.
+//! 4. **Execute** — the engines answer the query variants; built engines
+//!    are memoized in the epoch-keyed [`modb::cache::EngineCache`], so
+//!    repeated queries against an unchanged MOD skip stages 2–3
+//!    entirely. **Invalidation contract:** any store mutation
+//!    (register/unregister/clear) bumps the epoch, which orphans every
+//!    cached engine and snapshot; the next query transparently rebuilds.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +86,7 @@ pub use unn_traj as traj;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use unn_core::candidates::CandidateSet;
     pub use unn_core::envelope::Envelope;
     pub use unn_core::hetero::{HeteroCandidate, HeteroEngine};
     pub use unn_core::ipac::{IpacConfig, IpacTree};
@@ -68,8 +99,11 @@ pub mod prelude {
     };
     pub use unn_geom::interval::{IntervalSet, TimeInterval};
     pub use unn_geom::point::{Point2, Vec2};
+    pub use unn_modb::cache::CacheStats;
     pub use unn_modb::catalog::{Catalog, ObjectMeta};
+    pub use unn_modb::plan::{PrefilterPolicy, QueryPlanner};
     pub use unn_modb::server::{ModServer, QueryOutput};
+    pub use unn_modb::snapshot::QuerySnapshot;
     pub use unn_modb::store::ModStore;
     pub use unn_prob::pdf::{PdfKind, RadialPdf};
     pub use unn_traj::generator::{generate, generate_uncertain, WorkloadConfig};

@@ -54,9 +54,15 @@ fn knn_rnn_snapshot_and_ipac_commands() {
          quit\n",
     );
     assert!(stdout.contains("continuous 2-NN of Tr0"), "{stdout}");
-    assert!(stdout.contains("objects that may have Tr0 as their NN"), "{stdout}");
+    assert!(
+        stdout.contains("objects that may have Tr0 as their NN"),
+        "{stdout}"
+    );
     assert!(stdout.contains("P^NN ranking at t = 15"), "{stdout}");
-    assert!(stdout.contains("pruned by the R_min/R_max rule"), "{stdout}");
+    assert!(
+        stdout.contains("pruned by the R_min/R_max rule"),
+        "{stdout}"
+    );
     // The IPAC render names the query and window.
     assert!(stdout.contains("Tr0"), "{stdout}");
 }
@@ -92,7 +98,35 @@ fn errors_are_reported_not_fatal() {
     // nn before any MOD exists
     assert!(stdout.contains("error:"), "{stdout}");
     // unknown object and parse errors are reported…
-    assert!(stdout.contains("unknown object") || stdout.contains("Tr99"), "{stdout}");
+    assert!(
+        stdout.contains("unknown object") || stdout.contains("Tr99"),
+        "{stdout}"
+    );
     // …and the session keeps going.
     assert!(stdout.contains("10 objects, ids Tr0 .. Tr9"), "{stdout}");
+}
+
+#[test]
+fn policy_and_cache_commands_drive_the_pipeline() {
+    let (stdout, stderr) = run_cli(
+        "gen 50 11 0.5\n\
+         policy rtree 6\n\
+         stats Tr0 0 60\n\
+         stats Tr0 0 60\n\
+         cache\n\
+         policy bogus\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(
+        stdout.contains("prefilter policy set to rtree(6)"),
+        "{stdout}"
+    );
+    // The second identical query must come from the engine cache.
+    assert!(stdout.contains("(cache hit)"), "{stdout}");
+    assert!(
+        stdout.contains("engine cache: 1 hits, 1 misses"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("unknown policy 'bogus'"), "{stdout}");
 }

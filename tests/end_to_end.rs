@@ -8,7 +8,11 @@ use uncertain_nn::core::{lower_envelope, lower_envelope_naive, lower_envelope_pa
 use uncertain_nn::prelude::*;
 
 fn setup(n: usize, seed: u64) -> (Vec<Trajectory>, TimeInterval) {
-    let cfg = WorkloadConfig { num_objects: n, seed, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        num_objects: n,
+        seed,
+        ..WorkloadConfig::default()
+    };
     (generate(&cfg), TimeInterval::new(0.0, 60.0))
 }
 
@@ -47,7 +51,10 @@ fn envelope_is_true_minimum_on_workload() {
                 .unwrap()
                 .eval(t)
                 .unwrap();
-            assert!((le_val - min).abs() < 1e-7, "owner {le_owner} vs {owner} at {t}");
+            assert!(
+                (le_val - min).abs() < 1e-7,
+                "owner {le_owner} vs {owner} at {t}"
+            );
         }
     }
 }
@@ -75,8 +82,7 @@ fn uq13_fraction_matches_oracle_on_workload() {
     for idx in [0usize, 5, 11, 19, 33] {
         let oid = fs[idx].owner();
         let frac = engine.uq13_fraction(oid).unwrap();
-        let sampled =
-            oracle::inside_fraction(&fs, oid, 4.0 * radius, w, 4000).unwrap();
+        let sampled = oracle::inside_fraction(&fs, oid, 4.0 * radius, w, 4000).unwrap();
         assert!(
             (frac - sampled).abs() < 0.01,
             "{oid}: engine {frac} vs oracle {sampled}"
@@ -94,8 +100,7 @@ fn rank_intervals_match_oracle_on_workload() {
         let oid = fs[idx].owner();
         for k in [1usize, 2, 3] {
             let frac = engine.uq23_fraction(oid, k).unwrap();
-            let sampled =
-                oracle::rank_fraction(&fs, oid, k, 4.0 * radius, w, 3000).unwrap();
+            let sampled = oracle::rank_fraction(&fs, oid, k, 4.0 * radius, w, 3000).unwrap();
             assert!(
                 (frac - sampled).abs() < 0.02,
                 "{oid} k={k}: engine {frac} vs oracle {sampled}"
@@ -112,8 +117,7 @@ fn uq31_returns_exactly_the_band_entrants() {
     let engine = QueryEngine::new(trs[2].oid(), fs.clone(), radius);
     let result: Vec<Oid> = engine.uq31_all().into_iter().map(|(o, _)| o).collect();
     for f in &fs {
-        let sampled = oracle::inside_fraction(&fs, f.owner(), 4.0 * radius, w, 2000)
-            .unwrap();
+        let sampled = oracle::inside_fraction(&fs, f.owner(), 4.0 * radius, w, 2000).unwrap();
         if sampled > 0.001 {
             assert!(
                 result.contains(&f.owner()),
@@ -131,11 +135,13 @@ fn uq31_returns_exactly_the_band_entrants() {
 
 #[test]
 fn server_pipeline_on_generated_workload() {
-    let cfg = WorkloadConfig { num_objects: 120, seed: 99, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        num_objects: 120,
+        seed: 99,
+        ..WorkloadConfig::default()
+    };
     let server = ModServer::new();
-    server
-        .register_all(generate_uncertain(&cfg, 0.5))
-        .unwrap();
+    server.register_all(generate_uncertain(&cfg, 0.5)).unwrap();
     let ans = server
         .continuous_nn(Oid(0), TimeInterval::new(0.0, 60.0))
         .unwrap();
@@ -153,7 +159,7 @@ fn server_pipeline_on_generated_workload() {
             .expected_location(t)
             .unwrap();
         let mut best = (f64::INFINITY, Oid(u64::MAX));
-        for tr in &snapshot {
+        for tr in snapshot.iter() {
             if tr.oid() == Oid(0) {
                 continue;
             }

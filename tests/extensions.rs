@@ -31,9 +31,7 @@ fn reverse_statements_match_engine_answers() {
     let rev = s.reverse_engine(Oid(0), w).unwrap();
     let expected: Vec<Oid> = rev.rnn_all().into_iter().map(|(o, _)| o).collect();
     let out = s
-        .execute(
-            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 30] AND PROB_RNN(*, Tr0, TIME) > 0",
-        )
+        .execute("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 30] AND PROB_RNN(*, Tr0, TIME) > 0")
         .unwrap();
     match out {
         QueryOutput::Objects(objs) => {
@@ -54,7 +52,11 @@ fn reverse_statements_match_engine_answers() {
              AND PROB_RNN(Tr{oid}, Tr0, TIME) > 0"
         );
         let expected = rev.rnn_exists(Oid(oid)).unwrap();
-        assert_eq!(s.execute(&stmt).unwrap(), QueryOutput::Boolean(expected), "oid {oid}");
+        assert_eq!(
+            s.execute(&stmt).unwrap(),
+            QueryOutput::Boolean(expected),
+            "oid {oid}"
+        );
     }
 }
 
@@ -142,7 +144,10 @@ fn hetero_reduces_to_homogeneous_on_equal_radii() {
     let het = HeteroEngine::new(
         Oid(0),
         fs.iter()
-            .map(|f| HeteroCandidate { f: f.clone(), radius: r })
+            .map(|f| HeteroCandidate {
+                f: f.clone(),
+                radius: r,
+            })
             .collect(),
         r,
     );
@@ -182,8 +187,7 @@ fn theorem_1_holds_on_generated_workloads() {
     let fs = difference_distances(q_tr, &trs, &w).unwrap();
     let engine = QueryEngine::new(Oid(0), fs.clone(), 0.5);
     let crisp = continuous_knn(&fs, 3);
-    let agreement =
-        uncertain_nn::core::topk::semantics_agreement(&engine, &crisp, 3, 120);
+    let agreement = uncertain_nn::core::topk::semantics_agreement(&engine, &crisp, 3, 120);
     assert!(agreement > 0.93, "agreement {agreement}");
 }
 
@@ -199,7 +203,9 @@ fn catalog_joins_spatial_answers() {
     let out = s
         .execute("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 30] AND PROB_NN(*, Tr0, TIME) > 0")
         .unwrap();
-    let QueryOutput::Objects(rows) = out else { panic!("expected Objects") };
+    let QueryOutput::Objects(rows) = out else {
+        panic!("expected Objects")
+    };
     let total = rows.len();
     let trucks = catalog.filter_answer(rows, |m| m.kind == "truck");
     assert!(trucks.len() <= total);

@@ -6,7 +6,11 @@ use uncertain_nn::core::oracle;
 use uncertain_nn::prelude::*;
 
 fn functions(n: usize, seed: u64) -> Vec<uncertain_nn::traj::DistanceFunction> {
-    let cfg = WorkloadConfig { num_objects: n, seed, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        num_objects: n,
+        seed,
+        ..WorkloadConfig::default()
+    };
     let trs = generate(&cfg);
     difference_distances(&trs[0], &trs, &TimeInterval::new(0.0, 60.0)).unwrap()
 }
@@ -66,14 +70,30 @@ fn level_two_owner_is_second_nearest_among_band_members() {
     let fs = functions(30, 13);
     let radius = 0.5;
     let tree = build_ipac_tree(Oid(0), &fs, &IpacConfig::with_depth(radius, 2));
+    let le = lower_envelope(&fs);
     for (owner, iv) in tree.level_pieces(2) {
         let t = iv.midpoint();
-        let rank = oracle::rank_at(&fs, owner, t).unwrap();
-        // The level-2 node owner must be the second-closest overall
-        // (excluding pathological boundary instants).
+        // The tree ranks among the 4r-band members only: an object whose
+        // distance exceeds LE(t) + 4r has zero NN probability and is not
+        // part of the structure, so the oracle rank must be computed over
+        // the band members too.
+        let band = le.eval(t).unwrap() + 4.0 * radius;
+        let d_owner = fs
+            .iter()
+            .find(|f| f.owner() == owner)
+            .unwrap()
+            .eval(t)
+            .unwrap();
+        let band_rank = 1 + fs
+            .iter()
+            .filter(|f| {
+                let d = f.eval(t).unwrap();
+                f.owner() != owner && d < d_owner && d <= band + 1e-9
+            })
+            .count();
         assert!(
-            rank == 2,
-            "level-2 owner {owner} has oracle rank {rank} at t={t}"
+            band_rank == 2,
+            "level-2 owner {owner} has band rank {band_rank} at t={t}"
         );
     }
 }

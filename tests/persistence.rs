@@ -6,7 +6,11 @@ use uncertain_nn::prelude::*;
 
 #[test]
 fn reloaded_mod_answers_identically() {
-    let cfg = WorkloadConfig { num_objects: 25, seed: 55, ..WorkloadConfig::default() };
+    let cfg = WorkloadConfig {
+        num_objects: 25,
+        seed: 55,
+        ..WorkloadConfig::default()
+    };
     let trs = generate_uncertain(&cfg, 0.5);
 
     let original = ModServer::new();
@@ -16,7 +20,7 @@ fn reloaded_mod_answers_identically() {
     let mut buf = Vec::new();
     persist::save_to(&original.store().snapshot(), &mut buf).unwrap();
     let reloaded_trs = persist::load_from(buf.as_slice()).unwrap();
-    assert_eq!(reloaded_trs, original.store().snapshot());
+    assert_eq!(reloaded_trs, original.store().snapshot().to_vec());
 
     let reloaded = ModServer::new();
     reloaded.register_all(reloaded_trs).unwrap();
@@ -28,7 +32,10 @@ fn reloaded_mod_answers_identically() {
 
     let stmt = "SELECT * FROM MOD WHERE ATLEAST 0.25 OF TIME IN [0, 60] \
                 AND PROB_NN(*, Tr3, TIME) > 0";
-    assert_eq!(original.execute(stmt).unwrap(), reloaded.execute(stmt).unwrap());
+    assert_eq!(
+        original.execute(stmt).unwrap(),
+        reloaded.execute(stmt).unwrap()
+    );
 }
 
 #[test]
@@ -51,13 +58,16 @@ fn file_round_trip_with_mixed_pdfs() {
             UncertainTrajectory::new(
                 t2,
                 0.5,
-                PdfKind::TruncatedGaussian { radius: 0.5, sigma: 0.2 },
+                PdfKind::TruncatedGaussian {
+                    radius: 0.5,
+                    sigma: 0.2,
+                },
             )
             .unwrap(),
         )
         .unwrap();
     persist::save(&store, &path).unwrap();
     let loaded = persist::load(&path).unwrap();
-    assert_eq!(loaded, store.snapshot());
+    assert_eq!(loaded, store.snapshot().to_vec());
     std::fs::remove_file(&path).unwrap();
 }

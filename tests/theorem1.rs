@@ -18,9 +18,7 @@ fn theorem_1_ranking_matches_distance_ranking() {
     let pdf = UniformDifferencePdf::new(0.5);
     for trial in 0..25 {
         let n = rng.random_range(2..7);
-        let mut dists: Vec<f64> = (0..n)
-            .map(|_| rng.random_range(1.0..6.0))
-            .collect();
+        let mut dists: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..6.0)).collect();
         // Ensure distinct distances (ties make the ranking ambiguous).
         dists.sort_by(f64::total_cmp);
         let mut ok = true;
@@ -34,7 +32,10 @@ fn theorem_1_ranking_matches_distance_ranking() {
         }
         let cands: Vec<NnCandidate> = dists
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &pdf,
+            })
             .collect();
         let probs = nn_probabilities(&cands, NnConfig::default());
         // dists ascending => probs must be strictly descending.
@@ -55,7 +56,10 @@ fn theorem_1_holds_for_gaussian_pdfs() {
     let dists = [1.5, 2.1, 2.8, 3.9];
     let cands: Vec<NnCandidate> = dists
         .iter()
-        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .map(|&d| NnCandidate {
+            center_distance: d,
+            pdf: &pdf,
+        })
         .collect();
     let probs = nn_probabilities(&cands, NnConfig::default());
     for w in probs.windows(2) {
@@ -70,7 +74,10 @@ fn analytic_matches_monte_carlo() {
     let dists = [1.2, 1.5, 2.0, 2.4];
     let cands: Vec<NnCandidate> = dists
         .iter()
-        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .map(|&d| NnCandidate {
+            center_distance: d,
+            pdf: &pdf,
+        })
         .collect();
     let analytic = nn_probabilities(&cands, NnConfig::default());
     let mut rng = StdRng::seed_from_u64(7);
@@ -95,7 +102,10 @@ fn continuous_probabilities_sum_to_one() {
     ] {
         let cands: Vec<NnCandidate> = dists
             .iter()
-            .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &pdf,
+            })
             .collect();
         let probs = nn_probabilities(&cands, NnConfig::default());
         let total: f64 = probs.iter().sum();
@@ -115,7 +125,10 @@ fn discretization_exposes_joint_probability_terms() {
     let dists = [2.0, 2.2, 2.5, 2.9];
     let cands: Vec<NnCandidate> = dists
         .iter()
-        .map(|&d| NnCandidate { center_distance: d, pdf: &pdf })
+        .map(|&d| NnCandidate {
+            center_distance: d,
+            pdf: &pdf,
+        })
         .collect();
     let engine = DiscretizedNn::new(&cands, 12);
     let order1 = engine.total_mass(1);
@@ -136,8 +149,14 @@ fn lemma_1_two_candidate_gap() {
     let mut last_gap = 0.0;
     for delta in [0.1, 0.4, 0.8, 1.0] {
         let cands = [
-            NnCandidate { center_distance: base, pdf: &pdf },
-            NnCandidate { center_distance: base + delta, pdf: &pdf },
+            NnCandidate {
+                center_distance: base,
+                pdf: &pdf,
+            },
+            NnCandidate {
+                center_distance: base + delta,
+                pdf: &pdf,
+            },
         ];
         let probs = nn_probabilities(&cands, NnConfig::default());
         assert!(probs[0] > probs[1], "delta {delta}: {probs:?}");
