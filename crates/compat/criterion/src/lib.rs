@@ -10,6 +10,11 @@
 //! samples — and every run appends its results to a
 //! `BENCH_<binary>.json` file at the workspace root so benchmark history
 //! can be tracked without the real criterion's estimator machinery.
+//!
+//! Like the real criterion, passing `--test` (as in
+//! `cargo bench --bench foo -- --test`) runs every benchmark closure
+//! exactly once without timing loops and writes no report — the CI
+//! `bench-smoke` mode that keeps benches from bit-rotting cheaply.
 
 #![warn(missing_docs)]
 
@@ -175,11 +180,22 @@ pub struct Bencher {
     measurement: Duration,
     sample_size: usize,
     ns_per_iter: Option<f64>,
+    test_only: bool,
+}
+
+/// `true` when the binary was invoked with `--test` (smoke mode).
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 impl Bencher {
     /// Measures `f`, recording the median wall-clock time per iteration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_only {
+            // Smoke mode: run once, record nothing.
+            black_box(f());
+            return;
+        }
         // Warm-up: at least one run, at most the budget (capped for very
         // slow closures).
         let warm_start = Instant::now();
@@ -217,13 +233,19 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     measurement: Duration,
     mut f: F,
 ) {
+    let test_only = test_mode();
     let mut b = Bencher {
         warm_up,
         measurement,
         sample_size,
         ns_per_iter: None,
+        test_only,
     };
     f(&mut b);
+    if test_only {
+        println!("test  {id:<60} ok");
+        return;
+    }
     let ns = b.ns_per_iter.unwrap_or(f64::NAN);
     println!("bench {id:<60} {}", format_ns(ns));
     RESULTS.lock().unwrap().push(BenchResult {

@@ -54,7 +54,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The [`vec`] strategy.
+/// The [`vec()`] strategy.
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -7,17 +7,22 @@
 //! server calls: built engines are stored under a key containing the
 //! store **epoch**, the query object, the window, the engine kind, and
 //! the prefilter policy. Any store mutation bumps the epoch, so stale
-//! engines can never be served; they are evicted lazily on the next
-//! insertion.
+//! engines can never be served blindly.
 //!
 //! ## Invalidation contract
 //!
-//! * An entry built at epoch `e` is returned only for keys carrying the
-//!   same `e`; callers always derive the key from the *current* snapshot.
-//! * `register`/`unregister`/`clear` (any [`crate::store::ModStore`]
-//!   mutation) bumps the epoch, which orphans every cached engine.
-//! * Orphaned entries are dropped on the next insertion; a bounded
-//!   capacity evicts arbitrary same-epoch entries beyond it.
+//! * An entry built at epoch `e` is returned for keys carrying the same
+//!   `e`; callers always derive the key from the *current* snapshot.
+//! * A **carriable** entry (a forward engine built under a band-bounded
+//!   prefilter policy) at an older epoch may additionally be *carried*
+//!   to the current epoch — re-keyed and served — when the caller's
+//!   carry predicate proves every delta op since `e` is outside the
+//!   engine's reach (see [`crate::delta::forward_engine_unaffected`]).
+//!   Stale carriable entries are therefore retained until capacity
+//!   pressure evicts them; everything else (reverse/hetero engines,
+//!   exhaustive-policy forwards — whole-MOD structures) is dropped as
+//!   soon as it goes stale.
+//! * [`crate::store::ModStore::clear`] clears attached caches outright.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,12 +52,18 @@ pub struct EngineKey {
     query: Oid,
     window: (u64, u64),
     policy_tag: u8,
+    /// Whether this entry may outlive its epoch as a carry candidate
+    /// (set by the caller iff the policy's answers are band-bounded —
+    /// see `PrefilterPolicy::allows_carry`). Non-carriable entries are
+    /// dropped as soon as they go stale.
+    carriable: bool,
 }
 
 impl EngineKey {
-    /// A key for the given coordinates. `policy_tag` distinguishes
-    /// prefilter policies so per-policy statistics stay truthful (all
-    /// policies produce identical answers).
+    /// A key for the given coordinates, not carriable by default.
+    /// `policy_tag` distinguishes prefilter policies so per-policy
+    /// statistics stay truthful (all policies produce identical
+    /// answers).
     pub fn new(
         epoch: u64,
         kind: EngineKind,
@@ -66,7 +77,28 @@ impl EngineKey {
             query,
             window: (window.start().to_bits(), window.end().to_bits()),
             policy_tag,
+            carriable: false,
         }
+    }
+
+    /// Marks the entry as eligible to be carried across epochs.
+    pub fn carriable(mut self, yes: bool) -> Self {
+        self.carriable = yes;
+        self
+    }
+
+    /// The store epoch this key addresses.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` when the keys agree on everything but the epoch — the
+    /// match condition for carrying an entry across a delta.
+    fn same_shape(&self, other: &EngineKey) -> bool {
+        self.kind == other.kind
+            && self.query == other.query
+            && self.window == other.window
+            && self.policy_tag == other.policy_tag
     }
 }
 
@@ -110,21 +142,24 @@ impl CachedEngine {
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (including carried entries).
     pub hits: u64,
     /// Lookups that had to build an engine.
     pub misses: u64,
+    /// Hits served by carrying a pre-delta engine to the current epoch.
+    pub carried: u64,
     /// Entries currently held.
     pub entries: usize,
 }
 
-/// A bounded, epoch-keyed engine cache.
+/// A bounded, epoch-keyed engine cache with delta carry-forward.
 #[derive(Debug, Default)]
 pub struct EngineCache {
     inner: Mutex<HashMap<EngineKey, CachedEngine>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    carried: AtomicU64,
 }
 
 impl EngineCache {
@@ -145,28 +180,71 @@ impl EngineCache {
         key: EngineKey,
         build: impl FnOnce() -> Result<CachedEngine, E>,
     ) -> Result<(CachedEngine, bool), E> {
-        if let Some(found) = self.inner.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((found.clone(), true));
+        self.get_or_build_with_carry(key, None::<fn(u64, &CachedEngine) -> bool>, build)
+    }
+
+    /// Like [`EngineCache::get_or_build`], but before building on a miss,
+    /// offers the newest same-shape entry from an **older** epoch to
+    /// `carry`: when the predicate proves the entry still answers
+    /// correctly at `key`'s epoch (the delta since its build cannot touch
+    /// it), the entry is re-keyed to the current epoch and served as a
+    /// hit. The predicate runs outside the cache lock.
+    pub fn get_or_build_with_carry<E, C>(
+        &self,
+        key: EngineKey,
+        carry: Option<C>,
+        build: impl FnOnce() -> Result<CachedEngine, E>,
+    ) -> Result<(CachedEngine, bool), E>
+    where
+        C: Fn(u64, &CachedEngine) -> bool,
+    {
+        let stale = {
+            let map = self.inner.lock().unwrap();
+            if let Some(found) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((found.clone(), true));
+            }
+            match &carry {
+                Some(_) => map
+                    .iter()
+                    .filter(|(k, _)| k.carriable && k.same_shape(&key) && k.epoch < key.epoch)
+                    .max_by_key(|(k, _)| k.epoch)
+                    .map(|(k, v)| (*k, v.clone())),
+                None => None,
+            }
+        };
+        if let (Some(check), Some((old_key, engine))) = (&carry, stale) {
+            if check(old_key.epoch, &engine) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.carried.fetch_add(1, Ordering::Relaxed);
+                let mut map = self.inner.lock().unwrap();
+                map.remove(&old_key);
+                map.insert(key, engine.clone());
+                return Ok((engine, true));
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = build()?;
         if self.capacity > 0 {
             let mut map = self.inner.lock().unwrap();
-            // Keep only the newest epoch present. A slow build that
-            // started before a store mutation must neither evict the
-            // fresher entries inserted meanwhile nor park a stale,
-            // never-again-hittable entry in the cache.
+            // Drop stale entries that can never be served again: anything
+            // not at the newest epoch, unless it is a carry candidate. A
+            // slow build that started before a store mutation must
+            // neither evict fresher entries nor introduce an older
+            // "newest" — nor park its own stale, never-again-hittable
+            // result in the cache (unless it can still be carried).
             let newest = map
                 .keys()
                 .map(|k| k.epoch)
                 .max()
                 .unwrap_or(key.epoch)
                 .max(key.epoch);
-            map.retain(|k, _| k.epoch == newest);
-            if key.epoch == newest {
+            map.retain(|k, _| k.epoch == newest || k.carriable);
+            if key.epoch == newest || key.carriable {
                 if map.len() >= self.capacity {
-                    if let Some(victim) = map.keys().next().copied() {
+                    // Evict the oldest entry (stale carry candidates
+                    // first).
+                    if let Some(victim) = map.keys().min_by_key(|k| k.epoch).copied() {
                         map.remove(&victim);
                     }
                 }
@@ -181,6 +259,7 @@ impl EngineCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            carried: self.carried.load(Ordering::Relaxed),
             entries: self.inner.lock().unwrap().len(),
         }
     }
@@ -208,11 +287,23 @@ mod tests {
         CachedEngine::Forward(Arc::new(QueryEngine::new(Oid(0), vec![f], 0.5)))
     }
 
+    fn reverse_engine() -> CachedEngine {
+        use unn_traj::trajectory::Trajectory;
+        let mk = |oid: u64, y: f64| {
+            Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (10.0, y, 10.0)]).unwrap()
+        };
+        let all = [mk(0, 0.0), mk(1, 1.0)];
+        let refs: Vec<&Trajectory> = all.iter().collect();
+        CachedEngine::Reverse(Arc::new(
+            ReverseNnEngine::build(&refs, Oid(0), TimeInterval::new(0.0, 10.0), 0.5).unwrap(),
+        ))
+    }
+
     #[test]
-    fn hit_after_miss_and_epoch_eviction() {
+    fn hit_after_miss_and_stale_entry_policy() {
         let cache = EngineCache::with_capacity(8);
         let w = TimeInterval::new(0.0, 10.0);
-        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 0);
+        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 1).carriable(true);
         let (_, hit) = cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
         assert!(!hit);
         let (_, hit) = cache
@@ -220,13 +311,97 @@ mod tests {
             .unwrap();
         assert!(hit);
         assert_eq!(cache.stats().entries, 1);
-        // A key at a newer epoch evicts the stale entry on insert.
-        let k2 = EngineKey::new(2, EngineKind::Forward, Oid(0), w, 0);
+        // A key at a newer epoch misses, but the stale *carriable* entry
+        // is retained as a carry candidate.
+        let k2 = EngineKey::new(2, EngineKind::Forward, Oid(0), w, 1).carriable(true);
         let (_, hit) = cache.get_or_build::<()>(k2, || Ok(engine())).unwrap();
         assert!(!hit);
-        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().entries, 2);
+        // Stale non-carriable entries (reverse engines, exhaustive
+        // forwards) are dropped on the next insertion.
+        let r1 = EngineKey::new(2, EngineKind::Reverse, Oid(0), w, 0);
+        cache
+            .get_or_build::<()>(r1, || Ok(reverse_engine()))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 3);
+        let k3 = EngineKey::new(3, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        cache.get_or_build::<()>(k3, || Ok(engine())).unwrap();
         let stats = cache.stats();
-        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 3, "stale reverse evicted, carriables kept");
+        assert_eq!((stats.hits, stats.misses), (1, 4));
+    }
+
+    #[test]
+    fn stale_non_carriable_builds_are_not_parked() {
+        let cache = EngineCache::with_capacity(8);
+        let w = TimeInterval::new(0.0, 10.0);
+        // A fresh entry at epoch 5 exists...
+        let fresh = EngineKey::new(5, EngineKind::Forward, Oid(1), w, 1).carriable(true);
+        cache.get_or_build::<()>(fresh, || Ok(engine())).unwrap();
+        // ...when a slow non-carriable build from epoch 2 completes, it
+        // must not be inserted (it can never be served again).
+        let slow = EngineKey::new(2, EngineKind::Reverse, Oid(0), w, 0);
+        cache
+            .get_or_build::<()>(slow, || Ok(reverse_engine()))
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1, "stale build must not be parked");
+    }
+
+    #[test]
+    fn carry_rekeys_a_provably_unaffected_entry() {
+        let cache = EngineCache::with_capacity(8);
+        let w = TimeInterval::new(0.0, 10.0);
+        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        let k2 = EngineKey::new(5, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        // Predicate approves: the entry is re-keyed and served.
+        let (_, hit) = cache
+            .get_or_build_with_carry::<(), _>(
+                k2,
+                Some(|built_epoch: u64, _: &CachedEngine| {
+                    assert_eq!(built_epoch, 1);
+                    true
+                }),
+                || panic!("carried entries must not rebuild"),
+            )
+            .unwrap();
+        assert!(hit);
+        let stats = cache.stats();
+        assert_eq!(stats.carried, 1);
+        assert_eq!(stats.entries, 1, "re-keyed, not duplicated");
+        // The entry now hits exactly at the new epoch.
+        let (_, hit) = cache.get_or_build::<()>(k2, || panic!("must hit")).unwrap();
+        assert!(hit);
+        // ...and no longer exists at the old key.
+        let (_, hit) = cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn carry_rejection_builds_fresh() {
+        let cache = EngineCache::with_capacity(8);
+        let w = TimeInterval::new(0.0, 10.0);
+        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        let k2 = EngineKey::new(2, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        let (_, hit) = cache
+            .get_or_build_with_carry::<(), _>(k2, Some(|_: u64, _: &CachedEngine| false), || {
+                Ok(engine())
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats().carried, 0);
+        // Different shapes never carry: another query object's entry is
+        // not offered for Oid(0)'s key.
+        let other = EngineKey::new(3, EngineKind::Forward, Oid(9), w, 1).carriable(true);
+        let (_, hit) = cache
+            .get_or_build_with_carry::<(), _>(
+                other,
+                Some(|_: u64, _: &CachedEngine| panic!("shape mismatch must not be offered")),
+                || Ok(engine()),
+            )
+            .unwrap();
+        assert!(!hit);
     }
 
     #[test]
@@ -254,5 +429,25 @@ mod tests {
         let (_, hit) = cache.get_or_build::<()>(k, || Ok(engine())).unwrap();
         assert!(!hit);
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_epoch_first() {
+        let cache = EngineCache::with_capacity(2);
+        let w = TimeInterval::new(0.0, 10.0);
+        let k1 = EngineKey::new(1, EngineKind::Forward, Oid(0), w, 1).carriable(true);
+        let k2 = EngineKey::new(2, EngineKind::Forward, Oid(1), w, 1).carriable(true);
+        let k3 = EngineKey::new(3, EngineKind::Forward, Oid(2), w, 1).carriable(true);
+        cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        cache.get_or_build::<()>(k2, || Ok(engine())).unwrap();
+        cache.get_or_build::<()>(k3, || Ok(engine())).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+        // The epoch-1 entry was the victim.
+        let (_, hit) = cache
+            .get_or_build::<()>(k3, || panic!("k3 must hit"))
+            .unwrap();
+        assert!(hit);
+        let (_, hit) = cache.get_or_build::<()>(k1, || Ok(engine())).unwrap();
+        assert!(!hit);
     }
 }

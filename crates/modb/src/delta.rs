@@ -1,0 +1,362 @@
+//! The delta-epoch layer: mutation logging for incremental snapshot and
+//! index maintenance.
+//!
+//! The paper's setting is a mostly-static MOD, but a production server
+//! sees a steady stream of GPS updates. Rebuilding every snapshot index
+//! from scratch on each mutation costs `O(N log N)` per update; this
+//! module records mutations as a bounded, epoch-tagged [`DeltaLog`] so
+//! that [`crate::store::ModStore::snapshot`] can *reuse* the previous
+//! [`crate::snapshot::QuerySnapshot`] and patch it — and its grid /
+//! R-tree segment indexes — in `O(|delta| · log N)` (DBSP-style
+//! incremental view maintenance, specialized to the MOD's structures).
+//!
+//! The same log also powers the [`crate::cache::EngineCache`] carry
+//! check: a cached forward engine built at an older epoch can keep
+//! serving when every logged op since then provably cannot touch its
+//! `4r` band (see [`forward_engine_unaffected`]).
+
+use crate::index::bbox::Aabb3;
+use crate::prefilter::corridor_box;
+use crate::snapshot::QuerySnapshot;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use unn_core::query::QueryEngine;
+use unn_traj::trajectory::{Oid, Trajectory};
+use unn_traj::uncertain::UncertainTrajectory;
+
+/// One logged store mutation.
+#[derive(Debug, Clone)]
+pub enum DeltaOp {
+    /// A trajectory was registered. The `Arc` is shared with the shard
+    /// map, so logging an insert costs a pointer, not a deep copy.
+    Insert(Arc<UncertainTrajectory>),
+    /// The trajectory with this id was unregistered.
+    Remove(Oid),
+}
+
+/// A [`DeltaOp`] tagged with the store epoch the mutation created.
+#[derive(Debug, Clone)]
+pub struct DeltaRecord {
+    /// The epoch value *after* the mutation (each record's epoch is
+    /// unique per mutation call; a bulk load shares one epoch).
+    pub epoch: u64,
+    /// The mutation.
+    pub op: DeltaOp,
+}
+
+/// A bounded log of store mutations, complete for every epoch newer than
+/// its floor.
+///
+/// The log never rewinds: records are appended in epoch order and the
+/// oldest are discarded once `capacity` is exceeded, raising the floor.
+/// Consumers ask for "every op since epoch `e`"; the answer is `None`
+/// when `e` predates the floor (the history is incomplete there and the
+/// consumer must fall back to a full rebuild).
+#[derive(Debug)]
+pub struct DeltaLog {
+    records: VecDeque<DeltaRecord>,
+    floor: u64,
+    capacity: usize,
+}
+
+impl DeltaLog {
+    /// An empty log retaining at most `capacity` records, complete from
+    /// epoch 0.
+    pub fn new(capacity: usize) -> Self {
+        DeltaLog {
+            records: VecDeque::new(),
+            floor: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a mutation performed at (post-mutation) `epoch`.
+    pub fn record(&mut self, epoch: u64, op: DeltaOp) {
+        debug_assert!(self
+            .records
+            .back()
+            .map(|r| r.epoch <= epoch)
+            .unwrap_or(true));
+        self.records.push_back(DeltaRecord { epoch, op });
+        while self.records.len() > self.capacity {
+            let dropped = self.records.pop_front().expect("len > capacity > 0");
+            // Every record at the dropped epoch becomes useless: the
+            // history at that epoch is no longer complete.
+            self.floor = self.floor.max(dropped.epoch);
+        }
+        while self
+            .records
+            .front()
+            .map(|r| r.epoch <= self.floor)
+            .unwrap_or(false)
+        {
+            self.records.pop_front();
+        }
+    }
+
+    /// Forgets everything, marking history incomplete before `epoch`
+    /// (used by `clear()`: an un-loggable whole-store mutation).
+    pub fn invalidate(&mut self, epoch: u64) {
+        self.records.clear();
+        self.floor = epoch;
+    }
+
+    /// Every op with epoch in `(base, now]`, oldest first, or `None` when
+    /// the log is incomplete past `base`.
+    pub fn ops_since(&self, base: u64) -> Option<Vec<&DeltaRecord>> {
+        if base < self.floor {
+            return None;
+        }
+        Some(self.records.iter().filter(|r| r.epoch > base).collect())
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The epoch at or before which history may be incomplete.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+}
+
+/// The net effect of an op sequence against a base snapshot: the ids to
+/// drop and the final content of new or updated objects.
+///
+/// A remove-then-reinsert of the same id collapses to one update; an
+/// insert-then-remove collapses to nothing.
+#[derive(Debug, Default)]
+pub struct NetDelta {
+    /// Ids present in the base snapshot that must be removed (including
+    /// updated objects, which also appear in `inserted`).
+    pub removed: Vec<Oid>,
+    /// Final content of objects absent from (or changed since) the base
+    /// snapshot, ascending by id.
+    pub inserted: Vec<UncertainTrajectory>,
+    /// Distinct oids touched (updates count once; cancelled
+    /// insert-then-remove pairs count zero).
+    touched: usize,
+}
+
+impl NetDelta {
+    /// A net delta from explicit parts (`touched` = distinct ids across
+    /// both lists).
+    pub fn new(removed: Vec<Oid>, inserted: Vec<UncertainTrajectory>) -> NetDelta {
+        let touched = removed
+            .iter()
+            .copied()
+            .chain(inserted.iter().map(|t| t.oid()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        NetDelta {
+            removed,
+            inserted,
+            touched,
+        }
+    }
+
+    /// Collapses `ops` (oldest first) against `base`.
+    pub fn from_ops<'a>(
+        base: &QuerySnapshot,
+        ops: impl IntoIterator<Item = &'a DeltaRecord>,
+    ) -> NetDelta {
+        // Last write per oid wins; `None` marks a final removal.
+        let mut fin: BTreeMap<Oid, Option<&Arc<UncertainTrajectory>>> = BTreeMap::new();
+        for rec in ops {
+            match &rec.op {
+                DeltaOp::Insert(tr) => fin.insert(tr.oid(), Some(tr)),
+                DeltaOp::Remove(oid) => fin.insert(*oid, None),
+            };
+        }
+        let mut net = NetDelta::default();
+        for (oid, state) in fin {
+            let in_base = base.contains(oid);
+            if in_base {
+                net.removed.push(oid);
+            }
+            if let Some(tr) = state {
+                net.inserted.push((**tr).clone());
+            }
+            if in_base || state.is_some() {
+                net.touched += 1;
+            }
+        }
+        net
+    }
+
+    /// Number of distinct touched objects (the rebuild-fallback size
+    /// metric): removals, insertions, and updates each count once.
+    pub fn size(&self) -> usize {
+        self.touched
+    }
+
+    /// `true` when the ops cancelled out entirely.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.inserted.is_empty()
+    }
+}
+
+/// The spatial `(x, y)` box of a trajectory's expected location over its
+/// whole domain.
+pub(crate) fn full_xy_box(tr: &Trajectory) -> Aabb3 {
+    let span = tr.span();
+    corridor_box(tr, span.start(), span.end())
+}
+
+/// Largest value the envelope attains on its window. Each piece is a
+/// convex hyperbola, so the piecewise maximum sits at piece endpoints.
+fn envelope_max(engine: &QueryEngine) -> f64 {
+    engine
+        .envelope()
+        .pieces()
+        .iter()
+        .map(|p| p.hyperbola.max_on(&p.span).0)
+        .fold(0.0, f64::max)
+}
+
+/// Proof obligation for carrying a cached **forward** engine across a
+/// delta: `true` only when every op in `ops` provably cannot change any
+/// of the engine's answers.
+///
+/// * A removal is safe iff the removed object is neither the query nor
+///   one of the engine's candidate functions — anything else was already
+///   conservatively prefiltered out and contributes zero to every
+///   answer.
+/// * An insertion is safe iff the new object's whole-domain expected
+///   position stays further from the query's than
+///   `max_t LE₁(t) + 4r`: it can then never enter the `4r` band (its
+///   in-band fraction is exactly zero) *and* never lowers the envelope
+///   (its distance dominates `LE₁` everywhere), so a rebuilt engine
+///   answers identically with or without it.
+///
+/// The check is conservative — `false` merely forces a rebuild.
+pub fn forward_engine_unaffected(
+    engine: &QueryEngine,
+    query_tr: &Trajectory,
+    ops: &[&DeltaRecord],
+) -> bool {
+    let query = engine.query();
+    let mut reach = f64::NAN; // lazily computed: envelope max + 4r
+    let qbox = full_xy_box(query_tr);
+    for rec in ops {
+        match &rec.op {
+            DeltaOp::Remove(oid) => {
+                if *oid == query || engine.functions().iter().any(|f| f.owner() == *oid) {
+                    return false;
+                }
+            }
+            DeltaOp::Insert(tr) => {
+                if tr.oid() == query {
+                    return false;
+                }
+                if reach.is_nan() {
+                    reach = envelope_max(engine) + engine.band_delta();
+                }
+                let gap = qbox.min_dist_xy(&full_xy_box(tr.trajectory()));
+                // The uncertainty radius does not widen the reach: both
+                // the envelope and the band are defined over *expected*
+                // positions (§3), which is what the boxes bound.
+                if gap <= reach {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_traj::trajectory::Trajectory;
+
+    fn tr(oid: u64, y: f64) -> UncertainTrajectory {
+        UncertainTrajectory::with_uniform_pdf(
+            Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (10.0, y, 10.0)]).unwrap(),
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn log_records_and_serves_ranges() {
+        let mut log = DeltaLog::new(16);
+        log.record(1, DeltaOp::Insert(Arc::new(tr(1, 0.0))));
+        log.record(2, DeltaOp::Remove(Oid(1)));
+        log.record(3, DeltaOp::Insert(Arc::new(tr(2, 1.0))));
+        assert_eq!(log.ops_since(0).unwrap().len(), 3);
+        assert_eq!(log.ops_since(1).unwrap().len(), 2);
+        assert_eq!(log.ops_since(3).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn overflow_raises_the_floor() {
+        let mut log = DeltaLog::new(2);
+        for e in 1..=5 {
+            log.record(e, DeltaOp::Remove(Oid(e)));
+        }
+        assert!(log.ops_since(0).is_none(), "history incomplete from 0");
+        assert!(log.ops_since(2).is_none());
+        assert_eq!(log.ops_since(3).unwrap().len(), 2);
+        assert!(log.len() <= 2);
+    }
+
+    #[test]
+    fn eviction_drops_whole_epochs() {
+        // Two records sharing epoch 1 (a bulk load): evicting one must
+        // invalidate the other as well, or ops_since(0) would silently
+        // return half a bulk.
+        let mut log = DeltaLog::new(2);
+        log.record(1, DeltaOp::Insert(Arc::new(tr(1, 0.0))));
+        log.record(1, DeltaOp::Insert(Arc::new(tr(2, 0.0))));
+        log.record(2, DeltaOp::Remove(Oid(1)));
+        assert!(log.ops_since(0).is_none());
+        assert_eq!(log.ops_since(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn invalidate_marks_history_incomplete() {
+        let mut log = DeltaLog::new(8);
+        log.record(1, DeltaOp::Remove(Oid(1)));
+        log.invalidate(2);
+        assert!(log.is_empty());
+        assert!(log.ops_since(1).is_none());
+        assert_eq!(log.ops_since(2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn net_delta_collapses_update_and_cancel() {
+        let base = QuerySnapshot::new(1, vec![tr(1, 0.0), tr(2, 1.0)]);
+        let ops = [
+            DeltaRecord {
+                epoch: 2,
+                op: DeltaOp::Remove(Oid(1)),
+            },
+            DeltaRecord {
+                epoch: 3,
+                op: DeltaOp::Insert(Arc::new(tr(1, 5.0))),
+            },
+            DeltaRecord {
+                epoch: 4,
+                op: DeltaOp::Insert(Arc::new(tr(7, 2.0))),
+            },
+            DeltaRecord {
+                epoch: 5,
+                op: DeltaOp::Remove(Oid(7)),
+            },
+        ];
+        let net = NetDelta::from_ops(&base, ops.iter());
+        assert_eq!(net.removed, vec![Oid(1)]); // update: remove + insert
+        assert_eq!(net.inserted.len(), 1);
+        assert_eq!(net.inserted[0].oid(), Oid(1));
+        assert_eq!(net.size(), 1);
+        // Insert-then-remove of Tr7 cancelled out.
+        assert!(!net.removed.contains(&Oid(7)));
+    }
+}

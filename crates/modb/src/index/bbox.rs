@@ -85,6 +85,29 @@ impl Aabb3 {
             max: [self.max[0] + pad, self.max[1] + pad, self.max[2]],
         }
     }
+
+    /// Smallest distance between the `(x, y)` projections of two boxes
+    /// (zero when they overlap spatially).
+    pub fn min_dist_xy(&self, other: &Aabb3) -> f64 {
+        let dx = (self.min[0] - other.max[0])
+            .max(other.min[0] - self.max[0])
+            .max(0.0);
+        let dy = (self.min[1] - other.max[1])
+            .max(other.min[1] - self.max[1])
+            .max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Largest distance between the `(x, y)` projections of two boxes.
+    pub fn max_dist_xy(&self, other: &Aabb3) -> f64 {
+        let dx = (self.max[0] - other.min[0])
+            .abs()
+            .max((other.max[0] - self.min[0]).abs());
+        let dy = (self.max[1] - other.min[1])
+            .abs()
+            .max((other.max[1] - self.min[1]).abs());
+        (dx * dx + dy * dy).sqrt()
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +152,21 @@ mod tests {
         let a = Aabb3::new([0.0, 0.0, 0.0], [2.0, 3.0, 4.0]);
         assert_eq!(a.half_perimeter(), 9.0);
         assert_eq!(a.center(1), 1.5);
+    }
+
+    #[test]
+    fn xy_distances() {
+        let a = Aabb3::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+        let b = Aabb3::new([4.0, 5.0, 0.0], [5.0, 6.0, 1.0]);
+        // Gap of 3 in x, 4 in y -> 5 diagonally.
+        assert!((a.min_dist_xy(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(b.min_dist_xy(&a), a.min_dist_xy(&b));
+        // Farthest corners: (0,0) to (5,6).
+        let expected = (25.0f64 + 36.0).sqrt();
+        assert!((a.max_dist_xy(&b) - expected).abs() < 1e-12);
+        // Overlapping boxes have zero min distance; time is ignored.
+        let c = Aabb3::new([0.5, 0.5, 100.0], [2.0, 2.0, 200.0]);
+        assert_eq!(a.min_dist_xy(&c), 0.0);
     }
 
     #[test]

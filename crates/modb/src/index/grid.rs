@@ -4,15 +4,24 @@
 //! inflated) segment boxes overlapping it. Queries enumerate the covered
 //! cells and verify candidate boxes exactly. Simple, predictable, and a
 //! good baseline for the R-tree in the `indexes` ablation bench.
+//!
+//! Cells are `Arc`-shared so [`GridIndex::apply_delta`] can derive the
+//! next epoch's grid by copy-on-write: untouched cells are pointer
+//! copies, only the cells covered by the delta's boxes are rewritten.
+//! Boxes outside the original extent clamp into edge cells — queries
+//! clamp the same way and verify exactly, so answers stay identical to a
+//! freshly built grid.
 
 use super::bbox::Aabb3;
 use super::SegmentIndex;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 use unn_traj::trajectory::Oid;
 
 /// Uniform grid over the spatial extent of the indexed boxes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GridIndex {
-    cells: Vec<Vec<(Aabb3, Oid)>>,
+    cells: Vec<Arc<Vec<(Aabb3, Oid)>>>,
     nx: usize,
     ny: usize,
     x0: f64,
@@ -46,8 +55,9 @@ impl GridIndex {
         let cell = ((w * h) / target).sqrt().max(1e-9);
         let nx = (w / cell).ceil() as usize + 1;
         let ny = (h / cell).ceil() as usize + 1;
+        let mut cells = vec![Vec::new(); nx * ny];
         let mut grid = GridIndex {
-            cells: vec![Vec::new(); nx * ny],
+            cells: vec![],
             nx,
             ny,
             x0: world.min[0],
@@ -60,10 +70,11 @@ impl GridIndex {
             let (ix1, iy1) = grid.cell_of(b.max[0], b.max[1]);
             for iy in iy0..=iy1 {
                 for ix in ix0..=ix1 {
-                    grid.cells[iy * nx + ix].push((b, oid));
+                    cells[iy * nx + ix].push((b, oid));
                 }
             }
         }
+        grid.cells = cells.into_iter().map(Arc::new).collect();
         grid
     }
 
@@ -76,15 +87,57 @@ impl GridIndex {
         )
     }
 
+    /// Cell slots covered by `b` (clamped into the grid).
+    fn covered(&self, b: &Aabb3) -> impl Iterator<Item = usize> + '_ {
+        let (ix0, iy0) = self.cell_of(b.min[0], b.min[1]);
+        let (ix1, iy1) = self.cell_of(b.max[0], b.max[1]);
+        let nx = self.nx;
+        (iy0..=iy1).flat_map(move |iy| (ix0..=ix1).map(move |ix| iy * nx + ix))
+    }
+
     /// Grid dimensions `(nx, ny)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.nx, self.ny)
+    }
+
+    /// Derives the grid for the next snapshot epoch by structural
+    /// sharing: removes every entry owned by an id in `removed` (their
+    /// original boxes are passed in `removed_boxes` so only the covered
+    /// cells are touched) and inserts the new boxes, clamping into the
+    /// existing extent. `O(cells)` pointer copies plus `O(|delta|)` cell
+    /// rewrites — query answers are identical to a freshly built grid
+    /// because every candidate is still verified exactly.
+    pub fn apply_delta(
+        &self,
+        inserts: &[(Aabb3, Oid)],
+        removed: &HashSet<Oid>,
+        removed_boxes: &[(Aabb3, Oid)],
+    ) -> GridIndex {
+        if self.cells.is_empty() {
+            // Degenerate base (built empty): no extent to patch into.
+            return GridIndex::build(inserts.to_vec(), inserts.len().max(1));
+        }
+        let mut next = self.clone();
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for (b, _) in removed_boxes {
+            touched.extend(next.covered(b));
+        }
+        for slot in touched {
+            Arc::make_mut(&mut next.cells[slot]).retain(|(_, oid)| !removed.contains(oid));
+        }
+        for (b, oid) in inserts {
+            for slot in next.covered(b).collect::<Vec<_>>() {
+                Arc::make_mut(&mut next.cells[slot]).push((*b, *oid));
+            }
+        }
+        next.entries = self.entries - removed_boxes.len() + inserts.len();
+        next
     }
 }
 
 impl SegmentIndex for GridIndex {
     fn query_bbox(&self, query: &Aabb3) -> Vec<Oid> {
-        if self.entries == 0 {
+        if self.entries == 0 || self.cells.is_empty() {
             return vec![];
         }
         let (ix0, iy0) = self.cell_of(query.min[0], query.min[1]);
@@ -92,7 +145,7 @@ impl SegmentIndex for GridIndex {
         let mut hits = Vec::new();
         for iy in iy0..=iy1 {
             for ix in ix0..=ix1 {
-                for (b, oid) in &self.cells[iy * self.nx + ix] {
+                for (b, oid) in self.cells[iy * self.nx + ix].iter() {
                     if b.intersects(query) {
                         hits.push(*oid);
                     }
@@ -149,5 +202,61 @@ mod tests {
         let (nx, ny) = g.dims();
         assert!(nx * ny >= 100, "{nx}x{ny}");
         assert!(nx * ny < 1000, "{nx}x{ny}");
+    }
+
+    #[test]
+    fn delta_matches_fresh_build() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(50, 41), 0.5);
+        let boxes = segment_boxes(&trs);
+        let base = GridIndex::build(boxes.clone(), boxes.len());
+
+        // Remove objects 3 and 7, insert a replacement for 3 (shifted)
+        // and a brand-new object far outside the original extent.
+        let removed: HashSet<Oid> = [Oid(3), Oid(7)].into_iter().collect();
+        let removed_boxes: Vec<(Aabb3, Oid)> = boxes
+            .iter()
+            .filter(|(_, oid)| removed.contains(oid))
+            .copied()
+            .collect();
+        let mut fresh: Vec<(Aabb3, Oid)> = boxes
+            .iter()
+            .filter(|(_, oid)| !removed.contains(oid))
+            .copied()
+            .collect();
+        let inserts = vec![
+            (query_box(2.0, 2.0, 6.0, 6.0, 0.0, 30.0), Oid(3)),
+            (query_box(500.0, 500.0, 510.0, 510.0, 0.0, 60.0), Oid(99)),
+        ];
+        fresh.extend(inserts.iter().copied());
+
+        let patched = base.apply_delta(&inserts, &removed, &removed_boxes);
+        let rebuilt = LinearScan::build(fresh.clone());
+        assert_eq!(patched.entry_count(), fresh.len());
+        let queries = [
+            query_box(0.0, 0.0, 40.0, 40.0, 0.0, 60.0),
+            query_box(1.0, 1.0, 7.0, 7.0, 0.0, 60.0),
+            query_box(495.0, 495.0, 520.0, 520.0, 0.0, 60.0), // outside old extent
+            query_box(-10.0, -10.0, 600.0, 600.0, 0.0, 60.0), // everything
+        ];
+        for q in &queries {
+            assert_eq!(patched.query_bbox(q), rebuilt.query_bbox(q), "query {q:?}");
+        }
+        // The base grid is untouched (persistent structure).
+        assert_eq!(base.entry_count(), boxes.len());
+        assert!(base
+            .query_bbox(&query_box(-10.0, -10.0, 600.0, 600.0, 0.0, 60.0))
+            .contains(&Oid(7)));
+    }
+
+    #[test]
+    fn delta_on_empty_base_builds_fresh() {
+        let base = GridIndex::build(vec![], 8);
+        let inserts = vec![(query_box(0.0, 0.0, 1.0, 1.0, 0.0, 1.0), Oid(1))];
+        let patched = base.apply_delta(&inserts, &HashSet::new(), &[]);
+        assert_eq!(patched.entry_count(), 1);
+        assert_eq!(
+            patched.query_bbox(&query_box(-1.0, -1.0, 2.0, 2.0, 0.0, 1.0)),
+            vec![Oid(1)]
+        );
     }
 }

@@ -33,26 +33,33 @@ pub trait SegmentIndex {
 pub fn segment_boxes(trs: &[UncertainTrajectory]) -> Vec<(Aabb3, Oid)> {
     let mut out = Vec::new();
     for tr in trs {
-        let r = tr.radius();
-        for seg in tr.trajectory().segments() {
-            let (a, b) = (seg.start, seg.end);
-            let bbox = Aabb3::new(
-                [
-                    a.position.x.min(b.position.x),
-                    a.position.y.min(b.position.y),
-                    a.time,
-                ],
-                [
-                    a.position.x.max(b.position.x),
-                    a.position.y.max(b.position.y),
-                    b.time,
-                ],
-            )
-            .inflate_xy(r);
-            out.push((bbox, tr.oid()));
-        }
+        segment_boxes_of(tr, &mut out);
     }
     out
+}
+
+/// Appends one trajectory's radius-inflated segment boxes to `out` — the
+/// unit the delta-maintenance path works in (a removed or inserted
+/// object's index entries are exactly these boxes).
+pub fn segment_boxes_of(tr: &UncertainTrajectory, out: &mut Vec<(Aabb3, Oid)>) {
+    let r = tr.radius();
+    for seg in tr.trajectory().segments() {
+        let (a, b) = (seg.start, seg.end);
+        let bbox = Aabb3::new(
+            [
+                a.position.x.min(b.position.x),
+                a.position.y.min(b.position.y),
+                a.time,
+            ],
+            [
+                a.position.x.max(b.position.x),
+                a.position.y.max(b.position.y),
+                b.time,
+            ],
+        )
+        .inflate_xy(r);
+        out.push((bbox, tr.oid()));
+    }
 }
 
 /// A query box covering a spatial rectangle over a time range.

@@ -6,9 +6,18 @@
 //! boxes the same way. The result is a static, cache-friendly R-tree with
 //! near-perfect space utilization — appropriate for the MOD setting where
 //! trajectories are bulk-registered and queried many times.
+//!
+//! Nodes are `Arc`-shared so [`RTree::apply_delta`] can maintain the tree
+//! incrementally: removals path-copy only the subtrees whose boxes
+//! intersect the removed entries (`O(|delta| · log N)`), insertions go to
+//! a linear overflow list scanned alongside the tree. Once the overflow
+//! or the accumulated edits grow past the store's rebuild threshold, the
+//! snapshot layer re-packs from scratch, restoring the packed shape.
 
 use super::bbox::Aabb3;
 use super::SegmentIndex;
+use std::collections::HashSet;
+use std::sync::Arc;
 use unn_traj::trajectory::Oid;
 
 const M: usize = 16;
@@ -16,14 +25,17 @@ const M: usize = 16;
 #[derive(Debug)]
 enum Node {
     Leaf { entries: Vec<(Aabb3, Oid)> },
-    Inner { children: Vec<(Aabb3, Box<Node>)> },
+    Inner { children: Vec<(Aabb3, Arc<Node>)> },
 }
 
-/// A static STR-bulk-loaded R-tree.
-#[derive(Debug)]
+/// A static STR-bulk-loaded R-tree with delta maintenance.
+#[derive(Debug, Clone)]
 pub struct RTree {
-    root: Option<(Aabb3, Box<Node>)>,
+    root: Option<(Aabb3, Arc<Node>)>,
     entries: usize,
+    /// Delta-inserted entries awaiting the next re-pack, scanned
+    /// linearly by every query.
+    overflow: Vec<(Aabb3, Oid)>,
 }
 
 impl RTree {
@@ -34,17 +46,18 @@ impl RTree {
             return RTree {
                 root: None,
                 entries: 0,
+                overflow: vec![],
             };
         }
         // --- leaf level via STR tiling ---
         let leaves = str_pack_leaves(&mut items);
-        let mut level: Vec<(Aabb3, Box<Node>)> = leaves
+        let mut level: Vec<(Aabb3, Arc<Node>)> = leaves
             .into_iter()
             .map(|entries| {
                 let bbox = entries
                     .iter()
                     .fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
-                (bbox, Box::new(Node::Leaf { entries }))
+                (bbox, Arc::new(Node::Leaf { entries }))
             })
             .collect();
         // --- pack upper levels until a single root remains ---
@@ -52,7 +65,11 @@ impl RTree {
             level = pack_level(level);
         }
         let root = level.pop();
-        RTree { root, entries }
+        RTree {
+            root,
+            entries,
+            overflow: vec![],
+        }
     }
 
     /// Height of the tree (0 for empty; 1 for a single leaf).
@@ -64,6 +81,96 @@ impl RTree {
             }
         }
         self.root.as_ref().map(|(_, n)| h(n)).unwrap_or(0)
+    }
+
+    /// Number of delta-inserted entries pending the next re-pack.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Derives the tree for the next snapshot epoch without re-packing:
+    /// entries owned by ids in `removed` are dropped by path-copying only
+    /// the subtrees their original boxes (`removed_boxes`) intersect —
+    /// untouched subtrees are shared with `self` — and `inserts` are
+    /// appended to the overflow list. `O(|delta| · log N)`; query answers
+    /// are identical to a freshly packed tree because the overflow is
+    /// scanned with the same exact verification.
+    pub fn apply_delta(
+        &self,
+        inserts: &[(Aabb3, Oid)],
+        removed: &HashSet<Oid>,
+        removed_boxes: &[(Aabb3, Oid)],
+    ) -> RTree {
+        let hints: Vec<Aabb3> = removed_boxes.iter().map(|(b, _)| *b).collect();
+        let root = match &self.root {
+            Some((bbox, node)) if !hints.is_empty() => prune(bbox, node, removed, &hints),
+            other => other.clone(),
+        };
+        let mut overflow: Vec<(Aabb3, Oid)> = self
+            .overflow
+            .iter()
+            .filter(|(_, oid)| !removed.contains(oid))
+            .copied()
+            .collect();
+        overflow.extend_from_slice(inserts);
+        RTree {
+            root,
+            entries: self.entries - removed_boxes.len() + inserts.len(),
+            overflow,
+        }
+    }
+}
+
+/// Path-copies `node`, dropping entries owned by `removed`. Subtrees
+/// whose box intersects no hint box cannot contain a removed entry (each
+/// removed entry *is* one of the hint boxes and lies inside its node's
+/// box) and are shared untouched.
+fn prune(
+    bbox: &Aabb3,
+    node: &Arc<Node>,
+    removed: &HashSet<Oid>,
+    hints: &[Aabb3],
+) -> Option<(Aabb3, Arc<Node>)> {
+    if !hints.iter().any(|h| h.intersects(bbox)) {
+        return Some((*bbox, Arc::clone(node)));
+    }
+    match node.as_ref() {
+        Node::Leaf { entries } => {
+            let kept: Vec<(Aabb3, Oid)> = entries
+                .iter()
+                .filter(|(_, oid)| !removed.contains(oid))
+                .copied()
+                .collect();
+            if kept.len() == entries.len() {
+                return Some((*bbox, Arc::clone(node)));
+            }
+            if kept.is_empty() {
+                return None;
+            }
+            let bbox = kept.iter().fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
+            Some((bbox, Arc::new(Node::Leaf { entries: kept })))
+        }
+        Node::Inner { children } => {
+            let mut next: Vec<(Aabb3, Arc<Node>)> = Vec::with_capacity(children.len());
+            let mut changed = false;
+            for (cb, c) in children {
+                match prune(cb, c, removed, hints) {
+                    Some((nb, n)) => {
+                        changed |= !Arc::ptr_eq(&n, c);
+                        next.push((nb, n));
+                    }
+                    None => changed = true,
+                }
+            }
+            if !changed {
+                return Some((*bbox, Arc::clone(node)));
+            }
+            if next.is_empty() {
+                return None;
+            }
+            let bbox = next.iter().fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
+            Some((bbox, Arc::new(Node::Inner { children: next })))
+        }
     }
 }
 
@@ -90,7 +197,7 @@ fn str_pack_leaves(items: &mut [(Aabb3, Oid)]) -> Vec<Vec<(Aabb3, Oid)>> {
     leaves
 }
 
-fn pack_level(mut nodes: Vec<(Aabb3, Box<Node>)>) -> Vec<(Aabb3, Box<Node>)> {
+fn pack_level(mut nodes: Vec<(Aabb3, Arc<Node>)>) -> Vec<(Aabb3, Arc<Node>)> {
     nodes.sort_by(|a, b| {
         a.0.center(0)
             .total_cmp(&b.0.center(0))
@@ -99,11 +206,11 @@ fn pack_level(mut nodes: Vec<(Aabb3, Box<Node>)>) -> Vec<(Aabb3, Box<Node>)> {
     let mut out = Vec::with_capacity(nodes.len().div_ceil(M));
     let mut iter = nodes.into_iter().peekable();
     while iter.peek().is_some() {
-        let children: Vec<(Aabb3, Box<Node>)> = iter.by_ref().take(M).collect();
+        let children: Vec<(Aabb3, Arc<Node>)> = iter.by_ref().take(M).collect();
         let bbox = children
             .iter()
             .fold(Aabb3::empty(), |acc, (b, _)| acc.union(b));
-        out.push((bbox, Box::new(Node::Inner { children })));
+        out.push((bbox, Arc::new(Node::Inner { children })));
     }
     out
 }
@@ -114,6 +221,11 @@ impl SegmentIndex for RTree {
         if let Some((bbox, node)) = &self.root {
             if bbox.intersects(query) {
                 collect(node, query, &mut hits);
+            }
+        }
+        for (b, oid) in &self.overflow {
+            if b.intersects(query) {
+                hits.push(*oid);
             }
         }
         hits.sort_unstable();
@@ -202,5 +314,70 @@ mod tests {
             "height {} for {n} entries",
             tree.height()
         );
+    }
+
+    #[test]
+    fn delta_matches_fresh_build() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(80, 13), 0.5);
+        let boxes = segment_boxes(&trs);
+        let base = RTree::build(boxes.clone());
+
+        let removed: HashSet<Oid> = [Oid(2), Oid(40), Oid(79)].into_iter().collect();
+        let removed_boxes: Vec<(Aabb3, Oid)> = boxes
+            .iter()
+            .filter(|(_, oid)| removed.contains(oid))
+            .copied()
+            .collect();
+        let mut fresh: Vec<(Aabb3, Oid)> = boxes
+            .iter()
+            .filter(|(_, oid)| !removed.contains(oid))
+            .copied()
+            .collect();
+        let inserts = vec![
+            (query_box(10.0, 10.0, 14.0, 14.0, 0.0, 60.0), Oid(2)),
+            (query_box(-50.0, -50.0, -45.0, -45.0, 0.0, 60.0), Oid(500)),
+        ];
+        fresh.extend(inserts.iter().copied());
+
+        let patched = base.apply_delta(&inserts, &removed, &removed_boxes);
+        let rebuilt = LinearScan::build(fresh.clone());
+        assert_eq!(patched.entry_count(), fresh.len());
+        assert_eq!(patched.overflow_len(), 2);
+        let queries = [
+            query_box(0.0, 0.0, 40.0, 40.0, 0.0, 60.0),
+            query_box(9.0, 9.0, 15.0, 15.0, 0.0, 60.0),
+            query_box(-60.0, -60.0, -40.0, -40.0, 0.0, 60.0),
+            query_box(-100.0, -100.0, 100.0, 100.0, 0.0, 60.0),
+        ];
+        for q in &queries {
+            assert_eq!(patched.query_bbox(q), rebuilt.query_bbox(q), "query {q:?}");
+        }
+        // The base tree is untouched (persistent structure).
+        assert_eq!(base.entry_count(), boxes.len());
+        assert!(base
+            .query_bbox(&query_box(-100.0, -100.0, 100.0, 100.0, 0.0, 60.0))
+            .contains(&Oid(40)));
+        // A second delta chains off the first: remove a delta-inserted
+        // object again.
+        let removed2: HashSet<Oid> = [Oid(500)].into_iter().collect();
+        let removed2_boxes = vec![inserts[1]];
+        let patched2 = patched.apply_delta(&[], &removed2, &removed2_boxes);
+        assert!(!patched2
+            .query_bbox(&query_box(-60.0, -60.0, -40.0, -40.0, 0.0, 60.0))
+            .contains(&Oid(500)));
+        assert_eq!(patched2.entry_count(), fresh.len() - 1);
+    }
+
+    #[test]
+    fn removing_everything_empties_the_tree() {
+        let trs = generate_uncertain(&WorkloadConfig::with_objects(10, 3), 0.5);
+        let boxes = segment_boxes(&trs);
+        let base = RTree::build(boxes.clone());
+        let removed: HashSet<Oid> = (0..10).map(Oid).collect();
+        let patched = base.apply_delta(&[], &removed, &boxes);
+        assert_eq!(patched.entry_count(), 0);
+        assert!(patched
+            .query_bbox(&query_box(-100.0, -100.0, 100.0, 100.0, 0.0, 60.0))
+            .is_empty());
     }
 }

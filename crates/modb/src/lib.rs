@@ -4,14 +4,17 @@
 //! Rust reproduction of *"Continuous Probabilistic Nearest-Neighbor
 //! Queries for Uncertain Trajectories"* (Trajcevski et al., EDBT 2009).
 //!
-//! * [`store`] — the thread-safe trajectory store (the MOD of §1), with
-//!   epoch-stamped `Arc`-shared snapshots;
+//! * [`store`] — the thread-safe **sharded** trajectory store (the MOD of
+//!   §1), with epoch-stamped `Arc`-shared snapshots and a delta log;
+//! * [`delta`] — the delta-epoch layer: the bounded mutation log, net
+//!   deltas, and the engine carry proof;
 //! * [`snapshot`] — the shared [`snapshot::QuerySnapshot`] view with
-//!   lazily built per-snapshot segment indexes;
+//!   lazily built, **incrementally maintained** per-snapshot segment
+//!   indexes;
 //! * [`plan`] — the query planner: one-shot invariant resolution plus the
 //!   pluggable scan/grid/R-tree prefilter ([`plan::PrefilterPolicy`]);
 //! * [`cache`] — the epoch-keyed engine cache amortizing envelope/IPAC
-//!   preprocessing across queries (invalidated by any store mutation);
+//!   preprocessing across queries, with delta carry-forward;
 //! * [`catalog`] — descriptive object metadata joined against spatial
 //!   answers;
 //! * [`index`] — from-scratch STR R-tree and uniform-grid segment indexes
@@ -27,6 +30,38 @@
 //! and narrows candidates conservatively (answers are provably identical
 //! to the exhaustive path); [`cache::EngineCache`] reuses the built
 //! engine for repeated queries until a store mutation bumps the epoch.
+//!
+//! ## The delta-epoch lifecycle
+//!
+//! The paper assumes a mostly-static MOD; the production goal is heavy
+//! write traffic. Mutations therefore no longer discard derived state —
+//! they *log* themselves:
+//!
+//! 1. **Mutate** — `insert`/`remove`/`bulk_load` locks only the target
+//!    oid-hashed shard(s), bumps the epoch, and appends the op to the
+//!    bounded [`delta::DeltaLog`].
+//! 2. **Refresh** — the next [`store::ModStore::snapshot`] collapses the
+//!    pending ops into a [`delta::NetDelta`] and, when its size is within
+//!    the store's **rebuild fraction** of the population (default
+//!    [`store::DEFAULT_REBUILD_FRACTION`] = 25%), derives the new
+//!    snapshot from the previous one via
+//!    [`snapshot::QuerySnapshot::apply_delta`]: the object list is merged
+//!    in one pass and every already-materialized index is patched by
+//!    structural sharing (`GridIndex`/`RTree::apply_delta`,
+//!    `O(|delta| · log N)`). Oversized deltas, cold starts, and history
+//!    gaps (log overflow, [`store::ModStore::clear`]) rebuild from
+//!    scratch, restoring the packed index shape.
+//! 3. **Carry** — on an engine-cache miss at the new epoch, a same-shape
+//!    forward engine from an older epoch is offered to
+//!    `delta::forward_engine_unaffected`: if every logged op since its
+//!    build is provably outside its reach (removals it never considered,
+//!    insertions whose corridor stays beyond `max LE₁ + 4r`), the entry
+//!    is re-keyed and served without rebuilding.
+//!
+//! Every path — patched, carried, or rebuilt — produces **bit-identical
+//! answers** to a cold exhaustive rebuild; `tests/delta_consistency.rs`
+//! asserts this property-style across random mutation interleavings and
+//! all prefilter backends.
 //! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
 //!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
 //!   index-accelerated;
@@ -41,6 +76,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod delta;
 pub mod index;
 pub mod instantaneous;
 pub mod persist;
@@ -53,7 +89,8 @@ pub mod store;
 
 pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
+pub use delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
 pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
 pub use snapshot::QuerySnapshot;
-pub use store::{ModStore, StoreError};
+pub use store::{DeltaStats, ModStore, StoreError};

@@ -69,6 +69,20 @@ impl PrefilterPolicy {
             PrefilterPolicy::RTree { .. } => 3,
         }
     }
+
+    /// `true` when engines planned under this policy may be **carried**
+    /// across a store delta (see [`crate::cache::EngineCache`]).
+    ///
+    /// Every prefiltering policy answers through the `4r`-band semantics,
+    /// so an engine provably untouched by the delta keeps answering
+    /// identically. `Exhaustive` engines are excluded: they also serve
+    /// full-population consumers (crisp continuous k-NN), whose answers
+    /// are *not* band-bounded — an insertion far outside the band can
+    /// still enter a rank-k cell — so they must be rebuilt on any epoch
+    /// change.
+    pub fn allows_carry(&self) -> bool {
+        !matches!(self, PrefilterPolicy::Exhaustive)
+    }
 }
 
 impl fmt::Display for PrefilterPolicy {

@@ -26,16 +26,12 @@ use unn_traj::uncertain::UncertainTrajectory;
 
 /// Smallest distance between the `(x, y)` projections of two boxes.
 pub(crate) fn min_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
-    let dx = (a.min[0] - b.max[0]).max(b.min[0] - a.max[0]).max(0.0);
-    let dy = (a.min[1] - b.max[1]).max(b.min[1] - a.max[1]).max(0.0);
-    (dx * dx + dy * dy).sqrt()
+    a.min_dist_xy(b)
 }
 
 /// Largest distance between the `(x, y)` projections of two boxes.
 pub(crate) fn max_dist_xy(a: &Aabb3, b: &Aabb3) -> f64 {
-    let dx = (a.max[0] - b.min[0]).abs().max((b.max[0] - a.min[0]).abs());
-    let dy = (a.max[1] - b.min[1]).abs().max((b.max[1] - a.min[1]).abs());
-    (dx * dx + dy * dy).sqrt()
+    a.max_dist_xy(b)
 }
 
 /// The spatial box of a trajectory's expected location over `[t0, t1]`.
@@ -118,7 +114,8 @@ pub fn epoch_box_prefilter(
 
 /// Index-backed epoch prefilter: the same conservative `R_min ≤ U + 4r`
 /// rule as [`epoch_box_prefilter`], but with candidate retrieval delegated
-/// to a [`SegmentIndex`] (grid or STR R-tree) instead of an `O(N)` box
+/// to a [`SegmentIndex`](crate::index::SegmentIndex) (grid or STR
+/// R-tree) instead of an `O(N)` box
 /// scan per epoch — the role §7 assigns to R-tree-family access methods.
 ///
 /// Per epoch, an envelope upper bound `U_e` is obtained by probing the

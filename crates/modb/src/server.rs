@@ -142,22 +142,27 @@ pub struct ContinuousAnswer {
 /// `Arc`-shared [`crate::snapshot::QuerySnapshot`] and runs the
 /// configured [`PrefilterPolicy`]) and the epoch-keyed [`EngineCache`]
 /// (which reuses envelope/IPAC preprocessing while the store is
-/// unchanged). Prefiltered and cached execution is the **default** and
-/// produces answers identical to the exhaustive path; see the
-/// crate-level docs for the invalidation contract.
+/// unchanged, and **carries** forward engines across mutations the delta
+/// log proves cannot touch them). Prefiltered and cached execution is
+/// the **default** and produces answers identical to the exhaustive
+/// path; see the crate-level docs for the invalidation contract.
 #[derive(Debug)]
 pub struct ModServer {
     store: ModStore,
     planner: QueryPlanner,
-    cache: EngineCache,
+    cache: Arc<EngineCache>,
 }
 
 impl Default for ModServer {
     fn default() -> Self {
+        let store = ModStore::new();
+        let cache = Arc::new(EngineCache::with_capacity(128));
+        // `store.clear()` wipes the engine cache in the same step.
+        store.attach_cache(&cache);
         ModServer {
-            store: ModStore::new(),
+            store,
             planner: QueryPlanner::default(),
-            cache: EngineCache::with_capacity(128),
+            cache,
         }
     }
 }
@@ -263,8 +268,30 @@ impl ModServer {
             query_oid,
             window,
             policy.tag(),
-        );
-        let (cached, cache_hit) = self.cache.get_or_build(key, || {
+        )
+        .carriable(policy.allows_carry());
+        // A pre-mutation engine may keep serving when the delta log
+        // proves every op since its build is outside its reach (removed
+        // objects it never considered; insertions provably beyond the
+        // envelope + 4r). Exhaustive engines never carry — see
+        // [`PrefilterPolicy::allows_carry`].
+        let carry = if policy.allows_carry() {
+            Some(|built_epoch: u64, entry: &CachedEngine| {
+                let (Some(engine), Some(query_tr)) = (entry.forward(), snapshot.get(query_oid))
+                else {
+                    return false;
+                };
+                self.store.with_ops_since(built_epoch, |ops| match ops {
+                    Some(ops) => {
+                        crate::delta::forward_engine_unaffected(&engine, query_tr.trajectory(), ops)
+                    }
+                    None => false,
+                })
+            })
+        } else {
+            None
+        };
+        let (cached, cache_hit) = self.cache.get_or_build_with_carry(key, carry, || {
             let plan = QueryPlanner::new(policy)
                 .plan(Arc::clone(&snapshot), query_oid, window)
                 .map_err(ServerError::from)?;

@@ -2,20 +2,37 @@
 //! trajectories (§2.1: the server "keeps a copy ... for query
 //! processing").
 //!
-//! Mutations bump a monotonic epoch; [`ModStore::snapshot`] hands out an
-//! `Arc`-shared, epoch-stamped [`QuerySnapshot`] that is reused until the
-//! next mutation, so query execution never deep-clones the MOD. The
-//! epoch is also the invalidation key for every derived structure (the
-//! per-snapshot segment indexes and the engine cache): a structure built
-//! from epoch `e` is valid exactly while `store.epoch() == e`.
+//! The store is **sharded**: objects are distributed over N oid-hashed
+//! shards, each behind its own lock, so concurrent writers on different
+//! shards never contend. Mutations bump a monotonic epoch and append to
+//! the bounded [`DeltaLog`]; [`ModStore::snapshot`] hands out an
+//! `Arc`-shared, epoch-stamped [`QuerySnapshot`] that — when the pending
+//! delta is small relative to the population — is derived from the
+//! *previous* snapshot by [`QuerySnapshot::apply_delta`] instead of
+//! re-copied and re-indexed from scratch. The epoch remains the
+//! invalidation key for every derived structure; the delta log
+//! additionally lets the [`EngineCache`] prove that some cached engines
+//! survive a mutation (see [`crate::delta`]).
 
+use crate::cache::EngineCache;
+use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
 use crate::snapshot::QuerySnapshot;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use unn_traj::trajectory::Oid;
 use unn_traj::uncertain::UncertainTrajectory;
+
+/// Default number of oid-hashed shards.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Default bound on retained delta records.
+const DELTA_LOG_CAPACITY: usize = 4096;
+
+/// Default delta-to-population ratio beyond which snapshot maintenance
+/// falls back to a full rebuild.
+pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
 
 /// Errors raised by [`ModStore`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,34 +54,118 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// Thread-safe store of uncertain trajectories, keyed by [`Oid`].
-///
-/// Mutations bump an epoch counter so index structures and caches built
-/// from a snapshot can detect staleness cheaply.
+/// Point-in-time counters of the delta-epoch machinery (the CLI's
+/// `store delta-stats` view).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaStats {
+    /// Current store epoch.
+    pub epoch: u64,
+    /// Number of oid-hashed shards.
+    pub shards: usize,
+    /// Mutation records currently retained in the delta log.
+    pub log_len: usize,
+    /// Epoch at or before which delta history is incomplete.
+    pub log_floor: u64,
+    /// Ops newer than the cached snapshot (applied on its next refresh).
+    pub pending_ops: usize,
+    /// Delta-to-population ratio beyond which snapshots rebuild fully.
+    pub rebuild_fraction: f64,
+    /// Snapshots refreshed by applying a delta to their predecessor.
+    pub snapshots_delta_applied: u64,
+    /// Snapshots rebuilt from scratch (cold starts and oversized deltas).
+    pub snapshots_rebuilt: u64,
+}
+
 #[derive(Debug, Default)]
+struct Shard {
+    /// Values are `Arc`-shared with the delta log, so mutations never
+    /// deep-copy a trajectory.
+    map: RwLock<BTreeMap<Oid, Arc<UncertainTrajectory>>>,
+}
+
+/// Thread-safe, sharded store of uncertain trajectories, keyed by
+/// [`Oid`].
+///
+/// Mutations bump an epoch counter and append to a bounded delta log, so
+/// snapshots and caches built from an earlier epoch can be *maintained*
+/// (not just invalidated) cheaply.
+#[derive(Debug)]
 pub struct ModStore {
-    inner: RwLock<BTreeMap<Oid, UncertainTrajectory>>,
+    shards: Vec<Shard>,
     epoch: AtomicU64,
-    /// The snapshot most recently built, reused while its epoch matches.
+    /// The snapshot most recently built, reused while its epoch matches
+    /// and patched (not discarded) when it does not.
     cached: RwLock<Option<Arc<QuerySnapshot>>>,
+    delta: Mutex<DeltaLog>,
+    /// `f64` bits of the rebuild-fallback fraction (atomic so benches and
+    /// the CLI can flip it through a shared reference).
+    rebuild_fraction: AtomicU64,
+    snapshots_delta_applied: AtomicU64,
+    snapshots_rebuilt: AtomicU64,
+    /// Engine caches to drop alongside the contents on [`ModStore::clear`].
+    caches: Mutex<Vec<Weak<EngineCache>>>,
+}
+
+impl Default for ModStore {
+    fn default() -> Self {
+        ModStore::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl ModStore {
-    /// An empty store.
+    /// An empty store with the default shard count.
     pub fn new() -> Self {
         ModStore::default()
     }
 
+    /// An empty store with `shards` oid-hashed shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ModStore {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            epoch: AtomicU64::new(0),
+            cached: RwLock::new(None),
+            delta: Mutex::new(DeltaLog::new(DELTA_LOG_CAPACITY)),
+            rebuild_fraction: AtomicU64::new(DEFAULT_REBUILD_FRACTION.to_bits()),
+            snapshots_delta_applied: AtomicU64::new(0),
+            snapshots_rebuilt: AtomicU64::new(0),
+            caches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, oid: Oid) -> &Shard {
+        // Fibonacci hashing spreads dense id ranges evenly.
+        let h = (oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Appends `ops` to the delta log under one new epoch, returning it.
+    /// Must be called while holding the write lock of every mutated
+    /// shard, so snapshot builders (which hold all read locks) never see
+    /// a half-committed mutation.
+    fn commit(&self, ops: impl IntoIterator<Item = DeltaOp>) -> u64 {
+        let mut log = self.delta.lock().unwrap();
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        for op in ops {
+            log.record(epoch, op);
+        }
+        epoch
+    }
+
     /// Inserts a trajectory; fails on duplicate ids.
     pub fn insert(&self, tr: UncertainTrajectory) -> Result<(), StoreError> {
-        let mut g = self.inner.write().unwrap();
         let oid = tr.oid();
+        let tr = Arc::new(tr);
+        let mut g = self.shard_of(oid).map.write().unwrap();
         if g.contains_key(&oid) {
             return Err(StoreError::DuplicateOid(oid));
         }
-        g.insert(oid, tr);
-        self.epoch.fetch_add(1, Ordering::Release);
-        *self.cached.write().unwrap() = None;
+        g.insert(oid, Arc::clone(&tr));
+        self.commit([DeltaOp::Insert(tr)]);
         Ok(())
     }
 
@@ -73,75 +174,135 @@ impl ModStore {
         &self,
         trs: I,
     ) -> Result<usize, StoreError> {
-        let mut g = self.inner.write().unwrap();
-        let items: Vec<UncertainTrajectory> = trs.into_iter().collect();
+        let items: Vec<Arc<UncertainTrajectory>> = trs.into_iter().map(Arc::new).collect();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.map.write().unwrap()).collect();
+        let slot = |oid: Oid| {
+            let h = (oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+            h % self.shards.len()
+        };
+        let mut seen = std::collections::BTreeSet::new();
         for tr in &items {
-            if g.contains_key(&tr.oid()) {
+            if guards[slot(tr.oid())].contains_key(&tr.oid()) || !seen.insert(tr.oid()) {
                 return Err(StoreError::DuplicateOid(tr.oid()));
             }
         }
         let n = items.len();
-        for tr in items {
-            g.insert(tr.oid(), tr);
+        for tr in &items {
+            guards[slot(tr.oid())].insert(tr.oid(), Arc::clone(tr));
         }
-        self.epoch.fetch_add(1, Ordering::Release);
-        *self.cached.write().unwrap() = None;
+        self.commit(items.into_iter().map(DeltaOp::Insert));
         Ok(n)
     }
 
     /// Removes a trajectory.
     pub fn remove(&self, oid: Oid) -> Result<UncertainTrajectory, StoreError> {
-        let mut g = self.inner.write().unwrap();
+        let mut g = self.shard_of(oid).map.write().unwrap();
         let out = g.remove(&oid).ok_or(StoreError::NotFound(oid))?;
-        self.epoch.fetch_add(1, Ordering::Release);
-        *self.cached.write().unwrap() = None;
-        Ok(out)
+        self.commit([DeltaOp::Remove(oid)]);
+        Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Clones the trajectory with the given id.
     pub fn get(&self, oid: Oid) -> Option<UncertainTrajectory> {
-        self.inner.read().unwrap().get(&oid).cloned()
+        self.shard_of(oid)
+            .map
+            .read()
+            .unwrap()
+            .get(&oid)
+            .map(|a| (**a).clone())
     }
 
     /// `true` when the id is present.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.inner.read().unwrap().contains_key(&oid)
+        self.shard_of(oid).map.read().unwrap().contains_key(&oid)
     }
 
     /// Number of stored trajectories.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.map.read().unwrap().len())
+            .sum()
     }
 
     /// `true` when the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().unwrap().is_empty()
+        self.shards.iter().all(|s| s.map.read().unwrap().is_empty())
     }
 
     /// All ids, ascending.
     pub fn oids(&self) -> Vec<Oid> {
-        self.inner.read().unwrap().keys().copied().collect()
+        let mut out: Vec<Oid> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.map.read().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// An `Arc`-shared, epoch-stamped snapshot of the MOD, ascending by
     /// id.
     ///
-    /// The same snapshot is returned until a mutation bumps the epoch, so
-    /// repeated queries against an unchanged store share one copy of the
-    /// trajectories and of every lazily built per-snapshot index.
+    /// The same snapshot is returned until a mutation bumps the epoch.
+    /// After a mutation, the refresh is **incremental**: while the
+    /// pending delta stays within the rebuild fraction of the
+    /// population, the previous snapshot and its materialized indexes
+    /// are patched in `O(|delta| · log N)` instead of rebuilt — with
+    /// answers identical to a cold rebuild. Oversized deltas, cold
+    /// starts, and history gaps (log overflow, `clear`) rebuild fully.
     pub fn snapshot(&self) -> Arc<QuerySnapshot> {
+        let now = self.epoch.load(Ordering::Acquire);
         if let Some(s) = self.cached.read().unwrap().as_ref() {
-            if s.epoch() == self.epoch.load(Ordering::Acquire) {
+            if s.epoch() == now {
                 return Arc::clone(s);
             }
         }
-        // (Re)build from the live contents. The epoch is read while the
-        // content lock is held, so it is consistent with the copy.
-        let snap = {
-            let g = self.inner.read().unwrap();
-            let epoch = self.epoch.load(Ordering::Acquire);
-            Arc::new(QuerySnapshot::new(epoch, g.values().cloned().collect()))
+        // Freeze the store: with every shard read lock held, no mutation
+        // is mid-commit, so contents, epoch, and delta log are mutually
+        // consistent.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.map.read().unwrap()).collect();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let prev = self.cached.read().unwrap().clone();
+        if let Some(p) = &prev {
+            if p.epoch() == epoch {
+                return Arc::clone(p);
+            }
+        }
+        let patched = prev.as_ref().and_then(|p| {
+            let log = self.delta.lock().unwrap();
+            let ops = log.ops_since(p.epoch())?;
+            let net = NetDelta::from_ops(p, ops);
+            // Charge the accumulated patch debt too: an endless stream
+            // of tiny deltas must still re-pack periodically, or the
+            // R-tree overflow and grid edits grow without bound.
+            let budget = self.rebuild_fraction() * p.len().max(1) as f64;
+            if (net.size() + p.patch_debt()) as f64 > budget {
+                return None;
+            }
+            Some(QuerySnapshot::apply_delta(p, epoch, &net))
+        });
+        let snap = match patched {
+            Some(s) => {
+                self.snapshots_delta_applied.fetch_add(1, Ordering::Relaxed);
+                debug_assert_eq!(
+                    s.len(),
+                    guards.iter().map(|g| g.len()).sum::<usize>(),
+                    "delta-applied snapshot diverged from the live contents"
+                );
+                Arc::new(s)
+            }
+            None => {
+                self.snapshots_rebuilt.fetch_add(1, Ordering::Relaxed);
+                let mut objects: Vec<UncertainTrajectory> = guards
+                    .iter()
+                    .flat_map(|g| g.values().map(|a| (**a).clone()))
+                    .collect();
+                objects.sort_unstable_by_key(|t| t.oid());
+                Arc::new(QuerySnapshot::new(epoch, objects))
+            }
         };
+        drop(guards);
         let mut cached = self.cached.write().unwrap();
         match cached.as_ref() {
             // Never replace a newer snapshot with an older rebuild.
@@ -158,12 +319,90 @@ impl ModStore {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Removes everything.
+    /// Removes everything — contents, cached snapshot, delta history, and
+    /// every attached engine cache — in one step, so no caller can
+    /// observe a stale cached engine or snapshot against the emptied
+    /// store.
     pub fn clear(&self) {
-        let mut g = self.inner.write().unwrap();
-        g.clear();
-        self.epoch.fetch_add(1, Ordering::Release);
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.map.write().unwrap()).collect();
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        {
+            // A whole-store wipe is not representable as per-object ops;
+            // mark history incomplete so nothing delta-applies across it.
+            let mut log = self.delta.lock().unwrap();
+            let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            log.invalidate(epoch);
+        }
         *self.cached.write().unwrap() = None;
+        drop(guards);
+        let mut caches = self.caches.lock().unwrap();
+        caches.retain(|w| match w.upgrade() {
+            Some(cache) => {
+                cache.clear();
+                true
+            }
+            None => false,
+        });
+    }
+
+    /// Ties an engine cache's lifecycle to this store: [`ModStore::clear`]
+    /// will clear it in the same step as the contents.
+    pub fn attach_cache(&self, cache: &Arc<EngineCache>) {
+        self.caches.lock().unwrap().push(Arc::downgrade(cache));
+    }
+
+    /// The delta-to-population ratio beyond which snapshot refreshes fall
+    /// back to a full rebuild.
+    pub fn rebuild_fraction(&self) -> f64 {
+        f64::from_bits(self.rebuild_fraction.load(Ordering::Relaxed))
+    }
+
+    /// Sets the rebuild-fallback fraction (`0` disables delta
+    /// maintenance entirely — the full-rebuild ablation).
+    pub fn set_rebuild_fraction(&self, fraction: f64) {
+        self.rebuild_fraction
+            .store(fraction.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Counters of the delta-epoch machinery.
+    pub fn delta_stats(&self) -> DeltaStats {
+        let cached_epoch = self
+            .cached
+            .read()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.epoch())
+            .unwrap_or(0);
+        let log = self.delta.lock().unwrap();
+        let pending = log.ops_since(cached_epoch).map(|o| o.len()).unwrap_or(0);
+        DeltaStats {
+            epoch: self.epoch(),
+            shards: self.shards.len(),
+            log_len: log.len(),
+            log_floor: log.floor(),
+            pending_ops: pending,
+            rebuild_fraction: self.rebuild_fraction(),
+            snapshots_delta_applied: self.snapshots_delta_applied.load(Ordering::Relaxed),
+            snapshots_rebuilt: self.snapshots_rebuilt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` over the delta records newer than `base` (`None` when the
+    /// log is incomplete past `base`). Used by the engine-cache carry
+    /// check; the closure runs under the log lock and must not call back
+    /// into the store.
+    pub(crate) fn with_ops_since<R>(
+        &self,
+        base: u64,
+        f: impl FnOnce(Option<&[&DeltaRecord]>) -> R,
+    ) -> R {
+        let log = self.delta.lock().unwrap();
+        match log.ops_since(base) {
+            Some(ops) => f(Some(&ops)),
+            None => f(None),
+        }
     }
 }
 
@@ -205,6 +444,12 @@ mod tests {
         assert!(!s.contains(Oid(4)));
         assert_eq!(s.bulk_load(vec![tr(5), tr(6)]).unwrap(), 2);
         assert_eq!(s.len(), 3);
+        // Duplicates *within* one batch are rejected too.
+        assert_eq!(
+            s.bulk_load(vec![tr(7), tr(7)]),
+            Err(StoreError::DuplicateOid(Oid(7)))
+        );
+        assert!(!s.contains(Oid(7)));
     }
 
     #[test]
@@ -255,5 +500,119 @@ mod tests {
         assert_eq!(c.epoch(), s.epoch());
         // The old snapshot still reads consistently at its own epoch.
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn small_mutations_refresh_by_delta() {
+        let s = ModStore::new();
+        s.bulk_load((0..40).map(tr)).unwrap();
+        let first = s.snapshot();
+        // Force the indexes so the delta path has something to patch.
+        let _ = (first.grid().entry_count(), first.rtree().entry_count());
+        s.remove(Oid(7)).unwrap();
+        s.insert(tr(100)).unwrap();
+        let second = s.snapshot();
+        let stats = s.delta_stats();
+        assert!(
+            stats.snapshots_delta_applied >= 1,
+            "small delta must patch, not rebuild: {stats:?}"
+        );
+        assert!(!second.contains(Oid(7)));
+        assert!(second.contains(Oid(100)));
+        assert_eq!(second.len(), 40);
+        // Patched indexes carry the delta too.
+        use crate::index::{query_box, SegmentIndex};
+        let everything = query_box(-1e6, -1e6, 1e6, 1e6, 0.0, 1e6);
+        let grid_hits = second.grid().query_bbox(&everything);
+        assert!(!grid_hits.contains(&Oid(7)));
+        assert!(grid_hits.contains(&Oid(100)));
+        assert_eq!(second.rtree().query_bbox(&everything), grid_hits);
+    }
+
+    #[test]
+    fn zero_rebuild_fraction_disables_delta_maintenance() {
+        let s = ModStore::new();
+        s.set_rebuild_fraction(0.0);
+        s.bulk_load((0..20).map(tr)).unwrap();
+        let _ = s.snapshot();
+        s.remove(Oid(3)).unwrap();
+        let snap = s.snapshot();
+        assert!(!snap.contains(Oid(3)));
+        let stats = s.delta_stats();
+        assert_eq!(stats.snapshots_delta_applied, 0, "{stats:?}");
+        assert!(stats.snapshots_rebuilt >= 2);
+    }
+
+    #[test]
+    fn accumulated_patch_debt_forces_a_periodic_repack() {
+        use crate::index::SegmentIndex;
+        let s = ModStore::new();
+        s.bulk_load((0..40).map(tr)).unwrap();
+        let _ = s.snapshot().rtree().entry_count();
+        // An endless stream of tiny deltas: each is far under the
+        // rebuild fraction, but the debt accumulates until a re-pack
+        // clears the R-tree overflow.
+        let mut max_overflow = 0;
+        for k in 0..60u64 {
+            s.insert(tr(100 + k)).unwrap();
+            let snap = s.snapshot();
+            max_overflow = max_overflow.max(snap.rtree().overflow_len());
+        }
+        let stats = s.delta_stats();
+        assert!(
+            stats.snapshots_rebuilt >= 2,
+            "patch debt never triggered a re-pack: {stats:?}"
+        );
+        assert!(
+            max_overflow <= 40,
+            "overflow grew past the rebuild budget: {max_overflow}"
+        );
+        // A re-packed snapshot starts debt-free.
+        assert!(s.snapshot().patch_debt() <= 40);
+    }
+
+    #[test]
+    fn oversized_deltas_fall_back_to_rebuild() {
+        let s = ModStore::new();
+        s.bulk_load((0..10).map(tr)).unwrap();
+        let _ = s.snapshot();
+        let before = s.delta_stats().snapshots_rebuilt;
+        // Touch well over the default fraction of the population.
+        for oid in 0..8 {
+            s.remove(Oid(oid)).unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(s.delta_stats().snapshots_rebuilt, before + 1);
+    }
+
+    #[test]
+    fn clear_resets_delta_state_and_attached_caches() {
+        let s = ModStore::new();
+        let cache = Arc::new(EngineCache::with_capacity(8));
+        s.attach_cache(&cache);
+        s.bulk_load((0..5).map(tr)).unwrap();
+        let _ = s.snapshot();
+        s.clear();
+        assert!(s.is_empty());
+        let stats = s.delta_stats();
+        assert_eq!(stats.log_len, 0);
+        assert_eq!(stats.log_floor, stats.epoch);
+        assert_eq!(cache.stats().entries, 0);
+        // A snapshot after clear is a rebuild of the empty population.
+        assert_eq!(s.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn delta_stats_report_pending_ops() {
+        let s = ModStore::new();
+        s.bulk_load((0..6).map(tr)).unwrap();
+        let _ = s.snapshot();
+        s.insert(tr(50)).unwrap();
+        s.remove(Oid(2)).unwrap();
+        let stats = s.delta_stats();
+        assert_eq!(stats.pending_ops, 2, "{stats:?}");
+        let _ = s.snapshot();
+        assert_eq!(s.delta_stats().pending_ops, 0);
     }
 }

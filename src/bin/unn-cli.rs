@@ -21,7 +21,9 @@
 //! ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
 //! stats <TrQ> <tb> <te>       envelope size and pruning statistics
 //! policy <kind> [epochs]      set the prefilter (exhaustive|scan|grid|rtree)
-//! cache                       engine-cache hit/miss counters
+//! cache                       engine-cache hit/miss/carry counters
+//! store delta-stats           delta-epoch machinery counters
+//! store rebuild-fraction <f>  set the delta-vs-rebuild threshold
 //! sql <statement>             execute a §4/§7 query-language statement
 //! help                        this text
 //! quit                        exit
@@ -45,7 +47,9 @@ commands:
   ipac <TrQ> <tb> <te> <d>    render the IPAC-NN tree to depth d
   stats <TrQ> <tb> <te>       envelope size and pruning statistics
   policy <kind> [epochs]      set the prefilter (exhaustive|scan|grid|rtree)
-  cache                       engine-cache hit/miss counters
+  cache                       engine-cache hit/miss/carry counters
+  store delta-stats           delta-epoch machinery counters
+  store rebuild-fraction <f>  set the delta-vs-rebuild threshold
   sql <statement>             execute a query-language statement
   help                        this text
   quit                        exit";
@@ -253,13 +257,47 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
         "cache" => {
             let stats = server.cache_stats();
             println!(
-                "engine cache: {} hits, {} misses, {} entries (epoch {})",
+                "engine cache: {} hits ({} carried across deltas), {} misses, {} entries (epoch {})",
                 stats.hits,
+                stats.carried,
                 stats.misses,
                 stats.entries,
                 server.store().epoch()
             );
             Ok(())
+        }
+        "store" => {
+            let mut parts = rest.split_whitespace();
+            match parts
+                .next()
+                .ok_or("usage: store <delta-stats|rebuild-fraction <f>>")?
+            {
+                "delta-stats" => {
+                    let d = server.store().delta_stats();
+                    println!(
+                        "store: epoch {}, {} shards, {} objects",
+                        d.epoch,
+                        d.shards,
+                        server.store().len()
+                    );
+                    println!(
+                        "delta log: {} records retained (floor epoch {}), {} ops pending vs cached snapshot",
+                        d.log_len, d.log_floor, d.pending_ops
+                    );
+                    println!(
+                        "snapshot refreshes: {} delta-applied, {} full rebuilds (rebuild fraction {:.2})",
+                        d.snapshots_delta_applied, d.snapshots_rebuilt, d.rebuild_fraction
+                    );
+                    Ok(())
+                }
+                "rebuild-fraction" => {
+                    let f: f64 = parse(parts.next().ok_or("usage: store rebuild-fraction <f>")?)?;
+                    server.store().set_rebuild_fraction(f);
+                    println!("rebuild fraction set to {f} (0 disables delta maintenance)");
+                    Ok(())
+                }
+                other => Err(format!("unknown store subcommand '{other}'")),
+            }
         }
         "sql" => {
             match server.execute(rest).map_err(|e| e.to_string())? {

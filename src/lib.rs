@@ -24,7 +24,12 @@
 //!    `Arc`-shared, epoch-stamped [`modb::snapshot::QuerySnapshot`]. The
 //!    same snapshot (and its lazily built STR R-tree / grid segment
 //!    indexes) is reused until a mutation bumps the store epoch; no
-//!    trajectory is cloned per query.
+//!    trajectory is cloned per query. After a mutation, the refresh is
+//!    **incremental**: the sharded store logs every op in a
+//!    [`modb::delta::DeltaLog`] and small deltas patch the previous
+//!    snapshot and its indexes in `O(|delta| · log N)` instead of
+//!    rebuilding (see the `unn-modb` crate docs for the delta-epoch
+//!    lifecycle).
 //! 2. **Plan / prefilter** — [`modb::plan::QueryPlanner`] validates the
 //!    window, query object, and radius invariants once, then narrows the
 //!    candidate population with a pluggable
@@ -41,8 +46,11 @@
 //!    are memoized in the epoch-keyed [`modb::cache::EngineCache`], so
 //!    repeated queries against an unchanged MOD skip stages 2–3
 //!    entirely. **Invalidation contract:** any store mutation
-//!    (register/unregister/clear) bumps the epoch, which orphans every
-//!    cached engine and snapshot; the next query transparently rebuilds.
+//!    (register/unregister/clear) bumps the epoch, so stale engines are
+//!    never served blindly; a prefiltered forward engine may be
+//!    **carried** across a mutation when the delta log proves the ops
+//!    cannot touch its `4r` band, and everything else transparently
+//!    rebuilds on the next query.
 //!
 //! ## Quickstart
 //!

@@ -125,8 +125,31 @@ fn policy_and_cache_commands_drive_the_pipeline() {
     // The second identical query must come from the engine cache.
     assert!(stdout.contains("(cache hit)"), "{stdout}");
     assert!(
-        stdout.contains("engine cache: 1 hits, 1 misses"),
+        stdout.contains("engine cache: 1 hits (0 carried across deltas), 1 misses"),
         "{stdout}"
     );
     assert!(stdout.contains("unknown policy 'bogus'"), "{stdout}");
+}
+
+#[test]
+fn store_delta_stats_track_the_delta_epoch_machinery() {
+    let (stdout, stderr) = run_cli(
+        "gen 30 5 0.5\n\
+         stats Tr0 0 60\n\
+         store delta-stats\n\
+         store rebuild-fraction 0\n\
+         store delta-stats\n\
+         store bogus\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("16 shards, 30 objects"), "{stdout}");
+    assert!(stdout.contains("delta log:"), "{stdout}");
+    assert!(stdout.contains("snapshot refreshes:"), "{stdout}");
+    assert!(stdout.contains("rebuild fraction set to 0"), "{stdout}");
+    assert!(stdout.contains("(rebuild fraction 0.00)"), "{stdout}");
+    assert!(
+        stdout.contains("unknown store subcommand 'bogus'"),
+        "{stdout}"
+    );
 }
