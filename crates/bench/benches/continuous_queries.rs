@@ -1,0 +1,232 @@
+//! Standing-query maintenance cost per mutation vs naive re-execution.
+//!
+//! A fleet of standing `PROB_NN` queries is registered against a
+//! populated MOD; each iteration performs one single-object mutation.
+//! With subscriptions attached, the commit itself routes the delta
+//! through the registry's skip → patch → rebuild ladder, so the timed
+//! closure *is* "mutation + keeping every standing answer fresh". The
+//! naive baseline performs the identical mutation and then re-executes
+//! every standing query from scratch (plan → difference construction →
+//! envelope → answer) — what a request/response server pays to give the
+//! same freshness.
+//!
+//! Groups (the acceptance number is `maintain_far` vs `naive` at
+//! `N = 600`, one subscription):
+//!
+//! * `maintain_far/<subs>`  — far-object churn: every subscription's
+//!   band-bound proof skips the delta (the steady-state fast path).
+//! * `maintain_near/<subs>` — churn of an in-band object: the patch path
+//!   re-plans and rebuilds envelopes but reuses every unchanged
+//!   candidate's difference function.
+//! * `naive/<subs>`         — the same far churn with re-execution from
+//!   scratch for every standing query.
+//!
+//! Before anything is timed, the maintained answers are asserted
+//! bit-identical to fresh exhaustive evaluations after a mixed mutation
+//! stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unn_geom::interval::TimeInterval;
+use unn_modb::plan::{PrefilterPolicy, QueryPlanner};
+use unn_modb::server::ModServer;
+use unn_traj::generator::{generate_uncertain, WorkloadConfig};
+use unn_traj::trajectory::{Oid, Trajectory};
+use unn_traj::uncertain::UncertainTrajectory;
+
+const RADIUS: f64 = 0.5;
+const N: usize = 600;
+const SUB_COUNTS: [usize; 3] = [1, 8, 32];
+/// Ids of the churn objects (kept clear of the generated fleet).
+const CHURN_BASE: u64 = 1_000_000;
+
+fn window() -> TimeInterval {
+    TimeInterval::new(0.0, 60.0)
+}
+
+fn statement(query: u64) -> String {
+    format!("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr{query}, TIME) > 0")
+}
+
+/// A far-away churn object: outside every query's band, so its updates
+/// are provably skippable.
+fn far(k: u64, shift: f64) -> UncertainTrajectory {
+    let y = 50_000.0 + (k % 32) as f64;
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(
+            Oid(CHURN_BASE + k % 32),
+            &[(shift, y, 0.0), (shift + 30.0, y, 60.0)],
+        )
+        .expect("valid"),
+        RADIUS,
+    )
+    .expect("valid")
+}
+
+/// A populated server with the churn objects pre-registered and `subs`
+/// standing queries installed (query objects Tr0..Tr<subs>).
+fn server_with_subs(subs: usize) -> ModServer {
+    let server = ModServer::new();
+    server
+        .register_all(generate_uncertain(
+            &WorkloadConfig::with_objects(N, 7),
+            RADIUS,
+        ))
+        .expect("registers");
+    for k in 0..32u64 {
+        server.register(far(k, 0.0)).expect("registers");
+    }
+    for q in 0..subs as u64 {
+        server
+            .subscribe(&format!("sub{q}"), &statement(q))
+            .expect("subscribes");
+    }
+    server
+}
+
+/// Shifts an existing fleet object slightly — an in-band GPS correction
+/// that defeats the skip proof and exercises the patch path. Uses the
+/// single-commit [`unn_modb::store::ModStore::update`], so one
+/// maintenance round absorbs it.
+fn nudge(server: &ModServer, victim: Oid, shift: f64) {
+    let old = server.store().get(victim).expect("present");
+    let revised: Vec<(f64, f64, f64)> = old
+        .trajectory()
+        .samples()
+        .iter()
+        .map(|p| (p.position.x + shift, p.position.y, p.time))
+        .collect();
+    let replaced = server.store().update(
+        UncertainTrajectory::with_uniform_pdf(
+            Trajectory::from_triples(victim, &revised).expect("valid"),
+            RADIUS,
+        )
+        .expect("valid"),
+    );
+    assert!(replaced.is_some(), "victim was registered");
+}
+
+/// The acceptance property: after a mixed stream of far churn, in-band
+/// nudges, insertions, and removals, every maintained answer equals a
+/// fresh exhaustive evaluation of the final contents, and folding the
+/// emitted deltas over the initial answers reproduces them.
+fn assert_maintained_answers_match() {
+    let server = server_with_subs(4);
+    let initial: Vec<_> = (0..4)
+        .map(|q| server.subscription_answer(&format!("sub{q}")).unwrap())
+        .collect();
+    let mut folded = initial.clone();
+    let drain_all = |folded: &mut Vec<unn_core::answer::AnswerSet>| {
+        for (q, acc) in folded.iter_mut().enumerate() {
+            for d in server.poll_subscription(&format!("sub{q}")).unwrap() {
+                *acc = acc.apply(&d);
+            }
+        }
+    };
+    for k in 0..24u64 {
+        match k % 4 {
+            0 => {
+                server.store().remove(Oid(CHURN_BASE + k % 32)).unwrap();
+                server.register(far(k, 0.25 * k as f64)).unwrap();
+            }
+            1 => nudge(&server, Oid(100 + k % 40), 0.01 * (k + 1) as f64),
+            2 => {
+                let _ = server.store().remove(Oid(500 + k));
+            }
+            _ => nudge(&server, Oid(200 + k % 40), -0.02),
+        }
+        drain_all(&mut folded);
+    }
+    let snapshot = server.store().snapshot();
+    for q in 0..4u64 {
+        let fresh = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+            .plan(snapshot.clone(), Oid(q), window())
+            .expect("plans")
+            .build_engine()
+            .expect("builds")
+            .answer_set();
+        let maintained = server.subscription_answer(&format!("sub{q}")).unwrap();
+        assert_eq!(
+            maintained, fresh,
+            "sub{q}: maintained answer diverged from fresh exhaustive evaluation"
+        );
+        assert_eq!(
+            folded[q as usize], maintained,
+            "sub{q}: folded deltas diverged from the maintained answer"
+        );
+    }
+    let subs = server.subscriptions();
+    assert!(
+        subs.iter().any(|s| s.stats.skipped > 0),
+        "the stream never exercised the skip path: {subs:?}"
+    );
+    assert!(
+        subs.iter().any(|s| s.stats.patched > 0),
+        "the stream never exercised the patch path: {subs:?}"
+    );
+}
+
+fn continuous_queries(c: &mut Criterion) {
+    assert_maintained_answers_match();
+    let mut group = c.benchmark_group("continuous");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for subs in SUB_COUNTS {
+        // Maintained, far churn: the skip path absorbs the delta.
+        let server = server_with_subs(subs);
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("maintain_far", subs), &subs, |b, _| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .store()
+                    .remove(Oid(CHURN_BASE + k % 32))
+                    .expect("present");
+                server
+                    .register(far(k, 0.01 * (k % 100) as f64))
+                    .expect("ok");
+            })
+        });
+        // Maintained, in-band churn: the patch path re-evaluates
+        // incrementally (difference functions reused).
+        let server = server_with_subs(subs);
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("maintain_near", subs), &subs, |b, _| {
+            b.iter(|| {
+                k += 1;
+                nudge(&server, Oid(100 + k % 40), 0.001);
+            })
+        });
+        // Naive: the same far churn, every standing query re-executed
+        // from scratch (bypassing the engine cache, like a cold server).
+        let server = server_with_subs(0);
+        let planner = QueryPlanner::default();
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("naive", subs), &subs, |b, _| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .store()
+                    .remove(Oid(CHURN_BASE + k % 32))
+                    .expect("present");
+                server
+                    .register(far(k, 0.01 * (k % 100) as f64))
+                    .expect("ok");
+                let snapshot = server.store().snapshot();
+                for q in 0..subs as u64 {
+                    let plan = planner
+                        .plan(snapshot.clone(), Oid(q), window())
+                        .expect("plans");
+                    let engine = plan.build_engine().expect("builds");
+                    criterion::black_box(engine.answer_set());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, continuous_queries);
+criterion_main!(benches);

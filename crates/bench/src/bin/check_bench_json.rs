@@ -1,0 +1,312 @@
+//! CI sanity check for benchmark artifacts: every `BENCH_*.json` at the
+//! workspace root must be valid JSON of the tracked report shape —
+//! a root object with a `benchmarks` array of `{ "id": string,
+//! "ns_per_iter": number }` entries, non-empty, with unique ids.
+//!
+//! Usage: `cargo run -p unn-bench --bin check_bench_json [paths…]`
+//! (no paths = scan the workspace root). Exits non-zero on the first
+//! malformed artifact, so the CI bench-smoke job fails loudly instead of
+//! uploading a corrupt report.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Minimal JSON value model (no external deps in this workspace).
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool,
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(src: &'a str) -> Self {
+        JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .map(|b| b.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.eat_literal("true").map(|()| Json::Bool),
+            Some(b'f') => self.eat_literal("false").map(|()| Json::Bool),
+            Some(b'n') => self.eat_literal("null").map(|()| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{', "'{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "':'")?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[', "'['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    let decoded = match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            char::from_u32(code).unwrap_or('\u{fffd}')
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    };
+                    out.push(decoded);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the raw UTF-8 byte run up to the next quote or
+                    // escape.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8"))?,
+                    );
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| self.error("malformed number"))
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing content"));
+        }
+        Ok(v)
+    }
+}
+
+/// Validates one report file, returning the number of benchmark entries.
+fn check_report(path: &Path) -> Result<usize, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let root = JsonParser::new(&src).parse()?;
+    let benchmarks = match root.get("benchmarks") {
+        Some(Json::Array(items)) => items,
+        Some(_) => return Err("'benchmarks' is not an array".to_string()),
+        None => return Err("missing 'benchmarks' array".to_string()),
+    };
+    if benchmarks.is_empty() {
+        return Err("'benchmarks' is empty".to_string());
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, entry) in benchmarks.iter().enumerate() {
+        let id = match entry.get("id") {
+            Some(Json::String(s)) if !s.is_empty() => s,
+            _ => return Err(format!("entry {i}: missing or empty string 'id'")),
+        };
+        if !seen.insert(id.clone()) {
+            return Err(format!("entry {i}: duplicate id '{id}'"));
+        }
+        match entry.get("ns_per_iter") {
+            Some(Json::Number(n)) if n.is_finite() && *n > 0.0 => {}
+            Some(Json::Number(n)) => {
+                return Err(format!("entry {i} ('{id}'): non-positive ns_per_iter {n}"))
+            }
+            _ => return Err(format!("entry {i} ('{id}'): missing numeric 'ns_per_iter'")),
+        }
+    }
+    Ok(benchmarks.len())
+}
+
+fn workspace_root() -> PathBuf {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    root.pop();
+    root.pop();
+    root
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let targets: Vec<PathBuf> = if args.is_empty() {
+        let root = workspace_root();
+        let mut found: Vec<PathBuf> = match std::fs::read_dir(&root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .map(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                        .unwrap_or(false)
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        found.sort();
+        found
+    } else {
+        args
+    };
+    if targets.is_empty() {
+        eprintln!("no BENCH_*.json artifacts found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &targets {
+        match check_report(path) {
+            Ok(n) => println!("ok    {} ({n} benchmarks)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL  {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,406 @@
+//! Diffable query answers: the common result representation every engine
+//! produces and the delta algebra that lets answers be *maintained*
+//! instead of recomputed.
+//!
+//! The §4 query variants all reduce to one underlying object: for each
+//! candidate, the set of instants during which it qualifies (non-zero NN
+//! probability, optionally restricted to rank `≤ k`). [`AnswerSet`]
+//! materializes that as stable object ids plus per-object qualification
+//! intervals, sorted by id, so two answers — from different engines,
+//! epochs, or prefilter backends — can be compared structurally.
+//!
+//! [`AnswerDelta`] is the difference of two answer sets. The algebra is
+//! exact (no tolerance): `old.apply(&old.diff_to(&new, e)) == new`
+//! bit-for-bit, and consecutive deltas compose via
+//! [`AnswerDelta::then`]. This is what the MOD's subscription layer
+//! streams to standing-query consumers: only the objects whose
+//! qualification intervals changed, never the unchanged bulk of the
+//! answer.
+
+use unn_geom::interval::{IntervalSet, TimeInterval};
+use unn_traj::trajectory::Oid;
+
+/// One object's qualification intervals within an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerEntry {
+    /// The qualifying object.
+    pub oid: Oid,
+    /// Instants during which it qualifies (non-empty by construction —
+    /// objects with empty interval sets are simply absent).
+    pub intervals: IntervalSet,
+}
+
+impl AnswerEntry {
+    /// Fraction of `window` during which the object qualifies.
+    pub fn fraction(&self, window: TimeInterval) -> f64 {
+        self.intervals.total_len() / window.len()
+    }
+}
+
+/// A diffable query answer: stable object ids with their qualification
+/// intervals, ascending by id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerSet {
+    query: Oid,
+    window: TimeInterval,
+    rank: Option<usize>,
+    entries: Vec<AnswerEntry>,
+}
+
+impl AnswerSet {
+    /// An answer over `entries` (any order; empty-interval entries are
+    /// dropped, the rest sorted by id).
+    ///
+    /// `rank` records the rank bound the intervals were computed under
+    /// (`None` = plain non-zero-probability semantics); answers with
+    /// different shapes never diff against each other.
+    pub fn new(
+        query: Oid,
+        window: TimeInterval,
+        rank: Option<usize>,
+        entries: Vec<AnswerEntry>,
+    ) -> Self {
+        let mut entries: Vec<AnswerEntry> = entries
+            .into_iter()
+            .filter(|e| !e.intervals.is_empty())
+            .collect();
+        entries.sort_by_key(|e| e.oid);
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].oid < w[1].oid),
+            "duplicate object id in answer set"
+        );
+        AnswerSet {
+            query,
+            window,
+            rank,
+            entries,
+        }
+    }
+
+    /// An empty answer (used when the query object leaves the MOD).
+    pub fn empty(query: Oid, window: TimeInterval, rank: Option<usize>) -> Self {
+        AnswerSet::new(query, window, rank, Vec::new())
+    }
+
+    /// The query trajectory's id.
+    pub fn query(&self) -> Oid {
+        self.query
+    }
+
+    /// The query window.
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// The rank bound the answer was computed under.
+    pub fn rank(&self) -> Option<usize> {
+        self.rank
+    }
+
+    /// The qualifying objects, ascending by id.
+    pub fn entries(&self) -> &[AnswerEntry] {
+        &self.entries
+    }
+
+    /// Number of qualifying objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no object qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The qualification intervals of `oid`, if it qualifies at all.
+    pub fn intervals_of(&self, oid: Oid) -> Option<&IntervalSet> {
+        self.entries
+            .binary_search_by_key(&oid, |e| e.oid)
+            .ok()
+            .map(|i| &self.entries[i].intervals)
+    }
+
+    /// Fraction of the window during which `oid` qualifies (zero for
+    /// absent objects — a registered object outside the answer provably
+    /// never qualifies).
+    pub fn fraction_of(&self, oid: Oid) -> f64 {
+        self.intervals_of(oid)
+            .map(|iv| iv.total_len() / self.window.len())
+            .unwrap_or(0.0)
+    }
+
+    /// The `(oid, intervals)` pairs, consumed (the shape the UQ3x/UQ4x
+    /// engine APIs return).
+    pub fn into_pairs(self) -> Vec<(Oid, IntervalSet)> {
+        self.entries
+            .into_iter()
+            .map(|e| (e.oid, e.intervals))
+            .collect()
+    }
+
+    /// `true` when the two answers describe the same standing query
+    /// (same query object, window bits, and rank bound) and may therefore
+    /// be diffed/patched against each other.
+    pub fn same_shape(&self, other: &AnswerSet) -> bool {
+        self.query == other.query
+            && self.window.start().to_bits() == other.window.start().to_bits()
+            && self.window.end().to_bits() == other.window.end().to_bits()
+            && self.rank == other.rank
+    }
+
+    /// The delta transforming `self` into `newer`, tagged with the store
+    /// epoch `newer` was computed at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the answers have different shapes (debug builds).
+    pub fn diff_to(&self, newer: &AnswerSet, epoch: u64) -> AnswerDelta {
+        debug_assert!(self.same_shape(newer), "diff of unrelated answers");
+        let mut upserts = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < newer.entries.len() {
+            match (self.entries.get(i), newer.entries.get(j)) {
+                (Some(old), Some(new)) if old.oid == new.oid => {
+                    if old.intervals != new.intervals {
+                        upserts.push(new.clone());
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(old), Some(new)) if old.oid < new.oid => {
+                    removed.push(old.oid);
+                    i += 1;
+                }
+                (_, Some(new)) => {
+                    upserts.push(new.clone());
+                    j += 1;
+                }
+                (Some(old), None) => {
+                    removed.push(old.oid);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        AnswerDelta {
+            epoch,
+            upserts,
+            removed,
+        }
+    }
+
+    /// Applies a delta, yielding the patched answer. Upserts replace (or
+    /// add) entries; removals of absent ids are ignored, so composed
+    /// deltas stay applicable.
+    pub fn apply(&self, delta: &AnswerDelta) -> AnswerSet {
+        let mut entries: Vec<AnswerEntry> = Vec::with_capacity(self.entries.len());
+        let mut ups = delta.upserts.iter().peekable();
+        for e in &self.entries {
+            while ups.peek().map(|u| u.oid < e.oid).unwrap_or(false) {
+                entries.push(ups.next().unwrap().clone());
+            }
+            if ups.peek().map(|u| u.oid == e.oid).unwrap_or(false) {
+                entries.push(ups.next().unwrap().clone());
+            } else if delta.removed.binary_search(&e.oid).is_err() {
+                entries.push(e.clone());
+            }
+        }
+        entries.extend(ups.cloned());
+        AnswerSet::new(self.query, self.window, self.rank, entries)
+    }
+}
+
+/// The difference between two answers of one standing query: the objects
+/// whose qualification intervals changed (with their new content) and the
+/// objects that no longer qualify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerDelta {
+    /// The store epoch the answer advanced to.
+    pub epoch: u64,
+    /// New or changed entries (their full new intervals), ascending by id.
+    pub upserts: Vec<AnswerEntry>,
+    /// Ids that qualified before and no longer do, ascending.
+    pub removed: Vec<Oid>,
+}
+
+impl AnswerDelta {
+    /// A delta carrying no change.
+    pub fn noop(epoch: u64) -> Self {
+        AnswerDelta {
+            epoch,
+            upserts: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// `true` when applying the delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of changed objects (upserts + removals).
+    pub fn touched(&self) -> usize {
+        self.upserts.len() + self.removed.len()
+    }
+
+    /// Composes `self` (applied first) with `next` (applied second) into
+    /// one delta: `a.apply(&d1).apply(&d2) == a.apply(&d1.then(&d2))`.
+    /// The result carries `next`'s epoch. Used by bounded change feeds to
+    /// squash their oldest entries instead of growing without limit —
+    /// linear merges over the (ascending) lists, so repeated squashing
+    /// against a full-answer-sized delta stays cheap.
+    pub fn then(&self, next: &AnswerDelta) -> AnswerDelta {
+        let overridden = |oid: Oid| {
+            next.upserts.binary_search_by_key(&oid, |u| u.oid).is_ok()
+                || next.removed.binary_search(&oid).is_ok()
+        };
+        // Merge the surviving first-delta upserts with the second's; the
+        // sides are disjoint after the override filter.
+        let mut upserts: Vec<AnswerEntry> =
+            Vec::with_capacity(self.upserts.len() + next.upserts.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.upserts.len() || j < next.upserts.len() {
+            let take_first = match (self.upserts.get(i), next.upserts.get(j)) {
+                (Some(x), _) if overridden(x.oid) => {
+                    i += 1;
+                    continue;
+                }
+                (Some(x), Some(y)) => x.oid < y.oid,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_first {
+                upserts.push(self.upserts[i].clone());
+                i += 1;
+            } else {
+                upserts.push(next.upserts[j].clone());
+                j += 1;
+            }
+        }
+        // Likewise for removals: drop first-delta removals the second
+        // re-upserts, then merge (ids removed by both count once).
+        let mut removed: Vec<Oid> = Vec::with_capacity(self.removed.len() + next.removed.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.removed.len() || j < next.removed.len() {
+            match (self.removed.get(i), next.removed.get(j)) {
+                (Some(x), _) if next.upserts.binary_search_by_key(x, |u| u.oid).is_ok() => {
+                    i += 1;
+                }
+                (Some(x), Some(y)) if x == y => {
+                    removed.push(*x);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if x < y => {
+                    removed.push(*x);
+                    i += 1;
+                }
+                (_, Some(y)) => {
+                    removed.push(*y);
+                    j += 1;
+                }
+                (Some(x), None) => {
+                    removed.push(*x);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        AnswerDelta {
+            epoch: next.epoch,
+            upserts,
+            removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(spans: &[(f64, f64)]) -> IntervalSet {
+        IntervalSet::from_intervals(spans.iter().map(|&(a, b)| TimeInterval::new(a, b)))
+    }
+
+    fn entry(oid: u64, spans: &[(f64, f64)]) -> AnswerEntry {
+        AnswerEntry {
+            oid: Oid(oid),
+            intervals: iv(spans),
+        }
+    }
+
+    fn answer(entries: Vec<AnswerEntry>) -> AnswerSet {
+        AnswerSet::new(Oid(0), TimeInterval::new(0.0, 10.0), None, entries)
+    }
+
+    #[test]
+    fn construction_sorts_and_drops_empty() {
+        let a = answer(vec![
+            entry(5, &[(0.0, 1.0)]),
+            entry(2, &[(3.0, 4.0)]),
+            entry(9, &[]),
+        ]);
+        let oids: Vec<u64> = a.entries().iter().map(|e| e.oid.0).collect();
+        assert_eq!(oids, vec![2, 5]);
+        assert!(a.intervals_of(Oid(9)).is_none());
+        assert_eq!(a.fraction_of(Oid(2)), 0.1);
+        assert_eq!(a.fraction_of(Oid(9)), 0.0);
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let old = answer(vec![
+            entry(1, &[(0.0, 2.0)]),
+            entry(2, &[(0.0, 10.0)]),
+            entry(4, &[(5.0, 6.0)]),
+        ]);
+        let new = answer(vec![
+            entry(1, &[(0.0, 3.0)]),  // changed
+            entry(2, &[(0.0, 10.0)]), // unchanged
+            entry(7, &[(1.0, 2.0)]),  // added
+                                      // 4 removed
+        ]);
+        let d = old.diff_to(&new, 42);
+        assert_eq!(d.epoch, 42);
+        assert_eq!(d.removed, vec![Oid(4)]);
+        let up: Vec<u64> = d.upserts.iter().map(|e| e.oid.0).collect();
+        assert_eq!(up, vec![1, 7], "unchanged Tr2 must not appear");
+        assert_eq!(old.apply(&d), new);
+        // Identity: diffing an answer against itself is empty.
+        assert!(new.diff_to(&new, 43).is_empty());
+        assert_eq!(new.apply(&AnswerDelta::noop(43)), new);
+    }
+
+    #[test]
+    fn apply_tolerates_removals_of_absent_ids() {
+        let base = answer(vec![entry(1, &[(0.0, 1.0)])]);
+        let d = AnswerDelta {
+            epoch: 1,
+            upserts: vec![],
+            removed: vec![Oid(99)],
+        };
+        assert_eq!(base.apply(&d), base);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a0 = answer(vec![entry(1, &[(0.0, 1.0)]), entry(2, &[(0.0, 5.0)])]);
+        let a1 = answer(vec![entry(1, &[(0.0, 2.0)]), entry(3, &[(4.0, 5.0)])]);
+        let a2 = answer(vec![entry(2, &[(1.0, 2.0)]), entry(3, &[(4.0, 5.0)])]);
+        let d1 = a0.diff_to(&a1, 1);
+        let d2 = a1.diff_to(&a2, 2);
+        let squashed = d1.then(&d2);
+        assert_eq!(squashed.epoch, 2);
+        assert_eq!(a0.apply(&squashed), a2);
+        assert_eq!(a0.apply(&d1).apply(&d2), a0.apply(&squashed));
+    }
+
+    #[test]
+    fn shape_guard() {
+        let a = answer(vec![entry(1, &[(0.0, 1.0)])]);
+        let ranked = AnswerSet::new(Oid(0), TimeInterval::new(0.0, 10.0), Some(2), vec![]);
+        assert!(!a.same_shape(&ranked));
+        assert!(a.same_shape(&a.clone()));
+    }
+}

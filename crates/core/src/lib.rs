@@ -4,6 +4,10 @@
 //! Queries for Uncertain Trajectories"* (Trajcevski, Tamassia, Ding,
 //! Scheuermann, Cruz — EDBT 2009), implemented in Rust:
 //!
+//! * [`answer`] — the diffable [`answer::AnswerSet`] / [`answer::AnswerDelta`]
+//!   representation every engine's output reduces to, with the exact
+//!   diff/apply/compose algebra that powers incremental answer
+//!   maintenance for standing queries;
 //! * [`candidates`] — shared zero-copy candidate-set construction (the
 //!   snapshot → prefilter → envelope pipeline's entry into this crate);
 //! * [`envelope`] — owner-labelled lower envelopes with the
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod answer;
 pub mod band;
 pub mod candidates;
 pub mod env2;
@@ -54,6 +59,7 @@ pub mod threshold;
 pub mod topk;
 
 pub use algorithms::{lower_envelope, lower_envelope_parallel};
+pub use answer::{AnswerDelta, AnswerEntry, AnswerSet};
 pub use band::{
     band_clearance, enters_band, inside_band_intervals, prune_by_band, prune_by_band_heterogeneous,
     BandStats,

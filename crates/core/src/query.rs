@@ -17,6 +17,7 @@
 //! in [`naive_queries`] and are what Figure 12 compares against.
 
 use crate::algorithms::lower_envelope;
+use crate::answer::{AnswerEntry, AnswerSet};
 use crate::band::{inside_band_intervals, prune_by_band, BandStats};
 use crate::envelope::Envelope;
 use crate::ipac::{build_ipac_tree, IpacConfig, IpacTree};
@@ -118,6 +119,79 @@ impl QueryEngine {
     /// owners with their intervals.
     pub fn continuous_nn_answer(&self) -> Vec<(Oid, TimeInterval)> {
         self.envelope.answer_sequence()
+    }
+
+    /// Attempts to build the engine for a *delta-adjacent* candidate set
+    /// by **carrying this engine's envelope** instead of re-running the
+    /// `O(N log N)` construction: succeeds only when the change provably
+    /// leaves the lower envelope untouched —
+    ///
+    /// * no dropped or `fresh` owner realizes any envelope piece (its
+    ///   old function contributed nothing to the pointwise minimum), and
+    /// * every `fresh` function stays strictly above the envelope (it
+    ///   can never become the minimum).
+    ///
+    /// Under those proofs the lower envelope of `fs` equals this
+    /// engine's envelope, so the band structure carries over: unchanged
+    /// candidates keep their kept/pruned status, and only `fresh`
+    /// functions pay the band test. Returns `fs` back on failure so the
+    /// caller can fall back to [`QueryEngine::new`].
+    ///
+    /// `fs` must share this engine's query and window, and `fresh(oid)`
+    /// must hold for every function whose content differs from (or is
+    /// absent in) this engine's set.
+    pub fn carry_envelope(
+        &self,
+        fs: Vec<DistanceFunction>,
+        radius: f64,
+        fresh: &dyn Fn(Oid) -> bool,
+    ) -> Result<QueryEngine, Vec<DistanceFunction>> {
+        let envelope_owners: std::collections::BTreeSet<Oid> =
+            self.envelope.pieces().iter().map(|p| p.owner).collect();
+        let new_owners: std::collections::BTreeSet<Oid> = fs.iter().map(|f| f.owner()).collect();
+        // Dropped or replaced functions must not have realized the
+        // envelope anywhere.
+        for f in &self.fs {
+            let oid = f.owner();
+            if (fresh(oid) || !new_owners.contains(&oid)) && envelope_owners.contains(&oid) {
+                return Err(fs);
+            }
+        }
+        let delta = 4.0 * radius;
+        let old_kept: std::collections::BTreeSet<Oid> =
+            self.kept.iter().map(|&i| self.fs[i].owner()).collect();
+        let mut kept = Vec::new();
+        for (idx, f) in fs.iter().enumerate() {
+            let oid = f.owner();
+            if fresh(oid) {
+                // A fresh function must stay strictly above the envelope,
+                // or the envelope itself would change.
+                if crate::band::band_clearance(f, &self.envelope) <= 0.0 {
+                    return Err(fs);
+                }
+                if crate::band::enters_band(f, &self.envelope, delta) {
+                    kept.push(idx);
+                }
+            } else if old_kept.contains(&oid) {
+                // Unchanged function against the unchanged envelope:
+                // identical band status.
+                kept.push(idx);
+            }
+        }
+        let stats = BandStats {
+            total: fs.len(),
+            kept: kept.len(),
+        };
+        Ok(QueryEngine {
+            query: self.query,
+            window: self.window,
+            radius,
+            fs,
+            envelope: self.envelope.clone(),
+            kept,
+            stats,
+            tree_cache: Mutex::new(None),
+        })
     }
 
     /// Times during which `oid` has non-zero probability of being the NN
@@ -250,20 +324,73 @@ impl QueryEngine {
     // Category 3 (whole MOD)
     // ------------------------------------------------------------------
 
-    /// `UQ31(∃t)`: all objects with non-zero probability of being the NN
-    /// at some time, with their intervals.
-    pub fn uq31_all(&self) -> Vec<(Oid, IntervalSet)> {
-        self.kept
+    /// The engine's whole answer as a diffable [`AnswerSet`]: every kept
+    /// object with its non-zero-probability qualification intervals,
+    /// ascending by id. Category 3 queries — and the subscription layer's
+    /// incremental answer maintenance — are views over this object.
+    pub fn answer_set(&self) -> AnswerSet {
+        let entries = self
+            .kept
             .iter()
             .map(|&i| {
                 let f = &self.fs[i];
-                (
-                    f.owner(),
-                    inside_band_intervals(f, &self.envelope, self.band_delta()),
-                )
+                AnswerEntry {
+                    oid: f.owner(),
+                    intervals: inside_band_intervals(f, &self.envelope, self.band_delta()),
+                }
             })
-            .filter(|(_, iv)| !iv.is_empty())
-            .collect()
+            .collect();
+        AnswerSet::new(self.query, self.window, None, entries)
+    }
+
+    /// Like [`QueryEngine::answer_set`], but **reusing** `prev`'s
+    /// interval content for every kept owner where `fresh(oid)` does not
+    /// hold — only fresh owners pay the band-interval computation.
+    ///
+    /// Sound exactly when this engine's envelope equals the one that
+    /// produced `prev` (see [`QueryEngine::carry_envelope`]) and every
+    /// non-fresh owner's distance function is unchanged: the intervals
+    /// are then pure functions of unchanged inputs. An owner absent from
+    /// `prev` had empty intervals and stays absent.
+    pub fn answer_set_reusing(&self, prev: &AnswerSet, fresh: &dyn Fn(Oid) -> bool) -> AnswerSet {
+        let entries = self
+            .kept
+            .iter()
+            .map(|&i| {
+                let f = &self.fs[i];
+                let oid = f.owner();
+                let intervals = if fresh(oid) {
+                    inside_band_intervals(f, &self.envelope, self.band_delta())
+                } else {
+                    prev.intervals_of(oid).cloned().unwrap_or_default()
+                };
+                AnswerEntry { oid, intervals }
+            })
+            .collect();
+        AnswerSet::new(self.query, self.window, None, entries)
+    }
+
+    /// Like [`QueryEngine::answer_set`], restricted to rank `≤ k`: each
+    /// object's intervals are the instants where it is a possible k-th
+    /// highest-probability NN (the Category 4 substrate).
+    pub fn ranked_answer_set(&self, k: usize) -> AnswerSet {
+        let owners: Vec<Oid> = self.kept.iter().map(|&i| self.fs[i].owner()).collect();
+        let entries = owners
+            .into_iter()
+            .filter_map(|oid| {
+                Some(AnswerEntry {
+                    oid,
+                    intervals: self.rank_intervals(oid, k)?,
+                })
+            })
+            .collect();
+        AnswerSet::new(self.query, self.window, Some(k), entries)
+    }
+
+    /// `UQ31(∃t)`: all objects with non-zero probability of being the NN
+    /// at some time, with their intervals (ascending by id).
+    pub fn uq31_all(&self) -> Vec<(Oid, IntervalSet)> {
+        self.answer_set().into_pairs()
     }
 
     /// `UQ32(∀t)`: objects with non-zero probability throughout.
@@ -291,20 +418,9 @@ impl QueryEngine {
     // ------------------------------------------------------------------
 
     /// `UQ41(k)`: all objects that are k-th highest-probability NNs at
-    /// some time, with their rank intervals.
+    /// some time, with their rank intervals (ascending by id).
     pub fn uq41_all(&self, k: usize) -> Vec<(Oid, IntervalSet)> {
-        let owners: Vec<Oid> = self.kept.iter().map(|&i| self.fs[i].owner()).collect();
-        owners
-            .into_iter()
-            .filter_map(|oid| {
-                let iv = self.rank_intervals(oid, k)?;
-                if iv.is_empty() {
-                    None
-                } else {
-                    Some((oid, iv))
-                }
-            })
-            .collect()
+        self.ranked_answer_set(k).into_pairs()
     }
 
     /// `UQ42(k)`: objects at rank `<= k` throughout the window.
@@ -511,6 +627,46 @@ mod tests {
         for (oid, frac) in e.uq43_all(3, 0.5) {
             assert!(frac >= 0.5, "{oid} {frac}");
         }
+    }
+
+    #[test]
+    fn carry_envelope_matches_fresh_construction() {
+        let w = TimeInterval::new(0.0, 10.0);
+        let base = vec![
+            flyby(1, -5.0, 1.0, 1.0, w),
+            flyby(2, -2.0, 2.0, 1.0, w),
+            flyby(3, -8.0, 3.0, 1.0, w),
+            flyby(4, 0.0, 50.0, 0.0, w),
+        ];
+        let old = QueryEngine::new(Oid(0), base.clone(), 0.5);
+        // Nudge the far object (never an envelope owner, stays far above
+        // the envelope) and add another far newcomer.
+        let mut fs = base.clone();
+        fs[3] = flyby(4, 0.0, 49.0, 0.0, w);
+        fs.push(flyby(5, 0.0, 60.0, 0.0, w));
+        let fresh = |oid: Oid| oid == Oid(4) || oid == Oid(5);
+        let carried = old
+            .carry_envelope(fs.clone(), 0.5, &fresh)
+            .expect("far delta must carry");
+        let rebuilt = QueryEngine::new(Oid(0), fs, 0.5);
+        assert_eq!(carried.envelope().pieces(), old.envelope().pieces());
+        assert_eq!(carried.answer_set(), rebuilt.answer_set());
+        assert_eq!(
+            carried.answer_set_reusing(&old.answer_set(), &fresh),
+            rebuilt.answer_set()
+        );
+        assert_eq!(carried.stats().kept, rebuilt.stats().kept);
+        // Touching an envelope owner defeats the proof…
+        let mut near = base.clone();
+        near[0] = flyby(1, -5.0, 0.5, 1.0, w);
+        assert!(old.carry_envelope(near, 0.5, &|oid| oid == Oid(1)).is_err());
+        // …and so does dropping one.
+        let dropped: Vec<DistanceFunction> = base.iter().skip(1).cloned().collect();
+        assert!(old.carry_envelope(dropped, 0.5, &|_| false).is_err());
+        // A newcomer dipping below the envelope is refused too.
+        let mut dips = base.clone();
+        dips.push(flyby(9, -5.0, 0.1, 1.0, w));
+        assert!(old.carry_envelope(dips, 0.5, &|oid| oid == Oid(9)).is_err());
     }
 
     #[test]

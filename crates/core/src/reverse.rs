@@ -165,6 +165,26 @@ impl ReverseNnEngine {
             .collect()
     }
 
+    /// The reverse answer as a diffable [`crate::answer::AnswerSet`]:
+    /// every object whose qualification intervals (times during which the
+    /// query may be its NN) are non-empty. Unlike
+    /// [`ReverseNnEngine::rnn_all`], boundary-touching objects with
+    /// measure-zero qualification are absent — the answer-set algebra
+    /// keeps only patchable interval content.
+    pub fn answer_set(&self) -> crate::answer::AnswerSet {
+        let entries = self
+            .engines
+            .iter()
+            .filter_map(|(oid, e)| {
+                Some(crate::answer::AnswerEntry {
+                    oid: *oid,
+                    intervals: e.nonzero_intervals(self.query)?,
+                })
+            })
+            .collect();
+        crate::answer::AnswerSet::new(self.query, self.window, None, entries)
+    }
+
     /// The *crisp* RNN answer: the times during which the query **is**
     /// `oid`'s nearest neighbor by expected locations (the classic
     /// reverse-NN relation of Benetis et al., obtained as the `delta = 0`

@@ -52,6 +52,22 @@ pub struct DeltaRecord {
 /// Consumers ask for "every op since epoch `e`"; the answer is `None`
 /// when `e` predates the floor (the history is incomplete there and the
 /// consumer must fall back to a full rebuild).
+///
+/// ## Truncation contract
+///
+/// Truncation is **silent but detectable**: nothing notifies a consumer
+/// when its base epoch falls off the log — the *only* safe access path is
+/// [`DeltaLog::ops_since`], whose `None` answer is a hard "history
+/// incomplete" signal. Every delta consumer (snapshot maintenance, the
+/// engine-cache carry check, subscription answer maintenance) must treat
+/// `None` as "rebuild from the live contents"; patching against a
+/// truncated history would silently miss the evicted mutations and
+/// diverge from the store. Eviction always drops *whole epochs*
+/// (a half-evicted bulk load would be just such a silent gap), and
+/// [`DeltaLog::invalidate`] models un-loggable whole-store mutations
+/// (`clear`) as a truncation of everything. The regression tests in
+/// `tests/delta_consistency.rs` pin this contract down for the
+/// subscription layer.
 #[derive(Debug)]
 pub struct DeltaLog {
     records: VecDeque<DeltaRecord>,
@@ -78,10 +94,15 @@ impl DeltaLog {
             .map(|r| r.epoch <= epoch)
             .unwrap_or(true));
         self.records.push_back(DeltaRecord { epoch, op });
+        self.trim();
+    }
+
+    /// Evicts the oldest records down to the capacity, raising the floor.
+    /// Every record at a dropped epoch becomes useless — the history at
+    /// that epoch is no longer complete — so whole epochs go at once.
+    fn trim(&mut self) {
         while self.records.len() > self.capacity {
             let dropped = self.records.pop_front().expect("len > capacity > 0");
-            // Every record at the dropped epoch becomes useless: the
-            // history at that epoch is no longer complete.
             self.floor = self.floor.max(dropped.epoch);
         }
         while self
@@ -99,6 +120,15 @@ impl DeltaLog {
     pub fn invalidate(&mut self, epoch: u64) {
         self.records.clear();
         self.floor = epoch;
+    }
+
+    /// Changes the retention bound, evicting (whole epochs of) the oldest
+    /// records if the log already exceeds the new capacity. Shrinking the
+    /// bound is how tests force the truncation contract to fire without
+    /// replaying thousands of mutations.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.trim();
     }
 
     /// Every op with epoch in `(base, now]`, oldest first, or `None` when
@@ -318,6 +348,23 @@ mod tests {
         log.record(2, DeltaOp::Remove(Oid(1)));
         assert!(log.ops_since(0).is_none());
         assert_eq!(log.ops_since(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_truncates_and_raises_the_floor() {
+        let mut log = DeltaLog::new(16);
+        for e in 1..=6 {
+            log.record(e, DeltaOp::Remove(Oid(e)));
+        }
+        assert_eq!(log.ops_since(0).unwrap().len(), 6);
+        log.set_capacity(2);
+        assert!(log.len() <= 2);
+        // History before the surviving records is now incomplete…
+        assert!(log.ops_since(0).is_none());
+        assert!(log.ops_since(3).is_none());
+        // …but the retained suffix still serves.
+        assert_eq!(log.ops_since(4).unwrap().len(), 2);
+        assert_eq!(log.floor(), 4);
     }
 
     #[test]

@@ -35,11 +35,27 @@
 //!
 //! The paper assumes a mostly-static MOD; the production goal is heavy
 //! write traffic. Mutations therefore no longer discard derived state —
-//! they *log* themselves:
+//! they *log* themselves, and every derived structure is *maintained*
+//! from the logged delta:
 //!
-//! 1. **Mutate** — `insert`/`remove`/`bulk_load` locks only the target
-//!    oid-hashed shard(s), bumps the epoch, and appends the op to the
-//!    bounded [`delta::DeltaLog`].
+//! ```text
+//!                 commit (epoch e → e+1)
+//!  insert/remove/update/bulk_load ──▶ DeltaLog ──────────────┐
+//!        │ (shard write lock)          (bounded; truncation   │
+//!        ▼                             ⇒ consumers rebuild)   │
+//!   shard maps                                                ▼
+//!        │              ┌───────────────── routed to ─────────────────┐
+//!        ▼              ▼                      ▼                      ▼
+//!  QuerySnapshot   EngineCache          SubscriptionRegistry   (next query)
+//!  apply_delta     carry proof          skip → patch → rebuild
+//!  (patch indexes) (re-key engine)      (AnswerDelta change feed)
+//! ```
+//!
+//! 1. **Mutate** — `insert`/`remove`/`update`/`bulk_load` locks only the
+//!    target oid-hashed shard(s), bumps the epoch, and appends the op to
+//!    the bounded [`delta::DeltaLog`] ([`store::ModStore::update`] is
+//!    the single-commit GPS correction: one epoch, one maintenance
+//!    round).
 //! 2. **Refresh** — the next [`store::ModStore::snapshot`] collapses the
 //!    pending ops into a [`delta::NetDelta`] and, when its size is within
 //!    the store's **rebuild fraction** of the population (default
@@ -57,19 +73,39 @@
 //!    build is provably outside its reach (removals it never considered,
 //!    insertions whose corridor stays beyond `max LE₁ + 4r`), the entry
 //!    is re-keyed and served without rebuilding.
+//! 4. **Maintain** — after the commit returns, the epoch's delta is
+//!    routed to the [`subscription::SubscriptionRegistry`] attached to
+//!    the store: each standing query absorbs it through the cheapest
+//!    sound path — *skip* (the carry proof shows the answer cannot
+//!    change), *patch* (re-plan, reuse every unchanged candidate's
+//!    difference function, carry the envelope when the delta provably
+//!    leaves it untouched, and recompute only the touched intervals), or
+//!    *rebuild* (the log was truncated past the subscriber's epoch, or
+//!    the query object itself changed). Answer changes stream to
+//!    consumers as [`unn_core::answer::AnswerDelta`]s via the
+//!    per-subscription change feed.
 //!
-//! Every path — patched, carried, or rebuilt — produces **bit-identical
-//! answers** to a cold exhaustive rebuild; `tests/delta_consistency.rs`
-//! asserts this property-style across random mutation interleavings and
-//! all prefilter backends.
+//! Every path — patched, carried, maintained, or rebuilt — produces
+//! **bit-identical answers** to a cold exhaustive rebuild;
+//! `tests/delta_consistency.rs` and `tests/continuous_queries.rs` assert
+//! this property-style across random mutation interleavings and all
+//! prefilter backends (for subscriptions: the maintained answer, *and*
+//! the fold of the emitted deltas over the initial answer, both equal a
+//! fresh exhaustive evaluation).
 //! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
 //!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
 //!   index-accelerated;
-//! * [`ql`] — the §4 SQL-ish query language (lexer, AST, parser), with the
-//!   `PROB_RNN` reverse-NN extension of §7;
+//! * [`ql`] — the §4 SQL-ish query language (lexer, AST, parser) with the
+//!   `PROB_RNN` reverse-NN extension of §7 and the standing-query verbs
+//!   (`REGISTER CONTINUOUS … AS name`, `UNREGISTER`, `SHOW
+//!   SUBSCRIPTIONS`); parse errors carry line/column source spans;
 //! * [`server`] — the query-execution facade mapping parsed statements
 //!   onto the `unn-core` engine (forward, reverse, heterogeneous-radii,
 //!   and k-NN paths), with execution statistics;
+//! * [`subscription`] — standing queries: the registry of registered
+//!   continuous queries whose [`unn_core::answer::AnswerSet`]s are
+//!   incrementally maintained after every commit and streamed as
+//!   [`unn_core::answer::AnswerDelta`]s;
 //! * [`persist`] — replayable text snapshots of MOD contents.
 
 #![warn(missing_docs)]
@@ -86,6 +122,7 @@ pub mod ql;
 pub mod server;
 pub mod snapshot;
 pub mod store;
+pub mod subscription;
 
 pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
@@ -94,3 +131,6 @@ pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
 pub use snapshot::QuerySnapshot;
 pub use store::{DeltaStats, ModStore, StoreError};
+pub use subscription::{
+    SubscriptionError, SubscriptionInfo, SubscriptionRegistry, SubscriptionStats,
+};

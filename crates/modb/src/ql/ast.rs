@@ -76,6 +76,43 @@ pub struct Query {
     pub prob_threshold: f64,
 }
 
+/// A top-level statement of the query language: a one-shot query or one
+/// of the standing-query (subscription) management verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A one-shot `SELECT …` query.
+    Select(Query),
+    /// `REGISTER CONTINUOUS <query> AS <name>` — install `query` as a
+    /// standing query whose answer is incrementally maintained as the MOD
+    /// mutates.
+    Register {
+        /// Subscription name (unique per server).
+        name: String,
+        /// The standing query.
+        query: Query,
+    },
+    /// `UNREGISTER <name>` — drop a standing query.
+    Unregister {
+        /// Subscription name.
+        name: String,
+    },
+    /// `SHOW SUBSCRIPTIONS` — list the registered standing queries.
+    ShowSubscriptions,
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => write!(f, "{q}"),
+            Statement::Register { name, query } => {
+                write!(f, "REGISTER CONTINUOUS {query} AS {name}")
+            }
+            Statement::Unregister { name } => write!(f, "UNREGISTER {name}"),
+            Statement::ShowSubscriptions => write!(f, "SHOW SUBSCRIPTIONS"),
+        }
+    }
+}
+
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SELECT {} FROM MOD WHERE ", self.target)?;

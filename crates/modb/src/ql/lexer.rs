@@ -56,6 +56,18 @@ pub enum TokenKind {
     ProbNn,
     /// `PROB_RNN` / `PROBABILITYRNN` (reverse NN — the §7 extension)
     ProbRnn,
+    /// `REGISTER` (standing-query registration)
+    Register,
+    /// `CONTINUOUS`
+    Continuous,
+    /// `AS`
+    As,
+    /// `UNREGISTER`
+    Unregister,
+    /// `SHOW`
+    Show,
+    /// `SUBSCRIPTIONS`
+    Subscriptions,
     // literals / identifiers
     /// A numeric literal.
     Number(f64),
@@ -104,6 +116,12 @@ impl fmt::Display for TokenKind {
             TokenKind::Rank => write!(f, "RANK"),
             TokenKind::ProbNn => write!(f, "PROB_NN"),
             TokenKind::ProbRnn => write!(f, "PROB_RNN"),
+            TokenKind::Register => write!(f, "REGISTER"),
+            TokenKind::Continuous => write!(f, "CONTINUOUS"),
+            TokenKind::As => write!(f, "AS"),
+            TokenKind::Unregister => write!(f, "UNREGISTER"),
+            TokenKind::Show => write!(f, "SHOW"),
+            TokenKind::Subscriptions => write!(f, "SUBSCRIPTIONS"),
             TokenKind::Number(n) => write!(f, "{n}"),
             TokenKind::Ident(s) => write!(f, "{s}"),
             TokenKind::LParen => write!(f, "("),
@@ -244,6 +262,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     "RANK" => TokenKind::Rank,
                     "PROB_NN" | "PROBABILITYNN" => TokenKind::ProbNn,
                     "PROB_RNN" | "PROBABILITYRNN" => TokenKind::ProbRnn,
+                    "REGISTER" => TokenKind::Register,
+                    "CONTINUOUS" => TokenKind::Continuous,
+                    "AS" => TokenKind::As,
+                    "UNREGISTER" => TokenKind::Unregister,
+                    "SHOW" => TokenKind::Show,
+                    "SUBSCRIPTIONS" => TokenKind::Subscriptions,
                     _ => TokenKind::Ident(text.to_string()),
                 }
             }

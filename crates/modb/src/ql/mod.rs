@@ -10,5 +10,18 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Quantifier, Query, Target};
-pub use parser::{parse, ParseError};
+pub use ast::{Quantifier, Query, Statement, Target};
+pub use parser::{parse, parse_statement, ParseError, SourceSpan};
+
+/// Resolves an object name of the query language (`Tr5`, `tr5`, `TR5`,
+/// or plain `5`) to its id, without requiring the object to be
+/// registered. The single place the naming convention lives — the
+/// server's resolver, the subscription registry, and the CLI all
+/// delegate here.
+pub fn parse_object_name(name: &str) -> Option<unn_traj::trajectory::Oid> {
+    let digits = name
+        .trim_start_matches("Tr")
+        .trim_start_matches("tr")
+        .trim_start_matches("TR");
+    digits.parse().ok().map(unn_traj::trajectory::Oid)
+}

@@ -3,7 +3,11 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! query      := SELECT target FROM MOD WHERE quant AND prob EOF
+//! statement  := query
+//!             | REGISTER CONTINUOUS query AS IDENT
+//!             | UNREGISTER IDENT
+//!             | SHOW SUBSCRIPTIONS
+//! query      := SELECT target FROM MOD WHERE quant AND prob
 //! target     := '*' | IDENT
 //! quant      := EXISTS  TIME IN interval
 //!             | FORALL  TIME IN interval
@@ -19,23 +23,122 @@
 //!
 //! `PROB_RNN` is the reverse-NN predicate of the §7 extensions: "`target`
 //! has `query` as a possible nearest neighbor". It takes no RANK bound.
+//! `REGISTER CONTINUOUS` installs the query as a *standing* query whose
+//! answer the server maintains incrementally (see
+//! [`crate::subscription`]).
+//!
+//! Errors carry a [`SourceSpan`] — byte offset plus 1-based line/column —
+//! so the CLI and server can point at the offending token
+//! ([`ParseError::render`] draws the caret).
 
-use super::ast::{PredicateKind, Quantifier, Query, Target};
+use super::ast::{PredicateKind, Quantifier, Query, Statement, Target};
 use super::lexer::{tokenize, LexError, Token, TokenKind};
 use std::fmt;
 
-/// Parse error with position information.
+/// A position in the query source: byte offset plus 1-based line and
+/// column (computed at the parse entry points; `line == 0` means the
+/// error has not been located against its source yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceSpan {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// 1-based line number (0 = unlocated).
+    pub line: u32,
+    /// 1-based column number in characters (0 = unlocated).
+    pub col: u32,
+}
+
+impl SourceSpan {
+    /// A span knowing only its byte offset.
+    pub fn at(offset: usize) -> Self {
+        SourceSpan {
+            offset,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    /// Locates `offset` within `src`, filling line and column.
+    pub fn locate(src: &str, offset: usize) -> Self {
+        let offset = offset.min(src.len());
+        let upto = &src[..offset];
+        let line = upto.matches('\n').count() as u32 + 1;
+        let col = upto
+            .rsplit_once('\n')
+            .map(|(_, tail)| tail)
+            .unwrap_or(upto)
+            .chars()
+            .count() as u32
+            + 1;
+        SourceSpan { offset, line, col }
+    }
+}
+
+/// Parse error with source-span information.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Human-readable description.
     pub message: String,
-    /// Byte offset in the source.
-    pub pos: usize,
+    /// Where in the source the offending token sits.
+    pub span: SourceSpan,
+}
+
+impl ParseError {
+    fn at(message: String, offset: usize) -> Self {
+        ParseError {
+            message,
+            span: SourceSpan::at(offset),
+        }
+    }
+
+    /// The byte offset of the offending token.
+    pub fn pos(&self) -> usize {
+        self.span.offset
+    }
+
+    fn located(mut self, src: &str) -> Self {
+        self.span = SourceSpan::locate(src, self.span.offset);
+        self
+    }
+
+    /// Renders the error with the offending source line and a caret
+    /// pointing at the token:
+    ///
+    /// ```text
+    /// parse error at line 1, column 8: expected '*' or an identifier, found ,
+    ///   SELECT , FROM MOD ...
+    ///          ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let located = if self.span.line == 0 {
+            SourceSpan::locate(src, self.span.offset)
+        } else {
+            self.span
+        };
+        let line_src = src
+            .lines()
+            .nth(located.line.saturating_sub(1) as usize)
+            .unwrap_or("");
+        let caret_pad = " ".repeat(located.col.saturating_sub(1) as usize);
+        format!("{self}\n  {line_src}\n  {caret_pad}^")
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+        if self.span.line > 0 {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.span.line, self.span.col, self.message
+            )
+        } else {
+            write!(
+                f,
+                "parse error at byte {}: {}",
+                self.span.offset, self.message
+            )
+        }
     }
 }
 
@@ -43,10 +146,7 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError {
-            message: e.message,
-            pos: e.pos,
-        }
+        ParseError::at(e.message, e.pos)
     }
 }
 
@@ -71,10 +171,10 @@ impl Parser {
         if std::mem::discriminant(&t.kind) == std::mem::discriminant(kind) {
             Ok(t)
         } else {
-            Err(ParseError {
-                message: format!("expected {kind}, found {}", t.kind),
-                pos: t.pos,
-            })
+            Err(ParseError::at(
+                format!("expected {kind}, found {}", t.kind),
+                t.pos,
+            ))
         }
     }
 
@@ -82,10 +182,10 @@ impl Parser {
         let t = self.advance();
         match t.kind {
             TokenKind::Number(n) => Ok(n),
-            other => Err(ParseError {
-                message: format!("expected a number, found {other}"),
-                pos: t.pos,
-            }),
+            other => Err(ParseError::at(
+                format!("expected a number, found {other}"),
+                t.pos,
+            )),
         }
     }
 
@@ -94,10 +194,10 @@ impl Parser {
         match t.kind {
             TokenKind::Star => Ok(Target::All),
             TokenKind::Ident(s) => Ok(Target::One(s)),
-            other => Err(ParseError {
-                message: format!("expected '*' or an identifier, found {other}"),
-                pos: t.pos,
-            }),
+            other => Err(ParseError::at(
+                format!("expected '*' or an identifier, found {other}"),
+                t.pos,
+            )),
         }
     }
 
@@ -108,10 +208,10 @@ impl Parser {
         let b = self.number()?;
         let closing = self.expect(&TokenKind::RBracket)?;
         if !(a.is_finite() && b.is_finite() && a < b) {
-            return Err(ParseError {
-                message: format!("invalid window [{a}, {b}]"),
-                pos: closing.pos,
-            });
+            return Err(ParseError::at(
+                format!("invalid window [{a}, {b}]"),
+                closing.pos,
+            ));
         }
         Ok((a, b))
     }
@@ -131,20 +231,20 @@ impl Parser {
                     n
                 };
                 if !(0.0..=1.0).contains(&frac) {
-                    return Err(ParseError {
-                        message: format!("fraction {frac} outside [0, 1]"),
-                        pos: t.pos,
-                    });
+                    return Err(ParseError::at(
+                        format!("fraction {frac} outside [0, 1]"),
+                        t.pos,
+                    ));
                 }
                 self.expect(&TokenKind::Of)?;
                 Quantifier::AtLeast(frac)
             }
             TokenKind::At => Quantifier::At(self.number()?),
             other => {
-                return Err(ParseError {
-                    message: format!("expected EXISTS, FORALL, ATLEAST or AT, found {other}"),
-                    pos: t.pos,
-                })
+                return Err(ParseError::at(
+                    format!("expected EXISTS, FORALL, ATLEAST or AT, found {other}"),
+                    t.pos,
+                ))
             }
         };
         self.expect(&TokenKind::Time)?;
@@ -152,13 +252,13 @@ impl Parser {
         let window = self.interval()?;
         if let Quantifier::At(t_at) = quant {
             if t_at < window.0 || t_at > window.1 {
-                return Err(ParseError {
-                    message: format!(
+                return Err(ParseError::at(
+                    format!(
                         "fixed time {t_at} outside window [{}, {}]",
                         window.0, window.1
                     ),
-                    pos: 0,
-                });
+                    0,
+                ));
             }
         }
         Ok((quant, window))
@@ -171,10 +271,10 @@ impl Parser {
             TokenKind::ProbNn => PredicateKind::Nn,
             TokenKind::ProbRnn => PredicateKind::Rnn,
             other => {
-                return Err(ParseError {
-                    message: format!("expected PROB_NN or PROB_RNN, found {other}"),
-                    pos: head.pos,
-                })
+                return Err(ParseError::at(
+                    format!("expected PROB_NN or PROB_RNN, found {other}"),
+                    head.pos,
+                ))
             }
         };
         self.expect(&TokenKind::LParen)?;
@@ -184,10 +284,10 @@ impl Parser {
         let query_object = match q.kind {
             TokenKind::Ident(s) => s,
             other => {
-                return Err(ParseError {
-                    message: format!("expected the query trajectory name, found {other}"),
-                    pos: q.pos,
-                })
+                return Err(ParseError::at(
+                    format!("expected the query trajectory name, found {other}"),
+                    q.pos,
+                ))
             }
         };
         self.expect(&TokenKind::Comma)?;
@@ -197,19 +297,19 @@ impl Parser {
             self.advance();
             let rank_tok = self.expect(&TokenKind::Rank)?;
             if predicate == PredicateKind::Rnn {
-                return Err(ParseError {
-                    message: "PROB_RNN does not support RANK bounds".to_string(),
-                    pos: rank_tok.pos,
-                });
+                return Err(ParseError::at(
+                    "PROB_RNN does not support RANK bounds".to_string(),
+                    rank_tok.pos,
+                ));
             }
             let t = self.advance();
             match t.kind {
                 TokenKind::Number(n) if n >= 1.0 && n.fract() == 0.0 => rank = Some(n as usize),
                 other => {
-                    return Err(ParseError {
-                        message: format!("RANK expects a positive integer, found {other}"),
-                        pos: t.pos,
-                    })
+                    return Err(ParseError::at(
+                        format!("RANK expects a positive integer, found {other}"),
+                        t.pos,
+                    ))
                 }
             }
         }
@@ -219,58 +319,119 @@ impl Parser {
         let prob_threshold = match cmp.kind {
             TokenKind::Number(n) if (0.0..1.0).contains(&n) => n,
             other => {
-                return Err(ParseError {
-                    message: format!(
-                        "probability comparisons need '> p' with p in [0, 1), found {other}"
-                    ),
-                    pos: cmp.pos,
-                })
+                return Err(ParseError::at(
+                    format!("probability comparisons need '> p' with p in [0, 1), found {other}"),
+                    cmp.pos,
+                ))
             }
         };
         Ok((predicate, target, query_object, rank, prob_threshold))
     }
 }
 
-/// Parses a query statement.
-pub fn parse(src: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, idx: 0 };
-    p.expect(&TokenKind::Select)?;
-    let target = p.target()?;
-    p.expect(&TokenKind::From)?;
-    p.expect(&TokenKind::Mod)?;
-    p.expect(&TokenKind::Where)?;
-    let (quantifier, window) = p.quantifier()?;
-    p.expect(&TokenKind::And)?;
-    let (predicate, prob_target, query_object, rank, prob_threshold) = p.prob()?;
-    let eof = p.expect(&TokenKind::Eof)?;
-    // Semantic check: the SELECT target and the predicate subject must
-    // agree.
-    if target != prob_target {
-        return Err(ParseError {
-            message: format!(
-                "SELECT target {target} does not match predicate subject {prob_target}"
-            ),
-            pos: eof.pos,
-        });
+impl Parser {
+    /// One `SELECT … AND <prob>` query, without consuming the trailing
+    /// token (EOF for one-shot queries, `AS` for registrations).
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect(&TokenKind::Select)?;
+        let target = self.target()?;
+        self.expect(&TokenKind::From)?;
+        self.expect(&TokenKind::Mod)?;
+        self.expect(&TokenKind::Where)?;
+        let (quantifier, window) = self.quantifier()?;
+        self.expect(&TokenKind::And)?;
+        let (predicate, prob_target, query_object, rank, prob_threshold) = self.prob()?;
+        let next = self.peek().clone();
+        // Semantic check: the SELECT target and the predicate subject
+        // must agree.
+        if target != prob_target {
+            return Err(ParseError::at(
+                format!("SELECT target {target} does not match predicate subject {prob_target}"),
+                next.pos,
+            ));
+        }
+        if let Target::One(name) = &target {
+            if *name == query_object {
+                return Err(ParseError::at(
+                    format!("target {name} cannot be its own query object"),
+                    next.pos,
+                ));
+            }
+        }
+        Ok(Query {
+            target,
+            quantifier,
+            window,
+            query_object,
+            predicate,
+            rank,
+            prob_threshold,
+        })
     }
-    if let Target::One(name) = &target {
-        if *name == query_object {
-            return Err(ParseError {
-                message: format!("target {name} cannot be its own query object"),
-                pos: eof.pos,
-            });
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError::at(
+                format!("expected an identifier, found {other}"),
+                t.pos,
+            )),
         }
     }
-    Ok(Query {
-        target,
-        quantifier,
-        window,
-        query_object,
-        predicate,
-        rank,
-        prob_threshold,
-    })
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let stmt = match self.peek().kind {
+            TokenKind::Register => {
+                self.advance();
+                self.expect(&TokenKind::Continuous)?;
+                let query = self.query()?;
+                self.expect(&TokenKind::As)?;
+                let name = self.ident()?;
+                Statement::Register { name, query }
+            }
+            TokenKind::Unregister => {
+                self.advance();
+                Statement::Unregister {
+                    name: self.ident()?,
+                }
+            }
+            TokenKind::Show => {
+                self.advance();
+                self.expect(&TokenKind::Subscriptions)?;
+                Statement::ShowSubscriptions
+            }
+            _ => Statement::Select(self.query()?),
+        };
+        self.expect(&TokenKind::Eof)?;
+        Ok(stmt)
+    }
+}
+
+/// Parses a one-shot `SELECT` query (rejecting the subscription verbs —
+/// use [`parse_statement`] for the full statement surface).
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    match parse_statement(src)? {
+        Statement::Select(q) => Ok(q),
+        other => Err(ParseError::at(
+            format!("expected a SELECT query, found the statement '{other}'"),
+            0,
+        )
+        .located(src)),
+    }
+}
+
+/// Parses any top-level statement: a `SELECT` query or one of the
+/// standing-query verbs (`REGISTER CONTINUOUS … AS name`,
+/// `UNREGISTER name`, `SHOW SUBSCRIPTIONS`). Errors come back located
+/// (line/column filled against `src`).
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let run = || -> Result<Statement, ParseError> {
+        let tokens = tokenize(src)?;
+        let mut p = Parser { tokens, idx: 0 };
+        p.statement()
+    };
+    run().map_err(|e| e.located(src))
 }
 
 #[cfg(test)]
@@ -436,6 +597,73 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.predicate, PredicateKind::Nn);
+    }
+
+    #[test]
+    fn errors_carry_line_and_column_spans() {
+        let src =
+            "SELECT Tr3 FROM MOD\nWHERE EXISTS TIME IN [0, 60]\nAND PROB_NN(Tr4, Tr0, TIME) > 0";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("does not match"));
+        // The span points at the end of the statement on line 3.
+        assert_eq!(err.span.line, 3);
+        assert!(err.span.col > 1, "{:?}", err.span);
+        assert_eq!(err.span.offset, src.len());
+        // A mid-token error points at the offending token itself.
+        let src2 = "SELECT ,";
+        let err2 = parse(src2).unwrap_err();
+        assert_eq!((err2.span.line, err2.span.col), (1, 8));
+        assert_eq!(err2.pos(), 7);
+        let rendered = err2.render(src2);
+        assert!(rendered.contains("line 1, column 8"), "{rendered}");
+        assert!(rendered.ends_with("  SELECT ,\n         ^"), "{rendered}");
+    }
+
+    #[test]
+    fn parses_subscription_statements() {
+        let stmt = parse_statement(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0 AS near0",
+        )
+        .unwrap();
+        match &stmt {
+            Statement::Register { name, query } => {
+                assert_eq!(name, "near0");
+                assert_eq!(query.query_object, "Tr0");
+                assert_eq!(query.target, Target::All);
+            }
+            other => panic!("expected Register, got {other:?}"),
+        }
+        // Statements round-trip through Display.
+        assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
+        assert_eq!(
+            parse_statement("UNREGISTER near0").unwrap(),
+            Statement::Unregister {
+                name: "near0".into()
+            }
+        );
+        assert_eq!(
+            parse_statement("show subscriptions").unwrap(),
+            Statement::ShowSubscriptions
+        );
+        // A SELECT through the statement surface.
+        assert!(matches!(
+            parse_statement(
+                "SELECT Tr1 FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(Tr1, Tr0, TIME) > 0"
+            ),
+            Ok(Statement::Select(_))
+        ));
+        // parse() refuses non-SELECT statements.
+        let err = parse("UNREGISTER near0").unwrap_err();
+        assert!(err.message.contains("expected a SELECT query"), "{err}");
+        // Missing name is caught with a located span.
+        let err = parse_statement(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("expected AS"), "{err}");
+        assert_eq!(err.span.line, 1);
     }
 
     #[test]

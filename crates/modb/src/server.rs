@@ -3,9 +3,10 @@
 
 use crate::cache::{CacheStats, CachedEngine, EngineCache, EngineKey, EngineKind};
 use crate::plan::{PlanError, PrefilterPolicy, QueryPlanner};
-use crate::ql::ast::{PredicateKind, Quantifier, Query, Target};
-use crate::ql::parser::{parse, ParseError};
+use crate::ql::ast::{PredicateKind, Quantifier, Query, Statement, Target};
+use crate::ql::parser::{parse_statement, ParseError};
 use crate::store::{ModStore, StoreError};
+use crate::subscription::{SubscriptionError, SubscriptionInfo, SubscriptionRegistry};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,6 +40,8 @@ pub enum ServerError {
     /// The stored trajectories do not share one location pdf (the other
     /// half of the paper's standing assumption).
     MixedPdfs,
+    /// Standing-query (subscription) management failed.
+    Subscription(SubscriptionError),
 }
 
 impl fmt::Display for ServerError {
@@ -57,6 +60,7 @@ impl fmt::Display for ServerError {
             ServerError::MixedPdfs => {
                 write!(f, "trajectories have differing location pdfs")
             }
+            ServerError::Subscription(e) => write!(f, "{e}"),
         }
     }
 }
@@ -78,6 +82,12 @@ impl From<StoreError> for ServerError {
 impl From<DifferenceError> for ServerError {
     fn from(e: DifferenceError) -> Self {
         ServerError::Window(e)
+    }
+}
+
+impl From<SubscriptionError> for ServerError {
+    fn from(e: SubscriptionError) -> Self {
+        ServerError::Subscription(e)
     }
 }
 
@@ -122,6 +132,12 @@ pub enum QueryOutput {
     /// Category 3/4 answer: qualifying objects with the fraction of the
     /// window during which the condition holds.
     Objects(Vec<(Oid, f64)>),
+    /// `REGISTER CONTINUOUS … AS name` installed the standing query.
+    Registered(SubscriptionInfo),
+    /// `UNREGISTER name` dropped the standing query.
+    Unregistered(String),
+    /// `SHOW SUBSCRIPTIONS` listing.
+    Subscriptions(Vec<SubscriptionInfo>),
 }
 
 /// A continuous NN answer (crisp semantics): the time-parameterized
@@ -151,6 +167,7 @@ pub struct ModServer {
     store: ModStore,
     planner: QueryPlanner,
     cache: Arc<EngineCache>,
+    subscriptions: Arc<SubscriptionRegistry>,
 }
 
 impl Default for ModServer {
@@ -159,10 +176,14 @@ impl Default for ModServer {
         let cache = Arc::new(EngineCache::with_capacity(128));
         // `store.clear()` wipes the engine cache in the same step.
         store.attach_cache(&cache);
+        // Standing queries are maintained after every store commit.
+        let subscriptions = Arc::new(SubscriptionRegistry::new());
+        store.attach_subscriptions(&subscriptions);
         ModServer {
             store,
             planner: QueryPlanner::default(),
             cache,
+            subscriptions,
         }
     }
 }
@@ -216,20 +237,12 @@ impl ModServer {
         self.store.bulk_load(trs).map_err(ServerError::Store)
     }
 
-    /// Resolves an object name (`Tr5`, `tr5`, or plain `5`) to an id.
+    /// Resolves an object name (`Tr5`, `tr5`, or plain `5`) to the id of
+    /// a **registered** object.
     pub fn resolve(&self, name: &str) -> Result<Oid, ServerError> {
-        let digits = name
-            .trim_start_matches("Tr")
-            .trim_start_matches("tr")
-            .trim_start_matches("TR");
-        let id: u64 = digits
-            .parse()
-            .map_err(|_| ServerError::UnknownObject(name.to_string()))?;
-        let oid = Oid(id);
-        if self.store.contains(oid) {
-            Ok(oid)
-        } else {
-            Err(ServerError::UnknownObject(name.to_string()))
+        match crate::ql::parse_object_name(name) {
+            Some(oid) if self.store.contains(oid) => Ok(oid),
+            _ => Err(ServerError::UnknownObject(name.to_string())),
         }
     }
 
@@ -351,10 +364,97 @@ impl ModServer {
         Ok(engine.ipac_tree(depth))
     }
 
-    /// Parses and executes a statement of the §4 query language.
+    /// Parses and executes a statement of the query language: a one-shot
+    /// §4 query or one of the standing-query verbs (`REGISTER
+    /// CONTINUOUS … AS name`, `UNREGISTER name`, `SHOW SUBSCRIPTIONS`).
     pub fn execute(&self, statement: &str) -> Result<QueryOutput, ServerError> {
-        let query = parse(statement)?;
-        self.execute_parsed(&query)
+        match parse_statement(statement)? {
+            Statement::Select(query) => self.execute_parsed(&query),
+            Statement::Register { name, query } => self
+                .subscribe_parsed(&name, query)
+                .map(QueryOutput::Registered),
+            Statement::Unregister { name } => {
+                if self.subscriptions.unregister(&name) {
+                    Ok(QueryOutput::Unregistered(name))
+                } else {
+                    Err(SubscriptionError::Unknown(name).into())
+                }
+            }
+            Statement::ShowSubscriptions => {
+                Ok(QueryOutput::Subscriptions(self.subscriptions.list()))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Standing queries (subscriptions)
+    // ------------------------------------------------------------------
+
+    /// The standing-query registry (answers maintained incrementally
+    /// after every store commit; see [`crate::subscription`]).
+    pub fn subscription_registry(&self) -> &Arc<SubscriptionRegistry> {
+        &self.subscriptions
+    }
+
+    /// Registers `statement` (a `SELECT` query) as a standing query named
+    /// `name` using the server's prefilter policy.
+    pub fn subscribe(&self, name: &str, statement: &str) -> Result<SubscriptionInfo, ServerError> {
+        let query = crate::ql::parser::parse(statement)?;
+        self.subscribe_parsed(name, query)
+    }
+
+    /// Registers an already-parsed query as a standing query.
+    pub fn subscribe_parsed(
+        &self,
+        name: &str,
+        query: Query,
+    ) -> Result<SubscriptionInfo, ServerError> {
+        self.subscriptions
+            .register(&self.store, name, query, self.planner.policy())
+            .map_err(ServerError::from)
+    }
+
+    /// Drops the named standing query.
+    pub fn unsubscribe(&self, name: &str) -> Result<(), ServerError> {
+        if self.subscriptions.unregister(name) {
+            Ok(())
+        } else {
+            Err(SubscriptionError::Unknown(name.to_string()).into())
+        }
+    }
+
+    /// Every registered standing query's state, ascending by name.
+    pub fn subscriptions(&self) -> Vec<SubscriptionInfo> {
+        self.subscriptions.list()
+    }
+
+    /// Drains the named subscription's change feed: the undrained
+    /// [`unn_core::answer::AnswerDelta`]s in epoch order.
+    pub fn poll_subscription(
+        &self,
+        name: &str,
+    ) -> Result<Vec<unn_core::answer::AnswerDelta>, ServerError> {
+        self.subscriptions
+            .drain(name)
+            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+    }
+
+    /// The named subscription's current maintained answer.
+    pub fn subscription_answer(
+        &self,
+        name: &str,
+    ) -> Result<unn_core::answer::AnswerSet, ServerError> {
+        self.subscriptions
+            .answer(name)
+            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+    }
+
+    /// The named subscription's answer rendered through its query's
+    /// quantifier and target, like a one-shot execution.
+    pub fn subscription_output(&self, name: &str) -> Result<QueryOutput, ServerError> {
+        self.subscriptions
+            .output(name)
+            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
     }
 
     /// Number of probability probes used when evaluating a threshold

@@ -17,6 +17,7 @@
 use crate::cache::EngineCache;
 use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
 use crate::snapshot::QuerySnapshot;
+use crate::subscription::SubscriptionRegistry;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,6 +105,9 @@ pub struct ModStore {
     snapshots_rebuilt: AtomicU64,
     /// Engine caches to drop alongside the contents on [`ModStore::clear`].
     caches: Mutex<Vec<Weak<EngineCache>>>,
+    /// Subscription registries maintained after every commit (the
+    /// standing-query layer; see [`crate::subscription`]).
+    subscriptions: Mutex<Vec<Weak<SubscriptionRegistry>>>,
 }
 
 impl Default for ModStore {
@@ -129,6 +133,7 @@ impl ModStore {
             snapshots_delta_applied: AtomicU64::new(0),
             snapshots_rebuilt: AtomicU64::new(0),
             caches: Mutex::new(Vec::new()),
+            subscriptions: Mutex::new(Vec::new()),
         }
     }
 
@@ -166,6 +171,8 @@ impl ModStore {
         }
         g.insert(oid, Arc::clone(&tr));
         self.commit([DeltaOp::Insert(tr)]);
+        drop(g);
+        self.notify_subscriptions();
         Ok(())
     }
 
@@ -191,7 +198,29 @@ impl ModStore {
             guards[slot(tr.oid())].insert(tr.oid(), Arc::clone(tr));
         }
         self.commit(items.into_iter().map(DeltaOp::Insert));
+        drop(guards);
+        self.notify_subscriptions();
         Ok(n)
+    }
+
+    /// Registers or replaces a trajectory under **one** commit — the GPS
+    /// correction op. Unlike a `remove` + `insert` pair, the delta is a
+    /// single epoch, so every delta consumer (snapshot maintenance,
+    /// engine carry, standing-query subscriptions) absorbs the update in
+    /// one maintenance round instead of two. Returns the replaced
+    /// trajectory, if any.
+    pub fn update(&self, tr: UncertainTrajectory) -> Option<UncertainTrajectory> {
+        let oid = tr.oid();
+        let tr = Arc::new(tr);
+        let mut g = self.shard_of(oid).map.write().unwrap();
+        let old = g.insert(oid, Arc::clone(&tr));
+        match &old {
+            Some(_) => self.commit([DeltaOp::Remove(oid), DeltaOp::Insert(tr)]),
+            None => self.commit([DeltaOp::Insert(tr)]),
+        };
+        drop(g);
+        self.notify_subscriptions();
+        old.map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
     }
 
     /// Removes a trajectory.
@@ -199,6 +228,8 @@ impl ModStore {
         let mut g = self.shard_of(oid).map.write().unwrap();
         let out = g.remove(&oid).ok_or(StoreError::NotFound(oid))?;
         self.commit([DeltaOp::Remove(oid)]);
+        drop(g);
+        self.notify_subscriptions();
         Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
     }
 
@@ -345,12 +376,38 @@ impl ModStore {
             }
             None => false,
         });
+        drop(caches);
+        self.notify_subscriptions();
     }
 
     /// Ties an engine cache's lifecycle to this store: [`ModStore::clear`]
     /// will clear it in the same step as the contents.
     pub fn attach_cache(&self, cache: &Arc<EngineCache>) {
         self.caches.lock().unwrap().push(Arc::downgrade(cache));
+    }
+
+    /// Ties a subscription registry to this store: after every commit the
+    /// registry's standing-query answers are maintained against the
+    /// epoch's delta (see [`crate::subscription`]).
+    pub fn attach_subscriptions(&self, registry: &Arc<SubscriptionRegistry>) {
+        self.subscriptions
+            .lock()
+            .unwrap()
+            .push(Arc::downgrade(registry));
+    }
+
+    /// Routes the freshly committed delta to every attached subscription
+    /// registry. Must be called with **no shard lock held**: maintenance
+    /// takes snapshots (all shard read locks) and reads the delta log.
+    fn notify_subscriptions(&self) {
+        let live: Vec<Arc<SubscriptionRegistry>> = {
+            let mut subs = self.subscriptions.lock().unwrap();
+            subs.retain(|w| w.strong_count() > 0);
+            subs.iter().filter_map(Weak::upgrade).collect()
+        };
+        for registry in live {
+            registry.sync(self);
+        }
     }
 
     /// The delta-to-population ratio beyond which snapshot refreshes fall
@@ -387,6 +444,24 @@ impl ModStore {
             snapshots_delta_applied: self.snapshots_delta_applied.load(Ordering::Relaxed),
             snapshots_rebuilt: self.snapshots_rebuilt.load(Ordering::Relaxed),
         }
+    }
+
+    /// Caps the number of retained delta records (see
+    /// [`DeltaLog::set_capacity`]): shrinking the bound truncates history
+    /// and forces delta consumers whose base epoch fell off — snapshots,
+    /// engine carries, subscriptions — onto their full-rebuild paths.
+    pub fn set_delta_log_capacity(&self, capacity: usize) {
+        self.delta.lock().unwrap().set_capacity(capacity);
+    }
+
+    /// Owned copies of the delta records newer than `base` (`None` when
+    /// the log is incomplete past `base`). The clones are cheap — records
+    /// share their trajectories by `Arc` — and taken under the log lock,
+    /// so consumers can process them without holding it.
+    pub(crate) fn ops_since_cloned(&self, base: u64) -> Option<Vec<DeltaRecord>> {
+        let log = self.delta.lock().unwrap();
+        log.ops_since(base)
+            .map(|ops| ops.into_iter().cloned().collect())
     }
 
     /// Runs `f` over the delta records newer than `base` (`None` when the
@@ -464,6 +539,27 @@ mod tests {
         s.clear();
         assert!(s.epoch() > e1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn update_replaces_under_one_epoch() {
+        let s = ModStore::new();
+        s.insert(tr(1)).unwrap();
+        s.insert(tr(2)).unwrap();
+        let _ = s.snapshot();
+        let before = s.epoch();
+        // Replace: one epoch, old content returned.
+        let old = s.update(tr(1)).expect("replaced");
+        assert_eq!(old.oid(), Oid(1));
+        assert_eq!(s.epoch(), before + 1);
+        assert_eq!(s.len(), 2);
+        // The delta collapses to a single-object update.
+        assert_eq!(s.delta_stats().pending_ops, 2, "remove + insert records");
+        let snap = s.snapshot();
+        assert!(snap.contains(Oid(1)));
+        // Upsert of an absent id inserts.
+        assert!(s.update(tr(9)).is_none());
+        assert_eq!(s.len(), 3);
     }
 
     #[test]

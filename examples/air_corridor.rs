@@ -72,6 +72,7 @@ fn main() {
                     println!();
                 }
             }
+            Ok(other) => println!("  {other:?}\n"),
             Err(e) => println!("  error: {e}\n"),
         }
     }

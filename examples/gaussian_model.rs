@@ -65,7 +65,7 @@ fn main() {
                 AND PROB_NN(*, Tr0, TIME) > 0.5";
     let count = |out: QueryOutput| match out {
         QueryOutput::Objects(rows) => rows.len(),
-        QueryOutput::Boolean(_) => unreachable!("star query"),
+        other => unreachable!("star query, got {other:?}"),
     };
     let n_uniform = count(uniform.execute(stmt).unwrap());
     let n_gauss = count(gaussian.execute(stmt).unwrap());

@@ -82,6 +82,7 @@ fn main() {
                     .collect();
                 println!("  {stmt}\n    -> [{}]", rendered.join(", "));
             }
+            other => println!("  {stmt}\n    -> {other:?}"),
         }
     }
 }

@@ -14,6 +14,9 @@
 //! load <path>                 load a MOD snapshot (persist format)
 //! save <path>                 save the current MOD
 //! list                        population summary
+//! obj put <Tr> <x0> <y0> <x1> <y1> [r]  register a straight-line object
+//! obj move <Tr> <dx> <dy>     shift an object (single-commit replace)
+//! obj del <Tr>                unregister an object
 //! nn <TrQ> <tb> <te>          crisp continuous NN timeline (§1)
 //! snapshot <TrQ> <t>          instantaneous P^NN ranking at t (§2.2)
 //! knn <TrQ> <k> <tb> <te>     continuous k-NN cells (§7 Top-k)
@@ -24,14 +27,28 @@
 //! cache                       engine-cache hit/miss/carry counters
 //! store delta-stats           delta-epoch machinery counters
 //! store rebuild-fraction <f>  set the delta-vs-rebuild threshold
-//! sql <statement>             execute a §4/§7 query-language statement
+//! store delta-capacity <n>    cap the delta log (forces rebuilds past it)
+//! sql <statement>             execute a query-language statement
+//! sub add <name> <SELECT …>   register a standing query
+//! sub drop <name>             unregister a standing query
+//! sub list                    list standing queries
+//! sub poll <name>             drain a standing query's change feed
+//! watch <name> [polls] [ms]   drain a standing query (default 1 poll; more
+//!                             polls demo the feed cadence — the REPL is
+//!                             single-threaded, so nothing mutates mid-watch)
 //! help                        this text
 //! quit                        exit
 //! ```
+//!
+//! `sub …` is shorthand for the query-language verbs `REGISTER
+//! CONTINUOUS … AS name` / `UNREGISTER name` / `SHOW SUBSCRIPTIONS`,
+//! which `sql` accepts too. `gen` and `load` replace the whole server,
+//! dropping registered subscriptions.
 
 use std::io::{self, BufRead, Write};
 use std::path::Path;
-use uncertain_nn::modb::persist;
+use uncertain_nn::core::answer::AnswerDelta;
+use uncertain_nn::modb::{persist, ServerError, SubscriptionInfo};
 use uncertain_nn::prelude::*;
 
 const HELP: &str = "\
@@ -40,6 +57,9 @@ commands:
   load <path>                 load a MOD snapshot
   save <path>                 save the current MOD
   list                        population summary
+  obj put <Tr> <x0> <y0> <x1> <y1> [r]  register a straight-line object
+  obj move <Tr> <dx> <dy>     shift an object (single-commit replace)
+  obj del <Tr>                unregister an object
   nn <TrQ> <tb> <te>          crisp continuous NN timeline
   snapshot <TrQ> <t>          instantaneous P^NN ranking at t
   knn <TrQ> <k> <tb> <te>     continuous k-NN cells
@@ -50,7 +70,13 @@ commands:
   cache                       engine-cache hit/miss/carry counters
   store delta-stats           delta-epoch machinery counters
   store rebuild-fraction <f>  set the delta-vs-rebuild threshold
+  store delta-capacity <n>    cap the delta log (forces rebuilds past it)
   sql <statement>             execute a query-language statement
+  sub add <name> <SELECT ...> register a standing query
+  sub drop <name>             unregister a standing query
+  sub list                    list standing queries
+  sub poll <name>             drain a standing query's change feed
+  watch <name> [polls] [ms]   drain a standing query (1 poll default)
   help                        this text
   quit                        exit";
 
@@ -296,25 +322,223 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     println!("rebuild fraction set to {f} (0 disables delta maintenance)");
                     Ok(())
                 }
+                "delta-capacity" => {
+                    let n: usize = parse(parts.next().ok_or("usage: store delta-capacity <n>")?)?;
+                    server.store().set_delta_log_capacity(n);
+                    println!(
+                        "delta log capped at {n} records (consumers falling off rebuild fully)"
+                    );
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
-        "sql" => {
-            match server.execute(rest).map_err(|e| e.to_string())? {
-                QueryOutput::Boolean(b) => println!("{b}"),
-                QueryOutput::Objects(rows) => {
-                    println!("{} objects", rows.len());
-                    let mut rows = rows;
-                    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
-                    for (oid, frac) in rows {
-                        println!("  {oid:>6}: {:.1}%", frac * 100.0);
-                    }
+        "obj" => {
+            let mut parts = rest.split_whitespace();
+            match parts.next().ok_or("usage: obj <put|move|del> ...")? {
+                "put" => {
+                    let name = parts
+                        .next()
+                        .ok_or("usage: obj put <Tr> <x0> <y0> <x1> <y1> [r]")?;
+                    let nums: Vec<f64> = parts.map(parse).collect::<Result<_, _>>()?;
+                    let (coords, r) = match nums.len() {
+                        4 => (&nums[..4], 0.5),
+                        5 => (&nums[..4], nums[4]),
+                        n => return Err(format!("expected 4 or 5 numbers, got {n}")),
+                    };
+                    let oid = parse_oid(name)?;
+                    let tr = Trajectory::from_triples(
+                        oid,
+                        &[(coords[0], coords[1], 0.0), (coords[2], coords[3], 60.0)],
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let utr =
+                        UncertainTrajectory::with_uniform_pdf(tr, r).map_err(|e| e.to_string())?;
+                    server.register(utr).map_err(|e| e.to_string())?;
+                    println!("registered {oid} (r = {r} mi, window [0, 60])");
+                    Ok(())
                 }
+                "move" => {
+                    let name = parts.next().ok_or("usage: obj move <Tr> <dx> <dy>")?;
+                    let dx: f64 = parse(parts.next().ok_or("missing dx")?)?;
+                    let dy: f64 = parse(parts.next().ok_or("missing dy")?)?;
+                    let oid = resolve(server, name)?;
+                    let old = server.store().get(oid).ok_or("object vanished")?;
+                    let shifted: Vec<(f64, f64, f64)> = old
+                        .trajectory()
+                        .samples()
+                        .iter()
+                        .map(|p| (p.position.x + dx, p.position.y + dy, p.time))
+                        .collect();
+                    let tr = Trajectory::from_triples(oid, &shifted).map_err(|e| e.to_string())?;
+                    // Preserve the object's uncertainty model — replacing
+                    // a Gaussian object with a uniform one would poison
+                    // the MOD's shared-pdf invariant.
+                    let utr = UncertainTrajectory::new(tr, old.radius(), old.pdf())
+                        .map_err(|e| e.to_string())?;
+                    // A single-commit replace: subscriptions absorb the
+                    // correction in one maintenance round.
+                    server.store().update(utr);
+                    println!("moved {oid} by ({dx}, {dy})");
+                    Ok(())
+                }
+                "del" => {
+                    let name = parts.next().ok_or("usage: obj del <Tr>")?;
+                    let oid = resolve(server, name)?;
+                    server.store().remove(oid).map_err(|e| e.to_string())?;
+                    println!("unregistered {oid}");
+                    Ok(())
+                }
+                other => Err(format!("unknown obj subcommand '{other}'")),
             }
+        }
+        "sql" => {
+            let out = server.execute(rest).map_err(|e| match e {
+                // Parse errors point at the offending token.
+                ServerError::Parse(pe) => pe.render(rest),
+                other => other.to_string(),
+            })?;
+            print_output(out);
+            Ok(())
+        }
+        "sub" => {
+            let (sub_cmd, sub_rest) = match rest.split_once(char::is_whitespace) {
+                Some((c, r)) => (c, r.trim()),
+                None => (rest, ""),
+            };
+            match sub_cmd {
+                "add" => {
+                    let (name, stmt) = sub_rest
+                        .split_once(char::is_whitespace)
+                        .ok_or("usage: sub add <name> <SELECT ...>")?;
+                    let info = server.subscribe(name, stmt.trim()).map_err(|e| match e {
+                        ServerError::Parse(pe) => pe.render(stmt.trim()),
+                        other => other.to_string(),
+                    })?;
+                    print_subscription(&info);
+                    Ok(())
+                }
+                "drop" => {
+                    server.unsubscribe(sub_rest).map_err(|e| e.to_string())?;
+                    println!("dropped subscription '{sub_rest}'");
+                    Ok(())
+                }
+                "list" => {
+                    let subs = server.subscriptions();
+                    println!("{} subscriptions", subs.len());
+                    for info in &subs {
+                        print_subscription(info);
+                    }
+                    Ok(())
+                }
+                "poll" => {
+                    let deltas = server
+                        .poll_subscription(sub_rest)
+                        .map_err(|e| e.to_string())?;
+                    print_deltas(sub_rest, &deltas);
+                    Ok(())
+                }
+                other => Err(format!("unknown sub subcommand '{other}'")),
+            }
+        }
+        "watch" => {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("usage: watch <name> [polls] [ms]")?;
+            // This REPL is single-threaded, so no mutation can land while
+            // watch sleeps — the default is a single drain. Multi-poll
+            // runs exercise the polling cadence of the change-feed API
+            // (the shape a concurrent transport would drive).
+            let polls: usize = match parts.next() {
+                Some(p) => parse(p)?,
+                None => 1,
+            };
+            let interval_ms: u64 = match parts.next() {
+                Some(p) => parse(p)?,
+                None => 200,
+            };
+            // Fail fast on unknown names before sleeping.
+            server
+                .poll_subscription(name)
+                .map_err(|e| e.to_string())
+                .map(|deltas| print_deltas(name, &deltas))?;
+            for _ in 1..polls.max(1) {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                let deltas = server.poll_subscription(name).map_err(|e| e.to_string())?;
+                print_deltas(name, &deltas);
+            }
+            println!("watch '{name}' finished after {} polls", polls.max(1));
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try 'help')")),
     }
+}
+
+fn print_output(out: QueryOutput) {
+    match out {
+        QueryOutput::Boolean(b) => println!("{b}"),
+        QueryOutput::Objects(rows) => {
+            println!("{} objects", rows.len());
+            let mut rows = rows;
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for (oid, frac) in rows {
+                println!("  {oid:>6}: {:.1}%", frac * 100.0);
+            }
+        }
+        QueryOutput::Registered(info) => print_subscription(&info),
+        QueryOutput::Unregistered(name) => println!("dropped subscription '{name}'"),
+        QueryOutput::Subscriptions(subs) => {
+            println!("{} subscriptions", subs.len());
+            for info in &subs {
+                print_subscription(info);
+            }
+        }
+    }
+}
+
+fn print_subscription(info: &SubscriptionInfo) {
+    println!(
+        "subscription '{}' @epoch {}: {} qualifying, {} pending deltas \
+         ({} skipped / {} patched / {} rebuilt){}",
+        info.name,
+        info.last_epoch,
+        info.entries,
+        info.pending_deltas,
+        info.stats.skipped,
+        info.stats.patched,
+        info.stats.rebuilt,
+        match &info.error {
+            Some(e) => format!(" [error: {e}]"),
+            None => String::new(),
+        }
+    );
+    println!("  {}", info.statement);
+}
+
+fn print_deltas(name: &str, deltas: &[AnswerDelta]) {
+    println!("'{name}': {} deltas", deltas.len());
+    for d in deltas {
+        println!(
+            "  @epoch {}: {} upserts, {} removed",
+            d.epoch,
+            d.upserts.len(),
+            d.removed.len()
+        );
+        for e in &d.upserts {
+            println!(
+                "    + {:>6}: {:8.3} time units",
+                e.oid,
+                e.intervals.total_len()
+            );
+        }
+        for oid in &d.removed {
+            println!("    - {oid:>6}");
+        }
+    }
+}
+
+fn parse_oid(name: &str) -> Result<Oid, String> {
+    uncertain_nn::modb::ql::parse_object_name(name)
+        .ok_or_else(|| format!("cannot parse object name '{name}'"))
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>

@@ -52,6 +52,25 @@
 //!    cannot touch its `4r` band, and everything else transparently
 //!    rebuilds on the next query.
 //!
+//! ## Standing queries
+//!
+//! The request/response pipeline above answers one-shot statements; the
+//! paper's queries are *continuous*, so the server also supports
+//! registering them as **standing queries** (`REGISTER CONTINUOUS
+//! <query> AS <name>` in the query language, `sub add` in the CLI).
+//! Every engine answer reduces to a diffable
+//! [`core::answer::AnswerSet`] — stable object ids with per-object
+//! qualification intervals — and after every store commit the
+//! [`modb::subscription::SubscriptionRegistry`] routes the epoch's delta
+//! to the affected subscriptions only: provably untouched answers are
+//! skipped via the same band-bound carry proof, the rest are patched by
+//! incremental re-evaluation (difference functions and even the lower
+//! envelope are reused whenever the delta provably leaves them
+//! unchanged), and truncated delta history forces a full re-plan.
+//! Changes stream to consumers as [`core::answer::AnswerDelta`]s through
+//! a per-subscription feed (`sub poll` / `watch` in the CLI), with
+//! answers bit-identical to fresh evaluation at every step.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -94,6 +113,7 @@ pub use unn_traj as traj;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use unn_core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
     pub use unn_core::candidates::CandidateSet;
     pub use unn_core::envelope::Envelope;
     pub use unn_core::hetero::{HeteroCandidate, HeteroEngine};
@@ -113,6 +133,7 @@ pub mod prelude {
     pub use unn_modb::server::{ModServer, QueryOutput};
     pub use unn_modb::snapshot::QuerySnapshot;
     pub use unn_modb::store::ModStore;
+    pub use unn_modb::subscription::{SubscriptionInfo, SubscriptionRegistry};
     pub use unn_prob::pdf::{PdfKind, RadialPdf};
     pub use unn_traj::generator::{generate, generate_uncertain, WorkloadConfig};
     pub use unn_traj::trajectory::{Oid, Trajectory};

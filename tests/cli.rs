@@ -132,6 +132,63 @@ fn policy_and_cache_commands_drive_the_pipeline() {
 }
 
 #[test]
+fn subscription_workflow_streams_answer_deltas() {
+    let (stdout, stderr) = run_cli(
+        "obj put Tr0 0 0 30 0\n\
+         obj put Tr1 0 1 30 1\n\
+         obj put Tr2 0 2 30 2\n\
+         obj put Tr3 0 500 30 500\n\
+         sub add near0 SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0\n\
+         sub list\n\
+         obj put Tr7 0 1.5 30 1.5\n\
+         sub poll near0\n\
+         obj move Tr7 0 100000\n\
+         sub poll near0\n\
+         obj del Tr7\n\
+         watch near0 2 10\n\
+         sql SHOW SUBSCRIPTIONS\n\
+         sub drop near0\n\
+         sub list\n\
+         quit\n",
+    );
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("registered Tr0"), "{stdout}");
+    assert!(stdout.contains("subscription 'near0'"), "{stdout}");
+    assert!(stdout.contains("1 subscriptions"), "{stdout}");
+    // The in-band newcomer streamed one upsert…
+    assert!(stdout.contains("+ Tr7:"), "{stdout}");
+    // …and moving it far away streamed its removal.
+    assert!(stdout.contains("- Tr7"), "{stdout}");
+    assert!(stdout.contains("moved Tr7 by (0, 100000)"), "{stdout}");
+    assert!(
+        stdout.contains("watch 'near0' finished after 2 polls"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("dropped subscription 'near0'"), "{stdout}");
+    assert!(stdout.contains("0 subscriptions"), "{stdout}");
+}
+
+#[test]
+fn sql_parse_errors_point_at_the_offending_token() {
+    let (stdout, _) = run_cli(
+        "gen 5 1 0.5\n\
+         sql SELECT , FROM MOD\n\
+         sub poll nope\n\
+         store delta-capacity 4\n\
+         quit\n",
+    );
+    assert!(
+        stdout.contains("parse error at line 1, column 8"),
+        "{stdout}"
+    );
+    // The caret line points at the bad token.
+    assert!(stdout.contains("SELECT , FROM MOD"), "{stdout}");
+    assert!(stdout.contains("       ^"), "{stdout}");
+    assert!(stdout.contains("no subscription named 'nope'"), "{stdout}");
+    assert!(stdout.contains("delta log capped at 4"), "{stdout}");
+}
+
+#[test]
 fn store_delta_stats_track_the_delta_epoch_machinery() {
     let (stdout, stderr) = run_cli(
         "gen 30 5 0.5\n\

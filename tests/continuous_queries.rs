@@ -1,0 +1,419 @@
+//! End-to-end and property tests of the standing-query subsystem: the
+//! QL registration surface, the per-subscription change feed, and the
+//! core acceptance property — `answer ⊕ delta` folded over any mutation
+//! interleaving equals a fresh exhaustive evaluation of the final
+//! contents, bit-identically, for every prefilter backend.
+
+use proptest::prelude::*;
+use uncertain_nn::core::answer::AnswerSet;
+use uncertain_nn::modb::{PrefilterPolicy, QueryPlanner, SubscriptionInfo};
+use uncertain_nn::prelude::*;
+
+const WINDOW: (f64, f64) = (0.0, 60.0);
+const RADIUS: f64 = 0.5;
+
+fn make_tr(oid: u64, wps: &[(f64, f64)]) -> UncertainTrajectory {
+    let n = wps.len().max(2);
+    let step = (WINDOW.1 - WINDOW.0) / (n - 1) as f64;
+    let triples: Vec<(f64, f64, f64)> = wps
+        .iter()
+        .cycle()
+        .take(n)
+        .enumerate()
+        .map(|(k, (x, y))| (*x, *y, WINDOW.0 + k as f64 * step))
+        .collect();
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(Oid(oid), &triples).unwrap(),
+        RADIUS,
+    )
+    .unwrap()
+}
+
+fn straight(oid: u64, y: f64) -> UncertainTrajectory {
+    make_tr(oid, &[(0.0, y), (30.0, y)])
+}
+
+/// Fresh exhaustive evaluation of a standing query against the server's
+/// current contents — the ground truth every maintained answer must
+/// equal bit-for-bit.
+fn fresh_answer(server: &ModServer, query: Oid, rank: Option<usize>) -> AnswerSet {
+    let engine = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+        .plan(
+            server.store().snapshot(),
+            query,
+            TimeInterval::new(WINDOW.0, WINDOW.1),
+        )
+        .expect("plans")
+        .build_engine()
+        .expect("builds");
+    match rank {
+        Some(k) => engine.ranked_answer_set(k),
+        None => engine.answer_set(),
+    }
+}
+
+#[test]
+fn register_unregister_show_via_the_query_language() {
+    let server = ModServer::new();
+    server
+        .register_all((0..6).map(|k| straight(k, k as f64)))
+        .unwrap();
+    let reg = server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0 AS near0",
+        )
+        .unwrap();
+    let info = match reg {
+        QueryOutput::Registered(info) => info,
+        other => panic!("expected Registered, got {other:?}"),
+    };
+    assert_eq!(info.name, "near0");
+    assert!(info.entries >= 1);
+    // SHOW lists it.
+    match server.execute("SHOW SUBSCRIPTIONS").unwrap() {
+        QueryOutput::Subscriptions(subs) => {
+            assert_eq!(subs.len(), 1);
+            assert_eq!(subs[0].name, "near0");
+            assert!(subs[0].statement.contains("PROB_NN"));
+        }
+        other => panic!("expected Subscriptions, got {other:?}"),
+    }
+    // Duplicate name refused; RNN/threshold statements refused.
+    assert!(server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr1, TIME) > 0 AS near0",
+        )
+        .is_err());
+    assert!(server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_RNN(*, Tr0, TIME) > 0 AS rev",
+        )
+        .is_err());
+    assert!(server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0.5 AS thresh",
+        )
+        .is_err());
+    // UNREGISTER drops it; a second drop errors.
+    assert_eq!(
+        server.execute("UNREGISTER near0").unwrap(),
+        QueryOutput::Unregistered("near0".into())
+    );
+    assert!(server.execute("UNREGISTER near0").is_err());
+    match server.execute("SHOW SUBSCRIPTIONS").unwrap() {
+        QueryOutput::Subscriptions(subs) => assert!(subs.is_empty()),
+        other => panic!("expected Subscriptions, got {other:?}"),
+    }
+}
+
+#[test]
+fn change_feed_streams_only_the_changed_objects() {
+    let server = ModServer::new();
+    server
+        .register_all([
+            straight(0, 0.0),
+            straight(1, 1.0),
+            straight(2, 2.0),
+            straight(3, 500.0),
+        ])
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    assert_eq!(server.poll_subscription("near0").unwrap(), vec![]);
+    // A newcomer inside the band but above the envelope (the NN is still
+    // Tr1) shows up as exactly one upsert; the unchanged qualifiers do
+    // not reappear in the delta.
+    server.register(straight(7, 1.5)).unwrap();
+    let deltas = server.poll_subscription("near0").unwrap();
+    assert_eq!(deltas.len(), 1);
+    assert_eq!(deltas[0].upserts.len(), 1, "{deltas:?}");
+    assert_eq!(deltas[0].upserts[0].oid, Oid(7));
+    assert!(deltas[0].removed.is_empty());
+    // Far churn produces no deltas at all.
+    server.register(straight(90, 44_000.0)).unwrap();
+    server.store().remove(Oid(90)).unwrap();
+    assert_eq!(server.poll_subscription("near0").unwrap(), vec![]);
+    let info = &server.subscriptions()[0];
+    assert!(info.stats.skipped >= 2, "{info:?}");
+    // Removing the newcomer streams its removal.
+    server.store().remove(Oid(7)).unwrap();
+    let deltas = server.poll_subscription("near0").unwrap();
+    assert_eq!(deltas.len(), 1);
+    assert_eq!(deltas[0].removed, vec![Oid(7)]);
+    // Unknown names error.
+    assert!(server.poll_subscription("bogus").is_err());
+}
+
+#[test]
+fn single_commit_update_is_one_maintenance_round() {
+    let server = ModServer::new();
+    server
+        .register_all([
+            straight(0, 0.0),
+            straight(1, 1.0),
+            straight(2, 3.0),
+            straight(3, 9.0),
+        ])
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    // One GPS correction through the single-commit update op.
+    server.store().update(straight(1, 1.5));
+    let info = &server.subscriptions()[0];
+    assert_eq!(
+        info.stats.skipped + info.stats.patched + info.stats.rebuilt,
+        1,
+        "one commit must be one maintenance round: {info:?}"
+    );
+    assert_eq!(
+        server.subscription_answer("near0").unwrap(),
+        fresh_answer(&server, Oid(0), None)
+    );
+}
+
+#[test]
+fn truncated_delta_log_forces_a_full_rebuild() {
+    let server = ModServer::new();
+    server
+        .register_all((0..8).map(|k| straight(k, k as f64)))
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    // Shrink the log so one bulk commit blows past it: the registry sees
+    // `ops_since == None` and must re-plan from scratch.
+    server.store().set_delta_log_capacity(2);
+    server
+        .register_all((100..108).map(|k| straight(k, 0.25 + (k - 100) as f64 * 0.1)))
+        .unwrap();
+    let info = &server.subscriptions()[0];
+    assert!(info.stats.rebuilt >= 1, "truncation must rebuild: {info:?}");
+    assert!(info.error.is_none(), "{info:?}");
+    assert_eq!(
+        server.subscription_answer("near0").unwrap(),
+        fresh_answer(&server, Oid(0), None),
+        "the rebuild must land on the fresh answer"
+    );
+    // The newcomers actually qualified (the rebuild saw them).
+    assert!(server
+        .subscription_answer("near0")
+        .unwrap()
+        .intervals_of(Oid(100))
+        .is_some());
+}
+
+#[test]
+fn clearing_the_store_empties_every_subscription() {
+    let server = ModServer::new();
+    server
+        .register_all((0..5).map(|k| straight(k, k as f64)))
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    server.store().clear();
+    let info = &server.subscriptions()[0];
+    assert!(info.error.is_some(), "{info:?}");
+    assert!(server.subscription_answer("near0").unwrap().is_empty());
+    let deltas = server.poll_subscription("near0").unwrap();
+    assert!(
+        deltas.iter().any(|d| !d.removed.is_empty()),
+        "the emptying must stream removals: {deltas:?}"
+    );
+}
+
+/// One scripted mutation: (kind, target selector, waypoints for inserts).
+type OpSpec = (usize, usize, Vec<(f64, f64)>);
+
+fn arb_waypoints() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..50.0f64, 0.0..50.0f64), 4)
+}
+
+fn arb_script() -> impl Strategy<Value = (Vec<Vec<(f64, f64)>>, Vec<OpSpec>)> {
+    (
+        prop::collection::vec(arb_waypoints(), 8..=14),
+        prop::collection::vec((0usize..4, 0usize..64, arb_waypoints()), 4..=10),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The acceptance property: across random interleavings of insert /
+    /// remove / single-commit update and every prefilter backend, the
+    /// maintained answer of each standing query (plain and ranked)
+    /// equals a fresh exhaustive evaluation bit-for-bit, and folding the
+    /// emitted deltas over the initial answer reproduces it.
+    #[test]
+    fn folded_deltas_equal_fresh_exhaustive_evaluation(script in arb_script()) {
+        let (base, ops) = script;
+        for policy in [
+            PrefilterPolicy::Scan { epochs: 6 },
+            PrefilterPolicy::Grid { epochs: 6 },
+            PrefilterPolicy::RTree { epochs: 6 },
+        ] {
+            let server = ModServer::with_policy(policy);
+            server
+                .register_all(
+                    base.iter()
+                        .enumerate()
+                        .map(|(i, wps)| make_tr(i as u64, wps)),
+                )
+                .unwrap();
+            server
+                .subscribe(
+                    "plain",
+                    "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                     AND PROB_NN(*, Tr0, TIME) > 0",
+                )
+                .unwrap();
+            server
+                .subscribe(
+                    "ranked",
+                    "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                     AND PROB_NN(*, Tr1, TIME, RANK 2) > 0",
+                )
+                .unwrap();
+            let mut folded: Vec<AnswerSet> = ["plain", "ranked"]
+                .iter()
+                .map(|n| server.subscription_answer(n).unwrap())
+                .collect();
+            let mut next_oid = base.len() as u64;
+            for (kind, target, wps) in &ops {
+                match kind {
+                    0 => {
+                        server.register(make_tr(next_oid, wps)).unwrap();
+                        next_oid += 1;
+                    }
+                    1 => {
+                        let oids = server.store().oids();
+                        // Keep the two query objects and a quorum alive.
+                        if oids.len() > 4 {
+                            let victim = oids[2 + target % (oids.len() - 2)];
+                            server.store().remove(victim).unwrap();
+                        }
+                    }
+                    2 => {
+                        // Single-commit GPS correction of a random
+                        // existing object (possibly a query object —
+                        // exercising the rebuild path).
+                        let oids = server.store().oids();
+                        let victim = oids[target % oids.len()];
+                        let mut moved = wps.clone();
+                        moved[0].0 += 1.0;
+                        server.store().update(make_tr(victim.0, &moved));
+                    }
+                    _ => {
+                        server
+                            .register_all([
+                                make_tr(next_oid, wps),
+                                make_tr(next_oid + 1, &wps.iter().map(|(x, y)| (x + 1.0, y + 1.0)).collect::<Vec<_>>()),
+                            ])
+                            .unwrap();
+                        next_oid += 2;
+                    }
+                }
+                for (acc, name) in folded.iter_mut().zip(["plain", "ranked"]) {
+                    for d in server.poll_subscription(name).unwrap() {
+                        *acc = acc.apply(&d);
+                    }
+                }
+            }
+            for ((name, rank), folded) in
+                [("plain", None), ("ranked", Some(2))].iter().zip(&folded)
+            {
+                let maintained = server.subscription_answer(name).unwrap();
+                let info = server
+                    .subscriptions()
+                    .into_iter()
+                    .find(|s| s.name == *name)
+                    .unwrap();
+                prop_assert!(
+                    info.error.is_none(),
+                    "{policy:?}/{name}: parked on {:?}",
+                    info.error
+                );
+                let query = if *name == "plain" { Oid(0) } else { Oid(1) };
+                let fresh = fresh_answer(&server, query, *rank);
+                prop_assert_eq!(
+                    &maintained,
+                    &fresh,
+                    "{:?}/{}: maintained != fresh exhaustive",
+                    policy,
+                    name
+                );
+                prop_assert_eq!(
+                    folded,
+                    &maintained,
+                    "{:?}/{}: folded deltas != maintained answer",
+                    policy,
+                    name
+                );
+            }
+        }
+    }
+}
+
+/// The info rows stay coherent: every routed commit lands in exactly one
+/// of the three ladder counters.
+#[test]
+fn maintenance_counters_partition_the_commits() {
+    let server = ModServer::new();
+    server
+        .register_all((0..10).map(|k| straight(k, 2.0 * k as f64)))
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    let commits = 12u64;
+    for k in 0..commits {
+        match k % 3 {
+            0 => {
+                server.register(straight(100 + k, 70_000.0)).unwrap();
+            }
+            1 => {
+                server.store().update(straight(2, 3.0 + 0.01 * k as f64));
+            }
+            _ => {
+                server.store().update(straight(0, 0.01 * k as f64));
+            }
+        }
+    }
+    let SubscriptionInfo { stats, .. } = server.subscriptions().remove(0);
+    assert_eq!(
+        stats.skipped + stats.patched + stats.rebuilt,
+        commits,
+        "{stats:?}"
+    );
+    assert!(stats.skipped >= 1, "{stats:?}");
+    assert!(stats.patched >= 1, "{stats:?}");
+    assert!(
+        stats.rebuilt >= 1,
+        "query-object updates rebuild: {stats:?}"
+    );
+    assert_eq!(
+        server.subscription_answer("near0").unwrap(),
+        fresh_answer(&server, Oid(0), None)
+    );
+}

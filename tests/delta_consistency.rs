@@ -137,6 +137,70 @@ fn assert_same_output(a: QueryOutput, b: QueryOutput, ctx: &str) {
     }
 }
 
+/// The `DeltaLog` truncation contract (see the docs on
+/// `unn_modb::delta::DeltaLog`): a delta consumer whose last-seen epoch
+/// fell off the bounded log gets `None` from `ops_since` and must
+/// rebuild from the live contents — never patch against the incomplete
+/// history. Exercised end-to-end through every consumer: snapshot
+/// maintenance, the engine-cache carry, and a standing-query
+/// subscription.
+#[test]
+fn truncation_forces_every_delta_consumer_to_rebuild() {
+    let server = ModServer::new();
+    server
+        .register_all((0..12).map(|i| make_tr(i, &[(0.0, i as f64), (30.0, i as f64)])))
+        .unwrap();
+    let w = TimeInterval::new(WINDOW.0, WINDOW.1);
+    // Warm every consumer: snapshot + indexes, a cached carriable
+    // engine, and a standing query.
+    let snap = server.store().snapshot();
+    let _ = (snap.grid().entry_count(), snap.rtree().entry_count());
+    let _ = server.engine(Oid(0), w).unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    let rebuilds_before = server.store().delta_stats().snapshots_rebuilt;
+    // Truncate: cap the log so the next bulk commit evicts its own
+    // prefix — consumers parked before it must detect the gap.
+    server.store().set_delta_log_capacity(3);
+    server
+        .register_all((100..108).map(|i| make_tr(i, &[(0.5, 0.5 + (i - 100) as f64), (29.0, 1.0)])))
+        .unwrap();
+    let stats = server.store().delta_stats();
+    assert!(
+        stats.log_floor > 0,
+        "the truncation must raise the floor: {stats:?}"
+    );
+    // The subscription detected the gap and rebuilt (never patched).
+    let info = server
+        .subscriptions()
+        .into_iter()
+        .find(|s| s.name == "near0")
+        .unwrap();
+    assert!(info.stats.rebuilt >= 1, "{info:?}");
+    assert_eq!(info.stats.patched, 0, "patching across a gap is the bug");
+    // The snapshot rebuilt from the live contents rather than patching.
+    let snap = server.store().snapshot();
+    assert_eq!(snap.len(), 20);
+    assert!(
+        server.store().delta_stats().snapshots_rebuilt > rebuilds_before,
+        "{:?}",
+        server.store().delta_stats()
+    );
+    // And everything still answers identically to a fresh exhaustive
+    // server — the rebuilt state is the live state.
+    let fresh = rebuild_exhaustive(&server);
+    let stmt = "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0";
+    assert_same_output(
+        server.execute(stmt).unwrap(),
+        fresh.execute(stmt).unwrap(),
+        "post-truncation",
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
