@@ -20,16 +20,28 @@
 //!   candidate's difference function.
 //! * `naive/<subs>`         — the same far churn with re-execution from
 //!   scratch for every standing query.
+//! * `sync_{far,near}_{sharded,sequential}/32` — the maintenance
+//!   scheduling ablation at 32 subscriptions: the sharded two-phase sync
+//!   (shared ops fetch, cached skip proofs, scoped-thread fan-out of
+//!   heavy refreshes on multi-core hosts) against the pre-sharding
+//!   sequential sweep (per-subscription ops fetch, proof derived from
+//!   scratch every round).
+//! * `push_fanout/32`       — full network path: one answer-changing
+//!   commit, then every one of 32 subscribers connected over loopback
+//!   TCP receives its pushed `AnswerDelta` frame.
 //!
 //! Before anything is timed, the maintained answers are asserted
 //! bit-identical to fresh exhaustive evaluations after a mixed mutation
 //! stream.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 use unn_geom::interval::TimeInterval;
+use unn_modb::net::{NetClient, NetServer, WireOutput};
 use unn_modb::plan::{PrefilterPolicy, QueryPlanner};
 use unn_modb::server::ModServer;
+use unn_modb::subscription::SyncMode;
 use unn_traj::generator::{generate_uncertain, WorkloadConfig};
 use unn_traj::trajectory::{Oid, Trajectory};
 use unn_traj::uncertain::UncertainTrajectory;
@@ -225,6 +237,114 @@ fn continuous_queries(c: &mut Criterion) {
             })
         });
     }
+    // ------------------------------------------------------------------
+    // Sharded vs sequential maintenance at 32 subscriptions.
+    // ------------------------------------------------------------------
+    const SYNC_SUBS: usize = 32;
+    for (label, mode) in [
+        ("sharded", SyncMode::Sharded),
+        ("sequential", SyncMode::Sequential),
+    ] {
+        // Far churn: the steady-state skip path. Sharded shares one ops
+        // fetch + changed set across all 32 subscriptions and checks
+        // cached proof bounds; sequential re-fetches and re-derives per
+        // subscription, per commit.
+        let server = server_with_subs(SYNC_SUBS);
+        server.subscription_registry().set_sync_mode(mode);
+        let mut k = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new(format!("sync_far_{label}"), SYNC_SUBS),
+            &SYNC_SUBS,
+            |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    server
+                        .store()
+                        .remove(Oid(CHURN_BASE + k % 32))
+                        .expect("present");
+                    server
+                        .register(far(k, 0.01 * (k % 100) as f64))
+                        .expect("ok");
+                })
+            },
+        );
+        // Near churn: every subscription patches. On multi-core hosts
+        // the sharded mode additionally fans the 32 patches out across
+        // scoped threads per registry shard.
+        let server = server_with_subs(SYNC_SUBS);
+        server.subscription_registry().set_sync_mode(mode);
+        let mut k = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new(format!("sync_near_{label}"), SYNC_SUBS),
+            &SYNC_SUBS,
+            |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    nudge(&server, Oid(100 + k % 40), 0.001);
+                })
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Push fan-out over loopback TCP: commit → 32 pushed deltas.
+    // ------------------------------------------------------------------
+    let server = Arc::new(server_with_subs(0));
+    let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("binds");
+    let addr = net.local_addr();
+    let mut clients: Vec<NetClient> = (0..32)
+        .map(|i| {
+            let mut c = NetClient::connect(addr).expect("connects");
+            let stmt = format!(
+                "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                 AND PROB_NN(*, Tr0, TIME) > 0 AS push{i}"
+            );
+            match c.execute(&stmt).expect("registers") {
+                WireOutput::Registered(_) => c,
+                other => panic!("expected Registered, got {other:?}"),
+            }
+        })
+        .collect();
+    // The toggle object: a near-copy of Tr0, offset into its band, so
+    // every commit changes every subscription's answer and pushes one
+    // event per client.
+    let shadow_oid = Oid(CHURN_BASE + 100);
+    let shadow = {
+        let base = server.store().get(Oid(0)).expect("Tr0 present");
+        let shifted: Vec<(f64, f64, f64)> = base
+            .trajectory()
+            .samples()
+            .iter()
+            .map(|p| (p.position.x + 0.05, p.position.y + 0.05, p.time))
+            .collect();
+        UncertainTrajectory::with_uniform_pdf(
+            Trajectory::from_triples(shadow_oid, &shifted).expect("valid"),
+            RADIUS,
+        )
+        .expect("valid")
+    };
+    let mut k = 0u64;
+    group.bench_with_input(BenchmarkId::new("push_fanout", 32), &32usize, |b, _| {
+        b.iter(|| {
+            k += 1;
+            if k % 2 == 1 {
+                server.store().insert(shadow.clone()).expect("inserts");
+            } else {
+                server.store().remove(shadow_oid).expect("removes");
+            }
+            // The commit is not "done" until every connected subscriber
+            // holds its pushed delta.
+            for c in clients.iter_mut() {
+                let ev = c
+                    .next_event(Some(Duration::from_secs(30)))
+                    .expect("stream healthy")
+                    .expect("every commit pushes one delta per subscriber");
+                criterion::black_box(ev);
+            }
+        })
+    });
+    drop(clients);
+    net.shutdown();
     group.finish();
 }
 

@@ -250,6 +250,71 @@ fn envelope_max(engine: &QueryEngine) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// The reusable part of a forward engine's carry proof: everything
+/// [`forward_engine_unaffected`] derives from the engine itself (not
+/// from the ops being checked), precomputed once so a *burst* of far
+/// commits costs one proof-bound derivation instead of one per commit.
+///
+/// The derivation — candidate-id set, envelope maximum, query corridor
+/// box — is `O(|candidates| + |envelope|)`; checking one op against a
+/// built proof is `O(log |candidates|)` (removal) or one box distance
+/// (insertion). The subscription layer caches a `ForwardProof` next to
+/// each carried engine and invalidates it whenever the engine is
+/// replaced, which is exactly when any of the inputs can change.
+#[derive(Debug, Clone)]
+pub struct ForwardProof {
+    query: Oid,
+    /// Ids owning one of the engine's difference functions (removals of
+    /// anything else were already prefiltered out of every answer).
+    candidates: std::collections::BTreeSet<Oid>,
+    /// The query trajectory's whole-domain expected-position box.
+    qbox: Aabb3,
+    /// `max_t LE₁(t) + 4r`: insertions staying strictly beyond this gap
+    /// can neither enter the band nor lower the envelope.
+    reach: f64,
+}
+
+impl ForwardProof {
+    /// Derives the proof bounds from `engine` / `query_tr` (the carried
+    /// engine and the query trajectory it was built against).
+    pub fn derive(engine: &QueryEngine, query_tr: &Trajectory) -> ForwardProof {
+        ForwardProof {
+            query: engine.query(),
+            candidates: engine.functions().iter().map(|f| f.owner()).collect(),
+            qbox: full_xy_box(query_tr),
+            reach: envelope_max(engine) + engine.band_delta(),
+        }
+    }
+
+    /// `true` only when every op in `ops` provably cannot change any of
+    /// the proved engine's answers (see [`forward_engine_unaffected`]).
+    pub fn ops_unaffected(&self, ops: &[&DeltaRecord]) -> bool {
+        for rec in ops {
+            match &rec.op {
+                DeltaOp::Remove(oid) => {
+                    if *oid == self.query || self.candidates.contains(oid) {
+                        return false;
+                    }
+                }
+                DeltaOp::Insert(tr) => {
+                    if tr.oid() == self.query {
+                        return false;
+                    }
+                    let gap = self.qbox.min_dist_xy(&full_xy_box(tr.trajectory()));
+                    // The uncertainty radius does not widen the reach:
+                    // both the envelope and the band are defined over
+                    // *expected* positions (§3), which is what the boxes
+                    // bound.
+                    if gap <= self.reach {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
 /// Proof obligation for carrying a cached **forward** engine across a
 /// delta: `true` only when every op in `ops` provably cannot change any
 /// of the engine's answers.
@@ -265,7 +330,12 @@ fn envelope_max(engine: &QueryEngine) -> f64 {
 ///   (its distance dominates `LE₁` everywhere), so a rebuilt engine
 ///   answers identically with or without it.
 ///
-/// The check is conservative — `false` merely forces a rebuild.
+/// The check is conservative — `false` merely forces a rebuild. Callers
+/// re-checking the *same* engine against successive deltas should build
+/// a [`ForwardProof`] once instead; this one-shot form derives its
+/// bounds lazily (no envelope scan when a removal disqualifies first,
+/// no candidate set when no removal appears), which matters on the
+/// engine-cache carry path that runs it per query.
 pub fn forward_engine_unaffected(
     engine: &QueryEngine,
     query_tr: &Trajectory,
@@ -289,9 +359,6 @@ pub fn forward_engine_unaffected(
                     reach = envelope_max(engine) + engine.band_delta();
                 }
                 let gap = qbox.min_dist_xy(&full_xy_box(tr.trajectory()));
-                // The uncertainty radius does not widen the reach: both
-                // the envelope and the band are defined over *expected*
-                // positions (§3), which is what the boxes bound.
                 if gap <= reach {
                     return false;
                 }

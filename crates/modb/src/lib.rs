@@ -92,6 +92,38 @@
 //! prefilter backends (for subscriptions: the maintained answer, *and*
 //! the fold of the emitted deltas over the initial answer, both equal a
 //! fresh exhaustive evaluation).
+//! ## The network service layer
+//!
+//! [`net`] fronts the engine with a std-only framed TCP protocol
+//! (`unn-cli connect <addr>` is the stock client). Requests execute
+//! query-language statements and mutations; `REGISTER CONTINUOUS` over a
+//! connection additionally attaches that connection's bounded outbox
+//! ([`subscription::DeltaSink`]) to the new subscription, so every
+//! commit's answer delta is **pushed** as a wire event the moment
+//! maintenance emits it:
+//!
+//! ```text
+//! conn A ──Insert──▶ commit (epoch e) ──▶ SubscriptionRegistry::sync
+//!                                          (sharded skip/patch/rebuild)
+//!                                                  │ AnswerDelta @e
+//!                                   ┌──────────────┴─────────────┐
+//!                                   ▼                            ▼
+//!                            pull feed (poll)          conn B outbox ─▶ Event
+//!                                                      (overflow ⇒ squash via
+//!                                                       `then`, flag `lagged`,
+//!                                                       client resyncs from a
+//!                                                       full AnswerSet)
+//! ```
+//!
+//! Maintenance itself is sharded by subscription-name hash (mirroring
+//! the store's writer shards): one cheap pass classifies every
+//! subscription sharing a single ops fetch and cached band-bound proofs
+//! (a burst of far commits costs one proof derivation), then the
+//! subscriptions needing patch/rebuild work fan out across scoped
+//! threads per shard on multi-core hosts. Folded pushed deltas equal a
+//! fresh exhaustive evaluation bit-for-bit, `lagged` resyncs included
+//! (`tests/net_push.rs`).
+//!
 //! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
 //!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
 //!   index-accelerated;
@@ -106,6 +138,8 @@
 //!   continuous queries whose [`unn_core::answer::AnswerSet`]s are
 //!   incrementally maintained after every commit and streamed as
 //!   [`unn_core::answer::AnswerDelta`]s;
+//! * [`net`] — the framed TCP service layer: wire codec, thread-per-
+//!   connection server with push delivery, and the blocking client;
 //! * [`persist`] — replayable text snapshots of MOD contents.
 
 #![warn(missing_docs)]
@@ -115,6 +149,7 @@ pub mod catalog;
 pub mod delta;
 pub mod index;
 pub mod instantaneous;
+pub mod net;
 pub mod persist;
 pub mod plan;
 pub mod prefilter;
@@ -126,11 +161,13 @@ pub mod subscription;
 
 pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
-pub use delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
+pub use delta::{DeltaLog, DeltaOp, DeltaRecord, ForwardProof, NetDelta};
+pub use net::{NetClient, NetError, NetServer, NetServerConfig};
 pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
 pub use snapshot::QuerySnapshot;
 pub use store::{DeltaStats, ModStore, StoreError};
 pub use subscription::{
-    SubscriptionError, SubscriptionInfo, SubscriptionRegistry, SubscriptionStats,
+    DeltaSink, FeedEvent, SubscriptionError, SubscriptionInfo, SubscriptionRegistry,
+    SubscriptionStats, SyncMode,
 };

@@ -1,0 +1,290 @@
+//! The framed-TCP client: a blocking, single-threaded [`NetClient`]
+//! used by `unn-cli connect`, the loopback tests, and the push-fan-out
+//! bench.
+//!
+//! The client multiplexes two streams over one socket: request/response
+//! pairs (correlated by id) and unsolicited [`Frame::Event`] pushes.
+//! Events arriving while a response is awaited are buffered and handed
+//! out later by [`NetClient::next_event`] — which **blocks on the
+//! socket** (optionally with a timeout) instead of polling, so a
+//! `watch` consumer wakes exactly when a delta lands. Timeouts never
+//! desynchronize the stream: partially received frames are kept in an
+//! internal buffer and completed by the next read.
+
+use crate::subscription::FeedEvent;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use unn_core::answer::AnswerSet;
+use unn_traj::trajectory::Oid;
+use unn_traj::uncertain::UncertainTrajectory;
+
+use super::wire::{
+    decode_payload, write_frame, Frame, WireError, WireOutput, WireRequest, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+
+/// Errors raised by [`NetClient`] operations.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server executed the request and reported an error.
+    Server(String),
+    /// The peer closed the connection (clean `Bye` or EOF).
+    Closed,
+    /// The peer violated the protocol (unexpected frame).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "{e}"),
+            NetError::Server(m) => write!(f, "server error: {m}"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Wire(WireError::Io(e))
+    }
+}
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    /// Bytes of a frame still in flight (partial reads under timeouts).
+    partial: Vec<u8>,
+    next_id: u64,
+    /// Pushed events received while a response was being awaited.
+    buffered: VecDeque<FeedEvent>,
+    server_epoch: u64,
+}
+
+impl NetClient {
+    /// Connects and performs the version handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = NetClient {
+            stream,
+            partial: Vec::new(),
+            next_id: 1,
+            buffered: VecDeque::new(),
+            server_epoch: 0,
+        };
+        write_frame(
+            &mut client.stream,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        match client.recv_blocking()? {
+            Frame::Welcome { version, epoch } if version == WIRE_VERSION => {
+                client.server_epoch = epoch;
+                Ok(client)
+            }
+            Frame::Welcome { version, .. } => {
+                Err(NetError::Wire(WireError::Version { got: version }))
+            }
+            Frame::Bye => Err(NetError::Closed),
+            other => Err(NetError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The store epoch the server reported at connect time.
+    pub fn server_epoch(&self) -> u64 {
+        self.server_epoch
+    }
+
+    /// Executes a query-language statement on the server. `REGISTER
+    /// CONTINUOUS … AS name` additionally attaches the subscription's
+    /// feed to this connection: its deltas arrive as pushed events.
+    pub fn execute(&mut self, statement: &str) -> Result<WireOutput, NetError> {
+        self.request(WireRequest::Statement(statement.to_string()))
+    }
+
+    /// Registers a trajectory on the server.
+    pub fn insert(&mut self, tr: UncertainTrajectory) -> Result<(), NetError> {
+        self.request(WireRequest::Insert(tr)).map(|_| ())
+    }
+
+    /// Registers-or-replaces a trajectory under one commit.
+    pub fn update(&mut self, tr: UncertainTrajectory) -> Result<(), NetError> {
+        self.request(WireRequest::Update(tr)).map(|_| ())
+    }
+
+    /// Unregisters an object.
+    pub fn remove(&mut self, oid: Oid) -> Result<(), NetError> {
+        self.request(WireRequest::Remove(oid)).map(|_| ())
+    }
+
+    /// Fetches a subscription's full maintained answer and the epoch it
+    /// is current at — the resync point after a `lagged` event: discard
+    /// buffered deltas with `epoch <= answer epoch`, fold the rest.
+    pub fn subscription_answer(&mut self, name: &str) -> Result<(AnswerSet, u64), NetError> {
+        match self.request(WireRequest::SubscriptionAnswer(name.to_string()))? {
+            WireOutput::Answer { epoch, answer } => Ok((answer, epoch)),
+            other => Err(NetError::Protocol(format!(
+                "expected Answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The next pushed event: a buffered one if any, otherwise **blocks
+    /// on the socket** until an event lands, the timeout expires
+    /// (`Ok(None)`), or the peer closes. `None` timeout blocks
+    /// indefinitely. A timeout mid-frame keeps the partial bytes, so the
+    /// stream stays synchronized.
+    pub fn next_event(&mut self, timeout: Option<Duration>) -> Result<Option<FeedEvent>, NetError> {
+        if let Some(ev) = self.buffered.pop_front() {
+            return Ok(Some(ev));
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        match self.recv_deadline(deadline)? {
+            None => Ok(None),
+            Some(Frame::Event {
+                subscription,
+                delta,
+                lagged,
+            }) => Ok(Some(FeedEvent {
+                subscription,
+                delta,
+                lagged,
+            })),
+            Some(Frame::Bye) => Err(NetError::Closed),
+            Some(other) => Err(NetError::Protocol(format!(
+                "unexpected frame while idle: {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the session cleanly: sends `Bye` and drains until the
+    /// server acknowledges (or the socket closes).
+    pub fn close(mut self) -> Result<(), NetError> {
+        write_frame(&mut self.stream, &Frame::Bye)?;
+        loop {
+            match self.recv_blocking() {
+                Ok(Frame::Bye) => break,
+                Ok(Frame::Event { .. }) => continue, // in-flight pushes
+                Ok(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame during close: {other:?}"
+                    )))
+                }
+                Err(NetError::Wire(WireError::Io(_))) | Err(NetError::Closed) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        Ok(())
+    }
+
+    /// Sends one request and blocks until its response arrives, buffering
+    /// any events pushed in between.
+    fn request(&mut self, body: WireRequest) -> Result<WireOutput, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &Frame::Request { id, body })?;
+        loop {
+            match self.recv_blocking()? {
+                Frame::Response { id: rid, result } if rid == id => {
+                    return result.map_err(NetError::Server)
+                }
+                Frame::Event {
+                    subscription,
+                    delta,
+                    lagged,
+                } => self.buffered.push_back(FeedEvent {
+                    subscription,
+                    delta,
+                    lagged,
+                }),
+                Frame::Bye => return Err(NetError::Closed),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame awaiting response {id}: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn recv_blocking(&mut self) -> Result<Frame, NetError> {
+        Ok(self
+            .recv_deadline(None)?
+            .expect("deadline-free receive always yields a frame"))
+    }
+
+    /// Reads one frame, accumulating partial bytes across timeouts.
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> Result<Option<Frame>, NetError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.try_extract()? {
+                return Ok(Some(frame));
+            }
+            match deadline {
+                None => self.stream.set_read_timeout(None)?,
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Ok(None);
+                    }
+                    // set_read_timeout(Some(ZERO)) is an error; the
+                    // deadline check above keeps the remainder positive.
+                    self.stream.set_read_timeout(Some(d - now))?;
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.partial.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Pops one complete frame off the partial buffer, if present.
+    fn try_extract(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.partial.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.partial[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(NetError::Wire(WireError::Format(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN} byte bound"
+            ))));
+        }
+        let total = 4 + len as usize;
+        if self.partial.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_payload(&self.partial[4..total])?;
+        self.partial.drain(..total);
+        Ok(Some(frame))
+    }
+}

@@ -1,0 +1,50 @@
+//! The network service layer: a std-only framed TCP protocol serving
+//! the MOD to remote clients, with **push delivery** of standing-query
+//! deltas.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! * [`wire`] — the length-prefixed binary frame codec: versioned
+//!   handshake, requests/responses, and pushed `Event` frames, with
+//!   bit-exact [`unn_core::answer::AnswerSet`] / `AnswerDelta`
+//!   round-trips and defensive decoding;
+//! * [`server`] — the thread-per-connection [`NetServer`] wrapping a
+//!   [`crate::server::ModServer`]: executes query-language statements
+//!   over the wire and attaches each connection's bounded
+//!   [`crate::subscription::DeltaSink`] outbox to the subscriptions it
+//!   registers, so answer deltas are pushed as commits land;
+//! * [`client`] — the blocking [`NetClient`] behind `unn-cli connect`,
+//!   the loopback tests, and the push-fan-out bench.
+//!
+//! ## Push lifecycle
+//!
+//! ```text
+//! writer conn A ──Insert──▶ ModStore commit (epoch e)
+//!                               │ notify
+//!                               ▼
+//!                   SubscriptionRegistry::sync
+//!                   (skip │ patch │ rebuild, sharded)
+//!                               │ AnswerDelta @e
+//!                ┌──────────────┴──────────────┐
+//!                ▼                             ▼
+//!        pull feed (sub poll)        DeltaSink of conn B (bounded)
+//!                                              │ pusher thread
+//!                                              ▼
+//!                                    Event frame ──▶ client B folds
+//!                                    (lagged ⇒ resync via
+//!                                     SubscriptionAnswer)
+//! ```
+//!
+//! Folding pushed deltas over the subscriber's base answer reproduces
+//! the maintained answer **bit-for-bit**, even across backpressure
+//! squashes — `tests/net_push.rs` drives two writer clients and a
+//! subscriber over a loopback socket and asserts exactly that, lagged
+//! resync included.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetError};
+pub use server::{NetServer, NetServerConfig};
+pub use wire::{Frame, WireError, WireOutput, WireRequest, WIRE_VERSION};

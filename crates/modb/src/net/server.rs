@@ -1,0 +1,351 @@
+//! The framed TCP service: a thread-per-connection [`NetServer`]
+//! wrapping a [`ModServer`], executing query-language statements over
+//! the wire and **pushing** subscription deltas to the connections that
+//! registered them.
+//!
+//! ## Connection lifecycle
+//!
+//! ```text
+//! accept ─▶ handshake (Hello/Welcome, version-gated)
+//!        ─▶ reader thread   : Request → ModServer → Response
+//!        └▶ pusher thread   : DeltaSink → Event frames
+//! ```
+//!
+//! Each connection owns one bounded [`DeltaSink`] outbox. A successful
+//! `REGISTER CONTINUOUS … AS name` executed over the connection attaches
+//! that outbox to the subscription, so every subsequent commit's
+//! [`unn_core::answer::AnswerDelta`] is pushed as an
+//! [`super::wire::Frame::Event`] the moment maintenance emits it — no
+//! polling. Backpressure is per connection: when the outbox overflows
+//! (slow or stalled consumer), the oldest same-subscription events are
+//! squashed via `AnswerDelta::then` and the survivor is flagged
+//! `lagged`; the client resyncs from a full answer
+//! ([`super::wire::WireRequest::SubscriptionAnswer`]) if it needs
+//! per-epoch granularity back. Subscriptions outlive their connection
+//! (they remain registered server-side; only the push attachment dies
+//! with the socket).
+
+use crate::server::{ModServer, QueryOutput, ServerError};
+use crate::subscription::DeltaSink;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::wire::{
+    read_frame, write_frame, Frame, WireError, WireOutput, WireRequest, WIRE_VERSION,
+};
+
+/// Tunables of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Per-connection outbox bound: undrained pushed events beyond this
+    /// squash (see [`DeltaSink`]). Sized like the store's feed bound by
+    /// default.
+    pub outbox_capacity: usize,
+    /// Artificial delay before each pushed event write. Zero in
+    /// production; tests and benches raise it to simulate a slow
+    /// consumer and force the `lagged` path deterministically.
+    pub event_pacing: Duration,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            outbox_capacity: crate::store::DEFAULT_FEED_BOUND,
+            event_pacing: Duration::ZERO,
+        }
+    }
+}
+
+/// Shared state between the accept loop, connection threads, and the
+/// shutdown path.
+#[derive(Debug)]
+struct Shared {
+    server: Arc<ModServer>,
+    config: NetServerConfig,
+    shutting_down: AtomicBool,
+    conns: Mutex<Vec<ConnEntry>>,
+}
+
+#[derive(Debug)]
+struct ConnEntry {
+    /// A clone of the connection socket, kept to force-close it on
+    /// server shutdown (unblocking the reader).
+    stream: TcpStream,
+    sink: Arc<DeltaSink>,
+    reader: JoinHandle<()>,
+}
+
+/// A running framed-TCP MOD service. Bind with [`NetServer::bind`],
+/// stop with [`NetServer::shutdown`] (dropping shuts down too).
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds and starts serving `server` on `addr` (use port 0 for an
+    /// ephemeral port; [`NetServer::local_addr`] reports the bound one).
+    pub fn bind<A: ToSocketAddrs>(addr: A, server: Arc<ModServer>) -> io::Result<NetServer> {
+        NetServer::bind_with(addr, server, NetServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit tunables.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        server: Arc<ModServer>,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server,
+            config,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("unn-net-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(NetServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections whose reader is still running.
+    pub fn active_connections(&self) -> usize {
+        self.shared
+            .conns
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|c| !c.reader.is_finished())
+            .count()
+    }
+
+    /// Stops accepting, force-closes every connection, and joins all
+    /// service threads. Idempotent with the `Drop` cleanup.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection. A bind
+        // to an unspecified address (0.0.0.0 / ::) is not reliably
+        // self-connectable on every platform — wake it via loopback.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            match wake {
+                SocketAddr::V4(_) => wake.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => wake.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(2));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<ConnEntry> = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for conn in &conns {
+            conn.sink.close();
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for conn in conns {
+            let _ = conn.reader.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => break,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut conns = shared.conns.lock().unwrap();
+        // Opportunistically prune entries whose reader already exited so
+        // a long-lived server with connection churn stays bounded.
+        conns.retain(|c| !c.reader.is_finished());
+        let sink = Arc::new(DeltaSink::bounded(shared.config.outbox_capacity));
+        let entry_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn_shared = Arc::clone(&shared);
+        let conn_sink = Arc::clone(&sink);
+        let reader = match std::thread::Builder::new()
+            .name("unn-net-conn".to_string())
+            .spawn(move || serve_connection(stream, conn_sink, conn_shared))
+        {
+            Ok(h) => h,
+            Err(_) => continue,
+        };
+        conns.push(ConnEntry {
+            stream: entry_stream,
+            sink,
+            reader,
+        });
+    }
+}
+
+/// One connection: handshake, then requests on this thread while a
+/// pusher thread drains the outbox. Any transport or protocol error
+/// tears the connection down (the stream cannot re-synchronize).
+fn serve_connection(stream: TcpStream, sink: Arc<DeltaSink>, shared: Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    // Handshake: version-gate before anything else.
+    match read_frame(&mut reader) {
+        Ok(Frame::Hello { version }) if version == WIRE_VERSION => {
+            let welcome = Frame::Welcome {
+                version: WIRE_VERSION,
+                epoch: shared.server.store().epoch(),
+            };
+            if write_locked(&writer, &welcome).is_err() {
+                return;
+            }
+        }
+        Ok(Frame::Hello { .. }) => {
+            let _ = write_locked(&writer, &Frame::Bye);
+            return;
+        }
+        _ => return,
+    }
+    // Pusher: outbox → Event frames, until the sink closes.
+    let pusher = {
+        let writer = Arc::clone(&writer);
+        let sink = Arc::clone(&sink);
+        let pacing = shared.config.event_pacing;
+        std::thread::Builder::new()
+            .name("unn-net-push".to_string())
+            .spawn(move || {
+                while let Some(ev) = sink.recv() {
+                    if !pacing.is_zero() {
+                        std::thread::sleep(pacing);
+                    }
+                    let frame = Frame::Event {
+                        subscription: ev.subscription,
+                        delta: ev.delta,
+                        lagged: ev.lagged,
+                    };
+                    if write_locked(&writer, &frame).is_err() {
+                        sink.close();
+                        break;
+                    }
+                }
+            })
+    };
+    // Requests until Bye, EOF, or a protocol violation.
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Frame::Request { id, body }) => {
+                let result = handle_request(&shared, &sink, body);
+                if write_locked(&writer, &Frame::Response { id, result }).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Bye) => {
+                let _ = write_locked(&writer, &Frame::Bye);
+                break;
+            }
+            Ok(_) | Err(WireError::Format(_)) | Err(WireError::Version { .. }) => break,
+            Err(WireError::Io(_)) => break,
+        }
+    }
+    sink.close();
+    if let Ok(h) = pusher {
+        let _ = h.join();
+    }
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+    // Self-prune: drop this connection's entry (cloned socket, sink)
+    // now instead of waiting for the next accept, so an idle server
+    // does not retain dead connections' resources. The shutdown path
+    // tolerates the missing entry — the socket is already closed and
+    // this thread is at its tail.
+    let me = std::thread::current().id();
+    shared
+        .conns
+        .lock()
+        .unwrap()
+        .retain(|c| c.reader.thread().id() != me && !c.reader.is_finished());
+}
+
+fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> io::Result<()> {
+    write_frame(&mut *writer.lock().unwrap(), frame)
+}
+
+/// Executes one request against the wrapped [`ModServer`]. A successful
+/// `REGISTER CONTINUOUS` additionally attaches this connection's outbox
+/// to the new subscription, turning its change feed into pushed frames.
+fn handle_request(
+    shared: &Shared,
+    sink: &Arc<DeltaSink>,
+    body: WireRequest,
+) -> Result<WireOutput, String> {
+    let server = &shared.server;
+    match body {
+        // The sink rides along so `REGISTER CONTINUOUS` attaches it
+        // atomically with the registration — a commit landing right
+        // after the registry insert already pushes to this connection.
+        WireRequest::Statement(stmt) => match server.execute_with_sink(&stmt, Some(sink)) {
+            Ok(out) => Ok(convert_output(out)),
+            Err(ServerError::Parse(pe)) => Err(pe.render(&stmt)),
+            Err(e) => Err(e.to_string()),
+        },
+        WireRequest::Insert(tr) => server
+            .register(tr)
+            .map(|()| WireOutput::Done)
+            .map_err(|e| e.to_string()),
+        WireRequest::Update(tr) => {
+            server.store().update(tr);
+            Ok(WireOutput::Done)
+        }
+        WireRequest::Remove(oid) => server
+            .store()
+            .remove(oid)
+            .map(|_| WireOutput::Done)
+            .map_err(|e| e.to_string()),
+        WireRequest::SubscriptionAnswer(name) => server
+            .subscription_registry()
+            .answer_with_epoch(&name)
+            .map(|(answer, epoch)| WireOutput::Answer { epoch, answer })
+            .ok_or_else(|| format!("no subscription named '{name}'")),
+    }
+}
+
+fn convert_output(out: QueryOutput) -> WireOutput {
+    match out {
+        QueryOutput::Boolean(b) => WireOutput::Boolean(b),
+        QueryOutput::Objects(rows) => WireOutput::Objects(rows),
+        QueryOutput::Registered(info) => WireOutput::Registered(info),
+        QueryOutput::Unregistered(name) => WireOutput::Unregistered(name),
+        QueryOutput::Subscriptions(infos) => WireOutput::Subscriptions(infos),
+    }
+}

@@ -1,0 +1,845 @@
+//! The framed binary wire protocol: length-prefixed, versioned frames
+//! carrying requests, responses, and pushed subscription events.
+//!
+//! ## Framing
+//!
+//! ```text
+//! frame   := length:u32le payload
+//! payload := tag:u8 body            (length = |payload|, bounded)
+//! ```
+//!
+//! Every multi-byte integer is little-endian; floats travel as their
+//! exact IEEE-754 bit patterns ([`f64::to_bits`]), so a decoded
+//! [`AnswerSet`] is **bit-identical** to the encoded one — the same
+//! round-trip guarantee the [`crate::persist`] text codec gives via
+//! shortest-float formatting, in binary form. Strings are UTF-8 with a
+//! `u32` byte-length prefix; options are a presence byte; sequences a
+//! `u32` count.
+//!
+//! ## Versioning
+//!
+//! A connection opens with [`Frame::Hello`] (magic + protocol version)
+//! answered by [`Frame::Welcome`]; either side closes with
+//! [`Frame::Bye`]. The magic rejects non-protocol peers immediately, and
+//! [`WIRE_VERSION`] gates incompatible evolutions of the frame bodies —
+//! a server refuses mismatched versions during the handshake rather
+//! than mis-decoding mid-stream. Decoding is defensive throughout:
+//! frames above [`MAX_FRAME_LEN`], counts that overrun the payload,
+//! malformed UTF-8, unknown tags, and non-finite interval bounds are all
+//! [`WireError::Format`] (the connection is then dropped; the stream
+//! cannot be trusted to re-synchronize).
+//!
+//! Round-trip coverage for every frame type lives in
+//! `tests/net_wire.rs` (property-style) and the unit tests below.
+
+use crate::subscription::{SubscriptionInfo, SubscriptionStats};
+use std::fmt;
+use std::io::{self, Read, Write};
+use unn_core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
+use unn_geom::interval::{IntervalSet, TimeInterval};
+use unn_prob::pdf::PdfKind;
+use unn_traj::trajectory::{Oid, Trajectory, TrajectorySample};
+use unn_traj::uncertain::UncertainTrajectory;
+
+/// Protocol magic opening every [`Frame::Hello`] (`b"UNN1"`).
+pub const WIRE_MAGIC: u32 = 0x554E_4E31;
+
+/// Current protocol version; bumped on any incompatible frame change.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload (a defense against hostile or
+/// corrupt length prefixes, not a practical limit — a 64 MiB answer
+/// delta would be millions of entries).
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Errors raised while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying transport failure (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// Structurally invalid bytes: bad magic, unknown tag, overrun
+    /// count, malformed UTF-8, non-finite interval…
+    Format(String),
+    /// The peer speaks an incompatible protocol version.
+    Version {
+        /// The version the peer announced.
+        got: u16,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Format(m) => write!(f, "malformed frame: {m}"),
+            WireError::Version { got } => {
+                write!(f, "incompatible wire version {got} (want {WIRE_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A client request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Execute a query-language statement (`SELECT …`, `REGISTER
+    /// CONTINUOUS … AS name`, `UNREGISTER name`, `SHOW SUBSCRIPTIONS`).
+    Statement(String),
+    /// Register a trajectory (fails on duplicate ids).
+    Insert(UncertainTrajectory),
+    /// Register-or-replace under one commit (the GPS correction op).
+    Update(UncertainTrajectory),
+    /// Unregister an object.
+    Remove(Oid),
+    /// Fetch a subscription's full maintained answer with its epoch (the
+    /// resync a `lagged` push stream recovers from).
+    SubscriptionAnswer(String),
+}
+
+/// A successful response body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutput {
+    /// Category 1/2 answer for a single target.
+    Boolean(bool),
+    /// Category 3/4 answer: qualifying objects with window fractions.
+    Objects(Vec<(Oid, f64)>),
+    /// `REGISTER CONTINUOUS` installed the standing query (and attached
+    /// its feed to this connection).
+    Registered(SubscriptionInfo),
+    /// `UNREGISTER` dropped the standing query.
+    Unregistered(String),
+    /// `SHOW SUBSCRIPTIONS` listing.
+    Subscriptions(Vec<SubscriptionInfo>),
+    /// A subscription's full answer at the epoch it is current at.
+    Answer {
+        /// The store epoch the answer is current at.
+        epoch: u64,
+        /// The maintained answer.
+        answer: AnswerSet,
+    },
+    /// A mutation applied cleanly.
+    Done,
+}
+
+/// One wire frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server greeting: magic + version.
+    Hello {
+        /// The client's protocol version.
+        version: u16,
+    },
+    /// Server → client greeting: accepted version + current store epoch.
+    Welcome {
+        /// The server's protocol version.
+        version: u16,
+        /// The store epoch at accept time.
+        epoch: u64,
+    },
+    /// A client request, answered by exactly one `Response` with the
+    /// same id.
+    Request {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// The request body.
+        body: WireRequest,
+    },
+    /// The server's answer to the `Request` with the same id.
+    Response {
+        /// The correlated request id.
+        id: u64,
+        /// The outcome (`Err` carries the server's error rendering).
+        result: Result<WireOutput, String>,
+    },
+    /// A pushed subscription delta (server → client, unsolicited).
+    Event {
+        /// The subscription name.
+        subscription: String,
+        /// The epoch-tagged answer delta.
+        delta: AnswerDelta,
+        /// `true` when backpressure squashed older deltas into this one
+        /// (fold stays exact; per-epoch granularity was lost — resync
+        /// via [`WireRequest::SubscriptionAnswer`] if that matters).
+        lagged: bool,
+    },
+    /// Clean shutdown notice, either direction.
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_intervals(buf: &mut Vec<u8>, iv: &IntervalSet) {
+    put_u32(buf, iv.spans().len() as u32);
+    for span in iv.spans() {
+        put_f64(buf, span.start());
+        put_f64(buf, span.end());
+    }
+}
+
+fn put_entry(buf: &mut Vec<u8>, e: &AnswerEntry) {
+    put_u64(buf, e.oid.0);
+    put_intervals(buf, &e.intervals);
+}
+
+fn put_answer_set(buf: &mut Vec<u8>, a: &AnswerSet) {
+    put_u64(buf, a.query().0);
+    put_f64(buf, a.window().start());
+    put_f64(buf, a.window().end());
+    match a.rank() {
+        Some(k) => {
+            put_u8(buf, 1);
+            put_u64(buf, k as u64);
+        }
+        None => put_u8(buf, 0),
+    }
+    put_u32(buf, a.entries().len() as u32);
+    for e in a.entries() {
+        put_entry(buf, e);
+    }
+}
+
+fn put_delta(buf: &mut Vec<u8>, d: &AnswerDelta) {
+    put_u64(buf, d.epoch);
+    put_u32(buf, d.upserts.len() as u32);
+    for e in &d.upserts {
+        put_entry(buf, e);
+    }
+    put_u32(buf, d.removed.len() as u32);
+    for oid in &d.removed {
+        put_u64(buf, oid.0);
+    }
+}
+
+fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
+    put_str(buf, &info.name);
+    put_str(buf, &info.statement);
+    put_u64(buf, info.last_epoch);
+    put_u64(buf, info.entries as u64);
+    put_u64(buf, info.pending_deltas as u64);
+    match &info.error {
+        Some(e) => {
+            put_u8(buf, 1);
+            put_str(buf, e);
+        }
+        None => put_u8(buf, 0),
+    }
+    let s = &info.stats;
+    for v in [
+        s.skipped,
+        s.skipped_ops,
+        s.patched,
+        s.rebuilt,
+        s.envelopes_carried,
+        s.functions_reused,
+        s.functions_built,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn put_trajectory(buf: &mut Vec<u8>, tr: &UncertainTrajectory) {
+    put_u64(buf, tr.oid().0);
+    put_f64(buf, tr.radius());
+    match tr.pdf() {
+        PdfKind::Uniform { .. } => put_u8(buf, 0),
+        PdfKind::TruncatedGaussian { sigma, .. } => {
+            put_u8(buf, 1);
+            put_f64(buf, sigma);
+        }
+    }
+    let samples = tr.trajectory().samples();
+    put_u32(buf, samples.len() as u32);
+    for s in samples {
+        put_f64(buf, s.position.x);
+        put_f64(buf, s.position.y);
+        put_f64(buf, s.time);
+    }
+}
+
+/// Serializes one frame's payload (tag + body, no length prefix).
+pub fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match frame {
+        Frame::Hello { version } => {
+            put_u8(&mut buf, 1);
+            put_u32(&mut buf, WIRE_MAGIC);
+            put_u16(&mut buf, *version);
+        }
+        Frame::Welcome { version, epoch } => {
+            put_u8(&mut buf, 2);
+            put_u16(&mut buf, *version);
+            put_u64(&mut buf, *epoch);
+        }
+        Frame::Request { id, body } => {
+            put_u8(&mut buf, 3);
+            put_u64(&mut buf, *id);
+            match body {
+                WireRequest::Statement(s) => {
+                    put_u8(&mut buf, 0);
+                    put_str(&mut buf, s);
+                }
+                WireRequest::Insert(tr) => {
+                    put_u8(&mut buf, 1);
+                    put_trajectory(&mut buf, tr);
+                }
+                WireRequest::Update(tr) => {
+                    put_u8(&mut buf, 2);
+                    put_trajectory(&mut buf, tr);
+                }
+                WireRequest::Remove(oid) => {
+                    put_u8(&mut buf, 3);
+                    put_u64(&mut buf, oid.0);
+                }
+                WireRequest::SubscriptionAnswer(name) => {
+                    put_u8(&mut buf, 4);
+                    put_str(&mut buf, name);
+                }
+            }
+        }
+        Frame::Response { id, result } => {
+            put_u8(&mut buf, 4);
+            put_u64(&mut buf, *id);
+            match result {
+                Err(message) => {
+                    put_u8(&mut buf, 0);
+                    put_str(&mut buf, message);
+                }
+                Ok(out) => {
+                    put_u8(&mut buf, 1);
+                    match out {
+                        WireOutput::Boolean(b) => {
+                            put_u8(&mut buf, 0);
+                            put_u8(&mut buf, *b as u8);
+                        }
+                        WireOutput::Objects(rows) => {
+                            put_u8(&mut buf, 1);
+                            put_u32(&mut buf, rows.len() as u32);
+                            for (oid, frac) in rows {
+                                put_u64(&mut buf, oid.0);
+                                put_f64(&mut buf, *frac);
+                            }
+                        }
+                        WireOutput::Registered(info) => {
+                            put_u8(&mut buf, 2);
+                            put_info(&mut buf, info);
+                        }
+                        WireOutput::Unregistered(name) => {
+                            put_u8(&mut buf, 3);
+                            put_str(&mut buf, name);
+                        }
+                        WireOutput::Subscriptions(infos) => {
+                            put_u8(&mut buf, 4);
+                            put_u32(&mut buf, infos.len() as u32);
+                            for info in infos {
+                                put_info(&mut buf, info);
+                            }
+                        }
+                        WireOutput::Answer { epoch, answer } => {
+                            put_u8(&mut buf, 5);
+                            put_u64(&mut buf, *epoch);
+                            put_answer_set(&mut buf, answer);
+                        }
+                        WireOutput::Done => put_u8(&mut buf, 6),
+                    }
+                }
+            }
+        }
+        Frame::Event {
+            subscription,
+            delta,
+            lagged,
+        } => {
+            put_u8(&mut buf, 5);
+            put_str(&mut buf, subscription);
+            put_u8(&mut buf, *lagged as u8);
+            put_delta(&mut buf, delta);
+        }
+        Frame::Bye => put_u8(&mut buf, 6),
+    }
+    buf
+}
+
+/// Writes one length-prefixed frame. Payloads above [`MAX_FRAME_LEN`]
+/// are refused with an error **before** any byte hits the wire — the
+/// peer would reject the length prefix and tear the connection down,
+/// and a length above `u32::MAX` would silently desynchronize the
+/// stream (the encoder enforces the same bound the decoder does).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = encode_payload(frame);
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN} byte bound",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked reader over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bad(&self, what: &str) -> WireError {
+        WireError::Format(format!("{what} at byte {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.bad("truncated payload"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A sequence count, sanity-bounded by the bytes actually remaining
+    /// (`min_size` per element) so a corrupt count cannot drive a huge
+    /// allocation.
+    fn count(&mut self, min_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_size.max(1)) > self.buf.len() - self.pos {
+            return Err(self.bad("count overruns payload"));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Format("invalid UTF-8 string".to_string()))
+    }
+
+    fn interval(&mut self) -> Result<TimeInterval, WireError> {
+        let (a, b) = (self.f64()?, self.f64()?);
+        TimeInterval::try_new(a, b).ok_or_else(|| self.bad("invalid interval"))
+    }
+
+    fn intervals(&mut self) -> Result<IntervalSet, WireError> {
+        let n = self.count(16)?;
+        let mut spans = Vec::with_capacity(n);
+        for _ in 0..n {
+            spans.push(self.interval()?);
+        }
+        Ok(IntervalSet::from_intervals(spans))
+    }
+
+    fn entry(&mut self) -> Result<AnswerEntry, WireError> {
+        Ok(AnswerEntry {
+            oid: Oid(self.u64()?),
+            intervals: self.intervals()?,
+        })
+    }
+
+    fn answer_set(&mut self) -> Result<AnswerSet, WireError> {
+        let query = Oid(self.u64()?);
+        let window = self.interval()?;
+        let rank = match self.u8()? {
+            0 => None,
+            1 => Some(self.u64()? as usize),
+            _ => return Err(self.bad("invalid rank flag")),
+        };
+        let n = self.count(12)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(self.entry()?);
+        }
+        Ok(AnswerSet::new(query, window, rank, entries))
+    }
+
+    fn delta(&mut self) -> Result<AnswerDelta, WireError> {
+        let epoch = self.u64()?;
+        let n = self.count(12)?;
+        let mut upserts = Vec::with_capacity(n);
+        for _ in 0..n {
+            upserts.push(self.entry()?);
+        }
+        let n = self.count(8)?;
+        let mut removed = Vec::with_capacity(n);
+        for _ in 0..n {
+            removed.push(Oid(self.u64()?));
+        }
+        Ok(AnswerDelta {
+            epoch,
+            upserts,
+            removed,
+        })
+    }
+
+    fn info(&mut self) -> Result<SubscriptionInfo, WireError> {
+        let name = self.str()?;
+        let statement = self.str()?;
+        let last_epoch = self.u64()?;
+        let entries = self.u64()? as usize;
+        let pending_deltas = self.u64()? as usize;
+        let error = match self.u8()? {
+            0 => None,
+            1 => Some(self.str()?),
+            _ => return Err(self.bad("invalid error flag")),
+        };
+        let stats = SubscriptionStats {
+            skipped: self.u64()?,
+            skipped_ops: self.u64()?,
+            patched: self.u64()?,
+            rebuilt: self.u64()?,
+            envelopes_carried: self.u64()?,
+            functions_reused: self.u64()?,
+            functions_built: self.u64()?,
+        };
+        Ok(SubscriptionInfo {
+            name,
+            statement,
+            last_epoch,
+            entries,
+            pending_deltas,
+            error,
+            stats,
+        })
+    }
+
+    fn trajectory(&mut self) -> Result<UncertainTrajectory, WireError> {
+        let oid = Oid(self.u64()?);
+        let radius = self.f64()?;
+        let pdf = match self.u8()? {
+            0 => PdfKind::Uniform { radius },
+            1 => PdfKind::TruncatedGaussian {
+                radius,
+                sigma: self.f64()?,
+            },
+            t => return Err(self.bad(&format!("unknown pdf tag {t}"))),
+        };
+        let n = self.count(24)?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (x, y, t) = (self.f64()?, self.f64()?, self.f64()?);
+            samples.push(TrajectorySample::new(x, y, t));
+        }
+        let tr = Trajectory::new(oid, samples)
+            .map_err(|e| WireError::Format(format!("invalid trajectory {oid}: {e}")))?;
+        UncertainTrajectory::new(tr, radius, pdf)
+            .map_err(|e| WireError::Format(format!("invalid uncertainty for {oid}: {e}")))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Format(format!(
+                "{} trailing bytes after frame body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one frame payload (tag + body, no length prefix).
+pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(payload);
+    let frame = match c.u8()? {
+        1 => {
+            let magic = c.u32()?;
+            if magic != WIRE_MAGIC {
+                return Err(WireError::Format(format!("bad magic {magic:#010x}")));
+            }
+            Frame::Hello { version: c.u16()? }
+        }
+        2 => Frame::Welcome {
+            version: c.u16()?,
+            epoch: c.u64()?,
+        },
+        3 => {
+            let id = c.u64()?;
+            let body = match c.u8()? {
+                0 => WireRequest::Statement(c.str()?),
+                1 => WireRequest::Insert(c.trajectory()?),
+                2 => WireRequest::Update(c.trajectory()?),
+                3 => WireRequest::Remove(Oid(c.u64()?)),
+                4 => WireRequest::SubscriptionAnswer(c.str()?),
+                t => return Err(c.bad(&format!("unknown request tag {t}"))),
+            };
+            Frame::Request { id, body }
+        }
+        4 => {
+            let id = c.u64()?;
+            let result = match c.u8()? {
+                0 => Err(c.str()?),
+                1 => Ok(match c.u8()? {
+                    0 => WireOutput::Boolean(c.u8()? != 0),
+                    1 => {
+                        let n = c.count(16)?;
+                        let mut rows = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            rows.push((Oid(c.u64()?), c.f64()?));
+                        }
+                        WireOutput::Objects(rows)
+                    }
+                    2 => WireOutput::Registered(c.info()?),
+                    3 => WireOutput::Unregistered(c.str()?),
+                    4 => {
+                        let n = c.count(1)?;
+                        let mut infos = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            infos.push(c.info()?);
+                        }
+                        WireOutput::Subscriptions(infos)
+                    }
+                    5 => WireOutput::Answer {
+                        epoch: c.u64()?,
+                        answer: c.answer_set()?,
+                    },
+                    6 => WireOutput::Done,
+                    t => return Err(c.bad(&format!("unknown output tag {t}"))),
+                }),
+                t => return Err(c.bad(&format!("invalid result flag {t}"))),
+            };
+            Frame::Response { id, result }
+        }
+        5 => Frame::Event {
+            subscription: c.str()?,
+            lagged: c.u8()? != 0,
+            delta: c.delta()?,
+        },
+        6 => Frame::Bye,
+        t => return Err(c.bad(&format!("unknown frame tag {t}"))),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Reads one length-prefixed frame, blocking until complete.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Format(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN} byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let payload = encode_payload(&frame);
+        assert_eq!(decode_payload(&payload).unwrap(), frame);
+        // Via a stream with the length prefix.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), frame);
+    }
+
+    fn sample_delta() -> AnswerDelta {
+        AnswerDelta {
+            epoch: 42,
+            upserts: vec![AnswerEntry {
+                oid: Oid(7),
+                intervals: IntervalSet::from_intervals([
+                    TimeInterval::new(0.0, 1.5),
+                    TimeInterval::new(3.0, 4.25),
+                ]),
+            }],
+            removed: vec![Oid(1), Oid(9)],
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Hello {
+            version: WIRE_VERSION,
+        });
+        round_trip(Frame::Welcome {
+            version: WIRE_VERSION,
+            epoch: 99,
+        });
+        round_trip(Frame::Request {
+            id: 5,
+            body: WireRequest::Statement("SHOW SUBSCRIPTIONS".to_string()),
+        });
+        round_trip(Frame::Request {
+            id: 6,
+            body: WireRequest::Remove(Oid(12)),
+        });
+        round_trip(Frame::Request {
+            id: 7,
+            body: WireRequest::SubscriptionAnswer("near0".to_string()),
+        });
+        round_trip(Frame::Response {
+            id: 5,
+            result: Err("unknown object 'Tr9'".to_string()),
+        });
+        round_trip(Frame::Response {
+            id: 8,
+            result: Ok(WireOutput::Objects(vec![(Oid(1), 0.5), (Oid(2), 1.0)])),
+        });
+        round_trip(Frame::Response {
+            id: 9,
+            result: Ok(WireOutput::Answer {
+                epoch: 17,
+                answer: AnswerSet::new(
+                    Oid(0),
+                    TimeInterval::new(0.0, 60.0),
+                    Some(2),
+                    vec![AnswerEntry {
+                        oid: Oid(3),
+                        intervals: IntervalSet::from_intervals([TimeInterval::new(1.0, 2.0)]),
+                    }],
+                ),
+            }),
+        });
+        round_trip(Frame::Event {
+            subscription: "near0".to_string(),
+            delta: sample_delta(),
+            lagged: true,
+        });
+        round_trip(Frame::Bye);
+    }
+
+    #[test]
+    fn trajectories_round_trip_bit_exact() {
+        let tr = UncertainTrajectory::new(
+            Trajectory::from_triples(Oid(4), &[(0.5, 1.5, 0.0), (2.0, 3.0, 5.0)]).unwrap(),
+            0.75,
+            PdfKind::TruncatedGaussian {
+                radius: 0.75,
+                sigma: 0.3,
+            },
+        )
+        .unwrap();
+        round_trip(Frame::Request {
+            id: 1,
+            body: WireRequest::Insert(tr.clone()),
+        });
+        round_trip(Frame::Request {
+            id: 2,
+            body: WireRequest::Update(tr),
+        });
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        // Unknown tag.
+        assert!(matches!(decode_payload(&[99]), Err(WireError::Format(_))));
+        // Bad magic.
+        let mut hello = encode_payload(&Frame::Hello {
+            version: WIRE_VERSION,
+        });
+        hello[1] ^= 0xFF;
+        assert!(matches!(decode_payload(&hello), Err(WireError::Format(_))));
+        // Truncation at every prefix length of a composite frame.
+        let full = encode_payload(&Frame::Event {
+            subscription: "s".to_string(),
+            delta: sample_delta(),
+            lagged: false,
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_payload(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(matches!(decode_payload(&padded), Err(WireError::Format(_))));
+        // Hostile length prefix.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut stream.as_slice()),
+            Err(WireError::Format(_))
+        ));
+        // Hostile count inside an otherwise valid frame: claims 2^31
+        // entries with 10 bytes of payload.
+        let mut evil = vec![5u8]; // Event tag
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.push(b's');
+        evil.push(0); // lagged
+        evil.extend_from_slice(&7u64.to_le_bytes()); // epoch
+        evil.extend_from_slice(&0x8000_0000u32.to_le_bytes()); // upsert count
+        assert!(matches!(decode_payload(&evil), Err(WireError::Format(_))));
+    }
+
+    #[test]
+    fn version_constants_are_sane() {
+        assert_eq!(&WIRE_MAGIC.to_be_bytes(), b"UNN1");
+        assert_eq!(WIRE_VERSION, 1, "bump deliberately with the frame bodies");
+    }
+}

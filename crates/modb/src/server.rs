@@ -368,11 +368,27 @@ impl ModServer {
     /// §4 query or one of the standing-query verbs (`REGISTER
     /// CONTINUOUS … AS name`, `UNREGISTER name`, `SHOW SUBSCRIPTIONS`).
     pub fn execute(&self, statement: &str) -> Result<QueryOutput, ServerError> {
+        self.execute_with_sink(statement, None)
+    }
+
+    /// [`ModServer::execute`] with a push outbox for `REGISTER
+    /// CONTINUOUS` statements: the sink is attached **atomically** with
+    /// the registration (under the registry shard lock), so no commit
+    /// can emit a delta between the subscription going live and the
+    /// connection starting to receive pushes. This is the entry point
+    /// the network layer uses; other statements ignore the sink.
+    pub fn execute_with_sink(
+        &self,
+        statement: &str,
+        sink: Option<&Arc<crate::subscription::DeltaSink>>,
+    ) -> Result<QueryOutput, ServerError> {
         match parse_statement(statement)? {
             Statement::Select(query) => self.execute_parsed(&query),
             Statement::Register { name, query } => self
-                .subscribe_parsed(&name, query)
-                .map(QueryOutput::Registered),
+                .subscriptions
+                .register_with_sink(&self.store, &name, query, self.planner.policy(), sink)
+                .map(QueryOutput::Registered)
+                .map_err(ServerError::from),
             Statement::Unregister { name } => {
                 if self.subscriptions.unregister(&name) {
                     Ok(QueryOutput::Unregistered(name))
@@ -446,6 +462,18 @@ impl ModServer {
     ) -> Result<unn_core::answer::AnswerSet, ServerError> {
         self.subscriptions
             .answer(name)
+            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+    }
+
+    /// The named subscription's current maintained answer together with
+    /// the epoch it is current at (read atomically — the resync point a
+    /// lagged push consumer recovers from; see [`crate::net`]).
+    pub fn subscription_answer_with_epoch(
+        &self,
+        name: &str,
+    ) -> Result<(unn_core::answer::AnswerSet, u64), ServerError> {
+        self.subscriptions
+            .answer_with_epoch(name)
             .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
     }
 

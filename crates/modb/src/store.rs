@@ -31,6 +31,10 @@ const DEFAULT_SHARDS: usize = 16;
 /// Default bound on retained delta records.
 const DELTA_LOG_CAPACITY: usize = 4096;
 
+/// Default bound on undrained [`unn_core::answer::AnswerDelta`]s per
+/// subscription change feed (see [`ModStore::set_feed_bound`]).
+pub const DEFAULT_FEED_BOUND: usize = 256;
+
 /// Default delta-to-population ratio beyond which snapshot maintenance
 /// falls back to a full rebuild.
 pub const DEFAULT_REBUILD_FRACTION: f64 = 0.25;
@@ -101,6 +105,8 @@ pub struct ModStore {
     /// `f64` bits of the rebuild-fallback fraction (atomic so benches and
     /// the CLI can flip it through a shared reference).
     rebuild_fraction: AtomicU64,
+    /// Per-subscription change-feed bound (see [`ModStore::set_feed_bound`]).
+    feed_bound: AtomicU64,
     snapshots_delta_applied: AtomicU64,
     snapshots_rebuilt: AtomicU64,
     /// Engine caches to drop alongside the contents on [`ModStore::clear`].
@@ -130,6 +136,7 @@ impl ModStore {
             cached: RwLock::new(None),
             delta: Mutex::new(DeltaLog::new(DELTA_LOG_CAPACITY)),
             rebuild_fraction: AtomicU64::new(DEFAULT_REBUILD_FRACTION.to_bits()),
+            feed_bound: AtomicU64::new(DEFAULT_FEED_BOUND as u64),
             snapshots_delta_applied: AtomicU64::new(0),
             snapshots_rebuilt: AtomicU64::new(0),
             caches: Mutex::new(Vec::new()),
@@ -421,6 +428,32 @@ impl ModStore {
     pub fn set_rebuild_fraction(&self, fraction: f64) {
         self.rebuild_fraction
             .store(fraction.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The per-subscription change-feed bound: how many undrained
+    /// [`unn_core::answer::AnswerDelta`]s a standing query's feed (and
+    /// each attached push outbox) retains before squashing.
+    pub fn feed_bound(&self) -> usize {
+        self.feed_bound.load(Ordering::Relaxed) as usize
+    }
+
+    /// Sets the per-subscription change-feed bound (minimum 1; the
+    /// default is [`DEFAULT_FEED_BOUND`]).
+    ///
+    /// ## Squash-oldest contract
+    ///
+    /// A feed never drops a delta outright. When a push would exceed the
+    /// bound, the two **oldest** undrained deltas are composed into one
+    /// via [`unn_core::answer::AnswerDelta::then`], so the fold invariant
+    /// `answer₀ ⊕ δ₁ ⊕ … ⊕ δₖ = current answer` holds bit-for-bit no
+    /// matter how far a consumer lags — only the *per-epoch granularity*
+    /// of the oldest entries is lost (the squashed delta carries the
+    /// later epoch). Push transports surface that loss as a `lagged`
+    /// flag so interactive consumers can resync from a full answer
+    /// instead of replaying a coarse squash.
+    pub fn set_feed_bound(&self, bound: usize) {
+        self.feed_bound
+            .store(bound.max(1) as u64, Ordering::Relaxed);
     }
 
     /// Counters of the delta-epoch machinery.

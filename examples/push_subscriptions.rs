@@ -1,0 +1,119 @@
+//! Push delivery over the network service layer, end to end on a
+//! loopback socket: a `NetServer` fronts the MOD, one client registers
+//! a standing query, another streams GPS updates, and the subscriber's
+//! answer stays current by **folding pushed deltas** — no polling.
+//!
+//! This doubles as the CI loopback smoke: it exercises bind → handshake
+//! → statements → mutations → pushed events → clean shutdown, and
+//! asserts the folded answer equals the server's maintained one
+//! bit-for-bit.
+//!
+//! ```text
+//! cargo run --release --example push_subscriptions
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use uncertain_nn::modb::net::{NetClient, NetServer, WireOutput};
+use uncertain_nn::prelude::*;
+
+fn straight(oid: u64, y: f64) -> UncertainTrajectory {
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (30.0, y, 60.0)]).unwrap(),
+        0.5,
+    )
+    .unwrap()
+}
+
+fn main() {
+    // A small MOD behind a network server on an ephemeral loopback port.
+    let server = ModServer::new();
+    server
+        .register_all([
+            straight(0, 0.0), // the query object
+            straight(1, 1.0),
+            straight(2, 3.0),
+            straight(3, 40.0), // far outside every band
+        ])
+        .unwrap();
+    let server = Arc::new(server);
+    let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind loopback");
+    let addr = net.local_addr();
+    println!("NetServer listening on {addr}");
+
+    // The subscriber registers a standing query over its connection;
+    // from now on the server pushes every answer delta to this socket.
+    let mut subscriber = NetClient::connect(addr).expect("subscriber connects");
+    let out = subscriber
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0 AS near0",
+        )
+        .expect("registers");
+    let WireOutput::Registered(info) = out else {
+        panic!("expected Registered, got {out:?}");
+    };
+    println!(
+        "subscribed '{}' with {} objects qualifying",
+        info.name, info.entries
+    );
+    let (mut folded, mut folded_epoch) = subscriber
+        .subscription_answer("near0")
+        .expect("base answer");
+
+    // A second connection plays the fleet: objects entering and leaving
+    // the query's neighborhood. Only *answer-changing* commits push a
+    // delta — a far object, or a correction that leaves every
+    // qualification interval untouched, is absorbed silently.
+    let mut writer = NetClient::connect(addr).expect("writer connects");
+    writer.insert(straight(7, 0.4)).expect("Tr7 appears nearby");
+    writer
+        .insert(straight(9, 50_000.0))
+        .expect("far Tr9 appears");
+    writer.remove(Oid(7)).expect("Tr7 leaves");
+    writer.insert(straight(8, 0.5)).expect("Tr8 appears nearby");
+    println!("writer committed 4 mutations (one provably out of reach)");
+
+    // The subscriber folds pushed deltas as they arrive. The far Tr9
+    // insertion pushes nothing — the skip proof absorbed it — so three
+    // deltas fully describe the answer's evolution.
+    let mut received = 0;
+    while let Some(ev) = subscriber
+        .next_event(Some(Duration::from_secs(5)))
+        .expect("event stream healthy")
+    {
+        received += 1;
+        println!(
+            "pushed delta @epoch {}: {} upserts, {} removed{}",
+            ev.delta.epoch,
+            ev.delta.upserts.len(),
+            ev.delta.removed.len(),
+            if ev.lagged { " [lagged]" } else { "" }
+        );
+        if ev.delta.epoch > folded_epoch {
+            folded = folded.apply(&ev.delta);
+            folded_epoch = ev.delta.epoch;
+        }
+        // Three answer-changing commits → three deltas.
+        if received == 3 {
+            break;
+        }
+    }
+    assert_eq!(received, 3, "expected exactly three pushed deltas");
+
+    // The folded answer equals the server's maintained one bit-for-bit.
+    let (maintained, _) = server
+        .subscription_answer_with_epoch("near0")
+        .expect("maintained answer");
+    assert_eq!(folded, maintained, "folded pushed deltas diverged");
+    println!(
+        "folded answer matches the maintained one: {} objects qualify",
+        folded.len()
+    );
+
+    // Clean teardown: clients say Bye, the server joins every thread.
+    writer.close().expect("writer closes cleanly");
+    subscriber.close().expect("subscriber closes cleanly");
+    net.shutdown();
+    println!("clean shutdown — loopback smoke passed");
+}

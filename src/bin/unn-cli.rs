@@ -7,7 +7,24 @@
 //! printf 'gen 200 42 0.5\nnn Tr0 0 60\n' | cargo run --release --bin unn-cli
 //! ```
 //!
-//! Commands:
+//! ## Serve and connected modes
+//!
+//! `unn-cli serve <addr> [--gen <n> <seed> <radius>]` binds a
+//! `NetServer` on `addr` (port 0 picks an ephemeral port, printed on
+//! startup) over a fresh MOD — optionally pre-populated with the §5
+//! workload — and serves until stdin closes or reads `quit`.
+//!
+//! `unn-cli connect <addr>` speaks the framed wire protocol to a running
+//! `NetServer` instead of embedding a local server. The command set
+//! shrinks to what the protocol carries — `sql`, `sub add/drop/list/
+//! answer`, `obj put/del`, `watch` — and `watch` **blocks on the
+//! socket**: subscription deltas registered over the connection are
+//! pushed by the server as they land, so watching costs zero polling
+//! and wakes with commit latency. A `lagged` event (the server squashed
+//! deltas under backpressure) triggers an automatic resync from the
+//! full answer.
+//!
+//! Commands (local mode):
 //!
 //! ```text
 //! gen <n> <seed> <radius>     generate the §5 random-waypoint workload
@@ -28,6 +45,7 @@
 //! store delta-stats           delta-epoch machinery counters
 //! store rebuild-fraction <f>  set the delta-vs-rebuild threshold
 //! store delta-capacity <n>    cap the delta log (forces rebuilds past it)
+//! store feed-bound <n>        cap per-subscription change feeds (squash past it)
 //! sql <statement>             execute a query-language statement
 //! sub add <name> <SELECT …>   register a standing query
 //! sub drop <name>             unregister a standing query
@@ -47,7 +65,9 @@
 
 use std::io::{self, BufRead, Write};
 use std::path::Path;
+use std::time::Duration;
 use uncertain_nn::core::answer::AnswerDelta;
+use uncertain_nn::modb::net::{NetClient, WireOutput};
 use uncertain_nn::modb::{persist, ServerError, SubscriptionInfo};
 use uncertain_nn::prelude::*;
 
@@ -71,6 +91,7 @@ commands:
   store delta-stats           delta-epoch machinery counters
   store rebuild-fraction <f>  set the delta-vs-rebuild threshold
   store delta-capacity <n>    cap the delta log (forces rebuilds past it)
+  store feed-bound <n>        cap per-subscription change feeds (squash past it)
   sql <statement>             execute a query-language statement
   sub add <name> <SELECT ...> register a standing query
   sub drop <name>             unregister a standing query
@@ -80,7 +101,47 @@ commands:
   help                        this text
   quit                        exit";
 
+const HELP_CONNECTED: &str = "\
+connected-mode commands (unn-cli connect <addr>):
+  sql <statement>             execute a query-language statement remotely
+  sub add <name> <SELECT ...> register a standing query (deltas are pushed here)
+  sub drop <name>             unregister a standing query
+  sub list                    list standing queries
+  sub answer <name>           fetch a standing query's full answer + epoch
+  obj put <Tr> <x0> <y0> <x1> <y1> [r]  register a straight-line object
+  obj del <Tr>                unregister an object
+  watch <name> [deltas] [ms]  block on pushed deltas (auto-resync on lag)
+  help                        this text
+  quit                        close the connection and exit";
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("connect") {
+        let Some(addr) = args.get(2) else {
+            eprintln!("usage: unn-cli connect <addr>");
+            std::process::exit(2);
+        };
+        match run_connected(addr) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.get(1).map(String::as_str) == Some("serve") {
+        let Some(addr) = args.get(2) else {
+            eprintln!("usage: unn-cli serve <addr> [--gen <n> <seed> <radius>]");
+            std::process::exit(2);
+        };
+        match run_serve(addr, &args[3..]) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let stdin = io::stdin();
     let mut server = ModServer::new();
     // Prompts are opt-in (`UNN_CLI_PROMPT=1`) so piped scripts stay clean;
@@ -330,6 +391,16 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     );
                     Ok(())
                 }
+                "feed-bound" => {
+                    let n: usize = parse(parts.next().ok_or("usage: store feed-bound <n>")?)?;
+                    server.store().set_feed_bound(n);
+                    println!(
+                        "change feeds capped at {} undrained deltas \
+                         (oldest pairs squash past it; folds stay exact)",
+                        server.store().feed_bound()
+                    );
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
@@ -444,10 +515,11 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
         "watch" => {
             let mut parts = rest.split_whitespace();
             let name = parts.next().ok_or("usage: watch <name> [polls] [ms]")?;
-            // This REPL is single-threaded, so no mutation can land while
-            // watch sleeps — the default is a single drain. Multi-poll
-            // runs exercise the polling cadence of the change-feed API
-            // (the shape a concurrent transport would drive).
+            // This local REPL is single-threaded, so no mutation can land
+            // while watch sleeps — the default is a single drain, and
+            // multi-poll runs merely demo the feed cadence. In connected
+            // mode (`unn-cli connect`), watch instead blocks on the
+            // socket and wakes when the server pushes a delta.
             let polls: usize = match parts.next() {
                 Some(p) => parse(p)?,
                 None => 1,
@@ -470,6 +542,270 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+/// Serve mode: bind a `NetServer` over a fresh (optionally generated)
+/// MOD and block until stdin closes or reads `quit`. Pair with
+/// `unn-cli connect <addr>` from other terminals.
+fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
+    let server = ModServer::new();
+    match opts {
+        [] => {}
+        [flag, n, seed, radius] if flag == "--gen" => {
+            let n: usize = parse(n)?;
+            let seed: u64 = parse(seed)?;
+            let radius: f64 = parse(radius)?;
+            let cfg = WorkloadConfig::with_objects(n, seed);
+            server
+                .register_all(generate_uncertain(&cfg, radius))
+                .map_err(|e| e.to_string())?;
+            println!("generated {n} objects (seed {seed}, r = {radius} mi)");
+        }
+        _ => return Err("usage: unn-cli serve <addr> [--gen <n> <seed> <radius>]".to_string()),
+    }
+    let net = uncertain_nn::modb::net::NetServer::bind(addr, std::sync::Arc::new(server))
+        .map_err(|e| e.to_string())?;
+    println!("serving on {} (EOF or 'quit' stops)", net.local_addr());
+    let stdin = io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" || line.trim() == "exit" => break,
+            Ok(_) => continue,
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    net.shutdown();
+    println!("server stopped");
+    Ok(())
+}
+
+/// The connected-mode REPL: every command becomes wire requests against
+/// a remote `NetServer`; subscription deltas registered here arrive as
+/// pushed events consumed by `watch`.
+fn run_connected(addr: &str) -> Result<(), String> {
+    let mut client = NetClient::connect(addr).map_err(|e| e.to_string())?;
+    let interactive = std::env::var_os("UNN_CLI_PROMPT").is_some();
+    if interactive {
+        println!(
+            "unn-cli connected to {addr} (server epoch {})",
+            client.server_epoch()
+        );
+        println!("type 'help' for commands");
+    }
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        if interactive {
+            print!("unn@{addr}> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if let Err(msg) = dispatch_connected(&mut client, line) {
+            println!("error: {msg}");
+        }
+    }
+    client.close().map_err(|e| e.to_string())
+}
+
+fn dispatch_connected(client: &mut NetClient, line: &str) -> Result<(), String> {
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None => (line, ""),
+    };
+    match cmd {
+        "help" => {
+            println!("{HELP_CONNECTED}");
+            Ok(())
+        }
+        "sql" => {
+            let out = client.execute(rest).map_err(|e| e.to_string())?;
+            print_wire_output(out);
+            Ok(())
+        }
+        "sub" => {
+            let (sub_cmd, sub_rest) = match rest.split_once(char::is_whitespace) {
+                Some((c, r)) => (c, r.trim()),
+                None => (rest, ""),
+            };
+            let statement = match sub_cmd {
+                "add" => {
+                    let (name, stmt) = sub_rest
+                        .split_once(char::is_whitespace)
+                        .ok_or("usage: sub add <name> <SELECT ...>")?;
+                    format!("REGISTER CONTINUOUS {} AS {name}", stmt.trim())
+                }
+                "drop" => format!("UNREGISTER {sub_rest}"),
+                "list" => "SHOW SUBSCRIPTIONS".to_string(),
+                "answer" => {
+                    let (answer, epoch) = client
+                        .subscription_answer(sub_rest)
+                        .map_err(|e| e.to_string())?;
+                    print_answer(sub_rest, &answer, epoch);
+                    return Ok(());
+                }
+                other => return Err(format!("unknown sub subcommand '{other}'")),
+            };
+            let out = client.execute(&statement).map_err(|e| e.to_string())?;
+            print_wire_output(out);
+            Ok(())
+        }
+        "obj" => {
+            let mut parts = rest.split_whitespace();
+            match parts.next().ok_or("usage: obj <put|del> ...")? {
+                "put" => {
+                    let name = parts
+                        .next()
+                        .ok_or("usage: obj put <Tr> <x0> <y0> <x1> <y1> [r]")?;
+                    let nums: Vec<f64> = parts.map(parse).collect::<Result<_, _>>()?;
+                    let (coords, r) = match nums.len() {
+                        4 => (&nums[..4], 0.5),
+                        5 => (&nums[..4], nums[4]),
+                        n => return Err(format!("expected 4 or 5 numbers, got {n}")),
+                    };
+                    let oid = parse_oid(name)?;
+                    let tr = Trajectory::from_triples(
+                        oid,
+                        &[(coords[0], coords[1], 0.0), (coords[2], coords[3], 60.0)],
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let utr =
+                        UncertainTrajectory::with_uniform_pdf(tr, r).map_err(|e| e.to_string())?;
+                    client.insert(utr).map_err(|e| e.to_string())?;
+                    println!("registered {oid} remotely (r = {r} mi, window [0, 60])");
+                    Ok(())
+                }
+                "del" => {
+                    let name = parts.next().ok_or("usage: obj del <Tr>")?;
+                    let oid = parse_oid(name)?;
+                    client.remove(oid).map_err(|e| e.to_string())?;
+                    println!("unregistered {oid} remotely");
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown obj subcommand '{other}' (connected mode supports put/del)"
+                )),
+            }
+        }
+        "watch" => {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("usage: watch <name> [deltas] [ms]")?;
+            let want: usize = match parts.next() {
+                Some(p) => parse(p)?,
+                None => 1,
+            };
+            let timeout_ms: u64 = match parts.next() {
+                Some(p) => parse(p)?,
+                None => 10_000,
+            };
+            watch_connected(client, name, want.max(1), timeout_ms)
+        }
+        other => Err(format!(
+            "unknown command '{other}' in connected mode (try 'help')"
+        )),
+    }
+}
+
+/// Blocks on the socket until `want` pushed deltas for `name` arrived
+/// (or the per-event timeout expires). Lagged events — the server
+/// squashed under backpressure — trigger an automatic resync from the
+/// full answer, which is what restores per-epoch granularity.
+fn watch_connected(
+    client: &mut NetClient,
+    name: &str,
+    want: usize,
+    timeout_ms: u64,
+) -> Result<(), String> {
+    let mut got = 0usize;
+    while got < want {
+        match client
+            .next_event(Some(Duration::from_millis(timeout_ms)))
+            .map_err(|e| e.to_string())?
+        {
+            Some(ev) => {
+                println!(
+                    "'{}' @epoch {}{}: {} upserts, {} removed",
+                    ev.subscription,
+                    ev.delta.epoch,
+                    if ev.lagged { " [lagged]" } else { "" },
+                    ev.delta.upserts.len(),
+                    ev.delta.removed.len()
+                );
+                for e in &ev.delta.upserts {
+                    println!(
+                        "    + {:>6}: {:8.3} time units",
+                        e.oid,
+                        e.intervals.total_len()
+                    );
+                }
+                for oid in &ev.delta.removed {
+                    println!("    - {oid:>6}");
+                }
+                if ev.lagged && ev.subscription == name {
+                    let (answer, epoch) = client
+                        .subscription_answer(name)
+                        .map_err(|e| e.to_string())?;
+                    print_answer(name, &answer, epoch);
+                }
+                if ev.subscription == name {
+                    got += 1;
+                }
+            }
+            None => {
+                println!("watch '{name}': no delta within {timeout_ms} ms");
+                break;
+            }
+        }
+    }
+    println!("watch '{name}' finished after {got} pushed deltas");
+    Ok(())
+}
+
+fn print_answer(name: &str, answer: &uncertain_nn::core::answer::AnswerSet, epoch: u64) {
+    println!(
+        "answer of '{name}' @epoch {epoch}: {} qualifying",
+        answer.len()
+    );
+    for e in answer.entries() {
+        println!(
+            "    {:>6}: {:8.3} time units",
+            e.oid,
+            e.intervals.total_len()
+        );
+    }
+}
+
+fn print_wire_output(out: WireOutput) {
+    match out {
+        WireOutput::Boolean(b) => println!("{b}"),
+        WireOutput::Objects(rows) => print_output(QueryOutput::Objects(rows)),
+        WireOutput::Registered(info) => print_subscription(&info),
+        WireOutput::Unregistered(name) => println!("dropped subscription '{name}'"),
+        WireOutput::Subscriptions(subs) => {
+            println!("{} subscriptions", subs.len());
+            for info in &subs {
+                print_subscription(info);
+            }
+        }
+        WireOutput::Answer { epoch, answer } => {
+            print_answer(&answer.query().to_string(), &answer, epoch)
+        }
+        WireOutput::Done => println!("ok"),
     }
 }
 

@@ -71,6 +71,37 @@
 //! a per-subscription feed (`sub poll` / `watch` in the CLI), with
 //! answers bit-identical to fresh evaluation at every step.
 //!
+//! ## The network service layer
+//!
+//! [`modb::net`] fronts the whole engine with a std-only framed TCP
+//! protocol — the serving shape of a real trajectory service. A
+//! [`modb::net::NetServer`] wraps the [`modb::server::ModServer`] with
+//! one thread per connection; the [`modb::net::NetClient`] behind
+//! `unn-cli connect <addr>` executes statements and mutations remotely.
+//! The continuous queries become genuinely *continuous* over the wire:
+//!
+//! ```text
+//!  client A ──Insert/Update/Remove──▶ NetServer ──▶ ModStore commit
+//!                                                        │
+//!                                      SubscriptionRegistry::sync
+//!                                      (sharded: shared ops fetch,
+//!                                       cached skip proofs, scoped-
+//!                                       thread fan-out of patches)
+//!                                                        │ AnswerDelta
+//!  client B ◀──pushed Event frame──── bounded outbox ◀───┘
+//!            (folds deltas; `lagged` ⇒ resync from the full AnswerSet)
+//! ```
+//!
+//! `REGISTER CONTINUOUS` over a connection attaches that connection's
+//! bounded outbox to the subscription, so answer deltas are **pushed**
+//! with commit latency instead of polled. Backpressure never drops a
+//! delta: an overflowing outbox squashes its oldest same-subscription
+//! events via [`core::answer::AnswerDelta::then`] (folds stay
+//! bit-exact) and flags the stream `lagged` so the client can resync
+//! from a full answer fetch. `tests/net_push.rs` proves the end-to-end
+//! property over real sockets: pushed deltas folded client-side equal a
+//! fresh exhaustive evaluation bit-for-bit, induced lag included.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,0 +1,240 @@
+//! Property coverage of the wire protocol: **every** frame type
+//! round-trips encode → decode bit-identically under randomly generated
+//! contents, both as a raw payload and through the length-prefixed
+//! stream form; malformed and truncated bytes are rejected rather than
+//! mis-decoded.
+
+use proptest::prelude::*;
+use uncertain_nn::core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
+use uncertain_nn::modb::net::wire::{
+    decode_payload, encode_payload, read_frame, write_frame, Frame, WireOutput, WireRequest,
+    WIRE_VERSION,
+};
+use uncertain_nn::modb::{SubscriptionInfo, SubscriptionStats};
+use uncertain_nn::prelude::*;
+
+fn arb_oid() -> impl Strategy<Value = Oid> {
+    (0u64..10_000).prop_map(Oid)
+}
+
+fn arb_intervals() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec((0.0..500.0f64, 0.0..20.0f64), 1..5).prop_map(|pairs| {
+        IntervalSet::from_intervals(
+            pairs
+                .into_iter()
+                .map(|(start, len)| TimeInterval::new(start, start + len)),
+        )
+    })
+}
+
+/// Entries with distinct, ascending oids (the `AnswerSet` invariant).
+fn arb_entries() -> impl Strategy<Value = Vec<AnswerEntry>> {
+    (
+        prop::collection::btree_set(0u64..10_000, 0..6),
+        prop::collection::vec(arb_intervals(), 6),
+    )
+        .prop_map(|(oids, ivs)| {
+            oids.into_iter()
+                .zip(ivs)
+                .map(|(oid, intervals)| AnswerEntry {
+                    oid: Oid(oid),
+                    intervals,
+                })
+                .collect()
+        })
+}
+
+fn arb_window() -> impl Strategy<Value = TimeInterval> {
+    (0.0..100.0f64, 0.1..600.0f64).prop_map(|(s, len)| TimeInterval::new(s, s + len))
+}
+
+fn arb_rank() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (1usize..8).prop_map(Some),]
+}
+
+fn arb_answer_set() -> impl Strategy<Value = AnswerSet> {
+    (arb_oid(), arb_window(), arb_rank(), arb_entries())
+        .prop_map(|(query, window, rank, entries)| AnswerSet::new(query, window, rank, entries))
+}
+
+fn arb_delta() -> impl Strategy<Value = AnswerDelta> {
+    (
+        0u64..1_000_000,
+        arb_entries(),
+        prop::collection::btree_set(0u64..10_000, 0..5),
+    )
+        .prop_map(|(epoch, upserts, removed)| AnswerDelta {
+            epoch,
+            upserts,
+            removed: removed.into_iter().map(Oid).collect(),
+        })
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // Letters, digits, and a multibyte codepoint to exercise UTF-8.
+    const ALPHABET: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789µ";
+    prop::collection::vec(0usize..63, 0..12).prop_map(|idxs| {
+        let alphabet: Vec<char> = ALPHABET.chars().collect();
+        idxs.into_iter().map(|i| alphabet[i]).collect()
+    })
+}
+
+fn arb_stats() -> impl Strategy<Value = SubscriptionStats> {
+    (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000).prop_map(|(a, b, c, d)| SubscriptionStats {
+        skipped: a,
+        skipped_ops: a + b,
+        patched: b,
+        rebuilt: c,
+        envelopes_carried: d,
+        functions_reused: a ^ b,
+        functions_built: c ^ d,
+    })
+}
+
+fn arb_info() -> impl Strategy<Value = SubscriptionInfo> {
+    (
+        (arb_string(), arb_string(), 0u64..1_000_000),
+        (
+            0usize..100,
+            0usize..100,
+            prop_oneof![Just(None), arb_string().prop_map(Some)],
+            arb_stats(),
+        ),
+    )
+        .prop_map(
+            |((name, statement, last_epoch), (entries, pending_deltas, error, stats))| {
+                SubscriptionInfo {
+                    name,
+                    statement,
+                    last_epoch,
+                    entries,
+                    pending_deltas,
+                    error,
+                    stats,
+                }
+            },
+        )
+}
+
+fn arb_trajectory() -> impl Strategy<Value = UncertainTrajectory> {
+    (
+        0u64..10_000,
+        prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..6),
+        0.1..2.0f64,
+        prop_oneof![
+            Just(None),
+            (0.05..0.5f64).prop_map(Some), // sigma as a fraction of r
+        ],
+    )
+        .prop_map(|(oid, pts, radius, sigma_frac)| {
+            let triples: Vec<(f64, f64, f64)> = pts
+                .into_iter()
+                .enumerate()
+                .map(|(k, (x, y))| (x, y, k as f64 * 7.5))
+                .collect();
+            let tr = Trajectory::from_triples(Oid(oid), &triples).unwrap();
+            match sigma_frac {
+                None => UncertainTrajectory::with_uniform_pdf(tr, radius).unwrap(),
+                Some(f) => UncertainTrajectory::new(
+                    tr,
+                    radius,
+                    PdfKind::TruncatedGaussian {
+                        radius,
+                        sigma: f * radius,
+                    },
+                )
+                .unwrap(),
+            }
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = WireRequest> {
+    prop_oneof![
+        arb_string().prop_map(WireRequest::Statement),
+        arb_trajectory().prop_map(WireRequest::Insert),
+        arb_trajectory().prop_map(WireRequest::Update),
+        arb_oid().prop_map(WireRequest::Remove),
+        arb_string().prop_map(WireRequest::SubscriptionAnswer),
+    ]
+}
+
+fn arb_output() -> impl Strategy<Value = WireOutput> {
+    prop_oneof![
+        (0u64..2).prop_map(|b| WireOutput::Boolean(b == 1)),
+        prop::collection::vec((arb_oid(), 0.0..1.0f64), 0..6).prop_map(WireOutput::Objects),
+        arb_info().prop_map(WireOutput::Registered),
+        arb_string().prop_map(WireOutput::Unregistered),
+        prop::collection::vec(arb_info(), 0..4).prop_map(WireOutput::Subscriptions),
+        (0u64..1_000_000, arb_answer_set())
+            .prop_map(|(epoch, answer)| WireOutput::Answer { epoch, answer }),
+        Just(WireOutput::Done),
+    ]
+}
+
+/// Every frame variant, with generated contents.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        Just(Frame::Hello {
+            version: WIRE_VERSION
+        }),
+        (0u64..1_000_000).prop_map(|epoch| Frame::Welcome {
+            version: WIRE_VERSION,
+            epoch
+        }),
+        (0u64..1_000_000, arb_request()).prop_map(|(id, body)| Frame::Request { id, body }),
+        (0u64..1_000_000, arb_output()).prop_map(|(id, out)| Frame::Response {
+            id,
+            result: Ok(out)
+        }),
+        (0u64..1_000_000, arb_string()).prop_map(|(id, msg)| Frame::Response {
+            id,
+            result: Err(msg)
+        }),
+        (arb_string(), arb_delta(), 0u64..2).prop_map(|(subscription, delta, lag)| Frame::Event {
+            subscription,
+            delta,
+            lagged: lag == 1
+        }),
+        Just(Frame::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every frame type round-trips bit-identically, both as a bare
+    /// payload and through the length-prefixed stream form.
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let payload = encode_payload(&frame);
+        let decoded = decode_payload(&payload).expect("valid payload decodes");
+        prop_assert_eq!(&decoded, &frame);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &frame).expect("write succeeds");
+        let from_stream = read_frame(&mut stream.as_slice()).expect("stream decodes");
+        prop_assert_eq!(&from_stream, &frame);
+    }
+
+    /// No strict prefix of a valid payload decodes (truncation is always
+    /// an error, never a silent mis-decode).
+    #[test]
+    fn truncated_payloads_are_rejected(frame in arb_frame()) {
+        let payload = encode_payload(&frame);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                decode_payload(&payload[..cut]).is_err(),
+                "prefix of {} bytes decoded",
+                cut
+            );
+        }
+    }
+
+    /// Appending garbage after a frame body is rejected (the codec
+    /// accounts for every byte).
+    #[test]
+    fn trailing_bytes_are_rejected(frame in arb_frame()) {
+        let mut payload = encode_payload(&frame);
+        payload.push(0x00);
+        prop_assert!(decode_payload(&payload).is_err());
+    }
+}
