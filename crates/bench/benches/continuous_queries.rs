@@ -20,6 +20,16 @@
 //!   candidate's difference function.
 //! * `naive/<subs>`         — the same far churn with re-execution from
 //!   scratch for every standing query.
+//! * `maintain_threshold/<subs>` / `naive_threshold/<subs>` — the same
+//!   far churn under **threshold** standing queries (`PROB_NN > p`,
+//!   maintained as sampled probability rows at `ROW_BENCH_SAMPLES`
+//!   probes): the maintained side is absorbed by the band-survivor skip
+//!   proof, the naive side re-plans and re-sweeps the rows from scratch
+//!   per commit (the acceptance number is ≥ 10x at one subscription).
+//! * `maintain_rnn/1` / `naive_rnn/1` — far churn under a **reverse**
+//!   (`PROB_RNN`) standing query at `N = 150`: maintenance carries every
+//!   untouched perspective (one new perspective engine per commit),
+//!   naive rebuilds all `N` perspective envelopes and re-samples.
 //! * `sync_{far,near}_{sharded,sequential}/32` — the maintenance
 //!   scheduling ablation at 32 subscriptions: the sharded two-phase sync
 //!   (shared ops fetch, cached skip proofs, scoped-thread fan-out of
@@ -37,14 +47,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
+use unn_core::probrows::ProbRowSet;
 use unn_geom::interval::TimeInterval;
 use unn_modb::net::{NetClient, NetServer, WireOutput};
 use unn_modb::plan::{PrefilterPolicy, QueryPlanner};
 use unn_modb::server::ModServer;
-use unn_modb::subscription::SyncMode;
+use unn_modb::subscription::{SubAnswer, SyncMode};
 use unn_traj::generator::{generate_uncertain, WorkloadConfig};
 use unn_traj::trajectory::{Oid, Trajectory};
-use unn_traj::uncertain::UncertainTrajectory;
+use unn_traj::uncertain::{common_pdf_kind, UncertainTrajectory};
 
 const RADIUS: f64 = 0.5;
 const N: usize = 600;
@@ -58,6 +69,14 @@ fn window() -> TimeInterval {
 
 fn statement(query: u64) -> String {
     format!("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr{query}, TIME) > 0")
+}
+
+fn threshold_statement(query: u64) -> String {
+    format!("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr{query}, TIME) > 0.3")
+}
+
+fn rnn_statement(query: u64) -> String {
+    format!("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_RNN(*, Tr{query}, TIME) > 0")
 }
 
 /// A far-away churn object: outside every query's band, so its updates
@@ -75,25 +94,113 @@ fn far(k: u64, shift: f64) -> UncertainTrajectory {
     .expect("valid")
 }
 
+/// The RNN groups' churn object: like [`far`], but the churn fleet is
+/// spread out (500 mi between objects) so a churn insertion lands
+/// outside every *other* churn object's band too. Each far commit then
+/// re-derives exactly the new object's perspective and carries the
+/// rest — the per-perspective incrementality the group measures — while
+/// [`far`]'s dense cluster would force its 32 mutual neighbors to
+/// recompute on every commit.
+fn far_sparse(k: u64, shift: f64) -> UncertainTrajectory {
+    let y = 50_000.0 + (k % 32) as f64 * 500.0;
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(
+            Oid(CHURN_BASE + k % 32),
+            &[(shift, y, 0.0), (shift + 30.0, y, 60.0)],
+        )
+        .expect("valid"),
+        RADIUS,
+    )
+    .expect("valid")
+}
+
 /// A populated server with the churn objects pre-registered and `subs`
 /// standing queries installed (query objects Tr0..Tr<subs>).
 fn server_with_subs(subs: usize) -> ModServer {
+    server_with(N, subs, statement)
+}
+
+/// Like [`server_with_subs`] with a custom population and statement
+/// shape (threshold/RNN groups reuse it; row subscriptions sample at
+/// [`ROW_BENCH_SAMPLES`]).
+fn server_with(n: usize, subs: usize, stmt: fn(u64) -> String) -> ModServer {
+    server_with_churn(n, subs, stmt, far)
+}
+
+/// [`server_with`] with an explicit churn-fleet shape.
+fn server_with_churn(
+    n: usize,
+    subs: usize,
+    stmt: fn(u64) -> String,
+    churn: fn(u64, f64) -> UncertainTrajectory,
+) -> ModServer {
     let server = ModServer::new();
     server
+        .subscription_registry()
+        .set_row_samples(ROW_BENCH_SAMPLES);
+    server
         .register_all(generate_uncertain(
-            &WorkloadConfig::with_objects(N, 7),
+            &WorkloadConfig::with_objects(n, 7),
             RADIUS,
         ))
         .expect("registers");
     for k in 0..32u64 {
-        server.register(far(k, 0.0)).expect("registers");
+        server.register(churn(k, 0.0)).expect("registers");
     }
     for q in 0..subs as u64 {
         server
-            .subscribe(&format!("sub{q}"), &statement(q))
+            .subscribe(&format!("sub{q}"), &stmt(q))
             .expect("subscribes");
     }
     server
+}
+
+/// Row sampling density of the row-subscription groups: each probe of
+/// every in-band candidate costs a `P^WD` quadrature, so the bench
+/// trades the default density down to keep the *naive* baselines (a
+/// full re-sweep per commit) within the measurement budget. Maintained
+/// and naive sides use the same density — the ratio is what the
+/// acceptance number tracks.
+const ROW_BENCH_SAMPLES: u32 = 32;
+
+/// The convolved difference pdf of the bench fleet's location model.
+fn diff_pdf(server: &ModServer) -> Box<dyn unn_prob::RadialPdf> {
+    let kind = common_pdf_kind(&server.store().snapshot())
+        .expect("uniform fleet")
+        .expect("populated");
+    kind.convolve_with(&kind)
+}
+
+/// A fresh exhaustive forward row evaluation (the naive-threshold work)
+/// at the registry's current sampling density.
+fn fresh_threshold_rows(server: &ModServer, query: Oid) -> ProbRowSet {
+    let samples = server.subscription_registry().row_samples();
+    QueryPlanner::new(PrefilterPolicy::Exhaustive)
+        .plan(server.store().snapshot(), query, window())
+        .expect("plans")
+        .build_engine()
+        .expect("builds")
+        .prob_row_set(diff_pdf(server).as_ref(), samples)
+}
+
+/// A fresh exhaustive reverse row evaluation (the naive-RNN work) at
+/// the registry's current sampling density.
+fn fresh_rnn_rows(server: &ModServer, query: Oid) -> ProbRowSet {
+    let samples = server.subscription_registry().row_samples();
+    QueryPlanner::new(PrefilterPolicy::Exhaustive)
+        .plan(server.store().snapshot(), query, window())
+        .expect("plans")
+        .build_reverse_engine()
+        .expect("builds")
+        .prob_row_set(diff_pdf(server).as_ref(), samples)
+}
+
+/// The maintained answer of `name`, unwrapped to its representation.
+fn sub_rows(server: &ModServer, name: &str) -> ProbRowSet {
+    match server.subscription_answer(name).expect("registered") {
+        SubAnswer::Rows(r) => r,
+        other => panic!("expected rows, got {other:?}"),
+    }
 }
 
 /// Shifts an existing fleet object slightly — an in-band GPS correction
@@ -124,13 +231,25 @@ fn nudge(server: &ModServer, victim: Oid, shift: f64) {
 /// emitted deltas over the initial answers reproduces them.
 fn assert_maintained_answers_match() {
     let server = server_with_subs(4);
-    let initial: Vec<_> = (0..4)
-        .map(|q| server.subscription_answer(&format!("sub{q}")).unwrap())
+    // A threshold standing query rides along on the full fleet: its
+    // maintained rows must stay bit-identical too. (The reverse
+    // subscription is asserted separately on the RNN bench fleet —
+    // its per-perspective evaluation is quadratic in the population.)
+    server
+        .subscribe("rows0", &threshold_statement(0))
+        .expect("subscribes");
+    let names: Vec<String> = (0..4)
+        .map(|q| format!("sub{q}"))
+        .chain(["rows0".to_string()])
+        .collect();
+    let initial: Vec<SubAnswer> = names
+        .iter()
+        .map(|n| server.subscription_answer(n).unwrap())
         .collect();
     let mut folded = initial.clone();
-    let drain_all = |folded: &mut Vec<unn_core::answer::AnswerSet>| {
-        for (q, acc) in folded.iter_mut().enumerate() {
-            for d in server.poll_subscription(&format!("sub{q}")).unwrap() {
+    let drain_all = |folded: &mut Vec<SubAnswer>| {
+        for (n, acc) in names.iter().zip(folded.iter_mut()) {
+            for d in server.poll_subscription(n).unwrap() {
                 *acc = acc.apply(&d);
             }
         }
@@ -159,7 +278,8 @@ fn assert_maintained_answers_match() {
             .answer_set();
         let maintained = server.subscription_answer(&format!("sub{q}")).unwrap();
         assert_eq!(
-            maintained, fresh,
+            maintained,
+            SubAnswer::Intervals(fresh),
             "sub{q}: maintained answer diverged from fresh exhaustive evaluation"
         );
         assert_eq!(
@@ -167,6 +287,14 @@ fn assert_maintained_answers_match() {
             "sub{q}: folded deltas diverged from the maintained answer"
         );
     }
+    // The threshold rows stayed bit-identical to a fresh exhaustive
+    // sweep, and their folded deltas reproduce them.
+    assert_eq!(
+        sub_rows(&server, "rows0"),
+        fresh_threshold_rows(&server, Oid(0)),
+        "rows0: maintained threshold rows diverged"
+    );
+    assert_eq!(folded[4], SubAnswer::Rows(sub_rows(&server, "rows0")));
     let subs = server.subscriptions();
     assert!(
         subs.iter().any(|s| s.stats.skipped > 0),
@@ -175,6 +303,41 @@ fn assert_maintained_answers_match() {
     assert!(
         subs.iter().any(|s| s.stats.patched > 0),
         "the stream never exercised the patch path: {subs:?}"
+    );
+}
+
+/// The reverse-subscription acceptance property on the RNN bench fleet:
+/// far churn carries every untouched perspective, and the maintained
+/// rows (and their folded deltas) stay bit-identical to a fresh
+/// exhaustive reverse evaluation.
+fn assert_maintained_reverse_rows_match(n: usize) {
+    let server = server_with_churn(n, 0, rnn_statement, far_sparse);
+    server
+        .subscribe("rev0", &rnn_statement(0))
+        .expect("subscribes");
+    let initial = server.subscription_answer("rev0").unwrap();
+    let mut folded = initial;
+    for k in 0..6u64 {
+        server.store().remove(Oid(CHURN_BASE + k % 32)).unwrap();
+        server.register(far_sparse(k, 0.25 * k as f64)).unwrap();
+        for d in server.poll_subscription("rev0").unwrap() {
+            folded = folded.apply(&d);
+        }
+    }
+    assert_eq!(
+        sub_rows(&server, "rev0"),
+        fresh_rnn_rows(&server, Oid(0)),
+        "rev0: maintained reverse rows diverged"
+    );
+    assert_eq!(folded, SubAnswer::Rows(sub_rows(&server, "rev0")));
+    let info = server
+        .subscriptions()
+        .into_iter()
+        .find(|s| s.name == "rev0")
+        .unwrap();
+    assert!(
+        info.stats.perspectives_skipped > 0,
+        "far churn never carried a perspective: {info:?}"
     );
 }
 
@@ -237,6 +400,101 @@ fn continuous_queries(c: &mut Criterion) {
             })
         });
     }
+    // ------------------------------------------------------------------
+    // Threshold standing queries (sampled probability rows at
+    // ROW_BENCH_SAMPLES probes): maintained far churn (band-survivor
+    // skip) vs naive re-plan + full re-sweep. The acceptance number is
+    // maintain vs naive at 1 sub.
+    // ------------------------------------------------------------------
+    {
+        let subs = 1usize;
+        let server = server_with(N, subs, threshold_statement);
+        let mut k = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("maintain_threshold", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| {
+                    k += 1;
+                    server
+                        .store()
+                        .remove(Oid(CHURN_BASE + k % 32))
+                        .expect("present");
+                    server
+                        .register(far(k, 0.01 * (k % 100) as f64))
+                        .expect("ok");
+                })
+            },
+        );
+        let server = server_with(N, 0, threshold_statement);
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("naive_threshold", subs), &subs, |b, _| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .store()
+                    .remove(Oid(CHURN_BASE + k % 32))
+                    .expect("present");
+                server
+                    .register(far(k, 0.01 * (k % 100) as f64))
+                    .expect("ok");
+                let pdf = diff_pdf(&server);
+                let planner = QueryPlanner::default();
+                for q in 0..subs as u64 {
+                    let rows = planner
+                        .plan(server.store().snapshot(), Oid(q), window())
+                        .expect("plans")
+                        .build_engine()
+                        .expect("builds")
+                        .prob_row_set(pdf.as_ref(), ROW_BENCH_SAMPLES);
+                    criterion::black_box(rows);
+                }
+            })
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Reverse (PROB_RNN) standing queries at N_RNN: maintained far churn
+    // (per-perspective carry; one new perspective per commit) vs a naive
+    // full reverse rebuild + re-sweep.
+    // ------------------------------------------------------------------
+    const N_RNN: usize = 60;
+    {
+        assert_maintained_reverse_rows_match(N_RNN);
+        let server = server_with_churn(N_RNN, 0, rnn_statement, far_sparse);
+        server
+            .subscribe("rnn0", &rnn_statement(0))
+            .expect("subscribes");
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("maintain_rnn", 1), &1usize, |b, _| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .store()
+                    .remove(Oid(CHURN_BASE + k % 32))
+                    .expect("present");
+                server
+                    .register(far_sparse(k, 0.01 * (k % 100) as f64))
+                    .expect("ok");
+            })
+        });
+        let server = server_with_churn(N_RNN, 0, rnn_statement, far_sparse);
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::new("naive_rnn", 1), &1usize, |b, _| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .store()
+                    .remove(Oid(CHURN_BASE + k % 32))
+                    .expect("present");
+                server
+                    .register(far_sparse(k, 0.01 * (k % 100) as f64))
+                    .expect("ok");
+                criterion::black_box(fresh_rnn_rows(&server, Oid(0)));
+            })
+        });
+    }
+
     // ------------------------------------------------------------------
     // Sharded vs sequential maintenance at 32 subscriptions.
     // ------------------------------------------------------------------

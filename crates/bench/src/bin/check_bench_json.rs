@@ -226,6 +226,25 @@ impl<'a> JsonParser<'a> {
     }
 }
 
+/// Benchmark groups a tracked report must contain (matched as whole
+/// `/`-delimited id segments, so `naive_threshold` cannot satisfy the
+/// `naive` requirement): a regeneration that silently drops one of
+/// these rows fails CI instead of shipping an artifact that no longer
+/// tracks the number it gates on.
+const REQUIRED_GROUPS: &[(&str, &[&str])] = &[(
+    "BENCH_continuous_queries.json",
+    &[
+        "maintain_far",
+        "maintain_near",
+        "naive",
+        "maintain_threshold",
+        "naive_threshold",
+        "maintain_rnn",
+        "naive_rnn",
+        "push_fanout",
+    ],
+)];
+
 /// Validates one report file, returning the number of benchmark entries.
 fn check_report(path: &Path) -> Result<usize, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
@@ -253,6 +272,17 @@ fn check_report(path: &Path) -> Result<usize, String> {
                 return Err(format!("entry {i} ('{id}'): non-positive ns_per_iter {n}"))
             }
             _ => return Err(format!("entry {i} ('{id}'): missing numeric 'ns_per_iter'")),
+        }
+    }
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if let Some((_, groups)) = REQUIRED_GROUPS.iter().find(|(f, _)| *f == file_name) {
+        for group in *groups {
+            let present = seen
+                .iter()
+                .any(|id| id.split('/').any(|segment| segment == *group));
+            if !present {
+                return Err(format!("missing required benchmark group '{group}'"));
+            }
         }
     }
     Ok(benchmarks.len())

@@ -23,8 +23,14 @@
 //!   dual of Theorem 2;
 //! * [`query`] — the §4 query variants (Categories 1–4, UQ11…UQ43, and
 //!   fixed-time forms) with naive baselines for Figure 12;
+//! * [`probrows`] — incremental sampled probability rows
+//!   ([`probrows::ProbRowSet`] / [`probrows::ProbRowDelta`]): the
+//!   diffable representation behind threshold and reverse **standing**
+//!   queries, with the same exact diff/apply/compose algebra as
+//!   [`answer`];
 //! * [`threshold`] — continuous *threshold* NN queries (the §7 future-work
-//!   item, built on the probability engine);
+//!   item, built on the probability engine; the sweep is a view over
+//!   [`probrows`] rows);
 //! * [`shifted`] — lower envelopes of *shifted* hyperbolas `d_j(t) + c_j`
 //!   (substrate for the §7 heterogeneous-radii extension);
 //! * [`hetero`] — continuous probabilistic NN queries with per-object
@@ -52,6 +58,7 @@ pub mod ipac;
 pub mod merge;
 pub mod naive;
 pub mod oracle;
+pub mod probrows;
 pub mod query;
 pub mod reverse;
 pub mod shifted;
@@ -71,6 +78,7 @@ pub use ipac::{
     annotate_probabilities, build_ipac_tree, Descriptor, IpacConfig, IpacNode, IpacTree,
 };
 pub use naive::lower_envelope_naive;
+pub use probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 pub use query::QueryEngine;
 pub use reverse::{all_pairs_nn, PairAnswer, ReverseNnEngine};
 pub use shifted::{shifted_lower_envelope, ShiftedEnvelope, ShiftedFunction};

@@ -1,0 +1,552 @@
+//! Incremental **probability rows**: the diffable representation behind
+//! threshold (`PROB_NN(…) > p`) and reverse (`PROB_RNN`) standing
+//! queries.
+//!
+//! The banded [`crate::answer::AnswerSet`] algebra maintains *non-zero
+//! probability* qualification intervals, but the §7 threshold semantics
+//! need the actual `P^NN(t)` values and the reverse semantics need one
+//! such row per *perspective* object. A [`ProbRowSet`] materializes both
+//! as sampled probability rows: for every object, the `(sample index,
+//! P)` pairs at the probe instants where the object's difference
+//! function was inside the `4r` band — exactly the instants whose joint
+//! Eq. 5 evaluation included that function. The sparse index set **is**
+//! the row's provenance: the owners holding a point at column `k`
+//! ([`ProbRowSet::column_owners`]) are precisely the difference
+//! functions that produced every `P` value of that column, so a delta
+//! consumer can tell which columns a touched function can have
+//! influenced without re-deriving anything.
+//!
+//! [`ProbRowDelta`] is the exact diff of two row sets, mirroring
+//! [`crate::answer::AnswerDelta`]: `old.apply(&old.diff_to(&new, e)) ==
+//! new` bit-for-bit, and consecutive deltas compose via
+//! [`ProbRowDelta::then`]. The subscription layer streams these to
+//! threshold/RNN standing-query consumers the same way it streams
+//! interval deltas to forward ones.
+//!
+//! The sampling scheme (probes at the midpoints of `samples` equal
+//! slices) is shared with [`crate::threshold`] — the one-shot threshold
+//! sweep is a view over the same rows — so a standing query's maintained
+//! rows and a fresh one-shot evaluation agree bit-for-bit by
+//! construction.
+
+use unn_geom::interval::TimeInterval;
+use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+use unn_prob::pdf::RadialPdf;
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::Oid;
+
+/// Which side of the NN relation the rows describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPerspective {
+    /// Forward rows: `P^NN` of each candidate being the **query's**
+    /// nearest neighbor (the threshold-query substrate).
+    Forward,
+    /// Reverse rows: `P^NN` of the query being each **perspective
+    /// object's** nearest neighbor (the `PROB_RNN` substrate).
+    Reverse,
+}
+
+/// One object's sampled probability row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbRow {
+    /// The object the row describes (forward: the candidate; reverse:
+    /// the perspective object).
+    pub oid: Oid,
+    /// `(sample index, P)` pairs, ascending by index — present exactly
+    /// at the probes where the owner's difference function was in-band
+    /// (non-empty by construction).
+    pub points: Vec<(u32, f64)>,
+}
+
+impl ProbRow {
+    /// The row's probability at sample `k`, if the object was in-band
+    /// there.
+    pub fn at(&self, k: u32) -> Option<f64> {
+        self.points
+            .binary_search_by_key(&k, |p| p.0)
+            .ok()
+            .map(|i| self.points[i].1)
+    }
+
+    /// Fraction of the set's probes where the row exceeds `p`.
+    fn hits_above(&self, p: f64) -> usize {
+        self.points.iter().filter(|(_, prob)| *prob > p).count()
+    }
+}
+
+/// A diffable set of sampled probability rows: stable object ids with
+/// their `P(t)` samples, ascending by id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbRowSet {
+    query: Oid,
+    window: TimeInterval,
+    perspective: RowPerspective,
+    samples: u32,
+    rows: Vec<ProbRow>,
+}
+
+impl ProbRowSet {
+    /// A row set over `rows` (any order; empty rows are dropped, the
+    /// rest sorted by id).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on duplicate ids or point indices at/above
+    /// `samples`.
+    pub fn new(
+        query: Oid,
+        window: TimeInterval,
+        perspective: RowPerspective,
+        samples: u32,
+        rows: Vec<ProbRow>,
+    ) -> Self {
+        let mut rows: Vec<ProbRow> = rows.into_iter().filter(|r| !r.points.is_empty()).collect();
+        rows.sort_by_key(|r| r.oid);
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].oid < w[1].oid),
+            "duplicate object id in row set"
+        );
+        debug_assert!(rows.iter().all(|r| {
+            r.points.windows(2).all(|w| w[0].0 < w[1].0)
+                && r.points.last().map(|p| p.0 < samples).unwrap_or(true)
+        }));
+        ProbRowSet {
+            query,
+            window,
+            perspective,
+            samples,
+            rows,
+        }
+    }
+
+    /// An empty row set (used when the query object leaves the MOD).
+    pub fn empty(
+        query: Oid,
+        window: TimeInterval,
+        perspective: RowPerspective,
+        samples: u32,
+    ) -> Self {
+        ProbRowSet::new(query, window, perspective, samples, Vec::new())
+    }
+
+    /// The query trajectory's id.
+    pub fn query(&self) -> Oid {
+        self.query
+    }
+
+    /// The query window.
+    pub fn window(&self) -> TimeInterval {
+        self.window
+    }
+
+    /// Forward or reverse rows.
+    pub fn perspective(&self) -> RowPerspective {
+        self.perspective
+    }
+
+    /// Number of probe instants the window was sampled at.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
+    /// The probe instant of sample `k`: the midpoint of the k-th of
+    /// `samples` equal window slices (the [`crate::threshold`] scheme).
+    pub fn sample_time(&self, k: u32) -> f64 {
+        self.window.start() + (k as f64 + 0.5) * self.window.len() / self.samples as f64
+    }
+
+    /// The rows, ascending by id.
+    pub fn rows(&self) -> &[ProbRow] {
+        &self.rows
+    }
+
+    /// Number of objects holding at least one sample.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no object holds a sample.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row of `oid`, if it holds any sample.
+    pub fn row_of(&self, oid: Oid) -> Option<&ProbRow> {
+        self.rows
+            .binary_search_by_key(&oid, |r| r.oid)
+            .ok()
+            .map(|i| &self.rows[i])
+    }
+
+    /// The provenance of column `k`: the owners whose difference
+    /// functions were in-band at that probe — the exact inputs of every
+    /// `P` value in the column.
+    pub fn column_owners(&self, k: u32) -> Vec<Oid> {
+        self.rows
+            .iter()
+            .filter(|r| r.at(k).is_some())
+            .map(|r| r.oid)
+            .collect()
+    }
+
+    /// Fraction of the probes where `oid`'s probability exceeds `p`
+    /// (zero for absent objects).
+    pub fn fraction_above(&self, oid: Oid, p: f64) -> f64 {
+        self.row_of(oid)
+            .map(|r| r.hits_above(p) as f64 / self.samples as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean probability of `oid` over the probes where it was in-band.
+    pub fn mean_probability(&self, oid: Oid) -> f64 {
+        self.row_of(oid)
+            .map(|r| r.points.iter().map(|(_, p)| p).sum::<f64>() / r.points.len().max(1) as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// `true` when the two sets describe the same standing query (same
+    /// query object, window bits, perspective, and sample count) and may
+    /// therefore be diffed/patched against each other.
+    pub fn same_shape(&self, other: &ProbRowSet) -> bool {
+        self.query == other.query
+            && self.window.start().to_bits() == other.window.start().to_bits()
+            && self.window.end().to_bits() == other.window.end().to_bits()
+            && self.perspective == other.perspective
+            && self.samples == other.samples
+    }
+
+    /// The delta transforming `self` into `newer`, tagged with the store
+    /// epoch `newer` was computed at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sets have different shapes (debug builds).
+    pub fn diff_to(&self, newer: &ProbRowSet, epoch: u64) -> ProbRowDelta {
+        debug_assert!(self.same_shape(newer), "diff of unrelated row sets");
+        let mut upserts = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.rows.len() || j < newer.rows.len() {
+            match (self.rows.get(i), newer.rows.get(j)) {
+                (Some(old), Some(new)) if old.oid == new.oid => {
+                    if old.points != new.points {
+                        upserts.push(new.clone());
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (Some(old), Some(new)) if old.oid < new.oid => {
+                    removed.push(old.oid);
+                    i += 1;
+                }
+                (_, Some(new)) => {
+                    upserts.push(new.clone());
+                    j += 1;
+                }
+                (Some(old), None) => {
+                    removed.push(old.oid);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        ProbRowDelta {
+            epoch,
+            samples: self.samples,
+            upserts,
+            removed,
+        }
+    }
+
+    /// Applies a delta, yielding the patched set. Upserts replace (or
+    /// add) rows; removals of absent ids are ignored, so composed deltas
+    /// stay applicable.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the delta's probe count differs from the
+    /// set's.
+    pub fn apply(&self, delta: &ProbRowDelta) -> ProbRowSet {
+        debug_assert_eq!(self.samples, delta.samples, "delta of another density");
+        let mut rows: Vec<ProbRow> = Vec::with_capacity(self.rows.len());
+        let mut ups = delta.upserts.iter().peekable();
+        for r in &self.rows {
+            while ups.peek().map(|u| u.oid < r.oid).unwrap_or(false) {
+                rows.push(ups.next().unwrap().clone());
+            }
+            if ups.peek().map(|u| u.oid == r.oid).unwrap_or(false) {
+                rows.push(ups.next().unwrap().clone());
+            } else if delta.removed.binary_search(&r.oid).is_err() {
+                rows.push(r.clone());
+            }
+        }
+        rows.extend(ups.cloned());
+        ProbRowSet::new(
+            self.query,
+            self.window,
+            self.perspective,
+            self.samples,
+            rows,
+        )
+    }
+}
+
+/// The difference between two row sets of one standing query: the
+/// objects whose sampled rows changed (with their new content) and the
+/// objects no longer holding any sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbRowDelta {
+    /// The store epoch the rows advanced to.
+    pub epoch: u64,
+    /// The probe count of the row sets the delta transforms between —
+    /// part of the delta's shape, so consumers (the wire codec in
+    /// particular) can range-check every sample index without the full
+    /// row set at hand.
+    pub samples: u32,
+    /// New or changed rows (their full new content), ascending by id.
+    pub upserts: Vec<ProbRow>,
+    /// Ids that held samples before and no longer do, ascending.
+    pub removed: Vec<Oid>,
+}
+
+impl ProbRowDelta {
+    /// A delta carrying no change over `samples`-probe rows.
+    pub fn noop(epoch: u64, samples: u32) -> Self {
+        ProbRowDelta {
+            epoch,
+            samples,
+            upserts: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// `true` when applying the delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of changed objects (upserts + removals).
+    pub fn touched(&self) -> usize {
+        self.upserts.len() + self.removed.len()
+    }
+
+    /// Composes `self` (applied first) with `next` (applied second):
+    /// `s.apply(&d1).apply(&d2) == s.apply(&d1.then(&d2))`. The result
+    /// carries `next`'s epoch. Bounded change feeds squash their oldest
+    /// entries with this, exactly like
+    /// [`crate::answer::AnswerDelta::then`].
+    pub fn then(&self, next: &ProbRowDelta) -> ProbRowDelta {
+        debug_assert_eq!(self.samples, next.samples, "composing across densities");
+        let overridden = |oid: Oid| {
+            next.upserts.binary_search_by_key(&oid, |u| u.oid).is_ok()
+                || next.removed.binary_search(&oid).is_ok()
+        };
+        let mut upserts: Vec<ProbRow> = Vec::with_capacity(self.upserts.len() + next.upserts.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.upserts.len() || j < next.upserts.len() {
+            let take_first = match (self.upserts.get(i), next.upserts.get(j)) {
+                (Some(x), _) if overridden(x.oid) => {
+                    i += 1;
+                    continue;
+                }
+                (Some(x), Some(y)) => x.oid < y.oid,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_first {
+                upserts.push(self.upserts[i].clone());
+                i += 1;
+            } else {
+                upserts.push(next.upserts[j].clone());
+                j += 1;
+            }
+        }
+        let mut removed: Vec<Oid> = Vec::with_capacity(self.removed.len() + next.removed.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.removed.len() || j < next.removed.len() {
+            match (self.removed.get(i), next.removed.get(j)) {
+                (Some(x), _) if next.upserts.binary_search_by_key(x, |u| u.oid).is_ok() => {
+                    i += 1;
+                }
+                (Some(x), Some(y)) if x == y => {
+                    removed.push(*x);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(x), Some(y)) if x < y => {
+                    removed.push(*x);
+                    i += 1;
+                }
+                (_, Some(y)) => {
+                    removed.push(*y);
+                    j += 1;
+                }
+                (Some(x), None) => {
+                    removed.push(*x);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        ProbRowDelta {
+            epoch: next.epoch,
+            samples: self.samples,
+            upserts,
+            removed,
+        }
+    }
+}
+
+/// One probe column: the joint Eq. 5 evaluation at instant `t` over the
+/// functions inside the band `LE(t) + 2·support(pdf)` of the given
+/// envelope value. Returns `(owner, P^NN)` pairs in the functions'
+/// iteration order — the canonical column every producer (cold sweep,
+/// patched recompute, one-shot threshold view) shares, so recomputed
+/// columns are bit-identical to cold ones.
+pub(crate) fn probability_column(
+    fs: &[DistanceFunction],
+    le: f64,
+    pdf: &dyn RadialPdf,
+    t: f64,
+) -> Vec<(Oid, f64)> {
+    let delta = 2.0 * pdf.support_radius();
+    let mut ids = Vec::new();
+    let mut dists = Vec::new();
+    for f in fs {
+        if let Some(d) = f.eval(t) {
+            if d <= le + delta {
+                ids.push(f.owner());
+                dists.push(d);
+            }
+        }
+    }
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let cands: Vec<NnCandidate> = dists
+        .iter()
+        .map(|&d| NnCandidate {
+            center_distance: d,
+            pdf,
+        })
+        .collect();
+    let probs = nn_probabilities(&cands, NnConfig::default());
+    ids.into_iter().zip(probs).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(oid: u64, points: &[(u32, f64)]) -> ProbRow {
+        ProbRow {
+            oid: Oid(oid),
+            points: points.to_vec(),
+        }
+    }
+
+    fn set(rows: Vec<ProbRow>) -> ProbRowSet {
+        ProbRowSet::new(
+            Oid(0),
+            TimeInterval::new(0.0, 10.0),
+            RowPerspective::Forward,
+            8,
+            rows,
+        )
+    }
+
+    #[test]
+    fn construction_sorts_drops_empty_and_samples_probes() {
+        let s = set(vec![
+            row(5, &[(0, 0.5), (3, 0.9)]),
+            row(2, &[(1, 0.25)]),
+            row(9, &[]),
+        ]);
+        let oids: Vec<u64> = s.rows().iter().map(|r| r.oid.0).collect();
+        assert_eq!(oids, vec![2, 5]);
+        assert!(s.row_of(Oid(9)).is_none());
+        assert_eq!(s.row_of(Oid(5)).unwrap().at(3), Some(0.9));
+        assert_eq!(s.row_of(Oid(5)).unwrap().at(2), None);
+        // Probe instants are slice midpoints.
+        assert_eq!(s.sample_time(0), 0.625);
+        assert_eq!(s.sample_time(7), 9.375);
+        // Threshold views.
+        assert_eq!(s.fraction_above(Oid(5), 0.4), 2.0 / 8.0);
+        assert_eq!(s.fraction_above(Oid(5), 0.7), 1.0 / 8.0);
+        assert_eq!(s.fraction_above(Oid(9), 0.0), 0.0);
+        assert!((s.mean_probability(Oid(5)) - 0.7).abs() < 1e-12);
+        // Column provenance.
+        assert_eq!(s.column_owners(0), vec![Oid(5)]);
+        assert_eq!(s.column_owners(1), vec![Oid(2)]);
+        assert!(s.column_owners(7).is_empty());
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let old = set(vec![
+            row(1, &[(0, 0.2), (1, 0.4)]),
+            row(2, &[(0, 0.8)]),
+            row(4, &[(5, 0.1)]),
+        ]);
+        let new = set(vec![
+            row(1, &[(0, 0.2), (1, 0.5)]), // changed
+            row(2, &[(0, 0.8)]),           // unchanged
+            row(7, &[(2, 0.6)]),           // added
+                                           // 4 removed
+        ]);
+        let d = old.diff_to(&new, 42);
+        assert_eq!(d.epoch, 42);
+        assert_eq!(d.removed, vec![Oid(4)]);
+        let up: Vec<u64> = d.upserts.iter().map(|r| r.oid.0).collect();
+        assert_eq!(up, vec![1, 7], "unchanged row must not appear");
+        assert_eq!(old.apply(&d), new);
+        assert!(new.diff_to(&new, 43).is_empty());
+        assert_eq!(new.diff_to(&new, 43).samples, 8);
+        assert_eq!(new.apply(&ProbRowDelta::noop(43, 8)), new);
+    }
+
+    #[test]
+    fn apply_tolerates_removals_of_absent_ids() {
+        let base = set(vec![row(1, &[(0, 0.5)])]);
+        let d = ProbRowDelta {
+            epoch: 1,
+            samples: 8,
+            upserts: vec![],
+            removed: vec![Oid(99)],
+        };
+        assert_eq!(base.apply(&d), base);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a0 = set(vec![row(1, &[(0, 0.1)]), row(2, &[(0, 0.9)])]);
+        let a1 = set(vec![row(1, &[(0, 0.2)]), row(3, &[(4, 0.5)])]);
+        let a2 = set(vec![row(2, &[(1, 0.3)]), row(3, &[(4, 0.5)])]);
+        let d1 = a0.diff_to(&a1, 1);
+        let d2 = a1.diff_to(&a2, 2);
+        let squashed = d1.then(&d2);
+        assert_eq!(squashed.epoch, 2);
+        assert_eq!(a0.apply(&squashed), a2);
+        assert_eq!(a0.apply(&d1).apply(&d2), a0.apply(&squashed));
+    }
+
+    #[test]
+    fn shape_guard() {
+        let a = set(vec![row(1, &[(0, 0.5)])]);
+        let reversed = ProbRowSet::empty(
+            Oid(0),
+            TimeInterval::new(0.0, 10.0),
+            RowPerspective::Reverse,
+            8,
+        );
+        let resampled = ProbRowSet::empty(
+            Oid(0),
+            TimeInterval::new(0.0, 10.0),
+            RowPerspective::Forward,
+            16,
+        );
+        assert!(!a.same_shape(&reversed));
+        assert!(!a.same_shape(&resampled));
+        assert!(a.same_shape(&a.clone()));
+    }
+}

@@ -22,8 +22,11 @@
 //! which is also the cost of the RNN engine (each candidate needs its own
 //! envelope; this is inherent, the reverse relation is not symmetric).
 
+use crate::probrows::{ProbRow, ProbRowSet, RowPerspective};
 use crate::query::QueryEngine;
+use std::sync::Arc;
 use unn_geom::interval::{IntervalSet, TimeInterval};
+use unn_prob::pdf::RadialPdf;
 use unn_traj::difference::{difference_distances, difference_distances_refs, DifferenceError};
 use unn_traj::trajectory::{Oid, Trajectory};
 
@@ -34,8 +37,10 @@ pub struct ReverseNnEngine {
     query: Oid,
     window: TimeInterval,
     /// One forward engine per non-query object `i`, from `i`'s
-    /// perspective (its candidate set contains the query).
-    engines: Vec<(Oid, QueryEngine)>,
+    /// perspective (its candidate set contains the query). `Arc`-shared
+    /// so incremental rebuilds ([`ReverseNnEngine::build_reusing`]) can
+    /// carry untouched perspectives without cloning their envelopes.
+    engines: Vec<(Oid, Arc<QueryEngine>)>,
 }
 
 impl ReverseNnEngine {
@@ -73,6 +78,28 @@ impl ReverseNnEngine {
         window: TimeInterval,
         radius: f64,
     ) -> Result<Self, DifferenceError> {
+        ReverseNnEngine::build_reusing(trajectories, query, window, radius, |_| None)
+    }
+
+    /// Like [`ReverseNnEngine::build`], but **reusing** already-built
+    /// perspective engines: for each perspective object, `reuse(oid)`
+    /// may hand back a carried engine (an `Arc` clone, no construction)
+    /// instead of paying the per-perspective difference + envelope
+    /// build. The caller is responsible for the carry proof — a reused
+    /// engine must answer identically to a fresh build over
+    /// `trajectories` (see the per-perspective proof in the
+    /// subscription layer). Perspective order (and every answer)
+    /// matches the from-scratch construction exactly.
+    pub fn build_reusing<F>(
+        trajectories: &[&Trajectory],
+        query: Oid,
+        window: TimeInterval,
+        radius: f64,
+        reuse: F,
+    ) -> Result<Self, DifferenceError>
+    where
+        F: Fn(Oid) -> Option<Arc<QueryEngine>> + Sync,
+    {
         assert!(
             trajectories.len() >= 2,
             "reverse NN needs at least two objects"
@@ -91,8 +118,11 @@ impl ReverseNnEngine {
             .filter(|t| t.oid() != query)
             .collect();
         let engines = unn_traj::par::par_map(&perspectives, 8, |tr| {
+            if let Some(carried) = reuse(tr.oid()) {
+                return Ok((tr.oid(), carried));
+            }
             let fs = difference_distances_refs(tr, trajectories.iter().copied(), &window)?;
-            Ok::<_, DifferenceError>((tr.oid(), QueryEngine::new(tr.oid(), fs, radius)))
+            Ok::<_, DifferenceError>((tr.oid(), Arc::new(QueryEngine::new(tr.oid(), fs, radius))))
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
@@ -116,11 +146,25 @@ impl ReverseNnEngine {
     /// The per-object forward engines (perspective object, engine). The
     /// engine of object `i` answers "who can be `i`'s NN".
     pub fn perspective_engines(&self) -> impl Iterator<Item = (Oid, &QueryEngine)> {
-        self.engines.iter().map(|(oid, e)| (*oid, e))
+        self.engines.iter().map(|(oid, e)| (*oid, e.as_ref()))
+    }
+
+    /// The `Arc`-shared engine of one perspective object — what an
+    /// incremental rebuild hands back through
+    /// [`ReverseNnEngine::build_reusing`] for provably untouched
+    /// perspectives.
+    pub fn perspective_engine_arc(&self, oid: Oid) -> Option<Arc<QueryEngine>> {
+        self.engines
+            .iter()
+            .find(|(o, _)| *o == oid)
+            .map(|(_, e)| Arc::clone(e))
     }
 
     fn engine_of(&self, oid: Oid) -> Option<&QueryEngine> {
-        self.engines.iter().find(|(o, _)| *o == oid).map(|(_, e)| e)
+        self.engines
+            .iter()
+            .find(|(o, _)| *o == oid)
+            .map(|(_, e)| e.as_ref())
     }
 
     /// Times during which the query has non-zero probability of being
@@ -183,6 +227,99 @@ impl ReverseNnEngine {
             })
             .collect();
         crate::answer::AnswerSet::new(self.query, self.window, None, entries)
+    }
+
+    /// The engine's sampled reverse **probability rows** (the
+    /// `PROB_RNN` standing-query substrate, see [`crate::probrows`]):
+    /// per perspective object `i`, the window is probed at the midpoints
+    /// of `samples` equal slices and, wherever the query's difference
+    /// function is inside `i`'s band, the query's `P^NN` among `i`'s
+    /// in-band candidates is evaluated under the given (difference)
+    /// `pdf`. Row `i` therefore holds `P(query is i's NN at t)` at
+    /// exactly the probes where that probability is non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples == 0`.
+    pub fn prob_row_set(&self, pdf: &dyn RadialPdf, samples: u32) -> ProbRowSet {
+        assert!(samples > 0, "need at least one probe");
+        let rows = unn_traj::par::par_map(&self.engines, 8, |(oid, engine)| {
+            self.perspective_row(*oid, engine, pdf, samples)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        ProbRowSet::new(
+            self.query,
+            self.window,
+            RowPerspective::Reverse,
+            samples,
+            rows,
+        )
+    }
+
+    /// Like [`ReverseNnEngine::prob_row_set`], but copying `prev`'s row
+    /// for every perspective where `carried(oid)` holds — including its
+    /// *absence* (a perspective whose band the query never entered stays
+    /// rowless without re-probing). Only non-carried perspectives pay
+    /// the sampled evaluation. Returns the set together with the number
+    /// of perspectives recomputed.
+    ///
+    /// Sound exactly when every carried perspective's engine answers
+    /// identically to a fresh build — the per-perspective carry proof
+    /// the subscription layer derives (untouched object, ops provably
+    /// outside its envelope and band).
+    pub fn prob_row_set_reusing(
+        &self,
+        pdf: &dyn RadialPdf,
+        prev: &ProbRowSet,
+        carried: &(dyn Fn(Oid) -> bool + Sync),
+    ) -> (ProbRowSet, usize) {
+        let samples = prev.samples();
+        let recomputed = std::sync::atomic::AtomicUsize::new(0);
+        let rows = unn_traj::par::par_map(&self.engines, 8, |(oid, engine)| {
+            if carried(*oid) {
+                return prev.row_of(*oid).cloned();
+            }
+            recomputed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.perspective_row(*oid, engine, pdf, samples)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        (
+            ProbRowSet::new(
+                self.query,
+                self.window,
+                RowPerspective::Reverse,
+                samples,
+                rows,
+            ),
+            recomputed.into_inner(),
+        )
+    }
+
+    /// One perspective's sampled row: the query's `P^NN` from `oid`'s
+    /// viewpoint at every probe where the query is in `oid`'s band.
+    fn perspective_row(
+        &self,
+        oid: Oid,
+        engine: &QueryEngine,
+        pdf: &dyn RadialPdf,
+        samples: u32,
+    ) -> Option<ProbRow> {
+        let mut points = Vec::new();
+        for k in 0..samples {
+            let t = self.window.start() + (k as f64 + 0.5) * self.window.len() / samples as f64;
+            let Some(le) = engine.envelope().eval(t) else {
+                continue;
+            };
+            let column = crate::probrows::probability_column(engine.functions(), le, pdf, t);
+            if let Some((_, p)) = column.iter().find(|(o, _)| *o == self.query) {
+                points.push((k, *p));
+            }
+        }
+        (!points.is_empty()).then_some(ProbRow { oid, points })
     }
 
     /// The *crisp* RNN answer: the times during which the query **is**
@@ -383,6 +520,54 @@ mod tests {
                 assert!(!iv.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn reverse_rows_and_per_perspective_carry_are_bit_identical() {
+        use unn_prob::uniform_diff::UniformDifferencePdf;
+        let trs = vec![
+            straight(0, 0.0, 0.0, 1.0, 0.0),
+            straight(1, 10.0, 1.0, -1.0, 0.0),
+            straight(2, 5.0, -2.0, 0.0, 0.5),
+            straight(3, -3.0, 4.0, 0.8, -0.3),
+        ];
+        let w = TimeInterval::new(0.0, 10.0);
+        let r = 0.4;
+        let pdf = UniformDifferencePdf::new(r);
+        let e = ReverseNnEngine::new(&trs, Oid(0), w, r).unwrap();
+        let rows = e.prob_row_set(&pdf, 24);
+        // A perspective row exists exactly where the query enters the
+        // perspective's band, and each sampled P agrees with the
+        // perspective engine's instantaneous evaluation.
+        for (oid, engine) in e.perspective_engines() {
+            let iv = e.rnn_intervals(oid).unwrap();
+            match rows.row_of(oid) {
+                Some(row) => {
+                    for (k, p) in &row.points {
+                        let t = rows.sample_time(*k);
+                        let direct = crate::threshold::probability_at_with(engine, &pdf, Oid(0), t)
+                            .expect("in-band sample");
+                        assert_eq!(p.to_bits(), direct.to_bits(), "oid {oid} k {k}");
+                    }
+                }
+                None => assert!(iv.is_empty(), "rowless perspective must be out of band"),
+            }
+        }
+        // Rebuild reusing every perspective: bit-identical, zero rebuilt.
+        let refs: Vec<&Trajectory> = trs.iter().collect();
+        let reused_engine = ReverseNnEngine::build_reusing(&refs, Oid(0), w, r, |oid| {
+            e.perspective_engine_arc(oid)
+        })
+        .unwrap();
+        let (reused_rows, recomputed) = reused_engine.prob_row_set_reusing(&pdf, &rows, &|_| true);
+        assert_eq!(reused_rows, rows);
+        assert_eq!(recomputed, 0);
+        // Recomputing one perspective from its carried engine is also
+        // bit-identical to the fresh sweep.
+        let (mixed, recomputed) =
+            reused_engine.prob_row_set_reusing(&pdf, &rows, &|oid| oid != Oid(2));
+        assert_eq!(mixed, rows);
+        assert_eq!(recomputed, 1);
     }
 
     #[test]

@@ -17,7 +17,6 @@
 //! `O(samples · B²)` where `B` is the band population.
 
 use crate::query::QueryEngine;
-use std::collections::BTreeMap;
 use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
 use unn_prob::pdf::RadialPdf;
 use unn_prob::uniform_diff::UniformDifferencePdf;
@@ -69,55 +68,23 @@ pub fn threshold_nn_sweep_with(
 ) -> Vec<ThresholdRow> {
     assert!((0.0..1.0).contains(&p), "threshold {p} outside [0, 1)");
     assert!(samples > 0, "need at least one probe");
-    let delta = 2.0 * pdf.support_radius();
-    let window = engine.window();
-    let cfg = NnConfig::default();
-
-    let mut hits: BTreeMap<Oid, (usize, f64, usize)> = BTreeMap::new();
-    // Probe at midpoints of `samples` equal slices (avoids boundary
-    // instants where the envelope switches owner).
-    for k in 0..samples {
-        let t = window.start() + (k as f64 + 0.5) * window.len() / samples as f64;
-        let le = match engine.envelope().eval(t) {
-            Some(v) => v,
-            None => continue,
-        };
-        let mut ids = Vec::new();
-        let mut dists = Vec::new();
-        for f in engine.functions() {
-            if let Some(d) = f.eval(t) {
-                if d <= le + delta {
-                    ids.push(f.owner());
-                    dists.push(d);
-                }
+    // The sweep is a threshold view over the engine's sampled
+    // probability rows ([`crate::probrows`]) — the same rows the
+    // subscription layer maintains incrementally, so one-shot and
+    // standing threshold evaluations agree bit-for-bit by construction.
+    let rows = engine.prob_row_set(pdf, samples as u32);
+    rows.rows()
+        .iter()
+        .filter_map(|row| {
+            let hits = row.points.iter().filter(|(_, prob)| *prob > p).count();
+            if hits == 0 {
+                return None;
             }
-        }
-        if ids.is_empty() {
-            continue;
-        }
-        let cands: Vec<NnCandidate> = dists
-            .iter()
-            .map(|&d| NnCandidate {
-                center_distance: d,
-                pdf,
+            Some(ThresholdRow {
+                oid: row.oid,
+                fraction: hits as f64 / samples as f64,
+                mean_probability: rows.mean_probability(row.oid),
             })
-            .collect();
-        let probs = nn_probabilities(&cands, cfg);
-        for (oid, prob) in ids.iter().zip(&probs) {
-            let e = hits.entry(*oid).or_insert((0, 0.0, 0));
-            if *prob > p {
-                e.0 += 1;
-            }
-            e.1 += *prob;
-            e.2 += 1;
-        }
-    }
-    hits.into_iter()
-        .filter(|(_, (n, _, _))| *n > 0)
-        .map(|(oid, (n, psum, present))| ThresholdRow {
-            oid,
-            fraction: n as f64 / samples as f64,
-            mean_probability: psum / present.max(1) as f64,
         })
         .collect()
 }

@@ -267,6 +267,10 @@ pub struct ForwardProof {
     /// Ids owning one of the engine's difference functions (removals of
     /// anything else were already prefiltered out of every answer).
     candidates: std::collections::BTreeSet<Oid>,
+    /// Ids surviving the `4r`-band pruning — the only candidates that
+    /// ever contribute to a banded answer or a probability column. A
+    /// strict subset of `candidates` in general.
+    kept: std::collections::BTreeSet<Oid>,
     /// The query trajectory's whole-domain expected-position box.
     qbox: Aabb3,
     /// `max_t LE₁(t) + 4r`: insertions staying strictly beyond this gap
@@ -281,6 +285,7 @@ impl ForwardProof {
         ForwardProof {
             query: engine.query(),
             candidates: engine.functions().iter().map(|f| f.owner()).collect(),
+            kept: engine.kept_owners().collect(),
             qbox: full_xy_box(query_tr),
             reach: envelope_max(engine) + engine.band_delta(),
         }
@@ -289,10 +294,32 @@ impl ForwardProof {
     /// `true` only when every op in `ops` provably cannot change any of
     /// the proved engine's answers (see [`forward_engine_unaffected`]).
     pub fn ops_unaffected(&self, ops: &[&DeltaRecord]) -> bool {
+        self.check(ops, &self.candidates)
+    }
+
+    /// The sharper obligation for **band-bounded row** consumers (the
+    /// sampled probability rows of threshold/RNN standing queries, and
+    /// in particular the per-perspective carry of a reverse engine,
+    /// whose exhaustive build makes *every* object a candidate): a
+    /// removal is additionally safe when the removed object, though a
+    /// candidate, never survived the `4r`-band pruning — it never
+    /// realized the envelope (an envelope owner is always in its own
+    /// band) and never joined any probe column's joint evaluation, so
+    /// an engine rebuilt without it produces bit-identical rows and
+    /// banded answers.
+    pub fn ops_unaffected_rows(&self, ops: &[&DeltaRecord]) -> bool {
+        self.check(ops, &self.kept)
+    }
+
+    fn check(
+        &self,
+        ops: &[&DeltaRecord],
+        removable_guard: &std::collections::BTreeSet<Oid>,
+    ) -> bool {
         for rec in ops {
             match &rec.op {
                 DeltaOp::Remove(oid) => {
-                    if *oid == self.query || self.candidates.contains(oid) {
+                    if *oid == self.query || removable_guard.contains(oid) {
                         return false;
                     }
                 }

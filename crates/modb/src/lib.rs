@@ -79,11 +79,33 @@
 //!    sound path — *skip* (the carry proof shows the answer cannot
 //!    change), *patch* (re-plan, reuse every unchanged candidate's
 //!    difference function, carry the envelope when the delta provably
-//!    leaves it untouched, and recompute only the touched intervals), or
-//!    *rebuild* (the log was truncated past the subscriber's epoch, or
-//!    the query object itself changed). Answer changes stream to
-//!    consumers as [`unn_core::answer::AnswerDelta`]s via the
-//!    per-subscription change feed.
+//!    leaves it untouched, and recompute only the touched intervals —
+//!    or, for threshold/reverse standing queries maintaining sampled
+//!    probability rows, only the *dirty probe columns* and touched
+//!    *perspectives*), or *rebuild* (the log was truncated past the
+//!    subscriber's epoch, or the query object itself changed). Answer
+//!    changes stream to consumers as [`unn_core::answer::AnswerDelta`]s
+//!    / [`unn_core::probrows::ProbRowDelta`]s via the per-subscription
+//!    change feed.
+//!
+//! ## Standing-query ladders by statement shape
+//!
+//! ```text
+//!  REGISTER CONTINUOUS …
+//!   ├── PROB_NN(…) > 0 [RANK k]  ──▶ AnswerSet (banded intervals)
+//!   │     skip:   ForwardProof::ops_unaffected (candidate set)
+//!   │     patch:  reuse functions + carry_envelope
+//!   │             + answer_set_reusing (touched intervals only)
+//!   ├── PROB_NN(…) > p, p > 0    ──▶ ProbRowSet (sampled P^NN rows)
+//!   │     skip:   ForwardProof::ops_unaffected_rows (band survivors)
+//!   │     patch:  reuse functions + carry_envelope
+//!   │             + prob_row_set_reusing (dirty probe columns only)
+//!   └── PROB_RNN(…) > p          ──▶ ProbRowSet (one row/perspective)
+//!         patch:  per-perspective ForwardProof — untouched
+//!                 perspectives carry their envelope AND row wholesale
+//!                 (`perspectives_skipped`); touched/new ones rebuild
+//!  (RANK + positive threshold remains refused, with a SourceSpan caret)
+//! ```
 //!
 //! Every path — patched, carried, maintained, or rebuilt — produces
 //! **bit-identical answers** to a cold exhaustive rebuild;
@@ -105,14 +127,16 @@
 //! ```text
 //! conn A ──Insert──▶ commit (epoch e) ──▶ SubscriptionRegistry::sync
 //!                                          (sharded skip/patch/rebuild)
-//!                                                  │ AnswerDelta @e
+//!                                         │ AnswerDelta / ProbRowDelta @e
 //!                                   ┌──────────────┴─────────────┐
 //!                                   ▼                            ▼
-//!                            pull feed (poll)          conn B outbox ─▶ Event
+//!                            pull feed (poll)          conn B outbox ─▶ Event /
+//!                                                      RowEvent frame
 //!                                                      (overflow ⇒ squash via
-//!                                                       `then`, flag `lagged`,
-//!                                                       client resyncs from a
-//!                                                       full AnswerSet)
+//!                                                       `SubDelta::then`, flag
+//!                                                       `lagged`, client resyncs
+//!                                                       from the full AnswerSet /
+//!                                                       ProbRowSet)
 //! ```
 //!
 //! Maintenance itself is sharded by subscription-name hash (mirroring
@@ -135,9 +159,11 @@
 //!   onto the `unn-core` engine (forward, reverse, heterogeneous-radii,
 //!   and k-NN paths), with execution statistics;
 //! * [`subscription`] — standing queries: the registry of registered
-//!   continuous queries whose [`unn_core::answer::AnswerSet`]s are
-//!   incrementally maintained after every commit and streamed as
-//!   [`unn_core::answer::AnswerDelta`]s;
+//!   continuous queries whose answers —
+//!   [`unn_core::answer::AnswerSet`]s for forward `> 0` statements,
+//!   [`unn_core::probrows::ProbRowSet`]s for threshold / reverse ones —
+//!   are incrementally maintained after every commit and streamed as
+//!   [`subscription::SubDelta`]s;
 //! * [`net`] — the framed TCP service layer: wire codec, thread-per-
 //!   connection server with push delivery, and the blocking client;
 //! * [`persist`] — replayable text snapshots of MOD contents.
@@ -168,6 +194,6 @@ pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, Serve
 pub use snapshot::QuerySnapshot;
 pub use store::{DeltaStats, ModStore, StoreError};
 pub use subscription::{
-    DeltaSink, FeedEvent, SubscriptionError, SubscriptionInfo, SubscriptionRegistry,
-    SubscriptionStats, SyncMode,
+    DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError, SubscriptionInfo,
+    SubscriptionRegistry, SubscriptionStats, SyncMode, PROB_ROW_SAMPLES,
 };

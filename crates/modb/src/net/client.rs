@@ -11,13 +11,14 @@
 //! desynchronize the stream: partially received frames are kept in an
 //! internal buffer and completed by the next read.
 
-use crate::subscription::FeedEvent;
+use crate::subscription::{FeedEvent, SubAnswer, SubDelta};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use unn_core::answer::AnswerSet;
+use unn_core::probrows::ProbRowSet;
 use unn_traj::trajectory::Oid;
 use unn_traj::uncertain::UncertainTrajectory;
 
@@ -139,12 +140,38 @@ impl NetClient {
     /// Fetches a subscription's full maintained answer and the epoch it
     /// is current at — the resync point after a `lagged` event: discard
     /// buffered deltas with `epoch <= answer epoch`, fold the rest.
-    pub fn subscription_answer(&mut self, name: &str) -> Result<(AnswerSet, u64), NetError> {
+    /// Interval subscriptions answer with [`SubAnswer::Intervals`],
+    /// threshold/reverse ones with [`SubAnswer::Rows`].
+    pub fn subscription_answer(&mut self, name: &str) -> Result<(SubAnswer, u64), NetError> {
         match self.request(WireRequest::SubscriptionAnswer(name.to_string()))? {
-            WireOutput::Answer { epoch, answer } => Ok((answer, epoch)),
+            WireOutput::Answer { epoch, answer } => Ok((SubAnswer::Intervals(answer), epoch)),
+            WireOutput::RowAnswer { epoch, rows } => Ok((SubAnswer::Rows(rows), epoch)),
             other => Err(NetError::Protocol(format!(
                 "expected Answer, got {other:?}"
             ))),
+        }
+    }
+
+    /// [`NetClient::subscription_answer`] narrowed to an interval
+    /// subscription (protocol error when the server answers with rows).
+    pub fn subscription_intervals(&mut self, name: &str) -> Result<(AnswerSet, u64), NetError> {
+        match self.subscription_answer(name)? {
+            (SubAnswer::Intervals(answer), epoch) => Ok((answer, epoch)),
+            (SubAnswer::Rows(_), _) => Err(NetError::Protocol(
+                "expected an interval answer, got probability rows".to_string(),
+            )),
+        }
+    }
+
+    /// [`NetClient::subscription_answer`] narrowed to a row
+    /// subscription (protocol error when the server answers with
+    /// intervals).
+    pub fn subscription_rows(&mut self, name: &str) -> Result<(ProbRowSet, u64), NetError> {
+        match self.subscription_answer(name)? {
+            (SubAnswer::Rows(rows), epoch) => Ok((rows, epoch)),
+            (SubAnswer::Intervals(_), _) => Err(NetError::Protocol(
+                "expected probability rows, got an interval answer".to_string(),
+            )),
         }
     }
 
@@ -166,7 +193,16 @@ impl NetClient {
                 lagged,
             }) => Ok(Some(FeedEvent {
                 subscription,
+                delta: SubDelta::Intervals(delta),
+                lagged,
+            })),
+            Some(Frame::RowEvent {
+                subscription,
                 delta,
+                lagged,
+            }) => Ok(Some(FeedEvent {
+                subscription,
+                delta: SubDelta::Rows(delta),
                 lagged,
             })),
             Some(Frame::Bye) => Err(NetError::Closed),
@@ -183,7 +219,7 @@ impl NetClient {
         loop {
             match self.recv_blocking() {
                 Ok(Frame::Bye) => break,
-                Ok(Frame::Event { .. }) => continue, // in-flight pushes
+                Ok(Frame::Event { .. }) | Ok(Frame::RowEvent { .. }) => continue, // in-flight pushes
                 Ok(other) => {
                     return Err(NetError::Protocol(format!(
                         "unexpected frame during close: {other:?}"
@@ -214,7 +250,16 @@ impl NetClient {
                     lagged,
                 } => self.buffered.push_back(FeedEvent {
                     subscription,
+                    delta: SubDelta::Intervals(delta),
+                    lagged,
+                }),
+                Frame::RowEvent {
+                    subscription,
                     delta,
+                    lagged,
+                } => self.buffered.push_back(FeedEvent {
+                    subscription,
+                    delta: SubDelta::Rows(delta),
                     lagged,
                 }),
                 Frame::Bye => return Err(NetError::Closed),

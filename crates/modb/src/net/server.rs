@@ -26,7 +26,7 @@
 //! with the socket).
 
 use crate::server::{ModServer, QueryOutput, ServerError};
-use crate::subscription::DeltaSink;
+use crate::subscription::{DeltaSink, SubAnswer, SubDelta, SubscriptionError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -250,10 +250,17 @@ fn serve_connection(stream: TcpStream, sink: Arc<DeltaSink>, shared: Arc<Shared>
                     if !pacing.is_zero() {
                         std::thread::sleep(pacing);
                     }
-                    let frame = Frame::Event {
-                        subscription: ev.subscription,
-                        delta: ev.delta,
-                        lagged: ev.lagged,
+                    let frame = match ev.delta {
+                        SubDelta::Intervals(delta) => Frame::Event {
+                            subscription: ev.subscription,
+                            delta,
+                            lagged: ev.lagged,
+                        },
+                        SubDelta::Rows(delta) => Frame::RowEvent {
+                            subscription: ev.subscription,
+                            delta,
+                            lagged: ev.lagged,
+                        },
                     };
                     if write_locked(&writer, &frame).is_err() {
                         sink.close();
@@ -317,6 +324,11 @@ fn handle_request(
         WireRequest::Statement(stmt) => match server.execute_with_sink(&stmt, Some(sink)) {
             Ok(out) => Ok(convert_output(out)),
             Err(ServerError::Parse(pe)) => Err(pe.render(&stmt)),
+            // Registration refusals carrying a span render their caret
+            // against the statement, like parse errors do.
+            Err(ServerError::Subscription(se @ SubscriptionError::Unsupported { .. })) => {
+                Err(se.render(&stmt))
+            }
             Err(e) => Err(e.to_string()),
         },
         WireRequest::Insert(tr) => server
@@ -335,7 +347,10 @@ fn handle_request(
         WireRequest::SubscriptionAnswer(name) => server
             .subscription_registry()
             .answer_with_epoch(&name)
-            .map(|(answer, epoch)| WireOutput::Answer { epoch, answer })
+            .map(|(answer, epoch)| match answer {
+                SubAnswer::Intervals(answer) => WireOutput::Answer { epoch, answer },
+                SubAnswer::Rows(rows) => WireOutput::RowAnswer { epoch, rows },
+            })
             .ok_or_else(|| format!("no subscription named '{name}'")),
     }
 }

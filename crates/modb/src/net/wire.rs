@@ -36,6 +36,7 @@ use crate::subscription::{SubscriptionInfo, SubscriptionStats};
 use std::fmt;
 use std::io::{self, Read, Write};
 use unn_core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
+use unn_core::probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 use unn_geom::interval::{IntervalSet, TimeInterval};
 use unn_prob::pdf::PdfKind;
 use unn_traj::trajectory::{Oid, Trajectory, TrajectorySample};
@@ -45,7 +46,10 @@ use unn_traj::uncertain::UncertainTrajectory;
 pub const WIRE_MAGIC: u32 = 0x554E_4E31;
 
 /// Current protocol version; bumped on any incompatible frame change.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 added the probability-row payloads ([`Frame::RowEvent`]
+/// and [`WireOutput::RowAnswer`]) pushed for threshold / reverse
+/// standing queries.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on one frame's payload (a defense against hostile or
 /// corrupt length prefixes, not a practical limit — a 64 MiB answer
@@ -118,7 +122,8 @@ pub enum WireOutput {
     Unregistered(String),
     /// `SHOW SUBSCRIPTIONS` listing.
     Subscriptions(Vec<SubscriptionInfo>),
-    /// A subscription's full answer at the epoch it is current at.
+    /// An interval subscription's full answer at the epoch it is
+    /// current at.
     Answer {
         /// The store epoch the answer is current at.
         epoch: u64,
@@ -127,6 +132,15 @@ pub enum WireOutput {
     },
     /// A mutation applied cleanly.
     Done,
+    /// A threshold/reverse subscription's full probability rows at the
+    /// epoch they are current at (the row analogue of
+    /// [`WireOutput::Answer`]).
+    RowAnswer {
+        /// The store epoch the rows are current at.
+        epoch: u64,
+        /// The maintained probability rows.
+        rows: ProbRowSet,
+    },
 }
 
 /// One wire frame, either direction.
@@ -159,7 +173,8 @@ pub enum Frame {
         /// The outcome (`Err` carries the server's error rendering).
         result: Result<WireOutput, String>,
     },
-    /// A pushed subscription delta (server → client, unsolicited).
+    /// A pushed interval-subscription delta (server → client,
+    /// unsolicited).
     Event {
         /// The subscription name.
         subscription: String,
@@ -172,6 +187,17 @@ pub enum Frame {
     },
     /// Clean shutdown notice, either direction.
     Bye,
+    /// A pushed probability-row delta of a threshold/reverse
+    /// subscription (server → client, unsolicited) — the row analogue of
+    /// [`Frame::Event`], same backpressure contract.
+    RowEvent {
+        /// The subscription name.
+        subscription: String,
+        /// The epoch-tagged row delta.
+        delta: ProbRowDelta,
+        /// `true` when backpressure squashed older deltas into this one.
+        lagged: bool,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +271,46 @@ fn put_delta(buf: &mut Vec<u8>, d: &AnswerDelta) {
     }
 }
 
+fn put_prob_row(buf: &mut Vec<u8>, r: &ProbRow) {
+    put_u64(buf, r.oid.0);
+    put_u32(buf, r.points.len() as u32);
+    for (k, p) in &r.points {
+        put_u32(buf, *k);
+        put_f64(buf, *p);
+    }
+}
+
+fn put_prob_rows(buf: &mut Vec<u8>, rows: &ProbRowSet) {
+    put_u64(buf, rows.query().0);
+    put_f64(buf, rows.window().start());
+    put_f64(buf, rows.window().end());
+    put_u8(
+        buf,
+        match rows.perspective() {
+            RowPerspective::Forward => 0,
+            RowPerspective::Reverse => 1,
+        },
+    );
+    put_u32(buf, rows.samples());
+    put_u32(buf, rows.rows().len() as u32);
+    for r in rows.rows() {
+        put_prob_row(buf, r);
+    }
+}
+
+fn put_row_delta(buf: &mut Vec<u8>, d: &ProbRowDelta) {
+    put_u64(buf, d.epoch);
+    put_u32(buf, d.samples);
+    put_u32(buf, d.upserts.len() as u32);
+    for r in &d.upserts {
+        put_prob_row(buf, r);
+    }
+    put_u32(buf, d.removed.len() as u32);
+    for oid in &d.removed {
+        put_u64(buf, oid.0);
+    }
+}
+
 fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
     put_str(buf, &info.name);
     put_str(buf, &info.statement);
@@ -267,6 +333,8 @@ fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
         s.envelopes_carried,
         s.functions_reused,
         s.functions_built,
+        s.rows_patched,
+        s.perspectives_skipped,
     ] {
         put_u64(buf, v);
     }
@@ -375,6 +443,11 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                             put_answer_set(&mut buf, answer);
                         }
                         WireOutput::Done => put_u8(&mut buf, 6),
+                        WireOutput::RowAnswer { epoch, rows } => {
+                            put_u8(&mut buf, 7);
+                            put_u64(&mut buf, *epoch);
+                            put_prob_rows(&mut buf, rows);
+                        }
                     }
                 }
             }
@@ -390,6 +463,16 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_delta(&mut buf, delta);
         }
         Frame::Bye => put_u8(&mut buf, 6),
+        Frame::RowEvent {
+            subscription,
+            delta,
+            lagged,
+        } => {
+            put_u8(&mut buf, 7);
+            put_str(&mut buf, subscription);
+            put_u8(&mut buf, *lagged as u8);
+            put_row_delta(&mut buf, delta);
+        }
     }
     buf
 }
@@ -539,6 +622,96 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn prob_row(&mut self, samples: Option<u32>) -> Result<ProbRow, WireError> {
+        let oid = Oid(self.u64()?);
+        let n = self.count(12)?;
+        let mut points = Vec::with_capacity(n);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n {
+            let k = self.u32()?;
+            if prev.map(|p| k <= p).unwrap_or(false) {
+                return Err(self.bad("row sample indices not ascending"));
+            }
+            if samples.map(|s| k >= s).unwrap_or(false) {
+                return Err(self.bad("row sample index out of range"));
+            }
+            prev = Some(k);
+            points.push((k, self.f64()?));
+        }
+        if points.is_empty() {
+            return Err(self.bad("empty probability row"));
+        }
+        Ok(ProbRow { oid, points })
+    }
+
+    fn prob_rows(&mut self) -> Result<ProbRowSet, WireError> {
+        let query = Oid(self.u64()?);
+        let window = self.interval()?;
+        let perspective = match self.u8()? {
+            0 => RowPerspective::Forward,
+            1 => RowPerspective::Reverse,
+            t => return Err(self.bad(&format!("unknown row perspective {t}"))),
+        };
+        let samples = self.u32()?;
+        if samples == 0 {
+            return Err(self.bad("row set with zero samples"));
+        }
+        let n = self.count(16)?;
+        let mut rows = Vec::with_capacity(n);
+        let mut prev: Option<Oid> = None;
+        for _ in 0..n {
+            let row = self.prob_row(Some(samples))?;
+            if prev.map(|p| row.oid <= p).unwrap_or(false) {
+                return Err(self.bad("row owners not ascending"));
+            }
+            prev = Some(row.oid);
+            rows.push(row);
+        }
+        Ok(ProbRowSet::new(query, window, perspective, samples, rows))
+    }
+
+    fn row_delta(&mut self) -> Result<ProbRowDelta, WireError> {
+        let epoch = self.u64()?;
+        let samples = self.u32()?;
+        if samples == 0 {
+            return Err(self.bad("row delta with zero samples"));
+        }
+        let n = self.count(16)?;
+        let mut upserts = Vec::with_capacity(n);
+        let mut prev: Option<Oid> = None;
+        for _ in 0..n {
+            // Ascending owners are a hard requirement: the client-side
+            // fold algebra binary-searches the upsert list, so a
+            // mis-ordered frame would silently corrupt the folded
+            // answer instead of failing loudly; sample indices are
+            // checked ascending and in-range against the delta's own
+            // probe count.
+            let row = self.prob_row(Some(samples))?;
+            if prev.map(|p| row.oid <= p).unwrap_or(false) {
+                return Err(self.bad("delta upsert owners not ascending"));
+            }
+            prev = Some(row.oid);
+            upserts.push(row);
+        }
+        let n = self.count(8)?;
+        let mut removed = Vec::with_capacity(n);
+        let mut prev: Option<Oid> = None;
+        for _ in 0..n {
+            let oid = Oid(self.u64()?);
+            if prev.map(|p| oid <= p).unwrap_or(false) {
+                return Err(self.bad("delta removals not ascending"));
+            }
+            prev = Some(oid);
+            removed.push(oid);
+        }
+        Ok(ProbRowDelta {
+            epoch,
+            samples,
+            upserts,
+            removed,
+        })
+    }
+
     fn info(&mut self) -> Result<SubscriptionInfo, WireError> {
         let name = self.str()?;
         let statement = self.str()?;
@@ -558,6 +731,8 @@ impl<'a> Cursor<'a> {
             envelopes_carried: self.u64()?,
             functions_reused: self.u64()?,
             functions_built: self.u64()?,
+            rows_patched: self.u64()?,
+            perspectives_skipped: self.u64()?,
         };
         Ok(SubscriptionInfo {
             name,
@@ -660,6 +835,10 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                         answer: c.answer_set()?,
                     },
                     6 => WireOutput::Done,
+                    7 => WireOutput::RowAnswer {
+                        epoch: c.u64()?,
+                        rows: c.prob_rows()?,
+                    },
                     t => return Err(c.bad(&format!("unknown output tag {t}"))),
                 }),
                 t => return Err(c.bad(&format!("invalid result flag {t}"))),
@@ -672,6 +851,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             delta: c.delta()?,
         },
         6 => Frame::Bye,
+        7 => Frame::RowEvent {
+            subscription: c.str()?,
+            lagged: c.u8()? != 0,
+            delta: c.row_delta()?,
+        },
         t => return Err(c.bad(&format!("unknown frame tag {t}"))),
     };
     c.finish()?;
@@ -840,6 +1024,85 @@ mod tests {
     #[test]
     fn version_constants_are_sane() {
         assert_eq!(&WIRE_MAGIC.to_be_bytes(), b"UNN1");
-        assert_eq!(WIRE_VERSION, 1, "bump deliberately with the frame bodies");
+        assert_eq!(WIRE_VERSION, 2, "bump deliberately with the frame bodies");
+    }
+
+    fn sample_rows() -> ProbRowSet {
+        ProbRowSet::new(
+            Oid(0),
+            TimeInterval::new(0.0, 60.0),
+            RowPerspective::Reverse,
+            128,
+            vec![
+                ProbRow {
+                    oid: Oid(3),
+                    points: vec![(0, 0.25), (7, 0.75)],
+                },
+                ProbRow {
+                    oid: Oid(9),
+                    points: vec![(127, 1.0)],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn row_frames_round_trip() {
+        round_trip(Frame::Response {
+            id: 11,
+            result: Ok(WireOutput::RowAnswer {
+                epoch: 17,
+                rows: sample_rows(),
+            }),
+        });
+        round_trip(Frame::RowEvent {
+            subscription: "hot0".to_string(),
+            delta: ProbRowDelta {
+                epoch: 42,
+                samples: 128,
+                upserts: vec![ProbRow {
+                    oid: Oid(7),
+                    points: vec![(1, 0.5), (2, 0.625)],
+                }],
+                removed: vec![Oid(1), Oid(9)],
+            },
+            lagged: true,
+        });
+    }
+
+    #[test]
+    fn malformed_row_payloads_are_rejected() {
+        // Truncation at every prefix length of a row frame.
+        let full = encode_payload(&Frame::Response {
+            id: 1,
+            result: Ok(WireOutput::RowAnswer {
+                epoch: 2,
+                rows: sample_rows(),
+            }),
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_payload(&full[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // A sample index at/above the declared sample count is refused:
+        // a raw payload claiming samples = 4 with a point at index 9.
+        let mut buf = vec![4u8]; // Response tag
+        buf.extend_from_slice(&1u64.to_le_bytes()); // id
+        buf.push(1); // Ok
+        buf.push(7); // RowAnswer
+        buf.extend_from_slice(&2u64.to_le_bytes()); // epoch
+        buf.extend_from_slice(&0u64.to_le_bytes()); // query oid
+        buf.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+        buf.extend_from_slice(&60.0f64.to_bits().to_le_bytes());
+        buf.push(0); // Forward
+        buf.extend_from_slice(&4u32.to_le_bytes()); // samples
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one row
+        buf.extend_from_slice(&7u64.to_le_bytes()); // row oid
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one point
+        buf.extend_from_slice(&9u32.to_le_bytes()); // index 9 >= samples 4
+        buf.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        assert!(matches!(decode_payload(&buf), Err(WireError::Format(_))));
     }
 }

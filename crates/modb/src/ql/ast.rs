@@ -1,5 +1,6 @@
 //! Abstract syntax of the MOD query language.
 
+use super::parser::SourceSpan;
 use std::fmt;
 
 /// The SELECT target: one named trajectory (Categories 1/2) or all
@@ -47,6 +48,24 @@ pub enum PredicateKind {
     Rnn,
 }
 
+/// Source positions of the tokens later stages may need to point at
+/// (e.g. a `REGISTER CONTINUOUS` refusal rendering a caret at the
+/// unsupported clause). Byte offsets into the parsed statement; all
+/// zero for queries built programmatically.
+///
+/// Spans are carried alongside the semantic fields but excluded from
+/// [`Query`] equality — two queries with the same meaning compare equal
+/// regardless of where (or whether) they were parsed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuerySpans {
+    /// The predicate keyword (`PROB_NN` / `PROB_RNN`).
+    pub predicate: SourceSpan,
+    /// The `RANK` keyword, when a rank bound was given.
+    pub rank: SourceSpan,
+    /// The threshold literal of the `> p` comparison.
+    pub threshold: SourceSpan,
+}
+
 /// A parsed query:
 ///
 /// ```sql
@@ -56,7 +75,7 @@ pub enum PredicateKind {
 /// -- or, for reverse NN:
 ///   AND PROB_RNN(<target>, <query>, TIME) > 0
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Query {
     /// What to retrieve.
     pub target: Target,
@@ -74,6 +93,21 @@ pub struct Query {
     /// `0.0` is the paper's §4 semantics (non-zero probability); positive
     /// values give the §7 *threshold* queries.
     pub prob_threshold: f64,
+    /// Token positions for caret rendering (not part of equality).
+    pub spans: QuerySpans,
+}
+
+impl PartialEq for Query {
+    fn eq(&self, other: &Self) -> bool {
+        // Spans deliberately excluded: equality is semantic.
+        self.target == other.target
+            && self.quantifier == other.quantifier
+            && self.window == other.window
+            && self.query_object == other.query_object
+            && self.predicate == other.predicate
+            && self.rank == other.rank
+            && self.prob_threshold == other.prob_threshold
+    }
 }
 
 /// A top-level statement of the query language: a one-shot query or one
@@ -152,6 +186,7 @@ mod tests {
             predicate: PredicateKind::Nn,
             rank: Some(2),
             prob_threshold: 0.0,
+            spans: QuerySpans::default(),
         };
         let s = q.to_string();
         assert!(s.contains("SELECT Tr3"));
@@ -171,6 +206,7 @@ mod tests {
             predicate: PredicateKind::Nn,
             rank: None,
             prob_threshold: 0.0,
+            spans: QuerySpans::default(),
         };
         assert!(q.to_string().contains("SELECT *"));
     }
@@ -185,6 +221,7 @@ mod tests {
             predicate: PredicateKind::Rnn,
             rank: None,
             prob_threshold: 0.0,
+            spans: QuerySpans::default(),
         };
         let s = q.to_string();
         assert!(s.contains("PROB_RNN"), "{s}");

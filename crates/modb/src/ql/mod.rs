@@ -10,7 +10,7 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Quantifier, Query, Statement, Target};
+pub use ast::{Quantifier, Query, QuerySpans, Statement, Target};
 pub use parser::{parse, parse_statement, ParseError, SourceSpan};
 
 /// Resolves an object name of the query language (`Tr5`, `tr5`, `TR5`,

@@ -31,7 +31,7 @@
 //! so the CLI and server can point at the offending token
 //! ([`ParseError::render`] draws the caret).
 
-use super::ast::{PredicateKind, Quantifier, Query, Statement, Target};
+use super::ast::{PredicateKind, Quantifier, Query, QuerySpans, Statement, Target};
 use super::lexer::{tokenize, LexError, Token, TokenKind};
 use std::fmt;
 
@@ -56,6 +56,24 @@ impl SourceSpan {
             line: 0,
             col: 0,
         }
+    }
+
+    /// The two-line caret rendering shared by every error that points
+    /// at a statement token: the offending source line, then a `^`
+    /// under the column. The span is located against `src` first, so
+    /// offset-only spans render correctly.
+    pub fn render_caret(&self, src: &str) -> String {
+        let located = if self.line == 0 {
+            SourceSpan::locate(src, self.offset)
+        } else {
+            *self
+        };
+        let line_src = src
+            .lines()
+            .nth(located.line.saturating_sub(1) as usize)
+            .unwrap_or("");
+        let caret_pad = " ".repeat(located.col.saturating_sub(1) as usize);
+        format!("  {line_src}\n  {caret_pad}^")
     }
 
     /// Locates `offset` within `src`, filling line and column.
@@ -110,17 +128,7 @@ impl ParseError {
     ///          ^
     /// ```
     pub fn render(&self, src: &str) -> String {
-        let located = if self.span.line == 0 {
-            SourceSpan::locate(src, self.span.offset)
-        } else {
-            self.span
-        };
-        let line_src = src
-            .lines()
-            .nth(located.line.saturating_sub(1) as usize)
-            .unwrap_or("");
-        let caret_pad = " ".repeat(located.col.saturating_sub(1) as usize);
-        format!("{self}\n  {line_src}\n  {caret_pad}^")
+        format!("{self}\n{}", self.span.render_caret(src))
     }
 }
 
@@ -265,8 +273,22 @@ impl Parser {
     }
 
     #[allow(clippy::type_complexity)]
-    fn prob(&mut self) -> Result<(PredicateKind, Target, String, Option<usize>, f64), ParseError> {
+    fn prob(
+        &mut self,
+    ) -> Result<
+        (
+            PredicateKind,
+            Target,
+            String,
+            Option<usize>,
+            f64,
+            QuerySpans,
+        ),
+        ParseError,
+    > {
+        let mut spans = QuerySpans::default();
         let head = self.advance();
+        spans.predicate = SourceSpan::at(head.pos);
         let predicate = match head.kind {
             TokenKind::ProbNn => PredicateKind::Nn,
             TokenKind::ProbRnn => PredicateKind::Rnn,
@@ -296,6 +318,7 @@ impl Parser {
         if self.peek().kind == TokenKind::Comma {
             self.advance();
             let rank_tok = self.expect(&TokenKind::Rank)?;
+            spans.rank = SourceSpan::at(rank_tok.pos);
             if predicate == PredicateKind::Rnn {
                 return Err(ParseError::at(
                     "PROB_RNN does not support RANK bounds".to_string(),
@@ -316,6 +339,7 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         self.expect(&TokenKind::Greater)?;
         let cmp = self.advance();
+        spans.threshold = SourceSpan::at(cmp.pos);
         let prob_threshold = match cmp.kind {
             TokenKind::Number(n) if (0.0..1.0).contains(&n) => n,
             other => {
@@ -325,7 +349,7 @@ impl Parser {
                 ))
             }
         };
-        Ok((predicate, target, query_object, rank, prob_threshold))
+        Ok((predicate, target, query_object, rank, prob_threshold, spans))
     }
 }
 
@@ -340,7 +364,7 @@ impl Parser {
         self.expect(&TokenKind::Where)?;
         let (quantifier, window) = self.quantifier()?;
         self.expect(&TokenKind::And)?;
-        let (predicate, prob_target, query_object, rank, prob_threshold) = self.prob()?;
+        let (predicate, prob_target, query_object, rank, prob_threshold, spans) = self.prob()?;
         let next = self.peek().clone();
         // Semantic check: the SELECT target and the predicate subject
         // must agree.
@@ -366,6 +390,7 @@ impl Parser {
             predicate,
             rank,
             prob_threshold,
+            spans,
         })
     }
 

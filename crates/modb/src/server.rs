@@ -389,13 +389,11 @@ impl ModServer {
                 .register_with_sink(&self.store, &name, query, self.planner.policy(), sink)
                 .map(QueryOutput::Registered)
                 .map_err(ServerError::from),
-            Statement::Unregister { name } => {
-                if self.subscriptions.unregister(&name) {
-                    Ok(QueryOutput::Unregistered(name))
-                } else {
-                    Err(SubscriptionError::Unknown(name).into())
-                }
-            }
+            Statement::Unregister { name } => self
+                .subscriptions
+                .unregister_checked(&name)
+                .map(|()| QueryOutput::Unregistered(name))
+                .map_err(ServerError::from),
             Statement::ShowSubscriptions => {
                 Ok(QueryOutput::Subscriptions(self.subscriptions.list()))
             }
@@ -430,13 +428,12 @@ impl ModServer {
             .map_err(ServerError::from)
     }
 
-    /// Drops the named standing query.
+    /// Drops the named standing query; an unknown name reports the
+    /// nearest registered one as a typo hint.
     pub fn unsubscribe(&self, name: &str) -> Result<(), ServerError> {
-        if self.subscriptions.unregister(name) {
-            Ok(())
-        } else {
-            Err(SubscriptionError::Unknown(name.to_string()).into())
-        }
+        self.subscriptions
+            .unregister_checked(name)
+            .map_err(ServerError::from)
     }
 
     /// Every registered standing query's state, ascending by name.
@@ -445,24 +442,25 @@ impl ModServer {
     }
 
     /// Drains the named subscription's change feed: the undrained
-    /// [`unn_core::answer::AnswerDelta`]s in epoch order.
+    /// [`crate::subscription::SubDelta`]s in epoch order.
     pub fn poll_subscription(
         &self,
         name: &str,
-    ) -> Result<Vec<unn_core::answer::AnswerDelta>, ServerError> {
+    ) -> Result<Vec<crate::subscription::SubDelta>, ServerError> {
         self.subscriptions
             .drain(name)
-            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+            .ok_or_else(|| self.unknown_subscription(name))
     }
 
-    /// The named subscription's current maintained answer.
+    /// The named subscription's current maintained answer (intervals or
+    /// probability rows, by statement shape).
     pub fn subscription_answer(
         &self,
         name: &str,
-    ) -> Result<unn_core::answer::AnswerSet, ServerError> {
+    ) -> Result<crate::subscription::SubAnswer, ServerError> {
         self.subscriptions
             .answer(name)
-            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+            .ok_or_else(|| self.unknown_subscription(name))
     }
 
     /// The named subscription's current maintained answer together with
@@ -471,10 +469,10 @@ impl ModServer {
     pub fn subscription_answer_with_epoch(
         &self,
         name: &str,
-    ) -> Result<(unn_core::answer::AnswerSet, u64), ServerError> {
+    ) -> Result<(crate::subscription::SubAnswer, u64), ServerError> {
         self.subscriptions
             .answer_with_epoch(name)
-            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+            .ok_or_else(|| self.unknown_subscription(name))
     }
 
     /// The named subscription's answer rendered through its query's
@@ -482,12 +480,25 @@ impl ModServer {
     pub fn subscription_output(&self, name: &str) -> Result<QueryOutput, ServerError> {
         self.subscriptions
             .output(name)
-            .ok_or_else(|| SubscriptionError::Unknown(name.to_string()).into())
+            .ok_or_else(|| self.unknown_subscription(name))
+    }
+
+    /// An unknown-subscription error carrying the nearest registered
+    /// name as a hint.
+    fn unknown_subscription(&self, name: &str) -> ServerError {
+        SubscriptionError::Unknown {
+            name: name.to_string(),
+            nearest: self.subscriptions.nearest_name(name),
+        }
+        .into()
     }
 
     /// Number of probability probes used when evaluating a threshold
     /// comparison (`PROB_NN(...) > p` with `p > 0`, the §7 extension).
-    pub const THRESHOLD_SAMPLES: usize = 128;
+    /// Aliases the standing-query sampling density
+    /// ([`crate::subscription::PROB_ROW_SAMPLES`]), so one-shot sweeps
+    /// and maintained probability rows probe identical instants.
+    pub const THRESHOLD_SAMPLES: usize = crate::subscription::PROB_ROW_SAMPLES as usize;
 
     /// Executes an already-parsed query.
     pub fn execute_parsed(&self, query: &Query) -> Result<QueryOutput, ServerError> {

@@ -9,27 +9,53 @@
 //! ([`crate::store::ModStore::attach_subscriptions`]) closes that gap:
 //! after every commit, the epoch's delta is routed to the affected
 //! subscriptions only, in the DBSP spirit of re-deriving just the changed
-//! part of each answer from the input delta. Per subscription, per delta,
-//! one of three paths runs (cheapest first):
+//! part of each answer from the input delta.
+//!
+//! ## Two maintained representations, one ladder
+//!
+//! A standing query maintains one of two diffable answers, chosen by its
+//! statement shape:
+//!
+//! * **Qualification intervals** ([`unn_core::answer::AnswerSet`]) for
+//!   forward `PROB_NN(…) > 0` statements (any quantifier, optional
+//!   `RANK`) — the banded non-zero-probability semantics.
+//! * **Probability rows** ([`unn_core::probrows::ProbRowSet`]) for
+//!   threshold (`PROB_NN(…) > p`, `p > 0`) and reverse (`PROB_RNN`)
+//!   statements — sampled `P^NN(t)` rows with per-sample provenance,
+//!   whose deltas ([`unn_core::probrows::ProbRowDelta`]) stream exactly
+//!   like interval deltas.
+//!
+//! Per subscription, per delta, one of three paths runs (cheapest
+//! first):
 //!
 //! 1. **Skip** — the carried engine's band-bound proof
 //!    ([`crate::delta::ForwardProof`]) shows no logged op can touch the
 //!    answer: only the epoch watermark advances. The proof bounds
-//!    (candidate set, envelope maximum, query corridor box) are derived
-//!    **once per carried engine** and cached, so a burst of `M` far
-//!    commits costs one proof-bound derivation plus `M` box checks — not
-//!    `M` envelope scans.
+//!    (candidate set, band survivors, envelope maximum, query corridor
+//!    box) are derived **once per carried engine** and cached, so a
+//!    burst of `M` far commits costs one proof-bound derivation plus `M`
+//!    box checks — not `M` envelope scans. Row subscriptions use the
+//!    sharper [`crate::delta::ForwardProof::ops_unaffected_rows`]
+//!    obligation (a removal of a candidate that never survived band
+//!    pruning cannot have joined any probe column).
 //! 2. **Patch** — the prefilter re-runs against the patched snapshot and
 //!    the engine is rebuilt *reusing every unchanged candidate's
-//!    difference function* from the carried engine; only candidates the
-//!    delta touched (or newly prefiltered in) pay difference
-//!    construction. The fresh [`AnswerSet`] is diffed against the old one
-//!    and the [`AnswerDelta`] lands in the subscription's change feed.
+//!    difference function* from the carried engine. For interval answers
+//!    the carried envelope recomputes only touched candidates'
+//!    intervals; for probability rows only the *dirty probe columns* —
+//!    those whose provenance includes a touched function, or that a
+//!    fresh function's band now reaches — are jointly re-evaluated, and
+//!    every clean column's `P` values are copied bit-for-bit
+//!    ([`unn_core::query::QueryEngine::prob_row_set_reusing`]). Reverse
+//!    subscriptions patch **per perspective**: each perspective object
+//!    keeps its own carried lower envelope and [`ForwardProof`], so a
+//!    far commit re-derives one new perspective and carries all
+//!    untouched ones (`perspectives_skipped` counts the carries).
 //! 3. **Rebuild** — the delta log was truncated past the subscription's
 //!    last epoch (or the query object itself changed): patching against
 //!    incomplete history would silently miss mutations, so the full
-//!    plan → difference → envelope pipeline runs from scratch (see the
-//!    truncation contract in [`crate::delta::DeltaLog`]).
+//!    plan → difference → envelope (→ sampling) pipeline runs from
+//!    scratch (see the truncation contract in [`crate::delta::DeltaLog`]).
 //!
 //! ## Sharded maintenance
 //!
@@ -57,24 +83,24 @@
 //! [`crate::net`]). Both are bounded by the store's
 //! [`crate::store::ModStore::set_feed_bound`] / the sink's own capacity
 //! under the same squash-oldest contract: overflowing deltas are
-//! composed via [`AnswerDelta::then`] (never dropped), so folding a feed
+//! composed via [`SubDelta::then`] (never dropped), so folding a feed
 //! over the subscriber's base answer stays bit-identical to the
 //! maintained answer; squashed sink events are flagged `lagged` so a
-//! push consumer knows to resync from a full [`AnswerSet`].
+//! push consumer knows to resync from a full answer.
 //!
 //! Every path yields answers **bit-identical** to a fresh exhaustive
 //! evaluation of the current contents — the patch path replans with the
-//! same deterministic prefilter a cold query would use and reuses only
-//! difference functions whose inputs are untouched; `tests/
-//! continuous_queries.rs` asserts the equivalence property-style across
-//! random mutation interleavings and all prefilter backends, and that
-//! folding the emitted deltas over the initial answer reproduces the
-//! final one.
+//! same deterministic prefilter a cold query would use, reuses only
+//! difference functions whose inputs are untouched, and recomputes
+//! probe columns with the canonical joint evaluation a cold sweep runs;
+//! `tests/continuous_queries.rs` asserts the equivalence property-style
+//! across random mutation interleavings and all prefilter backends, for
+//! interval and row subscriptions alike.
 
 use crate::delta::{DeltaOp, DeltaRecord, ForwardProof};
 use crate::plan::{PrefilterPolicy, QueryPlan, QueryPlanner};
 use crate::ql::ast::{PredicateKind, Quantifier, Query, Target};
-use crate::ql::parse_object_name;
+use crate::ql::{parse_object_name, SourceSpan};
 use crate::server::QueryOutput;
 use crate::snapshot::QuerySnapshot;
 use crate::store::ModStore;
@@ -85,14 +111,29 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use unn_core::answer::{AnswerDelta, AnswerSet};
 use unn_core::candidates::CandidateSet;
+use unn_core::probrows::{ProbRowDelta, ProbRowSet, RowPerspective};
 use unn_core::query::QueryEngine;
+use unn_core::reverse::ReverseNnEngine;
 use unn_geom::interval::TimeInterval;
+use unn_prob::pdf::{PdfKind, RadialPdf};
 use unn_traj::distance::DistanceFunction;
 use unn_traj::trajectory::{Oid, Trajectory};
+use unn_traj::uncertain::{common_pdf_kind, common_radius};
 
 /// Number of name-hashed registry shards (mirrors the store's writer
 /// sharding so maintenance fan-out matches ingest fan-out).
 const REGISTRY_SHARDS: usize = 16;
+
+/// Default number of probe instants a row subscription samples its
+/// window at — shared with the one-shot threshold path
+/// ([`crate::server::ModServer::THRESHOLD_SAMPLES`] aliases it), so a
+/// maintained row set and a fresh one-shot sweep agree bit-for-bit.
+/// Tunable per registry via
+/// [`SubscriptionRegistry::set_row_samples`]: each probe of every
+/// candidate costs a `P^WD` quadrature, so sampling density is the
+/// row-maintenance cost dial (a subscription keeps the density it was
+/// registered with).
+pub const PROB_ROW_SAMPLES: u32 = 128;
 
 /// Errors raised by subscription management.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,12 +141,58 @@ pub enum SubscriptionError {
     /// A subscription with this name already exists.
     NameTaken(String),
     /// No subscription with this name.
-    Unknown(String),
+    Unknown {
+        /// The name that failed to resolve.
+        name: String,
+        /// The registered name closest to it (cheap edit distance), if
+        /// any is close enough to plausibly be a typo.
+        nearest: Option<String>,
+    },
     /// The statement cannot be registered as a standing query.
-    Unsupported(String),
+    Unsupported {
+        /// Why the statement shape is not incrementally maintainable.
+        message: String,
+        /// The offending token in the statement, when known — lets the
+        /// CLI and wire server render a caret
+        /// ([`SubscriptionError::render`]).
+        span: Option<SourceSpan>,
+    },
     /// The initial evaluation failed (unknown query object, not enough
     /// objects, invalid window…).
     Evaluation(String),
+}
+
+impl SubscriptionError {
+    /// An [`SubscriptionError::Unknown`] for `name`, with the nearest
+    /// registered name as a hint.
+    fn unknown(name: &str, registry: &SubscriptionRegistry) -> SubscriptionError {
+        SubscriptionError::Unknown {
+            name: name.to_string(),
+            nearest: registry.nearest_name(name),
+        }
+    }
+
+    /// Renders the error against the statement it was raised for:
+    /// [`SubscriptionError::Unsupported`] errors carrying a span draw a
+    /// caret at the offending token (like
+    /// [`crate::ql::ParseError::render`]); everything else renders as
+    /// its `Display` form.
+    pub fn render(&self, src: &str) -> String {
+        match self {
+            SubscriptionError::Unsupported {
+                span: Some(span), ..
+            } => {
+                let located = SourceSpan::locate(src, span.offset);
+                format!(
+                    "{self} (line {}, column {})\n{}",
+                    located.line,
+                    located.col,
+                    located.render_caret(src)
+                )
+            }
+            other => other.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SubscriptionError {
@@ -114,8 +201,16 @@ impl fmt::Display for SubscriptionError {
             SubscriptionError::NameTaken(n) => {
                 write!(f, "a subscription named '{n}' already exists")
             }
-            SubscriptionError::Unknown(n) => write!(f, "no subscription named '{n}'"),
-            SubscriptionError::Unsupported(m) => write!(f, "cannot register: {m}"),
+            SubscriptionError::Unknown { name, nearest } => {
+                write!(f, "no subscription named '{name}'")?;
+                if let Some(hint) = nearest {
+                    write!(f, " (did you mean '{hint}'?)")?;
+                }
+                Ok(())
+            }
+            SubscriptionError::Unsupported { message, .. } => {
+                write!(f, "cannot register: {message}")
+            }
             SubscriptionError::Evaluation(m) => write!(f, "{m}"),
         }
     }
@@ -162,6 +257,15 @@ pub struct SubscriptionStats {
     pub functions_reused: u64,
     /// Difference functions built fresh across all patches.
     pub functions_built: u64,
+    /// Probability rows recomputed across all row-subscription patches
+    /// (forward: rows touching a dirty probe column; reverse:
+    /// perspectives re-sampled). Rows outside this count were copied
+    /// bit-for-bit from the carried answer.
+    pub rows_patched: u64,
+    /// Reverse perspectives whose engine *and* row were carried
+    /// wholesale under their per-perspective proof — the work a far
+    /// commit skips.
+    pub perspectives_skipped: u64,
 }
 
 /// A snapshot of one subscription's state (the `SHOW SUBSCRIPTIONS` row).
@@ -173,7 +277,8 @@ pub struct SubscriptionInfo {
     pub statement: String,
     /// The store epoch the answer is current at.
     pub last_epoch: u64,
-    /// Number of objects currently qualifying.
+    /// Number of objects currently qualifying (interval subscriptions)
+    /// or holding a probability row (row subscriptions).
     pub entries: usize,
     /// Undrained deltas in the change feed.
     pub pending_deltas: usize,
@@ -183,6 +288,144 @@ pub struct SubscriptionInfo {
     pub error: Option<String>,
     /// Maintenance counters.
     pub stats: SubscriptionStats,
+}
+
+/// A maintained standing-query answer: qualification intervals for
+/// forward `> 0` statements, sampled probability rows for threshold and
+/// reverse ones. The two shapes never diff against each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubAnswer {
+    /// Banded qualification intervals (the [`AnswerSet`] algebra).
+    Intervals(AnswerSet),
+    /// Sampled probability rows (the [`ProbRowSet`] algebra).
+    Rows(ProbRowSet),
+}
+
+impl SubAnswer {
+    /// Number of qualifying objects / row owners.
+    pub fn len(&self) -> usize {
+        match self {
+            SubAnswer::Intervals(a) => a.len(),
+            SubAnswer::Rows(r) => r.len(),
+        }
+    }
+
+    /// `true` when nothing qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The interval answer, when this is one.
+    pub fn as_intervals(&self) -> Option<&AnswerSet> {
+        match self {
+            SubAnswer::Intervals(a) => Some(a),
+            SubAnswer::Rows(_) => None,
+        }
+    }
+
+    /// The row answer, when this is one.
+    pub fn as_rows(&self) -> Option<&ProbRowSet> {
+        match self {
+            SubAnswer::Rows(r) => Some(r),
+            SubAnswer::Intervals(_) => None,
+        }
+    }
+
+    /// The delta transforming `self` into `newer` (same shape), tagged
+    /// with `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the answers have different representations.
+    pub fn diff_to(&self, newer: &SubAnswer, epoch: u64) -> SubDelta {
+        match (self, newer) {
+            (SubAnswer::Intervals(a), SubAnswer::Intervals(b)) => {
+                SubDelta::Intervals(a.diff_to(b, epoch))
+            }
+            (SubAnswer::Rows(a), SubAnswer::Rows(b)) => SubDelta::Rows(a.diff_to(b, epoch)),
+            _ => panic!("diff of mismatched answer representations"),
+        }
+    }
+
+    /// Applies a delta of the matching representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the delta belongs to the other representation.
+    pub fn apply(&self, delta: &SubDelta) -> SubAnswer {
+        match (self, delta) {
+            (SubAnswer::Intervals(a), SubDelta::Intervals(d)) => SubAnswer::Intervals(a.apply(d)),
+            (SubAnswer::Rows(r), SubDelta::Rows(d)) => SubAnswer::Rows(r.apply(d)),
+            _ => panic!("applying a delta of the wrong representation"),
+        }
+    }
+}
+
+/// One maintained answer change: an interval delta or a row delta,
+/// matching the subscription's [`SubAnswer`] representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubDelta {
+    /// An [`AnswerDelta`] of an interval subscription.
+    Intervals(AnswerDelta),
+    /// A [`ProbRowDelta`] of a threshold/reverse subscription.
+    Rows(ProbRowDelta),
+}
+
+impl SubDelta {
+    /// The store epoch the answer advanced to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            SubDelta::Intervals(d) => d.epoch,
+            SubDelta::Rows(d) => d.epoch,
+        }
+    }
+
+    /// `true` when applying the delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SubDelta::Intervals(d) => d.is_empty(),
+            SubDelta::Rows(d) => d.is_empty(),
+        }
+    }
+
+    /// Number of changed objects (upserts + removals).
+    pub fn touched(&self) -> usize {
+        match self {
+            SubDelta::Intervals(d) => d.touched(),
+            SubDelta::Rows(d) => d.touched(),
+        }
+    }
+
+    /// The interval delta, when this is one.
+    pub fn as_intervals(&self) -> Option<&AnswerDelta> {
+        match self {
+            SubDelta::Intervals(d) => Some(d),
+            SubDelta::Rows(_) => None,
+        }
+    }
+
+    /// The row delta, when this is one.
+    pub fn as_rows(&self) -> Option<&ProbRowDelta> {
+        match self {
+            SubDelta::Rows(d) => Some(d),
+            SubDelta::Intervals(_) => None,
+        }
+    }
+
+    /// Composes `self` (applied first) with `next` (applied second).
+    /// Bounded feeds squash their oldest entries with this; one
+    /// subscription's deltas always share a representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched representations.
+    pub fn then(&self, next: &SubDelta) -> SubDelta {
+        match (self, next) {
+            (SubDelta::Intervals(a), SubDelta::Intervals(b)) => SubDelta::Intervals(a.then(b)),
+            (SubDelta::Rows(a), SubDelta::Rows(b)) => SubDelta::Rows(a.then(b)),
+            _ => panic!("composing deltas of mismatched representations"),
+        }
+    }
 }
 
 /// One pushed change-feed entry: the subscription it belongs to, the
@@ -195,7 +438,7 @@ pub struct FeedEvent {
     /// The subscription name.
     pub subscription: String,
     /// The (possibly squashed) answer delta.
-    pub delta: AnswerDelta,
+    pub delta: SubDelta,
     /// `true` when this delta is the composition of entries an
     /// overflowing outbox squashed together.
     pub lagged: bool,
@@ -209,7 +452,7 @@ pub struct FeedEvent {
 ///
 /// Overflow follows the squash-oldest contract documented at
 /// [`crate::store::ModStore::set_feed_bound`]: the oldest two events of
-/// the same subscription are composed via [`AnswerDelta::then`] and the
+/// the same subscription are composed via [`SubDelta::then`] and the
 /// survivor is flagged `lagged`. Events are never dropped, so folding a
 /// sink's stream remains bit-exact; if every queued event belongs to a
 /// distinct subscription, the queue grows past the bound instead (a
@@ -241,7 +484,7 @@ impl DeltaSink {
 
     /// Enqueues one event, squashing the oldest same-subscription pair
     /// on overflow. No-op after [`DeltaSink::close`].
-    fn push(&self, subscription: &str, delta: &AnswerDelta) {
+    fn push(&self, subscription: &str, delta: &SubDelta) {
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return;
@@ -319,6 +562,23 @@ impl DeltaSink {
     }
 }
 
+/// Which maintenance ladder a subscription runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubKind {
+    /// Forward `PROB_NN(…) > 0`: banded qualification intervals
+    /// (optionally rank-bounded).
+    Intervals {
+        /// The `RANK k` bound, when given.
+        rank: Option<usize>,
+    },
+    /// Forward `PROB_NN(…) > p` with `p > 0`: sampled probability rows
+    /// over the forward engine.
+    ForwardRows,
+    /// `PROB_RNN(…) > p`: sampled probability rows, one per perspective
+    /// object, with per-perspective envelope carry.
+    ReverseRows,
+}
+
 /// One registered standing query.
 #[derive(Debug)]
 struct SubState {
@@ -326,13 +586,19 @@ struct SubState {
     query: Query,
     oid: Oid,
     window: TimeInterval,
-    rank: Option<usize>,
+    kind: SubKind,
     policy: PrefilterPolicy,
+    /// Probe count of this subscription's rows (fixed at registration;
+    /// part of the row-set shape).
+    samples: u32,
     last_epoch: u64,
-    /// The engine the current answer was computed with — the carried
-    /// preprocessing the skip/patch paths reuse. `None` while parked on
-    /// an evaluation error.
+    /// The forward engine the current answer was computed with — the
+    /// carried preprocessing the skip/patch paths reuse. `None` while
+    /// parked on an evaluation error (and always for reverse kinds).
     engine: Option<Arc<QueryEngine>>,
+    /// The reverse engine (perspective envelopes) of a
+    /// [`SubKind::ReverseRows`] subscription.
+    rev: Option<Arc<ReverseNnEngine>>,
     /// The query trajectory's content as of `last_epoch` (any op touching
     /// it forces a rebuild, so between rebuilds this equals the live
     /// content). Cached so the skip path needs no snapshot at all.
@@ -341,8 +607,19 @@ struct SubState {
     /// of far commits pays one derivation, invalidated whenever the
     /// engine is replaced.
     proof: Option<ForwardProof>,
-    answer: AnswerSet,
-    feed: Vec<AnswerDelta>,
+    /// Per-perspective proof bounds of a reverse subscription, keyed by
+    /// perspective object; an entry is dropped whenever its perspective
+    /// engine is replaced (and lazily re-derived from the then-current
+    /// snapshot, sound because only provably untouched perspectives are
+    /// ever proven against).
+    rev_proofs: HashMap<Oid, ForwardProof>,
+    /// The convolved difference pdf of the MOD's shared location model,
+    /// cached by kind (row subscriptions only; rebuilt when the MOD's
+    /// registered pdf kind changes, which forces every column dirty
+    /// anyway since it requires replacing the objects).
+    pdf: Option<(PdfKind, Arc<dyn RadialPdf>)>,
+    answer: SubAnswer,
+    feed: Vec<SubDelta>,
     /// Push outboxes attached to this subscription (e.g. network
     /// connections); pruned when the consumer drops its `Arc`.
     sinks: Vec<Weak<DeltaSink>>,
@@ -363,9 +640,14 @@ impl SubState {
         }
     }
 
+    /// The empty answer of this subscription's representation.
+    fn empty_answer(&self) -> SubAnswer {
+        empty_answer_of(self.kind, self.oid, self.window, self.samples)
+    }
+
     /// Appends a delta to the pull feed (squashing the oldest pair past
     /// `capacity`) and forwards it to every live push sink.
-    fn push_feed(&mut self, delta: AnswerDelta, capacity: usize) {
+    fn push_feed(&mut self, delta: SubDelta, capacity: usize) {
         let name = &self.name;
         self.sinks.retain(|w| match w.upgrade() {
             Some(sink) => {
@@ -383,23 +665,15 @@ impl SubState {
         }
     }
 
-    /// Installs a freshly evaluated answer, emitting its delta.
-    fn commit_answer(
-        &mut self,
-        engine: Arc<QueryEngine>,
-        query_tr: Trajectory,
-        answer: AnswerSet,
-        epoch: u64,
-        feed_capacity: usize,
-    ) {
+    /// Installs a freshly evaluated answer, emitting its delta. The
+    /// carried preprocessing (`engine` / `rev` / `query_tr` / proofs) is
+    /// assigned by the caller beforehand.
+    fn commit_answer(&mut self, answer: SubAnswer, epoch: u64, feed_capacity: usize) {
         let delta = self.answer.diff_to(&answer, epoch);
         if !delta.is_empty() {
             self.push_feed(delta, feed_capacity);
         }
         self.answer = answer;
-        self.engine = Some(engine);
-        self.query_tr = Some(query_tr);
-        self.proof = None;
         self.error = None;
         self.last_epoch = epoch;
     }
@@ -407,17 +681,35 @@ impl SubState {
     /// Parks the subscription on an evaluation error: the answer empties
     /// (emitting the removals) until a later epoch evaluates again.
     fn park(&mut self, epoch: u64, message: String, feed_capacity: usize) {
-        let empty = AnswerSet::empty(self.oid, self.window, self.rank);
+        let empty = self.empty_answer();
         let delta = self.answer.diff_to(&empty, epoch);
         if !delta.is_empty() {
             self.push_feed(delta, feed_capacity);
         }
         self.answer = empty;
         self.engine = None;
+        self.rev = None;
         self.query_tr = None;
         self.proof = None;
+        self.rev_proofs.clear();
         self.error = Some(message);
         self.last_epoch = epoch;
+    }
+
+    /// The convolved difference pdf of the MOD's shared location model,
+    /// reusing the cached one while the registered kind is unchanged.
+    fn ensure_pdf(&mut self, snapshot: &QuerySnapshot) -> Result<Arc<dyn RadialPdf>, String> {
+        let kind = common_pdf_kind(snapshot)
+            .map_err(|_| "trajectories have differing location pdfs".to_string())?
+            .ok_or_else(|| "the MOD needs at least two trajectories".to_string())?;
+        if let Some((cached_kind, pdf)) = &self.pdf {
+            if *cached_kind == kind {
+                return Ok(Arc::clone(pdf));
+            }
+        }
+        let pdf: Arc<dyn RadialPdf> = Arc::from(kind.convolve_with(&kind));
+        self.pdf = Some((kind, Arc::clone(&pdf)));
+        Ok(pdf)
     }
 }
 
@@ -434,6 +726,7 @@ type SharedOps = BTreeMap<u64, Option<Arc<(Vec<DeltaRecord>, BTreeSet<Oid>)>>>;
 pub struct SubscriptionRegistry {
     shards: Vec<Mutex<BTreeMap<String, SubState>>>,
     sequential: AtomicBool,
+    row_samples: std::sync::atomic::AtomicU32,
 }
 
 impl Default for SubscriptionRegistry {
@@ -441,6 +734,7 @@ impl Default for SubscriptionRegistry {
         SubscriptionRegistry {
             shards: (0..REGISTRY_SHARDS).map(|_| Mutex::default()).collect(),
             sequential: AtomicBool::new(false),
+            row_samples: std::sync::atomic::AtomicU32::new(PROB_ROW_SAMPLES),
         }
     }
 }
@@ -488,11 +782,51 @@ impl SubscriptionRegistry {
             .store(mode == SyncMode::Sequential, Ordering::Relaxed);
     }
 
+    /// The probe count newly registered row subscriptions sample their
+    /// window at.
+    pub fn row_samples(&self) -> u32 {
+        self.row_samples.load(Ordering::Relaxed)
+    }
+
+    /// Sets the probe count for **future** row registrations (minimum
+    /// 1; default [`PROB_ROW_SAMPLES`]). Existing subscriptions keep
+    /// the density they were registered with — the sample count is part
+    /// of their row-set shape. Denser sampling sharpens the threshold
+    /// fractions; sparser sampling cuts the per-patch `P^WD` quadrature
+    /// cost proportionally.
+    pub fn set_row_samples(&self, samples: u32) {
+        self.row_samples.store(samples.max(1), Ordering::Relaxed);
+    }
+
+    /// The registered name closest to `name` by Levenshtein distance,
+    /// when one is near enough (distance ≤ max(2, |name| / 3)) to
+    /// plausibly be a typo — the `UNREGISTER` / `sub drop` hint.
+    pub fn nearest_name(&self, name: &str) -> Option<String> {
+        let budget = (name.chars().count() / 3).max(2);
+        let mut best: Option<(usize, String)> = None;
+        for shard in &self.shards {
+            for candidate in shard.lock().unwrap().keys() {
+                if candidate == name {
+                    continue;
+                }
+                let d = levenshtein(name, candidate);
+                if d <= budget && best.as_ref().map(|(bd, _)| d < *bd).unwrap_or(true) {
+                    best = Some((d, candidate.clone()));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
     /// Registers `query` as a standing query named `name`, evaluating it
-    /// once against the store's current snapshot. Only forward
-    /// non-threshold queries (`PROB_NN(…) > 0`, any category, optional
-    /// RANK) are maintainable: their answers reduce to the banded
-    /// qualification intervals of the [`AnswerSet`] algebra.
+    /// once against the store's current snapshot.
+    ///
+    /// Three statement shapes are maintainable: forward `PROB_NN(…) > 0`
+    /// (any category, optional `RANK`) through the interval ladder, and
+    /// threshold `PROB_NN(…) > p` / reverse `PROB_RNN(…)` statements
+    /// through the probability-row ladder. The one remaining refusal —
+    /// a `RANK` bound combined with a positive threshold — carries the
+    /// offending token's span so callers can render a caret.
     pub fn register(
         &self,
         store: &ModStore,
@@ -518,19 +852,21 @@ impl SubscriptionRegistry {
         policy: PrefilterPolicy,
         sink: Option<&Arc<DeltaSink>>,
     ) -> Result<SubscriptionInfo, SubscriptionError> {
-        if query.predicate != PredicateKind::Nn {
-            return Err(SubscriptionError::Unsupported(
-                "PROB_RNN standing queries are not supported (register the forward query instead)"
-                    .to_string(),
-            ));
-        }
-        if query.prob_threshold > 0.0 {
-            return Err(SubscriptionError::Unsupported(format!(
-                "threshold standing queries (> {}) are not supported; only the \
-                 non-zero-probability semantics (> 0) is incrementally maintainable",
-                query.prob_threshold
-            )));
-        }
+        let kind = match (query.predicate, query.prob_threshold > 0.0, query.rank) {
+            (PredicateKind::Nn, true, Some(_)) => {
+                return Err(SubscriptionError::Unsupported {
+                    message: "RANK-bounded threshold standing queries are not supported \
+                              (drop the RANK bound or the positive threshold; incremental \
+                              rank maintenance is an open ROADMAP item)"
+                        .to_string(),
+                    span: Some(query.spans.rank),
+                })
+            }
+            (PredicateKind::Nn, false, rank) => SubKind::Intervals { rank },
+            (PredicateKind::Nn, true, None) => SubKind::ForwardRows,
+            // The parser rejects RANK on PROB_RNN, so `rank` is None.
+            (PredicateKind::Rnn, _, _) => SubKind::ReverseRows,
+        };
         let oid = parse_object_name(&query.query_object).ok_or_else(|| {
             SubscriptionError::Evaluation(format!(
                 "cannot resolve query object '{}'",
@@ -543,31 +879,61 @@ impl SubscriptionRegistry {
                 query.window.0, query.window.1
             ))
         })?;
-        let mut map = self.shard_of(name).lock().unwrap();
-        if map.contains_key(name) {
+        // Racy duplicate pre-check (re-checked under the lock below):
+        // fail fast before paying the evaluation.
+        if self.shard_of(name).lock().unwrap().contains_key(name) {
             return Err(SubscriptionError::NameTaken(name.to_string()));
         }
         let snapshot = store.snapshot();
-        let rank = query.rank;
-        let (engine, query_tr, answer) = evaluate(&snapshot, oid, window, rank, policy)
-            .map_err(SubscriptionError::Evaluation)?;
-        let sub = SubState {
+        let samples = self.row_samples();
+        let mut sub = SubState {
             name: name.to_string(),
             query,
             oid,
             window,
-            rank,
+            kind,
             policy,
+            samples,
             last_epoch: snapshot.epoch(),
-            engine: Some(engine),
-            query_tr: Some(query_tr),
+            engine: None,
+            rev: None,
+            query_tr: None,
             proof: None,
-            answer,
+            rev_proofs: HashMap::new(),
+            pdf: None,
+            answer: empty_answer_of(kind, oid, window, samples),
             feed: Vec::new(),
-            sinks: sink.into_iter().map(Arc::downgrade).collect(),
+            sinks: Vec::new(),
             error: None,
             stats: SubscriptionStats::default(),
         };
+        // Evaluate WITHOUT the shard lock: a reverse registration's
+        // O(N² · samples) build must not stall the shard's maintenance
+        // (every commit's sync serializes on the shard mutexes).
+        Self::evaluate_into(&mut sub, &snapshot, usize::MAX)
+            .map_err(SubscriptionError::Evaluation)?;
+        let mut map = self.shard_of(name).lock().unwrap();
+        if map.contains_key(name) {
+            return Err(SubscriptionError::NameTaken(name.to_string()));
+        }
+        // Commits that landed during the unlocked evaluation ran their
+        // maintenance without this subscription: catch up under the
+        // lock (a no-op when nothing raced; the ladder reconciles from
+        // the delta log, rebuilding if it was truncated), so the
+        // installed answer is current and every later commit's delta
+        // reaches the sink.
+        Self::refresh(&mut sub, store, &mut None, store.feed_bound(), true);
+        if let Some(message) = sub.error.take() {
+            return Err(SubscriptionError::Evaluation(message));
+        }
+        // The initial evaluation (and any catch-up) is the subscriber's
+        // base answer, not a change: drop the bootstrap deltas and only
+        // then attach the push outbox (still under the shard lock, so
+        // the first pushed delta is the first answer change after the
+        // returned epoch).
+        sub.feed.clear();
+        sub.stats = SubscriptionStats::default();
+        sub.sinks = sink.into_iter().map(Arc::downgrade).collect();
         let info = sub.info();
         map.insert(name.to_string(), sub);
         Ok(info)
@@ -576,6 +942,16 @@ impl SubscriptionRegistry {
     /// Drops the named standing query. `true` when it existed.
     pub fn unregister(&self, name: &str) -> bool {
         self.shard_of(name).lock().unwrap().remove(name).is_some()
+    }
+
+    /// Drops the named standing query, or explains which registered
+    /// name it was probably a typo for.
+    pub fn unregister_checked(&self, name: &str) -> Result<(), SubscriptionError> {
+        if self.unregister(name) {
+            Ok(())
+        } else {
+            Err(SubscriptionError::unknown(name, self))
+        }
     }
 
     /// Every subscription's state, ascending by name.
@@ -605,7 +981,7 @@ impl SubscriptionRegistry {
     }
 
     /// The named subscription's current answer.
-    pub fn answer(&self, name: &str) -> Option<AnswerSet> {
+    pub fn answer(&self, name: &str) -> Option<SubAnswer> {
         self.shard_of(name)
             .lock()
             .unwrap()
@@ -618,7 +994,7 @@ impl SubscriptionRegistry {
     /// to resync after a lagged stream: every already-buffered event
     /// with `delta.epoch <= epoch` is subsumed by this answer, and every
     /// later delta diffs from exactly this state.
-    pub fn answer_with_epoch(&self, name: &str) -> Option<(AnswerSet, u64)> {
+    pub fn answer_with_epoch(&self, name: &str) -> Option<(SubAnswer, u64)> {
         self.shard_of(name)
             .lock()
             .unwrap()
@@ -633,12 +1009,15 @@ impl SubscriptionRegistry {
             .lock()
             .unwrap()
             .get(name)
-            .map(|s| render_output(&s.query, &s.answer))
+            .map(|s| match &s.answer {
+                SubAnswer::Intervals(a) => render_output(&s.query, a),
+                SubAnswer::Rows(r) => render_row_output(&s.query, r),
+            })
     }
 
     /// Drains the named subscription's change feed: every undrained
-    /// [`AnswerDelta`] in epoch order. `None` for unknown names.
-    pub fn drain(&self, name: &str) -> Option<Vec<AnswerDelta>> {
+    /// [`SubDelta`] in epoch order. `None` for unknown names.
+    pub fn drain(&self, name: &str) -> Option<Vec<SubDelta>> {
         self.shard_of(name)
             .lock()
             .unwrap()
@@ -765,6 +1144,12 @@ impl SubscriptionRegistry {
             sub.last_epoch = now;
             return true;
         }
+        if sub.kind == SubKind::ReverseRows {
+            // Every insert/remove adds, drops, or touches a perspective:
+            // there is no whole-subscription skip, only per-perspective
+            // carry in the heavy pass.
+            return false;
+        }
         let refs: Vec<&DeltaRecord> = ops.iter().collect();
         skip_proven(sub, &refs, changed, now, true)
     }
@@ -792,15 +1177,34 @@ impl SubscriptionRegistry {
                     return;
                 }
                 let changed = changed_ids(ops.iter().copied());
-                if skip_proven(sub, &ops, &changed, now, cached_proof) {
-                    // Every op is provably outside the engine's reach:
-                    // the answer is already current.
-                    return;
-                }
-                // Heavy paths need the consistent snapshot view.
-                let snapshot = Self::materialize(lazy, store);
-                if snapshot.epoch() == now && !changed.contains(&sub.oid) && sub.engine.is_some() {
-                    return Self::patch(sub, &snapshot, now, &changed, feed_cap);
+                match sub.kind {
+                    SubKind::Intervals { .. } | SubKind::ForwardRows => {
+                        if skip_proven(sub, &ops, &changed, now, cached_proof) {
+                            // Every op is provably outside the engine's
+                            // reach: the answer is already current.
+                            return;
+                        }
+                        // Heavy paths need the consistent snapshot view.
+                        let snapshot = Self::materialize(lazy, store);
+                        if snapshot.epoch() == now
+                            && !changed.contains(&sub.oid)
+                            && sub.engine.is_some()
+                        {
+                            return Self::patch(sub, &snapshot, now, &changed, feed_cap);
+                        }
+                    }
+                    SubKind::ReverseRows => {
+                        let snapshot = Self::materialize(lazy, store);
+                        if snapshot.epoch() == now
+                            && !changed.contains(&sub.oid)
+                            && sub.rev.is_some()
+                            && snapshot.len() >= 2
+                        {
+                            return Self::patch_reverse(
+                                sub, &snapshot, now, &ops, &changed, feed_cap,
+                            );
+                        }
+                    }
                 }
                 // The query object itself changed, there is no engine to
                 // reuse, or commits raced past `now` while we looked —
@@ -831,13 +1235,15 @@ impl SubscriptionRegistry {
         }
     }
 
-    /// The incremental re-eval: re-plan (cheap, index-backed prefilter),
-    /// reuse every unchanged candidate's difference function from the
-    /// carried engine, build fresh functions only for candidates the
-    /// delta touched, and rebuild the envelope over the merged set. The
-    /// candidate set and every function value are exactly what a cold
-    /// plan would produce, so the answer is bit-identical — only the
-    /// per-candidate difference construction is skipped.
+    /// The incremental re-eval of the forward kinds: re-plan (cheap,
+    /// index-backed prefilter), reuse every unchanged candidate's
+    /// difference function from the carried engine, build fresh
+    /// functions only for candidates the delta touched, and rebuild the
+    /// envelope over the merged set. The candidate set and every
+    /// function value are exactly what a cold plan would produce, so the
+    /// answer is bit-identical — only the per-candidate difference
+    /// construction (and, with a carried envelope, the untouched
+    /// intervals / clean probe columns) is skipped.
     fn patch(
         sub: &mut SubState,
         snapshot: &Arc<QuerySnapshot>,
@@ -887,45 +1293,258 @@ impl SubscriptionRegistry {
             }
         }
         let query_tr = query_tr.clone();
+        let pdf = match sub.kind {
+            SubKind::ForwardRows => match sub.ensure_pdf(snapshot) {
+                Ok(pdf) => Some(pdf),
+                Err(e) => {
+                    sub.stats.rebuilt += 1;
+                    return sub.park(now, e, feed_cap);
+                }
+            },
+            _ => None,
+        };
         // Cheapest re-eval first: when the delta provably leaves the
         // lower envelope unchanged, carry it (no O(M log M) rebuild) and
-        // recompute intervals only for the touched candidates; otherwise
-        // rebuild envelope and answer over the merged function set.
+        // recompute only the touched candidates' intervals / dirty probe
+        // columns; otherwise rebuild envelope and answer over the merged
+        // function set.
         let is_fresh = |oid: Oid| changed.contains(&oid);
         let (engine, answer) = match old.carry_envelope(fs, plan.radius(), &is_fresh) {
             Ok(engine) => {
-                let answer = match sub.rank {
-                    None => engine.answer_set_reusing(&sub.answer, &is_fresh),
+                let answer = match (&sub.kind, &sub.answer) {
+                    (SubKind::Intervals { rank: None }, SubAnswer::Intervals(prev)) => {
+                        SubAnswer::Intervals(engine.answer_set_reusing(prev, &is_fresh))
+                    }
                     // Rank intervals depend on the k-level structure of
                     // the whole function set, not just the envelope —
                     // recompute them (the carried envelope still saves
                     // the construction).
-                    Some(k) => engine.ranked_answer_set(k),
+                    (SubKind::Intervals { rank: Some(k) }, _) => {
+                        SubAnswer::Intervals(engine.ranked_answer_set(*k))
+                    }
+                    (SubKind::ForwardRows, SubAnswer::Rows(prev)) => {
+                        let (rows, touched) = engine.prob_row_set_reusing(
+                            pdf.as_deref().expect("pdf built for row kinds"),
+                            prev,
+                            &is_fresh,
+                        );
+                        sub.stats.rows_patched += touched as u64;
+                        SubAnswer::Rows(rows)
+                    }
+                    _ => unreachable!("answer representation matches kind"),
                 };
                 sub.stats.envelopes_carried += 1;
                 (Arc::new(engine), answer)
             }
             Err(fs) => {
                 let engine = Arc::new(QueryEngine::new(sub.oid, fs, plan.radius()));
-                let answer = answer_of(&engine, sub.rank);
+                let answer = match sub.kind {
+                    SubKind::Intervals { rank } => SubAnswer::Intervals(answer_of(&engine, rank)),
+                    SubKind::ForwardRows => {
+                        let rows = engine.prob_row_set(
+                            pdf.as_deref().expect("pdf built for row kinds"),
+                            sub.samples,
+                        );
+                        sub.stats.rows_patched += rows.len() as u64;
+                        SubAnswer::Rows(rows)
+                    }
+                    SubKind::ReverseRows => unreachable!("reverse kinds patch per perspective"),
+                };
                 (engine, answer)
             }
         };
         sub.stats.patched += 1;
         sub.stats.functions_reused += reused;
         sub.stats.functions_built += built;
-        sub.commit_answer(engine, query_tr, answer, now, feed_cap);
+        sub.engine = Some(engine);
+        sub.query_tr = Some(query_tr);
+        sub.proof = None;
+        sub.commit_answer(answer, now, feed_cap);
     }
 
-    /// The full re-plan: the same pipeline a cold query runs.
-    fn reevaluate(sub: &mut SubState, snapshot: &Arc<QuerySnapshot>, now: u64, feed_cap: usize) {
-        match evaluate(snapshot, sub.oid, sub.window, sub.rank, sub.policy) {
-            Ok((engine, query_tr, answer)) => {
-                sub.commit_answer(engine, query_tr, answer, now, feed_cap)
+    /// The per-perspective incremental re-eval of a reverse
+    /// subscription: every perspective object untouched by the delta and
+    /// provably outside its reach (its own [`ForwardProof`], under the
+    /// row obligation) carries its envelope *and* its sampled row
+    /// wholesale; only touched, new, or unprovable perspectives pay the
+    /// per-perspective difference + envelope build and re-sampling.
+    fn patch_reverse(
+        sub: &mut SubState,
+        snapshot: &Arc<QuerySnapshot>,
+        now: u64,
+        ops: &[&DeltaRecord],
+        changed: &BTreeSet<Oid>,
+        feed_cap: usize,
+    ) {
+        let old = Arc::clone(sub.rev.as_ref().expect("patch requires a carried engine"));
+        let radius = match common_radius(snapshot) {
+            Ok(r) if r > 0.0 => r,
+            Ok(_) | Err(_) => {
+                sub.stats.rebuilt += 1;
+                return sub.park(
+                    now,
+                    "trajectories have differing uncertainty radii".to_string(),
+                    feed_cap,
+                );
             }
-            Err(e) => sub.park(now, e, feed_cap),
+        };
+        let pdf = match sub.ensure_pdf(snapshot) {
+            Ok(pdf) => pdf,
+            Err(e) => {
+                sub.stats.rebuilt += 1;
+                return sub.park(now, e, feed_cap);
+            }
+        };
+        // Classify the old perspectives: carried iff untouched, still
+        // present, and proven unreachable by every op. Proofs are
+        // derived lazily from the *current* snapshot — sound because a
+        // perspective is only ever proven when the delta left both its
+        // trajectory and its engine untouched.
+        let mut carried: BTreeSet<Oid> = BTreeSet::new();
+        for (oid, engine) in old.perspective_engines() {
+            if changed.contains(&oid) || !snapshot.contains(oid) {
+                sub.rev_proofs.remove(&oid);
+                continue;
+            }
+            let proof = sub.rev_proofs.entry(oid).or_insert_with(|| {
+                let tr = snapshot.get(oid).expect("presence checked above");
+                ForwardProof::derive(engine, tr.trajectory())
+            });
+            if proof.ops_unaffected_rows(ops) {
+                carried.insert(oid);
+            } else {
+                sub.rev_proofs.remove(&oid);
+            }
+        }
+        let refs: Vec<&Trajectory> = snapshot.iter().map(|t| t.trajectory()).collect();
+        let rev = match ReverseNnEngine::build_reusing(&refs, sub.oid, sub.window, radius, |oid| {
+            if carried.contains(&oid) {
+                old.perspective_engine_arc(oid)
+            } else {
+                None
+            }
+        }) {
+            Ok(rev) => rev,
+            Err(e) => {
+                sub.stats.rebuilt += 1;
+                return sub.park(now, e.to_string(), feed_cap);
+            }
+        };
+        let prev = match &sub.answer {
+            SubAnswer::Rows(prev) => prev,
+            SubAnswer::Intervals(_) => unreachable!("reverse subscriptions maintain rows"),
+        };
+        let (rows, recomputed) =
+            rev.prob_row_set_reusing(pdf.as_ref(), prev, &|oid| carried.contains(&oid));
+        sub.stats.patched += 1;
+        sub.stats.perspectives_skipped += carried.len() as u64;
+        sub.stats.rows_patched += recomputed as u64;
+        sub.rev = Some(Arc::new(rev));
+        sub.commit_answer(SubAnswer::Rows(rows), now, feed_cap);
+    }
+
+    /// The full re-plan: the same pipeline a cold registration runs.
+    fn reevaluate(sub: &mut SubState, snapshot: &Arc<QuerySnapshot>, now: u64, feed_cap: usize) {
+        if let Err(e) = Self::evaluate_into(sub, snapshot, feed_cap) {
+            sub.park(now, e, feed_cap);
         }
     }
+
+    /// Evaluates `sub`'s standing query from scratch against `snapshot`
+    /// and commits the result (carried engines, proofs, answer, feed
+    /// delta at the snapshot's epoch).
+    fn evaluate_into(
+        sub: &mut SubState,
+        snapshot: &Arc<QuerySnapshot>,
+        feed_cap: usize,
+    ) -> Result<(), String> {
+        let epoch = snapshot.epoch();
+        match sub.kind {
+            SubKind::Intervals { rank } => {
+                let (engine, query_tr, answer) =
+                    evaluate(snapshot, sub.oid, sub.window, rank, sub.policy)?;
+                sub.engine = Some(engine);
+                sub.rev = None;
+                sub.query_tr = Some(query_tr);
+                sub.proof = None;
+                sub.commit_answer(SubAnswer::Intervals(answer), epoch, feed_cap);
+            }
+            SubKind::ForwardRows => {
+                let pdf = sub.ensure_pdf(snapshot)?;
+                let plan: QueryPlan = QueryPlanner::new(sub.policy)
+                    .plan(Arc::clone(snapshot), sub.oid, sub.window)
+                    .map_err(|e| e.to_string())?;
+                let query_tr = plan.query_trajectory().clone();
+                let engine = Arc::new(plan.build_engine().map_err(|e| e.to_string())?);
+                let rows = engine.prob_row_set(pdf.as_ref(), sub.samples);
+                sub.engine = Some(engine);
+                sub.rev = None;
+                sub.query_tr = Some(query_tr);
+                sub.proof = None;
+                sub.commit_answer(SubAnswer::Rows(rows), epoch, feed_cap);
+            }
+            SubKind::ReverseRows => {
+                let pdf = sub.ensure_pdf(snapshot)?;
+                // The exhaustive plan validates the snapshot, window,
+                // query object, and shared radius; the reverse build
+                // needs the full population regardless of policy.
+                let plan: QueryPlan = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+                    .plan(Arc::clone(snapshot), sub.oid, sub.window)
+                    .map_err(|e| e.to_string())?;
+                let query_tr = plan.query_trajectory().clone();
+                let rev = Arc::new(plan.build_reverse_engine().map_err(|e| e.to_string())?);
+                let rows = rev.prob_row_set(pdf.as_ref(), sub.samples);
+                sub.engine = None;
+                sub.rev = Some(rev);
+                sub.query_tr = Some(query_tr);
+                sub.proof = None;
+                sub.rev_proofs.clear();
+                sub.commit_answer(SubAnswer::Rows(rows), epoch, feed_cap);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The empty answer of a subscription shape (shared by registration and
+/// the park path).
+fn empty_answer_of(kind: SubKind, oid: Oid, window: TimeInterval, samples: u32) -> SubAnswer {
+    match kind {
+        SubKind::Intervals { rank } => SubAnswer::Intervals(AnswerSet::empty(oid, window, rank)),
+        SubKind::ForwardRows => SubAnswer::Rows(ProbRowSet::empty(
+            oid,
+            window,
+            RowPerspective::Forward,
+            samples,
+        )),
+        SubKind::ReverseRows => SubAnswer::Rows(ProbRowSet::empty(
+            oid,
+            window,
+            RowPerspective::Reverse,
+            samples,
+        )),
+    }
+}
+
+/// Levenshtein edit distance (two-row dynamic program) — the cheap
+/// nearest-name metric behind the `UNREGISTER` typo hint.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub_cost = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub_cost.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// The distinct object ids a (filtered) op sequence touches.
@@ -943,6 +1562,8 @@ fn changed_ids<'a>(ops: impl IntoIterator<Item = &'a DeltaRecord>) -> BTreeSet<O
 /// (the watermark and skip counters are then advanced). `cached`
 /// selects whether the per-engine [`ForwardProof`] is reused (sharded
 /// mode) or derived from scratch (the sequential ablation baseline).
+/// Row subscriptions check the sharper band-survivor obligation
+/// ([`ForwardProof::ops_unaffected_rows`]).
 fn skip_proven(
     sub: &mut SubState,
     ops: &[&DeltaRecord],
@@ -956,12 +1577,23 @@ fn skip_proven(
     let (Some(engine), Some(query_tr)) = (&sub.engine, &sub.query_tr) else {
         return false;
     };
+    let rows = sub.kind == SubKind::ForwardRows;
     let unaffected = if cached {
-        sub.proof
-            .get_or_insert_with(|| ForwardProof::derive(engine, query_tr))
-            .ops_unaffected(ops)
+        let proof = sub
+            .proof
+            .get_or_insert_with(|| ForwardProof::derive(engine, query_tr));
+        if rows {
+            proof.ops_unaffected_rows(ops)
+        } else {
+            proof.ops_unaffected(ops)
+        }
     } else {
-        ForwardProof::derive(engine, query_tr).ops_unaffected(ops)
+        let proof = ForwardProof::derive(engine, query_tr);
+        if rows {
+            proof.ops_unaffected_rows(ops)
+        } else {
+            proof.ops_unaffected(ops)
+        }
     };
     if unaffected {
         sub.stats.skipped += 1;
@@ -971,7 +1603,7 @@ fn skip_proven(
     unaffected
 }
 
-/// Plans and evaluates one standing query from scratch.
+/// Plans and evaluates one interval standing query from scratch.
 fn evaluate(
     snapshot: &Arc<QuerySnapshot>,
     oid: Oid,
@@ -1039,6 +1671,63 @@ pub fn render_output(query: &Query, answer: &AnswerSet) -> QueryOutput {
     }
 }
 
+/// Renders a [`ProbRowSet`] through a query's quantifier and target —
+/// the sampled analogue of the one-shot threshold decision rules: the
+/// qualifying fraction of `oid` is the fraction of probes where its
+/// `P^NN` exceeds the statement's threshold, `FORALL` means every probe
+/// passed, and `AT t` reads the probe column containing `t`.
+///
+/// The semantics are deliberately *probe-based*: a standing query's
+/// maintained truth is its sampled rows, so `AT t` answers from the
+/// probe column containing `t`, whereas a one-shot execution of the
+/// same statement evaluates the probability at exactly `t` (and
+/// one-shot `PROB_RNN(…) > 0` uses exact band intervals). Near a
+/// threshold crossing between two probes the two surfaces can disagree;
+/// raise the registry's sampling density to narrow the window.
+pub fn render_row_output(query: &Query, rows: &ProbRowSet) -> QueryOutput {
+    let p = query.prob_threshold;
+    let samples = rows.samples();
+    let full = 1.0 - 0.5 / samples as f64;
+    let window = rows.window();
+    let column_of = |t: f64| -> u32 {
+        let frac = ((t - window.start()) / window.len()).clamp(0.0, 1.0);
+        ((frac * samples as f64) as u32).min(samples - 1)
+    };
+    let decide = |frac: f64, at_hit: bool| match &query.quantifier {
+        Quantifier::Exists => frac > 0.0,
+        Quantifier::Forall => frac >= full,
+        Quantifier::AtLeast(x) => frac + 1e-12 >= *x,
+        Quantifier::At(_) => at_hit,
+    };
+    let at_hit_of = |oid: Oid| match &query.quantifier {
+        Quantifier::At(t) => rows
+            .row_of(oid)
+            .and_then(|r| r.at(column_of(*t)))
+            .map(|prob| prob > p)
+            .unwrap_or(false),
+        _ => false,
+    };
+    match &query.target {
+        Target::One(name) => {
+            let answer = parse_object_name(name)
+                .map(|oid| decide(rows.fraction_above(oid, p), at_hit_of(oid)))
+                .unwrap_or(false);
+            QueryOutput::Boolean(answer)
+        }
+        Target::All => {
+            let out = rows
+                .rows()
+                .iter()
+                .filter_map(|r| {
+                    let frac = rows.fraction_above(r.oid, p);
+                    decide(frac, at_hit_of(r.oid)).then_some((r.oid, frac))
+                })
+                .collect();
+            QueryOutput::Objects(out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1066,6 +1755,57 @@ mod tests {
             .unwrap()
     }
 
+    fn threshold_query() -> Query {
+        parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] AND PROB_NN(*, Tr0, TIME) > 0.4")
+            .unwrap()
+    }
+
+    fn rnn_query() -> Query {
+        parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] AND PROB_RNN(*, Tr0, TIME) > 0")
+            .unwrap()
+    }
+
+    fn interval_answer(reg: &SubscriptionRegistry, name: &str) -> AnswerSet {
+        match reg.answer(name).unwrap() {
+            SubAnswer::Intervals(a) => a,
+            other => panic!("expected intervals, got {other:?}"),
+        }
+    }
+
+    fn row_answer(reg: &SubscriptionRegistry, name: &str) -> ProbRowSet {
+        match reg.answer(name).unwrap() {
+            SubAnswer::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// A fresh exhaustive forward row evaluation — the ground truth the
+    /// maintained threshold rows must equal bit-for-bit.
+    fn fresh_forward_rows(store: &ModStore, query: Oid) -> ProbRowSet {
+        let snapshot = store.snapshot();
+        let kind = common_pdf_kind(&snapshot).unwrap().unwrap();
+        let pdf = kind.convolve_with(&kind);
+        QueryPlanner::new(PrefilterPolicy::Exhaustive)
+            .plan(snapshot, query, TimeInterval::new(0.0, 10.0))
+            .unwrap()
+            .build_engine()
+            .unwrap()
+            .prob_row_set(pdf.as_ref(), PROB_ROW_SAMPLES)
+    }
+
+    /// A fresh exhaustive reverse row evaluation.
+    fn fresh_reverse_rows(store: &ModStore, query: Oid) -> ProbRowSet {
+        let snapshot = store.snapshot();
+        let kind = common_pdf_kind(&snapshot).unwrap().unwrap();
+        let pdf = kind.convolve_with(&kind);
+        QueryPlanner::new(PrefilterPolicy::Exhaustive)
+            .plan(snapshot, query, TimeInterval::new(0.0, 10.0))
+            .unwrap()
+            .build_reverse_engine()
+            .unwrap()
+            .prob_row_set(pdf.as_ref(), PROB_ROW_SAMPLES)
+    }
+
     #[test]
     fn register_evaluates_and_lists() {
         let store = populated_store();
@@ -1088,23 +1828,53 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_statements_are_refused() {
+    fn threshold_and_reverse_statements_register() {
         let store = populated_store();
         let reg = SubscriptionRegistry::new();
-        let rnn =
-            parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] AND PROB_RNN(*, Tr0, TIME) > 0")
-                .unwrap();
-        assert!(matches!(
-            reg.register(&store, "r", rnn, PrefilterPolicy::default()),
-            Err(SubscriptionError::Unsupported(_))
-        ));
-        let threshold =
-            parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] AND PROB_NN(*, Tr0, TIME) > 0.5")
-                .unwrap();
-        assert!(matches!(
-            reg.register(&store, "t", threshold, PrefilterPolicy::default()),
-            Err(SubscriptionError::Unsupported(_))
-        ));
+        let info = reg
+            .register(
+                &store,
+                "hot0",
+                threshold_query(),
+                PrefilterPolicy::default(),
+            )
+            .unwrap();
+        assert!(info.error.is_none());
+        assert!(info.entries >= 1, "{info:?}");
+        let info = reg
+            .register(&store, "rev0", rnn_query(), PrefilterPolicy::default())
+            .unwrap();
+        assert!(info.error.is_none());
+        assert!(info.entries >= 1, "{info:?}");
+        // The registered answers equal fresh exhaustive evaluations.
+        assert_eq!(row_answer(&reg, "hot0"), fresh_forward_rows(&store, Oid(0)));
+        assert_eq!(row_answer(&reg, "rev0"), fresh_reverse_rows(&store, Oid(0)));
+    }
+
+    #[test]
+    fn remaining_unsupported_shapes_carry_spans() {
+        let store = populated_store();
+        let reg = SubscriptionRegistry::new();
+        let src = "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] \
+                   AND PROB_NN(*, Tr0, TIME, RANK 2) > 0.5";
+        let ranked_threshold = parse(src).unwrap();
+        let err = reg
+            .register(&store, "rt", ranked_threshold, PrefilterPolicy::default())
+            .unwrap_err();
+        match &err {
+            SubscriptionError::Unsupported { span, .. } => {
+                let span = span.expect("refusal carries the RANK span");
+                assert_eq!(&src[span.offset..span.offset + 4], "RANK");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // The render draws a caret at the offending token.
+        let rendered = err.render(src);
+        assert!(rendered.contains('^'), "{rendered}");
+        // Last line is "  " + pad + "^": the caret sits at the token.
+        let caret_offset = rendered.lines().last().unwrap().len() - 3;
+        assert_eq!(caret_offset, src.find("RANK").unwrap(), "{rendered}");
+        // Unknown query objects still fail evaluation.
         let unknown =
             parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 10] AND PROB_NN(*, Tr99, TIME) > 0")
                 .unwrap();
@@ -1112,6 +1882,31 @@ mod tests {
             reg.register(&store, "u", unknown, PrefilterPolicy::default()),
             Err(SubscriptionError::Evaluation(_))
         ));
+    }
+
+    #[test]
+    fn unknown_names_hint_at_the_nearest_registered_one() {
+        let store = populated_store();
+        let reg = SubscriptionRegistry::new();
+        reg.register(&store, "near0", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        let err = reg.unregister_checked("naer0").unwrap_err();
+        match &err {
+            SubscriptionError::Unknown { name, nearest } => {
+                assert_eq!(name, "naer0");
+                assert_eq!(nearest.as_deref(), Some("near0"));
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert!(err.to_string().contains("did you mean 'near0'"), "{err}");
+        // A wildly different name gets no hint.
+        let err = reg.unregister_checked("completely-else").unwrap_err();
+        assert!(matches!(
+            err,
+            SubscriptionError::Unknown { nearest: None, .. }
+        ));
+        // Dropping the real name still works.
+        assert!(reg.unregister_checked("near0").is_ok());
     }
 
     #[test]
@@ -1136,13 +1931,17 @@ mod tests {
         assert!(info.stats.functions_reused >= 2, "{info:?}");
         let deltas = reg.drain("near0").unwrap();
         assert_eq!(deltas.len(), 1);
-        assert!(deltas[0].upserts.iter().any(|e| e.oid == Oid(60)));
-        assert_eq!(deltas[0].epoch, store.epoch());
+        let d = deltas[0].as_intervals().unwrap();
+        assert!(d.upserts.iter().any(|e| e.oid == Oid(60)));
+        assert_eq!(d.epoch, store.epoch());
         // Removing the newcomer emits the removal.
         store.remove(Oid(60)).unwrap();
         let deltas = reg.drain("near0").unwrap();
         assert_eq!(deltas.len(), 1);
-        assert!(deltas[0].removed.contains(&Oid(60)), "{deltas:?}");
+        assert!(
+            deltas[0].as_intervals().unwrap().removed.contains(&Oid(60)),
+            "{deltas:?}"
+        );
         // The maintained answer equals a fresh evaluation throughout.
         let fresh = evaluate(
             &store.snapshot(),
@@ -1153,7 +1952,80 @@ mod tests {
         )
         .unwrap()
         .2;
-        assert_eq!(reg.answer("near0").unwrap(), fresh);
+        assert_eq!(interval_answer(&reg, "near0"), fresh);
+    }
+
+    #[test]
+    fn threshold_rows_skip_patch_and_stay_bit_identical() {
+        let store = populated_store();
+        let reg = Arc::new(SubscriptionRegistry::new());
+        store.attach_subscriptions(&reg);
+        reg.register(
+            &store,
+            "hot0",
+            threshold_query(),
+            PrefilterPolicy::default(),
+        )
+        .unwrap();
+        let initial = row_answer(&reg, "hot0");
+        // Far churn: the (sharper, band-survivor) proof skips; nothing
+        // recomputed, nothing emitted.
+        store.insert(tr(50, 90_000.0)).unwrap();
+        store.remove(Oid(50)).unwrap();
+        let info = reg.info("hot0").unwrap();
+        assert_eq!(info.stats.skipped, 2, "{info:?}");
+        assert_eq!(info.stats.rows_patched, 0, "{info:?}");
+        assert_eq!(reg.drain("hot0").unwrap(), vec![]);
+        assert_eq!(row_answer(&reg, "hot0"), initial);
+        // An in-band newcomer patches: only its columns recompute, and
+        // the result equals a fresh exhaustive sweep bit-for-bit.
+        store.insert(tr(60, 0.5)).unwrap();
+        let info = reg.info("hot0").unwrap();
+        assert_eq!(info.stats.patched, 1, "{info:?}");
+        assert!(info.stats.rows_patched >= 1, "{info:?}");
+        assert_eq!(row_answer(&reg, "hot0"), fresh_forward_rows(&store, Oid(0)));
+        // Folding the emitted deltas over the initial rows reproduces
+        // the maintained answer.
+        let folded = reg
+            .drain("hot0")
+            .unwrap()
+            .iter()
+            .fold(initial, |acc, d| acc.apply(d.as_rows().unwrap()));
+        assert_eq!(folded, row_answer(&reg, "hot0"));
+    }
+
+    #[test]
+    fn reverse_rows_carry_untouched_perspectives() {
+        let store = populated_store();
+        let reg = Arc::new(SubscriptionRegistry::new());
+        store.attach_subscriptions(&reg);
+        reg.register(&store, "rev0", rnn_query(), PrefilterPolicy::default())
+            .unwrap();
+        let initial = row_answer(&reg, "rev0");
+        // A far insertion becomes a new perspective, but every existing
+        // perspective is provably untouched: its envelope and row carry.
+        store.insert(tr(50, 90_000.0)).unwrap();
+        let info = reg.info("rev0").unwrap();
+        assert_eq!(info.stats.patched, 1, "{info:?}");
+        assert_eq!(info.stats.perspectives_skipped, 3, "{info:?}");
+        assert_eq!(info.stats.rows_patched, 1, "one new perspective: {info:?}");
+        assert_eq!(row_answer(&reg, "rev0"), fresh_reverse_rows(&store, Oid(0)));
+        // Removing it again drops the perspective; the others carry.
+        store.remove(Oid(50)).unwrap();
+        let info = reg.info("rev0").unwrap();
+        assert_eq!(info.stats.perspectives_skipped, 6, "{info:?}");
+        assert_eq!(row_answer(&reg, "rev0"), fresh_reverse_rows(&store, Oid(0)));
+        // A near mutation recomputes the touched perspective (and any
+        // perspective it can reach) — still bit-identical.
+        store.update(tr(1, 1.2));
+        assert_eq!(row_answer(&reg, "rev0"), fresh_reverse_rows(&store, Oid(0)));
+        // Folding the emitted deltas lands on the maintained rows.
+        let folded = reg
+            .drain("rev0")
+            .unwrap()
+            .iter()
+            .fold(initial, |acc, d| acc.apply(d.as_rows().unwrap()));
+        assert_eq!(folded, row_answer(&reg, "rev0"));
     }
 
     #[test]
@@ -1170,7 +2042,9 @@ mod tests {
         assert!(reg.answer("near0").unwrap().is_empty());
         // Its answers emptied out through the feed…
         let deltas = reg.drain("near0").unwrap();
-        assert!(deltas.iter().any(|d| !d.removed.is_empty()));
+        assert!(deltas
+            .iter()
+            .any(|d| !d.as_intervals().unwrap().removed.is_empty()));
         // …and re-registering the object revives the subscription.
         store.insert(tr(0, 0.0)).unwrap();
         let info = reg.info("near0").unwrap();
@@ -1224,6 +2098,52 @@ mod tests {
             QueryOutput::Objects(rows) => {
                 for (_, frac) in rows {
                     assert!(frac >= 0.5 - 1e-9);
+                }
+            }
+            other => panic!("expected Objects, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_rendering_applies_threshold_and_quantifier() {
+        let store = populated_store();
+        let reg = SubscriptionRegistry::new();
+        // Tr1 (one mile away, everything else far) dominates: its P^NN
+        // exceeds 0.4 essentially always.
+        reg.register(
+            &store,
+            "hot",
+            parse(
+                "SELECT Tr1 FROM MOD WHERE ATLEAST 0.6 OF TIME IN [0, 10] \
+                 AND PROB_NN(Tr1, Tr0, TIME) > 0.4",
+            )
+            .unwrap(),
+            PrefilterPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(reg.output("hot").unwrap(), QueryOutput::Boolean(true));
+        // The far object fails any positive-threshold test.
+        reg.register(
+            &store,
+            "cold",
+            parse(
+                "SELECT Tr3 FROM MOD WHERE EXISTS TIME IN [0, 10] \
+                 AND PROB_NN(Tr3, Tr0, TIME) > 0.4",
+            )
+            .unwrap(),
+            PrefilterPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(reg.output("cold").unwrap(), QueryOutput::Boolean(false));
+        // Reverse star rendering lists the perspectives with their
+        // qualifying fractions.
+        reg.register(&store, "rev", rnn_query(), PrefilterPolicy::default())
+            .unwrap();
+        match reg.output("rev").unwrap() {
+            QueryOutput::Objects(rows) => {
+                assert!(rows.iter().any(|(o, _)| *o == Oid(1)), "{rows:?}");
+                for (_, frac) in &rows {
+                    assert!((0.0..=1.0 + 1e-9).contains(frac));
                 }
             }
             other => panic!("expected Objects, got {other:?}"),
@@ -1301,6 +2221,14 @@ mod tests {
                 )
                 .unwrap();
             }
+            // A row subscription rides along in both modes.
+            reg.register(
+                &store,
+                "rows0",
+                threshold_query(),
+                PrefilterPolicy::default(),
+            )
+            .unwrap();
             for k in 0..10u64 {
                 match k % 3 {
                     0 => {
@@ -1314,9 +2242,11 @@ mod tests {
                     }
                 }
             }
-            (0..3u64)
+            let mut out: Vec<SubAnswer> = (0..3u64)
                 .map(|q| reg.answer(&format!("sub{q}")).unwrap())
-                .collect::<Vec<_>>()
+                .collect();
+            out.push(reg.answer("rows0").unwrap());
+            out
         };
         assert_eq!(run(SyncMode::Sharded), run(SyncMode::Sequential));
     }
@@ -1352,5 +2282,15 @@ mod tests {
         store.insert(tr(73, 0.9)).unwrap();
         assert!(sink.is_empty());
         assert!(sink.recv().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn levenshtein_distances_are_sane() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("near0", "naer0"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
     }
 }

@@ -84,15 +84,14 @@ fn main() {
     {
         received += 1;
         println!(
-            "pushed delta @epoch {}: {} upserts, {} removed{}",
-            ev.delta.epoch,
-            ev.delta.upserts.len(),
-            ev.delta.removed.len(),
+            "pushed delta @epoch {}: {} changed objects{}",
+            ev.delta.epoch(),
+            ev.delta.touched(),
             if ev.lagged { " [lagged]" } else { "" }
         );
-        if ev.delta.epoch > folded_epoch {
+        if ev.delta.epoch() > folded_epoch {
             folded = folded.apply(&ev.delta);
-            folded_epoch = ev.delta.epoch;
+            folded_epoch = ev.delta.epoch();
         }
         // Three answer-changing commits → three deltas.
         if received == 3 {

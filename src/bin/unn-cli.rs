@@ -66,8 +66,9 @@
 use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::time::Duration;
-use uncertain_nn::core::answer::AnswerDelta;
+use uncertain_nn::core::probrows::ProbRowSet;
 use uncertain_nn::modb::net::{NetClient, WireOutput};
+use uncertain_nn::modb::subscription::{SubAnswer, SubDelta, SubscriptionError};
 use uncertain_nn::modb::{persist, ServerError, SubscriptionInfo};
 use uncertain_nn::prelude::*;
 
@@ -465,8 +466,12 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
         }
         "sql" => {
             let out = server.execute(rest).map_err(|e| match e {
-                // Parse errors point at the offending token.
+                // Parse errors and registration refusals point at the
+                // offending token.
                 ServerError::Parse(pe) => pe.render(rest),
+                ServerError::Subscription(se @ SubscriptionError::Unsupported { .. }) => {
+                    se.render(rest)
+                }
                 other => other.to_string(),
             })?;
             print_output(out);
@@ -484,6 +489,9 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                         .ok_or("usage: sub add <name> <SELECT ...>")?;
                     let info = server.subscribe(name, stmt.trim()).map_err(|e| match e {
                         ServerError::Parse(pe) => pe.render(stmt.trim()),
+                        ServerError::Subscription(se @ SubscriptionError::Unsupported { .. }) => {
+                            se.render(stmt.trim())
+                        }
                         other => other.to_string(),
                     })?;
                     print_subscription(&info);
@@ -739,23 +747,12 @@ fn watch_connected(
         {
             Some(ev) => {
                 println!(
-                    "'{}' @epoch {}{}: {} upserts, {} removed",
+                    "'{}' @epoch {}{}:",
                     ev.subscription,
-                    ev.delta.epoch,
+                    ev.delta.epoch(),
                     if ev.lagged { " [lagged]" } else { "" },
-                    ev.delta.upserts.len(),
-                    ev.delta.removed.len()
                 );
-                for e in &ev.delta.upserts {
-                    println!(
-                        "    + {:>6}: {:8.3} time units",
-                        e.oid,
-                        e.intervals.total_len()
-                    );
-                }
-                for oid in &ev.delta.removed {
-                    println!("    - {oid:>6}");
-                }
+                print_delta(&ev.delta);
                 if ev.lagged && ev.subscription == name {
                     let (answer, epoch) = client
                         .subscription_answer(name)
@@ -776,16 +773,37 @@ fn watch_connected(
     Ok(())
 }
 
-fn print_answer(name: &str, answer: &uncertain_nn::core::answer::AnswerSet, epoch: u64) {
+fn print_answer(name: &str, answer: &SubAnswer, epoch: u64) {
+    match answer {
+        SubAnswer::Intervals(answer) => {
+            println!(
+                "answer of '{name}' @epoch {epoch}: {} qualifying",
+                answer.len()
+            );
+            for e in answer.entries() {
+                println!(
+                    "    {:>6}: {:8.3} time units",
+                    e.oid,
+                    e.intervals.total_len()
+                );
+            }
+        }
+        SubAnswer::Rows(rows) => print_rows(name, rows, epoch),
+    }
+}
+
+fn print_rows(name: &str, rows: &ProbRowSet, epoch: u64) {
     println!(
-        "answer of '{name}' @epoch {epoch}: {} qualifying",
-        answer.len()
+        "rows of '{name}' @epoch {epoch}: {} objects x {} probes",
+        rows.len(),
+        rows.samples()
     );
-    for e in answer.entries() {
+    for r in rows.rows() {
         println!(
-            "    {:>6}: {:8.3} time units",
-            e.oid,
-            e.intervals.total_len()
+            "    {:>6}: {:3} samples, mean P = {:.4}",
+            r.oid,
+            r.points.len(),
+            rows.mean_probability(r.oid)
         );
     }
 }
@@ -803,7 +821,12 @@ fn print_wire_output(out: WireOutput) {
             }
         }
         WireOutput::Answer { epoch, answer } => {
-            print_answer(&answer.query().to_string(), &answer, epoch)
+            let name = answer.query().to_string();
+            print_answer(&name, &SubAnswer::Intervals(answer), epoch)
+        }
+        WireOutput::RowAnswer { epoch, rows } => {
+            let name = rows.query().to_string();
+            print_rows(&name, &rows, epoch)
         }
         WireOutput::Done => println!("ok"),
     }
@@ -834,7 +857,7 @@ fn print_output(out: QueryOutput) {
 fn print_subscription(info: &SubscriptionInfo) {
     println!(
         "subscription '{}' @epoch {}: {} qualifying, {} pending deltas \
-         ({} skipped / {} patched / {} rebuilt){}",
+         ({} skipped / {} patched / {} rebuilt, {} rows patched / {} perspectives skipped){}",
         info.name,
         info.last_epoch,
         info.entries,
@@ -842,6 +865,8 @@ fn print_subscription(info: &SubscriptionInfo) {
         info.stats.skipped,
         info.stats.patched,
         info.stats.rebuilt,
+        info.stats.rows_patched,
+        info.stats.perspectives_skipped,
         match &info.error {
             Some(e) => format!(" [error: {e}]"),
             None => String::new(),
@@ -850,24 +875,46 @@ fn print_subscription(info: &SubscriptionInfo) {
     println!("  {}", info.statement);
 }
 
-fn print_deltas(name: &str, deltas: &[AnswerDelta]) {
+fn print_deltas(name: &str, deltas: &[SubDelta]) {
     println!("'{name}': {} deltas", deltas.len());
     for d in deltas {
-        println!(
-            "  @epoch {}: {} upserts, {} removed",
-            d.epoch,
-            d.upserts.len(),
-            d.removed.len()
-        );
-        for e in &d.upserts {
+        print_delta(d);
+    }
+}
+
+fn print_delta(d: &SubDelta) {
+    match d {
+        SubDelta::Intervals(d) => {
             println!(
-                "    + {:>6}: {:8.3} time units",
-                e.oid,
-                e.intervals.total_len()
+                "  @epoch {}: {} upserts, {} removed",
+                d.epoch,
+                d.upserts.len(),
+                d.removed.len()
             );
+            for e in &d.upserts {
+                println!(
+                    "    + {:>6}: {:8.3} time units",
+                    e.oid,
+                    e.intervals.total_len()
+                );
+            }
+            for oid in &d.removed {
+                println!("    - {oid:>6}");
+            }
         }
-        for oid in &d.removed {
-            println!("    - {oid:>6}");
+        SubDelta::Rows(d) => {
+            println!(
+                "  @epoch {}: {} row upserts, {} removed",
+                d.epoch,
+                d.upserts.len(),
+                d.removed.len()
+            );
+            for r in &d.upserts {
+                println!("    + {:>6}: {:3} samples", r.oid, r.points.len());
+            }
+            for oid in &d.removed {
+                println!("    - {oid:>6}");
+            }
         }
     }
 }

@@ -58,18 +58,30 @@
 //! paper's queries are *continuous*, so the server also supports
 //! registering them as **standing queries** (`REGISTER CONTINUOUS
 //! <query> AS <name>` in the query language, `sub add` in the CLI).
-//! Every engine answer reduces to a diffable
-//! [`core::answer::AnswerSet`] — stable object ids with per-object
-//! qualification intervals — and after every store commit the
+//! A standing query maintains one of two diffable answers, chosen by
+//! its statement shape:
+//!
+//! * forward `PROB_NN(…) > 0` (any quantifier, optional `RANK`) —
+//!   a [`core::answer::AnswerSet`]: stable object ids with per-object
+//!   qualification intervals;
+//! * threshold `PROB_NN(…) > p` and reverse `PROB_RNN(…)` — a
+//!   [`core::probrows::ProbRowSet`]: sampled `P^NN(t)` probability
+//!   rows with per-sample provenance back to the difference functions
+//!   that produced them.
+//!
+//! After every store commit the
 //! [`modb::subscription::SubscriptionRegistry`] routes the epoch's delta
 //! to the affected subscriptions only: provably untouched answers are
 //! skipped via the same band-bound carry proof, the rest are patched by
-//! incremental re-evaluation (difference functions and even the lower
-//! envelope are reused whenever the delta provably leaves them
-//! unchanged), and truncated delta history forces a full re-plan.
-//! Changes stream to consumers as [`core::answer::AnswerDelta`]s through
-//! a per-subscription feed (`sub poll` / `watch` in the CLI), with
-//! answers bit-identical to fresh evaluation at every step.
+//! incremental re-evaluation — difference functions, the lower
+//! envelope, untouched qualification intervals, clean probability
+//! columns, and (for reverse queries) whole untouched *perspectives*
+//! are reused whenever the delta provably leaves them unchanged — and
+//! truncated delta history forces a full re-plan. Changes stream to
+//! consumers as [`core::answer::AnswerDelta`]s /
+//! [`core::probrows::ProbRowDelta`]s through a per-subscription feed
+//! (`sub poll` / `watch` in the CLI), with answers bit-identical to
+//! fresh evaluation at every step.
 //!
 //! ## The network service layer
 //!
@@ -87,20 +99,24 @@
 //!                                      (sharded: shared ops fetch,
 //!                                       cached skip proofs, scoped-
 //!                                       thread fan-out of patches)
-//!                                                        │ AnswerDelta
-//!  client B ◀──pushed Event frame──── bounded outbox ◀───┘
-//!            (folds deltas; `lagged` ⇒ resync from the full AnswerSet)
+//!                                               │ AnswerDelta │ ProbRowDelta
+//!  client B ◀─pushed Event/RowEvent── bounded outbox ◀───────┘
+//!            (folds deltas; `lagged` ⇒ resync from the full
+//!             AnswerSet / ProbRowSet)
 //! ```
 //!
 //! `REGISTER CONTINUOUS` over a connection attaches that connection's
 //! bounded outbox to the subscription, so answer deltas are **pushed**
-//! with commit latency instead of polled. Backpressure never drops a
-//! delta: an overflowing outbox squashes its oldest same-subscription
-//! events via [`core::answer::AnswerDelta::then`] (folds stay
-//! bit-exact) and flags the stream `lagged` so the client can resync
-//! from a full answer fetch. `tests/net_push.rs` proves the end-to-end
-//! property over real sockets: pushed deltas folded client-side equal a
-//! fresh exhaustive evaluation bit-for-bit, induced lag included.
+//! with commit latency instead of polled — interval deltas as `Event`
+//! frames, probability-row deltas as `RowEvent` frames, both IEEE-bit-
+//! exact. Backpressure never drops a delta: an overflowing outbox
+//! squashes its oldest same-subscription events via
+//! [`modb::subscription::SubDelta::then`] (folds stay bit-exact) and
+//! flags the stream `lagged` so the client can resync from a full
+//! answer fetch. `tests/net_push.rs` proves the end-to-end property
+//! over real sockets for both representations: pushed deltas folded
+//! client-side equal a fresh exhaustive evaluation bit-for-bit,
+//! induced lag included.
 //!
 //! ## Quickstart
 //!
@@ -149,6 +165,7 @@ pub mod prelude {
     pub use unn_core::envelope::Envelope;
     pub use unn_core::hetero::{HeteroCandidate, HeteroEngine};
     pub use unn_core::ipac::{IpacConfig, IpacTree};
+    pub use unn_core::probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
     pub use unn_core::query::QueryEngine;
     pub use unn_core::reverse::{all_pairs_nn, ReverseNnEngine};
     pub use unn_core::topk::{continuous_knn, probabilistic_topk_at, KnnAnswer};
@@ -164,7 +181,7 @@ pub mod prelude {
     pub use unn_modb::server::{ModServer, QueryOutput};
     pub use unn_modb::snapshot::QuerySnapshot;
     pub use unn_modb::store::ModStore;
-    pub use unn_modb::subscription::{SubscriptionInfo, SubscriptionRegistry};
+    pub use unn_modb::subscription::{SubAnswer, SubDelta, SubscriptionInfo, SubscriptionRegistry};
     pub use unn_prob::pdf::{PdfKind, RadialPdf};
     pub use unn_traj::generator::{generate, generate_uncertain, WorkloadConfig};
     pub use unn_traj::trajectory::{Oid, Trajectory};

@@ -6,8 +6,11 @@
 
 use proptest::prelude::*;
 use uncertain_nn::core::answer::AnswerSet;
+use uncertain_nn::core::probrows::ProbRowSet;
+use uncertain_nn::modb::subscription::SubAnswer;
 use uncertain_nn::modb::{PrefilterPolicy, QueryPlanner, SubscriptionInfo};
 use uncertain_nn::prelude::*;
+use unn_traj::uncertain::common_pdf_kind;
 
 const WINDOW: (f64, f64) = (0.0, 60.0);
 const RADIUS: f64 = 0.5;
@@ -52,6 +55,46 @@ fn fresh_answer(server: &ModServer, query: Oid, rank: Option<usize>) -> AnswerSe
     }
 }
 
+/// Fresh exhaustive probability-row evaluation (forward threshold or
+/// reverse) at the registry's current sampling density — the ground
+/// truth of the row subscriptions.
+fn fresh_rows(server: &ModServer, query: Oid, reverse: bool) -> ProbRowSet {
+    let samples = server.subscription_registry().row_samples();
+    let snapshot = server.store().snapshot();
+    let kind = common_pdf_kind(&snapshot)
+        .expect("shared pdf")
+        .expect("populated");
+    let pdf = kind.convolve_with(&kind);
+    let plan = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+        .plan(snapshot, query, TimeInterval::new(WINDOW.0, WINDOW.1))
+        .expect("plans");
+    if reverse {
+        plan.build_reverse_engine()
+            .expect("builds")
+            .prob_row_set(pdf.as_ref(), samples)
+    } else {
+        plan.build_engine()
+            .expect("builds")
+            .prob_row_set(pdf.as_ref(), samples)
+    }
+}
+
+/// The maintained answer, expected to be intervals.
+fn maintained_intervals(server: &ModServer, name: &str) -> AnswerSet {
+    match server.subscription_answer(name).unwrap() {
+        SubAnswer::Intervals(a) => a,
+        other => panic!("expected intervals, got {other:?}"),
+    }
+}
+
+/// The maintained answer, expected to be rows.
+fn maintained_rows(server: &ModServer, name: &str) -> ProbRowSet {
+    match server.subscription_answer(name).unwrap() {
+        SubAnswer::Rows(r) => r,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
 #[test]
 fn register_unregister_show_via_the_query_language() {
     let server = ModServer::new();
@@ -79,31 +122,52 @@ fn register_unregister_show_via_the_query_language() {
         }
         other => panic!("expected Subscriptions, got {other:?}"),
     }
-    // Duplicate name refused; RNN/threshold statements refused.
+    // Duplicate name refused.
     assert!(server
         .execute(
             "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
              AND PROB_NN(*, Tr1, TIME) > 0 AS near0",
         )
         .is_err());
-    assert!(server
-        .execute(
+    // RNN and threshold statements register through the row ladder now.
+    assert!(matches!(
+        server.execute(
             "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
              AND PROB_RNN(*, Tr0, TIME) > 0 AS rev",
-        )
-        .is_err());
-    assert!(server
-        .execute(
+        ),
+        Ok(QueryOutput::Registered(_))
+    ));
+    assert!(matches!(
+        server.execute(
             "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
              AND PROB_NN(*, Tr0, TIME) > 0.5 AS thresh",
+        ),
+        Ok(QueryOutput::Registered(_))
+    ));
+    // The one remaining unsupported shape: RANK + positive threshold.
+    let err = server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME, RANK 2) > 0.5 AS rankthresh",
         )
-        .is_err());
-    // UNREGISTER drops it; a second drop errors.
+        .unwrap_err();
+    assert!(err.to_string().contains("RANK"), "{err}");
+    // A typo'd UNREGISTER hints at the nearest registered name…
+    let err = server.execute("UNREGISTER naer0").unwrap_err();
+    assert!(
+        err.to_string().contains("did you mean 'near0'"),
+        "nearest-name hint expected: {err}"
+    );
+    // …the real name drops, and a second drop errors (no similar name
+    // remains, so no hint).
     assert_eq!(
         server.execute("UNREGISTER near0").unwrap(),
         QueryOutput::Unregistered("near0".into())
     );
-    assert!(server.execute("UNREGISTER near0").is_err());
+    let err = server.execute("UNREGISTER near0").unwrap_err();
+    assert!(err.to_string().contains("no subscription named"), "{err}");
+    server.execute("UNREGISTER rev").unwrap();
+    server.execute("UNREGISTER thresh").unwrap();
     match server.execute("SHOW SUBSCRIPTIONS").unwrap() {
         QueryOutput::Subscriptions(subs) => assert!(subs.is_empty()),
         other => panic!("expected Subscriptions, got {other:?}"),
@@ -134,9 +198,10 @@ fn change_feed_streams_only_the_changed_objects() {
     server.register(straight(7, 1.5)).unwrap();
     let deltas = server.poll_subscription("near0").unwrap();
     assert_eq!(deltas.len(), 1);
-    assert_eq!(deltas[0].upserts.len(), 1, "{deltas:?}");
-    assert_eq!(deltas[0].upserts[0].oid, Oid(7));
-    assert!(deltas[0].removed.is_empty());
+    let d = deltas[0].as_intervals().unwrap();
+    assert_eq!(d.upserts.len(), 1, "{deltas:?}");
+    assert_eq!(d.upserts[0].oid, Oid(7));
+    assert!(d.removed.is_empty());
     // Far churn produces no deltas at all.
     server.register(straight(90, 44_000.0)).unwrap();
     server.store().remove(Oid(90)).unwrap();
@@ -147,7 +212,7 @@ fn change_feed_streams_only_the_changed_objects() {
     server.store().remove(Oid(7)).unwrap();
     let deltas = server.poll_subscription("near0").unwrap();
     assert_eq!(deltas.len(), 1);
-    assert_eq!(deltas[0].removed, vec![Oid(7)]);
+    assert_eq!(deltas[0].as_intervals().unwrap().removed, vec![Oid(7)]);
     // Unknown names error.
     assert!(server.poll_subscription("bogus").is_err());
 }
@@ -178,7 +243,7 @@ fn single_commit_update_is_one_maintenance_round() {
         "one commit must be one maintenance round: {info:?}"
     );
     assert_eq!(
-        server.subscription_answer("near0").unwrap(),
+        maintained_intervals(&server, "near0"),
         fresh_answer(&server, Oid(0), None)
     );
 }
@@ -205,16 +270,70 @@ fn truncated_delta_log_forces_a_full_rebuild() {
     assert!(info.stats.rebuilt >= 1, "truncation must rebuild: {info:?}");
     assert!(info.error.is_none(), "{info:?}");
     assert_eq!(
-        server.subscription_answer("near0").unwrap(),
+        maintained_intervals(&server, "near0"),
         fresh_answer(&server, Oid(0), None),
         "the rebuild must land on the fresh answer"
     );
     // The newcomers actually qualified (the rebuild saw them).
-    assert!(server
-        .subscription_answer("near0")
-        .unwrap()
+    assert!(maintained_intervals(&server, "near0")
         .intervals_of(Oid(100))
         .is_some());
+}
+
+#[test]
+fn row_subscription_counters_are_observable() {
+    let server = ModServer::new();
+    server.subscription_registry().set_row_samples(32);
+    server
+        .register_all([
+            straight(0, 0.0),
+            straight(1, 1.0),
+            straight(2, 3.0),
+            straight(3, 500.0),
+        ])
+        .unwrap();
+    server
+        .subscribe(
+            "hot",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0.3",
+        )
+        .unwrap();
+    server
+        .subscribe(
+            "rev",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_RNN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    // Far churn: the threshold sub skips outright; the reverse sub
+    // carries every untouched perspective.
+    server.register(straight(90, 44_000.0)).unwrap();
+    server.store().remove(Oid(90)).unwrap();
+    // Near churn: both patch, recomputing rows incrementally.
+    server.register(straight(7, 1.5)).unwrap();
+    let by_name = |name: &str| {
+        server
+            .subscriptions()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap()
+    };
+    let hot = by_name("hot");
+    assert!(hot.stats.skipped >= 2, "{hot:?}");
+    assert_eq!(hot.stats.patched, 1, "{hot:?}");
+    assert!(hot.stats.rows_patched >= 1, "{hot:?}");
+    let rev = by_name("rev");
+    assert!(rev.stats.perspectives_skipped >= 4, "{rev:?}");
+    assert!(rev.stats.rows_patched >= 1, "{rev:?}");
+    assert!(rev.error.is_none(), "{rev:?}");
+    // Both stayed bit-identical to fresh exhaustive evaluations.
+    assert_eq!(
+        maintained_rows(&server, "hot"),
+        fresh_rows(&server, Oid(0), false)
+    );
+    assert_eq!(
+        maintained_rows(&server, "rev"),
+        fresh_rows(&server, Oid(0), true)
+    );
 }
 
 #[test]
@@ -235,7 +354,9 @@ fn clearing_the_store_empties_every_subscription() {
     assert!(server.subscription_answer("near0").unwrap().is_empty());
     let deltas = server.poll_subscription("near0").unwrap();
     assert!(
-        deltas.iter().any(|d| !d.removed.is_empty()),
+        deltas
+            .iter()
+            .any(|d| !d.as_intervals().unwrap().removed.is_empty()),
         "the emptying must stream removals: {deltas:?}"
     );
 }
@@ -255,7 +376,7 @@ fn arb_script() -> impl Strategy<Value = (Vec<Vec<(f64, f64)>>, Vec<OpSpec>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// The acceptance property: across random interleavings of insert /
     /// remove / single-commit update and every prefilter backend, the
@@ -271,6 +392,11 @@ proptest! {
             PrefilterPolicy::RTree { epochs: 6 },
         ] {
             let server = ModServer::with_policy(policy);
+            // Sparse row sampling keeps the per-op P^WD quadrature cost
+            // of the row subscriptions proportionate to a property test
+            // (the density knob trades sharpness for maintenance cost;
+            // the bit-identity property is density-independent).
+            server.subscription_registry().set_row_samples(12);
             server
                 .register_all(
                     base.iter()
@@ -292,7 +418,35 @@ proptest! {
                      AND PROB_NN(*, Tr1, TIME, RANK 2) > 0",
                 )
                 .unwrap();
-            let mut folded: Vec<AnswerSet> = ["plain", "ranked"]
+            // The row ladder rides the same interleavings: a threshold
+            // subscription over Tr0 on every backend, and a reverse one
+            // over Tr1 on the first backend only — reverse planning is
+            // always exhaustive (every perspective needs the whole MOD),
+            // so the prefilter ablation does not reach it, and its
+            // sampled evaluation dominates the proptest's budget.
+            server
+                .subscribe(
+                    "hot",
+                    "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                     AND PROB_NN(*, Tr0, TIME) > 0.25",
+                )
+                .unwrap();
+            let with_reverse = matches!(policy, PrefilterPolicy::Scan { .. });
+            if with_reverse {
+                server
+                    .subscribe(
+                        "rev",
+                        "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                         AND PROB_RNN(*, Tr1, TIME) > 0",
+                    )
+                    .unwrap();
+            }
+            let names: &[&str] = if with_reverse {
+                &["plain", "ranked", "hot", "rev"]
+            } else {
+                &["plain", "ranked", "hot"]
+            };
+            let mut folded: Vec<SubAnswer> = names
                 .iter()
                 .map(|n| server.subscription_answer(n).unwrap())
                 .collect();
@@ -331,15 +485,13 @@ proptest! {
                         next_oid += 2;
                     }
                 }
-                for (acc, name) in folded.iter_mut().zip(["plain", "ranked"]) {
+                for (acc, name) in folded.iter_mut().zip(names) {
                     for d in server.poll_subscription(name).unwrap() {
                         *acc = acc.apply(&d);
                     }
                 }
             }
-            for ((name, rank), folded) in
-                [("plain", None), ("ranked", Some(2))].iter().zip(&folded)
-            {
+            for (name, folded) in names.iter().zip(&folded) {
                 let maintained = server.subscription_answer(name).unwrap();
                 let info = server
                     .subscriptions()
@@ -351,8 +503,13 @@ proptest! {
                     "{policy:?}/{name}: parked on {:?}",
                     info.error
                 );
-                let query = if *name == "plain" { Oid(0) } else { Oid(1) };
-                let fresh = fresh_answer(&server, query, *rank);
+                let fresh = match *name {
+                    "plain" => SubAnswer::Intervals(fresh_answer(&server, Oid(0), None)),
+                    "ranked" => SubAnswer::Intervals(fresh_answer(&server, Oid(1), Some(2))),
+                    "hot" => SubAnswer::Rows(fresh_rows(&server, Oid(0), false)),
+                    "rev" => SubAnswer::Rows(fresh_rows(&server, Oid(1), true)),
+                    _ => unreachable!(),
+                };
                 prop_assert_eq!(
                     &maintained,
                     &fresh,
@@ -413,7 +570,7 @@ fn maintenance_counters_partition_the_commits() {
         "query-object updates rebuild: {stats:?}"
     );
     assert_eq!(
-        server.subscription_answer("near0").unwrap(),
+        maintained_intervals(&server, "near0"),
         fresh_answer(&server, Oid(0), None)
     );
 }

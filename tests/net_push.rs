@@ -10,9 +10,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 use uncertain_nn::core::answer::AnswerSet;
+use uncertain_nn::core::probrows::ProbRowSet;
 use uncertain_nn::modb::net::{NetClient, NetServer, NetServerConfig, WireOutput};
+use uncertain_nn::modb::subscription::SubAnswer;
 use uncertain_nn::modb::{PrefilterPolicy, QueryPlanner};
 use uncertain_nn::prelude::*;
+use unn_traj::uncertain::common_pdf_kind;
 
 const WINDOW: (f64, f64) = (0.0, 60.0);
 const RADIUS: f64 = 0.5;
@@ -39,8 +42,8 @@ fn populated_server() -> Arc<ModServer> {
     Arc::new(server)
 }
 
-/// Fresh exhaustive evaluation of the standing query against the
-/// server's current contents — the bit-for-bit ground truth.
+/// Fresh exhaustive evaluation of the interval standing query against
+/// the server's current contents — the bit-for-bit ground truth.
 fn fresh_answer(server: &ModServer) -> AnswerSet {
     QueryPlanner::new(PrefilterPolicy::Exhaustive)
         .plan(
@@ -54,28 +57,58 @@ fn fresh_answer(server: &ModServer) -> AnswerSet {
         .answer_set()
 }
 
+/// Row sampling density of the loopback row tests: sparse enough to
+/// keep the P^WD quadrature cheap, dense enough to exercise real rows.
+const ROW_TEST_SAMPLES: u32 = 24;
+
+/// Fresh exhaustive probability-row evaluation (forward threshold or
+/// reverse) — the row subscriptions' ground truth.
+fn fresh_rows(server: &ModServer, reverse: bool) -> ProbRowSet {
+    let snapshot = server.store().snapshot();
+    let kind = common_pdf_kind(&snapshot)
+        .expect("shared pdf")
+        .expect("populated");
+    let pdf = kind.convolve_with(&kind);
+    let plan = QueryPlanner::new(PrefilterPolicy::Exhaustive)
+        .plan(snapshot, Oid(0), TimeInterval::new(WINDOW.0, WINDOW.1))
+        .expect("plans");
+    if reverse {
+        plan.build_reverse_engine()
+            .expect("builds")
+            .prob_row_set(pdf.as_ref(), ROW_TEST_SAMPLES)
+    } else {
+        plan.build_engine()
+            .expect("builds")
+            .prob_row_set(pdf.as_ref(), ROW_TEST_SAMPLES)
+    }
+}
+
 const REGISTER: &str = "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
                         AND PROB_NN(*, Tr0, TIME) > 0 AS pushed";
 
-/// Registers the standing query over `subscriber`'s connection and
+/// Registers a standing query over `subscriber`'s connection and
 /// returns the base answer + epoch to fold from.
-fn subscribe(subscriber: &mut NetClient) -> (AnswerSet, u64) {
-    match subscriber.execute(REGISTER).expect("registers") {
-        WireOutput::Registered(info) => assert_eq!(info.name, "pushed"),
+fn subscribe_stmt(subscriber: &mut NetClient, stmt: &str, name: &str) -> (SubAnswer, u64) {
+    match subscriber.execute(stmt).expect("registers") {
+        WireOutput::Registered(info) => assert_eq!(info.name, name),
         other => panic!("expected Registered, got {other:?}"),
     }
-    subscriber
-        .subscription_answer("pushed")
-        .expect("answer fetch")
+    subscriber.subscription_answer(name).expect("answer fetch")
 }
 
-/// Folds pushed events into `folded` until it reaches `target_epoch`
-/// (events for other subscriptions are ignored; lagged events trigger a
-/// resync through the full answer). Returns how many lagged events were
-/// seen.
-fn fold_until(
+/// Registers the interval standing query (the original test surface).
+fn subscribe(subscriber: &mut NetClient) -> (SubAnswer, u64) {
+    subscribe_stmt(subscriber, REGISTER, "pushed")
+}
+
+/// Folds pushed events for `name` into `folded` until it reaches
+/// `target_epoch` (events for other subscriptions are ignored; lagged
+/// events trigger a resync through the full answer). Returns how many
+/// lagged events were seen.
+fn fold_until_named(
     subscriber: &mut NetClient,
-    folded: &mut AnswerSet,
+    name: &str,
+    folded: &mut SubAnswer,
     folded_epoch: &mut u64,
     target_epoch: u64,
 ) -> usize {
@@ -85,24 +118,34 @@ fn fold_until(
             .next_event(Some(EVENT_TIMEOUT))
             .expect("event stream healthy")
             .unwrap_or_else(|| panic!("no event within {EVENT_TIMEOUT:?} (at epoch {folded_epoch}, want {target_epoch})"));
-        assert_eq!(ev.subscription, "pushed");
+        if ev.subscription != name {
+            continue;
+        }
         if ev.lagged {
             lagged_seen += 1;
             // Resync: the full answer subsumes every delta at or before
             // its epoch (including this squashed one).
-            let (answer, epoch) = subscriber
-                .subscription_answer("pushed")
-                .expect("resync fetch");
+            let (answer, epoch) = subscriber.subscription_answer(name).expect("resync fetch");
             *folded = answer;
             *folded_epoch = epoch;
-        } else if ev.delta.epoch > *folded_epoch {
+        } else if ev.delta.epoch() > *folded_epoch {
             *folded = folded.apply(&ev.delta);
-            *folded_epoch = ev.delta.epoch;
+            *folded_epoch = ev.delta.epoch();
         }
         // else: an in-flight delta a resync already subsumed — discard,
         // exactly as the documented client recovery protocol says.
     }
     lagged_seen
+}
+
+/// [`fold_until_named`] for the original "pushed" subscription.
+fn fold_until(
+    subscriber: &mut NetClient,
+    folded: &mut SubAnswer,
+    folded_epoch: &mut u64,
+    target_epoch: u64,
+) -> usize {
+    fold_until_named(subscriber, "pushed", folded, folded_epoch, target_epoch)
 }
 
 /// Two writer clients mutate the MOD over the wire while a third holds a
@@ -149,7 +192,7 @@ fn pushed_deltas_fold_to_fresh_evaluation() {
         .expect("server-side answer");
     assert_eq!(target_epoch, server.store().epoch());
     let pull_deltas = server.poll_subscription("pushed").expect("pull feed");
-    let last_emitted = pull_deltas.last().expect("deltas were emitted").epoch;
+    let last_emitted = pull_deltas.last().expect("deltas were emitted").epoch();
     let lagged = fold_until(
         &mut subscriber,
         &mut folded,
@@ -159,7 +202,7 @@ fn pushed_deltas_fold_to_fresh_evaluation() {
     assert_eq!(lagged, 0, "no backpressure expected at default bounds");
     // The folded pushed deltas equal a fresh exhaustive evaluation…
     assert_eq!(folded, target);
-    assert_eq!(folded, fresh_answer(&server));
+    assert_eq!(folded, SubAnswer::Intervals(fresh_answer(&server)));
     // …and the pull feed (same deltas, pull transport) folds identically.
     let (pull_base, _) = subscribe_base.clone();
     let pull_folded = pull_deltas.iter().fold(pull_base, |acc, d| acc.apply(d));
@@ -217,7 +260,7 @@ fn lagged_stream_resyncs_bit_identically() {
         .expect("pull feed")
         .last()
         .expect("deltas were emitted")
-        .epoch;
+        .epoch();
     let lagged = fold_until(
         &mut subscriber,
         &mut folded,
@@ -228,7 +271,7 @@ fn lagged_stream_resyncs_bit_identically() {
     assert_eq!(folded, target);
     assert_eq!(
         folded,
-        fresh_answer(&server),
+        SubAnswer::Intervals(fresh_answer(&server)),
         "lagged resync diverged from fresh evaluation"
     );
 
@@ -254,7 +297,9 @@ fn subscriptions_survive_disconnect_and_shutdown_is_clean() {
     // The subscription still maintains after the connection died.
     server.store().insert(straight(30, 0.5)).unwrap();
     let mut reader = NetClient::connect(addr).expect("reconnects");
-    let (answer, epoch) = reader.subscription_answer("pushed").expect("still there");
+    let (answer, epoch) = reader
+        .subscription_intervals("pushed")
+        .expect("still there");
     assert_eq!(epoch, server.store().epoch());
     assert_eq!(answer, fresh_answer(&server));
 
@@ -272,4 +317,147 @@ fn subscriptions_survive_disconnect_and_shutdown_is_clean() {
     net.shutdown();
     // The abandoned client now sees a dead socket.
     assert!(reader.next_event(Some(Duration::from_millis(500))).is_err());
+}
+
+const REGISTER_THRESHOLD: &str = "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN \
+                                  [0, 60] AND PROB_NN(*, Tr0, TIME) > 0.3 AS hot";
+const REGISTER_RNN: &str = "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN \
+                            [0, 60] AND PROB_RNN(*, Tr0, TIME) > 0 AS rev";
+
+/// Threshold and reverse standing queries over loopback TCP: the pushed
+/// [`uncertain_nn::core::probrows::ProbRowDelta`] frames, folded
+/// client-side, equal fresh exhaustive row evaluations bit-for-bit.
+#[test]
+fn row_subscription_deltas_fold_to_fresh_evaluation() {
+    let server = populated_server();
+    server
+        .subscription_registry()
+        .set_row_samples(ROW_TEST_SAMPLES);
+    let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("binds");
+    let addr = net.local_addr();
+
+    let mut subscriber = NetClient::connect(addr).expect("subscriber connects");
+    let (mut hot, mut hot_epoch) = subscribe_stmt(&mut subscriber, REGISTER_THRESHOLD, "hot");
+    let (mut rev, mut rev_epoch) = subscribe_stmt(&mut subscriber, REGISTER_RNN, "rev");
+    assert!(hot.as_rows().is_some(), "threshold subs answer with rows");
+    assert!(rev.as_rows().is_some(), "reverse subs answer with rows");
+
+    let mut writer = NetClient::connect(addr).expect("writer connects");
+    writer.insert(straight(10, 0.4)).expect("insert");
+    writer.update(straight(10, 0.2)).expect("update");
+    writer.insert(straight(90, 70_000.0)).expect("far insert");
+    writer.update(straight(2, 2.5)).expect("update");
+    writer.remove(Oid(90)).expect("far remove");
+
+    // Both subscriptions share one connection, so their pushed events
+    // interleave: fold them in a single pass, dispatching each event to
+    // its subscription's accumulator.
+    let mut slots = [
+        ("hot", &mut hot, &mut hot_epoch),
+        ("rev", &mut rev, &mut rev_epoch),
+    ];
+    let mut targets = Vec::new();
+    for (name, _, folded_epoch) in slots.iter() {
+        let (target, _) = server
+            .subscription_answer_with_epoch(name)
+            .expect("server-side answer");
+        let last_emitted = server
+            .poll_subscription(name)
+            .expect("pull feed")
+            .last()
+            .map(|d| d.epoch())
+            .unwrap_or(**folded_epoch);
+        targets.push((target, last_emitted));
+    }
+    while slots
+        .iter()
+        .zip(&targets)
+        .any(|((_, _, epoch), (_, last))| **epoch < *last)
+    {
+        let ev = subscriber
+            .next_event(Some(EVENT_TIMEOUT))
+            .expect("event stream healthy")
+            .expect("an event before the watermark");
+        assert!(!ev.lagged, "no backpressure at default bounds");
+        let (_, folded, folded_epoch) = slots
+            .iter_mut()
+            .find(|(name, _, _)| *name == ev.subscription)
+            .expect("event for a registered subscription");
+        if ev.delta.epoch() > **folded_epoch {
+            **folded = folded.apply(&ev.delta);
+            **folded_epoch = ev.delta.epoch();
+        }
+    }
+    for ((name, folded, _), (target, _)) in slots.iter().zip(&targets) {
+        assert_eq!(*folded, target, "{name}: folded != maintained");
+    }
+    assert_eq!(hot, SubAnswer::Rows(fresh_rows(&server, false)));
+    assert_eq!(rev, SubAnswer::Rows(fresh_rows(&server, true)));
+
+    writer.close().expect("clean close");
+    subscriber.close().expect("clean close");
+    net.shutdown();
+}
+
+/// The lagged-resync path for row subscriptions: a capacity-1 paced
+/// outbox squashes a burst of row deltas; the client resyncs from the
+/// full [`WireOutput::RowAnswer`] and still lands bit-identically on
+/// the fresh evaluation.
+#[test]
+fn lagged_row_stream_resyncs_bit_identically() {
+    let server = populated_server();
+    server
+        .subscription_registry()
+        .set_row_samples(ROW_TEST_SAMPLES);
+    let net = NetServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        NetServerConfig {
+            outbox_capacity: 1,
+            // Row maintenance itself costs hundreds of milliseconds per
+            // commit (the P^WD quadrature), so the pacing must dominate
+            // the commit cadence for deltas to provably pile up and
+            // squash while the pusher sleeps.
+            event_pacing: Duration::from_secs(3),
+        },
+    )
+    .expect("binds");
+    let addr = net.local_addr();
+
+    let mut subscriber = NetClient::connect(addr).expect("subscriber connects");
+    let (mut folded, mut folded_epoch) = subscribe_stmt(&mut subscriber, REGISTER_THRESHOLD, "hot");
+
+    let mut writer = NetClient::connect(addr).expect("writer connects");
+    for k in 0..8u64 {
+        writer
+            .insert(straight(20 + k, 0.2 + 0.05 * k as f64))
+            .expect("insert");
+    }
+    let (target, _) = server
+        .subscription_answer_with_epoch("hot")
+        .expect("server-side answer");
+    let last_emitted = server
+        .poll_subscription("hot")
+        .expect("pull feed")
+        .last()
+        .expect("deltas were emitted")
+        .epoch();
+    let lagged = fold_until_named(
+        &mut subscriber,
+        "hot",
+        &mut folded,
+        &mut folded_epoch,
+        last_emitted,
+    );
+    assert!(lagged >= 1, "the burst must have squashed at least once");
+    assert_eq!(folded, target);
+    assert_eq!(
+        folded,
+        SubAnswer::Rows(fresh_rows(&server, false)),
+        "lagged row resync diverged from fresh evaluation"
+    );
+
+    writer.close().expect("clean close");
+    subscriber.close().expect("clean close");
+    net.shutdown();
 }

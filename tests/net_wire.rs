@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 use uncertain_nn::core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
+use uncertain_nn::core::probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 use uncertain_nn::modb::net::wire::{
     decode_payload, encode_payload, read_frame, write_frame, Frame, WireOutput, WireRequest,
     WIRE_VERSION,
@@ -88,7 +89,61 @@ fn arb_stats() -> impl Strategy<Value = SubscriptionStats> {
         envelopes_carried: d,
         functions_reused: a ^ b,
         functions_built: c ^ d,
+        rows_patched: a + c,
+        perspectives_skipped: b ^ d,
     })
+}
+
+const ARB_SAMPLES: u32 = 64;
+
+/// Rows with distinct ascending oids and strictly ascending in-range
+/// sample indices (the `ProbRowSet` invariants the codec enforces).
+fn arb_prob_rows() -> impl Strategy<Value = Vec<ProbRow>> {
+    (
+        prop::collection::btree_set(0u64..10_000, 0..5),
+        prop::collection::vec(
+            (
+                prop::collection::btree_set(0u32..ARB_SAMPLES, 1..6),
+                prop::collection::vec(0.0..1.0f64, 6),
+            ),
+            5,
+        ),
+    )
+        .prop_map(|(oids, contents)| {
+            oids.into_iter()
+                .zip(contents)
+                .map(|(oid, (idxs, probs))| ProbRow {
+                    oid: Oid(oid),
+                    points: idxs.into_iter().zip(probs).collect(),
+                })
+                .collect()
+        })
+}
+
+fn arb_perspective() -> impl Strategy<Value = RowPerspective> {
+    prop_oneof![Just(RowPerspective::Forward), Just(RowPerspective::Reverse),]
+}
+
+fn arb_row_set() -> impl Strategy<Value = ProbRowSet> {
+    (arb_oid(), arb_window(), arb_perspective(), arb_prob_rows()).prop_map(
+        |(query, window, perspective, rows)| {
+            ProbRowSet::new(query, window, perspective, ARB_SAMPLES, rows)
+        },
+    )
+}
+
+fn arb_row_delta() -> impl Strategy<Value = ProbRowDelta> {
+    (
+        0u64..1_000_000,
+        arb_prob_rows(),
+        prop::collection::btree_set(0u64..10_000, 0..5),
+    )
+        .prop_map(|(epoch, upserts, removed)| ProbRowDelta {
+            epoch,
+            samples: ARB_SAMPLES,
+            upserts,
+            removed: removed.into_iter().map(Oid).collect(),
+        })
 }
 
 fn arb_info() -> impl Strategy<Value = SubscriptionInfo> {
@@ -168,6 +223,8 @@ fn arb_output() -> impl Strategy<Value = WireOutput> {
         (0u64..1_000_000, arb_answer_set())
             .prop_map(|(epoch, answer)| WireOutput::Answer { epoch, answer }),
         Just(WireOutput::Done),
+        (0u64..1_000_000, arb_row_set())
+            .prop_map(|(epoch, rows)| WireOutput::RowAnswer { epoch, rows }),
     ]
 }
 
@@ -194,6 +251,13 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             subscription,
             delta,
             lagged: lag == 1
+        }),
+        (arb_string(), arb_row_delta(), 0u64..2).prop_map(|(subscription, delta, lag)| {
+            Frame::RowEvent {
+                subscription,
+                delta,
+                lagged: lag == 1,
+            }
         }),
         Just(Frame::Bye),
     ]
