@@ -231,19 +231,30 @@ impl<'a> JsonParser<'a> {
 /// `naive` requirement): a regeneration that silently drops one of
 /// these rows fails CI instead of shipping an artifact that no longer
 /// tracks the number it gates on.
-const REQUIRED_GROUPS: &[(&str, &[&str])] = &[(
-    "BENCH_continuous_queries.json",
-    &[
-        "maintain_far",
-        "maintain_near",
-        "naive",
-        "maintain_threshold",
-        "naive_threshold",
-        "maintain_rnn",
-        "naive_rnn",
-        "push_fanout",
-    ],
-)];
+const REQUIRED_GROUPS: &[(&str, &[&str])] = &[
+    (
+        "BENCH_continuous_queries.json",
+        &[
+            "maintain_far",
+            "maintain_near",
+            "naive",
+            "maintain_threshold",
+            "naive_threshold",
+            "maintain_rnn",
+            "naive_rnn",
+            "push_fanout",
+        ],
+    ),
+    (
+        "BENCH_probability_kernels.json",
+        &[
+            "column_scalar",
+            "column_batched",
+            "rows_full",
+            "rows_adaptive",
+        ],
+    ),
+];
 
 /// Validates one report file, returning the number of benchmark entries.
 fn check_report(path: &Path) -> Result<usize, String> {

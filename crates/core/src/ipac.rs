@@ -18,9 +18,9 @@
 use crate::algorithms::lower_envelope;
 use crate::band::{enters_band, prune_by_band, BandStats};
 use crate::envelope::Envelope;
+use crate::kernel::ColumnKernel;
 use std::fmt::Write as _;
 use unn_geom::interval::TimeInterval;
-use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
 use unn_prob::uniform_diff::UniformDifferencePdf;
 use unn_traj::distance::DistanceFunction;
 use unn_traj::trajectory::Oid;
@@ -369,12 +369,12 @@ pub fn annotate_probabilities(
     if samples == 0 {
         return;
     }
-    let pdf = UniformDifferencePdf::new(radius);
-    let delta = 4.0 * radius;
+    // One profiled kernel for the whole tree: every node probe is a
+    // standard gather → evaluate column over it.
+    let kernel = ColumnKernel::new(&UniformDifferencePdf::new(radius));
     let envelope = tree.envelope.clone();
-    let cfg = NnConfig::default();
     for root in &mut tree.roots {
-        annotate_node(root, fs, &envelope, &pdf, delta, samples, cfg);
+        annotate_node(root, fs, &envelope, &kernel, samples);
     }
 }
 
@@ -382,10 +382,8 @@ fn annotate_node(
     node: &mut IpacNode,
     fs: &[DistanceFunction],
     le: &Envelope,
-    pdf: &UniformDifferencePdf,
-    delta: f64,
+    kernel: &ColumnKernel,
     samples: usize,
-    cfg: NnConfig,
 ) {
     let probe_count = samples.max(1);
     let times = node.span.sample_points(probe_count);
@@ -401,32 +399,13 @@ fn annotate_node(
             Some(v) => v,
             None => continue,
         };
-        // Candidates with non-zero probability at t.
-        let mut dists = Vec::new();
-        let mut owner_pos = None;
-        for f in fs {
-            if let Some(d) = f.eval(t) {
-                if d <= le_v + delta {
-                    if f.owner() == node.owner {
-                        owner_pos = Some(dists.len());
-                    }
-                    dists.push(d);
-                }
-            }
+        let column = kernel.column(fs, le_v, t);
+        if let Some((_, p)) = column.iter().find(|(o, _)| *o == node.owner) {
+            node.descriptor.prob_samples.push((t, *p));
         }
-        let Some(pos) = owner_pos else { continue };
-        let cands: Vec<NnCandidate> = dists
-            .iter()
-            .map(|&d| NnCandidate {
-                center_distance: d,
-                pdf,
-            })
-            .collect();
-        let probs = nn_probabilities(&cands, cfg);
-        node.descriptor.prob_samples.push((t, probs[pos]));
     }
     for c in &mut node.children {
-        annotate_node(c, fs, le, pdf, delta, samples, cfg);
+        annotate_node(c, fs, le, kernel, samples);
     }
 }
 

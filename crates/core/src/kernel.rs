@@ -1,0 +1,355 @@
+//! The batched probability **column kernel**: gather → evaluate → scatter.
+//!
+//! Every consumer of Eq. 5 columns — cold row sweeps, patched recomputes,
+//! one-shot threshold views, RNN perspective rows, IPAC annotation — used
+//! to evaluate one `(probe, candidate)` pair at a time through
+//! `&dyn RadialPdf`, paying adaptive-quadrature and virtual-dispatch cost
+//! per sample. [`ColumnKernel`] restructures the work:
+//!
+//! 1. **Gather** — the dirty probe columns of a maintenance round are
+//!    collected into one [`ColumnBatch`]: flat `(owner, distance)` arrays
+//!    plus `(sample, start, len)` column descriptors. No pdf objects, no
+//!    `Arc`s — just contiguous `f64`s.
+//! 2. **Evaluate** — [`ColumnKernel::evaluate`] runs the profiled Eq. 5
+//!    evaluator ([`unn_prob::profile`]) over each column slice,
+//!    structure-of-arrays, sharing one scratch allocation across the whole
+//!    batch and one [`ProfiledPdf`] across every candidate.
+//! 3. **Scatter** — callers zip the flat result back into
+//!    [`crate::probrows::ProbRowSet`] columns (or pick the single owner
+//!    they care about).
+//!
+//! On top of the batched path sits the **coarse-then-refine ladder**
+//! (adaptive density): with a nonzero `tolerance`, each column is first
+//! evaluated at 4 and 8 Gauss–Legendre points per segment; the spread
+//! `|v₈ − v₄|` is a conservative interval bound for `v₈`, and only
+//! columns whose bound exceeds the tolerance *or* straddles the
+//! subscription threshold `p` are refined at the full 32-point density.
+//! `tolerance == 0` (the default) skips the ladder entirely, so the
+//! kernel is then exactly the full-density evaluator — the bit-identity
+//! contract between maintained and freshly computed rows is untouched
+//! unless the knob is explicitly turned.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unn_prob::pdf::RadialPdf;
+use unn_prob::profile::{nn_probabilities_profiled, NnScratch, ProfiledPdf};
+use unn_traj::distance::DistanceFunction;
+use unn_traj::trajectory::Oid;
+
+/// Gauss–Legendre points per segment at full density — matches
+/// `unn_prob::nn_prob::NnConfig::default()`.
+pub const FULL_POINTS_PER_SEGMENT: usize = 32;
+
+/// First rung of the coarse ladder.
+const COARSE_POINTS: usize = 4;
+
+/// Second rung; the spread against the first rung is the error bound.
+const CHECK_POINTS: usize = 8;
+
+/// A batch of probe columns gathered into flat arrays.
+///
+/// `ids`/`dists` are index-aligned; each column descriptor names its
+/// probe sample index and its `[start, start+len)` slice of the arrays.
+#[derive(Debug, Default)]
+pub struct ColumnBatch {
+    ids: Vec<Oid>,
+    dists: Vec<f64>,
+    cols: Vec<(u32, u32, u32)>,
+}
+
+impl ColumnBatch {
+    /// Drops all gathered columns, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.dists.clear();
+        self.cols.clear();
+    }
+
+    /// Gathers the column at probe instant `t` (sample index `k`): every
+    /// function inside the band `LE(t) + band` contributes one work item.
+    /// Returns `true` when the column is non-empty (and was recorded).
+    pub fn gather(&mut self, k: u32, fs: &[DistanceFunction], le: f64, t: f64, band: f64) -> bool {
+        let start = self.ids.len();
+        for f in fs {
+            if let Some(d) = f.eval(t) {
+                if d <= le + band {
+                    self.ids.push(f.owner());
+                    self.dists.push(d);
+                }
+            }
+        }
+        let len = self.ids.len() - start;
+        if len == 0 {
+            return false;
+        }
+        self.cols.push((k, start as u32, len as u32));
+        true
+    }
+
+    /// Number of gathered columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` when no column has been gathered.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Total number of `(probe, candidate)` work items in the batch.
+    pub fn items(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterates the batch's columns zipped with an evaluation result:
+    /// `(sample index, owners, probabilities)` per column.
+    pub fn columns<'a>(
+        &'a self,
+        probs: &'a [f64],
+    ) -> impl Iterator<Item = (u32, &'a [Oid], &'a [f64])> + 'a {
+        debug_assert_eq!(probs.len(), self.ids.len());
+        self.cols.iter().map(move |&(k, start, len)| {
+            let (s, e) = (start as usize, (start + len) as usize);
+            (k, &self.ids[s..e], &probs[s..e])
+        })
+    }
+}
+
+#[derive(Default)]
+struct EvalScratch {
+    nn: NnScratch,
+    coarse: Vec<f64>,
+    check: Vec<f64>,
+}
+
+/// The shared column evaluator: one profiled difference pdf, the adaptive
+/// ladder configuration, and the refinement counters.
+///
+/// Cheap to build from an already-profiled pdf
+/// ([`ColumnKernel::from_profile`]); [`ColumnKernel::new`] profiles on the
+/// spot for one-shot callers.
+#[derive(Debug)]
+pub struct ColumnKernel {
+    profile: Arc<ProfiledPdf>,
+    tolerance: f64,
+    threshold: f64,
+    refined: AtomicU64,
+    coarse_only: AtomicU64,
+}
+
+impl ColumnKernel {
+    /// Profiles `pdf` and builds a full-density kernel (tolerance 0).
+    pub fn new(pdf: &dyn RadialPdf) -> Self {
+        Self::from_profile(Arc::new(ProfiledPdf::of(pdf)))
+    }
+
+    /// Builds a full-density kernel around an existing profile (the
+    /// store-wide cache hands these out).
+    pub fn from_profile(profile: Arc<ProfiledPdf>) -> Self {
+        ColumnKernel {
+            profile,
+            tolerance: 0.0,
+            threshold: 0.0,
+            refined: AtomicU64::new(0),
+            coarse_only: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables the coarse-then-refine ladder: columns whose coarse error
+    /// bound is below `tolerance` *and* clear of the threshold `p` by more
+    /// than the bound plus the tolerance keep their coarse value; all
+    /// others are refined at full density. `tolerance <= 0` disables the
+    /// ladder (always full density).
+    pub fn adaptive(mut self, tolerance: f64, threshold: f64) -> Self {
+        self.tolerance = tolerance.max(0.0);
+        self.threshold = threshold;
+        self
+    }
+
+    /// The profile this kernel evaluates with.
+    pub fn profile(&self) -> &Arc<ProfiledPdf> {
+        &self.profile
+    }
+
+    /// Support radius of the profiled (difference) pdf.
+    pub fn support_radius(&self) -> f64 {
+        self.profile.support_radius()
+    }
+
+    /// The gather band: `2 · support` — the `4r` rule for uniform pairs.
+    pub fn band(&self) -> f64 {
+        2.0 * self.profile.support_radius()
+    }
+
+    /// Drains the `(refined, coarse_only)` column counters accumulated
+    /// since the last call. Both stay 0 while the ladder is disabled.
+    pub fn take_counters(&self) -> (u64, u64) {
+        (
+            self.refined.swap(0, Ordering::Relaxed),
+            self.coarse_only.swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Evaluates every column of the batch; the result is index-aligned
+    /// with the batch's flat work items (see [`ColumnBatch::columns`]).
+    pub fn evaluate(&self, batch: &ColumnBatch) -> Vec<f64> {
+        let mut probs = vec![0.0; batch.ids.len()];
+        let mut scratch = EvalScratch::default();
+        let mut out = Vec::new();
+        for &(_, start, len) in &batch.cols {
+            let (s, e) = (start as usize, (start + len) as usize);
+            self.eval_column(&batch.dists[s..e], &mut scratch, &mut out);
+            probs[s..e].copy_from_slice(&out);
+        }
+        probs
+    }
+
+    /// Gathers and evaluates a single column — the one-shot entry point
+    /// (threshold probes, IPAC annotation). Returns `(owner, P^NN)` pairs
+    /// in the functions' iteration order.
+    pub fn column(&self, fs: &[DistanceFunction], le: f64, t: f64) -> Vec<(Oid, f64)> {
+        let mut batch = ColumnBatch::default();
+        if !batch.gather(0, fs, le, t, self.band()) {
+            return Vec::new();
+        }
+        let probs = self.evaluate(&batch);
+        batch.ids.into_iter().zip(probs).collect()
+    }
+
+    fn eval_column(&self, dists: &[f64], scratch: &mut EvalScratch, out: &mut Vec<f64>) {
+        if self.tolerance <= 0.0 || dists.len() <= 1 {
+            nn_probabilities_profiled(
+                &self.profile,
+                dists,
+                FULL_POINTS_PER_SEGMENT,
+                &mut scratch.nn,
+                out,
+            );
+            return;
+        }
+        nn_probabilities_profiled(
+            &self.profile,
+            dists,
+            COARSE_POINTS,
+            &mut scratch.nn,
+            &mut scratch.coarse,
+        );
+        nn_probabilities_profiled(
+            &self.profile,
+            dists,
+            CHECK_POINTS,
+            &mut scratch.nn,
+            &mut scratch.check,
+        );
+        let clear = scratch.check.iter().zip(&scratch.coarse).all(|(&v8, &v4)| {
+            let err = (v8 - v4).abs();
+            err <= self.tolerance && (v8 - self.threshold).abs() > err + self.tolerance
+        });
+        if clear {
+            self.coarse_only.fetch_add(1, Ordering::Relaxed);
+            out.clear();
+            out.extend_from_slice(&scratch.check);
+        } else {
+            self.refined.fetch_add(1, Ordering::Relaxed);
+            nn_probabilities_profiled(
+                &self.profile,
+                dists,
+                FULL_POINTS_PER_SEGMENT,
+                &mut scratch.nn,
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unn_geom::hyperbola::Hyperbola;
+    use unn_geom::interval::TimeInterval;
+    use unn_geom::point::Vec2;
+    use unn_prob::UniformDifferencePdf;
+
+    fn flyby(owner: u64, x0: f64, y: f64, v: f64) -> DistanceFunction {
+        DistanceFunction::single(
+            Oid(owner),
+            TimeInterval::new(0.0, 10.0),
+            Hyperbola::from_relative_motion(Vec2::new(x0, y), Vec2::new(v, 0.0), 0.0),
+        )
+    }
+
+    fn fleet() -> Vec<DistanceFunction> {
+        vec![
+            flyby(1, -5.0, 1.0, 1.0),
+            flyby(2, -2.0, 1.4, 1.0),
+            flyby(3, -6.0, 0.9, 1.0),
+            flyby(4, 0.0, 50.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn batched_column_matches_single_column() {
+        let fs = fleet();
+        let kernel = ColumnKernel::new(&UniformDifferencePdf::new(0.5));
+        let le = 1.5;
+        let single = kernel.column(&fs, le, 5.0);
+        let mut batch = ColumnBatch::default();
+        assert!(batch.gather(3, &fs, le, 5.0, kernel.band()));
+        assert!(batch.gather(4, &fs, le, 6.0, kernel.band()));
+        let probs = kernel.evaluate(&batch);
+        let (k, ids, ps) = kernel_first_column(&batch, &probs);
+        assert_eq!(k, 3);
+        assert_eq!(ids.len(), single.len());
+        for ((oid, p), (bid, bp)) in single.iter().zip(ids.iter().zip(ps)) {
+            assert_eq!(oid, bid);
+            assert_eq!(p.to_bits(), bp.to_bits());
+        }
+    }
+
+    fn kernel_first_column<'a>(
+        batch: &'a ColumnBatch,
+        probs: &'a [f64],
+    ) -> (u32, &'a [Oid], &'a [f64]) {
+        batch.columns(probs).next().expect("non-empty batch")
+    }
+
+    #[test]
+    fn zero_tolerance_matches_full_density_bitwise() {
+        let fs = fleet();
+        let pdf = UniformDifferencePdf::new(0.5);
+        let full = ColumnKernel::new(&pdf);
+        let adaptive_zero = ColumnKernel::new(&pdf).adaptive(0.0, 0.3);
+        for t in [1.0, 3.5, 7.0] {
+            let a = full.column(&fs, 1.5, t);
+            let b = adaptive_zero.column(&fs, 1.5, t);
+            assert_eq!(a.len(), b.len());
+            for ((ao, ap), (bo, bp)) in a.iter().zip(&b) {
+                assert_eq!(ao, bo);
+                assert_eq!(ap.to_bits(), bp.to_bits());
+            }
+        }
+        assert_eq!(adaptive_zero.take_counters(), (0, 0));
+    }
+
+    #[test]
+    fn adaptive_ladder_classifies_like_full_density() {
+        let fs = fleet();
+        let pdf = UniformDifferencePdf::new(0.5);
+        let tol = 1e-3;
+        let p = 0.3;
+        let full = ColumnKernel::new(&pdf);
+        let adaptive = ColumnKernel::new(&pdf).adaptive(tol, p);
+        for t in [0.5, 2.0, 4.5, 6.0, 8.5] {
+            let exact = full.column(&fs, 1.5, t);
+            let approx = adaptive.column(&fs, 1.5, t);
+            assert_eq!(exact.len(), approx.len());
+            for ((_, pe), (_, pa)) in exact.iter().zip(&approx) {
+                // Same side of the threshold, and within the stated bound.
+                assert_eq!(*pe > p, *pa > p, "t={t}: exact {pe} vs approx {pa}");
+                assert!((pe - pa).abs() <= tol, "t={t}: exact {pe} vs approx {pa}");
+            }
+        }
+        let (refined, coarse) = adaptive.take_counters();
+        assert!(refined + coarse > 0, "ladder should have been exercised");
+    }
+}

@@ -23,6 +23,9 @@
 //!   dual of Theorem 2;
 //! * [`query`] — the §4 query variants (Categories 1–4, UQ11…UQ43, and
 //!   fixed-time forms) with naive baselines for Figure 12;
+//! * [`kernel`] — the batched probability **column kernel**
+//!   ([`kernel::ColumnKernel`]): all Eq. 5 column evaluation funnels
+//!   through it (see "Kernel architecture" below);
 //! * [`probrows`] — incremental sampled probability rows
 //!   ([`probrows::ProbRowSet`] / [`probrows::ProbRowDelta`]): the
 //!   diffable representation behind threshold and reverse **standing**
@@ -44,6 +47,38 @@
 //! The within-distance / NN probability machinery the semantics rest on
 //! (Eq. 3–7, Theorem 1) lives in the `unn-prob` substrate; trajectories,
 //! difference transforms, and workloads live in `unn-traj`.
+//!
+//! ## Kernel architecture: batch → evaluate → scatter
+//!
+//! Every Eq. 5 probability column — threshold sweeps, forward row
+//! subscriptions, RNN perspective rows, IPAC annotation — is produced by
+//! one shared evaluator, the [`kernel::ColumnKernel`]:
+//!
+//! ```text
+//!   dirty probe columns of a maintenance round
+//!        │ gather: (owner, distance) work items, flat arrays
+//!        ▼
+//!   ColumnBatch ──► ColumnKernel::evaluate ──► flat P^NN values
+//!        │    ProfiledPdf (tabulated P^WD/pdf^WD,       │
+//!        │    no dyn dispatch, shared scratch)          │ scatter
+//!        ▼                                              ▼
+//!   provenance (which owners fed column k)      ProbRowSet columns
+//! ```
+//!
+//! The kernel evaluates through a [`unn_prob::profile::ProfiledPdf`] —
+//! the difference pdf profiled once into dense radial tables — so the
+//! inner loops are table-lerps and multiply-adds over
+//! structure-of-arrays scratch, not virtual `density()` calls under
+//! adaptive quadrature.
+//!
+//! **Coarse-then-refine ladder.** With a nonzero tolerance the kernel
+//! first evaluates each column at 4 and 8 Gauss–Legendre points per
+//! segment; `|v₈ − v₄|` is a conservative error bound, and only columns
+//! whose bound exceeds the tolerance or straddles the subscription
+//! threshold `p` are refined at the full 32-point density. Tolerance 0
+//! (the default) bypasses the ladder: results are then bit-identical to
+//! the full-density evaluator, preserving the maintained-vs-fresh
+//! bit-identity contract of [`probrows`].
 
 #![warn(missing_docs)]
 
@@ -55,6 +90,7 @@ pub mod env2;
 pub mod envelope;
 pub mod hetero;
 pub mod ipac;
+pub mod kernel;
 pub mod merge;
 pub mod naive;
 pub mod oracle;
@@ -77,13 +113,15 @@ pub use hetero::{HeteroCandidate, HeteroEngine, HeteroStats};
 pub use ipac::{
     annotate_probabilities, build_ipac_tree, Descriptor, IpacConfig, IpacNode, IpacTree,
 };
+pub use kernel::{ColumnBatch, ColumnKernel};
 pub use naive::lower_envelope_naive;
 pub use probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 pub use query::QueryEngine;
 pub use reverse::{all_pairs_nn, PairAnswer, ReverseNnEngine};
 pub use shifted::{shifted_lower_envelope, ShiftedEnvelope, ShiftedFunction};
 pub use threshold::{
-    probability_at, probability_at_with, threshold_nn_query, threshold_nn_query_with,
-    threshold_nn_sweep, threshold_nn_sweep_with, ThresholdRow,
+    probability_at, probability_at_kernel, probability_at_with, threshold_nn_query,
+    threshold_nn_query_with, threshold_nn_sweep, threshold_nn_sweep_kernel,
+    threshold_nn_sweep_with, ThresholdRow,
 };
 pub use topk::{continuous_knn, probabilistic_topk_at, semantics_agreement, KnnAnswer, KnnCell};

@@ -30,9 +30,6 @@
 //! construction.
 
 use unn_geom::interval::TimeInterval;
-use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
-use unn_prob::pdf::RadialPdf;
-use unn_traj::distance::DistanceFunction;
 use unn_traj::trajectory::Oid;
 
 /// Which side of the NN relation the rows describe.
@@ -395,43 +392,6 @@ impl ProbRowDelta {
             removed,
         }
     }
-}
-
-/// One probe column: the joint Eq. 5 evaluation at instant `t` over the
-/// functions inside the band `LE(t) + 2·support(pdf)` of the given
-/// envelope value. Returns `(owner, P^NN)` pairs in the functions'
-/// iteration order — the canonical column every producer (cold sweep,
-/// patched recompute, one-shot threshold view) shares, so recomputed
-/// columns are bit-identical to cold ones.
-pub(crate) fn probability_column(
-    fs: &[DistanceFunction],
-    le: f64,
-    pdf: &dyn RadialPdf,
-    t: f64,
-) -> Vec<(Oid, f64)> {
-    let delta = 2.0 * pdf.support_radius();
-    let mut ids = Vec::new();
-    let mut dists = Vec::new();
-    for f in fs {
-        if let Some(d) = f.eval(t) {
-            if d <= le + delta {
-                ids.push(f.owner());
-                dists.push(d);
-            }
-        }
-    }
-    if ids.is_empty() {
-        return Vec::new();
-    }
-    let cands: Vec<NnCandidate> = dists
-        .iter()
-        .map(|&d| NnCandidate {
-            center_distance: d,
-            pdf,
-        })
-        .collect();
-    let probs = nn_probabilities(&cands, NnConfig::default());
-    ids.into_iter().zip(probs).collect()
 }
 
 #[cfg(test)]

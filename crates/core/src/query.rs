@@ -21,6 +21,7 @@ use crate::answer::{AnswerEntry, AnswerSet};
 use crate::band::{inside_band_intervals, prune_by_band, BandStats};
 use crate::envelope::Envelope;
 use crate::ipac::{build_ipac_tree, IpacConfig, IpacTree};
+use crate::kernel::{ColumnBatch, ColumnKernel};
 use crate::probrows::{ProbRow, ProbRowSet, RowPerspective};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
@@ -216,17 +217,34 @@ impl QueryEngine {
     ///
     /// Panics when `samples == 0`.
     pub fn prob_row_set(&self, pdf: &dyn RadialPdf, samples: u32) -> ProbRowSet {
+        self.prob_row_set_kernel(&ColumnKernel::new(pdf), samples)
+    }
+
+    /// [`QueryEngine::prob_row_set`] over an already-built column kernel
+    /// (gather → evaluate → scatter): all probe columns are gathered into
+    /// one flat batch and evaluated in a single pass. The subscription
+    /// layer calls this with the store-cached profile and its adaptive
+    /// configuration; the `&dyn RadialPdf` entry point profiles on the
+    /// spot and is bit-identical to this one at tolerance 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples == 0`.
+    pub fn prob_row_set_kernel(&self, kernel: &ColumnKernel, samples: u32) -> ProbRowSet {
         assert!(samples > 0, "need at least one probe");
-        let mut points: BTreeMap<Oid, Vec<(u32, f64)>> = BTreeMap::new();
         let window = self.window;
+        let mut batch = ColumnBatch::default();
         for k in 0..samples {
             let t = window.start() + (k as f64 + 0.5) * window.len() / samples as f64;
-            let le = match self.envelope.eval(t) {
-                Some(v) => v,
-                None => continue,
-            };
-            for (oid, p) in crate::probrows::probability_column(&self.fs, le, pdf, t) {
-                points.entry(oid).or_default().push((k, p));
+            if let Some(le) = self.envelope.eval(t) {
+                batch.gather(k, &self.fs, le, t, kernel.band());
+            }
+        }
+        let probs = kernel.evaluate(&batch);
+        let mut points: BTreeMap<Oid, Vec<(u32, f64)>> = BTreeMap::new();
+        for (k, ids, ps) in batch.columns(&probs) {
+            for (oid, p) in ids.iter().zip(ps) {
+                points.entry(*oid).or_default().push((k, *p));
             }
         }
         let rows = points
@@ -255,6 +273,18 @@ impl QueryEngine {
         prev: &ProbRowSet,
         fresh: &dyn Fn(Oid) -> bool,
     ) -> (ProbRowSet, usize) {
+        self.prob_row_set_reusing_kernel(&ColumnKernel::new(pdf), prev, fresh)
+    }
+
+    /// [`QueryEngine::prob_row_set_reusing`] over an already-built column
+    /// kernel: the dirty columns are gathered into one flat batch and
+    /// evaluated in a single pass, clean columns are copied bit-for-bit.
+    pub fn prob_row_set_reusing_kernel(
+        &self,
+        kernel: &ColumnKernel,
+        prev: &ProbRowSet,
+        fresh: &dyn Fn(Oid) -> bool,
+    ) -> (ProbRowSet, usize) {
         let samples = prev.samples();
         let window = self.window;
         // Envelope values per probe, shared by the dirty-marking pass
@@ -265,7 +295,7 @@ impl QueryEngine {
                 self.envelope.eval(t)
             })
             .collect();
-        let delta = 2.0 * pdf.support_radius();
+        let delta = kernel.band();
         let mut dirty = vec![false; samples as usize];
         // A fresh function entering the band at a probe joins that
         // column's joint evaluation: dirty.
@@ -298,15 +328,20 @@ impl QueryEngine {
                 }
             }
         }
-        let mut points: BTreeMap<Oid, Vec<(u32, f64)>> = BTreeMap::new();
+        let mut batch = ColumnBatch::default();
         for k in 0..samples {
             if !dirty[k as usize] {
                 continue;
             }
             let Some(le) = les[k as usize] else { continue };
             let t = window.start() + (k as f64 + 0.5) * window.len() / samples as f64;
-            for (oid, p) in crate::probrows::probability_column(&self.fs, le, pdf, t) {
-                points.entry(oid).or_default().push((k, p));
+            batch.gather(k, &self.fs, le, t, delta);
+        }
+        let probs = kernel.evaluate(&batch);
+        let mut points: BTreeMap<Oid, Vec<(u32, f64)>> = BTreeMap::new();
+        for (k, ids, ps) in batch.columns(&probs) {
+            for (oid, p) in ids.iter().zip(ps) {
+                points.entry(*oid).or_default().push((k, *p));
             }
         }
         let touched = points.len();

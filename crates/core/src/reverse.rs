@@ -22,6 +22,7 @@
 //! which is also the cost of the RNN engine (each candidate needs its own
 //! envelope; this is inherent, the reverse relation is not symmetric).
 
+use crate::kernel::{ColumnBatch, ColumnKernel};
 use crate::probrows::{ProbRow, ProbRowSet, RowPerspective};
 use crate::query::QueryEngine;
 use std::sync::Arc;
@@ -242,9 +243,21 @@ impl ReverseNnEngine {
     ///
     /// Panics when `samples == 0`.
     pub fn prob_row_set(&self, pdf: &dyn RadialPdf, samples: u32) -> ProbRowSet {
+        self.prob_row_set_kernel(&ColumnKernel::new(pdf), samples)
+    }
+
+    /// [`ReverseNnEngine::prob_row_set`] over an already-built column
+    /// kernel: every perspective engine shares the one profiled
+    /// difference pdf, and each perspective's probe columns are gathered
+    /// and evaluated as one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples == 0`.
+    pub fn prob_row_set_kernel(&self, kernel: &ColumnKernel, samples: u32) -> ProbRowSet {
         assert!(samples > 0, "need at least one probe");
         let rows = unn_traj::par::par_map(&self.engines, 8, |(oid, engine)| {
-            self.perspective_row(*oid, engine, pdf, samples)
+            self.perspective_row(*oid, engine, kernel, samples)
         })
         .into_iter()
         .flatten()
@@ -275,6 +288,18 @@ impl ReverseNnEngine {
         prev: &ProbRowSet,
         carried: &(dyn Fn(Oid) -> bool + Sync),
     ) -> (ProbRowSet, usize) {
+        self.prob_row_set_reusing_kernel(&ColumnKernel::new(pdf), prev, carried)
+    }
+
+    /// [`ReverseNnEngine::prob_row_set_reusing`] over an already-built
+    /// column kernel: carried perspectives are copied bit-for-bit, the
+    /// rest evaluate through the shared profile.
+    pub fn prob_row_set_reusing_kernel(
+        &self,
+        kernel: &ColumnKernel,
+        prev: &ProbRowSet,
+        carried: &(dyn Fn(Oid) -> bool + Sync),
+    ) -> (ProbRowSet, usize) {
         let samples = prev.samples();
         let recomputed = std::sync::atomic::AtomicUsize::new(0);
         let rows = unn_traj::par::par_map(&self.engines, 8, |(oid, engine)| {
@@ -282,7 +307,7 @@ impl ReverseNnEngine {
                 return prev.row_of(*oid).cloned();
             }
             recomputed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.perspective_row(*oid, engine, pdf, samples)
+            self.perspective_row(*oid, engine, kernel, samples)
         })
         .into_iter()
         .flatten()
@@ -305,18 +330,23 @@ impl ReverseNnEngine {
         &self,
         oid: Oid,
         engine: &QueryEngine,
-        pdf: &dyn RadialPdf,
+        kernel: &ColumnKernel,
         samples: u32,
     ) -> Option<ProbRow> {
-        let mut points = Vec::new();
+        // Gather this perspective's probe columns into one batch, then
+        // evaluate in a single pass and keep the query's values.
+        let mut batch = ColumnBatch::default();
         for k in 0..samples {
             let t = self.window.start() + (k as f64 + 0.5) * self.window.len() / samples as f64;
-            let Some(le) = engine.envelope().eval(t) else {
-                continue;
-            };
-            let column = crate::probrows::probability_column(engine.functions(), le, pdf, t);
-            if let Some((_, p)) = column.iter().find(|(o, _)| *o == self.query) {
-                points.push((k, *p));
+            if let Some(le) = engine.envelope().eval(t) {
+                batch.gather(k, engine.functions(), le, t, kernel.band());
+            }
+        }
+        let probs = kernel.evaluate(&batch);
+        let mut points = Vec::new();
+        for (k, ids, ps) in batch.columns(&probs) {
+            if let Some(pos) = ids.iter().position(|o| *o == self.query) {
+                points.push((k, ps[pos]));
             }
         }
         (!points.is_empty()).then_some(ProbRow { oid, points })

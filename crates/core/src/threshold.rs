@@ -16,8 +16,8 @@
 //! survival products across all candidates, so a full sweep costs
 //! `O(samples · B²)` where `B` is the band population.
 
+use crate::kernel::ColumnKernel;
 use crate::query::QueryEngine;
-use unn_prob::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
 use unn_prob::pdf::RadialPdf;
 use unn_prob::uniform_diff::UniformDifferencePdf;
 use unn_traj::trajectory::Oid;
@@ -66,13 +66,29 @@ pub fn threshold_nn_sweep_with(
     p: f64,
     samples: usize,
 ) -> Vec<ThresholdRow> {
+    threshold_nn_sweep_kernel(engine, &ColumnKernel::new(pdf), p, samples)
+}
+
+/// [`threshold_nn_sweep_with`] over an already-built column kernel — the
+/// entry point the server shares with the subscription layer so one-shot
+/// sweeps reuse the store-cached profile.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 1)` or `samples == 0`.
+pub fn threshold_nn_sweep_kernel(
+    engine: &QueryEngine,
+    kernel: &ColumnKernel,
+    p: f64,
+    samples: usize,
+) -> Vec<ThresholdRow> {
     assert!((0.0..1.0).contains(&p), "threshold {p} outside [0, 1)");
     assert!(samples > 0, "need at least one probe");
     // The sweep is a threshold view over the engine's sampled
     // probability rows ([`crate::probrows`]) — the same rows the
     // subscription layer maintains incrementally, so one-shot and
     // standing threshold evaluations agree bit-for-bit by construction.
-    let rows = engine.prob_row_set(pdf, samples as u32);
+    let rows = engine.prob_row_set_kernel(kernel, samples as u32);
     rows.rows()
         .iter()
         .filter_map(|row| {
@@ -135,32 +151,28 @@ pub fn probability_at_with(
     oid: Oid,
     t: f64,
 ) -> Option<f64> {
+    probability_at_kernel(engine, &ColumnKernel::new(pdf), oid, t)
+}
+
+/// [`probability_at_with`] over an already-built column kernel. The probe
+/// is the same canonical column every row producer evaluates, so the
+/// result is bit-identical to the matching [`crate::probrows`] column
+/// value (at equal kernel configuration).
+pub fn probability_at_kernel(
+    engine: &QueryEngine,
+    kernel: &ColumnKernel,
+    oid: Oid,
+    t: f64,
+) -> Option<f64> {
     if !engine.window().contains(t) {
         return None;
     }
     let le = engine.envelope().eval(t)?;
-    let delta = 2.0 * pdf.support_radius();
-    let mut target_idx = None;
-    let mut dists = Vec::new();
-    for f in engine.functions() {
-        if let Some(d) = f.eval(t) {
-            if d <= le + delta {
-                if f.owner() == oid {
-                    target_idx = Some(dists.len());
-                }
-                dists.push(d);
-            }
-        }
-    }
-    let idx = target_idx?;
-    let cands: Vec<NnCandidate> = dists
-        .iter()
-        .map(|&d| NnCandidate {
-            center_distance: d,
-            pdf,
-        })
-        .collect();
-    Some(nn_probabilities(&cands, NnConfig::default())[idx])
+    kernel
+        .column(engine.functions(), le, t)
+        .into_iter()
+        .find(|(owner, _)| *owner == oid)
+        .map(|(_, p)| p)
 }
 
 #[cfg(test)]

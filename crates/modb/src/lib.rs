@@ -88,6 +88,30 @@
 //!    / [`unn_core::probrows::ProbRowDelta`]s via the per-subscription
 //!    change feed.
 //!
+//! Row recomputation — maintained patches and one-shot threshold /
+//! reverse executions alike — runs through the batched column kernel
+//! ([`unn_core::kernel::ColumnKernel`]): dirty probe columns are
+//! gathered into flat arrays and evaluated against the **store-wide
+//! difference-model cache** ([`store::ModStore::difference_model`]
+//! interns one convolved + profiled pdf per [`unn_prob::pdf::PdfKind`],
+//! shared by every subscription, sweep, and perspective engine). An
+//! optional adaptive ladder
+//! ([`subscription::SubscriptionRegistry::set_row_tolerance`]) lets
+//! maintenance settle columns far from the subscription threshold at
+//! coarse quadrature density; at the default tolerance 0 it is inert
+//! and every path stays bit-identical to a cold full-density rebuild:
+//!
+//! ```text
+//!  commit ──▶ dirty columns ──gather──▶ ColumnBatch (flat SoA)
+//!                                          │ evaluate
+//!                 ModStore.difference_model ├─ tolerance 0: full density
+//!                 (PdfKind → ProfiledPdf,   ├─ else: coarse → check →
+//!                  interned store-wide)     │   refine near threshold p
+//!                                          ▼ scatter
+//!                                   ProbRowSet columns
+//!                        (columns_refined / columns_coarse_only stats)
+//! ```
+//!
 //! ## Standing-query ladders by statement shape
 //!
 //! ```text
@@ -192,7 +216,7 @@ pub use net::{NetClient, NetError, NetServer, NetServerConfig};
 pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};
 pub use snapshot::QuerySnapshot;
-pub use store::{DeltaStats, ModStore, StoreError};
+pub use store::{DeltaStats, DifferenceModel, ModStore, StoreError};
 pub use subscription::{
     DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError, SubscriptionInfo,
     SubscriptionRegistry, SubscriptionStats, SyncMode, PROB_ROW_SAMPLES,

@@ -335,6 +335,8 @@ fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
         s.functions_built,
         s.rows_patched,
         s.perspectives_skipped,
+        s.columns_refined,
+        s.columns_coarse_only,
     ] {
         put_u64(buf, v);
     }
@@ -733,6 +735,8 @@ impl<'a> Cursor<'a> {
             functions_built: self.u64()?,
             rows_patched: self.u64()?,
             perspectives_skipped: self.u64()?,
+            columns_refined: self.u64()?,
+            columns_coarse_only: self.u64()?,
         };
         Ok(SubscriptionInfo {
             name,

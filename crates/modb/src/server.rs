@@ -709,11 +709,12 @@ impl ModServer {
         q_oid: Oid,
         window: TimeInterval,
     ) -> Result<QueryOutput, ServerError> {
-        use unn_core::threshold::probability_at_with;
+        use unn_core::kernel::ColumnKernel;
+        use unn_core::threshold::probability_at_kernel;
         let rev = self.reverse_engine(q_oid, window)?;
         let p = query.prob_threshold;
-        let diff_pdf = if p > 0.0 {
-            Some(self.difference_pdf()?)
+        let kernel = if p > 0.0 {
+            Some(ColumnKernel::from_profile(self.difference_model()?.profile))
         } else {
             None
         };
@@ -727,12 +728,12 @@ impl ModServer {
             if p == 0.0 {
                 return rev.rnn_fraction(oid);
             }
-            let pdf = diff_pdf.as_ref().expect("built for p > 0");
+            let kernel = kernel.as_ref().expect("built for p > 0");
             let n = Self::THRESHOLD_SAMPLES;
             let hits = (0..n)
                 .filter(|k| {
                     let t = window.start() + (*k as f64 + 0.5) * window.len() / n as f64;
-                    probability_at_with(engine, pdf.as_ref(), q_oid, t).unwrap_or(0.0) > p
+                    probability_at_kernel(engine, kernel, q_oid, t).unwrap_or(0.0) > p
                 })
                 .count();
             Some(hits as f64 / n as f64)
@@ -754,10 +755,10 @@ impl ModServer {
                     .map(|iv| iv.covers(t))
                     .unwrap_or(false)
             } else {
-                let pdf = diff_pdf.as_ref().expect("built for p > 0");
+                let kernel = kernel.as_ref().expect("built for p > 0");
                 rev.perspective_engines()
                     .find(|(o, _)| *o == oid)
-                    .map(|(_, e)| probability_at_with(e, pdf.as_ref(), q_oid, t).unwrap_or(0.0) > p)
+                    .map(|(_, e)| probability_at_kernel(e, kernel, q_oid, t).unwrap_or(0.0) > p)
                     .unwrap_or(false)
             }
         };
@@ -797,13 +798,15 @@ impl ModServer {
 
     /// The convolved difference pdf of the MOD's (shared) location model —
     /// exact closed form for uniform disks, numeric radial convolution for
-    /// everything else (§3.1).
-    fn difference_pdf(&self) -> Result<Box<dyn unn_prob::RadialPdf>, ServerError> {
+    /// everything else (§3.1) — together with its profiled kernel tables,
+    /// from the store-wide cache (one-shot sweeps, row subscriptions, and
+    /// RNN perspective engines all share the same entry).
+    fn difference_model(&self) -> Result<crate::store::DifferenceModel, ServerError> {
         let snapshot = self.store.snapshot();
         let kind = common_pdf_kind(&snapshot)
             .map_err(|_| ServerError::MixedPdfs)?
             .ok_or(ServerError::NotEnoughObjects)?;
-        Ok(kind.convolve_with(&kind))
+        Ok(self.store.difference_model(&kind))
     }
 
     /// Evaluates a §7 threshold comparison (`PROB_NN(...) > p`, `p > 0`)
@@ -816,10 +819,11 @@ impl ModServer {
         query: &Query,
         engine: &QueryEngine,
     ) -> Result<QueryOutput, ServerError> {
-        use unn_core::threshold::{probability_at_with, threshold_nn_sweep_with};
+        use unn_core::kernel::ColumnKernel;
+        use unn_core::threshold::{probability_at_kernel, threshold_nn_sweep_kernel};
         let p = query.prob_threshold;
-        let diff_pdf = self.difference_pdf()?;
-        let rows = threshold_nn_sweep_with(engine, diff_pdf.as_ref(), p, Self::THRESHOLD_SAMPLES);
+        let kernel = ColumnKernel::from_profile(self.difference_model()?.profile);
+        let rows = threshold_nn_sweep_kernel(engine, &kernel, p, Self::THRESHOLD_SAMPLES);
         let fraction_of = |oid: Oid| -> f64 {
             let base = rows
                 .iter()
@@ -847,7 +851,7 @@ impl ModServer {
                     Quantifier::Forall => fraction_of(oid) >= full,
                     Quantifier::AtLeast(x) => fraction_of(oid) + 1e-12 >= *x,
                     Quantifier::At(t) => {
-                        probability_at_with(engine, diff_pdf.as_ref(), oid, *t).unwrap_or(0.0) > p
+                        probability_at_kernel(engine, &kernel, oid, *t).unwrap_or(0.0) > p
                     }
                 };
                 Ok(QueryOutput::Boolean(ans))
@@ -861,9 +865,7 @@ impl ModServer {
                         Quantifier::Forall => frac >= full,
                         Quantifier::AtLeast(x) => frac + 1e-12 >= *x,
                         Quantifier::At(t) => {
-                            probability_at_with(engine, diff_pdf.as_ref(), row.oid, *t)
-                                .unwrap_or(0.0)
-                                > p
+                            probability_at_kernel(engine, &kernel, row.oid, *t).unwrap_or(0.0) > p
                         }
                     };
                     if keep {

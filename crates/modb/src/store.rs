@@ -18,10 +18,12 @@ use crate::cache::EngineCache;
 use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
 use crate::snapshot::QuerySnapshot;
 use crate::subscription::SubscriptionRegistry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
+use unn_prob::pdf::{PdfKind, RadialPdf};
+use unn_prob::profile::ProfiledPdf;
 use unn_traj::trajectory::Oid;
 use unn_traj::uncertain::UncertainTrajectory;
 
@@ -88,6 +90,34 @@ struct Shard {
     map: RwLock<BTreeMap<Oid, Arc<UncertainTrajectory>>>,
 }
 
+/// A convolved **difference** pdf together with its profiled evaluation
+/// tables — the shared unit every probability consumer works from.
+///
+/// Handed out by [`ModStore::difference_model`]: one-shot threshold
+/// sweeps, forward row subscriptions, and every RNN perspective engine
+/// evaluating under the same location-pdf kind reuse the same convolution
+/// and the same [`ProfiledPdf`] tables (profiling is deterministic, so
+/// shared tables also guarantee bit-identical probabilities across
+/// consumers).
+#[derive(Debug, Clone)]
+pub struct DifferenceModel {
+    /// The convolved difference pdf (`kind ∗ kind`, §3.1).
+    pub pdf: Arc<dyn RadialPdf>,
+    /// The profiled kernel tables for batched column evaluation.
+    pub profile: Arc<ProfiledPdf>,
+}
+
+/// Bit-exact cache key for a [`PdfKind`] (the enum carries `f64` fields
+/// and no `Eq`/`Hash`, so it is keyed by discriminant + bit patterns).
+type PdfKey = (u8, u64, u64);
+
+fn pdf_key(kind: &PdfKind) -> PdfKey {
+    match *kind {
+        PdfKind::Uniform { radius } => (0, radius.to_bits(), 0),
+        PdfKind::TruncatedGaussian { radius, sigma } => (1, radius.to_bits(), sigma.to_bits()),
+    }
+}
+
 /// Thread-safe, sharded store of uncertain trajectories, keyed by
 /// [`Oid`].
 ///
@@ -114,6 +144,11 @@ pub struct ModStore {
     /// Subscription registries maintained after every commit (the
     /// standing-query layer; see [`crate::subscription`]).
     subscriptions: Mutex<Vec<Weak<SubscriptionRegistry>>>,
+    /// Store-wide cache of convolved difference pdfs and their profiled
+    /// kernel tables, keyed bit-exactly by [`PdfKind`]. Entries are pure
+    /// functions of the kind (independent of the stored data), so the
+    /// cache survives mutations and [`ModStore::clear`].
+    pdf_cache: Mutex<HashMap<PdfKey, DifferenceModel>>,
 }
 
 impl Default for ModStore {
@@ -141,7 +176,31 @@ impl ModStore {
             snapshots_rebuilt: AtomicU64::new(0),
             caches: Mutex::new(Vec::new()),
             subscriptions: Mutex::new(Vec::new()),
+            pdf_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The self-convolved difference pdf and its profiled kernel tables
+    /// for location pdfs of `kind`, built once per kind and cached
+    /// store-wide (see [`DifferenceModel`]).
+    pub fn difference_model(&self, kind: &PdfKind) -> DifferenceModel {
+        let key = pdf_key(kind);
+        if let Some(model) = self.pdf_cache.lock().unwrap().get(&key) {
+            return model.clone();
+        }
+        // Build outside the lock: convolution + profiling can take a few
+        // milliseconds and must not block concurrent consumers of other
+        // kinds. Determinism makes a racing double-build harmless (both
+        // produce bit-identical tables).
+        let pdf: Arc<dyn RadialPdf> = Arc::from(kind.convolve_with(kind));
+        let profile = Arc::new(ProfiledPdf::of(pdf.as_ref()));
+        let model = DifferenceModel { pdf, profile };
+        self.pdf_cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(model)
+            .clone()
     }
 
     /// Number of shards.

@@ -103,7 +103,7 @@ use crate::ql::ast::{PredicateKind, Quantifier, Query, Target};
 use crate::ql::{parse_object_name, SourceSpan};
 use crate::server::QueryOutput;
 use crate::snapshot::QuerySnapshot;
-use crate::store::ModStore;
+use crate::store::{DifferenceModel, ModStore};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -111,11 +111,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use unn_core::answer::{AnswerDelta, AnswerSet};
 use unn_core::candidates::CandidateSet;
+use unn_core::kernel::ColumnKernel;
 use unn_core::probrows::{ProbRowDelta, ProbRowSet, RowPerspective};
 use unn_core::query::QueryEngine;
 use unn_core::reverse::ReverseNnEngine;
 use unn_geom::interval::TimeInterval;
-use unn_prob::pdf::{PdfKind, RadialPdf};
+use unn_prob::pdf::PdfKind;
 use unn_traj::distance::DistanceFunction;
 use unn_traj::trajectory::{Oid, Trajectory};
 use unn_traj::uncertain::{common_pdf_kind, common_radius};
@@ -266,6 +267,16 @@ pub struct SubscriptionStats {
     /// wholesale under their per-perspective proof — the work a far
     /// commit skips.
     pub perspectives_skipped: u64,
+    /// Dirty probe columns the adaptive kernel escalated to full
+    /// quadrature density because the coarse estimate sat within its
+    /// error bound of the subscription's threshold `p` (or the bound
+    /// exceeded the tolerance). Always 0 while the registry's
+    /// [`SubscriptionRegistry::row_tolerance`] knob is 0.
+    pub columns_refined: u64,
+    /// Dirty probe columns the adaptive kernel settled at coarse
+    /// density — provably within the configured tolerance and clear of
+    /// the threshold. Always 0 while the tolerance knob is 0.
+    pub columns_coarse_only: u64,
 }
 
 /// A snapshot of one subscription's state (the `SHOW SUBSCRIPTIONS` row).
@@ -613,11 +624,12 @@ struct SubState {
     /// snapshot, sound because only provably untouched perspectives are
     /// ever proven against).
     rev_proofs: HashMap<Oid, ForwardProof>,
-    /// The convolved difference pdf of the MOD's shared location model,
-    /// cached by kind (row subscriptions only; rebuilt when the MOD's
-    /// registered pdf kind changes, which forces every column dirty
-    /// anyway since it requires replacing the objects).
-    pdf: Option<(PdfKind, Arc<dyn RadialPdf>)>,
+    /// The convolved difference-pdf model of the MOD's shared location
+    /// model, memoized by kind (row subscriptions only; re-fetched from
+    /// the store-wide cache when the MOD's registered pdf kind changes,
+    /// which forces every column dirty anyway since it requires
+    /// replacing the objects).
+    model: Option<(PdfKind, DifferenceModel)>,
     answer: SubAnswer,
     feed: Vec<SubDelta>,
     /// Push outboxes attached to this subscription (e.g. network
@@ -696,20 +708,44 @@ impl SubState {
         self.last_epoch = epoch;
     }
 
-    /// The convolved difference pdf of the MOD's shared location model,
-    /// reusing the cached one while the registered kind is unchanged.
-    fn ensure_pdf(&mut self, snapshot: &QuerySnapshot) -> Result<Arc<dyn RadialPdf>, String> {
+    /// The convolved difference-pdf model of the MOD's shared location
+    /// model, served from the store-wide cache
+    /// ([`ModStore::difference_model`]) and memoized here by kind so a
+    /// maintenance round holding a shard lock does not touch the shared
+    /// cache mutex while the registered kind is unchanged.
+    fn ensure_model(
+        &mut self,
+        store: &ModStore,
+        snapshot: &QuerySnapshot,
+    ) -> Result<DifferenceModel, String> {
         let kind = common_pdf_kind(snapshot)
             .map_err(|_| "trajectories have differing location pdfs".to_string())?
             .ok_or_else(|| "the MOD needs at least two trajectories".to_string())?;
-        if let Some((cached_kind, pdf)) = &self.pdf {
+        if let Some((cached_kind, model)) = &self.model {
             if *cached_kind == kind {
-                return Ok(Arc::clone(pdf));
+                return Ok(model.clone());
             }
         }
-        let pdf: Arc<dyn RadialPdf> = Arc::from(kind.convolve_with(&kind));
-        self.pdf = Some((kind, Arc::clone(&pdf)));
-        Ok(pdf)
+        let model = store.difference_model(&kind);
+        self.model = Some((kind, model.clone()));
+        Ok(model)
+    }
+
+    /// The probability kernel one maintenance round evaluates its dirty
+    /// probe columns with: the store-cached profile, plus the adaptive
+    /// coarse-then-refine ladder aimed at this subscription's threshold
+    /// (inert at tolerance 0 — every column runs full density,
+    /// bit-identical to the one-shot sweeps).
+    fn row_kernel(&self, model: &DifferenceModel, tolerance: f64) -> ColumnKernel {
+        ColumnKernel::from_profile(Arc::clone(&model.profile))
+            .adaptive(tolerance, self.query.prob_threshold)
+    }
+
+    /// Folds a drained kernel's refinement counters into the stats row.
+    fn absorb_kernel_counters(&mut self, kernel: &ColumnKernel) {
+        let (refined, coarse_only) = kernel.take_counters();
+        self.stats.columns_refined += refined;
+        self.stats.columns_coarse_only += coarse_only;
     }
 }
 
@@ -727,6 +763,9 @@ pub struct SubscriptionRegistry {
     shards: Vec<Mutex<BTreeMap<String, SubState>>>,
     sequential: AtomicBool,
     row_samples: std::sync::atomic::AtomicU32,
+    /// Adaptive-refinement tolerance of row maintenance, stored as the
+    /// `f64` bit pattern (same idiom as the store's rebuild fraction).
+    row_tolerance: std::sync::atomic::AtomicU64,
 }
 
 impl Default for SubscriptionRegistry {
@@ -735,6 +774,7 @@ impl Default for SubscriptionRegistry {
             shards: (0..REGISTRY_SHARDS).map(|_| Mutex::default()).collect(),
             sequential: AtomicBool::new(false),
             row_samples: std::sync::atomic::AtomicU32::new(PROB_ROW_SAMPLES),
+            row_tolerance: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -796,6 +836,38 @@ impl SubscriptionRegistry {
     /// cost proportionally.
     pub fn set_row_samples(&self, samples: u32) {
         self.row_samples.store(samples.max(1), Ordering::Relaxed);
+    }
+
+    /// The adaptive-refinement tolerance row maintenance runs at
+    /// (default 0 = disabled: every dirty probe column is evaluated at
+    /// full quadrature density).
+    pub fn row_tolerance(&self) -> f64 {
+        f64::from_bits(self.row_tolerance.load(Ordering::Relaxed))
+    }
+
+    /// Sets the adaptive tolerance for row maintenance (non-finite or
+    /// negative values clamp to 0 = disabled). At 0 — the default —
+    /// maintained rows stay bit-identical to a fresh full-density
+    /// evaluation. A positive tolerance lets a maintenance round settle
+    /// a dirty probe column at coarse quadrature density when the
+    /// coarse/check disagreement is within the tolerance **and** the
+    /// estimate sits farther than that error bound from the
+    /// subscription's threshold `p`; only columns straddling the
+    /// threshold pay full density
+    /// ([`SubscriptionStats::columns_refined`] /
+    /// [`SubscriptionStats::columns_coarse_only`] count the split).
+    /// Unlike [`SubscriptionRegistry::set_row_samples`] this applies to
+    /// **existing** subscriptions from their next maintenance round —
+    /// the tolerance shapes per-column evaluation cost, not the row-set
+    /// shape.
+    pub fn set_row_tolerance(&self, tolerance: f64) {
+        let clamped = if tolerance.is_finite() && tolerance > 0.0 {
+            tolerance
+        } else {
+            0.0
+        };
+        self.row_tolerance
+            .store(clamped.to_bits(), Ordering::Relaxed);
     }
 
     /// The registered name closest to `name` by Levenshtein distance,
@@ -900,7 +972,7 @@ impl SubscriptionRegistry {
             query_tr: None,
             proof: None,
             rev_proofs: HashMap::new(),
-            pdf: None,
+            model: None,
             answer: empty_answer_of(kind, oid, window, samples),
             feed: Vec::new(),
             sinks: Vec::new(),
@@ -910,7 +982,8 @@ impl SubscriptionRegistry {
         // Evaluate WITHOUT the shard lock: a reverse registration's
         // O(N² · samples) build must not stall the shard's maintenance
         // (every commit's sync serializes on the shard mutexes).
-        Self::evaluate_into(&mut sub, &snapshot, usize::MAX)
+        let tolerance = self.row_tolerance();
+        Self::evaluate_into(&mut sub, store, &snapshot, usize::MAX, tolerance)
             .map_err(SubscriptionError::Evaluation)?;
         let mut map = self.shard_of(name).lock().unwrap();
         if map.contains_key(name) {
@@ -922,7 +995,14 @@ impl SubscriptionRegistry {
         // the delta log, rebuilding if it was truncated), so the
         // installed answer is current and every later commit's delta
         // reaches the sink.
-        Self::refresh(&mut sub, store, &mut None, store.feed_bound(), true);
+        Self::refresh(
+            &mut sub,
+            store,
+            &mut None,
+            store.feed_bound(),
+            true,
+            tolerance,
+        );
         if let Some(message) = sub.error.take() {
             return Err(SubscriptionError::Evaluation(message));
         }
@@ -1081,11 +1161,12 @@ impl SubscriptionRegistry {
         // that raced in since). One snapshot is materialized up front
         // and shared by every worker.
         let snapshot = store.snapshot();
+        let tolerance = self.row_tolerance();
         let refresh_shard = |idx: usize| {
             let mut lazy = Some(Arc::clone(&snapshot));
             let mut map = self.shards[idx].lock().unwrap();
             for sub in map.values_mut() {
-                Self::refresh(sub, store, &mut lazy, feed_cap, true);
+                Self::refresh(sub, store, &mut lazy, feed_cap, true, tolerance);
             }
         };
         let cores = std::thread::available_parallelism()
@@ -1112,11 +1193,12 @@ impl SubscriptionRegistry {
     /// proof from scratch.
     fn sync_sequential(&self, store: &ModStore) {
         let feed_cap = store.feed_bound();
+        let tolerance = self.row_tolerance();
         let mut lazy: Option<Arc<QuerySnapshot>> = None;
         for shard in &self.shards {
             let mut map = shard.lock().unwrap();
             for sub in map.values_mut() {
-                Self::refresh(sub, store, &mut lazy, feed_cap, false);
+                Self::refresh(sub, store, &mut lazy, feed_cap, false, tolerance);
             }
         }
     }
@@ -1164,6 +1246,7 @@ impl SubscriptionRegistry {
         lazy: &mut Option<Arc<QuerySnapshot>>,
         feed_cap: usize,
         cached_proof: bool,
+        tolerance: f64,
     ) {
         let now = store.epoch();
         if now <= sub.last_epoch {
@@ -1190,7 +1273,9 @@ impl SubscriptionRegistry {
                             && !changed.contains(&sub.oid)
                             && sub.engine.is_some()
                         {
-                            return Self::patch(sub, &snapshot, now, &changed, feed_cap);
+                            return Self::patch(
+                                sub, store, &snapshot, now, &changed, feed_cap, tolerance,
+                            );
                         }
                     }
                     SubKind::ReverseRows => {
@@ -1201,7 +1286,7 @@ impl SubscriptionRegistry {
                             && snapshot.len() >= 2
                         {
                             return Self::patch_reverse(
-                                sub, &snapshot, now, &ops, &changed, feed_cap,
+                                sub, store, &snapshot, now, &ops, &changed, feed_cap, tolerance,
                             );
                         }
                     }
@@ -1219,7 +1304,7 @@ impl SubscriptionRegistry {
         }
         let snapshot = Self::materialize(lazy, store);
         sub.stats.rebuilt += 1;
-        Self::reevaluate(sub, &snapshot, snapshot.epoch(), feed_cap);
+        Self::reevaluate(sub, store, &snapshot, snapshot.epoch(), feed_cap, tolerance);
     }
 
     /// The lazily materialized snapshot, refreshed when a newer epoch
@@ -1244,12 +1329,15 @@ impl SubscriptionRegistry {
     /// answer is bit-identical — only the per-candidate difference
     /// construction (and, with a carried envelope, the untouched
     /// intervals / clean probe columns) is skipped.
+    #[allow(clippy::too_many_arguments)]
     fn patch(
         sub: &mut SubState,
+        store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         now: u64,
         changed: &BTreeSet<Oid>,
         feed_cap: usize,
+        tolerance: f64,
     ) {
         let plan =
             match QueryPlanner::new(sub.policy).plan(Arc::clone(snapshot), sub.oid, sub.window) {
@@ -1293,9 +1381,9 @@ impl SubscriptionRegistry {
             }
         }
         let query_tr = query_tr.clone();
-        let pdf = match sub.kind {
-            SubKind::ForwardRows => match sub.ensure_pdf(snapshot) {
-                Ok(pdf) => Some(pdf),
+        let kernel = match sub.kind {
+            SubKind::ForwardRows => match sub.ensure_model(store, snapshot) {
+                Ok(model) => Some(sub.row_kernel(&model, tolerance)),
                 Err(e) => {
                     sub.stats.rebuilt += 1;
                     return sub.park(now, e, feed_cap);
@@ -1323,8 +1411,8 @@ impl SubscriptionRegistry {
                         SubAnswer::Intervals(engine.ranked_answer_set(*k))
                     }
                     (SubKind::ForwardRows, SubAnswer::Rows(prev)) => {
-                        let (rows, touched) = engine.prob_row_set_reusing(
-                            pdf.as_deref().expect("pdf built for row kinds"),
+                        let (rows, touched) = engine.prob_row_set_reusing_kernel(
+                            kernel.as_ref().expect("kernel built for row kinds"),
                             prev,
                             &is_fresh,
                         );
@@ -1341,8 +1429,8 @@ impl SubscriptionRegistry {
                 let answer = match sub.kind {
                     SubKind::Intervals { rank } => SubAnswer::Intervals(answer_of(&engine, rank)),
                     SubKind::ForwardRows => {
-                        let rows = engine.prob_row_set(
-                            pdf.as_deref().expect("pdf built for row kinds"),
+                        let rows = engine.prob_row_set_kernel(
+                            kernel.as_ref().expect("kernel built for row kinds"),
                             sub.samples,
                         );
                         sub.stats.rows_patched += rows.len() as u64;
@@ -1356,6 +1444,9 @@ impl SubscriptionRegistry {
         sub.stats.patched += 1;
         sub.stats.functions_reused += reused;
         sub.stats.functions_built += built;
+        if let Some(kernel) = &kernel {
+            sub.absorb_kernel_counters(kernel);
+        }
         sub.engine = Some(engine);
         sub.query_tr = Some(query_tr);
         sub.proof = None;
@@ -1368,13 +1459,16 @@ impl SubscriptionRegistry {
     /// row obligation) carries its envelope *and* its sampled row
     /// wholesale; only touched, new, or unprovable perspectives pay the
     /// per-perspective difference + envelope build and re-sampling.
+    #[allow(clippy::too_many_arguments)]
     fn patch_reverse(
         sub: &mut SubState,
+        store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         now: u64,
         ops: &[&DeltaRecord],
         changed: &BTreeSet<Oid>,
         feed_cap: usize,
+        tolerance: f64,
     ) {
         let old = Arc::clone(sub.rev.as_ref().expect("patch requires a carried engine"));
         let radius = match common_radius(snapshot) {
@@ -1388,8 +1482,8 @@ impl SubscriptionRegistry {
                 );
             }
         };
-        let pdf = match sub.ensure_pdf(snapshot) {
-            Ok(pdf) => pdf,
+        let kernel = match sub.ensure_model(store, snapshot) {
+            Ok(model) => sub.row_kernel(&model, tolerance),
             Err(e) => {
                 sub.stats.rebuilt += 1;
                 return sub.park(now, e, feed_cap);
@@ -1435,17 +1529,25 @@ impl SubscriptionRegistry {
             SubAnswer::Intervals(_) => unreachable!("reverse subscriptions maintain rows"),
         };
         let (rows, recomputed) =
-            rev.prob_row_set_reusing(pdf.as_ref(), prev, &|oid| carried.contains(&oid));
+            rev.prob_row_set_reusing_kernel(&kernel, prev, &|oid| carried.contains(&oid));
         sub.stats.patched += 1;
         sub.stats.perspectives_skipped += carried.len() as u64;
         sub.stats.rows_patched += recomputed as u64;
+        sub.absorb_kernel_counters(&kernel);
         sub.rev = Some(Arc::new(rev));
         sub.commit_answer(SubAnswer::Rows(rows), now, feed_cap);
     }
 
     /// The full re-plan: the same pipeline a cold registration runs.
-    fn reevaluate(sub: &mut SubState, snapshot: &Arc<QuerySnapshot>, now: u64, feed_cap: usize) {
-        if let Err(e) = Self::evaluate_into(sub, snapshot, feed_cap) {
+    fn reevaluate(
+        sub: &mut SubState,
+        store: &ModStore,
+        snapshot: &Arc<QuerySnapshot>,
+        now: u64,
+        feed_cap: usize,
+        tolerance: f64,
+    ) {
+        if let Err(e) = Self::evaluate_into(sub, store, snapshot, feed_cap, tolerance) {
             sub.park(now, e, feed_cap);
         }
     }
@@ -1455,8 +1557,10 @@ impl SubscriptionRegistry {
     /// delta at the snapshot's epoch).
     fn evaluate_into(
         sub: &mut SubState,
+        store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         feed_cap: usize,
+        tolerance: f64,
     ) -> Result<(), String> {
         let epoch = snapshot.epoch();
         match sub.kind {
@@ -1470,13 +1574,15 @@ impl SubscriptionRegistry {
                 sub.commit_answer(SubAnswer::Intervals(answer), epoch, feed_cap);
             }
             SubKind::ForwardRows => {
-                let pdf = sub.ensure_pdf(snapshot)?;
+                let model = sub.ensure_model(store, snapshot)?;
+                let kernel = sub.row_kernel(&model, tolerance);
                 let plan: QueryPlan = QueryPlanner::new(sub.policy)
                     .plan(Arc::clone(snapshot), sub.oid, sub.window)
                     .map_err(|e| e.to_string())?;
                 let query_tr = plan.query_trajectory().clone();
                 let engine = Arc::new(plan.build_engine().map_err(|e| e.to_string())?);
-                let rows = engine.prob_row_set(pdf.as_ref(), sub.samples);
+                let rows = engine.prob_row_set_kernel(&kernel, sub.samples);
+                sub.absorb_kernel_counters(&kernel);
                 sub.engine = Some(engine);
                 sub.rev = None;
                 sub.query_tr = Some(query_tr);
@@ -1484,7 +1590,8 @@ impl SubscriptionRegistry {
                 sub.commit_answer(SubAnswer::Rows(rows), epoch, feed_cap);
             }
             SubKind::ReverseRows => {
-                let pdf = sub.ensure_pdf(snapshot)?;
+                let model = sub.ensure_model(store, snapshot)?;
+                let kernel = sub.row_kernel(&model, tolerance);
                 // The exhaustive plan validates the snapshot, window,
                 // query object, and shared radius; the reverse build
                 // needs the full population regardless of policy.
@@ -1493,7 +1600,8 @@ impl SubscriptionRegistry {
                     .map_err(|e| e.to_string())?;
                 let query_tr = plan.query_trajectory().clone();
                 let rev = Arc::new(plan.build_reverse_engine().map_err(|e| e.to_string())?);
-                let rows = rev.prob_row_set(pdf.as_ref(), sub.samples);
+                let rows = rev.prob_row_set_kernel(&kernel, sub.samples);
+                sub.absorb_kernel_counters(&kernel);
                 sub.engine = None;
                 sub.rev = Some(rev);
                 sub.query_tr = Some(query_tr);

@@ -157,6 +157,23 @@ impl GaussLegendre {
     }
 }
 
+/// Returns a process-wide shared Gauss–Legendre rule of order `n`.
+///
+/// Rule construction is deterministic, so a shared rule produces exactly
+/// the same nodes and weights as a freshly built one — callers on hot
+/// paths use this to avoid re-running the Newton iteration per call. The
+/// small set of orders used by the crate is interned for the lifetime of
+/// the process.
+pub fn shared_rule(n: usize) -> &'static GaussLegendre {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static RULES: OnceLock<Mutex<HashMap<usize, &'static GaussLegendre>>> = OnceLock::new();
+    let rules = RULES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = rules.lock().expect("shared rule registry poisoned");
+    map.entry(n)
+        .or_insert_with(|| Box::leak(Box::new(GaussLegendre::new(n))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,9 @@
 //! * [`within_distance`] — `P^WD` (Eq. 3/4) and its density `pdf^WD`;
 //! * [`nn_prob`] — the `P^NN` evaluator (Eq. 5) with the sorted-boundary
 //!   decomposition of §2.2-III, plus a naive baseline;
+//! * [`profile`] — [`profile::ProfiledPdf`], the dispatch-free `P^WD` /
+//!   `pdf^WD` kernels (tabulated profiles + endpoint-regularized
+//!   fixed-order quadrature) behind the batched row-maintenance path;
 //! * [`monte_carlo`] — a simulation oracle;
 //! * [`discretized`] — the §2.2-IV exclusive/joint decomposition under
 //!   discretization;
@@ -38,6 +41,7 @@ pub mod integrate;
 pub mod monte_carlo;
 pub mod nn_prob;
 pub mod pdf;
+pub mod profile;
 pub mod quadruple;
 pub mod uniform;
 pub mod uniform_diff;
@@ -48,5 +52,6 @@ pub use disk_diff::DiskDifferencePdf;
 pub use gaussian::TruncatedGaussianPdf;
 pub use nn_prob::{nn_probabilities, NnCandidate, NnConfig};
 pub use pdf::{PdfKind, RadialPdf};
+pub use profile::{nn_probabilities_profiled, NnScratch, ProfiledPdf};
 pub use uniform::UniformDiskPdf;
 pub use uniform_diff::UniformDifferencePdf;

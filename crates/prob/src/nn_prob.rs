@@ -14,7 +14,7 @@
 //! implements exactly that scheme, while [`nn_probabilities_naive`] is the
 //! unoptimized evaluator kept for the ablation benchmarks.
 
-use crate::integrate::GaussLegendre;
+use crate::integrate::shared_rule;
 use crate::pdf::RadialPdf;
 use crate::within_distance::{distance_bounds, within_distance_auto, within_distance_density_auto};
 
@@ -79,7 +79,9 @@ pub fn nn_probabilities(cands: &[NnCandidate<'_>], cfg: NnConfig) -> Vec<f64> {
     cuts.sort_by(f64::total_cmp);
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
 
-    let rule = GaussLegendre::new(cfg.points_per_segment);
+    // Shared rule: identical nodes/weights to a freshly built one, without
+    // re-running the Newton iteration on every call.
+    let rule = shared_rule(cfg.points_per_segment);
     let mut probs = vec![0.0; n];
     // Scratch buffers reused across quadrature nodes.
     let mut pwd = vec![0.0; n];

@@ -1,0 +1,560 @@
+//! Profiled pdfs: dispatch-free `P^WD` / `pdf^WD` evaluation kernels.
+//!
+//! The generic [`crate::within_distance`] evaluators take a `&dyn RadialPdf`
+//! and integrate the density with adaptive Simpson (tolerance `1e-11`) —
+//! hundreds of virtual density calls per `P^WD` value. That is the right
+//! tool for one-off queries over arbitrary pdfs, but row maintenance
+//! evaluates Eq. 5 at *every* probe of *every* dirty column, and there the
+//! per-call cost dominates the entire system (see the `probability_kernels`
+//! bench for the ablation).
+//!
+//! [`ProfiledPdf`] profiles a pdf **once** — classifying uniform disks and
+//! tabulating everything else on a dense radial grid (the same idiom as the
+//! precomputed CDF inside [`crate::uniform_diff::UniformDifferencePdf`]) —
+//! and then answers `P^WD(d, R)` and `pdf^WD(d, R)` with fixed-order
+//! Gauss–Legendre sums over table lookups: no virtual dispatch, no
+//! adaptive recursion, no per-call trigonometry beyond a single `acos` in
+//! one boundary configuration.
+//!
+//! Two analytic rewrites make the fixed-order rules accurate:
+//!
+//! * `P^WD` (Eq. 3) splits into a full-circle part — a CDF lookup — and a
+//!   partial-arc part `∫ f(s)·s·θ(s) ds` that is integrated **by parts**
+//!   so the arc angle `θ = 2·acos(·)` never appears inside the loop:
+//!   `∫ f s θ = θ(hi)·G(hi) + ∫ 2c′(s)/√(1−c²(s)) · G(s) ds` with
+//!   `G(s) = (M(s) − M(lo)) / 2π` a CDF lookup.
+//! * `pdf^WD` (Eq. 4's density) changes variables from the angle `φ` to the
+//!   radial offset `s`: `pdf^WD(R) = (2/d)·∫ f(s)·s/√(1−q²(s)) ds`.
+//!
+//! Both integrands have inverse-square-root singularities exactly at the
+//! interval endpoints, which the substitution `s = lo + (hi−lo)·sin²u`
+//! removes analytically; the substituted node positions and weights are
+//! process-wide constants (the private `endpoint_rule` tables), so the
+//! inner loops are pure table-lerp + multiply-add + one `sqrt`.
+
+use crate::integrate::shared_rule;
+use crate::pdf::RadialPdf;
+use crate::within_distance::{uniform_within_distance, uniform_within_distance_density};
+use std::f64::consts::PI;
+
+/// Radial resolution of the tabulated profile (number of grid intervals).
+const GRID: usize = 2048;
+
+/// Fixed Gauss–Legendre order for the endpoint-regularized integrals.
+const ARC_ORDER: usize = 32;
+
+/// A Gauss–Legendre rule pre-substituted with `s = lo + (hi−lo)·sin²u`:
+/// `∫_lo^hi F(s) ds = Σ_j wgt_j · F(lo + (hi−lo)·frac_j) · (hi−lo)`.
+///
+/// The substitution turns inverse-square-root endpoint singularities into
+/// analytic integrands, and its trigonometric factors depend only on the
+/// rule order — they are interned once per process.
+struct EndpointRule {
+    frac: Vec<f64>,
+    wgt: Vec<f64>,
+}
+
+fn endpoint_rule(n: usize) -> &'static EndpointRule {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static RULES: OnceLock<Mutex<HashMap<usize, &'static EndpointRule>>> = OnceLock::new();
+    let rules = RULES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = rules.lock().expect("endpoint rule registry poisoned");
+    map.entry(n).or_insert_with(|| {
+        let gl = shared_rule(n);
+        let mut frac = Vec::with_capacity(n);
+        let mut wgt = Vec::with_capacity(n);
+        for k in 0..gl.len() {
+            let (x, w) = gl.node_weight(k);
+            // Map [-1, 1] -> u in [0, π/2].
+            let u = 0.25 * PI * (x + 1.0);
+            frac.push(u.sin() * u.sin());
+            wgt.push(0.25 * PI * w * (2.0 * u).sin());
+        }
+        Box::leak(Box::new(EndpointRule { frac, wgt }))
+    })
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// Uniform disk: `P^WD`/`pdf^WD` use the exact closed forms.
+    Uniform { radius: f64 },
+    /// Arbitrary radial pdf tabulated on a uniform grid over `[0, S]`:
+    /// `dens[k] = f(k·S/GRID)` and `cdf[k] = M(k·S/GRID)` (normalized).
+    Tabulated {
+        dens: Box<[f64]>,
+        cdf: Box<[f64]>,
+        inv_step: f64,
+    },
+}
+
+/// A radial pdf profiled for batched, dispatch-free `P^WD` evaluation.
+///
+/// Profiling is a *pure function* of the source pdf's density curve and
+/// support: two equal pdfs (e.g. the same [`crate::pdf::PdfKind`]
+/// convolution built twice) profile to bit-identical tables, so every
+/// consumer that routes through a `ProfiledPdf` of the same kind computes
+/// bit-identical probabilities — the invariant the incremental row
+/// maintenance relies on when comparing maintained rows against fresh
+/// evaluations.
+#[derive(Debug)]
+pub struct ProfiledPdf {
+    support: f64,
+    shape: Shape,
+}
+
+impl ProfiledPdf {
+    /// Profiles `pdf`: classifies uniform disks (exact closed forms), and
+    /// tabulates every other density on a fixed 2048-interval radial grid.
+    pub fn of(pdf: &dyn RadialPdf) -> Self {
+        let support = pdf.support_radius();
+        assert!(
+            support.is_finite() && support > 0.0,
+            "profiled pdf needs a positive finite support, got {support}"
+        );
+        // Uniform probe: constant density equal to 1/(π S²) over the disk.
+        let d0 = pdf.density(0.0);
+        let dmid = pdf.density(0.5 * support);
+        let uniform_level = 1.0 / (PI * support * support);
+        if (d0 - dmid).abs() < 1e-15 && (d0 - uniform_level).abs() < 1e-12 {
+            return ProfiledPdf {
+                support,
+                shape: Shape::Uniform { radius: support },
+            };
+        }
+        let step = support / GRID as f64;
+        let mut dens = Vec::with_capacity(GRID + 1);
+        for k in 0..=GRID {
+            dens.push(pdf.density(k as f64 * step).max(0.0));
+        }
+        // Trapezoid-accumulated radial CDF of f(s)·2πs, normalized so the
+        // profile carries exactly unit mass (same idiom as the precomputed
+        // CDF in `uniform_diff`).
+        let mut cdf = Vec::with_capacity(GRID + 1);
+        cdf.push(0.0);
+        let mut acc = 0.0;
+        for k in 1..=GRID {
+            let s0 = (k - 1) as f64 * step;
+            let s1 = k as f64 * step;
+            let f0 = dens[k - 1] * 2.0 * PI * s0;
+            let f1 = dens[k] * 2.0 * PI * s1;
+            acc += 0.5 * (f0 + f1) * step;
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ProfiledPdf {
+            support,
+            shape: Shape::Tabulated {
+                dens: dens.into_boxed_slice(),
+                cdf: cdf.into_boxed_slice(),
+                inv_step: GRID as f64 / support,
+            },
+        }
+    }
+
+    /// Radius of the support disk.
+    pub fn support_radius(&self) -> f64 {
+        self.support
+    }
+
+    /// The density at radial offset `s` (table-lerp for tabulated shapes).
+    pub fn density(&self, s: f64) -> f64 {
+        if s < 0.0 || s >= self.support {
+            return 0.0;
+        }
+        match &self.shape {
+            Shape::Uniform { radius } => 1.0 / (PI * radius * radius),
+            Shape::Tabulated { dens, inv_step, .. } => {
+                let x = s * inv_step;
+                let k = (x as usize).min(GRID - 1);
+                let frac = x - k as f64;
+                dens[k] + (dens[k + 1] - dens[k]) * frac
+            }
+        }
+    }
+
+    /// Probability mass within radial offset `r` of the center.
+    pub fn mass_within(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        if r >= self.support {
+            return 1.0;
+        }
+        match &self.shape {
+            Shape::Uniform { radius } => (r * r) / (radius * radius),
+            Shape::Tabulated { cdf, inv_step, .. } => {
+                let x = r * inv_step;
+                let k = (x as usize).min(GRID - 1);
+                let frac = x - k as f64;
+                (cdf[k] + (cdf[k + 1] - cdf[k]) * frac).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// `P^WD(d, rd)` — Eq. 3: the probability that an object whose
+    /// (difference-)pdf is centered `d` away from the query point lies
+    /// within distance `rd` of it.
+    pub fn pwd(&self, d: f64, rd: f64) -> f64 {
+        match &self.shape {
+            Shape::Uniform { radius } => uniform_within_distance(d, *radius, rd),
+            Shape::Tabulated { .. } => self.pwd_tabulated(d, rd),
+        }
+    }
+
+    /// `pdf^WD(d, rd)` — the density of the within-distance probability in
+    /// `rd` (the integrand weight of Eq. 5).
+    pub fn pwd_density(&self, d: f64, rd: f64) -> f64 {
+        match &self.shape {
+            Shape::Uniform { radius } => uniform_within_distance_density(d, *radius, rd),
+            Shape::Tabulated { .. } => self.pwd_density_tabulated(d, rd),
+        }
+    }
+
+    /// Tabulated-shape `P^WD`: full-circle CDF lookup plus the partial-arc
+    /// integral rewritten by parts (module docs) so the loop body is two
+    /// table lerps, a `sqrt` and a handful of multiply-adds.
+    fn pwd_tabulated(&self, d: f64, rd: f64) -> f64 {
+        let s_max = self.support;
+        if rd <= 0.0 || d - s_max >= rd {
+            return 0.0;
+        }
+        if d + s_max <= rd {
+            return 1.0;
+        }
+        if d == 0.0 {
+            return self.mass_within(rd);
+        }
+        // Offsets s ≤ rd − d put the whole circle of radius s inside the
+        // query disk: their arc angle is 2π and they contribute the plain
+        // radial mass.
+        let full_mass = if rd > d {
+            self.mass_within(rd - d)
+        } else {
+            0.0
+        };
+        let mut acc = full_mass;
+        let lo = (rd - d).abs();
+        let hi = s_max.min(rd + d);
+        if hi > lo {
+            let len = hi - lo;
+            // ∫_lo^hi f(s)·s·θ(s) ds by parts with G(s) = (M(s) − M(lo))/2π:
+            //   = θ(hi)·G(hi) + ∫ 2c′(s)/√(1−c²(s)) · G(s) ds,
+            // c(s) = (d² + s² − rd²)/(2ds), c′(s) = (s² − d² + rd²)/(2ds²).
+            let m_lo = self.mass_within(lo);
+            let inv_2pi = 1.0 / (2.0 * PI);
+            if hi < rd + d {
+                // Support truncates the arc: nonzero boundary angle at s_max.
+                let c_hi = ((d * d + hi * hi - rd * rd) / (2.0 * d * hi)).clamp(-1.0, 1.0);
+                let theta_hi = 2.0 * c_hi.acos();
+                acc += theta_hi * (self.mass_within(hi) - m_lo) * inv_2pi;
+            }
+            let rule = endpoint_rule(ARC_ORDER);
+            let mut sum = 0.0;
+            for (frac, wgt) in rule.frac.iter().zip(&rule.wgt) {
+                let s = lo + len * frac;
+                let c = (d * d + s * s - rd * rd) / (2.0 * d * s);
+                // (1−c)(1+c) instead of 1−c² to limit cancellation near ±1.
+                let one_minus_c2 = ((1.0 - c) * (1.0 + c)).max(0.0);
+                if one_minus_c2 <= 0.0 {
+                    continue;
+                }
+                let cp = (s * s - d * d + rd * rd) / (2.0 * d * s * s);
+                let g = (self.mass_within(s) - m_lo) * inv_2pi;
+                sum += wgt * 2.0 * cp / one_minus_c2.sqrt() * g;
+            }
+            acc += sum * len;
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Tabulated-shape `pdf^WD` via the angle-to-offset change of variables
+    /// `pdf^WD(R) = (2/d)·∫ f(s)·s/√(1−q²(s)) ds`, `q = (R²+d²−s²)/(2Rd)`.
+    fn pwd_density_tabulated(&self, d: f64, rd: f64) -> f64 {
+        let s_max = self.support;
+        if rd <= 0.0 || (rd - d).abs() >= s_max {
+            return 0.0;
+        }
+        if d == 0.0 {
+            return self.density(rd) * 2.0 * PI * rd;
+        }
+        let lo = (rd - d).abs();
+        let hi = s_max.min(rd + d);
+        if hi <= lo {
+            return 0.0;
+        }
+        let len = hi - lo;
+        let rule = endpoint_rule(ARC_ORDER);
+        let mut sum = 0.0;
+        for (frac, wgt) in rule.frac.iter().zip(&rule.wgt) {
+            let s = lo + len * frac;
+            let q = (rd * rd + d * d - s * s) / (2.0 * rd * d);
+            let one_minus_q2 = ((1.0 - q) * (1.0 + q)).max(0.0);
+            if one_minus_q2 <= 0.0 {
+                continue;
+            }
+            sum += wgt * self.density(s) * s / one_minus_q2.sqrt();
+        }
+        (2.0 / d * sum * len).max(0.0)
+    }
+}
+
+/// Reusable scratch for [`nn_probabilities_profiled`] — lets a batch of
+/// columns share one set of allocations.
+#[derive(Debug, Default)]
+pub struct NnScratch {
+    bounds: Vec<(f64, f64)>,
+    cuts: Vec<f64>,
+    pwd: Vec<f64>,
+    dens: Vec<f64>,
+    prefix: Vec<f64>,
+    suffix: Vec<f64>,
+}
+
+/// Eq. 5 over a profiled pdf: the same sorted-boundary decomposition as
+/// [`crate::nn_prob::nn_probabilities`] (§2.2-III), with every candidate
+/// sharing the one profiled difference pdf and all per-node state held in
+/// flat scratch arrays — no virtual dispatch anywhere in the loops.
+///
+/// `dists` are the candidate center distances; the result (written into
+/// `out`, cleared first) is index-aligned with them. `points_per_segment`
+/// is the outer Gauss–Legendre order (the knob the adaptive ladder turns).
+pub fn nn_probabilities_profiled(
+    pdf: &ProfiledPdf,
+    dists: &[f64],
+    points_per_segment: usize,
+    scratch: &mut NnScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let n = dists.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        out.push(1.0);
+        return;
+    }
+    let s = pdf.support_radius();
+    let bounds = &mut scratch.bounds;
+    bounds.clear();
+    bounds.extend(dists.iter().map(|&d| ((d - s).max(0.0), d + s)));
+    let global_rmax = bounds.iter().map(|b| b.1).fold(f64::INFINITY, f64::min);
+    let cuts = &mut scratch.cuts;
+    cuts.clear();
+    cuts.extend(
+        bounds
+            .iter()
+            .map(|b| b.0)
+            .filter(|&rmin| rmin < global_rmax),
+    );
+    cuts.push(global_rmax);
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+    let rule = shared_rule(points_per_segment);
+    out.resize(n, 0.0);
+    scratch.pwd.clear();
+    scratch.pwd.resize(n, 0.0);
+    scratch.dens.clear();
+    scratch.dens.resize(n, 0.0);
+    scratch.prefix.clear();
+    scratch.prefix.resize(n + 1, 0.0);
+    scratch.suffix.clear();
+    scratch.suffix.resize(n + 1, 0.0);
+    let pwd = &mut scratch.pwd;
+    let dens = &mut scratch.dens;
+    let prefix = &mut scratch.prefix;
+    let suffix = &mut scratch.suffix;
+
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b - a <= 1e-15 {
+            continue;
+        }
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        for k in 0..rule.len() {
+            let (x, wgt) = rule.node_weight(k);
+            let r = mid + half * x;
+            for (i, &d) in dists.iter().enumerate() {
+                if bounds[i].0 >= r {
+                    pwd[i] = 0.0;
+                    dens[i] = 0.0;
+                } else {
+                    pwd[i] = pdf.pwd(d, r);
+                    dens[i] = pdf.pwd_density(d, r);
+                }
+            }
+            prefix[0] = 1.0;
+            for i in 0..n {
+                prefix[i + 1] = prefix[i] * (1.0 - pwd[i]);
+            }
+            suffix[n] = 1.0;
+            for i in (0..n).rev() {
+                suffix[i] = suffix[i + 1] * (1.0 - pwd[i]);
+            }
+            for i in 0..n {
+                if dens[i] > 0.0 {
+                    out[i] += wgt * half * dens[i] * prefix[i] * suffix[i + 1];
+                }
+            }
+        }
+    }
+    for p in out.iter_mut() {
+        *p = p.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn_prob::{nn_probabilities, NnCandidate, NnConfig};
+    use crate::pdf::PdfKind;
+    use crate::uniform::UniformDiskPdf;
+    use crate::uniform_diff::UniformDifferencePdf;
+    use crate::within_distance::{within_distance, within_distance_density};
+
+    fn gaussian_diff() -> Box<dyn RadialPdf> {
+        let kind = PdfKind::TruncatedGaussian {
+            radius: 1.0,
+            sigma: 0.4,
+        };
+        kind.convolve_with(&kind)
+    }
+
+    #[test]
+    fn uniform_disk_classifies_as_uniform_shape() {
+        let pdf = UniformDiskPdf::new(1.5);
+        let prof = ProfiledPdf::of(&pdf);
+        assert!(matches!(prof.shape, Shape::Uniform { .. }));
+        assert!((prof.mass_within(0.75) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn difference_pdf_tabulates() {
+        let pdf = UniformDifferencePdf::new(1.0);
+        let prof = ProfiledPdf::of(&pdf);
+        assert!(matches!(prof.shape, Shape::Tabulated { .. }));
+        // Table matches the source density and CDF closely.
+        for s in [0.0, 0.3, 0.9, 1.4, 1.97] {
+            assert!(
+                (prof.density(s) - pdf.density(s)).abs() < 1e-6,
+                "density at {s}"
+            );
+            assert!(
+                (prof.mass_within(s) - pdf.mass_within(s)).abs() < 1e-4,
+                "mass at {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_pwd_matches_generic_quadrature() {
+        for pdf in [
+            Box::new(UniformDifferencePdf::new(1.0)) as Box<dyn RadialPdf>,
+            gaussian_diff(),
+        ] {
+            let prof = ProfiledPdf::of(pdf.as_ref());
+            for d in [0.0, 0.4, 1.1, 2.3, 3.5] {
+                for rd in [0.1, 0.7, 1.3, 2.0, 2.9, 4.1] {
+                    let fast = prof.pwd(d, rd);
+                    let slow = within_distance(pdf.as_ref(), d, rd);
+                    assert!(
+                        (fast - slow).abs() < 2e-5,
+                        "{pdf:?} pwd(d={d}, rd={rd}): fast {fast} vs slow {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_density_matches_generic_quadrature() {
+        for pdf in [
+            Box::new(UniformDifferencePdf::new(1.0)) as Box<dyn RadialPdf>,
+            gaussian_diff(),
+        ] {
+            let prof = ProfiledPdf::of(pdf.as_ref());
+            for d in [0.0, 0.4, 1.1, 2.3] {
+                for rd in [0.1, 0.7, 1.3, 2.0, 2.9] {
+                    let fast = prof.pwd_density(d, rd);
+                    let slow = within_distance_density(pdf.as_ref(), d, rd);
+                    assert!(
+                        (fast - slow).abs() < 2e-4,
+                        "{pdf:?} pwd_density(d={d}, rd={rd}): fast {fast} vs slow {slow}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_pwd_is_monotone_cdf_in_rd() {
+        let prof = ProfiledPdf::of(&UniformDifferencePdf::new(1.0));
+        let d = 1.2;
+        let mut prev = 0.0;
+        for k in 0..200 {
+            let rd = k as f64 * 0.02;
+            let v = prof.pwd(d, rd);
+            assert!(v + 1e-9 >= prev, "pwd not monotone at rd={rd}");
+            prev = v;
+        }
+        assert!((prev - 1.0).abs() < 1e-6, "pwd should saturate, got {prev}");
+    }
+
+    #[test]
+    fn profiled_nn_matches_dynamic_evaluator() {
+        let pdf = UniformDifferencePdf::new(1.0);
+        let prof = ProfiledPdf::of(&pdf);
+        let dists = [2.0, 2.5, 3.0, 3.5];
+        let cands: Vec<NnCandidate<'_>> = dists
+            .iter()
+            .map(|&d| NnCandidate {
+                center_distance: d,
+                pdf: &pdf,
+            })
+            .collect();
+        let slow = nn_probabilities(&cands, NnConfig::default());
+        let mut scratch = NnScratch::default();
+        let mut fast = Vec::new();
+        nn_probabilities_profiled(&prof, &dists, 32, &mut scratch, &mut fast);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-4, "fast {fast:?} vs slow {slow:?}");
+        }
+        let total: f64 = fast.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "sum {total}");
+    }
+
+    #[test]
+    fn profiled_nn_handles_trivial_columns() {
+        let prof = ProfiledPdf::of(&UniformDifferencePdf::new(1.0));
+        let mut scratch = NnScratch::default();
+        let mut out = Vec::new();
+        nn_probabilities_profiled(&prof, &[], 32, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        nn_probabilities_profiled(&prof, &[4.2], 32, &mut scratch, &mut out);
+        assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        // Two profiles of equal pdfs must produce bit-identical answers —
+        // the invariant the incremental row maintenance relies on.
+        let kind = PdfKind::Uniform { radius: 0.8 };
+        let a = ProfiledPdf::of(kind.convolve_with(&kind).as_ref());
+        let b = ProfiledPdf::of(kind.convolve_with(&kind).as_ref());
+        for d in [0.1, 0.9, 1.7, 2.4] {
+            for rd in [0.2, 0.8, 1.5, 2.2] {
+                assert_eq!(a.pwd(d, rd).to_bits(), b.pwd(d, rd).to_bits());
+                assert_eq!(
+                    a.pwd_density(d, rd).to_bits(),
+                    b.pwd_density(d, rd).to_bits()
+                );
+            }
+        }
+    }
+}

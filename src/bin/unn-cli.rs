@@ -46,6 +46,8 @@
 //! store rebuild-fraction <f>  set the delta-vs-rebuild threshold
 //! store delta-capacity <n>    cap the delta log (forces rebuilds past it)
 //! store feed-bound <n>        cap per-subscription change feeds (squash past it)
+//! store row-samples <n>       probe density of future row subscriptions
+//! store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
 //! sql <statement>             execute a query-language statement
 //! sub add <name> <SELECT …>   register a standing query
 //! sub drop <name>             unregister a standing query
@@ -93,6 +95,8 @@ commands:
   store rebuild-fraction <f>  set the delta-vs-rebuild threshold
   store delta-capacity <n>    cap the delta log (forces rebuilds past it)
   store feed-bound <n>        cap per-subscription change feeds (squash past it)
+  store row-samples <n>       probe density of future row subscriptions
+  store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
   sql <statement>             execute a query-language statement
   sub add <name> <SELECT ...> register a standing query
   sub drop <name>             unregister a standing query
@@ -402,6 +406,35 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     );
                     Ok(())
                 }
+                "row-samples" => {
+                    let n: u32 = parse(parts.next().ok_or("usage: store row-samples <n>")?)?;
+                    let registry = server.subscription_registry();
+                    registry.set_row_samples(n);
+                    println!(
+                        "row subscriptions registered from now on sample {} probe instants \
+                         (existing ones keep their density)",
+                        registry.row_samples()
+                    );
+                    Ok(())
+                }
+                "row-tolerance" => {
+                    let f: f64 = parse(parts.next().ok_or("usage: store row-tolerance <f>")?)?;
+                    let registry = server.subscription_registry();
+                    registry.set_row_tolerance(f);
+                    let tol = registry.row_tolerance();
+                    if tol > 0.0 {
+                        println!(
+                            "row maintenance refines adaptively at tolerance {tol} \
+                             (columns near the threshold get full density)"
+                        );
+                    } else {
+                        println!(
+                            "adaptive refinement disabled: every dirty probe column \
+                             runs full quadrature density"
+                        );
+                    }
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
@@ -504,7 +537,13 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                 }
                 "list" => {
                     let subs = server.subscriptions();
-                    println!("{} subscriptions", subs.len());
+                    let registry = server.subscription_registry();
+                    println!(
+                        "{} subscriptions (row samples {}, row tolerance {})",
+                        subs.len(),
+                        registry.row_samples(),
+                        registry.row_tolerance()
+                    );
                     for info in &subs {
                         print_subscription(info);
                     }
@@ -857,7 +896,8 @@ fn print_output(out: QueryOutput) {
 fn print_subscription(info: &SubscriptionInfo) {
     println!(
         "subscription '{}' @epoch {}: {} qualifying, {} pending deltas \
-         ({} skipped / {} patched / {} rebuilt, {} rows patched / {} perspectives skipped){}",
+         ({} skipped / {} patched / {} rebuilt, {} rows patched / {} perspectives skipped, \
+         {} columns refined / {} coarse-only){}",
         info.name,
         info.last_epoch,
         info.entries,
@@ -867,6 +907,8 @@ fn print_subscription(info: &SubscriptionInfo) {
         info.stats.rebuilt,
         info.stats.rows_patched,
         info.stats.perspectives_skipped,
+        info.stats.columns_refined,
+        info.stats.columns_coarse_only,
         match &info.error {
             Some(e) => format!(" [error: {e}]"),
             None => String::new(),

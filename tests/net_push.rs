@@ -414,11 +414,11 @@ fn lagged_row_stream_resyncs_bit_identically() {
         Arc::clone(&server),
         NetServerConfig {
             outbox_capacity: 1,
-            // Row maintenance itself costs hundreds of milliseconds per
-            // commit (the P^WD quadrature), so the pacing must dominate
-            // the commit cadence for deltas to provably pile up and
-            // squash while the pusher sleeps.
-            event_pacing: Duration::from_secs(3),
+            // The pacing must dominate the commit cadence for deltas to
+            // provably pile up and squash while the pusher sleeps. The
+            // batched column kernel keeps a maintenance round well under
+            // 100ms per commit, so a sub-second pace suffices.
+            event_pacing: Duration::from_millis(800),
         },
     )
     .expect("binds");

@@ -91,6 +91,8 @@ fn arb_stats() -> impl Strategy<Value = SubscriptionStats> {
         functions_built: c ^ d,
         rows_patched: a + c,
         perspectives_skipped: b ^ d,
+        columns_refined: a + d,
+        columns_coarse_only: b + c,
     })
 }
 
