@@ -254,6 +254,16 @@ const REQUIRED_GROUPS: &[(&str, &[&str])] = &[
             "rows_adaptive",
         ],
     ),
+    (
+        "BENCH_fanout.json",
+        &[
+            "watch_p50",
+            "watch_p99",
+            "register_shared_p99",
+            "naive_p50",
+            "naive_p99",
+        ],
+    ),
 ];
 
 /// Validates one report file, returning the number of benchmark entries.

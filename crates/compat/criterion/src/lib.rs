@@ -226,6 +226,31 @@ impl Bencher {
     }
 }
 
+/// Records an externally measured value (nanoseconds) under `id` —
+/// for custom `harness = false` benches whose metric is not a closure's
+/// wall-clock median (e.g. a latency percentile over fan-out rounds).
+/// The value joins the same report [`criterion_main!`] writes; in
+/// `--test` smoke mode it prints an `ok` line and records nothing.
+/// Not part of the real criterion API.
+pub fn report_ns(id: impl Into<String>, ns: f64) {
+    let id = id.into();
+    if test_mode() {
+        println!("test  {id:<60} ok");
+        return;
+    }
+    println!("bench {id:<60} {}", format_ns(ns));
+    RESULTS.lock().unwrap().push(BenchResult {
+        id,
+        ns_per_iter: ns,
+    });
+}
+
+/// Writes the report for a custom `fn main()` bench that cannot use
+/// [`criterion_main!`]. Pass `env!("CARGO_MANIFEST_DIR")`.
+pub fn write_report(manifest_dir: &str) {
+    __write_report(manifest_dir);
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     id: String,
     sample_size: usize,

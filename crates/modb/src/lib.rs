@@ -141,26 +141,33 @@
 //! ## The network service layer
 //!
 //! [`net`] fronts the engine with a std-only framed TCP protocol
-//! (`unn-cli connect <addr>` is the stock client). Requests execute
-//! query-language statements and mutations; `REGISTER CONTINUOUS` over a
-//! connection additionally attaches that connection's bounded outbox
-//! ([`subscription::DeltaSink`]) to the new subscription, so every
-//! commit's answer delta is **pushed** as a wire event the moment
-//! maintenance emits it:
+//! (`unn-cli connect <addr>` is the stock client; `docs/WIRE.md`
+//! specifies the byte layout). One event-loop thread multiplexes every
+//! connection over nonblocking sockets and `poll(2)`; statements execute
+//! on a small worker pool. `REGISTER CONTINUOUS` over a connection
+//! additionally attaches that connection's bounded outbox
+//! ([`subscription::DeltaSink`]) to the new subscription — and `WATCH
+//! name` attaches to an existing one — so every commit's answer delta is
+//! **pushed** as a wire event the moment maintenance emits it:
 //!
 //! ```text
 //! conn A ──Insert──▶ commit (epoch e) ──▶ SubscriptionRegistry::sync
-//!                                          (sharded skip/patch/rebuild)
+//!                                          (one shared engine per distinct
+//!                                           query; sharded skip/patch/rebuild)
 //!                                         │ AnswerDelta / ProbRowDelta @e
 //!                                   ┌──────────────┴─────────────┐
 //!                                   ▼                            ▼
-//!                            pull feed (poll)          conn B outbox ─▶ Event /
-//!                                                      RowEvent frame
-//!                                                      (overflow ⇒ squash via
-//!                                                       `SubDelta::then`, flag
-//!                                                       `lagged`, client resyncs
-//!                                                       from the full AnswerSet /
-//!                                                       ProbRowSet)
+//!                            pull feed (poll)      outboxes of conns B, C, …
+//!                                                  │ encode once (FrameCache)
+//!                                                  ▼
+//!                                                  Event / RowEvent frame,
+//!                                                  one Arc<[u8]> shared by
+//!                                                  every same-name watcher
+//!                                                  (overflow ⇒ squash via
+//!                                                   `SubDelta::then`, flag
+//!                                                   `lagged`, client resyncs
+//!                                                   from the full AnswerSet /
+//!                                                   ProbRowSet)
 //! ```
 //!
 //! Maintenance itself is sharded by subscription-name hash (mirroring
@@ -168,9 +175,14 @@
 //! subscription sharing a single ops fetch and cached band-bound proofs
 //! (a burst of far commits costs one proof derivation), then the
 //! subscriptions needing patch/rebuild work fan out across scoped
-//! threads per shard on multi-core hosts. Folded pushed deltas equal a
-//! fresh exhaustive evaluation bit-for-bit, `lagged` resyncs included
-//! (`tests/net_push.rs`).
+//! threads per shard on multi-core hosts. Subscriptions on the same
+//! query object, window, kind, and parameters coalesce onto **one
+//! shared engine** — one maintenance round serves all of them
+//! ([`subscription::SubscriptionRegistry::share_count`]), and the
+//! `fanout` bench measures the combined effect at 1k subscribers.
+//! Folded pushed deltas equal a fresh exhaustive evaluation
+//! bit-for-bit, `lagged` resyncs included (`tests/net_push.rs`,
+//! `tests/net_fanout.rs`).
 //!
 //! * [`instantaneous`] — the §2.2 snapshot NN query: Figure 4's
 //!   `R_min/R_max` pruning + Eq. 5 ranking at one instant, full-scan and
@@ -188,8 +200,9 @@
 //!   [`unn_core::probrows::ProbRowSet`]s for threshold / reverse ones —
 //!   are incrementally maintained after every commit and streamed as
 //!   [`subscription::SubDelta`]s;
-//! * [`net`] — the framed TCP service layer: wire codec, thread-per-
-//!   connection server with push delivery, and the blocking client;
+//! * [`net`] — the framed TCP service layer: wire codec, multiplexed
+//!   event-loop server with encode-once push delivery, and the blocking
+//!   client;
 //! * [`persist`] — replayable text snapshots of MOD contents.
 
 #![warn(missing_docs)]
@@ -218,6 +231,6 @@ pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, Serve
 pub use snapshot::QuerySnapshot;
 pub use store::{DeltaStats, DifferenceModel, ModStore, StoreError};
 pub use subscription::{
-    DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError, SubscriptionInfo,
+    DeltaSink, FeedEvent, FrameCache, SubAnswer, SubDelta, SubscriptionError, SubscriptionInfo,
     SubscriptionRegistry, SubscriptionStats, SyncMode, PROB_ROW_SAMPLES,
 };

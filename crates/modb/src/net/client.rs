@@ -11,7 +11,7 @@
 //! desynchronize the stream: partially received frames are kept in an
 //! internal buffer and completed by the next read.
 
-use crate::subscription::{FeedEvent, SubAnswer, SubDelta};
+use crate::subscription::{FeedEvent, FrameCache, SubAnswer, SubDelta};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read};
@@ -66,6 +66,56 @@ impl From<io::Error> for NetError {
 }
 
 /// A connected client session.
+///
+/// The full loop — connect, register a standing query, commit a
+/// mutation from a second connection, receive the pushed delta:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use unn_modb::net::{NetClient, NetServer, WireOutput};
+/// use unn_modb::server::ModServer;
+/// use unn_modb::subscription::FeedEvent;
+/// use unn_traj::trajectory::{Oid, Trajectory};
+/// use unn_traj::uncertain::UncertainTrajectory;
+///
+/// fn tr(oid: u64, y: f64) -> UncertainTrajectory {
+///     UncertainTrajectory::with_uniform_pdf(
+///         Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (10.0, y, 60.0)]).unwrap(),
+///         0.5,
+///     )
+///     .unwrap()
+/// }
+///
+/// let server = Arc::new(ModServer::new());
+/// server.register_all([tr(0, 0.0), tr(1, 1.0)]).unwrap();
+/// let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).unwrap();
+///
+/// let mut watcher = NetClient::connect(net.local_addr()).unwrap();
+/// let out = watcher
+///     .execute(
+///         "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+///          AND PROB_NN(*, Tr0, TIME) > 0 AS near0",
+///     )
+///     .unwrap();
+/// assert!(matches!(out, WireOutput::Registered(_)));
+///
+/// // A second connection commits an in-band object ...
+/// let mut writer = NetClient::connect(net.local_addr()).unwrap();
+/// writer.insert(tr(7, 0.4)).unwrap();
+///
+/// // ... and the watcher receives the answer delta as a pushed event.
+/// let event: FeedEvent = watcher
+///     .next_event(Some(Duration::from_secs(10)))
+///     .unwrap()
+///     .expect("a delta is pushed");
+/// assert_eq!(event.subscription, "near0");
+/// assert!(!event.lagged);
+///
+/// watcher.close().unwrap();
+/// writer.close().unwrap();
+/// net.shutdown();
+/// ```
 #[derive(Debug)]
 pub struct NetClient {
     stream: TcpStream,
@@ -195,6 +245,7 @@ impl NetClient {
                 subscription,
                 delta: SubDelta::Intervals(delta),
                 lagged,
+                cache: FrameCache::default(),
             })),
             Some(Frame::RowEvent {
                 subscription,
@@ -204,6 +255,7 @@ impl NetClient {
                 subscription,
                 delta: SubDelta::Rows(delta),
                 lagged,
+                cache: FrameCache::default(),
             })),
             Some(Frame::Bye) => Err(NetError::Closed),
             Some(other) => Err(NetError::Protocol(format!(
@@ -252,6 +304,7 @@ impl NetClient {
                     subscription,
                     delta: SubDelta::Intervals(delta),
                     lagged,
+                    cache: FrameCache::default(),
                 }),
                 Frame::RowEvent {
                     subscription,
@@ -261,6 +314,7 @@ impl NetClient {
                     subscription,
                     delta: SubDelta::Rows(delta),
                     lagged,
+                    cache: FrameCache::default(),
                 }),
                 Frame::Bye => return Err(NetError::Closed),
                 other => {

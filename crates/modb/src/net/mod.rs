@@ -2,17 +2,22 @@
 //! the MOD to remote clients, with **push delivery** of standing-query
 //! deltas.
 //!
-//! Three pieces, layered bottom-up:
+//! Four pieces, layered bottom-up:
 //!
 //! * [`wire`] — the length-prefixed binary frame codec: versioned
 //!   handshake, requests/responses, and pushed `Event` frames, with
 //!   bit-exact [`unn_core::answer::AnswerSet`] / `AnswerDelta`
-//!   round-trips and defensive decoding;
-//! * [`server`] — the thread-per-connection [`NetServer`] wrapping a
-//!   [`crate::server::ModServer`]: executes query-language statements
-//!   over the wire and attaches each connection's bounded
-//!   [`crate::subscription::DeltaSink`] outbox to the subscriptions it
-//!   registers, so answer deltas are pushed as commits land;
+//!   round-trips and defensive decoding (byte layout specified in
+//!   `docs/WIRE.md`);
+//! * [`poll`] — the minimal `poll(2)` binding and self-pipe [`poll::Waker`]
+//!   the event loop multiplexes on (std-only, no mio);
+//! * [`server`] — the multiplexed [`NetServer`] wrapping a
+//!   [`crate::server::ModServer`]: one event-loop thread owns every
+//!   connection via nonblocking sockets and `poll(2)`, a small worker
+//!   pool executes query-language statements, and each connection's
+//!   bounded [`crate::subscription::DeltaSink`] outbox receives answer
+//!   deltas as commits land — serialized **once** per delta and shared
+//!   across every subscriber of the same name as an `Arc<[u8]>`;
 //! * [`client`] — the blocking [`NetClient`] behind `unn-cli connect`,
 //!   the loopback tests, and the push-fan-out bench.
 //!
@@ -23,14 +28,18 @@
 //!                               │ notify
 //!                               ▼
 //!                   SubscriptionRegistry::sync
-//!                   (skip │ patch │ rebuild, sharded)
+//!                   (one shared engine per distinct query;
+//!                    skip │ patch │ rebuild, sharded)
 //!                               │ AnswerDelta @e
 //!                ┌──────────────┴──────────────┐
 //!                ▼                             ▼
-//!        pull feed (sub poll)        DeltaSink of conn B (bounded)
-//!                                              │ pusher thread
+//!        pull feed (sub poll)     DeltaSinks of conns B, C, … (bounded)
+//!                                              │ wake event loop
 //!                                              ▼
-//!                                    Event frame ──▶ client B folds
+//!                                 encode once (FrameCache) ─▶ Arc<[u8]>
+//!                                              │ queued per outbox
+//!                                              ▼
+//!                                    Event frame ──▶ clients fold
 //!                                    (lagged ⇒ resync via
 //!                                     SubscriptionAnswer)
 //! ```
@@ -42,6 +51,7 @@
 //! resync included.
 
 pub mod client;
+pub mod poll;
 pub mod server;
 pub mod wire;
 

@@ -1,42 +1,82 @@
-//! The framed TCP service: a thread-per-connection [`NetServer`]
-//! wrapping a [`ModServer`], executing query-language statements over
-//! the wire and **pushing** subscription deltas to the connections that
-//! registered them.
+//! The framed TCP service: a readiness-loop **multiplexed**
+//! [`NetServer`] wrapping a [`ModServer`], executing query-language
+//! statements over the wire and **pushing** subscription deltas to the
+//! connections that registered (or [`WATCH`ed](crate::ql)) them.
+//!
+//! ## Architecture
+//!
+//! One event-loop thread owns the listener and every connection socket
+//! (all nonblocking), multiplexed with [`super::poll::poll_fds`] — so
+//! connection count costs file descriptors, not threads. Statement
+//! execution is handed to a small worker pool (requests from the same
+//! connection always route to the same worker, preserving per-client
+//! order); completed responses come back through a completion queue
+//! and a [`super::poll::Waker`] nudge. Subscription maintenance wakes
+//! the loop the same way via each outbox's
+//! [`DeltaSink::set_wake_hook`].
+//!
+//! ```text
+//! poll ─▶ accept / readable / writable
+//!   │  readable: buffer → frames → worker pool ──▶ Response bytes ┐
+//!   │  outbox drain: FeedEvent → cached Arc<[u8]> ─▶ out queue    │
+//!   └──────────────── waker ◀── completions ◀────────────────────┘
+//! ```
+//!
+//! ## Encode-once broadcast
+//!
+//! Every pushed [`FeedEvent`] carries a
+//! [`FrameCache`](crate::subscription::FrameCache) shared by all the
+//! outboxes the event was fanned out to. The first connection to
+//! deliver the event encodes the `Event`/`RowEvent` frame and primes
+//! the cache; every other connection clones the `Arc<[u8]>` and writes
+//! the same bytes — one serialization per commit delta regardless of
+//! subscriber count, and bit-identical frames on every socket.
 //!
 //! ## Connection lifecycle
 //!
 //! ```text
 //! accept ─▶ handshake (Hello/Welcome, version-gated)
-//!        ─▶ reader thread   : Request → ModServer → Response
-//!        └▶ pusher thread   : DeltaSink → Event frames
+//!        ─▶ Request → worker → Response    (same socket, same loop)
+//!        └▶ DeltaSink drain → Event frames (paced, watermark-gated)
 //! ```
 //!
 //! Each connection owns one bounded [`DeltaSink`] outbox. A successful
-//! `REGISTER CONTINUOUS … AS name` executed over the connection attaches
-//! that outbox to the subscription, so every subsequent commit's
-//! [`unn_core::answer::AnswerDelta`] is pushed as an
-//! [`super::wire::Frame::Event`] the moment maintenance emits it — no
-//! polling. Backpressure is per connection: when the outbox overflows
-//! (slow or stalled consumer), the oldest same-subscription events are
-//! squashed via `AnswerDelta::then` and the survivor is flagged
-//! `lagged`; the client resyncs from a full answer
+//! `REGISTER CONTINUOUS … AS name` (or `WATCH name`) executed over the
+//! connection attaches that outbox to the subscription, so every
+//! subsequent commit's [`unn_core::answer::AnswerDelta`] is pushed as
+//! an [`super::wire::Frame::Event`] the moment maintenance emits it —
+//! no polling. Backpressure is per connection: events wait in the
+//! outbox while the socket (or the pacing delay) is busy, and when the
+//! outbox overflows the oldest same-subscription events are squashed
+//! via `AnswerDelta::then` with the survivor flagged `lagged`; the
+//! client resyncs from a full answer
 //! ([`super::wire::WireRequest::SubscriptionAnswer`]) if it needs
 //! per-epoch granularity back. Subscriptions outlive their connection
 //! (they remain registered server-side; only the push attachment dies
 //! with the socket).
 
 use crate::server::{ModServer, QueryOutput, ServerError};
-use crate::subscription::{DeltaSink, SubAnswer, SubDelta, SubscriptionError};
-use std::io;
+use crate::subscription::{DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use super::poll::{poll_fds, PollFd, Waker, POLLERR, POLLHUP, POLLIN, POLLOUT};
 use super::wire::{
-    read_frame, write_frame, Frame, WireError, WireOutput, WireRequest, WIRE_VERSION,
+    decode_payload, encode_frame_bytes, Frame, WireOutput, WireRequest, MAX_FRAME_LEN, WIRE_VERSION,
 };
+
+/// Bytes of encoded-but-unsent frames a connection may queue before
+/// the loop stops draining its outbox — past this, backpressure moves
+/// into the [`DeltaSink`] where the squash-oldest/`lagged` contract
+/// applies instead of buffering unboundedly.
+const OUT_HIGH_WATERMARK: usize = 1 << 20;
 
 /// Tunables of a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -60,32 +100,59 @@ impl Default for NetServerConfig {
     }
 }
 
-/// Shared state between the accept loop, connection threads, and the
+/// State shared between the event loop, the worker pool, and the
 /// shutdown path.
 #[derive(Debug)]
 struct Shared {
     server: Arc<ModServer>,
     config: NetServerConfig,
     shutting_down: AtomicBool,
-    conns: Mutex<Vec<ConnEntry>>,
+    active: AtomicUsize,
+    waker: Waker,
+    completions: Mutex<Vec<Completion>>,
+}
+
+/// One finished worker job: the encoded `Response` frame for a
+/// connection, or `Err` if encoding failed (frame over the wire
+/// bound) — which tears the connection down like a write error would.
+#[derive(Debug)]
+struct Completion {
+    token: u64,
+    bytes: Result<Arc<[u8]>, ()>,
 }
 
 #[derive(Debug)]
-struct ConnEntry {
-    /// A clone of the connection socket, kept to force-close it on
-    /// server shutdown (unblocking the reader).
-    stream: TcpStream,
+struct Job {
+    token: u64,
+    id: u64,
+    body: WireRequest,
     sink: Arc<DeltaSink>,
-    reader: JoinHandle<()>,
 }
 
 /// A running framed-TCP MOD service. Bind with [`NetServer::bind`],
 /// stop with [`NetServer::shutdown`] (dropping shuts down too).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use unn_modb::net::{NetClient, NetServer, WireOutput};
+/// use unn_modb::server::ModServer;
+///
+/// let server = NetServer::bind("127.0.0.1:0", Arc::new(ModServer::new()))?;
+/// let mut client = NetClient::connect(server.local_addr())?;
+/// let out = client.execute("SHOW SUBSCRIPTIONS")?;
+/// assert!(matches!(out, WireOutput::Subscriptions(infos) if infos.is_empty()));
+/// assert_eq!(server.active_connections(), 1);
+/// client.close()?;
+/// server.shutdown();
+/// # Ok::<(), unn_modb::net::NetError>(())
+/// ```
 #[derive(Debug)]
 pub struct NetServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -102,21 +169,24 @@ impl NetServer {
         config: NetServerConfig,
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             server,
             config,
             shutting_down: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+            waker: Waker::new()?,
+            completions: Mutex::new(Vec::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("unn-net-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        let loop_shared = Arc::clone(&shared);
+        let event_loop = std::thread::Builder::new()
+            .name("unn-net-loop".to_string())
+            .spawn(move || event_loop(listener, loop_shared))?;
         Ok(NetServer {
             local_addr,
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 
@@ -125,15 +195,9 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Number of connections whose reader is still running.
+    /// Number of currently open connections.
     pub fn active_connections(&self) -> usize {
-        self.shared
-            .conns
-            .lock()
-            .unwrap()
-            .iter()
-            .filter(|c| !c.reader.is_finished())
-            .count()
+        self.shared.active.load(Ordering::SeqCst)
     }
 
     /// Stops accepting, force-closes every connection, and joins all
@@ -144,173 +208,457 @@ impl NetServer {
 
     fn shutdown_inner(&mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection. A bind
-        // to an unspecified address (0.0.0.0 / ::) is not reliably
-        // self-connectable on every platform — wake it via loopback.
-        let mut wake = self.local_addr;
-        if wake.ip().is_unspecified() {
-            match wake {
-                SocketAddr::V4(_) => wake.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
-                SocketAddr::V6(_) => wake.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
-            }
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(2));
-        if let Some(h) = self.accept.take() {
+        self.shared.waker.wake();
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
-        }
-        let conns: Vec<ConnEntry> = std::mem::take(&mut *self.shared.conns.lock().unwrap());
-        for conn in &conns {
-            conn.sink.close();
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-        }
-        for conn in conns {
-            let _ = conn.reader.join();
         }
     }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.event_loop.is_some() {
             self.shutdown_inner();
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+/// Per-connection event-loop state. The socket is nonblocking; all
+/// progress is driven by readiness plus the pacing/watermark gates.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    sink: Arc<DeltaSink>,
+    /// Unparsed inbound bytes (at most one frame of backlog plus a
+    /// partial read).
+    inbuf: Vec<u8>,
+    /// Encoded frames queued for the socket, plus how much of the
+    /// front frame is already written.
+    out: VecDeque<Arc<[u8]>>,
+    front_written: usize,
+    out_bytes: usize,
+    handshaken: bool,
+    /// `true` once the connection is logically done (Bye exchanged,
+    /// EOF, or protocol error): flush `out`, then close.
+    closing: bool,
+    /// Earliest instant the next outbox event may be delivered
+    /// (`event_pacing` gate).
+    next_push: Instant,
+}
+
+impl Conn {
+    /// Encodes `frame` and queues its bytes. Oversize frames close
+    /// the connection, like a transport error.
+    fn queue_frame(&mut self, frame: &Frame) -> Result<(), ()> {
+        match encode_frame_bytes(frame) {
+            Ok(bytes) => {
+                self.queue_bytes(bytes);
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    fn queue_bytes(&mut self, bytes: Arc<[u8]>) {
+        self.out_bytes += bytes.len();
+        self.out.push_back(bytes);
+    }
+}
+
+fn event_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let workers = spawn_workers(&shared);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut dead: Vec<u64> = Vec::new();
+    let pacing = shared.config.event_pacing;
+
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        // Apply finished worker jobs, then make as much progress as
+        // possible on every connection before sleeping in poll.
+        for completion in shared.completions.lock().unwrap().drain(..) {
+            if let Some(conn) = conns.get_mut(&completion.token) {
+                match completion.bytes {
+                    Ok(bytes) => conn.queue_bytes(bytes),
+                    Err(()) => conn.closing = true,
+                }
+            }
+        }
+        for (token, conn) in conns.iter_mut() {
+            if !pump_outbox(conn, now, pacing) || !pump_socket_write(conn) {
+                conn.closing = true;
+            }
+            if conn.closing && conn.out.is_empty() {
+                dead.push(*token);
+            }
+        }
+        for token in dead.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                conn.sink.close();
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        // Poll set: waker, listener, then one slot per connection in
+        // iteration order (tokens recorded alongside).
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::new(shared.waker.fd(), POLLIN));
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        let mut tokens = Vec::with_capacity(conns.len());
+        for (token, conn) in conns.iter() {
+            let mut events = 0i16;
+            if !conn.closing {
+                events |= POLLIN;
+            }
+            if !conn.out.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            tokens.push(*token);
+        }
+        let timeout = poll_timeout(&conns, Instant::now(), pacing);
+        if poll_fds(&mut fds, timeout).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+
+        if fds[0].revents & POLLIN != 0 {
+            shared.waker.drain();
+        }
+        if fds[1].revents & POLLIN != 0 {
+            accept_ready(&listener, &shared, &mut conns, &mut next_token, pacing);
+        }
+        for (slot, token) in tokens.iter().enumerate() {
+            let revents = fds[2 + slot].revents;
+            if revents == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(token) else {
+                continue;
+            };
+            if revents & (POLLIN | POLLERR | POLLHUP) != 0 && !conn.closing {
+                pump_socket_read(conn, *token, &shared, &workers.senders);
+            }
+            if revents & POLLOUT != 0 && !pump_socket_write(conn) {
+                conn.closing = true;
+            }
+        }
+    }
+
+    // Shutdown: tear every connection down, stop the workers, join.
+    drop(listener);
+    for (_, conn) in conns.drain() {
+        conn.sink.close();
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+    drop(workers.senders);
+    for handle in workers.handles {
+        let _ = handle.join();
+    }
+}
+
+struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Spawns the statement-execution pool. Requests from one connection
+/// always land on worker `token % n`, so per-client execution order is
+/// preserved without any cross-worker coordination.
+fn spawn_workers(shared: &Arc<Shared>) -> WorkerPool {
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let mut senders = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for i in 0..n {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("unn-net-work{i}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let result = handle_request(&shared, &job.sink, job.body);
+                    let bytes =
+                        encode_frame_bytes(&Frame::Response { id: job.id, result }).map_err(|_| ());
+                    shared.completions.lock().unwrap().push(Completion {
+                        token: job.token,
+                        bytes,
+                    });
+                    shared.waker.wake();
+                }
+            })
+            .expect("spawn worker thread");
+        senders.push(tx);
+        handles.push(handle);
+    }
+    WorkerPool { senders, handles }
+}
+
+/// Accepts every pending connection (the listener is nonblocking).
+fn accept_ready(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    pacing: Duration,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
+        if stream.set_nonblocking(true).is_err() {
+            continue;
         }
-        let mut conns = shared.conns.lock().unwrap();
-        // Opportunistically prune entries whose reader already exited so
-        // a long-lived server with connection churn stays bounded.
-        conns.retain(|c| !c.reader.is_finished());
         let sink = Arc::new(DeltaSink::bounded(shared.config.outbox_capacity));
-        let entry_stream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
-        let conn_shared = Arc::clone(&shared);
-        let conn_sink = Arc::clone(&sink);
-        let reader = match std::thread::Builder::new()
-            .name("unn-net-conn".to_string())
-            .spawn(move || serve_connection(stream, conn_sink, conn_shared))
-        {
-            Ok(h) => h,
-            Err(_) => continue,
-        };
-        conns.push(ConnEntry {
-            stream: entry_stream,
-            sink,
-            reader,
-        });
+        // Maintenance threads pushing into this outbox nudge the
+        // event loop so delivery starts without waiting for a timeout.
+        let waker_shared = Arc::clone(shared);
+        sink.set_wake_hook(Some(Arc::new(move || waker_shared.waker.wake())));
+        let token = *next_token;
+        *next_token += 1;
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                sink,
+                inbuf: Vec::new(),
+                out: VecDeque::new(),
+                front_written: 0,
+                out_bytes: 0,
+                handshaken: false,
+                closing: false,
+                next_push: Instant::now() + pacing,
+            },
+        );
+        shared.active.fetch_add(1, Ordering::SeqCst);
     }
 }
 
-/// One connection: handshake, then requests on this thread while a
-/// pusher thread drains the outbox. Any transport or protocol error
-/// tears the connection down (the stream cannot re-synchronize).
-fn serve_connection(stream: TcpStream, sink: Arc<DeltaSink>, shared: Arc<Shared>) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = stream;
-    // Handshake: version-gate before anything else.
-    match read_frame(&mut reader) {
-        Ok(Frame::Hello { version }) if version == WIRE_VERSION => {
-            let welcome = Frame::Welcome {
-                version: WIRE_VERSION,
-                epoch: shared.server.store().epoch(),
-            };
-            if write_locked(&writer, &welcome).is_err() {
+/// Drains the connection's outbox into its write queue, respecting the
+/// pacing gate and the byte watermark. Returns `false` when an event
+/// failed to encode (connection must close).
+fn pump_outbox(conn: &mut Conn, now: Instant, pacing: Duration) -> bool {
+    if !conn.handshaken || conn.closing {
+        return true;
+    }
+    while conn.out_bytes < OUT_HIGH_WATERMARK {
+        if !pacing.is_zero() && now < conn.next_push {
+            break;
+        }
+        let Some(event) = conn.sink.try_recv() else {
+            break;
+        };
+        let FeedEvent {
+            subscription,
+            delta,
+            lagged,
+            cache,
+        } = event;
+        // Encode-once: the first outbox to deliver this event primes
+        // the shared cache; everyone else reuses the same bytes.
+        let bytes = match cache.get() {
+            Some(bytes) => bytes,
+            None => {
+                let frame = match delta {
+                    SubDelta::Intervals(delta) => Frame::Event {
+                        subscription,
+                        delta,
+                        lagged,
+                    },
+                    SubDelta::Rows(delta) => Frame::RowEvent {
+                        subscription,
+                        delta,
+                        lagged,
+                    },
+                };
+                match encode_frame_bytes(&frame) {
+                    Ok(bytes) => {
+                        cache.prime(Arc::clone(&bytes));
+                        bytes
+                    }
+                    Err(_) => return false,
+                }
+            }
+        };
+        conn.queue_bytes(bytes);
+        conn.next_push = now + pacing;
+    }
+    true
+}
+
+/// Writes queued bytes until the socket would block or the queue
+/// empties. Returns `false` on a transport error.
+fn pump_socket_write(conn: &mut Conn) -> bool {
+    while let Some(front) = conn.out.front() {
+        match conn.stream.write(&front[conn.front_written..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.front_written += n;
+                if conn.front_written == front.len() {
+                    conn.out_bytes -= front.len();
+                    conn.front_written = 0;
+                    conn.out.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Reads everything available, then parses and handles the complete
+/// frames buffered so far. Any transport or protocol error (the stream
+/// cannot re-synchronize) flags the connection `closing`.
+fn pump_socket_read(
+    conn: &mut Conn,
+    token: u64,
+    shared: &Arc<Shared>,
+    workers: &[mpsc::Sender<Job>],
+) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closing = true;
+                conn.out.clear();
+                conn.out_bytes = 0;
+                conn.front_written = 0;
                 return;
             }
         }
-        Ok(Frame::Hello { .. }) => {
-            let _ = write_locked(&writer, &Frame::Bye);
-            return;
-        }
-        _ => return,
     }
-    // Pusher: outbox → Event frames, until the sink closes.
-    let pusher = {
-        let writer = Arc::clone(&writer);
-        let sink = Arc::clone(&sink);
-        let pacing = shared.config.event_pacing;
-        std::thread::Builder::new()
-            .name("unn-net-push".to_string())
-            .spawn(move || {
-                while let Some(ev) = sink.recv() {
-                    if !pacing.is_zero() {
-                        std::thread::sleep(pacing);
-                    }
-                    let frame = match ev.delta {
-                        SubDelta::Intervals(delta) => Frame::Event {
-                            subscription: ev.subscription,
-                            delta,
-                            lagged: ev.lagged,
-                        },
-                        SubDelta::Rows(delta) => Frame::RowEvent {
-                            subscription: ev.subscription,
-                            delta,
-                            lagged: ev.lagged,
-                        },
-                    };
-                    if write_locked(&writer, &frame).is_err() {
-                        sink.close();
-                        break;
-                    }
-                }
-            })
-    };
-    // Requests until Bye, EOF, or a protocol violation.
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Frame::Request { id, body }) => {
-                let result = handle_request(&shared, &sink, body);
-                if write_locked(&writer, &Frame::Response { id, result }).is_err() {
-                    break;
+    while !conn.closing && conn.inbuf.len() >= 4 {
+        let len = u32::from_le_bytes(conn.inbuf[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            conn.closing = true;
+            break;
+        }
+        let total = 4 + len as usize;
+        if conn.inbuf.len() < total {
+            break;
+        }
+        let frame = decode_payload(&conn.inbuf[4..total]);
+        conn.inbuf.drain(..total);
+        match frame {
+            Ok(frame) => {
+                if on_frame(conn, frame, token, shared, workers).is_err() {
+                    conn.closing = true;
+                    // Protocol violation: don't flush a half-broken
+                    // conversation, just drop the connection.
+                    conn.out.clear();
+                    conn.out_bytes = 0;
+                    conn.front_written = 0;
                 }
             }
-            Ok(Frame::Bye) => {
-                let _ = write_locked(&writer, &Frame::Bye);
-                break;
+            Err(_) => {
+                conn.closing = true;
+                conn.out.clear();
+                conn.out_bytes = 0;
+                conn.front_written = 0;
             }
-            Ok(_) | Err(WireError::Format(_)) | Err(WireError::Version { .. }) => break,
-            Err(WireError::Io(_)) => break,
         }
     }
-    sink.close();
-    if let Ok(h) = pusher {
-        let _ = h.join();
-    }
-    let _ = reader.shutdown(std::net::Shutdown::Both);
-    // Self-prune: drop this connection's entry (cloned socket, sink)
-    // now instead of waiting for the next accept, so an idle server
-    // does not retain dead connections' resources. The shutdown path
-    // tolerates the missing entry — the socket is already closed and
-    // this thread is at its tail.
-    let me = std::thread::current().id();
-    shared
-        .conns
-        .lock()
-        .unwrap()
-        .retain(|c| c.reader.thread().id() != me && !c.reader.is_finished());
 }
 
-fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> io::Result<()> {
-    write_frame(&mut *writer.lock().unwrap(), frame)
+/// Handles one decoded inbound frame: the version-gated handshake,
+/// request dispatch to the worker pool, and the Bye farewell.
+fn on_frame(
+    conn: &mut Conn,
+    frame: Frame,
+    token: u64,
+    shared: &Arc<Shared>,
+    workers: &[mpsc::Sender<Job>],
+) -> Result<(), ()> {
+    if !conn.handshaken {
+        return match frame {
+            Frame::Hello { version } if version == WIRE_VERSION => {
+                conn.handshaken = true;
+                conn.next_push = Instant::now() + shared.config.event_pacing;
+                conn.queue_frame(&Frame::Welcome {
+                    version: WIRE_VERSION,
+                    epoch: shared.server.store().epoch(),
+                })
+            }
+            Frame::Hello { .. } => {
+                let _ = conn.queue_frame(&Frame::Bye);
+                conn.closing = true;
+                Ok(())
+            }
+            _ => Err(()),
+        };
+    }
+    match frame {
+        Frame::Request { id, body } => {
+            let job = Job {
+                token,
+                id,
+                body,
+                sink: Arc::clone(&conn.sink),
+            };
+            // Send only fails during shutdown teardown; the
+            // connection is about to be closed anyway.
+            let _ = workers[(token % workers.len() as u64) as usize].send(job);
+            Ok(())
+        }
+        Frame::Bye => {
+            let _ = conn.queue_frame(&Frame::Bye);
+            conn.closing = true;
+            Ok(())
+        }
+        _ => Err(()),
+    }
+}
+
+/// The poll timeout: infinite unless some connection has outbox events
+/// waiting out a pacing deadline, in which case the nearest deadline
+/// bounds the sleep. Readiness and waker nudges cover everything else.
+fn poll_timeout(conns: &HashMap<u64, Conn>, now: Instant, pacing: Duration) -> i32 {
+    if pacing.is_zero() {
+        return -1;
+    }
+    let mut nearest: Option<Instant> = None;
+    for conn in conns.values() {
+        if !conn.handshaken
+            || conn.closing
+            || conn.out_bytes >= OUT_HIGH_WATERMARK
+            || conn.sink.is_empty()
+        {
+            continue;
+        }
+        if nearest.map_or(true, |t| conn.next_push < t) {
+            nearest = Some(conn.next_push);
+        }
+    }
+    match nearest {
+        // +1ms so the deadline has passed when poll returns, instead
+        // of busy-spinning on a rounded-down remainder.
+        Some(t) => {
+            (t.saturating_duration_since(now).as_millis() as i64 + 1).min(i32::MAX as i64) as i32
+        }
+        None => -1,
+    }
 }
 
 /// Executes one request against the wrapped [`ModServer`]. A successful
 /// `REGISTER CONTINUOUS` additionally attaches this connection's outbox
-/// to the new subscription, turning its change feed into pushed frames.
+/// to the new subscription (and `WATCH` attaches it to an existing
+/// one), turning its change feed into pushed frames.
 fn handle_request(
     shared: &Shared,
     sink: &Arc<DeltaSink>,

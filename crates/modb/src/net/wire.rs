@@ -1,6 +1,12 @@
 //! The framed binary wire protocol: length-prefixed, versioned frames
 //! carrying requests, responses, and pushed subscription events.
 //!
+//! The normative byte-layout specification — every frame body, field by
+//! field, plus the lagged-resync contract — lives in `docs/WIRE.md` at
+//! the repository root; `tests/net_wire.rs` asserts the spec's
+//! constants table matches the `pub const` items below, so the two
+//! cannot drift silently.
+//!
 //! ## Framing
 //!
 //! ```text
@@ -35,6 +41,7 @@
 use crate::subscription::{SubscriptionInfo, SubscriptionStats};
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::Arc;
 use unn_core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
 use unn_core::probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 use unn_geom::interval::{IntervalSet, TimeInterval};
@@ -55,6 +62,22 @@ pub const WIRE_VERSION: u16 = 2;
 /// corrupt length prefixes, not a practical limit — a 64 MiB answer
 /// delta would be millions of entries).
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Frame tag for [`Frame::Hello`] — the first payload byte after the
+/// length prefix. The full byte layout is specified in `docs/WIRE.md`.
+pub const TAG_HELLO: u8 = 1;
+/// Frame tag for [`Frame::Welcome`].
+pub const TAG_WELCOME: u8 = 2;
+/// Frame tag for [`Frame::Request`].
+pub const TAG_REQUEST: u8 = 3;
+/// Frame tag for [`Frame::Response`].
+pub const TAG_RESPONSE: u8 = 4;
+/// Frame tag for [`Frame::Event`] (interval-answer push).
+pub const TAG_EVENT: u8 = 5;
+/// Frame tag for [`Frame::Bye`].
+pub const TAG_BYE: u8 = 6;
+/// Frame tag for [`Frame::RowEvent`] (probability-row push).
+pub const TAG_ROW_EVENT: u8 = 7;
 
 /// Errors raised while encoding, decoding, or transporting frames.
 #[derive(Debug)]
@@ -366,17 +389,17 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     match frame {
         Frame::Hello { version } => {
-            put_u8(&mut buf, 1);
+            put_u8(&mut buf, TAG_HELLO);
             put_u32(&mut buf, WIRE_MAGIC);
             put_u16(&mut buf, *version);
         }
         Frame::Welcome { version, epoch } => {
-            put_u8(&mut buf, 2);
+            put_u8(&mut buf, TAG_WELCOME);
             put_u16(&mut buf, *version);
             put_u64(&mut buf, *epoch);
         }
         Frame::Request { id, body } => {
-            put_u8(&mut buf, 3);
+            put_u8(&mut buf, TAG_REQUEST);
             put_u64(&mut buf, *id);
             match body {
                 WireRequest::Statement(s) => {
@@ -402,7 +425,7 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             }
         }
         Frame::Response { id, result } => {
-            put_u8(&mut buf, 4);
+            put_u8(&mut buf, TAG_RESPONSE);
             put_u64(&mut buf, *id);
             match result {
                 Err(message) => {
@@ -459,18 +482,18 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             delta,
             lagged,
         } => {
-            put_u8(&mut buf, 5);
+            put_u8(&mut buf, TAG_EVENT);
             put_str(&mut buf, subscription);
             put_u8(&mut buf, *lagged as u8);
             put_delta(&mut buf, delta);
         }
-        Frame::Bye => put_u8(&mut buf, 6),
+        Frame::Bye => put_u8(&mut buf, TAG_BYE),
         Frame::RowEvent {
             subscription,
             delta,
             lagged,
         } => {
-            put_u8(&mut buf, 7);
+            put_u8(&mut buf, TAG_ROW_EVENT);
             put_str(&mut buf, subscription);
             put_u8(&mut buf, *lagged as u8);
             put_row_delta(&mut buf, delta);
@@ -485,6 +508,20 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
 /// and a length above `u32::MAX` would silently desynchronize the
 /// stream (the encoder enforces the same bound the decoder does).
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let bytes = encode_frame_bytes(frame)?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Encodes one frame as its complete wire image — the `u32le` length
+/// prefix followed by the payload — as shareable bytes. This is the
+/// **encode-once broadcast** primitive: the server serializes a pushed
+/// `Event`/`RowEvent` once, publishes the `Arc<[u8]>` through the
+/// event's [`crate::subscription::FrameCache`], and every connection
+/// watching the same subscription enqueues the same allocation instead
+/// of re-encoding (see `docs/WIRE.md` § Push delivery). Payloads above
+/// [`MAX_FRAME_LEN`] are refused before touching any socket.
+pub fn encode_frame_bytes(frame: &Frame) -> io::Result<Arc<[u8]>> {
     let payload = encode_payload(frame);
     if payload.len() > MAX_FRAME_LEN as usize {
         return Err(io::Error::new(
@@ -495,9 +532,10 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
             ),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&payload)?;
-    w.flush()
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    Ok(bytes.into())
 }
 
 // ---------------------------------------------------------------------
@@ -787,18 +825,18 @@ impl<'a> Cursor<'a> {
 pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
     let mut c = Cursor::new(payload);
     let frame = match c.u8()? {
-        1 => {
+        TAG_HELLO => {
             let magic = c.u32()?;
             if magic != WIRE_MAGIC {
                 return Err(WireError::Format(format!("bad magic {magic:#010x}")));
             }
             Frame::Hello { version: c.u16()? }
         }
-        2 => Frame::Welcome {
+        TAG_WELCOME => Frame::Welcome {
             version: c.u16()?,
             epoch: c.u64()?,
         },
-        3 => {
+        TAG_REQUEST => {
             let id = c.u64()?;
             let body = match c.u8()? {
                 0 => WireRequest::Statement(c.str()?),
@@ -810,7 +848,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             };
             Frame::Request { id, body }
         }
-        4 => {
+        TAG_RESPONSE => {
             let id = c.u64()?;
             let result = match c.u8()? {
                 0 => Err(c.str()?),
@@ -849,13 +887,13 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             };
             Frame::Response { id, result }
         }
-        5 => Frame::Event {
+        TAG_EVENT => Frame::Event {
             subscription: c.str()?,
             lagged: c.u8()? != 0,
             delta: c.delta()?,
         },
-        6 => Frame::Bye,
-        7 => Frame::RowEvent {
+        TAG_BYE => Frame::Bye,
+        TAG_ROW_EVENT => Frame::RowEvent {
             subscription: c.str()?,
             lagged: c.u8()? != 0,
             delta: c.row_delta()?,

@@ -27,7 +27,7 @@ use unn_traj::uncertain::common_radius;
 
 /// How the planner narrows the candidate population before envelope
 /// construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefilterPolicy {
     /// No prefilter: every non-query object becomes a candidate. Required
     /// by consumers that need the full population (crisp k-NN), useful as

@@ -130,6 +130,15 @@ pub enum Statement {
         /// Subscription name.
         name: String,
     },
+    /// `WATCH <name>` — attach this session's push stream to an
+    /// existing standing query. Over a network connection the server
+    /// wires the connection's outbox to the subscription, so every
+    /// watcher of one name receives the same pushed frames (encoded
+    /// once, broadcast to all).
+    Watch {
+        /// The standing query to watch.
+        name: String,
+    },
     /// `SHOW SUBSCRIPTIONS` — list the registered standing queries.
     ShowSubscriptions,
 }
@@ -142,6 +151,7 @@ impl fmt::Display for Statement {
                 write!(f, "REGISTER CONTINUOUS {query} AS {name}")
             }
             Statement::Unregister { name } => write!(f, "UNREGISTER {name}"),
+            Statement::Watch { name } => write!(f, "WATCH {name}"),
             Statement::ShowSubscriptions => write!(f, "SHOW SUBSCRIPTIONS"),
         }
     }

@@ -68,6 +68,8 @@ pub enum TokenKind {
     Show,
     /// `SUBSCRIPTIONS`
     Subscriptions,
+    /// `WATCH` (attach to an existing standing query by name)
+    Watch,
     // literals / identifiers
     /// A numeric literal.
     Number(f64),
@@ -122,6 +124,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Unregister => write!(f, "UNREGISTER"),
             TokenKind::Show => write!(f, "SHOW"),
             TokenKind::Subscriptions => write!(f, "SUBSCRIPTIONS"),
+            TokenKind::Watch => write!(f, "WATCH"),
             TokenKind::Number(n) => write!(f, "{n}"),
             TokenKind::Ident(s) => write!(f, "{s}"),
             TokenKind::LParen => write!(f, "("),
@@ -268,6 +271,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     "UNREGISTER" => TokenKind::Unregister,
                     "SHOW" => TokenKind::Show,
                     "SUBSCRIPTIONS" => TokenKind::Subscriptions,
+                    "WATCH" => TokenKind::Watch,
                     _ => TokenKind::Ident(text.to_string()),
                 }
             }

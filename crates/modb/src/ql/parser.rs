@@ -421,6 +421,12 @@ impl Parser {
                     name: self.ident()?,
                 }
             }
+            TokenKind::Watch => {
+                self.advance();
+                Statement::Watch {
+                    name: self.ident()?,
+                }
+            }
             TokenKind::Show => {
                 self.advance();
                 self.expect(&TokenKind::Subscriptions)?;
@@ -448,7 +454,8 @@ pub fn parse(src: &str) -> Result<Query, ParseError> {
 
 /// Parses any top-level statement: a `SELECT` query or one of the
 /// standing-query verbs (`REGISTER CONTINUOUS … AS name`,
-/// `UNREGISTER name`, `SHOW SUBSCRIPTIONS`). Errors come back located
+/// `UNREGISTER name`, `WATCH name`, `SHOW SUBSCRIPTIONS`). Errors come
+/// back located
 /// (line/column filled against `src`).
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
     let run = || -> Result<Statement, ParseError> {
@@ -671,6 +678,17 @@ mod tests {
             parse_statement("show subscriptions").unwrap(),
             Statement::ShowSubscriptions
         );
+        // WATCH attaches to an existing subscription by name, and
+        // round-trips through Display like the others.
+        let watch = parse_statement("WATCH near0").unwrap();
+        assert_eq!(
+            watch,
+            Statement::Watch {
+                name: "near0".into()
+            }
+        );
+        assert_eq!(parse_statement(&watch.to_string()).unwrap(), watch);
+        assert!(parse_statement("WATCH").is_err(), "WATCH requires a name");
         // A SELECT through the statement surface.
         assert!(matches!(
             parse_statement(

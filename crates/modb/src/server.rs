@@ -394,6 +394,23 @@ impl ModServer {
                 .unregister_checked(&name)
                 .map(|()| QueryOutput::Unregistered(name))
                 .map_err(ServerError::from),
+            Statement::Watch { name } => match sink {
+                // Over a connection: wire this session's outbox into the
+                // existing subscription — all watchers of one name share
+                // its encode-once pushed frames.
+                Some(sink) => self
+                    .subscriptions
+                    .attach_sink_checked(&name, sink)
+                    .map(QueryOutput::Registered)
+                    .map_err(ServerError::from),
+                // Without a push channel (local CLI), WATCH degrades to
+                // the info row — there is no stream to attach.
+                None => self
+                    .subscriptions
+                    .info(&name)
+                    .map(QueryOutput::Registered)
+                    .ok_or_else(|| self.unknown_subscription(name.as_str())),
+            },
             Statement::ShowSubscriptions => {
                 Ok(QueryOutput::Subscriptions(self.subscriptions.list()))
             }

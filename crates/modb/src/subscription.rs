@@ -74,6 +74,22 @@
 //! ablation baseline — the `continuous_queries` bench tracks the
 //! speedup.
 //!
+//! ## Engine sharing
+//!
+//! Registrations with the same computation shape — query object, window,
+//! kind (interval / threshold rows / reverse rows), prefilter policy,
+//! sample density, threshold — coalesce onto **one share**: one carried
+//! engine, one skip/patch/rebuild round per commit, however many
+//! subscription names ride it. Each member keeps its own identity (pull
+//! feed, attached sinks, per-name `Event` frames), but the maintained
+//! answer and the delta are computed once.
+//! [`SubscriptionRegistry::share_count`] exposes the number of distinct
+//! maintained computations, and
+//! [`SubscriptionRegistry::set_engine_sharing`] disables coalescing for
+//! future registrations — the per-subscription-engine ablation baseline
+//! the `fanout` bench compares against (at 1k same-query subscribers the
+//! baseline multiplies every commit's engine cost by 1k).
+//!
 //! ## Change feeds and push sinks
 //!
 //! Every answer change is appended to the subscription's bounded pull
@@ -86,7 +102,11 @@
 //! composed via [`SubDelta::then`] (never dropped), so folding a feed
 //! over the subscriber's base answer stays bit-identical to the
 //! maintained answer; squashed sink events are flagged `lagged` so a
-//! push consumer knows to resync from a full answer.
+//! push consumer knows to resync from a full answer. Each queued event
+//! carries a [`FrameCache`], so when many connections watch the same
+//! subscription name the wire frame for a delta is serialized **once**
+//! and every outbox hands the same `Arc<[u8]>` to its socket (see
+//! [`crate::net::server`]).
 //!
 //! Every path yields answers **bit-identical** to a fresh exhaustive
 //! evaluation of the current contents — the patch path replans with the
@@ -108,7 +128,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use unn_core::answer::{AnswerDelta, AnswerSet};
 use unn_core::candidates::CandidateSet;
 use unn_core::kernel::ColumnKernel;
@@ -439,12 +459,54 @@ impl SubDelta {
     }
 }
 
+/// A shared once-cell for the encoded wire image of one pushed delta —
+/// the **encode-once broadcast** handle. Maintenance creates one cache
+/// per emitted `(subscription, delta)` and hands the same handle to
+/// every attached [`DeltaSink`]; the first network connection to
+/// deliver the event encodes the full length-prefixed frame and
+/// publishes the bytes, every other connection clones the `Arc<[u8]>`
+/// (see [`crate::net::wire::encode_frame_bytes`]). The subscription
+/// layer never encodes anything itself — it only provides the shared
+/// cell, so the wire format stays a `net`-layer concern.
+///
+/// A cache is only ever shared between events carrying the *same*
+/// subscription name, delta, and `lagged` flag: outbox squashing
+/// replaces the survivor's cache with a fresh empty one, so a composed
+/// (`lagged`) event re-encodes per connection — the rare slow-consumer
+/// path.
+#[derive(Clone, Default)]
+pub struct FrameCache(Arc<OnceLock<Arc<[u8]>>>);
+
+impl FrameCache {
+    /// The published frame bytes, if any connection has encoded this
+    /// event yet.
+    pub fn get(&self) -> Option<Arc<[u8]>> {
+        self.0.get().cloned()
+    }
+
+    /// Publishes the encoded frame bytes. First writer wins; a racing
+    /// second encode is dropped (both encodes are bit-identical by the
+    /// sharing contract above, so either is valid).
+    pub fn prime(&self, bytes: Arc<[u8]>) {
+        let _ = self.0.set(bytes);
+    }
+}
+
+impl fmt::Debug for FrameCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.get() {
+            Some(bytes) => write!(f, "FrameCache({} bytes)", bytes.len()),
+            None => write!(f, "FrameCache(unencoded)"),
+        }
+    }
+}
+
 /// One pushed change-feed entry: the subscription it belongs to, the
 /// epoch-tagged delta, and whether backpressure squashed older entries
 /// into it (`lagged` — the consumer should resync from a full answer if
 /// it cares about per-epoch granularity; folding stays exact either
 /// way).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FeedEvent {
     /// The subscription name.
     pub subscription: String,
@@ -453,6 +515,18 @@ pub struct FeedEvent {
     /// `true` when this delta is the composition of entries an
     /// overflowing outbox squashed together.
     pub lagged: bool,
+    /// The encode-once cell shared by every outbox this event was
+    /// fanned out to (fresh and private after a squash).
+    pub cache: FrameCache,
+}
+
+impl PartialEq for FeedEvent {
+    /// The wire-byte cache is delivery state, not event identity.
+    fn eq(&self, other: &Self) -> bool {
+        self.subscription == other.subscription
+            && self.delta == other.delta
+            && self.lagged == other.lagged
+    }
 }
 
 /// A bounded outbox for pushed [`FeedEvent`]s — the per-connection
@@ -469,11 +543,29 @@ pub struct FeedEvent {
 /// distinct subscription, the queue grows past the bound instead (a
 /// sink serving `S` subscriptions needs a capacity ≥ `S` to stay
 /// bounded).
-#[derive(Debug)]
+///
+/// A consumer can either block on [`DeltaSink::recv`] (its own delivery
+/// thread) or register a [`DeltaSink::set_wake_hook`] and drain with
+/// [`DeltaSink::try_recv`] — the event-loop pattern the multiplexed
+/// [`crate::net::NetServer`] uses.
 pub struct DeltaSink {
     state: Mutex<SinkState>,
     cv: Condvar,
     capacity: usize,
+    /// Invoked (outside the queue lock) after every enqueue — the
+    /// readiness-loop nudge for consumers that poll instead of block.
+    wake_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl fmt::Debug for DeltaSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock().unwrap();
+        f.debug_struct("DeltaSink")
+            .field("queued", &st.queue.len())
+            .field("closed", &st.closed)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -490,12 +582,22 @@ impl DeltaSink {
             state: Mutex::new(SinkState::default()),
             cv: Condvar::new(),
             capacity: capacity.max(1),
+            wake_hook: Mutex::new(None),
         }
+    }
+
+    /// Registers (or clears) a callback invoked after every enqueue,
+    /// outside the queue lock. An event-loop consumer points this at its
+    /// waker so a maintenance thread's push interrupts the loop's
+    /// `poll`; the hook must be cheap and must not call back into the
+    /// sink.
+    pub fn set_wake_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.wake_hook.lock().unwrap() = hook;
     }
 
     /// Enqueues one event, squashing the oldest same-subscription pair
     /// on overflow. No-op after [`DeltaSink::close`].
-    fn push(&self, subscription: &str, delta: &SubDelta) {
+    fn push(&self, subscription: &str, delta: &SubDelta, cache: &FrameCache) {
         let mut st = self.state.lock().unwrap();
         if st.closed {
             return;
@@ -507,14 +609,22 @@ impl DeltaSink {
             subscription: subscription.to_string(),
             delta: delta.clone(),
             lagged: false,
+            cache: cache.clone(),
         });
         drop(st);
         self.cv.notify_one();
+        let hook = self.wake_hook.lock().unwrap().clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     /// Composes the first two events sharing a subscription (events of
     /// one subscription are consecutive in its stream even when
     /// interleaved with other subscriptions' events, so `then` applies).
+    /// The survivor's encode-once cache is replaced with a fresh private
+    /// cell: the composed delta exists only in this outbox, so its frame
+    /// must not alias the broadcast bytes.
     fn squash_oldest(queue: &mut VecDeque<FeedEvent>) {
         for i in 0..queue.len() {
             let name = queue[i].subscription.clone();
@@ -523,6 +633,7 @@ impl DeltaSink {
                 let older = &mut queue[i];
                 older.delta = older.delta.then(&newer.delta);
                 older.lagged = true;
+                older.cache = FrameCache::default();
                 return;
             }
         }
@@ -574,7 +685,7 @@ impl DeltaSink {
 }
 
 /// Which maintenance ladder a subscription runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum SubKind {
     /// Forward `PROB_NN(…) > 0`: banded qualification intervals
     /// (optionally rank-bounded).
@@ -590,18 +701,106 @@ enum SubKind {
     ReverseRows,
 }
 
-/// One registered standing query.
+/// The identity of one maintained computation — everything that shapes
+/// the engine, the maintenance ladder, and the produced answer.
+/// Subscriptions whose statements agree on every field (the statement's
+/// quantifier/target are *render-side* and deliberately absent) share
+/// one [`SharedSub`]: one engine, one skip/patch/rebuild round per
+/// commit, one answer diffed once and broadcast to every subscriber
+/// slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ShareKey {
+    oid: Oid,
+    /// The window endpoints as `f64` bit patterns (`Eq`/`Hash` over the
+    /// exact registered values).
+    window: (u64, u64),
+    kind: SubKind,
+    policy: PrefilterPolicy,
+    samples: u32,
+    /// The probability threshold's bit pattern. Rows are maintained
+    /// threshold-independently at tolerance 0, but the adaptive kernel
+    /// aims its refinement at the threshold, so differing thresholds
+    /// must not share a kernel ladder.
+    threshold: u64,
+    /// `Some(subscription name)` when engine sharing is disabled
+    /// ([`SubscriptionRegistry::set_engine_sharing`]) — makes every key
+    /// unique, restoring the one-engine-per-subscription baseline.
+    exclusive: Option<String>,
+}
+
+/// One subscriber's view of a shared computation: its private pull feed
+/// and push outboxes. The maintained answer lives on the share; slots
+/// receive per-delta broadcasts.
+#[derive(Debug)]
+struct SubscriberSlot {
+    name: String,
+    feed: Vec<SubDelta>,
+    /// Push outboxes attached to this subscription (e.g. network
+    /// connections); pruned when the consumer drops its `Arc`.
+    sinks: Vec<Weak<DeltaSink>>,
+}
+
+impl SubscriberSlot {
+    /// Delivers one emitted delta: one encode-once [`FrameCache`] is
+    /// created per (slot, delta) and shared by every attached sink —
+    /// the pushed frame embeds the subscription name, so connections
+    /// watching the same name broadcast identical bytes.
+    fn deliver(&mut self, delta: &SubDelta, capacity: usize) {
+        let cache = FrameCache::default();
+        self.sinks.retain(|w| match w.upgrade() {
+            Some(sink) => {
+                sink.push(&self.name, delta, &cache);
+                true
+            }
+            None => false,
+        });
+        self.feed.push(delta.clone());
+        // Converge to the bound even when it was lowered mid-flight
+        // (`store feed-bound <n>`): squash oldest pairs until within it.
+        while self.feed.len() > capacity && self.feed.len() >= 2 {
+            let second = self.feed.remove(1);
+            self.feed[0] = self.feed[0].then(&second);
+        }
+    }
+}
+
+/// One shared maintained computation plus its subscriber slots. The
+/// registry's `shares` map owns one of these per distinct [`ShareKey`];
+/// every [`SubState`] holds an `Arc` to its share.
+#[derive(Debug)]
+struct SharedSub {
+    key: ShareKey,
+    core: Mutex<ShareCore>,
+}
+
+/// One registered standing query: the thin per-name record. The
+/// maintained state lives in the [`SharedSub`]; the per-subscription
+/// query is kept for render-side semantics (quantifier/target) and the
+/// `SHOW SUBSCRIPTIONS` statement surface.
 #[derive(Debug)]
 struct SubState {
     name: String,
     query: Query,
+    share: Arc<SharedSub>,
+}
+
+/// The maintained state of one shared computation — the engine, carry
+/// proofs, answer, stats, and the subscriber slots the answer's deltas
+/// broadcast to. Guarded by the share's mutex; maintenance of one share
+/// serializes on it, so concurrent commits apply their updates in
+/// commit order.
+#[derive(Debug)]
+struct ShareCore {
     oid: Oid,
     window: TimeInterval,
     kind: SubKind,
     policy: PrefilterPolicy,
-    /// Probe count of this subscription's rows (fixed at registration;
-    /// part of the row-set shape).
+    /// Probe count of this share's rows (fixed at registration; part of
+    /// the row-set shape).
     samples: u32,
+    /// The statement threshold the adaptive kernel aims refinement at
+    /// (part of the share key).
+    threshold: f64,
     last_epoch: u64,
     /// The forward engine the current answer was computed with — the
     /// carried preprocessing the skip/patch paths reuse. `None` while
@@ -631,49 +830,87 @@ struct SubState {
     /// replacing the objects).
     model: Option<(PdfKind, DifferenceModel)>,
     answer: SubAnswer,
-    feed: Vec<SubDelta>,
-    /// Push outboxes attached to this subscription (e.g. network
-    /// connections); pruned when the consumer drops its `Arc`.
-    sinks: Vec<Weak<DeltaSink>>,
+    /// The subscriber views this share's deltas broadcast to (one per
+    /// registered name on this key).
+    slots: Vec<SubscriberSlot>,
     error: Option<String>,
+    /// Maintenance counters of the *share* — the work one maintenance
+    /// round does regardless of how many subscribers ride it.
     stats: SubscriptionStats,
 }
 
 impl SubState {
     fn info(&self) -> SubscriptionInfo {
+        let core = self.share.core.lock().unwrap();
+        self.info_from(&core)
+    }
+
+    /// The info row against an already-locked core (avoids re-locking
+    /// when the caller holds it).
+    fn info_from(&self, core: &ShareCore) -> SubscriptionInfo {
         SubscriptionInfo {
             name: self.name.clone(),
             statement: self.query.to_string(),
-            last_epoch: self.last_epoch,
-            entries: self.answer.len(),
-            pending_deltas: self.feed.len(),
-            error: self.error.clone(),
-            stats: self.stats,
+            last_epoch: core.last_epoch,
+            entries: core.answer.len(),
+            pending_deltas: core
+                .slot(&self.name)
+                .map(|s| s.feed.len())
+                .unwrap_or_default(),
+            error: core.error.clone(),
+            stats: core.stats,
+        }
+    }
+}
+
+impl ShareCore {
+    /// A freshly registered, not-yet-evaluated core with the empty
+    /// answer of its representation.
+    fn new(key: &ShareKey) -> ShareCore {
+        let window = TimeInterval::new(f64::from_bits(key.window.0), f64::from_bits(key.window.1));
+        ShareCore {
+            oid: key.oid,
+            window,
+            kind: key.kind,
+            policy: key.policy,
+            samples: key.samples,
+            threshold: f64::from_bits(key.threshold),
+            last_epoch: 0,
+            engine: None,
+            rev: None,
+            query_tr: None,
+            proof: None,
+            rev_proofs: HashMap::new(),
+            model: None,
+            answer: empty_answer_of(key.kind, key.oid, window, key.samples),
+            slots: Vec::new(),
+            error: None,
+            stats: SubscriptionStats::default(),
         }
     }
 
-    /// The empty answer of this subscription's representation.
+    /// The named subscriber's slot.
+    fn slot(&self, name: &str) -> Option<&SubscriberSlot> {
+        self.slots.iter().find(|s| s.name == name)
+    }
+
+    /// The named subscriber's slot, mutably.
+    fn slot_mut(&mut self, name: &str) -> Option<&mut SubscriberSlot> {
+        self.slots.iter_mut().find(|s| s.name == name)
+    }
+
+    /// The empty answer of this share's representation.
     fn empty_answer(&self) -> SubAnswer {
         empty_answer_of(self.kind, self.oid, self.window, self.samples)
     }
 
-    /// Appends a delta to the pull feed (squashing the oldest pair past
-    /// `capacity`) and forwards it to every live push sink.
+    /// Broadcasts an emitted delta to every subscriber slot: each slot
+    /// appends it to its pull feed (squashing the oldest pair past
+    /// `capacity`) and forwards it to its live push sinks under one
+    /// per-slot encode-once cache.
     fn push_feed(&mut self, delta: SubDelta, capacity: usize) {
-        let name = &self.name;
-        self.sinks.retain(|w| match w.upgrade() {
-            Some(sink) => {
-                sink.push(name, &delta);
-                true
-            }
-            None => false,
-        });
-        self.feed.push(delta);
-        // Converge to the bound even when it was lowered mid-flight
-        // (`store feed-bound <n>`): squash oldest pairs until within it.
-        while self.feed.len() > capacity && self.feed.len() >= 2 {
-            let second = self.feed.remove(1);
-            self.feed[0] = self.feed[0].then(&second);
+        for slot in &mut self.slots {
+            slot.deliver(&delta, capacity);
         }
     }
 
@@ -737,8 +974,7 @@ impl SubState {
     /// (inert at tolerance 0 — every column runs full density,
     /// bit-identical to the one-shot sweeps).
     fn row_kernel(&self, model: &DifferenceModel, tolerance: f64) -> ColumnKernel {
-        ColumnKernel::from_profile(Arc::clone(&model.profile))
-            .adaptive(tolerance, self.query.prob_threshold)
+        ColumnKernel::from_profile(Arc::clone(&model.profile)).adaptive(tolerance, self.threshold)
     }
 
     /// Folds a drained kernel's refinement counters into the stats row.
@@ -754,14 +990,73 @@ impl SubState {
 /// they touch. `None` when the log is truncated past the base.
 type SharedOps = BTreeMap<u64, Option<Arc<(Vec<DeltaRecord>, BTreeSet<Oid>)>>>;
 
-/// The registry of standing queries attached to a store, sharded by
-/// subscription-name hash. All methods are thread-safe; maintenance of
-/// one subscription serializes on its shard lock, so concurrent
-/// mutations apply their updates in commit order.
+/// The registry of standing queries attached to a store. Names live in
+/// name-hashed shards (cheap lookup/registration); the maintained
+/// computations live in the `shares` map, deduplicated by [`ShareKey`]
+/// — `sync` runs **one maintenance round per share**, however many
+/// subscriptions ride it. All methods are thread-safe; maintenance of
+/// one share serializes on its core mutex, so concurrent mutations
+/// apply their updates in commit order.
+///
+/// Lock hierarchy (acquire left to right, release in any order): name
+/// shard → `shares` map → share core. `sync` touches only the last two,
+/// so registration bursts on one shard never stall maintenance.
+///
+/// Registering a standing query, receiving its pushed delta through a
+/// [`DeltaSink`], and folding it back onto the base answer:
+///
+/// ```
+/// use std::sync::Arc;
+/// use unn_modb::ql::parser::parse;
+/// use unn_modb::store::ModStore;
+/// use unn_modb::subscription::{DeltaSink, SubscriptionRegistry};
+/// use unn_modb::PrefilterPolicy;
+/// use unn_traj::trajectory::{Oid, Trajectory};
+/// use unn_traj::uncertain::UncertainTrajectory;
+///
+/// fn tr(oid: u64, y: f64) -> UncertainTrajectory {
+///     UncertainTrajectory::with_uniform_pdf(
+///         Trajectory::from_triples(Oid(oid), &[(0.0, y, 0.0), (10.0, y, 60.0)]).unwrap(),
+///         0.5,
+///     )
+///     .unwrap()
+/// }
+///
+/// let store = ModStore::new();
+/// store.bulk_load(vec![tr(0, 0.0), tr(1, 1.0)]).unwrap();
+/// let registry = Arc::new(SubscriptionRegistry::new());
+/// store.attach_subscriptions(&registry);
+///
+/// let query =
+///     parse("SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0")
+///         .unwrap();
+/// registry
+///     .register(&store, "near0", query, PrefilterPolicy::default())
+///     .unwrap();
+///
+/// // A network connection's outbox; here drained in-process.
+/// let sink = Arc::new(DeltaSink::bounded(8));
+/// assert!(registry.attach_sink("near0", &sink));
+///
+/// let base = registry.answer("near0").unwrap();
+/// store.insert(tr(7, 0.4)).unwrap(); // maintenance runs on commit
+///
+/// let event = sink.try_recv().expect("delta pushed");
+/// assert_eq!(event.subscription, "near0");
+/// // Folding the pushed delta reproduces the maintained answer exactly.
+/// assert_eq!(base.apply(&event.delta), registry.answer("near0").unwrap());
+/// ```
 #[derive(Debug)]
 pub struct SubscriptionRegistry {
     shards: Vec<Mutex<BTreeMap<String, SubState>>>,
+    /// The deduplicated maintained computations, keyed by share
+    /// identity. A share is inserted by the first registration on its
+    /// key and removed when its last subscriber unregisters.
+    shares: Mutex<HashMap<ShareKey, Arc<SharedSub>>>,
     sequential: AtomicBool,
+    /// `false` switches new registrations to exclusive (per-name) share
+    /// keys — the one-engine-per-subscription ablation baseline.
+    sharing: AtomicBool,
     row_samples: std::sync::atomic::AtomicU32,
     /// Adaptive-refinement tolerance of row maintenance, stored as the
     /// `f64` bit pattern (same idiom as the store's rebuild fraction).
@@ -772,7 +1067,9 @@ impl Default for SubscriptionRegistry {
     fn default() -> Self {
         SubscriptionRegistry {
             shards: (0..REGISTRY_SHARDS).map(|_| Mutex::default()).collect(),
+            shares: Mutex::new(HashMap::new()),
             sequential: AtomicBool::new(false),
+            sharing: AtomicBool::new(true),
             row_samples: std::sync::atomic::AtomicU32::new(PROB_ROW_SAMPLES),
             row_tolerance: std::sync::atomic::AtomicU64::new(0),
         }
@@ -820,6 +1117,29 @@ impl SubscriptionRegistry {
     pub fn set_sync_mode(&self, mode: SyncMode) {
         self.sequential
             .store(mode == SyncMode::Sequential, Ordering::Relaxed);
+    }
+
+    /// `true` while cross-subscription engine sharing is enabled (the
+    /// default).
+    pub fn engine_sharing(&self) -> bool {
+        self.sharing.load(Ordering::Relaxed)
+    }
+
+    /// Enables/disables cross-subscription engine sharing for **future**
+    /// registrations (existing subscriptions keep their share). With
+    /// sharing off, every registration gets an exclusive engine and its
+    /// own maintenance round — the pre-sharing ablation baseline the
+    /// `fanout` bench compares against. Answers are identical either
+    /// way; only the maintenance and registration cost differ.
+    pub fn set_engine_sharing(&self, enabled: bool) {
+        self.sharing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Number of distinct maintained computations (shares). With
+    /// sharing enabled, `share_count() < len()` whenever subscriptions
+    /// coalesced onto one engine.
+    pub fn share_count(&self) -> usize {
+        self.shares.lock().unwrap().len()
     }
 
     /// The probe count newly registered row subscriptions sample their
@@ -910,12 +1230,20 @@ impl SubscriptionRegistry {
     }
 
     /// [`SubscriptionRegistry::register`] with a push outbox attached
-    /// **atomically**: the sink is wired up under the same shard lock
-    /// that installs the subscription, so no commit can slip between
+    /// **atomically**: the sink is wired up under the same locks that
+    /// install the subscription, so no commit can slip between
     /// registration and attachment — the first pushed delta is the first
     /// answer change after the returned info's epoch, guaranteed. (An
     /// [`SubscriptionRegistry::attach_sink`] after the fact has a window
     /// in which a delta reaches only the pull feed.)
+    ///
+    /// When a share with the same [`ShareKey`] already exists — same
+    /// query object, window, ladder kind, policy, sampling, and
+    /// threshold — the registration attaches a subscriber slot to it in
+    /// `O(1)` instead of evaluating anything: thousands of subscriptions
+    /// on one query object/window cost one engine and one maintenance
+    /// round per commit. A reverse share's `O(N²)` perspective build is
+    /// likewise paid once per key, not once per subscription.
     pub fn register_with_sink(
         &self,
         store: &ModStore,
@@ -951,77 +1279,122 @@ impl SubscriptionRegistry {
                 query.window.0, query.window.1
             ))
         })?;
-        // Racy duplicate pre-check (re-checked under the lock below):
-        // fail fast before paying the evaluation.
-        if self.shard_of(name).lock().unwrap().contains_key(name) {
-            return Err(SubscriptionError::NameTaken(name.to_string()));
-        }
-        let snapshot = store.snapshot();
-        let samples = self.row_samples();
-        let mut sub = SubState {
-            name: name.to_string(),
-            query,
+        let key = ShareKey {
             oid,
-            window,
+            window: (window.start().to_bits(), window.end().to_bits()),
             kind,
             policy,
-            samples,
-            last_epoch: snapshot.epoch(),
-            engine: None,
-            rev: None,
-            query_tr: None,
-            proof: None,
-            rev_proofs: HashMap::new(),
-            model: None,
-            answer: empty_answer_of(kind, oid, window, samples),
-            feed: Vec::new(),
-            sinks: Vec::new(),
-            error: None,
-            stats: SubscriptionStats::default(),
+            samples: self.row_samples(),
+            threshold: query.prob_threshold.to_bits(),
+            exclusive: (!self.engine_sharing()).then(|| name.to_string()),
         };
-        // Evaluate WITHOUT the shard lock: a reverse registration's
-        // O(N² · samples) build must not stall the shard's maintenance
-        // (every commit's sync serializes on the shard mutexes).
         let tolerance = self.row_tolerance();
-        Self::evaluate_into(&mut sub, store, &snapshot, usize::MAX, tolerance)
-            .map_err(SubscriptionError::Evaluation)?;
-        let mut map = self.shard_of(name).lock().unwrap();
-        if map.contains_key(name) {
-            return Err(SubscriptionError::NameTaken(name.to_string()));
+        loop {
+            // Racy duplicate pre-check (re-checked under the lock
+            // below): fail fast before paying an evaluation.
+            if self.shard_of(name).lock().unwrap().contains_key(name) {
+                return Err(SubscriptionError::NameTaken(name.to_string()));
+            }
+            // Evaluate a fresh core WITHOUT any registry lock when no
+            // share exists yet: a reverse registration's O(N² · samples)
+            // build must not stall maintenance (every commit's sync
+            // serializes on the share cores).
+            let prebuilt = if self.shares.lock().unwrap().contains_key(&key) {
+                None
+            } else {
+                let snapshot = store.snapshot();
+                let mut core = ShareCore::new(&key);
+                core.last_epoch = snapshot.epoch();
+                Self::evaluate_into(&mut core, store, &snapshot, usize::MAX, tolerance)
+                    .map_err(SubscriptionError::Evaluation)?;
+                Some(core)
+            };
+            let mut map = self.shard_of(name).lock().unwrap();
+            if map.contains_key(name) {
+                return Err(SubscriptionError::NameTaken(name.to_string()));
+            }
+            let mut shares = self.shares.lock().unwrap();
+            let (share, fresh) = match (shares.get(&key), prebuilt) {
+                (Some(existing), _) => (Arc::clone(existing), false),
+                (None, Some(core)) => {
+                    let share = Arc::new(SharedSub {
+                        key: key.clone(),
+                        core: Mutex::new(core),
+                    });
+                    shares.insert(key.clone(), Arc::clone(&share));
+                    (share, true)
+                }
+                // The share we planned to join was unregistered while we
+                // took the locks: retry (and evaluate ourselves).
+                (None, None) => continue,
+            };
+            let mut core = share.core.lock().unwrap();
+            // Commits that landed during the unlocked evaluation ran
+            // their maintenance without this share (and an existing
+            // share may be mid-burst): catch up under the lock (a no-op
+            // when already current; the ladder reconciles from the
+            // delta log, rebuilding if it was truncated), so the
+            // installed answer is current and every later commit's
+            // delta reaches the new slot.
+            Self::refresh(
+                &mut core,
+                store,
+                &mut None,
+                store.feed_bound(),
+                true,
+                tolerance,
+            );
+            if let Some(message) = core.error.clone() {
+                if core.slots.is_empty() {
+                    // A share no subscriber rides must not linger.
+                    drop(core);
+                    shares.remove(&key);
+                }
+                return Err(SubscriptionError::Evaluation(message));
+            }
+            if fresh {
+                // The bootstrap evaluation/catch-up is the base answer,
+                // not maintenance work the share's riders observed.
+                core.stats = SubscriptionStats::default();
+            }
+            // The initial answer is the subscriber's base, not a
+            // change: the slot starts with an empty feed, and the sink
+            // attaches under the core lock, so the first pushed delta
+            // is the first answer change after the returned epoch.
+            core.slots.push(SubscriberSlot {
+                name: name.to_string(),
+                feed: Vec::new(),
+                sinks: sink.into_iter().map(Arc::downgrade).collect(),
+            });
+            let sub = SubState {
+                name: name.to_string(),
+                query,
+                share: Arc::clone(&share),
+            };
+            let info = sub.info_from(&core);
+            drop(core);
+            map.insert(name.to_string(), sub);
+            return Ok(info);
         }
-        // Commits that landed during the unlocked evaluation ran their
-        // maintenance without this subscription: catch up under the
-        // lock (a no-op when nothing raced; the ladder reconciles from
-        // the delta log, rebuilding if it was truncated), so the
-        // installed answer is current and every later commit's delta
-        // reaches the sink.
-        Self::refresh(
-            &mut sub,
-            store,
-            &mut None,
-            store.feed_bound(),
-            true,
-            tolerance,
-        );
-        if let Some(message) = sub.error.take() {
-            return Err(SubscriptionError::Evaluation(message));
-        }
-        // The initial evaluation (and any catch-up) is the subscriber's
-        // base answer, not a change: drop the bootstrap deltas and only
-        // then attach the push outbox (still under the shard lock, so
-        // the first pushed delta is the first answer change after the
-        // returned epoch).
-        sub.feed.clear();
-        sub.stats = SubscriptionStats::default();
-        sub.sinks = sink.into_iter().map(Arc::downgrade).collect();
-        let info = sub.info();
-        map.insert(name.to_string(), sub);
-        Ok(info)
     }
 
-    /// Drops the named standing query. `true` when it existed.
+    /// Drops the named standing query. `true` when it existed. The
+    /// share survives while other subscriptions ride it; the last
+    /// unregistration drops the engine and its maintenance round.
     pub fn unregister(&self, name: &str) -> bool {
-        self.shard_of(name).lock().unwrap().remove(name).is_some()
+        let mut map = self.shard_of(name).lock().unwrap();
+        let Some(sub) = map.remove(name) else {
+            return false;
+        };
+        let mut shares = self.shares.lock().unwrap();
+        let mut core = sub.share.core.lock().unwrap();
+        core.slots.retain(|s| s.name != name);
+        let orphaned = core.slots.is_empty();
+        drop(core);
+        if orphaned {
+            shares.remove(&sub.share.key);
+        }
+        true
     }
 
     /// Drops the named standing query, or explains which registered
@@ -1066,7 +1439,7 @@ impl SubscriptionRegistry {
             .lock()
             .unwrap()
             .get(name)
-            .map(|s| s.answer.clone())
+            .map(|s| s.share.core.lock().unwrap().answer.clone())
     }
 
     /// The named subscription's current answer together with the epoch
@@ -1075,34 +1448,35 @@ impl SubscriptionRegistry {
     /// with `delta.epoch <= epoch` is subsumed by this answer, and every
     /// later delta diffs from exactly this state.
     pub fn answer_with_epoch(&self, name: &str) -> Option<(SubAnswer, u64)> {
-        self.shard_of(name)
-            .lock()
-            .unwrap()
-            .get(name)
-            .map(|s| (s.answer.clone(), s.last_epoch))
+        self.shard_of(name).lock().unwrap().get(name).map(|s| {
+            let core = s.share.core.lock().unwrap();
+            (core.answer.clone(), core.last_epoch)
+        })
     }
 
     /// The named subscription's current answer rendered through its own
     /// quantifier/target, like a one-shot execution of the statement.
+    /// Subscriptions sharing one maintained answer render through their
+    /// own statements here — the per-quantifier views of one engine.
     pub fn output(&self, name: &str) -> Option<QueryOutput> {
-        self.shard_of(name)
-            .lock()
-            .unwrap()
-            .get(name)
-            .map(|s| match &s.answer {
+        self.shard_of(name).lock().unwrap().get(name).map(|s| {
+            let core = s.share.core.lock().unwrap();
+            match &core.answer {
                 SubAnswer::Intervals(a) => render_output(&s.query, a),
                 SubAnswer::Rows(r) => render_row_output(&s.query, r),
-            })
+            }
+        })
     }
 
     /// Drains the named subscription's change feed: every undrained
     /// [`SubDelta`] in epoch order. `None` for unknown names.
     pub fn drain(&self, name: &str) -> Option<Vec<SubDelta>> {
-        self.shard_of(name)
-            .lock()
-            .unwrap()
-            .get_mut(name)
-            .map(|s| std::mem::take(&mut s.feed))
+        self.shard_of(name).lock().unwrap().get(name).map(|s| {
+            let mut core = s.share.core.lock().unwrap();
+            core.slot_mut(name)
+                .map(|slot| std::mem::take(&mut slot.feed))
+                .unwrap_or_default()
+        })
     }
 
     /// Attaches a push outbox to the named subscription: every future
@@ -1110,13 +1484,35 @@ impl SubscriptionRegistry {
     /// feed. The registry holds only a weak reference — dropping the
     /// consumer's `Arc` detaches it. `false` for unknown names.
     pub fn attach_sink(&self, name: &str, sink: &Arc<DeltaSink>) -> bool {
-        match self.shard_of(name).lock().unwrap().get_mut(name) {
-            Some(sub) => {
-                sub.sinks.push(Arc::downgrade(sink));
-                true
-            }
-            None => false,
-        }
+        self.attach_sink_checked(name, sink).is_ok()
+    }
+
+    /// [`SubscriptionRegistry::attach_sink`] returning the
+    /// subscription's info row (so the consumer knows the epoch its
+    /// pushed stream starts after), or the typo-hinted unknown-name
+    /// error — the `WATCH <name>` statement's registry entry point.
+    /// Many connections watching one name share that slot's encode-once
+    /// frame caches, so a pushed delta is serialized once for all of
+    /// them.
+    pub fn attach_sink_checked(
+        &self,
+        name: &str,
+        sink: &Arc<DeltaSink>,
+    ) -> Result<SubscriptionInfo, SubscriptionError> {
+        let attached = {
+            let map = self.shard_of(name).lock().unwrap();
+            map.get(name).map(|sub| {
+                let mut core = sub.share.core.lock().unwrap();
+                core.slot_mut(name)
+                    .expect("every registered name has a slot")
+                    .sinks
+                    .push(Arc::downgrade(sink));
+                sub.info_from(&core)
+            })
+        };
+        // The unknown-name hint scans every shard; build it only after
+        // releasing the looked-up shard's lock.
+        attached.ok_or_else(|| SubscriptionError::unknown(name, self))
     }
 
     /// Brings every subscription up to the store's current epoch. Called
@@ -1124,62 +1520,77 @@ impl SubscriptionRegistry {
     /// [`ModStore::attach_subscriptions`]); also callable directly to
     /// re-sync a registry that was detached while mutations ran.
     ///
-    /// The store snapshot is materialized **lazily**: a commit whose
-    /// delta every subscription provably skips costs only the per-
-    /// subscription band-bound check — no snapshot refresh, no engine
-    /// work, no thread spawned.
+    /// Maintenance runs **once per share**, not per subscription: a
+    /// thousand subscriptions on one query object/window are one
+    /// skip/patch/rebuild round whose answer delta broadcasts to every
+    /// slot. The store snapshot is materialized **lazily**: a commit
+    /// whose delta every share provably skips costs only the per-share
+    /// band-bound check — no snapshot refresh, no engine work, no
+    /// thread spawned.
     pub fn sync(&self, store: &ModStore) {
-        if self.is_empty() {
+        let shares: Vec<Arc<SharedSub>> = self.shares.lock().unwrap().values().cloned().collect();
+        if shares.is_empty() {
             return;
         }
+        let feed_cap = store.feed_bound();
+        let tolerance = self.row_tolerance();
         if self.sync_mode() == SyncMode::Sequential {
-            return self.sync_sequential(store);
+            // The pre-sharding baseline: one sequential sweep, each
+            // share fetching its own ops and deriving its skip proof
+            // from scratch.
+            let mut lazy: Option<Arc<QuerySnapshot>> = None;
+            for share in &shares {
+                let mut core = share.core.lock().unwrap();
+                Self::refresh(&mut core, store, &mut lazy, feed_cap, false, tolerance);
+            }
+            return;
         }
         let now = store.epoch();
-        let feed_cap = store.feed_bound();
-        // Phase 1 — cheap pass: classify every subscription, sharing the
-        // ops fetch and changed-id set per watermark across all of them.
+        // Phase 1 — cheap pass: classify every share, sharing the ops
+        // fetch and changed-id set per watermark across all of them.
         let mut shared: SharedOps = BTreeMap::new();
-        let mut heavy: Vec<usize> = Vec::new(); // shard indexes with heavy work
-        for (idx, shard) in self.shards.iter().enumerate() {
-            let mut map = shard.lock().unwrap();
-            let mut shard_heavy = false;
-            for sub in map.values_mut() {
-                if !Self::try_cheap(sub, store, now, &mut shared) {
-                    shard_heavy = true;
-                }
-            }
-            if shard_heavy {
-                heavy.push(idx);
+        let mut heavy: Vec<Arc<SharedSub>> = Vec::new();
+        for share in shares {
+            let mut core = share.core.lock().unwrap();
+            let done = Self::try_cheap(&mut core, store, now, &mut shared);
+            drop(core);
+            if !done {
+                heavy.push(share);
             }
         }
         if heavy.is_empty() {
             return;
         }
-        // Phase 2 — heavy pass: the affected shards re-run the full
+        // Phase 2 — heavy pass: the affected shares re-run the full
         // ladder (the cheap classification is rechecked against any ops
         // that raced in since). One snapshot is materialized up front
-        // and shared by every worker.
+        // and shared by every worker; shares fan out across scoped
+        // threads on multi-core hosts.
         let snapshot = store.snapshot();
-        let tolerance = self.row_tolerance();
-        let refresh_shard = |idx: usize| {
+        let refresh_share = |share: &SharedSub| {
             let mut lazy = Some(Arc::clone(&snapshot));
-            let mut map = self.shards[idx].lock().unwrap();
-            for sub in map.values_mut() {
-                Self::refresh(sub, store, &mut lazy, feed_cap, true, tolerance);
-            }
+            let mut core = share.core.lock().unwrap();
+            Self::refresh(&mut core, store, &mut lazy, feed_cap, true, tolerance);
         };
         let cores = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
         if cores <= 1 || heavy.len() <= 1 {
-            heavy.into_iter().for_each(refresh_shard);
+            heavy.iter().map(Arc::as_ref).for_each(refresh_share);
         } else {
-            let refresh_shard = &refresh_shard;
+            // Strided hand-out: lane `l` refreshes shares l, l+lanes, …
+            let lanes = cores.min(heavy.len());
+            let refresh_share = &refresh_share;
+            let heavy = &heavy;
             std::thread::scope(|scope| {
-                let handles: Vec<_> = heavy
-                    .into_iter()
-                    .map(|idx| scope.spawn(move || refresh_shard(idx)))
+                let handles: Vec<_> = (0..lanes)
+                    .map(|lane| {
+                        scope.spawn(move || {
+                            for share in heavy.iter().skip(lane).step_by(lanes) {
+                                refresh_share(share);
+                            }
+                        })
+                    })
                     .collect();
                 for h in handles {
                     h.join().expect("subscription maintenance worker panicked");
@@ -1188,25 +1599,10 @@ impl SubscriptionRegistry {
         }
     }
 
-    /// The pre-sharding baseline: every subscription refreshed in one
-    /// sequential sweep, each fetching its own ops and deriving its skip
-    /// proof from scratch.
-    fn sync_sequential(&self, store: &ModStore) {
-        let feed_cap = store.feed_bound();
-        let tolerance = self.row_tolerance();
-        let mut lazy: Option<Arc<QuerySnapshot>> = None;
-        for shard in &self.shards {
-            let mut map = shard.lock().unwrap();
-            for sub in map.values_mut() {
-                Self::refresh(sub, store, &mut lazy, feed_cap, false, tolerance);
-            }
-        }
-    }
-
-    /// The cheap classification: `true` when the subscription is done
-    /// (already current, nothing logged, or the cached proof skipped the
-    /// whole burst); `false` when it needs the heavy pass.
-    fn try_cheap(sub: &mut SubState, store: &ModStore, now: u64, shared: &mut SharedOps) -> bool {
+    /// The cheap classification: `true` when the share is done (already
+    /// current, nothing logged, or the cached proof skipped the whole
+    /// burst); `false` when it needs the heavy pass.
+    fn try_cheap(sub: &mut ShareCore, store: &ModStore, now: u64, shared: &mut SharedOps) -> bool {
         if now <= sub.last_epoch {
             return true;
         }
@@ -1241,7 +1637,7 @@ impl SubscriptionRegistry {
     /// reuse the per-engine [`ForwardProof`] (the sequential ablation
     /// derives it fresh, as the pre-sharding code did).
     fn refresh(
-        sub: &mut SubState,
+        sub: &mut ShareCore,
         store: &ModStore,
         lazy: &mut Option<Arc<QuerySnapshot>>,
         feed_cap: usize,
@@ -1331,7 +1727,7 @@ impl SubscriptionRegistry {
     /// intervals / clean probe columns) is skipped.
     #[allow(clippy::too_many_arguments)]
     fn patch(
-        sub: &mut SubState,
+        sub: &mut ShareCore,
         store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         now: u64,
@@ -1461,7 +1857,7 @@ impl SubscriptionRegistry {
     /// per-perspective difference + envelope build and re-sampling.
     #[allow(clippy::too_many_arguments)]
     fn patch_reverse(
-        sub: &mut SubState,
+        sub: &mut ShareCore,
         store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         now: u64,
@@ -1540,7 +1936,7 @@ impl SubscriptionRegistry {
 
     /// The full re-plan: the same pipeline a cold registration runs.
     fn reevaluate(
-        sub: &mut SubState,
+        sub: &mut ShareCore,
         store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         now: u64,
@@ -1556,7 +1952,7 @@ impl SubscriptionRegistry {
     /// and commits the result (carried engines, proofs, answer, feed
     /// delta at the snapshot's epoch).
     fn evaluate_into(
-        sub: &mut SubState,
+        sub: &mut ShareCore,
         store: &ModStore,
         snapshot: &Arc<QuerySnapshot>,
         feed_cap: usize,
@@ -1673,7 +2069,7 @@ fn changed_ids<'a>(ops: impl IntoIterator<Item = &'a DeltaRecord>) -> BTreeSet<O
 /// Row subscriptions check the sharper band-survivor obligation
 /// ([`ForwardProof::ops_unaffected_rows`]).
 fn skip_proven(
-    sub: &mut SubState,
+    sub: &mut ShareCore,
     ops: &[&DeltaRecord],
     changed: &BTreeSet<Oid>,
     now: u64,
@@ -2390,6 +2786,82 @@ mod tests {
         store.insert(tr(73, 0.9)).unwrap();
         assert!(sink.is_empty());
         assert!(sink.recv().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn identical_queries_coalesce_onto_one_share() {
+        let store = populated_store();
+        let reg = SubscriptionRegistry::new();
+        for name in ["a", "b", "c"] {
+            reg.register(&store, name, star_query(), PrefilterPolicy::default())
+                .unwrap();
+        }
+        assert_eq!(reg.list().len(), 3);
+        assert_eq!(reg.share_count(), 1, "identical queries share one engine");
+        let reference = interval_answer(&reg, "a");
+        assert_eq!(interval_answer(&reg, "b"), reference);
+        assert_eq!(interval_answer(&reg, "c"), reference);
+        // A different query object (or kind) is a different computation.
+        reg.register(&store, "hot", threshold_query(), PrefilterPolicy::default())
+            .unwrap();
+        assert_eq!(reg.share_count(), 2);
+        // The share survives while any member remains, and dies with
+        // the last one.
+        assert!(reg.unregister("a"));
+        assert!(reg.unregister("b"));
+        assert_eq!(reg.share_count(), 2);
+        assert_eq!(interval_answer(&reg, "c"), reference);
+        assert!(reg.unregister("c"));
+        assert_eq!(reg.share_count(), 1);
+    }
+
+    #[test]
+    fn disabled_sharing_gives_every_registration_its_own_engine() {
+        let store = populated_store();
+        let reg = SubscriptionRegistry::new();
+        reg.set_engine_sharing(false);
+        assert!(!reg.engine_sharing());
+        reg.register(&store, "x", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        reg.register(&store, "y", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        assert_eq!(reg.share_count(), 2, "exclusive engines never coalesce");
+        // Re-enabling affects only future registrations: the new name
+        // cannot join an exclusive share, so it opens a third.
+        reg.set_engine_sharing(true);
+        reg.register(&store, "z", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        assert_eq!(reg.share_count(), 3);
+        // Sharing is an optimization, never a semantic change.
+        let reference = interval_answer(&reg, "x");
+        assert_eq!(interval_answer(&reg, "y"), reference);
+        assert_eq!(interval_answer(&reg, "z"), reference);
+    }
+
+    #[test]
+    fn shared_engine_broadcasts_one_delta_to_every_member_sink() {
+        let store = populated_store();
+        let reg = Arc::new(SubscriptionRegistry::new());
+        store.attach_subscriptions(&reg);
+        reg.register(&store, "a", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        reg.register(&store, "b", star_query(), PrefilterPolicy::default())
+            .unwrap();
+        assert_eq!(reg.share_count(), 1);
+        let sink_a = Arc::new(DeltaSink::bounded(8));
+        let sink_b = Arc::new(DeltaSink::bounded(8));
+        assert!(reg.attach_sink("a", &sink_a));
+        assert!(reg.attach_sink("b", &sink_b));
+        let initial = reg.answer("a").unwrap();
+        store.insert(tr(70, 0.4)).unwrap();
+        // One maintenance round fans the same delta out to both
+        // members, each stamped with its own subscription name.
+        let ev_a = sink_a.try_recv().unwrap();
+        let ev_b = sink_b.try_recv().unwrap();
+        assert_eq!(ev_a.subscription, "a");
+        assert_eq!(ev_b.subscription, "b");
+        assert_eq!(ev_a.delta, ev_b.delta);
+        assert_eq!(initial.apply(&ev_a.delta), reg.answer("b").unwrap());
     }
 
     #[test]

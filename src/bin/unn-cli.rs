@@ -539,8 +539,9 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     let subs = server.subscriptions();
                     let registry = server.subscription_registry();
                     println!(
-                        "{} subscriptions (row samples {}, row tolerance {})",
+                        "{} subscriptions on {} shared engines (row samples {}, row tolerance {})",
                         subs.len(),
+                        registry.share_count(),
                         registry.row_samples(),
                         registry.row_tolerance()
                     );

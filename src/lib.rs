@@ -86,37 +86,46 @@
 //! ## The network service layer
 //!
 //! [`modb::net`] fronts the whole engine with a std-only framed TCP
-//! protocol — the serving shape of a real trajectory service. A
-//! [`modb::net::NetServer`] wraps the [`modb::server::ModServer`] with
-//! one thread per connection; the [`modb::net::NetClient`] behind
-//! `unn-cli connect <addr>` executes statements and mutations remotely.
-//! The continuous queries become genuinely *continuous* over the wire:
+//! protocol — the serving shape of a real trajectory service (byte
+//! layout in `docs/WIRE.md`). A [`modb::net::NetServer`] wraps the
+//! [`modb::server::ModServer`] with one `poll(2)`-multiplexed event
+//! loop owning every connection and a small worker pool executing
+//! statements; the [`modb::net::NetClient`] behind `unn-cli connect
+//! <addr>` executes statements and mutations remotely. The continuous
+//! queries become genuinely *continuous* over the wire:
 //!
 //! ```text
 //!  client A ──Insert/Update/Remove──▶ NetServer ──▶ ModStore commit
 //!                                                        │
 //!                                      SubscriptionRegistry::sync
-//!                                      (sharded: shared ops fetch,
+//!                                      (one shared engine per distinct
+//!                                       query; sharded: shared ops fetch,
 //!                                       cached skip proofs, scoped-
 //!                                       thread fan-out of patches)
 //!                                               │ AnswerDelta │ ProbRowDelta
-//!  client B ◀─pushed Event/RowEvent── bounded outbox ◀───────┘
-//!            (folds deltas; `lagged` ⇒ resync from the full
+//!                                      encode once ─▶ one Arc<[u8]> frame
+//!  clients B, C, … ◀─pushed Event/RowEvent── bounded outboxes ◀──┘
+//!            (fold deltas; `lagged` ⇒ resync from the full
 //!             AnswerSet / ProbRowSet)
 //! ```
 //!
 //! `REGISTER CONTINUOUS` over a connection attaches that connection's
-//! bounded outbox to the subscription, so answer deltas are **pushed**
-//! with commit latency instead of polled — interval deltas as `Event`
-//! frames, probability-row deltas as `RowEvent` frames, both IEEE-bit-
-//! exact. Backpressure never drops a delta: an overflowing outbox
-//! squashes its oldest same-subscription events via
-//! [`modb::subscription::SubDelta::then`] (folds stay bit-exact) and
-//! flags the stream `lagged` so the client can resync from a full
-//! answer fetch. `tests/net_push.rs` proves the end-to-end property
-//! over real sockets for both representations: pushed deltas folded
-//! client-side equal a fresh exhaustive evaluation bit-for-bit,
-//! induced lag included.
+//! bounded outbox to the subscription — `WATCH name` joins an existing
+//! one — so answer deltas are **pushed** with commit latency instead of
+//! polled: interval deltas as `Event` frames, probability-row deltas as
+//! `RowEvent` frames, both IEEE-bit-exact. Same-query subscriptions
+//! coalesce onto one maintenance engine, and each pushed delta is
+//! serialized once and broadcast to every watcher as a shared
+//! `Arc<[u8]>` — `crates/bench/benches/fanout.rs` measures the combined
+//! effect at 1k loopback subscribers. Backpressure never drops a
+//! delta: an overflowing outbox squashes its oldest same-subscription
+//! events via [`modb::subscription::SubDelta::then`] (folds stay
+//! bit-exact) and flags the stream `lagged` so the client can resync
+//! from a full answer fetch. `tests/net_push.rs` and
+//! `tests/net_fanout.rs` prove the end-to-end property over real
+//! sockets: pushed deltas folded client-side equal a fresh exhaustive
+//! evaluation bit-for-bit, induced lag included, and same-name watchers
+//! receive byte-identical frames.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,343 @@
+//! Fan-out integration of the encode-once push path: many subscribers
+//! on the **identical** standing query receive bit-identical pushed
+//! frames, and a slow capacity-1 subscriber falls back to lagged
+//! resync without stalling healthy subscribers.
+//!
+//! Two layers are exercised against fresh exhaustive evaluation:
+//!
+//! * the `Arc` encode-once path — `WATCH`ers of one subscription name
+//!   share the per-delta frame cache, so the raw bytes on every socket
+//!   are equal;
+//! * the shared-engine path — distinct `REGISTER CONTINUOUS` names on
+//!   the same query share one maintained engine (`share_count() == 1`),
+//!   and each name's pushed delta still folds onto the ground truth.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uncertain_nn::modb::net::wire::{
+    decode_payload, write_frame, Frame, WireRequest, WIRE_VERSION,
+};
+use uncertain_nn::modb::net::{NetClient, NetServer, NetServerConfig, WireOutput};
+use uncertain_nn::modb::subscription::{SubAnswer, SubDelta};
+use uncertain_nn::modb::{PrefilterPolicy, QueryPlanner};
+use uncertain_nn::prelude::*;
+
+const WINDOW: (f64, f64) = (0.0, 60.0);
+const RADIUS: f64 = 0.5;
+const CHURN_OID: u64 = 77;
+const QUERY: &str = "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0";
+const EVENT_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn straight(oid: u64, y: f64) -> UncertainTrajectory {
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(Oid(oid), &[(0.0, y, WINDOW.0), (30.0, y, WINDOW.1)]).unwrap(),
+        RADIUS,
+    )
+    .unwrap()
+}
+
+fn populated_server() -> Arc<ModServer> {
+    let server = ModServer::new();
+    server
+        .register_all([
+            straight(0, 0.0),
+            straight(1, 1.0),
+            straight(2, 3.0),
+            straight(3, 9.0),
+        ])
+        .unwrap();
+    Arc::new(server)
+}
+
+/// Fresh exhaustive evaluation of the standing query — ground truth.
+fn fresh_answer(server: &ModServer) -> SubAnswer {
+    SubAnswer::Intervals(
+        QueryPlanner::new(PrefilterPolicy::Exhaustive)
+            .plan(
+                server.store().snapshot(),
+                Oid(0),
+                TimeInterval::new(WINDOW.0, WINDOW.1),
+            )
+            .expect("plans")
+            .build_engine()
+            .expect("builds")
+            .answer_set(),
+    )
+}
+
+/// A raw framed connection: `NetClient` decodes frames, but this test
+/// must observe the exact **bytes** pushed to each subscriber.
+struct RawClient {
+    stream: std::net::TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: std::net::SocketAddr) -> RawClient {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connects");
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            },
+        )
+        .expect("hello");
+        match decode_payload(&read_raw_frame(&mut stream)[4..]).expect("welcome") {
+            Frame::Welcome { .. } => {}
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+        RawClient { stream }
+    }
+
+    fn execute(&mut self, statement: &str) -> WireOutput {
+        write_frame(
+            &mut self.stream,
+            &Frame::Request {
+                id: 1,
+                body: WireRequest::Statement(statement.to_string()),
+            },
+        )
+        .expect("request");
+        match decode_payload(&read_raw_frame(&mut self.stream)[4..]).expect("response") {
+            Frame::Response { result, .. } => result.expect("statement accepted"),
+            other => panic!("expected Response, got {other:?}"),
+        }
+    }
+
+    /// Blocks until the next pushed event frame, returning its raw
+    /// bytes (length prefix included).
+    fn next_event_raw(&mut self) -> Vec<u8> {
+        self.stream
+            .set_read_timeout(Some(EVENT_TIMEOUT))
+            .expect("timeout");
+        loop {
+            let raw = read_raw_frame(&mut self.stream);
+            match decode_payload(&raw[4..]).expect("frame") {
+                Frame::Event { .. } | Frame::RowEvent { .. } => return raw,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn read_raw_frame(stream: &mut std::net::TcpStream) -> Vec<u8> {
+    use std::io::Read;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("frame length");
+    let n = u32::from_le_bytes(len) as usize;
+    let mut buf = vec![0u8; 4 + n];
+    buf[..4].copy_from_slice(&len);
+    stream.read_exact(&mut buf[4..]).expect("frame payload");
+    buf
+}
+
+/// N `WATCH`ers of one subscription receive byte-identical pushed
+/// frames (the encode-once `Arc` path), and the delta they carry folds
+/// the base answer onto a fresh exhaustive evaluation. A subscriber on
+/// a *distinct name* over the same query shares the engine
+/// (`share_count() == 1`) and folds onto the same ground truth.
+#[test]
+fn watchers_receive_bit_identical_frames() {
+    let server = populated_server();
+    server.subscribe("fan", QUERY).expect("registers");
+    let net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("binds");
+    let addr = net.local_addr();
+
+    const WATCHERS: usize = 6;
+    let mut watchers: Vec<RawClient> = (0..WATCHERS)
+        .map(|_| {
+            let mut c = RawClient::connect(addr);
+            match c.execute("WATCH fan") {
+                WireOutput::Registered(info) => assert_eq!(info.name, "fan"),
+                other => panic!("expected Registered, got {other:?}"),
+            }
+            c
+        })
+        .collect();
+    // A twin subscription under its own name: same query, same engine.
+    let mut twin = RawClient::connect(addr);
+    match twin.execute(&format!("REGISTER CONTINUOUS {QUERY} AS twin")) {
+        WireOutput::Registered(info) => assert_eq!(info.name, "twin"),
+        other => panic!("expected Registered, got {other:?}"),
+    }
+    assert_eq!(
+        server.subscription_registry().share_count(),
+        1,
+        "identical queries must share one engine"
+    );
+
+    let (base, _) = server
+        .subscription_answer_with_epoch("fan")
+        .expect("base answer");
+    let (twin_base, _) = server
+        .subscription_answer_with_epoch("twin")
+        .expect("twin base");
+    assert_eq!(base, twin_base, "shared engine, same answer");
+
+    // One answer-changing commit; every watcher's pushed frame must be
+    // byte-identical.
+    server.register(straight(CHURN_OID, 0.4)).expect("inserts");
+    let frames: Vec<Vec<u8>> = watchers.iter_mut().map(|c| c.next_event_raw()).collect();
+    for frame in &frames[1..] {
+        assert_eq!(
+            frame, &frames[0],
+            "watchers must receive bit-identical frames"
+        );
+    }
+
+    // The shared delta folds the base answer onto ground truth.
+    let truth = fresh_answer(&server);
+    match decode_payload(&frames[0][4..]).expect("event") {
+        Frame::Event {
+            subscription,
+            delta,
+            lagged,
+        } => {
+            assert_eq!(subscription, "fan");
+            assert!(!lagged);
+            assert_eq!(base.apply(&SubDelta::Intervals(delta)), truth);
+        }
+        other => panic!("expected Event, got {other:?}"),
+    }
+
+    // The twin's frame differs (its name is embedded) but its delta
+    // folds onto the identical ground truth — the shared-engine path.
+    let twin_frame = twin.next_event_raw();
+    assert_ne!(twin_frame, frames[0], "per-name frames embed the name");
+    match decode_payload(&twin_frame[4..]).expect("event") {
+        Frame::Event {
+            subscription,
+            delta,
+            lagged,
+        } => {
+            assert_eq!(subscription, "twin");
+            assert!(!lagged);
+            assert_eq!(twin_base.apply(&SubDelta::Intervals(delta)), truth);
+        }
+        other => panic!("expected Event, got {other:?}"),
+    }
+
+    net.shutdown();
+}
+
+/// Folds pushed events (resyncing through the full answer on `lagged`)
+/// until `target_epoch`, returning how many lagged events were seen.
+fn fold_until(
+    client: &mut NetClient,
+    name: &str,
+    folded: &mut SubAnswer,
+    folded_epoch: &mut u64,
+    target_epoch: u64,
+) -> usize {
+    let mut lagged_seen = 0;
+    while *folded_epoch < target_epoch {
+        let ev = client
+            .next_event(Some(EVENT_TIMEOUT))
+            .expect("event stream healthy")
+            .unwrap_or_else(|| panic!("no event within {EVENT_TIMEOUT:?}"));
+        if ev.subscription != name {
+            continue;
+        }
+        if ev.lagged {
+            lagged_seen += 1;
+            let (answer, epoch) = client.subscription_answer(name).expect("resync fetch");
+            *folded = answer;
+            *folded_epoch = epoch;
+        } else if ev.delta.epoch() > *folded_epoch {
+            *folded = folded.apply(&ev.delta);
+            *folded_epoch = ev.delta.epoch();
+        }
+    }
+    lagged_seen
+}
+
+/// A slow subscriber (capacity-1 outbox, heavy pacing) squashes under
+/// a commit burst and recovers through lagged resync, while fast
+/// subscribers sharing the same engine receive every delta promptly —
+/// the slow consumer stalls nobody but itself.
+#[test]
+fn slow_subscriber_lags_without_stalling_fast_ones() {
+    let server = populated_server();
+    server.subscribe("fan", QUERY).expect("registers");
+    // Two delivery surfaces over one MOD and one shared engine: the
+    // fast server at production defaults, the slow one with a
+    // capacity-1 outbox and pacing far above a commit's round trip.
+    let fast_net = NetServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("binds");
+    let pacing = Duration::from_millis(700);
+    let slow_net = NetServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        NetServerConfig {
+            outbox_capacity: 1,
+            event_pacing: pacing,
+        },
+    )
+    .expect("binds");
+
+    let mut fast: Vec<NetClient> = (0..3)
+        .map(|_| {
+            let mut c = NetClient::connect(fast_net.local_addr()).expect("connects");
+            match c.execute("WATCH fan").expect("watches") {
+                WireOutput::Registered(info) => assert_eq!(info.name, "fan"),
+                other => panic!("expected Registered, got {other:?}"),
+            }
+            c
+        })
+        .collect();
+    let mut slow = NetClient::connect(slow_net.local_addr()).expect("connects");
+    match slow.execute("WATCH fan").expect("watches") {
+        WireOutput::Registered(info) => assert_eq!(info.name, "fan"),
+        other => panic!("expected Registered, got {other:?}"),
+    }
+    let (base, base_epoch) = server
+        .subscription_answer_with_epoch("fan")
+        .expect("base answer");
+
+    // A burst of membership flips: the slow outbox holds at most one
+    // undrained event and its pacing spans the whole burst, so deltas
+    // must squash (lagged); the fast subscribers' default-bound
+    // outboxes absorb everything.
+    const BURST: usize = 6;
+    for round in 0..BURST {
+        if round % 2 == 0 {
+            server.register(straight(CHURN_OID, 0.4)).expect("inserts");
+        } else {
+            server.store().remove(Oid(CHURN_OID)).expect("removes");
+        }
+    }
+    let (target, target_epoch) = server
+        .subscription_answer_with_epoch("fan")
+        .expect("maintained answer");
+
+    // Fast subscribers drain the full burst promptly — well inside one
+    // pacing period of the slow server, so the slow consumer cannot
+    // have been in their delivery path.
+    let fast_started = Instant::now();
+    for client in &mut fast {
+        let (mut folded, mut epoch) = (base.clone(), base_epoch);
+        let lagged = fold_until(client, "fan", &mut folded, &mut epoch, target_epoch);
+        assert_eq!(lagged, 0, "default bounds must not squash");
+        assert_eq!(folded, target);
+        assert_eq!(folded, fresh_answer(&server));
+    }
+    assert!(
+        fast_started.elapsed() < pacing,
+        "fast subscribers must not be stalled behind the slow one \
+         (took {:?} with pacing {pacing:?})",
+        fast_started.elapsed()
+    );
+
+    // The slow subscriber sees at least one squashed (lagged) event
+    // and lands bit-identically after resync.
+    let (mut folded, mut epoch) = (base, base_epoch);
+    let lagged = fold_until(&mut slow, "fan", &mut folded, &mut epoch, target_epoch);
+    assert!(lagged >= 1, "capacity-1 outbox must squash under a burst");
+    assert_eq!(folded, target);
+    assert_eq!(folded, fresh_answer(&server));
+
+    for client in fast {
+        client.close().expect("clean close");
+    }
+    slow.close().expect("clean close");
+    fast_net.shutdown();
+    slow_net.shutdown();
+}

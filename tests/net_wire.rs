@@ -304,3 +304,47 @@ proptest! {
         prop_assert!(decode_payload(&payload).is_err());
     }
 }
+
+/// The constants table in `docs/WIRE.md` is normative documentation:
+/// every `constant | value` row must match the code, or the spec is
+/// lying about the bytes on the wire.
+#[test]
+fn wire_spec_constants_match_docs() {
+    use uncertain_nn::modb::net::wire::{
+        MAX_FRAME_LEN, TAG_BYE, TAG_EVENT, TAG_HELLO, TAG_REQUEST, TAG_RESPONSE, TAG_ROW_EVENT,
+        TAG_WELCOME, WIRE_MAGIC,
+    };
+    let spec = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/WIRE.md"))
+        .expect("docs/WIRE.md exists");
+    let expected: &[(&str, u64)] = &[
+        ("WIRE_MAGIC", WIRE_MAGIC as u64),
+        ("WIRE_VERSION", WIRE_VERSION as u64),
+        ("MAX_FRAME_LEN", MAX_FRAME_LEN as u64),
+        ("TAG_HELLO", TAG_HELLO as u64),
+        ("TAG_WELCOME", TAG_WELCOME as u64),
+        ("TAG_REQUEST", TAG_REQUEST as u64),
+        ("TAG_RESPONSE", TAG_RESPONSE as u64),
+        ("TAG_EVENT", TAG_EVENT as u64),
+        ("TAG_BYE", TAG_BYE as u64),
+        ("TAG_ROW_EVENT", TAG_ROW_EVENT as u64),
+    ];
+    for (name, value) in expected {
+        // Rows look like: | `NAME` | `VALUE` | with VALUE decimal or 0x-hex.
+        let row = spec
+            .lines()
+            .find_map(|line| {
+                let rest = line.strip_prefix(&format!("| `{name}` | `"))?;
+                rest.strip_suffix("` |")
+            })
+            .unwrap_or_else(|| panic!("docs/WIRE.md lacks a constants row for {name}"));
+        let documented = match row.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => row.parse(),
+        }
+        .unwrap_or_else(|e| panic!("unparsable documented value for {name}: {row:?} ({e})"));
+        assert_eq!(
+            documented, *value,
+            "docs/WIRE.md documents {name} = {documented}, code says {value}"
+        );
+    }
+}
