@@ -24,15 +24,32 @@
 //!   re-encode baseline: engine sharing **off**, `N` distinct names —
 //!   every commit runs `N` engine maintenance rounds and `N`
 //!   serializations, as the pre-sharing server did.
+//! * `fanout/city_maintain_100` / `fanout/city_maintain_10k` — the
+//!   maintenance round itself across many *distinct* standing queries
+//!   (mixed interval/row, in-process): p50 wall-clock of a far-churn
+//!   commit whose delta region intersects no standing query's guard
+//!   box. The registry's spatial index prunes every share, so the two
+//!   must stay within 10x of each other (asserted in full mode).
+//! * `fanout/city_seq_10k` — the same far-churn round under
+//!   `SyncMode::Sequential`: the linear per-share sweep the index
+//!   replaces, kept as the ablation baseline.
+//! * `fanout/city_multiwriter_10k` — concurrent writer threads churning
+//!   far objects under a commit-coalescing batch window (8); mean
+//!   wall-clock per commit across the burst.
 //!
 //! Before any timing, the watch scenario asserts **bit-identity**: all
 //! `N` subscribers' raw pushed frames are byte-for-byte equal, and the
 //! delta they carry folds the base answer onto a fresh exhaustive
-//! evaluation of the mutated store.
+//! evaluation of the mutated store. The city scenarios run their own
+//! identity gate: an indexed store under a batch window (with a
+//! mid-batch registration) must answer bit-identically to a
+//! `SyncMode::Sequential` twin on the same mixed script.
 //!
 //! Knobs: `UNN_FANOUT_SUBS` overrides the subscriber count (default
 //! 1000; CI smoke uses a handful), `--test` runs a tiny smoke pass and
-//! writes no report.
+//! writes no report. Reader threads for event draining are derived
+//! from `available_parallelism` so few-core CI hosts don't pile every
+//! drain onto contended threads.
 
 use std::io::{self, Read};
 use std::net::TcpStream;
@@ -329,8 +346,18 @@ fn reader_shard(mut subs: Vec<Sub>, gate: Arc<Gate>, stop: Arc<AtomicBool>) {
     }
 }
 
-/// Reader shards across the subscriber fleet.
-const READER_SHARDS: usize = 4;
+/// Reader shards across the subscriber fleet: one per available core,
+/// minus one reserved for the server's event loop, so few-core hosts
+/// measure the server rather than reader starvation (the old fixed
+/// count of 4 piled every drain onto one or two contended threads
+/// there and the harness became the bottleneck).
+fn reader_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .saturating_sub(1)
+        .clamp(1, 8)
+}
 
 fn decode_frame(raw: &[u8]) -> Frame {
     decode_payload(&raw[4..]).expect("well-formed frame")
@@ -361,8 +388,9 @@ fn run_scenario(mode: Mode, n: usize, rounds: usize, assert_identity: bool) -> V
 
     let gate = Arc::new(Gate::default());
     let stop = Arc::new(AtomicBool::new(false));
+    let reader_shards = reader_shards();
     let mut firsts = Vec::with_capacity(n);
-    let mut shards: Vec<Vec<Sub>> = (0..READER_SHARDS).map(|_| Vec::new()).collect();
+    let mut shards: Vec<Vec<Sub>> = (0..reader_shards).map(|_| Vec::new()).collect();
     for i in 0..n {
         let mut client = RawClient::connect(addr);
         let out = match mode {
@@ -374,7 +402,7 @@ fn run_scenario(mode: Mode, n: usize, rounds: usize, assert_identity: bool) -> V
         assert!(matches!(out, WireOutput::Registered(_)), "attach failed");
         let first = Arc::new(Mutex::new(None));
         client.stream.set_nonblocking(true).expect("nonblocking");
-        shards[i % READER_SHARDS].push(Sub {
+        shards[i % reader_shards].push(Sub {
             stream: client.stream,
             inbuf: Vec::new(),
             first: Arc::clone(&first),
@@ -459,6 +487,182 @@ fn percentile(sorted: &[Duration], pct: usize) -> f64 {
     sorted[idx].as_nanos() as f64
 }
 
+// ---------------------------------------------------------------------------
+// City-scale maintenance: many standing queries, O(affected) rounds.
+//
+// The scenarios above measure push delivery to many *connections* on one
+// query; these measure the maintenance round itself across many distinct
+// *standing queries*. A far-churn commit provably affects none of them,
+// so the registry's guard index should prune every share without
+// touching it — the round's cost must stay flat as the registered
+// population grows (the `city_seq` ablation shows the linear sweep it
+// replaces). Subscriptions are registered in-process (no sockets): the
+// measured path is commit → index lookup → visit set, not transport.
+// ---------------------------------------------------------------------------
+
+/// Subscriptions per distinct query object: interval and row standing
+/// queries coalesce onto shared engines per shape, so each query object
+/// carries two shares however many names ride them.
+const SUBS_PER_QUERY: usize = 8;
+/// Query corridors sit on distinct lanes `CITY_BASE_Y + q * CITY_LANE`,
+/// far above the churn district at y ~ 0: no guard box reaches it.
+const CITY_BASE_Y: f64 = 1_000.0;
+const CITY_LANE: f64 = 10.0;
+
+fn city_interval_stmt(query_oid: u64) -> String {
+    format!(
+        "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr{query_oid}, TIME) > 0"
+    )
+}
+
+fn city_row_stmt(query_oid: u64) -> String {
+    format!(
+        "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr{query_oid}, TIME) > 0.3"
+    )
+}
+
+/// A city server: `subs / SUBS_PER_QUERY` query objects on distinct
+/// lanes, each with one in-band companion (so every shared engine
+/// maintains a non-trivial answer), plus the mixed interval/row
+/// subscription population riding them.
+fn city_server(subs: usize) -> Arc<ModServer> {
+    let queries = subs.div_ceil(SUBS_PER_QUERY).max(1) as u64;
+    let server = ModServer::new();
+    // Row shares pay a quadrature per dirty probe column; a moderate
+    // density keeps 10k-name registration snappy without changing what
+    // the far-churn rounds measure (they never touch a column).
+    server.subscription_registry().set_row_samples(16);
+    server
+        .register_all((0..queries).flat_map(|q| {
+            let lane = CITY_BASE_Y + CITY_LANE * q as f64;
+            [straight(2 * q + 1, lane), straight(2 * q + 2, lane + 0.4)]
+        }))
+        .expect("registers");
+    for i in 0..subs {
+        let q = 2 * (i / SUBS_PER_QUERY) as u64 + 1;
+        // Every fourth name is a probability-row subscription; the rest
+        // maintain qualification intervals. Same-shape names share an
+        // engine, so each query object carries at most two shares.
+        let stmt = if i % 4 == 3 {
+            city_row_stmt(q)
+        } else {
+            city_interval_stmt(q)
+        };
+        server
+            .subscribe(&format!("c{i}"), &stmt)
+            .expect("city subscription registers");
+    }
+    Arc::new(server)
+}
+
+/// Far churn for the city fleet: the churn object lives in the district
+/// at y ~ 0, provably outside every standing query's guard region.
+fn city_churn(server: &ModServer, round: usize) {
+    if round % 2 == 0 {
+        server.register(straight(CHURN_OID, 0.3)).expect("inserts");
+    } else {
+        server.store().remove(Oid(CHURN_OID)).expect("removes");
+    }
+}
+
+/// Pre-timing bit-identity: an indexed store under a coalescing batch
+/// window and a `SyncMode::Sequential` twin run the same mixed script —
+/// near churn, far churn, a query-object rewrite, and a subscription
+/// registered mid-batch that must catch up from the delta log — and
+/// every maintained answer must match bit-for-bit.
+fn city_identity(subs: usize) {
+    let indexed = city_server(subs);
+    indexed.store().set_maintenance_batch(3);
+    let sequential = city_server(subs);
+    sequential
+        .subscription_registry()
+        .set_sync_mode(unn_modb::subscription::SyncMode::Sequential);
+    let script = |server: &Arc<ModServer>| {
+        // Far churn: index prunes everything / sweep skips everything.
+        server.register(straight(CHURN_OID, 0.3)).expect("inserts");
+        // Near churn: lands in query 1's band, answers change.
+        server
+            .register(straight(CHURN_OID + 1, CITY_BASE_Y + 0.3))
+            .expect("inserts");
+        // The query object itself moves: a guaranteed rebuild, and its
+        // guard republishes.
+        server.store().update(straight(1, CITY_BASE_Y + 0.1));
+        // Registered mid-batch: on the indexed server the window is
+        // mid-burst here, so the catch-up must reconcile from the log.
+        server
+            .subscribe("mid", &city_interval_stmt(1))
+            .expect("mid-batch registration");
+        server.store().remove(Oid(CHURN_OID)).expect("removes");
+        server.store().update(straight(2, CITY_BASE_Y + 0.5));
+        server.store().flush_maintenance();
+    };
+    script(&indexed);
+    script(&sequential);
+    for info in sequential.subscriptions() {
+        let (want, _) = sequential
+            .subscription_answer_with_epoch(&info.name)
+            .expect("sequential answer");
+        let (got, _) = indexed
+            .subscription_answer_with_epoch(&info.name)
+            .expect("indexed answer");
+        assert_eq!(
+            got, want,
+            "indexed+batched answer for '{}' diverged from the sequential sweep",
+            info.name
+        );
+    }
+}
+
+/// Far-churn maintenance rounds, inline on the committing thread: the
+/// returned samples time `commit + maintenance` wall-clock. One warm
+/// pair first — the initial round after registration reconciles the
+/// index's epoch backlog and is not steady-state.
+fn city_far_rounds(server: &Arc<ModServer>, rounds: usize) -> Vec<Duration> {
+    city_churn(server, 0);
+    city_churn(server, 1);
+    let mut out = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        city_churn(server, round);
+        out.push(t0.elapsed());
+    }
+    // Leave the store churn-object-free for any later phase.
+    if rounds % 2 == 1 {
+        city_churn(server, rounds);
+    }
+    out
+}
+
+/// Multi-writer churn under a coalescing window: `writers` threads
+/// commit far mutations on distinct objects concurrently; reported as
+/// mean wall-clock per commit across the whole burst (maintenance
+/// rounds fire every `window`-th commit, whoever lands it).
+fn city_multiwriter(server: &Arc<ModServer>, writers: usize, commits_each: usize) -> f64 {
+    server.store().set_maintenance_batch(8);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let server = Arc::clone(server);
+            scope.spawn(move || {
+                let oid = CHURN_OID + 10 + w as u64;
+                for round in 0..commits_each {
+                    if round % 2 == 0 {
+                        server
+                            .register(straight(oid, 0.2 + w as f64 * 0.1))
+                            .expect("inserts");
+                    } else {
+                        server.store().remove(Oid(oid)).expect("removes");
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    server.store().flush_maintenance();
+    server.store().set_maintenance_batch(1);
+    elapsed.as_nanos() as f64 / (writers * commits_each) as f64
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let n: usize = std::env::var("UNN_FANOUT_SUBS")
@@ -483,11 +687,65 @@ fn main() {
     criterion::report_ns("fanout/naive_p50", percentile(&naive, 50));
     criterion::report_ns("fanout/naive_p99", percentile(&naive, 99));
 
+    // City-scale maintenance: a far-churn round's cost must stay flat
+    // as the standing-query population scales 100x. The bit-identity
+    // gate runs before any timing — an index that prunes wrongly fails
+    // here, not in the numbers.
+    let (city_small, city_large, city_rounds) = if smoke {
+        (12, 48, 4)
+    } else {
+        (100, 10_000, 30)
+    };
+    eprintln!("fanout: city identity check ({city_small} mixed subscriptions)");
+    city_identity(city_small);
+
+    eprintln!("fanout: city far-churn rounds ({city_small} / {city_large} subscriptions)");
+    let small = city_server(city_small);
+    let mut small_rounds = city_far_rounds(&small, city_rounds);
+    small_rounds.sort();
+    criterion::report_ns("fanout/city_maintain_100", percentile(&small_rounds, 50));
+
+    let large = city_server(city_large);
+    let mut large_rounds = city_far_rounds(&large, city_rounds);
+    large_rounds.sort();
+    criterion::report_ns("fanout/city_maintain_10k", percentile(&large_rounds, 50));
+
+    eprintln!("fanout: city sequential ablation ({city_large} subscriptions)");
+    let seq = city_server(city_large);
+    seq.subscription_registry()
+        .set_sync_mode(unn_modb::subscription::SyncMode::Sequential);
+    let mut seq_rounds = city_far_rounds(&seq, city_rounds.min(10));
+    seq_rounds.sort();
+    criterion::report_ns("fanout/city_seq_10k", percentile(&seq_rounds, 50));
+
+    eprintln!("fanout: city multi-writer churn ({city_large} subscriptions)");
+    let writers = if smoke { 2 } else { 4 };
+    let commits_each = if smoke { 4 } else { 32 };
+    criterion::report_ns(
+        "fanout/city_multiwriter_10k",
+        city_multiwriter(&large, writers, commits_each),
+    );
+
     if smoke {
         println!("fanout smoke ok ({n} subscribers)");
         return;
     }
     let speedup = percentile(&naive, 99) / percentile(&watch, 99);
     println!("fanout p99 speedup over per-connection re-encode baseline: {speedup:.1}x");
+    let far_small = percentile(&small_rounds, 50);
+    let far_large = percentile(&large_rounds, 50);
+    let ratio = far_large / far_small;
+    println!(
+        "fanout city far-churn p50: {:.1}us @ {city_small} subs, {:.1}us @ {city_large} subs ({ratio:.2}x); sequential ablation {:.1}us",
+        far_small / 1_000.0,
+        far_large / 1_000.0,
+        percentile(&seq_rounds, 50) / 1_000.0,
+    );
+    assert!(
+        ratio <= 10.0,
+        "far-churn maintenance at {city_large} standing queries is {ratio:.2}x the \
+         {city_small}-subscription round (must be <= 10x: the guard index should \
+         make unaffected rounds population-independent)"
+    );
     criterion::write_report(env!("CARGO_MANIFEST_DIR"));
 }

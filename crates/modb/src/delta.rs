@@ -311,6 +311,43 @@ impl ForwardProof {
         self.check(ops, &self.kept)
     }
 
+    /// The query object the proof guards — inserting or removing it is
+    /// never skippable, whatever the geometry says.
+    pub fn query_oid(&self) -> Oid {
+        self.query
+    }
+
+    /// The spatial guard region of the insertion obligation, projected
+    /// onto the `(x, y)` plane (`t = 0` on both faces): the query
+    /// corridor box inflated by the reach. An inserted trajectory whose
+    /// equally-flattened whole-domain box does not intersect this region
+    /// has a per-axis gap above the reach, hence a Euclidean gap above
+    /// it too — exactly what [`ForwardProof::ops_unaffected`] requires
+    /// of a safe insertion. The converse does not hold (a diagonal miss
+    /// can still overlap the box), so an index over these boxes
+    /// over-approximates the affected subscriptions: lookups are
+    /// conservative, skips stay proven.
+    pub fn guard_box(&self) -> Aabb3 {
+        let b = self.qbox.inflate_xy(self.reach);
+        Aabb3 {
+            min: [b.min[0], b.min[1], 0.0],
+            max: [b.max[0], b.max[1], 0.0],
+        }
+    }
+
+    /// The ids whose removal the proof cannot clear: the engine's
+    /// candidates plus the query object itself. This guards the
+    /// interval obligation ([`ForwardProof::ops_unaffected`]); the row
+    /// obligation's guard (`kept`) is a subset, so an index keyed on
+    /// these ids over-approximates both — a removal hitting none of
+    /// them is safe for every consumer of this engine.
+    pub fn guarded_oids(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.candidates
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.query))
+    }
+
     fn check(
         &self,
         ops: &[&DeltaRecord],

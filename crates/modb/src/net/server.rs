@@ -692,14 +692,22 @@ fn handle_request(
             .remove(oid)
             .map(|_| WireOutput::Done)
             .map_err(|e| e.to_string()),
-        WireRequest::SubscriptionAnswer(name) => server
-            .subscription_registry()
-            .answer_with_epoch(&name)
-            .map(|(answer, epoch)| match answer {
-                SubAnswer::Intervals(answer) => WireOutput::Answer { epoch, answer },
-                SubAnswer::Rows(rows) => WireOutput::RowAnswer { epoch, rows },
-            })
-            .ok_or_else(|| format!("no subscription named '{name}'")),
+        WireRequest::SubscriptionAnswer(name) => {
+            // A lagged client resyncs from this full answer; under a
+            // maintenance batch window the tail of a commit burst may
+            // still be pending, so flush first — the resync base must
+            // be current or the client's next folded delta would skip
+            // the coalesced epochs.
+            server.store().flush_maintenance();
+            server
+                .subscription_registry()
+                .answer_with_epoch(&name)
+                .map(|(answer, epoch)| match answer {
+                    SubAnswer::Intervals(answer) => WireOutput::Answer { epoch, answer },
+                    SubAnswer::Rows(rows) => WireOutput::RowAnswer { epoch, rows },
+                })
+                .ok_or_else(|| format!("no subscription named '{name}'"))
+        }
     }
 }
 

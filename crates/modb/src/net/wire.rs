@@ -55,8 +55,10 @@ pub const WIRE_MAGIC: u32 = 0x554E_4E31;
 /// Current protocol version; bumped on any incompatible frame change.
 /// Version 2 added the probability-row payloads ([`Frame::RowEvent`]
 /// and [`WireOutput::RowAnswer`]) pushed for threshold / reverse
-/// standing queries.
-pub const WIRE_VERSION: u16 = 2;
+/// standing queries. Version 3 extended the subscription-info stats
+/// block with the maintenance-index counters (`visited`,
+/// `skipped_unvisited`, `batched_commits`).
+pub const WIRE_VERSION: u16 = 3;
 
 /// Upper bound on one frame's payload (a defense against hostile or
 /// corrupt length prefixes, not a practical limit — a 64 MiB answer
@@ -360,6 +362,9 @@ fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
         s.perspectives_skipped,
         s.columns_refined,
         s.columns_coarse_only,
+        s.visited,
+        s.skipped_unvisited,
+        s.batched_commits,
     ] {
         put_u64(buf, v);
     }
@@ -775,6 +780,9 @@ impl<'a> Cursor<'a> {
             perspectives_skipped: self.u64()?,
             columns_refined: self.u64()?,
             columns_coarse_only: self.u64()?,
+            visited: self.u64()?,
+            skipped_unvisited: self.u64()?,
+            batched_commits: self.u64()?,
         };
         Ok(SubscriptionInfo {
             name,
@@ -1066,7 +1074,7 @@ mod tests {
     #[test]
     fn version_constants_are_sane() {
         assert_eq!(&WIRE_MAGIC.to_be_bytes(), b"UNN1");
-        assert_eq!(WIRE_VERSION, 2, "bump deliberately with the frame bodies");
+        assert_eq!(WIRE_VERSION, 3, "bump deliberately with the frame bodies");
     }
 
     fn sample_rows() -> ProbRowSet {

@@ -137,6 +137,15 @@ pub struct ModStore {
     rebuild_fraction: AtomicU64,
     /// Per-subscription change-feed bound (see [`ModStore::set_feed_bound`]).
     feed_bound: AtomicU64,
+    /// Commit-coalescing window of subscription maintenance (see
+    /// [`ModStore::set_maintenance_batch`]). `1` = maintain per commit.
+    maintenance_batch: AtomicU64,
+    /// Monotonic count of commits routed through
+    /// [`ModStore::notify_subscriptions`] — the batch window triggers a
+    /// maintenance round every `maintenance_batch`-th commit, so no
+    /// reset (and no reset race between concurrent committers) is
+    /// needed.
+    maintenance_commits: AtomicU64,
     snapshots_delta_applied: AtomicU64,
     snapshots_rebuilt: AtomicU64,
     /// Engine caches to drop alongside the contents on [`ModStore::clear`].
@@ -172,6 +181,8 @@ impl ModStore {
             delta: Mutex::new(DeltaLog::new(DELTA_LOG_CAPACITY)),
             rebuild_fraction: AtomicU64::new(DEFAULT_REBUILD_FRACTION.to_bits()),
             feed_bound: AtomicU64::new(DEFAULT_FEED_BOUND as u64),
+            maintenance_batch: AtomicU64::new(1),
+            maintenance_commits: AtomicU64::new(0),
             snapshots_delta_applied: AtomicU64::new(0),
             snapshots_rebuilt: AtomicU64::new(0),
             caches: Mutex::new(Vec::new()),
@@ -466,6 +477,35 @@ impl ModStore {
     /// registry. Must be called with **no shard lock held**: maintenance
     /// takes snapshots (all shard read locks) and reads the delta log.
     fn notify_subscriptions(&self) {
+        let window = self.maintenance_batch();
+        if window > 1 {
+            // Coalescing is free for correctness: each share's ladder
+            // reconciles from the delta log since its own watermark, so
+            // deferring the round just folds the burst's epochs into
+            // one net delta and one push fan-out per share. Only every
+            // `window`-th commit triggers the round; a burst tail
+            // shorter than the window stays pending until the next
+            // commit or an explicit [`ModStore::flush_maintenance`].
+            let n = self.maintenance_commits.fetch_add(1, Ordering::AcqRel) + 1;
+            if n % window as u64 != 0 {
+                return;
+            }
+        }
+        self.sync_subscriptions();
+    }
+
+    /// Runs one maintenance round over every attached registry
+    /// unconditionally — the tail flush of a commit burst shorter than
+    /// the [`ModStore::set_maintenance_batch`] window. A no-op when
+    /// everything is already current (each share's watermark check is
+    /// `O(1)`), so calling it eagerly is safe. The network server flushes
+    /// before serving a full-answer resync so lagged subscribers never
+    /// observe a batching-stale base.
+    pub fn flush_maintenance(&self) {
+        self.sync_subscriptions();
+    }
+
+    fn sync_subscriptions(&self) {
         let live: Vec<Arc<SubscriptionRegistry>> = {
             let mut subs = self.subscriptions.lock().unwrap();
             subs.retain(|w| w.strong_count() > 0);
@@ -474,6 +514,27 @@ impl ModStore {
         for registry in live {
             registry.sync(self);
         }
+    }
+
+    /// The commit-coalescing window of subscription maintenance
+    /// (default 1: every commit runs its own round).
+    pub fn maintenance_batch(&self) -> usize {
+        self.maintenance_batch.load(Ordering::Relaxed) as usize
+    }
+
+    /// Sets the commit-coalescing window (minimum 1). At `n > 1`, a
+    /// burst of writer commits folds into one net delta and **one**
+    /// maintenance round — one index lookup, one ladder pass, one push
+    /// fan-out per affected share — every `n`-th commit, trading up to
+    /// `n - 1` commits of push latency for maintenance throughput.
+    /// Answers stay bit-identical: subscription watermarks lag at most
+    /// the window, and every round reconciles the full logged span
+    /// since each share's watermark. Size it well below the delta-log
+    /// capacity ([`ModStore::set_delta_log_capacity`]) or deferred
+    /// rounds degrade into rebuilds.
+    pub fn set_maintenance_batch(&self, window: usize) {
+        self.maintenance_batch
+            .store(window.max(1) as u64, Ordering::Relaxed);
     }
 
     /// The delta-to-population ratio beyond which snapshot refreshes fall

@@ -61,18 +61,51 @@
 //!
 //! The registry is sharded by subscription-name hash, mirroring the
 //! store's oid-hashed writer shards. [`SubscriptionRegistry::sync`] runs
-//! in two phases: a sequential *cheap pass* over every shard classifies
-//! each subscription (current / skip / heavy) sharing one delta-ops
-//! fetch and one changed-id set across all subscriptions at the same
-//! watermark; then the subscriptions needing heavy work (patch or
-//! rebuild) are refreshed per shard, **fanning out across scoped
-//! threads** when the host has more than one core. Far churn therefore
-//! stays `O(subs)` box checks with no thread ever spawned, while a
-//! commit that patches many subscriptions parallelizes across shards.
-//! [`SubscriptionRegistry::set_sync_mode`] restores the fully sequential
-//! one-lock ladder (per-subscription ops fetch, uncached proof) as an
-//! ablation baseline — the `continuous_queries` bench tracks the
-//! speedup.
+//! in two phases: a sequential *cheap pass* classifies each visited
+//! subscription (current / skip / heavy) sharing one delta-ops fetch and
+//! one changed-id set across all subscriptions at the same watermark;
+//! then the subscriptions needing heavy work (patch or rebuild) are
+//! refreshed per shard, **fanning out across scoped threads** when the
+//! host has more than one core. [`SubscriptionRegistry::set_sync_mode`]
+//! restores the fully sequential one-lock ladder (per-subscription ops
+//! fetch, uncached proof) as an ablation baseline — the
+//! `continuous_queries` bench tracks the speedup.
+//!
+//! ## The maintenance index: `O(affected)` rounds
+//!
+//! Which subscriptions does phase one even look at? In the
+//! publication-style reading of the registry — standing queries are the
+//! *subscriptions*, commits are the *publications* — the registry keeps
+//! a spatial index over the standing queries themselves (the private
+//! `SubscriptionIndex`): every share whose engine carries a
+//! [`ForwardProof`] publishes a **guard box** — the query corridor
+//! inflated by the proof's reach (envelope maximum plus band slack),
+//! flattened in time — into a [`GridIndex`] keyed by share id, plus an
+//! inverted oid → shares map for the objects whose identity the proof
+//! depends on. A commit's maintenance round computes the delta region
+//! of its logged ops and visits only the index hits: a share outside
+//! the hit set is *provably* unaffected (its per-axis gap exceeds the
+//! reach, hence so does the Euclidean gap) and is skipped **without
+//! being touched** — no lock, no watermark write. The skipped rounds
+//! are reconciled lazily from a round counter at the share's next visit
+//! or stats read ([`SubscriptionStats::skipped_unvisited`]). Shares
+//! without a usable proof (reverse rows, parked, errored) sit in an
+//! always-visit set. Guards re-publish whenever a proof re-derives,
+//! with a catch-up loop closing the race against rounds proven on the
+//! old guard. Far churn therefore costs one index lookup — independent
+//! of the registered population; the `fanout` bench's
+//! `city_maintain_10k` group pins a far-churn round at 10k standing
+//! queries to within 10x of the 100-subscription round, against the
+//! `city_seq_10k` linear-sweep ablation.
+//!
+//! Commits can additionally be **coalesced**: with
+//! [`crate::store::ModStore::set_maintenance_batch`] above 1, only
+//! every `n`-th commit runs a round, which then reconciles the whole
+//! burst from the delta log in one pass
+//! ([`SubscriptionStats::batched_commits`] counts the epochs folded
+//! beyond each visit's first). `tests/indexed_sync.rs` holds the
+//! indexed, batched path bit-identical to the `Sequential` sweep across
+//! random interleavings, backends, and mid-batch registrations.
 //!
 //! ## Engine sharing
 //!
@@ -117,17 +150,20 @@
 //! across random mutation interleavings and all prefilter backends, for
 //! interval and row subscriptions alike.
 
-use crate::delta::{DeltaOp, DeltaRecord, ForwardProof};
+use crate::delta::{full_xy_box, DeltaOp, DeltaRecord, ForwardProof};
+use crate::index::bbox::Aabb3;
+use crate::index::grid::GridIndex;
+use crate::index::SegmentIndex;
 use crate::plan::{PrefilterPolicy, QueryPlan, QueryPlanner};
 use crate::ql::ast::{PredicateKind, Quantifier, Query, Target};
 use crate::ql::{parse_object_name, SourceSpan};
 use crate::server::QueryOutput;
 use crate::snapshot::QuerySnapshot;
 use crate::store::{DifferenceModel, ModStore};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use unn_core::answer::{AnswerDelta, AnswerSet};
 use unn_core::candidates::CandidateSet;
@@ -297,6 +333,22 @@ pub struct SubscriptionStats {
     /// density — provably within the configured tolerance and clear of
     /// the threshold. Always 0 while the tolerance knob is 0.
     pub columns_coarse_only: u64,
+    /// Maintenance rounds that examined this share at all — each lands
+    /// in exactly one of `skipped` / `patched` / `rebuilt`, so
+    /// `visited` always equals their sum (the legibility counter next
+    /// to `skipped_unvisited`).
+    pub visited: u64,
+    /// Maintenance rounds the subscription index pruned before they
+    /// touched this share: no lock taken, no proof checked — the
+    /// round's delta provably missed the published guard region.
+    /// Distinct from `skipped`, which still pays a per-share box/id
+    /// check under the core lock.
+    pub skipped_unvisited: u64,
+    /// Extra commits absorbed beyond the first by coalesced rounds
+    /// (distinct commit epochs spanned minus one, summed over visited
+    /// rounds) — what a [`crate::store::ModStore::set_maintenance_batch`]
+    /// window or a raced burst folded into single ladder passes.
+    pub batched_commits: u64,
 }
 
 /// A snapshot of one subscription's state (the `SHOW SUBSCRIPTIONS` row).
@@ -769,6 +821,9 @@ impl SubscriberSlot {
 /// every [`SubState`] holds an `Arc` to its share.
 #[derive(Debug)]
 struct SharedSub {
+    /// Registry-unique id (never reused) — the share's key in the
+    /// [`SubscriptionIndex`].
+    id: u64,
     key: ShareKey,
     core: Mutex<ShareCore>,
 }
@@ -837,17 +892,30 @@ struct ShareCore {
     /// Maintenance counters of the *share* — the work one maintenance
     /// round does regardless of how many subscribers ride it.
     stats: SubscriptionStats,
+    /// The registry round counter value this share is reconciled with:
+    /// rounds in `(rounds_absorbed, current]` did not visit the share
+    /// (the index pruned them), and materialize as `skipped_unvisited`
+    /// lazily — folded into `stats` at the next visit, and added on top
+    /// at every info read. Keeping the unvisited path write-free is the
+    /// whole point of the index.
+    rounds_absorbed: u64,
 }
 
 impl SubState {
-    fn info(&self) -> SubscriptionInfo {
+    fn info(&self, rounds: u64) -> SubscriptionInfo {
         let core = self.share.core.lock().unwrap();
-        self.info_from(&core)
+        self.info_from(&core, rounds)
     }
 
     /// The info row against an already-locked core (avoids re-locking
-    /// when the caller holds it).
-    fn info_from(&self, core: &ShareCore) -> SubscriptionInfo {
+    /// when the caller holds it). `rounds` is the registry's completed
+    /// round counter: index-pruned rounds never touch the core, so
+    /// their `skipped_unvisited` tally materializes here, at read time,
+    /// from the gap between the counter and the core's reconciliation
+    /// watermark.
+    fn info_from(&self, core: &ShareCore, rounds: u64) -> SubscriptionInfo {
+        let mut stats = core.stats;
+        stats.skipped_unvisited += rounds.saturating_sub(core.rounds_absorbed);
         SubscriptionInfo {
             name: self.name.clone(),
             statement: self.query.to_string(),
@@ -858,7 +926,7 @@ impl SubState {
                 .map(|s| s.feed.len())
                 .unwrap_or_default(),
             error: core.error.clone(),
-            stats: core.stats,
+            stats,
         }
     }
 }
@@ -886,6 +954,7 @@ impl ShareCore {
             slots: Vec::new(),
             error: None,
             stats: SubscriptionStats::default(),
+            rounds_absorbed: 0,
         }
     }
 
@@ -990,6 +1059,245 @@ impl ShareCore {
 /// they touch. `None` when the log is truncated past the base.
 type SharedOps = BTreeMap<u64, Option<Arc<(Vec<DeltaRecord>, BTreeSet<Oid>)>>>;
 
+/// One share's published guard in the [`SubscriptionIndex`].
+#[derive(Debug)]
+struct GuardEntry {
+    share: Weak<SharedSub>,
+    /// `core.last_epoch` at publication — every op at or before it is
+    /// absorbed by the share's answer, so only newer publications may
+    /// replace the entry (concurrent rounds race benignly).
+    valid_through: u64,
+    /// The insertion guard: [`ForwardProof::guard_box`], installed in
+    /// the grid. `None` while the share is always-visit (reverse kinds,
+    /// parked shares, no derivable proof).
+    gbox: Option<Aabb3>,
+    /// The removal guard: [`ForwardProof::guarded_oids`], linked into
+    /// the inverted oid map. Empty while always-visit.
+    oids: Vec<Oid>,
+}
+
+/// A share's staged guard-box edits since the grid was last patched:
+/// the box that sat in the grid when the first edit of the cycle
+/// landed, and the box after the latest one. Canonicalizing per share
+/// keeps [`GridIndex::apply_delta`]'s removed/inserted sets exact no
+/// matter how many times a guard republished between lookups.
+#[derive(Debug, Clone, Copy)]
+struct PendingBoxes {
+    old: Option<Aabb3>,
+    new: Option<Aabb3>,
+}
+
+/// The publication-style index over the registered shares — the
+/// subscription side of the paper's spatio-temporal filter, inverted.
+/// Each share's [`ForwardProof`] publishes a guard here: the query
+/// corridor box inflated by the envelope-max reach (spatial insertion
+/// guard, kept in a [`GridIndex`] keyed by share id) and the
+/// candidate/query ids (removal guard, kept in an inverted oid map).
+/// A maintenance round then looks up only the shares a commit's ops
+/// can possibly affect — an op hitting neither a guard box nor a
+/// guarded id satisfies the respective [`ForwardProof`] obligation for
+/// every unlisted share, so those shares are skipped *without being
+/// touched*: no lock, no proof check, `O(affected)` instead of
+/// `O(registered)`.
+///
+/// Guarded by one mutex, last in the registry's lock hierarchy (a core
+/// lock may be held while taking it, never the reverse).
+#[derive(Debug, Default)]
+struct SubscriptionIndex {
+    entries: HashMap<u64, GuardEntry>,
+    /// Shares visited on every round: reverse kinds (every op adds,
+    /// drops, or touches a perspective), parked shares, and shares
+    /// whose proof is not derivable. Kept as a set so a lookup is
+    /// `O(always + hits)`, not `O(entries)`.
+    always: BTreeSet<u64>,
+    /// Inverted removal guard: object id → shares whose proof cannot
+    /// clear a mutation of that object.
+    by_oid: HashMap<Oid, BTreeSet<u64>>,
+    /// The spatial grid over the installed guard boxes, patched (or
+    /// rebuilt, after bulk churn) lazily at lookup time from `pending`.
+    grid: Option<GridIndex>,
+    pending: HashMap<u64, PendingBoxes>,
+    /// Every logged op at or before this epoch is accounted for: either
+    /// absorbed by its share (`valid_through` covers it) or proven safe
+    /// against the share's guard when a round's visit set was decided.
+    checked_through: u64,
+    /// Set by the sequential ablation sweep, which bypasses the index
+    /// and advances share watermarks behind its back: the next indexed
+    /// round visits everything and republishes.
+    stale: bool,
+}
+
+impl SubscriptionIndex {
+    /// Registers a share as always-visit; its first
+    /// [`SubscriptionIndex::set_guard`] publication refines it.
+    fn insert(&mut self, id: u64, share: Weak<SharedSub>) {
+        self.entries.insert(
+            id,
+            GuardEntry {
+                share,
+                valid_through: 0,
+                gbox: None,
+                oids: Vec::new(),
+            },
+        );
+        self.always.insert(id);
+    }
+
+    /// Publishes a visited share's guard (`None` = always-visit),
+    /// stamped with the core watermark it was derived at. A no-op for
+    /// unregistered ids — a sync racing an unregistration must not
+    /// resurrect the entry — and for stale stamps.
+    fn set_guard(&mut self, id: u64, guard: Option<(Aabb3, Vec<Oid>)>, valid_through: u64) {
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return;
+        };
+        if valid_through < entry.valid_through {
+            return;
+        }
+        entry.valid_through = valid_through;
+        let (new_box, new_oids) = match guard {
+            Some((b, oids)) => (Some(b), oids),
+            None => (None, Vec::new()),
+        };
+        let old_box = std::mem::replace(&mut entry.gbox, new_box);
+        let old_oids = std::mem::replace(&mut entry.oids, new_oids);
+        for oid in &old_oids {
+            if let Some(set) = self.by_oid.get_mut(oid) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_oid.remove(oid);
+                }
+            }
+        }
+        // Re-borrow: the new oids now live on the entry.
+        let entry = &self.entries[&id];
+        for oid in &entry.oids {
+            self.by_oid.entry(*oid).or_default().insert(id);
+        }
+        if new_box.is_some() {
+            self.always.remove(&id);
+        } else {
+            self.always.insert(id);
+        }
+        let staged = self.pending.entry(id).or_insert(PendingBoxes {
+            old: old_box,
+            new: None,
+        });
+        staged.new = new_box;
+    }
+
+    /// Drops an unregistered share's entry and staged grid removal.
+    fn remove(&mut self, id: u64) {
+        let Some(entry) = self.entries.remove(&id) else {
+            return;
+        };
+        for oid in &entry.oids {
+            if let Some(set) = self.by_oid.get_mut(oid) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_oid.remove(oid);
+                }
+            }
+        }
+        self.always.remove(&id);
+        let staged = self.pending.entry(id).or_insert(PendingBoxes {
+            old: entry.gbox,
+            new: None,
+        });
+        staged.new = None;
+    }
+
+    /// Brings the grid up to date with the staged guard edits: one
+    /// [`GridIndex::apply_delta`] batch normally, a full rebuild after
+    /// bulk churn (registration bursts, extent drift) or on first use.
+    fn flush_grid(&mut self) {
+        let patchable = match &self.grid {
+            Some(g) => self.pending.len() <= g.entry_count() / 4 + 16,
+            None => false,
+        };
+        if patchable {
+            let mut inserts: Vec<(Aabb3, Oid)> = Vec::new();
+            let mut removed: HashSet<Oid> = HashSet::new();
+            let mut removed_boxes: Vec<(Aabb3, Oid)> = Vec::new();
+            for (&id, staged) in &self.pending {
+                if let Some(b) = staged.old {
+                    removed.insert(Oid(id));
+                    removed_boxes.push((b, Oid(id)));
+                }
+                if let Some(b) = staged.new {
+                    inserts.push((b, Oid(id)));
+                }
+            }
+            if !inserts.is_empty() || !removed.is_empty() {
+                let g = self.grid.as_ref().expect("patchable implies a grid");
+                self.grid = Some(g.apply_delta(&inserts, &removed, &removed_boxes));
+            }
+        } else {
+            let items: Vec<(Aabb3, Oid)> = self
+                .entries
+                .iter()
+                .filter_map(|(&id, e)| e.gbox.map(|b| (b, Oid(id))))
+                .collect();
+            let target = items.len().max(16);
+            self.grid = Some(GridIndex::build(items, target));
+        }
+        self.pending.clear();
+    }
+
+    /// The ids of every share `ops` can possibly affect: spatial grid
+    /// hits of the inserted trajectories' (flattened) boxes, inverted
+    /// oid-map hits of every touched id, plus the always-visit set.
+    /// Everything else is provably safe under its published guard.
+    fn lookup(&mut self, ops: &[DeltaRecord]) -> BTreeSet<u64> {
+        self.flush_grid();
+        let grid = self.grid.as_ref().expect("flushed");
+        let mut hits: BTreeSet<u64> = self.always.clone();
+        let mut touched: BTreeSet<Oid> = BTreeSet::new();
+        for rec in ops {
+            match &rec.op {
+                DeltaOp::Insert(tr) => {
+                    touched.insert(tr.oid());
+                    let b = full_xy_box(tr.trajectory());
+                    let flat = Aabb3 {
+                        min: [b.min[0], b.min[1], 0.0],
+                        max: [b.max[0], b.max[1], 0.0],
+                    };
+                    hits.extend(grid.query_bbox(&flat).into_iter().map(|oid| oid.0));
+                }
+                DeltaOp::Remove(oid) => {
+                    touched.insert(*oid);
+                }
+            }
+        }
+        for oid in touched {
+            if let Some(ids) = self.by_oid.get(&oid) {
+                hits.extend(ids.iter().copied());
+            }
+        }
+        hits
+    }
+
+    /// Upgrades a visit set to live shares.
+    fn resolve(&self, ids: BTreeSet<u64>) -> Vec<(u64, Arc<SharedSub>)> {
+        ids.into_iter()
+            .filter_map(|id| {
+                self.entries
+                    .get(&id)
+                    .and_then(|e| e.share.upgrade())
+                    .map(|share| (id, share))
+            })
+            .collect()
+    }
+
+    /// Every live share — the visit set of a stale or truncated round.
+    fn all_shares(&self) -> Vec<(u64, Arc<SharedSub>)> {
+        self.entries
+            .iter()
+            .filter_map(|(&id, e)| e.share.upgrade().map(|share| (id, share)))
+            .collect()
+    }
+}
+
 /// The registry of standing queries attached to a store. Names live in
 /// name-hashed shards (cheap lookup/registration); the maintained
 /// computations live in the `shares` map, deduplicated by [`ShareKey`]
@@ -999,8 +1307,9 @@ type SharedOps = BTreeMap<u64, Option<Arc<(Vec<DeltaRecord>, BTreeSet<Oid>)>>>;
 /// apply their updates in commit order.
 ///
 /// Lock hierarchy (acquire left to right, release in any order): name
-/// shard → `shares` map → share core. `sync` touches only the last two,
-/// so registration bursts on one shard never stall maintenance.
+/// shard → `shares` map → share core → subscription index. `sync`
+/// touches only the last three, so registration bursts on one shard
+/// never stall maintenance.
 ///
 /// Registering a standing query, receiving its pushed delta through a
 /// [`DeltaSink`], and folding it back onto the base answer:
@@ -1061,6 +1370,15 @@ pub struct SubscriptionRegistry {
     /// Adaptive-refinement tolerance of row maintenance, stored as the
     /// `f64` bit pattern (same idiom as the store's rebuild fraction).
     row_tolerance: std::sync::atomic::AtomicU64,
+    /// The publication-style guard index the sharded sync prunes its
+    /// visit set with (see [`SubscriptionIndex`]).
+    index: Mutex<SubscriptionIndex>,
+    /// Indexed maintenance rounds run so far — the clock
+    /// `skipped_unvisited` reconciles against (see
+    /// [`ShareCore::rounds_absorbed`]).
+    sync_rounds: AtomicU64,
+    /// Share-id mint ([`SharedSub::id`]); ids are never reused.
+    next_share_id: AtomicU64,
 }
 
 impl Default for SubscriptionRegistry {
@@ -1072,6 +1390,9 @@ impl Default for SubscriptionRegistry {
             sharing: AtomicBool::new(true),
             row_samples: std::sync::atomic::AtomicU32::new(PROB_ROW_SAMPLES),
             row_tolerance: std::sync::atomic::AtomicU64::new(0),
+            index: Mutex::new(SubscriptionIndex::default()),
+            sync_rounds: AtomicU64::new(0),
+            next_share_id: AtomicU64::new(0),
         }
     }
 }
@@ -1318,10 +1639,18 @@ impl SubscriptionRegistry {
                 (Some(existing), _) => (Arc::clone(existing), false),
                 (None, Some(core)) => {
                     let share = Arc::new(SharedSub {
+                        id: self.next_share_id.fetch_add(1, Ordering::Relaxed) + 1,
                         key: key.clone(),
                         core: Mutex::new(core),
                     });
                     shares.insert(key.clone(), Arc::clone(&share));
+                    // Join the guard index as always-visit *before* any
+                    // commit can decide a visit set without us; the
+                    // catch-up below then publishes the real guard.
+                    self.index
+                        .lock()
+                        .unwrap()
+                        .insert(share.id, Arc::downgrade(&share));
                     (share, true)
                 }
                 // The share we planned to join was unregistered while we
@@ -1331,24 +1660,38 @@ impl SubscriptionRegistry {
             let mut core = share.core.lock().unwrap();
             // Commits that landed during the unlocked evaluation ran
             // their maintenance without this share (and an existing
-            // share may be mid-burst): catch up under the lock (a no-op
+            // share may be mid-burst, or the store mid-batch under a
+            // maintenance window): catch up under the lock (a no-op
             // when already current; the ladder reconciles from the
             // delta log, rebuilding if it was truncated), so the
             // installed answer is current and every later commit's
             // delta reaches the new slot.
+            let mut lazy = None;
             Self::refresh(
                 &mut core,
                 store,
-                &mut None,
+                &mut lazy,
                 store.feed_bound(),
                 true,
                 tolerance,
             );
+            self.publish_guard(
+                share.id,
+                &mut core,
+                store,
+                &mut lazy,
+                store.feed_bound(),
+                tolerance,
+            );
+            let rounds = self.sync_rounds.load(Ordering::Relaxed);
+            core.stats.skipped_unvisited += rounds.saturating_sub(core.rounds_absorbed);
+            core.rounds_absorbed = core.rounds_absorbed.max(rounds);
             if let Some(message) = core.error.clone() {
                 if core.slots.is_empty() {
                     // A share no subscriber rides must not linger.
                     drop(core);
                     shares.remove(&key);
+                    self.index.lock().unwrap().remove(share.id);
                 }
                 return Err(SubscriptionError::Evaluation(message));
             }
@@ -1371,7 +1714,7 @@ impl SubscriptionRegistry {
                 query,
                 share: Arc::clone(&share),
             };
-            let info = sub.info_from(&core);
+            let info = sub.info_from(&core, self.sync_rounds.load(Ordering::Relaxed));
             drop(core);
             map.insert(name.to_string(), sub);
             return Ok(info);
@@ -1393,6 +1736,7 @@ impl SubscriptionRegistry {
         drop(core);
         if orphaned {
             shares.remove(&sub.share.key);
+            self.index.lock().unwrap().remove(sub.share.id);
         }
         true
     }
@@ -1409,6 +1753,7 @@ impl SubscriptionRegistry {
 
     /// Every subscription's state, ascending by name.
     pub fn list(&self) -> Vec<SubscriptionInfo> {
+        let rounds = self.sync_rounds.load(Ordering::Relaxed);
         let mut out: Vec<SubscriptionInfo> = self
             .shards
             .iter()
@@ -1416,7 +1761,7 @@ impl SubscriptionRegistry {
                 s.lock()
                     .unwrap()
                     .values()
-                    .map(SubState::info)
+                    .map(|sub| sub.info(rounds))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -1426,11 +1771,12 @@ impl SubscriptionRegistry {
 
     /// The named subscription's state.
     pub fn info(&self, name: &str) -> Option<SubscriptionInfo> {
+        let rounds = self.sync_rounds.load(Ordering::Relaxed);
         self.shard_of(name)
             .lock()
             .unwrap()
             .get(name)
-            .map(SubState::info)
+            .map(|sub| sub.info(rounds))
     }
 
     /// The named subscription's current answer.
@@ -1507,7 +1853,7 @@ impl SubscriptionRegistry {
                     .expect("every registered name has a slot")
                     .sinks
                     .push(Arc::downgrade(sink));
-                sub.info_from(&core)
+                sub.info_from(&core, self.sync_rounds.load(Ordering::Relaxed))
             })
         };
         // The unknown-name hint scans every shard; build it only after
@@ -1523,39 +1869,105 @@ impl SubscriptionRegistry {
     /// Maintenance runs **once per share**, not per subscription: a
     /// thousand subscriptions on one query object/window are one
     /// skip/patch/rebuild round whose answer delta broadcasts to every
-    /// slot. The store snapshot is materialized **lazily**: a commit
-    /// whose delta every share provably skips costs only the per-share
-    /// band-bound check — no snapshot refresh, no engine work, no
-    /// thread spawned.
+    /// slot. In the default sharded mode the round first consults the
+    /// [`SubscriptionIndex`]: the commit's ops are looked up against
+    /// every share's published guard, and only the hits are visited at
+    /// all — everything else is `skipped_unvisited` without a lock, a
+    /// proof check, or any write to its core. The store snapshot is
+    /// materialized **lazily**: a commit whose delta every visited
+    /// share provably skips costs only the per-share band-bound check —
+    /// no snapshot refresh, no engine work, no thread spawned.
     pub fn sync(&self, store: &ModStore) {
-        let shares: Vec<Arc<SharedSub>> = self.shares.lock().unwrap().values().cloned().collect();
-        if shares.is_empty() {
-            return;
-        }
         let feed_cap = store.feed_bound();
         let tolerance = self.row_tolerance();
         if self.sync_mode() == SyncMode::Sequential {
             // The pre-sharding baseline: one sequential sweep, each
             // share fetching its own ops and deriving its skip proof
-            // from scratch.
+            // from scratch. Bypasses the guard index entirely.
+            let shares: Vec<Arc<SharedSub>> =
+                self.shares.lock().unwrap().values().cloned().collect();
+            if shares.is_empty() {
+                return;
+            }
+            let rounds = self.sync_rounds.load(Ordering::Relaxed);
             let mut lazy: Option<Arc<QuerySnapshot>> = None;
             for share in &shares {
                 let mut core = share.core.lock().unwrap();
+                // This sweep visits the share, so every indexed round
+                // that pruned it is now in the past: fold the tally.
+                core.stats.skipped_unvisited += rounds.saturating_sub(core.rounds_absorbed);
+                core.rounds_absorbed = core.rounds_absorbed.max(rounds);
                 Self::refresh(&mut core, store, &mut lazy, feed_cap, false, tolerance);
             }
+            // The sweep advanced watermarks (and possibly replaced
+            // engines) behind the index's back: the next indexed round
+            // must visit everything and republish the guards.
+            self.index.lock().unwrap().stale = true;
             return;
         }
         let now = store.epoch();
-        // Phase 1 — cheap pass: classify every share, sharing the ops
-        // fetch and changed-id set per watermark across all of them.
+        // Decide the visit set atomically under the index lock: the ops
+        // since the last accounted epoch either hit a published guard
+        // (visit) or are proven safe for every other share right here.
+        // `checked_through` advances in the same critical section, so a
+        // concurrent round and a concurrent guard publication always
+        // observe each other (see `publish_guard`).
+        let visit: Vec<(u64, Arc<SharedSub>)> = {
+            let mut idx = self.index.lock().unwrap();
+            if idx.entries.is_empty() {
+                return;
+            }
+            if idx.stale {
+                // A sequential sweep ran since the last indexed round:
+                // guards may be arbitrarily outdated. Visit everything
+                // and republish.
+                idx.stale = false;
+                idx.checked_through = idx.checked_through.max(now);
+                idx.all_shares()
+            } else {
+                match store.ops_since_cloned(idx.checked_through) {
+                    Some(ops) => {
+                        let ops: Vec<DeltaRecord> =
+                            ops.into_iter().filter(|r| r.epoch <= now).collect();
+                        if ops.is_empty() {
+                            idx.checked_through = idx.checked_through.max(now);
+                            return;
+                        }
+                        let hits = idx.lookup(&ops);
+                        idx.checked_through = idx.checked_through.max(now);
+                        idx.resolve(hits)
+                    }
+                    None => {
+                        // Truncated history: the log cannot prove what
+                        // happened since — every share reconciles (and
+                        // rebuilds where its own watermark is also past
+                        // the log's tail).
+                        idx.checked_through = idx.checked_through.max(now);
+                        idx.all_shares()
+                    }
+                }
+            }
+        };
+        // The round counts even when the visit set is empty — that is
+        // the best case, every share skipped unvisited.
+        let round = self.sync_rounds.fetch_add(1, Ordering::AcqRel) + 1;
+        // Phase 1 — cheap pass: classify every visited share, sharing
+        // the ops fetch and changed-id set per watermark across them.
         let mut shared: SharedOps = BTreeMap::new();
-        let mut heavy: Vec<Arc<SharedSub>> = Vec::new();
-        for share in shares {
+        let mut heavy: Vec<(u64, Arc<SharedSub>)> = Vec::new();
+        for (id, share) in visit {
             let mut core = share.core.lock().unwrap();
+            // Fold the rounds the index pruned between visits (this
+            // round's own outcome lands in skip/patch/rebuild).
+            core.stats.skipped_unvisited += (round - 1).saturating_sub(core.rounds_absorbed);
+            core.rounds_absorbed = core.rounds_absorbed.max(round);
             let done = Self::try_cheap(&mut core, store, now, &mut shared);
-            drop(core);
-            if !done {
-                heavy.push(share);
+            if done {
+                self.publish_guard(id, &mut core, store, &mut None, feed_cap, tolerance);
+                drop(core);
+            } else {
+                drop(core);
+                heavy.push((id, share));
             }
         }
         if heavy.is_empty() {
@@ -1563,20 +1975,22 @@ impl SubscriptionRegistry {
         }
         // Phase 2 — heavy pass: the affected shares re-run the full
         // ladder (the cheap classification is rechecked against any ops
-        // that raced in since). One snapshot is materialized up front
-        // and shared by every worker; shares fan out across scoped
-        // threads on multi-core hosts.
+        // that raced in since), then republish their guards. One
+        // snapshot is materialized up front and shared by every worker;
+        // shares fan out across scoped threads on multi-core hosts.
         let snapshot = store.snapshot();
-        let refresh_share = |share: &SharedSub| {
+        let refresh_share = |entry: &(u64, Arc<SharedSub>)| {
+            let (id, share) = entry;
             let mut lazy = Some(Arc::clone(&snapshot));
             let mut core = share.core.lock().unwrap();
             Self::refresh(&mut core, store, &mut lazy, feed_cap, true, tolerance);
+            self.publish_guard(*id, &mut core, store, &mut lazy, feed_cap, tolerance);
         };
         let cores = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
         if cores <= 1 || heavy.len() <= 1 {
-            heavy.iter().map(Arc::as_ref).for_each(refresh_share);
+            heavy.iter().for_each(refresh_share);
         } else {
             // Strided hand-out: lane `l` refreshes shares l, l+lanes, …
             let lanes = cores.min(heavy.len());
@@ -1596,6 +2010,55 @@ impl SubscriptionRegistry {
                     h.join().expect("subscription maintenance worker panicked");
                 }
             });
+        }
+    }
+
+    /// The guard a share's current state publishes to the index:
+    /// `None` (always-visit) while parked, reverse, or proofless;
+    /// otherwise the cached [`ForwardProof`]'s inflated corridor box
+    /// plus its guarded object ids.
+    fn guard_of(core: &mut ShareCore) -> Option<(Aabb3, Vec<Oid>)> {
+        if core.error.is_some() || core.kind == SubKind::ReverseRows {
+            return None;
+        }
+        if core.proof.is_none() {
+            let engine = core.engine.as_ref()?;
+            let query_tr = core.query_tr.as_ref()?;
+            core.proof = Some(ForwardProof::derive(engine, query_tr));
+        }
+        let proof = core.proof.as_ref().expect("just derived");
+        Some((proof.guard_box(), proof.guarded_oids().collect()))
+    }
+
+    /// Publishes a visited share's guard, closing the race with
+    /// concurrent rounds: a round that decided its visit set after this
+    /// share's previous publication proved its ops safe against the
+    /// **previous** guard, so the new guard may only be installed once
+    /// the core has absorbed everything up to the index's
+    /// `checked_through`. The check-and-install is atomic under the
+    /// index lock; when the core is behind, the lock is dropped and the
+    /// core refreshed before retrying (each retry strictly advances the
+    /// core's watermark to the then-current epoch, so the loop
+    /// terminates as soon as rounds stop racing in).
+    fn publish_guard(
+        &self,
+        id: u64,
+        core: &mut ShareCore,
+        store: &ModStore,
+        lazy: &mut Option<Arc<QuerySnapshot>>,
+        feed_cap: usize,
+        tolerance: f64,
+    ) {
+        loop {
+            let guard = Self::guard_of(core);
+            let valid_through = core.last_epoch;
+            let mut idx = self.index.lock().unwrap();
+            if core.last_epoch >= idx.checked_through {
+                idx.set_guard(id, guard, valid_through);
+                return;
+            }
+            drop(idx);
+            Self::refresh(core, store, lazy, feed_cap, true, tolerance);
         }
     }
 
@@ -1629,7 +2092,12 @@ impl SubscriptionRegistry {
             return false;
         }
         let refs: Vec<&DeltaRecord> = ops.iter().collect();
-        skip_proven(sub, &refs, changed, now, true)
+        if skip_proven(sub, &refs, changed, now, true) {
+            sub.stats.visited += 1;
+            sub.stats.batched_commits += epochs_spanned(&refs).saturating_sub(1);
+            return true;
+        }
+        false
     }
 
     /// Routes the delta since `sub.last_epoch` through the skip → patch →
@@ -1655,6 +2123,8 @@ impl SubscriptionRegistry {
                     sub.last_epoch = now;
                     return;
                 }
+                sub.stats.visited += 1;
+                sub.stats.batched_commits += epochs_spanned(&ops).saturating_sub(1);
                 let changed = changed_ids(ops.iter().copied());
                 match sub.kind {
                     SubKind::Intervals { .. } | SubKind::ForwardRows => {
@@ -1695,7 +2165,11 @@ impl SubscriptionRegistry {
                 // Truncation: the log can no longer prove what happened
                 // since the answer was computed — patching would silently
                 // miss the evicted mutations, so fall through to the full
-                // re-evaluation.
+                // re-evaluation. Epochs increment once per commit, so
+                // the watermark gap bounds the commits this rebuild
+                // coalesces.
+                sub.stats.visited += 1;
+                sub.stats.batched_commits += now.saturating_sub(sub.last_epoch + 1);
             }
         }
         let snapshot = Self::materialize(lazy, store);
@@ -2052,6 +2526,23 @@ fn levenshtein(a: &str, b: &str) -> usize {
 }
 
 /// The distinct object ids a (filtered) op sequence touches.
+/// The number of distinct commit epochs `ops` spans (ops arrive in
+/// log order, so equal epochs are adjacent). A maintenance round's
+/// `batched_commits` contribution is this minus one: the first commit
+/// of a burst is ordinary maintenance, the rest were coalesced into
+/// the same ladder pass.
+fn epochs_spanned(ops: &[&DeltaRecord]) -> u64 {
+    let mut n = 0u64;
+    let mut last = None;
+    for r in ops {
+        if last != Some(r.epoch) {
+            n += 1;
+            last = Some(r.epoch);
+        }
+    }
+    n
+}
+
 fn changed_ids<'a>(ops: impl IntoIterator<Item = &'a DeltaRecord>) -> BTreeSet<Oid> {
     ops.into_iter()
         .map(|r| match &r.op {

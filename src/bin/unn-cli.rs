@@ -48,10 +48,12 @@
 //! store feed-bound <n>        cap per-subscription change feeds (squash past it)
 //! store row-samples <n>       probe density of future row subscriptions
 //! store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
+//! store maintenance-batch <n> coalesce n commits per maintenance round
 //! sql <statement>             execute a query-language statement
 //! sub add <name> <SELECT …>   register a standing query
 //! sub drop <name>             unregister a standing query
 //! sub list                    list standing queries
+//! sub stats                   per-subscription maintenance counters
 //! sub poll <name>             drain a standing query's change feed
 //! watch <name> [polls] [ms]   drain a standing query (default 1 poll; more
 //!                             polls demo the feed cadence — the REPL is
@@ -97,10 +99,12 @@ commands:
   store feed-bound <n>        cap per-subscription change feeds (squash past it)
   store row-samples <n>       probe density of future row subscriptions
   store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
+  store maintenance-batch <n> coalesce n commits per maintenance round
   sql <statement>             execute a query-language statement
   sub add <name> <SELECT ...> register a standing query
   sub drop <name>             unregister a standing query
   sub list                    list standing queries
+  sub stats                   per-subscription maintenance counters
   sub poll <name>             drain a standing query's change feed
   watch <name> [polls] [ms]   drain a standing query (1 poll default)
   help                        this text
@@ -112,6 +116,7 @@ connected-mode commands (unn-cli connect <addr>):
   sub add <name> <SELECT ...> register a standing query (deltas are pushed here)
   sub drop <name>             unregister a standing query
   sub list                    list standing queries
+  sub stats                   per-subscription maintenance counters
   sub answer <name>           fetch a standing query's full answer + epoch
   obj put <Tr> <x0> <y0> <x1> <y1> [r]  register a straight-line object
   obj del <Tr>                unregister an object
@@ -435,6 +440,21 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     }
                     Ok(())
                 }
+                "maintenance-batch" => {
+                    let n: usize =
+                        parse(parts.next().ok_or("usage: store maintenance-batch <n>")?)?;
+                    server.store().set_maintenance_batch(n);
+                    let window = server.store().maintenance_batch();
+                    if window > 1 {
+                        println!(
+                            "maintenance coalesces every {window} commits into one round \
+                             (burst tails stay pending until the next commit or resync)"
+                        );
+                    } else {
+                        println!("maintenance runs per commit (batch window 1)");
+                    }
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
@@ -547,6 +567,45 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     );
                     for info in &subs {
                         print_subscription(info);
+                    }
+                    Ok(())
+                }
+                "stats" => {
+                    let subs = server.subscriptions();
+                    let registry = server.subscription_registry();
+                    println!(
+                        "{} subscriptions on {} shared engines, maintenance batch window {}",
+                        subs.len(),
+                        registry.share_count(),
+                        server.store().maintenance_batch()
+                    );
+                    for info in &subs {
+                        let s = &info.stats;
+                        println!(
+                            "'{}' @epoch {}: {} visited ({} skipped / {} patched / {} rebuilt), \
+                             {} skipped unvisited, {} commits batched",
+                            info.name,
+                            info.last_epoch,
+                            s.visited,
+                            s.skipped,
+                            s.patched,
+                            s.rebuilt,
+                            s.skipped_unvisited,
+                            s.batched_commits
+                        );
+                        println!(
+                            "  {} ops skipped, {} envelopes carried, {} fns reused / {} built, \
+                             {} rows patched, {} perspectives skipped, \
+                             {} columns refined / {} coarse-only",
+                            s.skipped_ops,
+                            s.envelopes_carried,
+                            s.functions_reused,
+                            s.functions_built,
+                            s.rows_patched,
+                            s.perspectives_skipped,
+                            s.columns_refined,
+                            s.columns_coarse_only
+                        );
                     }
                     Ok(())
                 }
@@ -699,7 +758,9 @@ fn dispatch_connected(client: &mut NetClient, line: &str) -> Result<(), String> 
                     format!("REGISTER CONTINUOUS {} AS {name}", stmt.trim())
                 }
                 "drop" => format!("UNREGISTER {sub_rest}"),
-                "list" => "SHOW SUBSCRIPTIONS".to_string(),
+                // Both render the full info rows — the counters travel
+                // in the wire `info` stats block.
+                "list" | "stats" => "SHOW SUBSCRIPTIONS".to_string(),
                 "answer" => {
                     let (answer, epoch) = client
                         .subscription_answer(sub_rest)
@@ -897,15 +958,18 @@ fn print_output(out: QueryOutput) {
 fn print_subscription(info: &SubscriptionInfo) {
     println!(
         "subscription '{}' @epoch {}: {} qualifying, {} pending deltas \
-         ({} skipped / {} patched / {} rebuilt, {} rows patched / {} perspectives skipped, \
+         ({} unvisited / {} skipped / {} patched / {} rebuilt, {} commits batched, \
+         {} rows patched / {} perspectives skipped, \
          {} columns refined / {} coarse-only){}",
         info.name,
         info.last_epoch,
         info.entries,
         info.pending_deltas,
+        info.stats.skipped_unvisited,
         info.stats.skipped,
         info.stats.patched,
         info.stats.rebuilt,
+        info.stats.batched_commits,
         info.stats.rows_patched,
         info.stats.perspectives_skipped,
         info.stats.columns_refined,

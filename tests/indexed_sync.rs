@@ -1,0 +1,201 @@
+//! Equivalence property of the indexed, batch-coalescing maintenance
+//! path: a server running the default guard-indexed `SyncMode::Sharded`
+//! under a commit-coalescing batch window must maintain answers
+//! **bit-identical** to a `SyncMode::Sequential` twin — the plain
+//! linear sweep kept as ground truth — across random mutation
+//! interleavings, every prefilter backend, and mixed interval/row
+//! subscription populations.
+//!
+//! The script deliberately includes the hard cases for the index:
+//! mutations far outside every guard box (pure prunes), mutations of
+//! the query objects themselves (guard republish + rebuild), and a
+//! subscription registered mid-batch on the indexed twin — its initial
+//! answer is computed while coalesced commits are still pending, so the
+//! next flush must catch it up from the delta log without replaying
+//! epochs it already saw.
+
+use proptest::prelude::*;
+use uncertain_nn::modb::subscription::SyncMode;
+use uncertain_nn::modb::PrefilterPolicy;
+use uncertain_nn::prelude::*;
+
+const WINDOW: (f64, f64) = (0.0, 60.0);
+const RADIUS: f64 = 0.5;
+
+fn make_tr(oid: u64, wps: &[(f64, f64)]) -> UncertainTrajectory {
+    let n = wps.len().max(2);
+    let step = (WINDOW.1 - WINDOW.0) / (n - 1) as f64;
+    let triples: Vec<(f64, f64, f64)> = wps
+        .iter()
+        .cycle()
+        .take(n)
+        .enumerate()
+        .map(|(k, (x, y))| (*x, *y, WINDOW.0 + k as f64 * step))
+        .collect();
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(Oid(oid), &triples).unwrap(),
+        RADIUS,
+    )
+    .unwrap()
+}
+
+/// One scripted mutation: (kind, target selector, waypoints).
+type OpSpec = (usize, usize, Vec<(f64, f64)>);
+
+fn arb_waypoints() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..50.0f64, 0.0..50.0f64), 4)
+}
+
+/// Base population, mutation script, and the index (into the script) at
+/// which the mid-batch subscription registers.
+type Script = (Vec<Vec<(f64, f64)>>, Vec<OpSpec>, usize);
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    (
+        prop::collection::vec(arb_waypoints(), 6..=10),
+        prop::collection::vec((0usize..4, 0usize..64, arb_waypoints()), 5..=10),
+        0usize..5,
+    )
+}
+
+/// Builds one twin: base population plus a mixed subscription
+/// population — interval standing queries over `Tr0` (shared-engine
+/// duplicates included) and a probability-row threshold query over
+/// `Tr1`.
+fn build_twin(policy: PrefilterPolicy, base: &[Vec<(f64, f64)>]) -> ModServer {
+    let server = ModServer::with_policy(policy);
+    // Sparse rows keep the P^WD quadrature proportionate to a property
+    // test; the equivalence property is density-independent because
+    // both twins run the same density.
+    server.subscription_registry().set_row_samples(12);
+    server
+        .register_all(
+            base.iter()
+                .enumerate()
+                .map(|(i, wps)| make_tr(i as u64, wps)),
+        )
+        .unwrap();
+    for (name, stmt) in [
+        (
+            "near",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        ),
+        (
+            // Identical shape as "near": coalesces onto the same shared
+            // engine, so the index maintains one guard for both names.
+            "near2",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        ),
+        (
+            "hot",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr1, TIME) > 0.25",
+        ),
+    ] {
+        server.subscribe(name, stmt).unwrap();
+    }
+    server
+}
+
+/// Applies one scripted op to a server. Far inserts land at y ~ 500 —
+/// provably outside every guard box, so on the indexed twin the
+/// maintenance round prunes all shares untouched.
+fn apply_op(server: &ModServer, op: &OpSpec, next_oid: &mut u64) {
+    let (kind, target, wps) = op;
+    match kind {
+        0 => {
+            server.register(make_tr(*next_oid, wps)).unwrap();
+            *next_oid += 1;
+        }
+        1 => {
+            let far = [
+                (0.0, 500.0 + *target as f64),
+                (30.0, 500.0 + *target as f64),
+            ];
+            server.register(make_tr(*next_oid, &far)).unwrap();
+            *next_oid += 1;
+        }
+        2 => {
+            let oids = server.store().oids();
+            // Keep the two query objects and a quorum alive.
+            if oids.len() > 4 {
+                let victim = oids[2 + target % (oids.len() - 2)];
+                server.store().remove(victim).unwrap();
+            }
+        }
+        _ => {
+            // Single-commit correction of a random existing object —
+            // possibly a query object, forcing a guard republish on the
+            // indexed twin mid-window.
+            let oids = server.store().oids();
+            let victim = oids[target % oids.len()];
+            let mut moved = wps.clone();
+            moved[0].0 += 1.0;
+            server.store().update(make_tr(victim.0, &moved));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The acceptance property of the maintenance index: for every
+    /// prefilter backend, an indexed twin under a batch window of 3
+    /// answers bit-identically to the sequential-sweep twin after any
+    /// mutation interleaving, including for the subscription registered
+    /// mid-batch.
+    #[test]
+    fn indexed_batched_sync_matches_sequential_sweep(script in arb_script()) {
+        let (base, ops, mid_at) = script;
+        for policy in [
+            PrefilterPolicy::Scan { epochs: 6 },
+            PrefilterPolicy::Grid { epochs: 6 },
+            PrefilterPolicy::RTree { epochs: 6 },
+        ] {
+            let indexed = build_twin(policy, &base);
+            indexed.store().set_maintenance_batch(3);
+            let sequential = build_twin(policy, &base);
+            sequential
+                .subscription_registry()
+                .set_sync_mode(SyncMode::Sequential);
+
+            let mid_at = mid_at.min(ops.len().saturating_sub(1));
+            let mut oid_a = base.len() as u64;
+            let mut oid_b = base.len() as u64;
+            for (i, op) in ops.iter().enumerate() {
+                apply_op(&indexed, op, &mut oid_a);
+                apply_op(&sequential, op, &mut oid_b);
+                if i == mid_at {
+                    // Mid-script — and, on the indexed twin, mid-batch:
+                    // the coalescing window is 3, so with high
+                    // probability commits are pending here and the new
+                    // subscription's catch-up must reconcile with them.
+                    for server in [&indexed, &sequential] {
+                        server
+                            .subscribe(
+                                "mid",
+                                "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+                                 AND PROB_NN(*, Tr1, TIME) > 0",
+                            )
+                            .unwrap();
+                    }
+                }
+            }
+            indexed.store().flush_maintenance();
+            sequential.store().flush_maintenance();
+
+            prop_assert_eq!(oid_a, oid_b);
+            for name in ["near", "near2", "hot", "mid"] {
+                let want = sequential.subscription_answer(name).unwrap();
+                let got = indexed.subscription_answer(name).unwrap();
+                prop_assert_eq!(
+                    got,
+                    want,
+                    "indexed+batched answer for '{}' diverged from the \
+                     sequential sweep under {:?}",
+                    name,
+                    policy
+                );
+            }
+        }
+    }
+}

@@ -190,7 +190,11 @@ fn pushed_deltas_fold_to_fresh_evaluation() {
     let (target, target_epoch) = server
         .subscription_answer_with_epoch("pushed")
         .expect("server-side answer");
-    assert_eq!(target_epoch, server.store().epoch());
+    // The watermark may trail the store epoch: the trailing far remove
+    // is pruned by the registry's guard index without touching the
+    // share (it used to be proof-skipped, which advanced the
+    // watermark). Resync stays sound — nothing was pushed after it.
+    assert!(target_epoch <= server.store().epoch());
     let pull_deltas = server.poll_subscription("pushed").expect("pull feed");
     let last_emitted = pull_deltas.last().expect("deltas were emitted").epoch();
     let lagged = fold_until(

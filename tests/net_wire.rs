@@ -93,6 +93,9 @@ fn arb_stats() -> impl Strategy<Value = SubscriptionStats> {
         perspectives_skipped: b ^ d,
         columns_refined: a + d,
         columns_coarse_only: b + c,
+        visited: a + b + c,
+        skipped_unvisited: d + a,
+        batched_commits: c + b,
     })
 }
 
