@@ -268,6 +268,10 @@ const REQUIRED_GROUPS: &[(&str, &[&str])] = &[
             "city_multiwriter_10k",
         ],
     ),
+    (
+        "BENCH_durability.json",
+        &["no_wal", "always", "every8", "os", "replay"],
+    ),
 ];
 
 /// Validates one report file, returning the number of benchmark entries.

@@ -34,6 +34,32 @@ pub enum DeltaOp {
     Remove(Oid),
 }
 
+/// A journaled / replicated store mutation: [`DeltaOp`] plus the
+/// whole-store wipe, which the in-memory log models as history
+/// invalidation ([`DeltaLog::invalidate`]) but a write-ahead log or a
+/// replication stream must carry explicitly. One WAL frame / one
+/// [`crate::net::wire::Frame::ReplDelta`] carries the `ReplOp`s of one
+/// commit, in commit order, under one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplOp {
+    /// A trajectory was registered (also the second half of an update).
+    Insert(Arc<UncertainTrajectory>),
+    /// The trajectory with this id was unregistered (also the first half
+    /// of an update).
+    Remove(Oid),
+    /// The whole store was wiped ([`crate::store::ModStore::clear`]).
+    Clear,
+}
+
+impl From<&DeltaOp> for ReplOp {
+    fn from(op: &DeltaOp) -> Self {
+        match op {
+            DeltaOp::Insert(tr) => ReplOp::Insert(Arc::clone(tr)),
+            DeltaOp::Remove(oid) => ReplOp::Remove(*oid),
+        }
+    }
+}
+
 /// A [`DeltaOp`] tagged with the store epoch the mutation created.
 #[derive(Debug, Clone)]
 pub struct DeltaRecord {

@@ -203,13 +203,20 @@
 //! * [`net`] — the framed TCP service layer: wire codec, multiplexed
 //!   event-loop server with encode-once push delivery, and the blocking
 //!   client;
-//! * [`persist`] — replayable text snapshots of MOD contents.
+//! * [`persist`] — replayable text snapshots of MOD contents (v2 images
+//!   carry the epoch watermark + catalog metadata);
+//! * [`durability`] — the write-ahead delta log: checksummed segment
+//!   files journaling every commit, snapshot checkpoints, crash
+//!   recovery by replay (torn tails truncated loudly), and the
+//!   replication hub fanning the same encode-once commit frames to
+//!   socket-attached follower stores (`FOLLOW` in `docs/WIRE.md`).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod catalog;
 pub mod delta;
+pub mod durability;
 pub mod index;
 pub mod instantaneous;
 pub mod net;
@@ -224,7 +231,11 @@ pub mod subscription;
 
 pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
-pub use delta::{DeltaLog, DeltaOp, DeltaRecord, ForwardProof, NetDelta};
+pub use delta::{DeltaLog, DeltaOp, DeltaRecord, ForwardProof, NetDelta, ReplOp};
+pub use durability::{
+    open_store, recover, FsyncPolicy, RecoveryReport, ReplicationHub, Wal, WalError, WalOptions,
+    WalStatus,
+};
 pub use net::{NetClient, NetError, NetServer, NetServerConfig};
 pub use plan::{PlanError, PrefilterPolicy, QueryPlan, QueryPlanner};
 pub use server::{ContinuousAnswer, ExecutionStats, ModServer, QueryOutput, ServerError};

@@ -11,11 +11,14 @@
 //! desynchronize the stream: partially received frames are kept in an
 //! internal buffer and completed by the next read.
 
+use crate::delta::ReplOp;
+use crate::server::ModServer;
 use crate::subscription::{FeedEvent, FrameCache, SubAnswer, SubDelta};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use unn_core::answer::AnswerSet;
 use unn_core::probrows::ProbRowSet;
@@ -63,6 +66,44 @@ impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
         NetError::Wire(WireError::Io(e))
     }
+}
+
+/// One replication notification received over a following connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplEvent {
+    /// One leader commit, verbatim.
+    Delta {
+        /// The commit's epoch on the leader.
+        epoch: u64,
+        /// The commit's ops.
+        ops: Vec<ReplOp>,
+    },
+    /// The leader dropped this follower's pending frames (feed
+    /// overflow or an unshippable commit); the epoch chain has a gap
+    /// and the follower must re-`FOLLOW` from its current epoch.
+    Lagged {
+        /// The leader's epoch when the overflow happened.
+        epoch: u64,
+    },
+}
+
+/// How the server answered a `FOLLOW <epoch>` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FollowStart {
+    /// The delta log reaches back to the requested epoch: every commit
+    /// after it arrives as a [`ReplEvent::Delta`] — nothing to restore.
+    Continue {
+        /// The epoch the stream continues from (the requested one).
+        epoch: u64,
+    },
+    /// The log does not reach back that far: full state at `epoch`,
+    /// to restore before applying streamed deltas.
+    Resync {
+        /// The epoch of the transferred state.
+        epoch: u64,
+        /// The complete contents, ascending by oid.
+        objects: Vec<UncertainTrajectory>,
+    },
 }
 
 /// A connected client session.
@@ -124,6 +165,8 @@ pub struct NetClient {
     next_id: u64,
     /// Pushed events received while a response was being awaited.
     buffered: VecDeque<FeedEvent>,
+    /// Replication frames received while something else was awaited.
+    buffered_repl: VecDeque<ReplEvent>,
     server_epoch: u64,
 }
 
@@ -137,6 +180,7 @@ impl NetClient {
             partial: Vec::new(),
             next_id: 1,
             buffered: VecDeque::new(),
+            buffered_repl: VecDeque::new(),
             server_epoch: 0,
         };
         write_frame(
@@ -235,31 +279,114 @@ impl NetClient {
             return Ok(Some(ev));
         }
         let deadline = timeout.map(|t| Instant::now() + t);
-        match self.recv_deadline(deadline)? {
-            None => Ok(None),
-            Some(Frame::Event {
-                subscription,
-                delta,
-                lagged,
-            }) => Ok(Some(FeedEvent {
-                subscription,
-                delta: SubDelta::Intervals(delta),
-                lagged,
-                cache: FrameCache::default(),
-            })),
-            Some(Frame::RowEvent {
-                subscription,
-                delta,
-                lagged,
-            }) => Ok(Some(FeedEvent {
-                subscription,
-                delta: SubDelta::Rows(delta),
-                lagged,
-                cache: FrameCache::default(),
-            })),
-            Some(Frame::Bye) => Err(NetError::Closed),
-            Some(other) => Err(NetError::Protocol(format!(
-                "unexpected frame while idle: {other:?}"
+        loop {
+            match self.recv_deadline(deadline)? {
+                None => return Ok(None),
+                Some(Frame::Event {
+                    subscription,
+                    delta,
+                    lagged,
+                }) => {
+                    return Ok(Some(FeedEvent {
+                        subscription,
+                        delta: SubDelta::Intervals(delta),
+                        lagged,
+                        cache: FrameCache::default(),
+                    }))
+                }
+                Some(Frame::RowEvent {
+                    subscription,
+                    delta,
+                    lagged,
+                }) => {
+                    return Ok(Some(FeedEvent {
+                        subscription,
+                        delta: SubDelta::Rows(delta),
+                        lagged,
+                        cache: FrameCache::default(),
+                    }))
+                }
+                // A following connection can interleave replication
+                // frames with pushed events; hold them for
+                // `next_replication`.
+                Some(Frame::ReplDelta { epoch, ops }) => self
+                    .buffered_repl
+                    .push_back(ReplEvent::Delta { epoch, ops }),
+                Some(Frame::ReplLagged { epoch }) => {
+                    self.buffered_repl.push_back(ReplEvent::Lagged { epoch })
+                }
+                Some(Frame::Bye) => return Err(NetError::Closed),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame while idle: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The next replication notification on a following connection: a
+    /// buffered one if any, otherwise blocks on the socket like
+    /// [`NetClient::next_event`] (`Ok(None)` on timeout). Pushed
+    /// subscription events arriving in between are buffered for
+    /// [`NetClient::next_event`].
+    pub fn next_replication(
+        &mut self,
+        timeout: Option<Duration>,
+    ) -> Result<Option<ReplEvent>, NetError> {
+        if let Some(ev) = self.buffered_repl.pop_front() {
+            return Ok(Some(ev));
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            match self.recv_deadline(deadline)? {
+                None => return Ok(None),
+                Some(Frame::ReplDelta { epoch, ops }) => {
+                    return Ok(Some(ReplEvent::Delta { epoch, ops }))
+                }
+                Some(Frame::ReplLagged { epoch }) => return Ok(Some(ReplEvent::Lagged { epoch })),
+                Some(Frame::Event {
+                    subscription,
+                    delta,
+                    lagged,
+                }) => self.buffered.push_back(FeedEvent {
+                    subscription,
+                    delta: SubDelta::Intervals(delta),
+                    lagged,
+                    cache: FrameCache::default(),
+                }),
+                Some(Frame::RowEvent {
+                    subscription,
+                    delta,
+                    lagged,
+                }) => self.buffered.push_back(FeedEvent {
+                    subscription,
+                    delta: SubDelta::Rows(delta),
+                    lagged,
+                    cache: FrameCache::default(),
+                }),
+                Some(Frame::Bye) => return Err(NetError::Closed),
+                Some(other) => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame while following: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Starts (or restarts) replication on this connection: asks the
+    /// server to stream every commit after `from_epoch`. The answer is
+    /// either a confirmation that the stream continues from there, or
+    /// a full-state resync when the leader's log no longer reaches
+    /// back that far (see [`FollowStart`]); either way, subsequent
+    /// commits arrive via [`NetClient::next_replication`].
+    pub fn follow(&mut self, from_epoch: u64) -> Result<FollowStart, NetError> {
+        match self.request(WireRequest::Follow { from_epoch })? {
+            WireOutput::FollowOk { epoch } => Ok(FollowStart::Continue { epoch }),
+            WireOutput::Resync { epoch, objects } => Ok(FollowStart::Resync { epoch, objects }),
+            other => Err(NetError::Protocol(format!(
+                "expected FollowOk or Resync, got {other:?}"
             ))),
         }
     }
@@ -271,7 +398,11 @@ impl NetClient {
         loop {
             match self.recv_blocking() {
                 Ok(Frame::Bye) => break,
-                Ok(Frame::Event { .. }) | Ok(Frame::RowEvent { .. }) => continue, // in-flight pushes
+                // In-flight pushes and replication frames.
+                Ok(Frame::Event { .. })
+                | Ok(Frame::RowEvent { .. })
+                | Ok(Frame::ReplDelta { .. })
+                | Ok(Frame::ReplLagged { .. }) => continue,
                 Ok(other) => {
                     return Err(NetError::Protocol(format!(
                         "unexpected frame during close: {other:?}"
@@ -316,6 +447,12 @@ impl NetClient {
                     lagged,
                     cache: FrameCache::default(),
                 }),
+                Frame::ReplDelta { epoch, ops } => self
+                    .buffered_repl
+                    .push_back(ReplEvent::Delta { epoch, ops }),
+                Frame::ReplLagged { epoch } => {
+                    self.buffered_repl.push_back(ReplEvent::Lagged { epoch })
+                }
                 Frame::Bye => return Err(NetError::Closed),
                 other => {
                     return Err(NetError::Protocol(format!(
@@ -385,5 +522,116 @@ impl NetClient {
         let frame = decode_payload(&self.partial[4..total])?;
         self.partial.drain(..total);
         Ok(Some(frame))
+    }
+}
+
+/// A live read replica: a [`NetClient`] following a leader plus a
+/// local [`ModServer`] mirroring it commit for commit.
+///
+/// [`Follower::connect`] bootstraps the mirror (catch-up stream or
+/// snapshot resync, the leader decides), and each [`Follower::pump`]
+/// applies the next streamed commit through
+/// [`crate::store::ModStore::apply_replicated`] — the normal commit
+/// path, so standing queries registered on [`Follower::server`] are
+/// maintained exactly as they would be on the leader, and one-shot
+/// answers at a given epoch are bit-identical to the leader's at the
+/// same epoch.
+///
+/// Lag is self-healing: on a [`ReplEvent::Lagged`] notice or an epoch
+/// gap, the follower re-`FOLLOW`s from its current epoch; the leader
+/// answers with the missing span when its log still covers it, or a
+/// snapshot resync (applied via [`crate::store::ModStore::restore`],
+/// which keeps local standing-query registrations alive) when not.
+#[derive(Debug)]
+pub struct Follower {
+    client: NetClient,
+    server: Arc<ModServer>,
+}
+
+impl Follower {
+    /// Connects to a leader and bootstraps the local mirror from
+    /// epoch 0 (catch-up when the leader's log covers its whole
+    /// history, snapshot resync otherwise).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Follower, NetError> {
+        let client = NetClient::connect(addr)?;
+        let mut follower = Follower {
+            client,
+            server: Arc::new(ModServer::new()),
+        };
+        follower.refollow(0)?;
+        Ok(follower)
+    }
+
+    /// The local mirror. Serve reads and register standing queries
+    /// here; keep calling [`Follower::pump`] to track the leader.
+    pub fn server(&self) -> &Arc<ModServer> {
+        &self.server
+    }
+
+    /// The epoch the mirror has applied up to.
+    pub fn epoch(&self) -> u64 {
+        self.server.store().epoch()
+    }
+
+    fn refollow(&mut self, from: u64) -> Result<(), NetError> {
+        match self.client.follow(from)? {
+            FollowStart::Continue { .. } => {}
+            FollowStart::Resync { epoch, objects } => {
+                self.server.store().restore(objects, epoch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes the next replication notification: applies a delta
+    /// when it is exactly the mirror's next epoch, skips catch-up
+    /// duplicates, and re-`FOLLOW`s on a gap or lag notice. Returns
+    /// `Ok(false)` when the timeout passed with nothing to process.
+    pub fn pump(&mut self, timeout: Option<Duration>) -> Result<bool, NetError> {
+        match self.client.next_replication(timeout)? {
+            None => Ok(false),
+            Some(ReplEvent::Delta { epoch, ops }) => {
+                let current = self.server.store().epoch();
+                if epoch == current + 1 {
+                    self.server.store().apply_replicated(&ops);
+                } else if epoch > current + 1 {
+                    // A gap means frames were lost (e.g. queued behind
+                    // a lag drop); restart the stream from where the
+                    // mirror actually is.
+                    self.refollow(current)?;
+                }
+                // epoch <= current: overlap between catch-up and the
+                // live feed — already applied.
+                Ok(true)
+            }
+            Some(ReplEvent::Lagged { .. }) => {
+                let current = self.server.store().epoch();
+                self.refollow(current)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Pumps until the mirror reaches `epoch` (or the deadline runs
+    /// out, a protocol error).
+    pub fn sync_to(&mut self, epoch: u64, timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        while self.epoch() < epoch {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Protocol(format!(
+                    "follower stalled at epoch {} awaiting {epoch}",
+                    self.epoch()
+                )));
+            }
+            self.pump(Some(deadline - now))?;
+        }
+        Ok(())
+    }
+
+    /// Closes the replication session; the local mirror stays usable
+    /// (frozen at its last applied epoch).
+    pub fn close(self) -> Result<(), NetError> {
+        self.client.close()
     }
 }

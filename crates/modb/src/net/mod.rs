@@ -49,12 +49,28 @@
 //! squashes — `tests/net_push.rs` drives two writer clients and a
 //! subscriber over a loopback socket and asserts exactly that, lagged
 //! resync included.
+//!
+//! ## Follower replication (wire v4)
+//!
+//! A `FOLLOW <epoch>` request turns a connection into a **follower**:
+//! the server streams every subsequent commit as a `ReplDelta` frame —
+//! the same encode-once bytes the leader's WAL journals (see
+//! [`crate::durability`]) — and the [`Follower`] driver applies them to
+//! a local [`crate::server::ModServer`] mirror that serves reads and
+//! standing-query registrations of its own. Followers that lag past
+//! the leader's feed bound (or its delta-log horizon) resync via a
+//! full snapshot, exactly like a lagged subscriber;
+//! `tests/replication.rs` asserts leader/follower answers bit-identical
+//! at equal epochs, forced resync included.
 
 pub mod client;
 pub mod poll;
 pub mod server;
 pub mod wire;
 
-pub use client::{NetClient, NetError};
+pub use client::{FollowStart, Follower, NetClient, NetError, ReplEvent};
 pub use server::{NetServer, NetServerConfig};
-pub use wire::{Frame, WireError, WireOutput, WireRequest, WIRE_VERSION};
+pub use wire::{
+    Frame, WireError, WireOutput, WireRequest, SPEC_WIRE_VERSION, TAG_REPL_DELTA, TAG_REPL_LAGGED,
+    WIRE_VERSION,
+};

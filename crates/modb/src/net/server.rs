@@ -55,6 +55,8 @@
 //! (they remain registered server-side; only the push attachment dies
 //! with the socket).
 
+use crate::delta::ReplOp;
+use crate::durability::{FollowerFeed, ReplicationHub};
 use crate::server::{ModServer, QueryOutput, ServerError};
 use crate::subscription::{DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError};
 use std::collections::{HashMap, VecDeque};
@@ -110,6 +112,10 @@ struct Shared {
     active: AtomicUsize,
     waker: Waker,
     completions: Mutex<Vec<Completion>>,
+    /// Replication fan-out: the store publishes each commit's encoded
+    /// `ReplDelta` frame here; following connections drain their feeds
+    /// on the event loop (see [`crate::durability::ReplicationHub`]).
+    hub: Arc<ReplicationHub>,
 }
 
 /// One finished worker job: the encoded `Response` frame for a
@@ -171,6 +177,8 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let hub = ReplicationHub::new();
+        server.store().attach_replication(&hub);
         let shared = Arc::new(Shared {
             server,
             config,
@@ -178,7 +186,16 @@ impl NetServer {
             active: AtomicUsize::new(0),
             waker: Waker::new()?,
             completions: Mutex::new(Vec::new()),
+            hub,
         });
+        // Publishes nudge the event loop like outbox pushes do. Weak,
+        // or the hub ↔ shared cycle would leak the event-loop state.
+        let wake_shared = Arc::downgrade(&shared);
+        shared.hub.set_wake_hook(Arc::new(move || {
+            if let Some(s) = wake_shared.upgrade() {
+                s.waker.wake();
+            }
+        }));
         let loop_shared = Arc::clone(&shared);
         let event_loop = std::thread::Builder::new()
             .name("unn-net-loop".to_string())
@@ -244,6 +261,10 @@ struct Conn {
     /// Earliest instant the next outbox event may be delivered
     /// (`event_pacing` gate).
     next_push: Instant,
+    /// Set by a `FOLLOW` request: this connection is a follower, and
+    /// the event loop drains the feed's pre-encoded `ReplDelta` frames
+    /// into its write queue.
+    repl: Option<Arc<FollowerFeed>>,
 }
 
 impl Conn {
@@ -285,7 +306,7 @@ fn event_loop(listener: TcpListener, shared: Arc<Shared>) {
             }
         }
         for (token, conn) in conns.iter_mut() {
-            if !pump_outbox(conn, now, pacing) || !pump_socket_write(conn) {
+            if !pump_outbox(conn, now, pacing) || !pump_follower(conn) || !pump_socket_write(conn) {
                 conn.closing = true;
             }
             if conn.closing && conn.out.is_empty() {
@@ -435,6 +456,7 @@ fn accept_ready(
                 handshaken: false,
                 closing: false,
                 next_push: Instant::now() + pacing,
+                repl: None,
             },
         );
         shared.active.fetch_add(1, Ordering::SeqCst);
@@ -604,6 +626,15 @@ fn on_frame(
         };
     }
     match frame {
+        // FOLLOW runs inline on the event loop, not on a worker: the
+        // feed must attach *before* the catch-up read so the two spans
+        // (catch-up from the log, live frames from the feed) overlap
+        // rather than gap — the follower dedupes the overlap by only
+        // applying epoch `current + 1`.
+        Frame::Request {
+            id,
+            body: WireRequest::Follow { from_epoch },
+        } => handle_follow(conn, id, from_epoch, shared),
         Frame::Request { id, body } => {
             let job = Job {
                 token,
@@ -623,6 +654,92 @@ fn on_frame(
         }
         _ => Err(()),
     }
+}
+
+/// Answers a `FOLLOW <epoch>` request and turns the connection into a
+/// follower.
+///
+/// The feed is registered on the hub **first**; only then is the delta
+/// log (or a snapshot) read. Any commit racing in between lands in
+/// both the catch-up and the feed, and the follower applies each epoch
+/// exactly once, so the union is gapless and the overlap harmless.
+/// When the log no longer reaches back to `from_epoch` (overflow,
+/// `clear`, or a fresh follower at epoch 0 against a non-empty log
+/// floor), the reply is a full-state `Resync` instead; the live feed
+/// picks up from the snapshot's epoch.
+fn handle_follow(
+    conn: &mut Conn,
+    id: u64,
+    from_epoch: u64,
+    shared: &Arc<Shared>,
+) -> Result<(), ()> {
+    let store = shared.server.store();
+    let feed = shared.hub.register(shared.config.outbox_capacity);
+    conn.repl = Some(feed);
+    match store.ops_since_cloned(from_epoch) {
+        Some(records) => {
+            conn.queue_frame(&Frame::Response {
+                id,
+                result: Ok(WireOutput::FollowOk { epoch: from_epoch }),
+            })?;
+            // One ReplDelta frame per commit: group the log's
+            // per-op records by epoch.
+            let mut current: Option<(u64, Vec<ReplOp>)> = None;
+            for record in records {
+                match &mut current {
+                    Some((epoch, ops)) if *epoch == record.epoch => {
+                        ops.push(ReplOp::from(&record.op));
+                    }
+                    _ => {
+                        if let Some((epoch, ops)) = current.take() {
+                            conn.queue_frame(&Frame::ReplDelta { epoch, ops })?;
+                        }
+                        current = Some((record.epoch, vec![ReplOp::from(&record.op)]));
+                    }
+                }
+            }
+            if let Some((epoch, ops)) = current.take() {
+                conn.queue_frame(&Frame::ReplDelta { epoch, ops })?;
+            }
+            Ok(())
+        }
+        None => {
+            let snap = store.snapshot();
+            conn.queue_frame(&Frame::Response {
+                id,
+                result: Ok(WireOutput::Resync {
+                    epoch: snap.epoch(),
+                    objects: snap.to_vec(),
+                }),
+            })
+        }
+    }
+}
+
+/// Drains a follower's feed of pre-encoded `ReplDelta` frames into the
+/// write queue, up to the byte watermark, surfacing one `ReplLagged`
+/// notice per overflow. Returns `false` when the notice failed to
+/// encode (never in practice; mirrors the other pumps' contract).
+fn pump_follower(conn: &mut Conn) -> bool {
+    let Some(feed) = &conn.repl else {
+        return true;
+    };
+    if conn.closing {
+        return true;
+    }
+    let feed = Arc::clone(feed);
+    if let Some(epoch) = feed.take_lagged() {
+        if conn.queue_frame(&Frame::ReplLagged { epoch }).is_err() {
+            return false;
+        }
+    }
+    while conn.out_bytes < OUT_HIGH_WATERMARK {
+        match feed.try_recv() {
+            Some(bytes) => conn.queue_bytes(bytes),
+            None => break,
+        }
+    }
+    true
 }
 
 /// The poll timeout: infinite unless some connection has outbox events
@@ -708,6 +825,9 @@ fn handle_request(
                 })
                 .ok_or_else(|| format!("no subscription named '{name}'"))
         }
+        // Intercepted by `on_frame` before dispatch; unreachable via a
+        // conforming client, but the match stays exhaustive.
+        WireRequest::Follow { .. } => Err("FOLLOW is handled on the event loop".to_string()),
     }
 }
 

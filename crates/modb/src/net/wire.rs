@@ -38,6 +38,7 @@
 //! Round-trip coverage for every frame type lives in
 //! `tests/net_wire.rs` (property-style) and the unit tests below.
 
+use crate::delta::ReplOp;
 use crate::subscription::{SubscriptionInfo, SubscriptionStats};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -57,8 +58,19 @@ pub const WIRE_MAGIC: u32 = 0x554E_4E31;
 /// and [`WireOutput::RowAnswer`]) pushed for threshold / reverse
 /// standing queries. Version 3 extended the subscription-info stats
 /// block with the maintenance-index counters (`visited`,
-/// `skipped_unvisited`, `batched_commits`).
-pub const WIRE_VERSION: u16 = 3;
+/// `skipped_unvisited`, `batched_commits`). Version 4 added follower
+/// replication: the [`WireRequest::Follow`] exchange, its
+/// [`WireOutput::FollowOk`] / [`WireOutput::Resync`] outputs, and the
+/// pushed [`Frame::ReplDelta`] / [`Frame::ReplLagged`] stream.
+pub const WIRE_VERSION: u16 = 4;
+
+/// The protocol version the spec fixtures pin: the constants table in
+/// `docs/WIRE.md` and the version-sanity unit test both derive from
+/// this single literal, so the next protocol bump edits exactly this
+/// constant, [`WIRE_VERSION`], and the docs row — nothing else. Kept
+/// deliberately separate from [`WIRE_VERSION`] so a bump is an explicit
+/// two-line act, never an accident.
+pub const SPEC_WIRE_VERSION: u16 = 4;
 
 /// Upper bound on one frame's payload (a defense against hostile or
 /// corrupt length prefixes, not a practical limit — a 64 MiB answer
@@ -80,6 +92,10 @@ pub const TAG_EVENT: u8 = 5;
 pub const TAG_BYE: u8 = 6;
 /// Frame tag for [`Frame::RowEvent`] (probability-row push).
 pub const TAG_ROW_EVENT: u8 = 7;
+/// Frame tag for [`Frame::ReplDelta`] (replicated commit push).
+pub const TAG_REPL_DELTA: u8 = 8;
+/// Frame tag for [`Frame::ReplLagged`] (follower fell behind notice).
+pub const TAG_REPL_LAGGED: u8 = 9;
 
 /// Errors raised while encoding, decoding, or transporting frames.
 #[derive(Debug)]
@@ -131,6 +147,17 @@ pub enum WireRequest {
     /// Fetch a subscription's full maintained answer with its epoch (the
     /// resync a `lagged` push stream recovers from).
     SubscriptionAnswer(String),
+    /// Attach this connection as a replication follower whose store is
+    /// current at `from_epoch`. The server answers
+    /// [`WireOutput::FollowOk`] when its delta history still covers
+    /// `from_epoch` (every later commit then arrives as a
+    /// [`Frame::ReplDelta`]), or [`WireOutput::Resync`] with a full
+    /// snapshot when the follower lags past the retained horizon —
+    /// snapshot-then-replay, exactly like a lagged subscriber.
+    Follow {
+        /// The follower's current store epoch (`0` for a cold start).
+        from_epoch: u64,
+    },
 }
 
 /// A successful response body.
@@ -165,6 +192,24 @@ pub enum WireOutput {
         epoch: u64,
         /// The maintained probability rows.
         rows: ProbRowSet,
+    },
+    /// [`WireRequest::Follow`] accepted at the follower's own epoch: the
+    /// delta history covers it, and every commit after `epoch` streams
+    /// as a [`Frame::ReplDelta`].
+    FollowOk {
+        /// The epoch the stream continues from (the follower's
+        /// `from_epoch`, echoed).
+        epoch: u64,
+    },
+    /// [`WireRequest::Follow`] answered with a full store snapshot: the
+    /// follower's epoch predates the retained delta horizon, so it must
+    /// replace its contents wholesale and fold the streamed deltas on
+    /// top (snapshot-then-replay).
+    Resync {
+        /// The store epoch the snapshot is current at.
+        epoch: u64,
+        /// Every stored trajectory, ascending by id, bit-exact.
+        objects: Vec<UncertainTrajectory>,
     },
 }
 
@@ -222,6 +267,26 @@ pub enum Frame {
         delta: ProbRowDelta,
         /// `true` when backpressure squashed older deltas into this one.
         lagged: bool,
+    },
+    /// One replicated commit, pushed to following connections
+    /// (server → client, unsolicited). The body after the tag byte is
+    /// byte-identical to the WAL record payload of the same commit
+    /// ([`crate::durability`]): `epoch:u64le count:u32le op*` — encoded
+    /// once per commit and fanned out as shared bytes.
+    ReplDelta {
+        /// The store epoch this commit created.
+        epoch: u64,
+        /// The commit's mutations, in commit order.
+        ops: Vec<ReplOp>,
+    },
+    /// The follower's replication outbox overflowed and older
+    /// [`Frame::ReplDelta`]s were dropped (server → client,
+    /// unsolicited). Deltas cannot be squashed like answer deltas —
+    /// a gap breaks the epoch chain — so the follower must re-issue
+    /// [`WireRequest::Follow`] at its current epoch.
+    ReplLagged {
+        /// The leader's epoch when the overflow happened.
+        epoch: u64,
     },
 }
 
@@ -389,6 +454,41 @@ fn put_trajectory(buf: &mut Vec<u8>, tr: &UncertainTrajectory) {
     }
 }
 
+/// Serializes one commit's replication body: `epoch:u64le count:u32le`
+/// then each op (`0` + trajectory, `1` + oid, `2` for a whole-store
+/// clear). This exact byte sequence is **shared verbatim** between the
+/// WAL record payload ([`crate::durability`]) and the body of a
+/// [`Frame::ReplDelta`] after its tag byte — one encoding, checked by
+/// one checksum on disk and one frame length on the wire — so replayed
+/// and replicated commits are bit-identical by construction.
+pub(crate) fn encode_commit_body(buf: &mut Vec<u8>, epoch: u64, ops: &[ReplOp]) {
+    put_u64(buf, epoch);
+    put_u32(buf, ops.len() as u32);
+    for op in ops {
+        match op {
+            ReplOp::Insert(tr) => {
+                put_u8(buf, 0);
+                put_trajectory(buf, tr);
+            }
+            ReplOp::Remove(oid) => {
+                put_u8(buf, 1);
+                put_u64(buf, oid.0);
+            }
+            ReplOp::Clear => put_u8(buf, 2),
+        }
+    }
+}
+
+/// Decodes one commit's replication body (the exact inverse of
+/// [`encode_commit_body`]), rejecting trailing bytes — the shape WAL
+/// replay reads after verifying the record checksum.
+pub(crate) fn decode_commit_body(payload: &[u8]) -> Result<(u64, Vec<ReplOp>), WireError> {
+    let mut c = Cursor::new(payload);
+    let out = c.commit_body()?;
+    c.finish()?;
+    Ok(out)
+}
+
 /// Serializes one frame's payload (tag + body, no length prefix).
 pub fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -426,6 +526,10 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                 WireRequest::SubscriptionAnswer(name) => {
                     put_u8(&mut buf, 4);
                     put_str(&mut buf, name);
+                }
+                WireRequest::Follow { from_epoch } => {
+                    put_u8(&mut buf, 5);
+                    put_u64(&mut buf, *from_epoch);
                 }
             }
         }
@@ -478,6 +582,18 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                             put_u64(&mut buf, *epoch);
                             put_prob_rows(&mut buf, rows);
                         }
+                        WireOutput::FollowOk { epoch } => {
+                            put_u8(&mut buf, 8);
+                            put_u64(&mut buf, *epoch);
+                        }
+                        WireOutput::Resync { epoch, objects } => {
+                            put_u8(&mut buf, 9);
+                            put_u64(&mut buf, *epoch);
+                            put_u32(&mut buf, objects.len() as u32);
+                            for tr in objects {
+                                put_trajectory(&mut buf, tr);
+                            }
+                        }
                     }
                 }
             }
@@ -502,6 +618,14 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_str(&mut buf, subscription);
             put_u8(&mut buf, *lagged as u8);
             put_row_delta(&mut buf, delta);
+        }
+        Frame::ReplDelta { epoch, ops } => {
+            put_u8(&mut buf, TAG_REPL_DELTA);
+            encode_commit_body(&mut buf, *epoch, ops);
+        }
+        Frame::ReplLagged { epoch } => {
+            put_u8(&mut buf, TAG_REPL_LAGGED);
+            put_u64(&mut buf, *epoch);
         }
     }
     buf
@@ -818,6 +942,22 @@ impl<'a> Cursor<'a> {
             .map_err(|e| WireError::Format(format!("invalid uncertainty for {oid}: {e}")))
     }
 
+    /// One commit's replication body (see [`encode_commit_body`]).
+    fn commit_body(&mut self) -> Result<(u64, Vec<ReplOp>), WireError> {
+        let epoch = self.u64()?;
+        let n = self.count(1)?;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            ops.push(match self.u8()? {
+                0 => ReplOp::Insert(Arc::new(self.trajectory()?)),
+                1 => ReplOp::Remove(Oid(self.u64()?)),
+                2 => ReplOp::Clear,
+                t => return Err(self.bad(&format!("unknown replication op tag {t}"))),
+            });
+        }
+        Ok((epoch, ops))
+    }
+
     fn finish(&self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::Format(format!(
@@ -852,6 +992,9 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 2 => WireRequest::Update(c.trajectory()?),
                 3 => WireRequest::Remove(Oid(c.u64()?)),
                 4 => WireRequest::SubscriptionAnswer(c.str()?),
+                5 => WireRequest::Follow {
+                    from_epoch: c.u64()?,
+                },
                 t => return Err(c.bad(&format!("unknown request tag {t}"))),
             };
             Frame::Request { id, body }
@@ -889,6 +1032,26 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                         epoch: c.u64()?,
                         rows: c.prob_rows()?,
                     },
+                    8 => WireOutput::FollowOk { epoch: c.u64()? },
+                    9 => {
+                        let epoch = c.u64()?;
+                        let n = c.count(1)?;
+                        let mut objects = Vec::with_capacity(n);
+                        let mut prev: Option<Oid> = None;
+                        for _ in 0..n {
+                            let tr = c.trajectory()?;
+                            // Ascending ids make the payload canonical:
+                            // a resync is the follower's new ground
+                            // truth, so it must be bit-comparable to a
+                            // snapshot dump.
+                            if prev.map(|p| tr.oid() <= p).unwrap_or(false) {
+                                return Err(c.bad("resync objects not ascending"));
+                            }
+                            prev = Some(tr.oid());
+                            objects.push(tr);
+                        }
+                        WireOutput::Resync { epoch, objects }
+                    }
                     t => return Err(c.bad(&format!("unknown output tag {t}"))),
                 }),
                 t => return Err(c.bad(&format!("invalid result flag {t}"))),
@@ -906,6 +1069,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             lagged: c.u8()? != 0,
             delta: c.row_delta()?,
         },
+        TAG_REPL_DELTA => {
+            let (epoch, ops) = c.commit_body()?;
+            Frame::ReplDelta { epoch, ops }
+        }
+        TAG_REPL_LAGGED => Frame::ReplLagged { epoch: c.u64()? },
         t => return Err(c.bad(&format!("unknown frame tag {t}"))),
     };
     c.finish()?;
@@ -1074,7 +1242,92 @@ mod tests {
     #[test]
     fn version_constants_are_sane() {
         assert_eq!(&WIRE_MAGIC.to_be_bytes(), b"UNN1");
-        assert_eq!(WIRE_VERSION, 3, "bump deliberately with the frame bodies");
+        assert_eq!(
+            WIRE_VERSION, SPEC_WIRE_VERSION,
+            "bump deliberately with the frame bodies: edit SPEC_WIRE_VERSION \
+             alongside WIRE_VERSION and the docs/WIRE.md constants row"
+        );
+    }
+
+    #[test]
+    fn replication_frames_round_trip() {
+        let tr = UncertainTrajectory::new(
+            Trajectory::from_triples(Oid(4), &[(0.5, 1.5, 0.0), (2.0, 3.0, 5.0)]).unwrap(),
+            0.75,
+            PdfKind::TruncatedGaussian {
+                radius: 0.75,
+                sigma: 0.3,
+            },
+        )
+        .unwrap();
+        round_trip(Frame::Request {
+            id: 3,
+            body: WireRequest::Follow { from_epoch: 41 },
+        });
+        round_trip(Frame::Response {
+            id: 3,
+            result: Ok(WireOutput::FollowOk { epoch: 41 }),
+        });
+        round_trip(Frame::Response {
+            id: 4,
+            result: Ok(WireOutput::Resync {
+                epoch: 99,
+                objects: vec![tr.clone()],
+            }),
+        });
+        round_trip(Frame::ReplDelta {
+            epoch: 42,
+            ops: vec![
+                ReplOp::Remove(Oid(4)),
+                ReplOp::Insert(Arc::new(tr)),
+                ReplOp::Clear,
+            ],
+        });
+        round_trip(Frame::ReplDelta {
+            epoch: 1,
+            ops: Vec::new(),
+        });
+        round_trip(Frame::ReplLagged { epoch: 7 });
+    }
+
+    #[test]
+    fn repl_delta_body_matches_commit_body_bytes() {
+        // The frame payload after the tag byte IS the WAL record
+        // payload: one encoding shared by disk and wire.
+        let ops = vec![ReplOp::Remove(Oid(9)), ReplOp::Clear];
+        let frame = encode_payload(&Frame::ReplDelta {
+            epoch: 12,
+            ops: ops.clone(),
+        });
+        let mut body = Vec::new();
+        encode_commit_body(&mut body, 12, &ops);
+        assert_eq!(&frame[1..], &body[..]);
+        assert_eq!(decode_commit_body(&body).unwrap(), (12, ops));
+        // Trailing bytes after a complete body are refused.
+        body.push(0);
+        assert!(decode_commit_body(&body).is_err());
+    }
+
+    #[test]
+    fn resync_objects_must_ascend() {
+        let tr = |oid: u64| {
+            UncertainTrajectory::with_uniform_pdf(
+                Trajectory::from_triples(Oid(oid), &[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap(),
+                0.5,
+            )
+            .unwrap()
+        };
+        let payload = encode_payload(&Frame::Response {
+            id: 1,
+            result: Ok(WireOutput::Resync {
+                epoch: 5,
+                objects: vec![tr(9), tr(2)],
+            }),
+        });
+        assert!(matches!(
+            decode_payload(&payload),
+            Err(WireError::Format(_))
+        ));
     }
 
     fn sample_rows() -> ProbRowSet {

@@ -203,6 +203,24 @@ impl ModServer {
         }
     }
 
+    /// A server wrapping an existing store — the recovery and follower
+    /// entry point ([`crate::durability::recover`] hands back a
+    /// populated store; a follower applies replicated commits to one).
+    /// The engine cache and subscription registry are attached exactly
+    /// as [`ModServer::default`] does.
+    pub fn with_store(store: ModStore) -> Self {
+        let cache = Arc::new(EngineCache::with_capacity(128));
+        store.attach_cache(&cache);
+        let subscriptions = Arc::new(SubscriptionRegistry::new());
+        store.attach_subscriptions(&subscriptions);
+        ModServer {
+            store,
+            planner: QueryPlanner::default(),
+            cache,
+            subscriptions,
+        }
+    }
+
     /// The underlying store.
     pub fn store(&self) -> &ModStore {
         &self.store

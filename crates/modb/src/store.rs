@@ -15,12 +15,14 @@
 //! survive a mutation (see [`crate::delta`]).
 
 use crate::cache::EngineCache;
-use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta};
+use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, NetDelta, ReplOp};
+use crate::durability::{repl_frame_bytes, ReplicationHub, Wal, WalStatus};
+use crate::net::wire::encode_commit_body;
 use crate::snapshot::QuerySnapshot;
 use crate::subscription::SubscriptionRegistry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use unn_prob::pdf::{PdfKind, RadialPdf};
 use unn_prob::profile::ProfiledPdf;
@@ -88,6 +90,15 @@ struct Shard {
     /// Values are `Arc`-shared with the delta log, so mutations never
     /// deep-copy a trajectory.
     map: RwLock<BTreeMap<Oid, Arc<UncertainTrajectory>>>,
+}
+
+/// Where committed deltas are journaled beyond the in-memory log: the
+/// durable WAL and/or replication hubs fanning frames to followers
+/// (see [`crate::durability`]).
+#[derive(Debug, Default)]
+struct JournalSinks {
+    wal: Option<Arc<Wal>>,
+    hubs: Vec<Weak<ReplicationHub>>,
 }
 
 /// A convolved **difference** pdf together with its profiled evaluation
@@ -158,6 +169,13 @@ pub struct ModStore {
     /// functions of the kind (independent of the stored data), so the
     /// cache survives mutations and [`ModStore::clear`].
     pdf_cache: Mutex<HashMap<PdfKey, DifferenceModel>>,
+    /// Durable/replicated journal sinks (see [`ModStore::attach_wal`]
+    /// and [`ModStore::attach_replication`]).
+    journal: Mutex<JournalSinks>,
+    /// Fast-path flag: `true` once any journal sink is attached, so the
+    /// commit hot path skips the journal lock entirely when durability
+    /// and replication are off.
+    journal_active: AtomicBool,
 }
 
 impl Default for ModStore {
@@ -188,6 +206,8 @@ impl ModStore {
             caches: Mutex::new(Vec::new()),
             subscriptions: Mutex::new(Vec::new()),
             pdf_cache: Mutex::new(HashMap::new()),
+            journal: Mutex::new(JournalSinks::default()),
+            journal_active: AtomicBool::new(false),
         }
     }
 
@@ -219,23 +239,67 @@ impl ModStore {
         self.shards.len()
     }
 
-    fn shard_of(&self, oid: Oid) -> &Shard {
+    fn shard_index(&self, oid: Oid) -> usize {
         // Fibonacci hashing spreads dense id ranges evenly.
         let h = (oid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
-        &self.shards[h % self.shards.len()]
+        h % self.shards.len()
+    }
+
+    fn shard_of(&self, oid: Oid) -> &Shard {
+        &self.shards[self.shard_index(oid)]
     }
 
     /// Appends `ops` to the delta log under one new epoch, returning it.
     /// Must be called while holding the write lock of every mutated
     /// shard, so snapshot builders (which hold all read locks) never see
     /// a half-committed mutation.
+    ///
+    /// With a journal sink attached, the commit is also encoded once
+    /// (the wire body) and handed to the WAL and any replication hub
+    /// *inside* the delta lock, so journaled records land in strict
+    /// epoch order.
     fn commit(&self, ops: impl IntoIterator<Item = DeltaOp>) -> u64 {
+        let ops: Vec<DeltaOp> = ops.into_iter().collect();
         let mut log = self.delta.lock().unwrap();
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.journal_active.load(Ordering::Acquire) {
+            let repl: Vec<ReplOp> = ops.iter().map(ReplOp::from).collect();
+            self.journal_ops(epoch, &repl);
+        }
         for op in ops {
             log.record(epoch, op);
         }
         epoch
+    }
+
+    /// Encodes one commit body and fans it out to the attached journal
+    /// sinks. WAL append failures are absorbed into the WAL's status
+    /// counters (`store wal-status`); a commit cannot fail after the
+    /// in-memory mutation is already visible.
+    fn journal_ops(&self, epoch: u64, ops: &[ReplOp]) {
+        let journal = self.journal.lock().unwrap();
+        let hubs: Vec<Arc<ReplicationHub>> = journal
+            .hubs
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|h| h.has_followers())
+            .collect();
+        if journal.wal.is_none() && hubs.is_empty() {
+            return;
+        }
+        let mut body = Vec::new();
+        encode_commit_body(&mut body, epoch, ops);
+        if let Some(wal) = &journal.wal {
+            wal.append_quiet(epoch, &body);
+        }
+        if !hubs.is_empty() {
+            // `None` (an over-bound frame) marks every follower lagged;
+            // they resync via snapshot instead of a gapped stream.
+            let frame = repl_frame_bytes(&body);
+            for hub in hubs {
+                hub.publish(epoch, frame.as_ref());
+            }
+        }
     }
 
     /// Inserts a trajectory; fails on duplicate ids.
@@ -439,8 +503,13 @@ impl ModStore {
         {
             // A whole-store wipe is not representable as per-object ops;
             // mark history incomplete so nothing delta-applies across it.
+            // The journal *can* represent it ([`ReplOp::Clear`]), so the
+            // WAL and followers see the wipe as a normal commit.
             let mut log = self.delta.lock().unwrap();
             let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+            if self.journal_active.load(Ordering::Acquire) {
+                self.journal_ops(epoch, &[ReplOp::Clear]);
+            }
             log.invalidate(epoch);
         }
         *self.cached.write().unwrap() = None;
@@ -477,6 +546,11 @@ impl ModStore {
     /// registry. Must be called with **no shard lock held**: maintenance
     /// takes snapshots (all shard read locks) and reads the delta log.
     fn notify_subscriptions(&self) {
+        // Durability housekeeping first (and on *every* commit, not just
+        // batch-window boundaries): the checkpoint cadence check is one
+        // counter read, and an actual checkpoint takes a snapshot — legal
+        // here precisely because the committer's shard locks are gone.
+        self.tick_durability();
         let window = self.maintenance_batch();
         if window > 1 {
             // Coalescing is free for correctness: each share's ladder
@@ -605,6 +679,120 @@ impl ModStore {
     /// engine carries, subscriptions — onto their full-rebuild paths.
     pub fn set_delta_log_capacity(&self, capacity: usize) {
         self.delta.lock().unwrap().set_capacity(capacity);
+    }
+
+    /// Attaches a write-ahead log: every subsequent commit (including
+    /// [`ModStore::clear`]) is appended durably in epoch order, and the
+    /// WAL's checkpoint cadence is driven from the commit path. Attach
+    /// *after* recovery ([`crate::durability::recover`]) so replayed
+    /// commits are not re-journaled.
+    pub fn attach_wal(&self, wal: &Arc<Wal>) {
+        self.journal.lock().unwrap().wal = Some(Arc::clone(wal));
+        self.journal_active.store(true, Ordering::Release);
+    }
+
+    /// Attaches a replication hub: every subsequent commit is encoded
+    /// once and fanned out to the hub's follower feeds (see
+    /// [`crate::durability::ReplicationHub`]). The network server
+    /// attaches its hub at bind time.
+    pub fn attach_replication(&self, hub: &Arc<ReplicationHub>) {
+        self.journal.lock().unwrap().hubs.push(Arc::downgrade(hub));
+        self.journal_active.store(true, Ordering::Release);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<Arc<Wal>> {
+        self.journal.lock().unwrap().wal.clone()
+    }
+
+    /// Counters of the attached WAL (`None` when running without one) —
+    /// the CLI's `store wal-status` view.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        self.wal().map(|w| w.status())
+    }
+
+    /// Runs the attached WAL's checkpoint-cadence check. Called after
+    /// every commit once the committer's shard locks are dropped (a due
+    /// checkpoint takes a store snapshot, i.e. every shard read lock).
+    fn tick_durability(&self) {
+        if !self.journal_active.load(Ordering::Acquire) {
+            return;
+        }
+        let wal = self.journal.lock().unwrap().wal.clone();
+        if let Some(wal) = wal {
+            wal.maybe_checkpoint(self);
+        }
+    }
+
+    /// Applies one replicated (or WAL-replayed) commit verbatim and
+    /// returns its epoch. Inserts are upserts and removes tolerate
+    /// absence — the ops already happened on the leader, so this side
+    /// mirrors rather than validates. Runs the normal commit path
+    /// (delta log, subscription maintenance), so a follower's standing
+    /// queries are maintained exactly like the leader's.
+    pub fn apply_replicated(&self, ops: &[ReplOp]) -> u64 {
+        if ops.iter().any(|op| matches!(op, ReplOp::Clear)) {
+            // A wipe commit is journaled alone; mirror it through the
+            // full clear path (caches, cached snapshot, log floor).
+            self.clear();
+            return self.epoch();
+        }
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.map.write().unwrap()).collect();
+        let mut delta_ops = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                ReplOp::Insert(tr) => {
+                    guards[self.shard_index(tr.oid())].insert(tr.oid(), Arc::clone(tr));
+                    delta_ops.push(DeltaOp::Insert(Arc::clone(tr)));
+                }
+                ReplOp::Remove(oid) => {
+                    guards[self.shard_index(*oid)].remove(oid);
+                    delta_ops.push(DeltaOp::Remove(*oid));
+                }
+                ReplOp::Clear => unreachable!("handled above"),
+            }
+        }
+        let epoch = self.commit(delta_ops);
+        drop(guards);
+        self.notify_subscriptions();
+        epoch
+    }
+
+    /// Replaces the entire contents and jumps the epoch to `epoch` in
+    /// one step — the bootstrap primitive shared by crash recovery
+    /// (loading a checkpoint image) and follower snapshot-resync.
+    /// History is marked incomplete at the new epoch (like
+    /// [`ModStore::clear`]) and attached caches are dropped, but
+    /// attached subscription registries survive: their standing queries
+    /// rebuild against the restored contents in the maintenance round
+    /// this triggers. Not journaled — a restore re-establishes state
+    /// that is already durable elsewhere.
+    pub fn restore(&self, objects: Vec<UncertainTrajectory>, epoch: u64) {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.map.write().unwrap()).collect();
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        for tr in objects {
+            let tr = Arc::new(tr);
+            guards[self.shard_index(tr.oid())].insert(tr.oid(), tr);
+        }
+        {
+            let mut log = self.delta.lock().unwrap();
+            self.epoch.store(epoch, Ordering::Release);
+            log.invalidate(epoch);
+        }
+        *self.cached.write().unwrap() = None;
+        drop(guards);
+        let mut caches = self.caches.lock().unwrap();
+        caches.retain(|w| match w.upgrade() {
+            Some(cache) => {
+                cache.clear();
+                true
+            }
+            None => false,
+        });
+        drop(caches);
+        self.notify_subscriptions();
     }
 
     /// Owned copies of the delta records newer than `base` (`None` when

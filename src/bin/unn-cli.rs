@@ -9,10 +9,19 @@
 //!
 //! ## Serve and connected modes
 //!
-//! `unn-cli serve <addr> [--gen <n> <seed> <radius>]` binds a
-//! `NetServer` on `addr` (port 0 picks an ephemeral port, printed on
-//! startup) over a fresh MOD — optionally pre-populated with the §5
-//! workload — and serves until stdin closes or reads `quit`.
+//! `unn-cli serve <addr> [--gen <n> <seed> <radius>] [--wal <dir>
+//! [--fsync <policy>]]` binds a `NetServer` on `addr` (port 0 picks an
+//! ephemeral port, printed on startup) over a fresh MOD — optionally
+//! pre-populated with the §5 workload — and serves until stdin closes
+//! or reads `quit`. With `--wal`, the store is first **recovered** from
+//! the directory's checkpoint image + write-ahead log (the recovery
+//! report is printed) and every subsequent commit is journaled there,
+//! so a `kill -9` loses at most the unsynced fsync window.
+//!
+//! `unn-cli follow <addr> [deltas] [ms]` attaches a read replica: it
+//! bootstraps a local mirror over the `FOLLOW` wire exchange, applies
+//! up to `deltas` streamed commits (waiting at most `ms` for each), and
+//! prints the mirrored epoch as it advances.
 //!
 //! `unn-cli connect <addr>` speaks the framed wire protocol to a running
 //! `NetServer` instead of embedding a local server. The command set
@@ -71,9 +80,11 @@ use std::io::{self, BufRead, Write};
 use std::path::Path;
 use std::time::Duration;
 use uncertain_nn::core::probrows::ProbRowSet;
-use uncertain_nn::modb::net::{NetClient, WireOutput};
+use uncertain_nn::modb::net::{Follower, NetClient, WireOutput};
 use uncertain_nn::modb::subscription::{SubAnswer, SubDelta, SubscriptionError};
-use uncertain_nn::modb::{persist, ServerError, SubscriptionInfo};
+use uncertain_nn::modb::{
+    open_store, persist, FsyncPolicy, RecoveryReport, ServerError, SubscriptionInfo, WalOptions,
+};
 use uncertain_nn::prelude::*;
 
 const HELP: &str = "\
@@ -100,6 +111,9 @@ commands:
   store row-samples <n>       probe density of future row subscriptions
   store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
   store maintenance-batch <n> coalesce n commits per maintenance round
+  store wal-open <dir> [fsync] recover from a WAL dir and journal into it
+  store wal-status            write-ahead log segment/fsync/checkpoint counters
+  store checkpoint            force a WAL checkpoint (snapshot + prune) now
   sql <statement>             execute a query-language statement
   sub add <name> <SELECT ...> register a standing query
   sub drop <name>             unregister a standing query
@@ -141,10 +155,23 @@ fn main() {
     }
     if args.get(1).map(String::as_str) == Some("serve") {
         let Some(addr) = args.get(2) else {
-            eprintln!("usage: unn-cli serve <addr> [--gen <n> <seed> <radius>]");
+            eprintln!("{SERVE_USAGE}");
             std::process::exit(2);
         };
         match run_serve(addr, &args[3..]) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.get(1).map(String::as_str) == Some("follow") {
+        let Some(addr) = args.get(2) else {
+            eprintln!("usage: unn-cli follow <addr> [deltas] [ms]");
+            std::process::exit(2);
+        };
+        match run_follow(addr, &args[3..]) {
             Ok(()) => return,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -455,6 +482,58 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     }
                     Ok(())
                 }
+                "wal-open" => {
+                    let dir = parts.next().ok_or("usage: store wal-open <dir> [fsync]")?;
+                    let mut options = WalOptions::default();
+                    if let Some(p) = parts.next() {
+                        options.fsync = FsyncPolicy::parse(p).ok_or_else(|| {
+                            format!("unknown fsync policy '{p}' (always|os|every-<n>)")
+                        })?;
+                    }
+                    let (store, _wal, report) =
+                        open_store(Path::new(dir), options).map_err(|e| e.to_string())?;
+                    print_recovery(dir, &report);
+                    // Like `gen`/`load`, this replaces the whole server
+                    // (dropping registered subscriptions) — the recovered
+                    // store journals every commit from here on.
+                    *server = ModServer::with_store(store);
+                    Ok(())
+                }
+                "wal-status" => {
+                    let store = server.store();
+                    match store.wal_status() {
+                        Some(s) => {
+                            println!(
+                                "wal {}: {} segments, {} bytes, fsync {}",
+                                s.dir.display(),
+                                s.segments,
+                                s.total_bytes,
+                                s.fsync
+                            );
+                            println!(
+                                "  last epoch {}, checkpoint epoch {}",
+                                s.last_epoch, s.checkpoint_epoch
+                            );
+                            println!(
+                                "  {} appended, {} syncs, {} checkpoints, {} io errors",
+                                s.appended, s.syncs, s.checkpoints, s.io_errors
+                            );
+                            if let Some(e) = store.wal().and_then(|w| w.last_error()) {
+                                println!("  last error: {e}");
+                            }
+                        }
+                        None => {
+                            println!("no WAL attached (serve --wal <dir> or store wal-open <dir>)")
+                        }
+                    }
+                    Ok(())
+                }
+                "checkpoint" => {
+                    let wal = server.store().wal().ok_or("no WAL attached")?;
+                    let epoch = wal.checkpoint(server.store()).map_err(|e| e.to_string())?;
+                    println!("checkpoint written at epoch {epoch}");
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
@@ -652,24 +731,61 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
     }
 }
 
-/// Serve mode: bind a `NetServer` over a fresh (optionally generated)
-/// MOD and block until stdin closes or reads `quit`. Pair with
-/// `unn-cli connect <addr>` from other terminals.
+const SERVE_USAGE: &str =
+    "usage: unn-cli serve <addr> [--gen <n> <seed> <radius>] [--wal <dir>] [--fsync <policy>]";
+
+/// Serve mode: bind a `NetServer` over a fresh (optionally generated,
+/// optionally WAL-recovered and journaled) MOD and block until stdin
+/// closes or reads `quit`. Pair with `unn-cli connect <addr>` or
+/// `unn-cli follow <addr>` from other terminals.
 fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
-    let server = ModServer::new();
-    match opts {
-        [] => {}
-        [flag, n, seed, radius] if flag == "--gen" => {
-            let n: usize = parse(n)?;
-            let seed: u64 = parse(seed)?;
-            let radius: f64 = parse(radius)?;
-            let cfg = WorkloadConfig::with_objects(n, seed);
-            server
-                .register_all(generate_uncertain(&cfg, radius))
-                .map_err(|e| e.to_string())?;
-            println!("generated {n} objects (seed {seed}, r = {radius} mi)");
+    let mut gen: Option<(usize, u64, f64)> = None;
+    let mut wal_dir: Option<&String> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--gen" => {
+                let n: usize = parse(it.next().ok_or(SERVE_USAGE)?)?;
+                let seed: u64 = parse(it.next().ok_or(SERVE_USAGE)?)?;
+                let radius: f64 = parse(it.next().ok_or(SERVE_USAGE)?)?;
+                gen = Some((n, seed, radius));
+            }
+            "--wal" => wal_dir = Some(it.next().ok_or(SERVE_USAGE)?),
+            "--fsync" => {
+                let p = it.next().ok_or(SERVE_USAGE)?;
+                fsync =
+                    Some(FsyncPolicy::parse(p).ok_or_else(|| {
+                        format!("unknown fsync policy '{p}' (always|os|every-<n>)")
+                    })?);
+            }
+            other => return Err(format!("unknown serve option '{other}'\n{SERVE_USAGE}")),
         }
-        _ => return Err("usage: unn-cli serve <addr> [--gen <n> <seed> <radius>]".to_string()),
+    }
+    let server = match wal_dir {
+        Some(dir) => {
+            let mut options = WalOptions::default();
+            if let Some(f) = fsync {
+                options.fsync = f;
+            }
+            let (store, _wal, report) =
+                open_store(Path::new(dir), options).map_err(|e| e.to_string())?;
+            print_recovery(dir, &report);
+            ModServer::with_store(store)
+        }
+        None => {
+            if fsync.is_some() {
+                return Err("--fsync requires --wal".to_string());
+            }
+            ModServer::new()
+        }
+    };
+    if let Some((n, seed, radius)) = gen {
+        let cfg = WorkloadConfig::with_objects(n, seed);
+        server
+            .register_all(generate_uncertain(&cfg, radius))
+            .map_err(|e| e.to_string())?;
+        println!("generated {n} objects (seed {seed}, r = {radius} mi)");
     }
     let net = uncertain_nn::modb::net::NetServer::bind(addr, std::sync::Arc::new(server))
         .map_err(|e| e.to_string())?;
@@ -688,6 +804,72 @@ fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
     net.shutdown();
     println!("server stopped");
     Ok(())
+}
+
+fn print_recovery(dir: &str, report: &RecoveryReport) {
+    println!(
+        "recovered {dir}: checkpoint epoch {} ({} objects) + {} wal records ({} ops) -> epoch {}",
+        report.snapshot_epoch,
+        report.snapshot_objects,
+        report.replayed_records,
+        report.replayed_ops,
+        report.recovered_epoch
+    );
+    if let Some(t) = &report.torn_tail {
+        println!(
+            "  torn tail truncated at byte {} of {}: {}",
+            t.offset,
+            t.segment.display(),
+            t.reason
+        );
+    }
+}
+
+/// Follower mode: mirror a leader over the `FOLLOW` wire exchange,
+/// applying up to `deltas` streamed commits (each awaited for at most
+/// `ms`), printing the mirrored epoch as it advances.
+fn run_follow(addr: &str, opts: &[String]) -> Result<(), String> {
+    let deltas: u64 = match opts.first() {
+        Some(p) => parse(p)?,
+        None => 0,
+    };
+    let timeout_ms: u64 = match opts.get(1) {
+        Some(p) => parse(p)?,
+        None => 2000,
+    };
+    let mut follower = Follower::connect(addr).map_err(|e| e.to_string())?;
+    println!(
+        "following {addr} from epoch {} ({} objects)",
+        follower.epoch(),
+        follower.server().store().len()
+    );
+    let mut processed = 0u64;
+    while processed < deltas {
+        match follower
+            .pump(Some(Duration::from_millis(timeout_ms)))
+            .map_err(|e| e.to_string())?
+        {
+            true => {
+                processed += 1;
+                println!(
+                    "  epoch {} ({} objects)",
+                    follower.epoch(),
+                    follower.server().store().len()
+                );
+            }
+            false => {
+                println!("follow {addr}: no delta within {timeout_ms} ms");
+                break;
+            }
+        }
+    }
+    println!(
+        "follower stopped at epoch {} ({} objects, {} notifications)",
+        follower.epoch(),
+        follower.server().store().len(),
+        processed
+    );
+    follower.close().map_err(|e| e.to_string())
 }
 
 /// The connected-mode REPL: every command becomes wire requests against
@@ -930,6 +1112,12 @@ fn print_wire_output(out: WireOutput) {
             print_rows(&name, &rows, epoch)
         }
         WireOutput::Done => println!("ok"),
+        // Replication-control responses never reach the REPL dispatch —
+        // the `Follower` driver consumes them inside `client.follow`.
+        WireOutput::FollowOk { epoch } => println!("following from epoch {epoch}"),
+        WireOutput::Resync { epoch, objects } => {
+            println!("resync snapshot @epoch {epoch}: {} objects", objects.len())
+        }
     }
 }
 

@@ -189,6 +189,53 @@ fn sql_parse_errors_point_at_the_offending_token() {
 }
 
 #[test]
+fn wal_open_journals_and_a_second_session_recovers() {
+    let dir = std::env::temp_dir().join(format!("unn-cli-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Session 1: journal a few commits, checkpoint, keep appending.
+    let script = format!(
+        "store wal-status\n\
+         store wal-open {d} every-2\n\
+         obj put Tr0 0 0 30 0\n\
+         obj put Tr1 0 1 30 1\n\
+         obj put Tr2 0 2 30 2\n\
+         store checkpoint\n\
+         obj del Tr1\n\
+         store wal-status\n\
+         quit\n",
+        d = dir.display()
+    );
+    let (stdout, stderr) = run_cli(&script);
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(stdout.contains("no WAL attached"), "{stdout}");
+    assert!(
+        stdout.contains("recovered") && stdout.contains("-> epoch 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("checkpoint written at epoch 3"), "{stdout}");
+    assert!(stdout.contains("fsync every-2"), "{stdout}");
+    assert!(
+        stdout.contains("last epoch 4, checkpoint epoch 3"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("4 appended"), "{stdout}");
+    assert!(stdout.contains("0 io errors"), "{stdout}");
+
+    // Session 2: the same directory recovers snapshot + replayed tail.
+    let script = format!("store wal-open {d}\nlist\nquit\n", d = dir.display());
+    let (stdout, stderr) = run_cli(&script);
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    assert!(
+        stdout.contains("checkpoint epoch 3 (3 objects) + 1 wal records"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("-> epoch 4"), "{stdout}");
+    assert!(stdout.contains("2 objects, ids Tr0 .. Tr2"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn store_delta_stats_track_the_delta_epoch_machinery() {
     let (stdout, stderr) = run_cli(
         "gen 30 5 0.5\n\

@@ -5,13 +5,14 @@
 //! mis-decoded.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use uncertain_nn::core::answer::{AnswerDelta, AnswerEntry, AnswerSet};
 use uncertain_nn::core::probrows::{ProbRow, ProbRowDelta, ProbRowSet, RowPerspective};
 use uncertain_nn::modb::net::wire::{
     decode_payload, encode_payload, read_frame, write_frame, Frame, WireOutput, WireRequest,
     WIRE_VERSION,
 };
-use uncertain_nn::modb::{SubscriptionInfo, SubscriptionStats};
+use uncertain_nn::modb::{ReplOp, SubscriptionInfo, SubscriptionStats};
 use uncertain_nn::prelude::*;
 
 fn arb_oid() -> impl Strategy<Value = Oid> {
@@ -215,7 +216,41 @@ fn arb_request() -> impl Strategy<Value = WireRequest> {
         arb_trajectory().prop_map(WireRequest::Update),
         arb_oid().prop_map(WireRequest::Remove),
         arb_string().prop_map(WireRequest::SubscriptionAnswer),
+        (0u64..1_000_000).prop_map(|from_epoch| WireRequest::Follow { from_epoch }),
     ]
+}
+
+/// Snapshot contents with distinct ascending oids (the `Resync`
+/// invariant the codec enforces).
+fn arb_snapshot_objects() -> impl Strategy<Value = Vec<UncertainTrajectory>> {
+    (
+        prop::collection::btree_set(0u64..10_000, 0..4),
+        prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 0.1..2.0f64), 4),
+    )
+        .prop_map(|(oids, params)| {
+            oids.into_iter()
+                .zip(params)
+                .map(|(oid, (x, y, radius))| {
+                    let tr = Trajectory::from_triples(
+                        Oid(oid),
+                        &[(x, y, 0.0), (x + 10.0, y + 5.0, 30.0)],
+                    )
+                    .unwrap();
+                    UncertainTrajectory::with_uniform_pdf(tr, radius).unwrap()
+                })
+                .collect()
+        })
+}
+
+fn arb_repl_ops() -> impl Strategy<Value = Vec<ReplOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            arb_trajectory().prop_map(|tr| ReplOp::Insert(Arc::new(tr))),
+            arb_oid().prop_map(ReplOp::Remove),
+            Just(ReplOp::Clear),
+        ],
+        0..5,
+    )
 }
 
 fn arb_output() -> impl Strategy<Value = WireOutput> {
@@ -230,6 +265,9 @@ fn arb_output() -> impl Strategy<Value = WireOutput> {
         Just(WireOutput::Done),
         (0u64..1_000_000, arb_row_set())
             .prop_map(|(epoch, rows)| WireOutput::RowAnswer { epoch, rows }),
+        (0u64..1_000_000).prop_map(|epoch| WireOutput::FollowOk { epoch }),
+        (0u64..1_000_000, arb_snapshot_objects())
+            .prop_map(|(epoch, objects)| WireOutput::Resync { epoch, objects }),
     ]
 }
 
@@ -264,6 +302,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 lagged: lag == 1,
             }
         }),
+        (0u64..1_000_000, arb_repl_ops()).prop_map(|(epoch, ops)| Frame::ReplDelta { epoch, ops }),
+        (0u64..1_000_000).prop_map(|epoch| Frame::ReplLagged { epoch }),
         Just(Frame::Bye),
     ]
 }
@@ -314,8 +354,8 @@ proptest! {
 #[test]
 fn wire_spec_constants_match_docs() {
     use uncertain_nn::modb::net::wire::{
-        MAX_FRAME_LEN, TAG_BYE, TAG_EVENT, TAG_HELLO, TAG_REQUEST, TAG_RESPONSE, TAG_ROW_EVENT,
-        TAG_WELCOME, WIRE_MAGIC,
+        MAX_FRAME_LEN, TAG_BYE, TAG_EVENT, TAG_HELLO, TAG_REPL_DELTA, TAG_REPL_LAGGED, TAG_REQUEST,
+        TAG_RESPONSE, TAG_ROW_EVENT, TAG_WELCOME, WIRE_MAGIC,
     };
     let spec = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/WIRE.md"))
         .expect("docs/WIRE.md exists");
@@ -330,6 +370,8 @@ fn wire_spec_constants_match_docs() {
         ("TAG_EVENT", TAG_EVENT as u64),
         ("TAG_BYE", TAG_BYE as u64),
         ("TAG_ROW_EVENT", TAG_ROW_EVENT as u64),
+        ("TAG_REPL_DELTA", TAG_REPL_DELTA as u64),
+        ("TAG_REPL_LAGGED", TAG_REPL_LAGGED as u64),
     ];
     for (name, value) in expected {
         // Rows look like: | `NAME` | `VALUE` | with VALUE decimal or 0x-hex.
