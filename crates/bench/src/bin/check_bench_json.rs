@@ -272,6 +272,24 @@ const REQUIRED_GROUPS: &[(&str, &[&str])] = &[
         "BENCH_durability.json",
         &["no_wal", "always", "every8", "os", "replay"],
     ),
+    (
+        "BENCH_telemetry.json",
+        &["bare", "metrics_on", "trace_on", "snapshot", "render"],
+    ),
+];
+
+/// Ratio gates a tracked report must hold: the benchmark whose id
+/// contains the first group (as a whole `/`-delimited segment) must
+/// stay within `max_ratio` of the one containing the second. These are
+/// the repo's quantified overhead claims — a regeneration that breaks
+/// one fails CI instead of silently shipping a report that no longer
+/// supports the number the docs cite.
+const RATIO_GATES: &[(&str, &str, &str, f64)] = &[
+    // Observability is effectively free: metrics recording within 5%
+    // of the uninstrumented commit path, tracing within 15%
+    // (docs/OBSERVABILITY.md).
+    ("BENCH_telemetry.json", "metrics_on", "bare", 1.05),
+    ("BENCH_telemetry.json", "trace_on", "bare", 1.15),
 ];
 
 /// Validates one report file, returning the number of benchmark entries.
@@ -287,6 +305,7 @@ fn check_report(path: &Path) -> Result<usize, String> {
         return Err("'benchmarks' is empty".to_string());
     }
     let mut seen = std::collections::BTreeSet::new();
+    let mut values: Vec<(String, f64)> = Vec::new();
     for (i, entry) in benchmarks.iter().enumerate() {
         let id = match entry.get("id") {
             Some(Json::String(s)) if !s.is_empty() => s,
@@ -296,7 +315,9 @@ fn check_report(path: &Path) -> Result<usize, String> {
             return Err(format!("entry {i}: duplicate id '{id}'"));
         }
         match entry.get("ns_per_iter") {
-            Some(Json::Number(n)) if n.is_finite() && *n > 0.0 => {}
+            Some(Json::Number(n)) if n.is_finite() && *n > 0.0 => {
+                values.push((id.clone(), *n));
+            }
             Some(Json::Number(n)) => {
                 return Err(format!("entry {i} ('{id}'): non-positive ns_per_iter {n}"))
             }
@@ -311,6 +332,29 @@ fn check_report(path: &Path) -> Result<usize, String> {
                 .any(|id| id.split('/').any(|segment| segment == *group));
             if !present {
                 return Err(format!("missing required benchmark group '{group}'"));
+            }
+        }
+    }
+    for (_, num, den, max_ratio) in RATIO_GATES.iter().filter(|(f, ..)| *f == file_name) {
+        let find = |group: &str| {
+            values
+                .iter()
+                .find(|(id, _)| id.split('/').any(|segment| segment == group))
+                .map(|(_, v)| *v)
+        };
+        match (find(num), find(den)) {
+            (Some(n), Some(d)) => {
+                if n > d * max_ratio {
+                    return Err(format!(
+                        "ratio gate failed: '{num}' ({n:.1} ns) exceeds \
+                         {max_ratio}x '{den}' ({d:.1} ns)"
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "ratio gate '{num}' vs '{den}': a gated group is missing"
+                ))
             }
         }
     }

@@ -47,6 +47,7 @@ use crate::delta::ReplOp;
 use crate::net::wire::{decode_commit_body, TAG_REPL_DELTA};
 use crate::persist::{self, StoreImage};
 use crate::store::ModStore;
+use crate::telemetry::{self, Telemetry, TraceEvent, TraceStage};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -255,6 +256,10 @@ pub struct Wal {
     /// Guards against re-entrant checkpoints (a checkpoint's own
     /// bookkeeping must not trigger another).
     checkpointing: AtomicBool,
+    /// The attached store's telemetry registry (set by
+    /// [`ModStore::attach_wal`]), recording `wal_append_ns` /
+    /// `wal_fsync_ns` and WAL trace events. `None` until attached.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 impl fmt::Debug for Wal {
@@ -343,12 +348,20 @@ impl Wal {
                 last_error: None,
             }),
             checkpointing: AtomicBool::new(false),
+            telemetry: Mutex::new(None),
         }))
     }
 
     /// The WAL directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Points the WAL at a store's telemetry registry so appends and
+    /// fsyncs record their latency there. Called by
+    /// [`ModStore::attach_wal`].
+    pub fn set_telemetry(&self, telemetry: &Arc<Telemetry>) {
+        *self.telemetry.lock().unwrap() = Some(Arc::clone(telemetry));
     }
 
     /// Appends one commit's encoded body (`epoch:u64le count:u32le
@@ -391,7 +404,12 @@ impl Wal {
         record.extend_from_slice(&(body.len() as u32).to_le_bytes());
         record.extend_from_slice(&crc32(body).to_le_bytes());
         record.extend_from_slice(body);
+        let stats = (telemetry::metrics_on() || telemetry::trace_on())
+            .then(|| self.telemetry.lock().unwrap().clone())
+            .flatten();
+        let write_started = stats.as_ref().map(|_| std::time::Instant::now());
         inner.file.write_all(&record)?;
+        let write_ns = write_started.map(|t0| t0.elapsed().as_nanos() as u64);
         inner.tail_bytes += record.len() as u64;
         inner.last_epoch = epoch;
         inner.appended += 1;
@@ -403,9 +421,23 @@ impl Wal {
             FsyncPolicy::Os => false,
         };
         if sync_now {
+            let sync_started = stats.as_ref().map(|_| std::time::Instant::now());
             inner.file.sync_data()?;
             inner.unsynced = 0;
             inner.syncs += 1;
+            if let (Some(t), Some(t0)) = (&stats, sync_started) {
+                t.wal_fsync_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        if let (Some(t), Some(dur_ns)) = (&stats, write_ns) {
+            t.wal_append_ns.record(dur_ns);
+            t.trace_event(TraceEvent {
+                epoch,
+                stage: TraceStage::WalAppend,
+                share: 0,
+                detail: body.len() as u64,
+                dur_ns,
+            });
         }
         Ok(())
     }
@@ -856,6 +888,20 @@ impl ReplicationHub {
     pub fn published(&self) -> u64 {
         self.published.load(Ordering::Relaxed)
     }
+
+    /// Worst-case follower lag right now: the `(queued frames, queued
+    /// bytes)` of the most backlogged live feed — the store samples this
+    /// after each publish into the `repl_lag_epochs` / `repl_lag_bytes`
+    /// telemetry gauges (queued frames = epochs behind, since every
+    /// commit is one frame).
+    pub fn max_lag(&self) -> (u64, u64) {
+        let followers = self.followers.lock().unwrap();
+        followers
+            .iter()
+            .filter_map(Weak::upgrade)
+            .map(|feed| feed.lag())
+            .fold((0, 0), |acc, lag| (acc.0.max(lag.0), acc.1.max(lag.1)))
+    }
 }
 
 /// One following connection's bounded queue of encoded commit frames.
@@ -903,6 +949,15 @@ impl FollowerFeed {
     /// Pending frames.
     pub fn len(&self) -> usize {
         self.queue.lock().unwrap().len()
+    }
+
+    /// Current lag as `(queued frames, queued bytes)`.
+    pub fn lag(&self) -> (u64, u64) {
+        let queue = self.queue.lock().unwrap();
+        (
+            queue.len() as u64,
+            queue.iter().map(|f| f.len() as u64).sum(),
+        )
     }
 
     /// `true` when nothing is pending.

@@ -228,6 +228,7 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 pub mod subscription;
+pub mod telemetry;
 
 pub use cache::{CacheStats, EngineCache};
 pub use catalog::{Catalog, ObjectMeta};
@@ -244,4 +245,7 @@ pub use store::{DeltaStats, DifferenceModel, ModStore, StoreError};
 pub use subscription::{
     DeltaSink, FeedEvent, FrameCache, SubAnswer, SubDelta, SubscriptionError, SubscriptionInfo,
     SubscriptionRegistry, SubscriptionStats, SyncMode, PROB_ROW_SAMPLES,
+};
+pub use telemetry::{
+    HistogramSnapshot, MetricsSnapshot, Telemetry, TraceEvent, TraceRing, TraceStage,
 };

@@ -292,7 +292,10 @@ impl NetClient {
                         delta: SubDelta::Intervals(delta),
                         lagged,
                         cache: FrameCache::default(),
-                    }))
+                        // Client-side events have no local outbox enqueue
+                        // stamp; drain-lag is a server-side measurement.
+                        enqueued_ns: 0,
+                    }));
                 }
                 Some(Frame::RowEvent {
                     subscription,
@@ -304,7 +307,10 @@ impl NetClient {
                         delta: SubDelta::Rows(delta),
                         lagged,
                         cache: FrameCache::default(),
-                    }))
+                        // Client-side events have no local outbox enqueue
+                        // stamp; drain-lag is a server-side measurement.
+                        enqueued_ns: 0,
+                    }));
                 }
                 // A following connection can interleave replication
                 // frames with pushed events; hold them for
@@ -354,6 +360,9 @@ impl NetClient {
                     delta: SubDelta::Intervals(delta),
                     lagged,
                     cache: FrameCache::default(),
+                    // Client-side events have no local outbox enqueue
+                    // stamp; drain-lag is a server-side measurement.
+                    enqueued_ns: 0,
                 }),
                 Some(Frame::RowEvent {
                     subscription,
@@ -364,6 +373,9 @@ impl NetClient {
                     delta: SubDelta::Rows(delta),
                     lagged,
                     cache: FrameCache::default(),
+                    // Client-side events have no local outbox enqueue
+                    // stamp; drain-lag is a server-side measurement.
+                    enqueued_ns: 0,
                 }),
                 Some(Frame::Bye) => return Err(NetError::Closed),
                 Some(other) => {
@@ -436,6 +448,9 @@ impl NetClient {
                     delta: SubDelta::Intervals(delta),
                     lagged,
                     cache: FrameCache::default(),
+                    // Client-side events have no local outbox enqueue
+                    // stamp; drain-lag is a server-side measurement.
+                    enqueued_ns: 0,
                 }),
                 Frame::RowEvent {
                     subscription,
@@ -446,6 +461,9 @@ impl NetClient {
                     delta: SubDelta::Rows(delta),
                     lagged,
                     cache: FrameCache::default(),
+                    // Client-side events have no local outbox enqueue
+                    // stamp; drain-lag is a server-side measurement.
+                    enqueued_ns: 0,
                 }),
                 Frame::ReplDelta { epoch, ops } => self
                     .buffered_repl

@@ -58,7 +58,9 @@
 use crate::delta::ReplOp;
 use crate::durability::{FollowerFeed, ReplicationHub};
 use crate::server::{ModServer, QueryOutput, ServerError};
+use crate::store::ModStore;
 use crate::subscription::{DeltaSink, FeedEvent, SubAnswer, SubDelta, SubscriptionError};
+use crate::telemetry::{self, TraceEvent, TraceStage};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -305,8 +307,12 @@ fn event_loop(listener: TcpListener, shared: Arc<Shared>) {
                 }
             }
         }
+        let store = shared.server.store();
         for (token, conn) in conns.iter_mut() {
-            if !pump_outbox(conn, now, pacing) || !pump_follower(conn) || !pump_socket_write(conn) {
+            if !pump_outbox(conn, now, pacing, store)
+                || !pump_follower(conn)
+                || !pump_socket_write(conn)
+            {
                 conn.closing = true;
             }
             if conn.closing && conn.out.is_empty() {
@@ -466,7 +472,7 @@ fn accept_ready(
 /// Drains the connection's outbox into its write queue, respecting the
 /// pacing gate and the byte watermark. Returns `false` when an event
 /// failed to encode (connection must close).
-fn pump_outbox(conn: &mut Conn, now: Instant, pacing: Duration) -> bool {
+fn pump_outbox(conn: &mut Conn, now: Instant, pacing: Duration, store: &ModStore) -> bool {
     if !conn.handshaken || conn.closing {
         return true;
     }
@@ -482,12 +488,30 @@ fn pump_outbox(conn: &mut Conn, now: Instant, pacing: Duration) -> bool {
             delta,
             lagged,
             cache,
+            enqueued_ns,
         } = event;
+        let metrics_on = telemetry::metrics_on();
+        if metrics_on && enqueued_ns != 0 {
+            let drained = telemetry::now_ns();
+            let t = store.telemetry();
+            t.push_drain_lag_ns
+                .record(drained.saturating_sub(enqueued_ns));
+            // End-to-end commit-to-push latency, anchored at the start
+            // of the most recent commit. An approximation under
+            // pipelining (a later commit may restamp the anchor), but
+            // within one order of magnitude — which is what the
+            // acceptance gate checks against BENCH_fanout.
+            let anchor = t.last_commit_start.load(Ordering::Relaxed);
+            if anchor != 0 {
+                t.commit_to_push_ns.record(drained.saturating_sub(anchor));
+            }
+        }
         // Encode-once: the first outbox to deliver this event primes
         // the shared cache; everyone else reuses the same bytes.
         let bytes = match cache.get() {
             Some(bytes) => bytes,
             None => {
+                let encode_started = (metrics_on || telemetry::trace_on()).then(Instant::now);
                 let frame = match delta {
                     SubDelta::Intervals(delta) => Frame::Event {
                         subscription,
@@ -502,6 +526,19 @@ fn pump_outbox(conn: &mut Conn, now: Instant, pacing: Duration) -> bool {
                 };
                 match encode_frame_bytes(&frame) {
                     Ok(bytes) => {
+                        if let Some(t0) = encode_started {
+                            let t = store.telemetry();
+                            let dur_ns = t0.elapsed().as_nanos() as u64;
+                            t.frames_encoded.inc();
+                            t.frame_encode_ns.record(dur_ns);
+                            t.trace_event(TraceEvent {
+                                epoch: store.epoch(),
+                                stage: TraceStage::FrameEncode,
+                                share: 0,
+                                detail: bytes.len() as u64,
+                                dur_ns,
+                            });
+                        }
                         cache.prime(Arc::clone(&bytes));
                         bytes
                     }
@@ -838,5 +875,7 @@ fn convert_output(out: QueryOutput) -> WireOutput {
         QueryOutput::Registered(info) => WireOutput::Registered(info),
         QueryOutput::Unregistered(name) => WireOutput::Unregistered(name),
         QueryOutput::Subscriptions(infos) => WireOutput::Subscriptions(infos),
+        QueryOutput::Metrics(snapshot) => WireOutput::Metrics(snapshot),
+        QueryOutput::Trace { epoch, events } => WireOutput::Trace { epoch, events },
     }
 }

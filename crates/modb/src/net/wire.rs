@@ -40,6 +40,7 @@
 
 use crate::delta::ReplOp;
 use crate::subscription::{SubscriptionInfo, SubscriptionStats};
+use crate::telemetry::{HistogramSnapshot, MetricsSnapshot, TraceEvent, TraceStage};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -62,7 +63,10 @@ pub const WIRE_MAGIC: u32 = 0x554E_4E31;
 /// replication: the [`WireRequest::Follow`] exchange, its
 /// [`WireOutput::FollowOk`] / [`WireOutput::Resync`] outputs, and the
 /// pushed [`Frame::ReplDelta`] / [`Frame::ReplLagged`] stream.
-pub const WIRE_VERSION: u16 = 4;
+/// Version 5 added the telemetry outputs: [`WireOutput::Metrics`]
+/// (the `SHOW METRICS` snapshot) and [`WireOutput::Trace`] (the
+/// `TRACE EPOCH` event list).
+pub const WIRE_VERSION: u16 = 5;
 
 /// The protocol version the spec fixtures pin: the constants table in
 /// `docs/WIRE.md` and the version-sanity unit test both derive from
@@ -70,7 +74,7 @@ pub const WIRE_VERSION: u16 = 4;
 /// constant, [`WIRE_VERSION`], and the docs row — nothing else. Kept
 /// deliberately separate from [`WIRE_VERSION`] so a bump is an explicit
 /// two-line act, never an accident.
-pub const SPEC_WIRE_VERSION: u16 = 4;
+pub const SPEC_WIRE_VERSION: u16 = 5;
 
 /// Upper bound on one frame's payload (a defense against hostile or
 /// corrupt length prefixes, not a practical limit — a 64 MiB answer
@@ -210,6 +214,18 @@ pub enum WireOutput {
         epoch: u64,
         /// Every stored trajectory, ascending by id, bit-exact.
         objects: Vec<UncertainTrajectory>,
+    },
+    /// `SHOW METRICS [PREFIX p]` answered with a point-in-time
+    /// telemetry snapshot: counters, gauges, and sparse-bucket latency
+    /// histograms, each as `(name, value)` rows ascending by name.
+    Metrics(MetricsSnapshot),
+    /// `TRACE EPOCH e` answered with the retained pipeline trace of
+    /// that epoch (empty when tracing is off or the ring evicted it).
+    Trace {
+        /// The requested epoch, echoed.
+        epoch: u64,
+        /// The retained events in recording order.
+        events: Vec<TraceEvent>,
     },
 }
 
@@ -435,6 +451,35 @@ fn put_info(buf: &mut Vec<u8>, info: &SubscriptionInfo) {
     }
 }
 
+/// The `Metrics` output payload: three `(count, rows…)` sections —
+/// counters and gauges as `(name, u64)`, histograms as
+/// `(name, count, sum, max, sparse (bucket:u8, count:u64) pairs)`.
+/// Rows travel in snapshot order (ascending by name), bit-exact.
+fn put_metrics(buf: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    put_u32(buf, snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        put_str(buf, name);
+        put_u64(buf, *v);
+    }
+    put_u32(buf, snap.gauges.len() as u32);
+    for (name, v) in &snap.gauges {
+        put_str(buf, name);
+        put_u64(buf, *v);
+    }
+    put_u32(buf, snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        put_str(buf, name);
+        put_u64(buf, h.count);
+        put_u64(buf, h.sum);
+        put_u64(buf, h.max);
+        put_u32(buf, h.buckets.len() as u32);
+        for (idx, n) in &h.buckets {
+            put_u8(buf, *idx);
+            put_u64(buf, *n);
+        }
+    }
+}
+
 fn put_trajectory(buf: &mut Vec<u8>, tr: &UncertainTrajectory) {
     put_u64(buf, tr.oid().0);
     put_f64(buf, tr.radius());
@@ -592,6 +637,22 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
                             put_u32(&mut buf, objects.len() as u32);
                             for tr in objects {
                                 put_trajectory(&mut buf, tr);
+                            }
+                        }
+                        WireOutput::Metrics(snapshot) => {
+                            put_u8(&mut buf, 10);
+                            put_metrics(&mut buf, snapshot);
+                        }
+                        WireOutput::Trace { epoch, events } => {
+                            put_u8(&mut buf, 11);
+                            put_u64(&mut buf, *epoch);
+                            put_u32(&mut buf, events.len() as u32);
+                            for ev in events {
+                                put_u64(&mut buf, ev.epoch);
+                                put_u8(&mut buf, ev.stage as u8);
+                                put_u64(&mut buf, ev.share);
+                                put_u64(&mut buf, ev.detail);
+                                put_u64(&mut buf, ev.dur_ns);
                             }
                         }
                     }
@@ -919,6 +980,56 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    /// The `Metrics` output payload (see [`put_metrics`]). Bucket
+    /// indices are checked ascending and in histogram range so a
+    /// decoded snapshot upholds the same invariants a local one does.
+    fn metrics(&mut self) -> Result<MetricsSnapshot, WireError> {
+        let n = self.count(12)?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push((self.str()?, self.u64()?));
+        }
+        let n = self.count(12)?;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            gauges.push((self.str()?, self.u64()?));
+        }
+        let n = self.count(32)?;
+        let mut histograms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let (count, sum, max) = (self.u64()?, self.u64()?, self.u64()?);
+            let nb = self.count(9)?;
+            let mut buckets = Vec::with_capacity(nb);
+            let mut prev: Option<u8> = None;
+            for _ in 0..nb {
+                let idx = self.u8()?;
+                if idx as usize >= crate::telemetry::HISTOGRAM_BUCKETS {
+                    return Err(self.bad(&format!("histogram bucket {idx} out of range")));
+                }
+                if prev.map(|p| idx <= p).unwrap_or(false) {
+                    return Err(self.bad("histogram buckets not ascending"));
+                }
+                prev = Some(idx);
+                buckets.push((idx, self.u64()?));
+            }
+            histograms.push((
+                name,
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                },
+            ));
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
     fn trajectory(&mut self) -> Result<UncertainTrajectory, WireError> {
         let oid = Oid(self.u64()?);
         let radius = self.f64()?;
@@ -1051,6 +1162,28 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                             objects.push(tr);
                         }
                         WireOutput::Resync { epoch, objects }
+                    }
+                    10 => WireOutput::Metrics(c.metrics()?),
+                    11 => {
+                        let epoch = c.u64()?;
+                        let n = c.count(33)?;
+                        let mut events = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            let ev_epoch = c.u64()?;
+                            let code = c.u8()?;
+                            let stage = match TraceStage::from_u8(code) {
+                                Some(stage) => stage,
+                                None => return Err(c.bad(&format!("unknown trace stage {code}"))),
+                            };
+                            events.push(TraceEvent {
+                                epoch: ev_epoch,
+                                stage,
+                                share: c.u64()?,
+                                detail: c.u64()?,
+                                dur_ns: c.u64()?,
+                            });
+                        }
+                        WireOutput::Trace { epoch, events }
                     }
                     t => return Err(c.bad(&format!("unknown output tag {t}"))),
                 }),

@@ -141,6 +141,20 @@ pub enum Statement {
     },
     /// `SHOW SUBSCRIPTIONS` — list the registered standing queries.
     ShowSubscriptions,
+    /// `SHOW METRICS [PREFIX <p>]` — snapshot the server's telemetry
+    /// registry (counters, gauges, latency histograms), optionally
+    /// filtered to metric names starting with `p`.
+    ShowMetrics {
+        /// Optional metric-name prefix filter.
+        prefix: Option<String>,
+    },
+    /// `TRACE EPOCH <e>` — the buffered pipeline trace events of one
+    /// commit epoch: which shares the maintenance round visited, the
+    /// ladder decision each took, and the stage durations.
+    TraceEpoch {
+        /// The commit epoch to reconstruct.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for Statement {
@@ -153,6 +167,11 @@ impl fmt::Display for Statement {
             Statement::Unregister { name } => write!(f, "UNREGISTER {name}"),
             Statement::Watch { name } => write!(f, "WATCH {name}"),
             Statement::ShowSubscriptions => write!(f, "SHOW SUBSCRIPTIONS"),
+            Statement::ShowMetrics { prefix: None } => write!(f, "SHOW METRICS"),
+            Statement::ShowMetrics {
+                prefix: Some(prefix),
+            } => write!(f, "SHOW METRICS PREFIX {prefix}"),
+            Statement::TraceEpoch { epoch } => write!(f, "TRACE EPOCH {epoch}"),
         }
     }
 }

@@ -70,6 +70,14 @@ pub enum TokenKind {
     Subscriptions,
     /// `WATCH` (attach to an existing standing query by name)
     Watch,
+    /// `METRICS` (telemetry exposition)
+    Metrics,
+    /// `TRACE` (epoch-scoped pipeline trace)
+    Trace,
+    /// `EPOCH`
+    Epoch,
+    /// `PREFIX`
+    Prefix,
     // literals / identifiers
     /// A numeric literal.
     Number(f64),
@@ -125,6 +133,10 @@ impl fmt::Display for TokenKind {
             TokenKind::Show => write!(f, "SHOW"),
             TokenKind::Subscriptions => write!(f, "SUBSCRIPTIONS"),
             TokenKind::Watch => write!(f, "WATCH"),
+            TokenKind::Metrics => write!(f, "METRICS"),
+            TokenKind::Trace => write!(f, "TRACE"),
+            TokenKind::Epoch => write!(f, "EPOCH"),
+            TokenKind::Prefix => write!(f, "PREFIX"),
             TokenKind::Number(n) => write!(f, "{n}"),
             TokenKind::Ident(s) => write!(f, "{s}"),
             TokenKind::LParen => write!(f, "("),
@@ -272,6 +284,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     "SHOW" => TokenKind::Show,
                     "SUBSCRIPTIONS" => TokenKind::Subscriptions,
                     "WATCH" => TokenKind::Watch,
+                    "METRICS" => TokenKind::Metrics,
+                    "TRACE" => TokenKind::Trace,
+                    "EPOCH" => TokenKind::Epoch,
+                    "PREFIX" => TokenKind::Prefix,
                     _ => TokenKind::Ident(text.to_string()),
                 }
             }

@@ -429,8 +429,38 @@ impl Parser {
             }
             TokenKind::Show => {
                 self.advance();
-                self.expect(&TokenKind::Subscriptions)?;
-                Statement::ShowSubscriptions
+                match self.peek().kind {
+                    TokenKind::Metrics => {
+                        self.advance();
+                        let prefix = if self.peek().kind == TokenKind::Prefix {
+                            self.advance();
+                            Some(self.ident()?)
+                        } else {
+                            None
+                        };
+                        Statement::ShowMetrics { prefix }
+                    }
+                    _ => {
+                        self.expect(&TokenKind::Subscriptions)?;
+                        Statement::ShowSubscriptions
+                    }
+                }
+            }
+            TokenKind::Trace => {
+                self.advance();
+                self.expect(&TokenKind::Epoch)?;
+                let t = self.advance();
+                match t.kind {
+                    TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
+                        Statement::TraceEpoch { epoch: n as u64 }
+                    }
+                    other => {
+                        return Err(ParseError::at(
+                            format!("expected a non-negative integer epoch, found {other}"),
+                            t.pos,
+                        ))
+                    }
+                }
             }
             _ => Statement::Select(self.query()?),
         };
@@ -452,11 +482,11 @@ pub fn parse(src: &str) -> Result<Query, ParseError> {
     }
 }
 
-/// Parses any top-level statement: a `SELECT` query or one of the
+/// Parses any top-level statement: a `SELECT` query, one of the
 /// standing-query verbs (`REGISTER CONTINUOUS … AS name`,
-/// `UNREGISTER name`, `WATCH name`, `SHOW SUBSCRIPTIONS`). Errors come
-/// back located
-/// (line/column filled against `src`).
+/// `UNREGISTER name`, `WATCH name`, `SHOW SUBSCRIPTIONS`), or one of
+/// the telemetry verbs (`SHOW METRICS [PREFIX p]`, `TRACE EPOCH e`).
+/// Errors come back located (line/column filled against `src`).
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
     let run = || -> Result<Statement, ParseError> {
         let tokens = tokenize(src)?;
@@ -707,6 +737,33 @@ mod tests {
         .unwrap_err();
         assert!(err.message.contains("expected AS"), "{err}");
         assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn parses_telemetry_statements() {
+        assert_eq!(
+            parse_statement("show metrics").unwrap(),
+            Statement::ShowMetrics { prefix: None }
+        );
+        let filtered = parse_statement("SHOW METRICS PREFIX wal").unwrap();
+        assert_eq!(
+            filtered,
+            Statement::ShowMetrics {
+                prefix: Some("wal".into())
+            }
+        );
+        assert_eq!(parse_statement(&filtered.to_string()).unwrap(), filtered);
+        let trace = parse_statement("trace epoch 42").unwrap();
+        assert_eq!(trace, Statement::TraceEpoch { epoch: 42 });
+        assert_eq!(parse_statement(&trace.to_string()).unwrap(), trace);
+        // The epoch must be a non-negative integer literal.
+        let err = parse_statement("TRACE EPOCH 1.5").unwrap_err();
+        assert!(err.message.contains("non-negative integer"), "{err}");
+        let err = parse_statement("TRACE EPOCH -3").unwrap_err();
+        assert!(err.message.contains("non-negative integer"), "{err}");
+        assert!(parse_statement("TRACE 42").is_err(), "EPOCH is required");
+        // PREFIX without a name is rejected.
+        assert!(parse_statement("SHOW METRICS PREFIX").is_err());
     }
 
     #[test]

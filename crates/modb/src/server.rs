@@ -7,6 +7,7 @@ use crate::ql::ast::{PredicateKind, Quantifier, Query, Statement, Target};
 use crate::ql::parser::{parse_statement, ParseError};
 use crate::store::{ModStore, StoreError};
 use crate::subscription::{SubscriptionError, SubscriptionInfo, SubscriptionRegistry};
+use crate::telemetry::{MetricsSnapshot, TraceEvent};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -138,6 +139,17 @@ pub enum QueryOutput {
     Unregistered(String),
     /// `SHOW SUBSCRIPTIONS` listing.
     Subscriptions(Vec<SubscriptionInfo>),
+    /// `SHOW METRICS [PREFIX p]` — a point-in-time telemetry snapshot
+    /// (registry counters/gauges/histograms merged with the legacy
+    /// stats views; see [`ModServer::metrics_snapshot`]).
+    Metrics(MetricsSnapshot),
+    /// `TRACE EPOCH e` — the retained pipeline trace of one epoch.
+    Trace {
+        /// The requested epoch.
+        epoch: u64,
+        /// Every retained event of that epoch, in recording order.
+        events: Vec<TraceEvent>,
+    },
 }
 
 /// A continuous NN answer (crisp semantics): the time-parameterized
@@ -432,7 +444,94 @@ impl ModServer {
             Statement::ShowSubscriptions => {
                 Ok(QueryOutput::Subscriptions(self.subscriptions.list()))
             }
+            Statement::ShowMetrics { prefix } => Ok(QueryOutput::Metrics(
+                self.metrics_snapshot(prefix.as_deref()),
+            )),
+            Statement::TraceEpoch { epoch } => Ok(QueryOutput::Trace {
+                epoch,
+                events: self.store.telemetry().trace.events_for(epoch),
+            }),
         }
+    }
+
+    /// A point-in-time snapshot of every metric the server exposes: the
+    /// store's [`crate::telemetry::Telemetry`] registry (hot-path
+    /// counters and latency histograms) merged with the pre-existing
+    /// stats structs re-expressed as registry rows — engine-cache
+    /// counters ([`CacheStats`]), delta-log/snapshot state
+    /// ([`crate::store::DeltaStats`]), WAL counters
+    /// ([`crate::durability::WalStatus`], when a WAL is attached), and
+    /// the aggregated per-share subscription counters. `prefix` filters
+    /// metric names (the `SHOW METRICS PREFIX <p>` form); rows come
+    /// back sorted by name.
+    pub fn metrics_snapshot(&self, prefix: Option<&str>) -> MetricsSnapshot {
+        let mut snap = self.store.telemetry().snapshot();
+        let cache = self.cache.stats();
+        snap.counters.push(("cache_hits_total".into(), cache.hits));
+        snap.counters
+            .push(("cache_misses_total".into(), cache.misses));
+        snap.counters
+            .push(("cache_carried_total".into(), cache.carried));
+        snap.gauges
+            .push(("cache_entries".into(), cache.entries as u64));
+        let delta = self.store.delta_stats();
+        snap.gauges.push(("store_epoch".into(), delta.epoch));
+        snap.gauges
+            .push(("delta_log_len".into(), delta.log_len as u64));
+        snap.gauges
+            .push(("delta_log_floor".into(), delta.log_floor));
+        snap.gauges
+            .push(("snapshot_pending_ops".into(), delta.pending_ops as u64));
+        snap.counters.push((
+            "snapshot_patched_total".into(),
+            delta.snapshots_delta_applied,
+        ));
+        snap.counters
+            .push(("snapshot_rebuilt_total".into(), delta.snapshots_rebuilt));
+        if let Some(wal) = self.store.wal_status() {
+            snap.counters
+                .push(("wal_appends_total".into(), wal.appended));
+            snap.counters.push(("wal_fsyncs_total".into(), wal.syncs));
+            snap.counters
+                .push(("wal_checkpoints_total".into(), wal.checkpoints));
+            snap.counters
+                .push(("wal_io_errors_total".into(), wal.io_errors));
+            snap.gauges
+                .push(("wal_segments".into(), wal.segments as u64));
+            snap.gauges.push(("wal_bytes".into(), wal.total_bytes));
+            snap.gauges.push(("wal_last_epoch".into(), wal.last_epoch));
+            snap.gauges
+                .push(("wal_checkpoint_epoch".into(), wal.checkpoint_epoch));
+        }
+        let infos = self.subscriptions.list();
+        let mut subs = crate::subscription::SubscriptionStats::default();
+        for info in &infos {
+            let s = info.stats;
+            subs.skipped += s.skipped;
+            subs.patched += s.patched;
+            subs.rebuilt += s.rebuilt;
+            subs.visited += s.visited;
+            subs.skipped_unvisited += s.skipped_unvisited;
+            subs.batched_commits += s.batched_commits;
+            subs.rows_patched += s.rows_patched;
+        }
+        snap.counters
+            .push(("subs_visited_total".into(), subs.visited));
+        snap.counters.push((
+            "subs_skipped_unvisited_total".into(),
+            subs.skipped_unvisited,
+        ));
+        snap.counters
+            .push(("subs_batched_commits_total".into(), subs.batched_commits));
+        snap.counters
+            .push(("subs_rows_patched_total".into(), subs.rows_patched));
+        snap.gauges
+            .push(("subscriptions".into(), infos.len() as u64));
+        if let Some(prefix) = prefix {
+            snap.retain_prefix(prefix);
+        }
+        snap.sort();
+        snap
     }
 
     // ------------------------------------------------------------------

@@ -20,6 +20,7 @@ use crate::durability::{repl_frame_bytes, ReplicationHub, Wal, WalStatus};
 use crate::net::wire::encode_commit_body;
 use crate::snapshot::QuerySnapshot;
 use crate::subscription::SubscriptionRegistry;
+use crate::telemetry::{self, Telemetry, TraceEvent, TraceStage};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -176,6 +177,10 @@ pub struct ModStore {
     /// commit hot path skips the journal lock entirely when durability
     /// and replication are off.
     journal_active: AtomicBool,
+    /// The store's metrics registry + trace ring (see [`crate::telemetry`]).
+    /// Shared with the attached WAL and the network layer so every
+    /// pipeline stage records into one home.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for ModStore {
@@ -208,7 +213,14 @@ impl ModStore {
             pdf_cache: Mutex::new(HashMap::new()),
             journal: Mutex::new(JournalSinks::default()),
             journal_active: AtomicBool::new(false),
+            telemetry: Arc::new(Telemetry::new()),
         }
+    }
+
+    /// The store's telemetry registry: counters, latency histograms, and
+    /// the epoch-scoped trace ring every pipeline stage records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The self-convolved difference pdf and its profiled kernel tables
@@ -260,6 +272,14 @@ impl ModStore {
     /// epoch order.
     fn commit(&self, ops: impl IntoIterator<Item = DeltaOp>) -> u64 {
         let ops: Vec<DeltaOp> = ops.into_iter().collect();
+        // The telemetry-off cost of this site is two relaxed loads.
+        let started =
+            (telemetry::metrics_on() || telemetry::trace_on()).then(std::time::Instant::now);
+        if started.is_some() {
+            self.telemetry
+                .last_commit_start
+                .store(telemetry::now_ns(), Ordering::Relaxed);
+        }
         let mut log = self.delta.lock().unwrap();
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         if self.journal_active.load(Ordering::Acquire) {
@@ -268,6 +288,19 @@ impl ModStore {
         }
         for op in ops {
             log.record(epoch, op);
+        }
+        drop(log);
+        if let Some(t0) = started {
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            self.telemetry.commits.inc();
+            self.telemetry.commit_ns.record(dur_ns);
+            self.telemetry.trace_event(TraceEvent {
+                epoch,
+                stage: TraceStage::Commit,
+                share: 0,
+                detail: 0,
+                dur_ns,
+            });
         }
         epoch
     }
@@ -296,9 +329,27 @@ impl ModStore {
             // `None` (an over-bound frame) marks every follower lagged;
             // they resync via snapshot instead of a gapped stream.
             let frame = repl_frame_bytes(&body);
-            for hub in hubs {
+            let bytes = frame.as_ref().map(|f| f.len() as u64).unwrap_or(0);
+            for hub in &hubs {
                 hub.publish(epoch, frame.as_ref());
             }
+            self.telemetry.repl_frames.inc();
+            self.telemetry.repl_bytes.add(bytes);
+            if telemetry::metrics_on() {
+                let (lag_epochs, lag_bytes) = hubs
+                    .iter()
+                    .map(|h| h.max_lag())
+                    .fold((0, 0), |acc, lag| (acc.0.max(lag.0), acc.1.max(lag.1)));
+                self.telemetry.repl_lag_epochs.set(lag_epochs);
+                self.telemetry.repl_lag_bytes.set(lag_bytes);
+            }
+            self.telemetry.trace_event(TraceEvent {
+                epoch,
+                stage: TraceStage::Replicate,
+                share: 0,
+                detail: bytes,
+                dur_ns: 0,
+            });
         }
     }
 
@@ -441,6 +492,8 @@ impl ModStore {
                 return Arc::clone(p);
             }
         }
+        let refresh_started =
+            (telemetry::metrics_on() || telemetry::trace_on()).then(std::time::Instant::now);
         let patched = prev.as_ref().and_then(|p| {
             let log = self.delta.lock().unwrap();
             let ops = log.ops_since(p.epoch())?;
@@ -457,6 +510,17 @@ impl ModStore {
         let snap = match patched {
             Some(s) => {
                 self.snapshots_delta_applied.fetch_add(1, Ordering::Relaxed);
+                if let Some(t0) = refresh_started {
+                    let dur_ns = t0.elapsed().as_nanos() as u64;
+                    self.telemetry.snapshot_patch_ns.record(dur_ns);
+                    self.telemetry.trace_event(TraceEvent {
+                        epoch,
+                        stage: TraceStage::SnapshotPatch,
+                        share: 0,
+                        detail: 0,
+                        dur_ns,
+                    });
+                }
                 debug_assert_eq!(
                     s.len(),
                     guards.iter().map(|g| g.len()).sum::<usize>(),
@@ -471,7 +535,19 @@ impl ModStore {
                     .flat_map(|g| g.values().map(|a| (**a).clone()))
                     .collect();
                 objects.sort_unstable_by_key(|t| t.oid());
-                Arc::new(QuerySnapshot::new(epoch, objects))
+                let snap = Arc::new(QuerySnapshot::new(epoch, objects));
+                if let Some(t0) = refresh_started {
+                    let dur_ns = t0.elapsed().as_nanos() as u64;
+                    self.telemetry.snapshot_rebuild_ns.record(dur_ns);
+                    self.telemetry.trace_event(TraceEvent {
+                        epoch,
+                        stage: TraceStage::SnapshotRebuild,
+                        share: 0,
+                        detail: 0,
+                        dur_ns,
+                    });
+                }
+                snap
             }
         };
         drop(guards);
@@ -687,6 +763,7 @@ impl ModStore {
     /// *after* recovery ([`crate::durability::recover`]) so replayed
     /// commits are not re-journaled.
     pub fn attach_wal(&self, wal: &Arc<Wal>) {
+        wal.set_telemetry(&self.telemetry);
         self.journal.lock().unwrap().wal = Some(Arc::clone(wal));
         self.journal_active.store(true, Ordering::Release);
     }

@@ -58,6 +58,9 @@
 //! store row-samples <n>       probe density of future row subscriptions
 //! store row-tolerance <f>     adaptive refinement tolerance (0 = full density)
 //! store maintenance-batch <n> coalesce n commits per maintenance round
+//! store metrics [p] [--watch <s> [n]]  telemetry registry (Prometheus text)
+//! store telemetry <metrics|trace> <on|off>  flip the telemetry switches
+//! store trace <epoch>         replay one commit's pipeline trace events
 //! sql <statement>             execute a query-language statement
 //! sub add <name> <SELECT …>   register a standing query
 //! sub drop <name>             unregister a standing query
@@ -82,6 +85,7 @@ use std::time::Duration;
 use uncertain_nn::core::probrows::ProbRowSet;
 use uncertain_nn::modb::net::{Follower, NetClient, WireOutput};
 use uncertain_nn::modb::subscription::{SubAnswer, SubDelta, SubscriptionError};
+use uncertain_nn::modb::telemetry::{self, MetricsSnapshot, TraceEvent, TraceStage};
 use uncertain_nn::modb::{
     open_store, persist, FsyncPolicy, RecoveryReport, ServerError, SubscriptionInfo, WalOptions,
 };
@@ -114,6 +118,10 @@ commands:
   store wal-open <dir> [fsync] recover from a WAL dir and journal into it
   store wal-status            write-ahead log segment/fsync/checkpoint counters
   store checkpoint            force a WAL checkpoint (snapshot + prune) now
+  store metrics [p] [--watch <s> [n]]  telemetry registry (Prometheus text;
+                              --watch prints deltas-per-interval rates)
+  store telemetry <metrics|trace> <on|off>  flip the telemetry switches
+  store trace <epoch>         replay one commit's pipeline trace events
   sql <statement>             execute a query-language statement
   sub add <name> <SELECT ...> register a standing query
   sub drop <name>             unregister a standing query
@@ -134,6 +142,8 @@ connected-mode commands (unn-cli connect <addr>):
   sub answer <name>           fetch a standing query's full answer + epoch
   obj put <Tr> <x0> <y0> <x1> <y1> [r]  register a straight-line object
   obj del <Tr>                unregister an object
+  store metrics [p] [--watch <s> [n]]  remote SHOW METRICS (Prometheus text)
+  store trace <epoch>         remote TRACE EPOCH (pipeline trace events)
   watch <name> [deltas] [ms]  block on pushed deltas (auto-resync on lag)
   help                        this text
   quit                        close the connection and exit";
@@ -534,6 +544,60 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
                     println!("checkpoint written at epoch {epoch}");
                     Ok(())
                 }
+                "metrics" => {
+                    let args: Vec<&str> = parts.collect();
+                    let spec = MetricsArgs::parse(&args)?;
+                    match spec.watch {
+                        None => print!(
+                            "{}",
+                            server
+                                .metrics_snapshot(spec.prefix.as_deref())
+                                .render_prometheus()
+                        ),
+                        Some((secs, rounds)) => {
+                            // The local REPL is single-threaded, so rates here
+                            // mostly demo the rendering; connected mode watches
+                            // a live server mutating concurrently.
+                            let mut before = server.metrics_snapshot(spec.prefix.as_deref());
+                            for _ in 0..rounds {
+                                std::thread::sleep(Duration::from_secs_f64(secs));
+                                let after = server.metrics_snapshot(spec.prefix.as_deref());
+                                print_metric_rates(&before, &after, secs);
+                                before = after;
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                "telemetry" => {
+                    const USAGE: &str = "usage: store telemetry <metrics|trace> <on|off>";
+                    let which = parts.next().ok_or(USAGE)?;
+                    let on = match parts.next().ok_or(USAGE)? {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("expected on|off, got '{other}'")),
+                    };
+                    match which {
+                        "metrics" => telemetry::set_metrics(on),
+                        "trace" => telemetry::set_trace(on),
+                        other => return Err(format!("expected metrics|trace, got '{other}'")),
+                    }
+                    println!(
+                        "telemetry {which} {}",
+                        if on {
+                            "on"
+                        } else {
+                            "off (recording branches skipped)"
+                        }
+                    );
+                    Ok(())
+                }
+                "trace" => {
+                    let epoch: u64 = parse(parts.next().ok_or("usage: store trace <epoch>")?)?;
+                    let events = server.store().telemetry().trace.events_for(epoch);
+                    print_trace(epoch, &events);
+                    Ok(())
+                }
                 other => Err(format!("unknown store subcommand '{other}'")),
             }
         }
@@ -731,8 +795,8 @@ fn dispatch(server: &mut ModServer, line: &str) -> Result<(), String> {
     }
 }
 
-const SERVE_USAGE: &str =
-    "usage: unn-cli serve <addr> [--gen <n> <seed> <radius>] [--wal <dir>] [--fsync <policy>]";
+const SERVE_USAGE: &str = "usage: unn-cli serve <addr> [--gen <n> <seed> <radius>] \
+     [--wal <dir>] [--fsync <policy>] [--metrics-dump <path>]";
 
 /// Serve mode: bind a `NetServer` over a fresh (optionally generated,
 /// optionally WAL-recovered and journaled) MOD and block until stdin
@@ -742,6 +806,7 @@ fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
     let mut gen: Option<(usize, u64, f64)> = None;
     let mut wal_dir: Option<&String> = None;
     let mut fsync: Option<FsyncPolicy> = None;
+    let mut metrics_dump: Option<&String> = None;
     let mut it = opts.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -752,6 +817,7 @@ fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
                 gen = Some((n, seed, radius));
             }
             "--wal" => wal_dir = Some(it.next().ok_or(SERVE_USAGE)?),
+            "--metrics-dump" => metrics_dump = Some(it.next().ok_or(SERVE_USAGE)?),
             "--fsync" => {
                 let p = it.next().ok_or(SERVE_USAGE)?;
                 fsync =
@@ -787,7 +853,8 @@ fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("generated {n} objects (seed {seed}, r = {radius} mi)");
     }
-    let net = uncertain_nn::modb::net::NetServer::bind(addr, std::sync::Arc::new(server))
+    let server = std::sync::Arc::new(server);
+    let net = uncertain_nn::modb::net::NetServer::bind(addr, server.clone())
         .map_err(|e| e.to_string())?;
     println!("serving on {} (EOF or 'quit' stops)", net.local_addr());
     let stdin = io::stdin();
@@ -802,6 +869,13 @@ fn run_serve(addr: &str, opts: &[String]) -> Result<(), String> {
         }
     }
     net.shutdown();
+    // Dump after shutdown so the JSON reflects every served request,
+    // including the final pushes the shutdown path flushed.
+    if let Some(path) = metrics_dump {
+        let json = server.metrics_snapshot(None).to_json();
+        std::fs::write(Path::new(path), json).map_err(|e| e.to_string())?;
+        println!("metrics dumped to {path}");
+    }
     println!("server stopped");
     Ok(())
 }
@@ -993,6 +1067,52 @@ fn dispatch_connected(client: &mut NetClient, line: &str) -> Result<(), String> 
                 )),
             }
         }
+        "store" => {
+            let mut parts = rest.split_whitespace();
+            match parts
+                .next()
+                .ok_or("usage: store <metrics|trace> ... (connected mode)")?
+            {
+                "metrics" => {
+                    let args: Vec<&str> = parts.collect();
+                    let spec = MetricsArgs::parse(&args)?;
+                    let statement = match &spec.prefix {
+                        Some(p) => format!("SHOW METRICS PREFIX {p}"),
+                        None => "SHOW METRICS".to_string(),
+                    };
+                    let fetch = |client: &mut NetClient| -> Result<MetricsSnapshot, String> {
+                        match client.execute(&statement).map_err(|e| e.to_string())? {
+                            WireOutput::Metrics(snap) => Ok(snap),
+                            other => Err(format!("unexpected answer to SHOW METRICS: {other:?}")),
+                        }
+                    };
+                    match spec.watch {
+                        None => print!("{}", fetch(client)?.render_prometheus()),
+                        Some((secs, rounds)) => {
+                            let mut before = fetch(client)?;
+                            for _ in 0..rounds {
+                                std::thread::sleep(Duration::from_secs_f64(secs));
+                                let after = fetch(client)?;
+                                print_metric_rates(&before, &after, secs);
+                                before = after;
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                "trace" => {
+                    let epoch: u64 = parse(parts.next().ok_or("usage: store trace <epoch>")?)?;
+                    let out = client
+                        .execute(&format!("TRACE EPOCH {epoch}"))
+                        .map_err(|e| e.to_string())?;
+                    print_wire_output(out);
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown store subcommand '{other}' (connected mode supports metrics/trace)"
+                )),
+            }
+        }
         "watch" => {
             let mut parts = rest.split_whitespace();
             let name = parts.next().ok_or("usage: watch <name> [deltas] [ms]")?;
@@ -1118,6 +1238,122 @@ fn print_wire_output(out: WireOutput) {
         WireOutput::Resync { epoch, objects } => {
             println!("resync snapshot @epoch {epoch}: {} objects", objects.len())
         }
+        WireOutput::Metrics(snap) => print!("{}", snap.render_prometheus()),
+        WireOutput::Trace { epoch, events } => print_trace(epoch, &events),
+    }
+}
+
+/// Parsed arguments of `store metrics [prefix] [--watch <secs> [rounds]]`.
+struct MetricsArgs {
+    prefix: Option<String>,
+    /// `--watch` interval in seconds and number of intervals to render.
+    watch: Option<(f64, usize)>,
+}
+
+impl MetricsArgs {
+    fn parse(args: &[&str]) -> Result<Self, String> {
+        const USAGE: &str = "usage: store metrics [prefix] [--watch <secs> [rounds]]";
+        let mut prefix = None;
+        let mut watch = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i] {
+                "--watch" => {
+                    let secs: f64 = parse(args.get(i + 1).copied().ok_or(USAGE)?)?;
+                    if secs <= 0.0 || !secs.is_finite() {
+                        return Err(format!("--watch interval must be positive, got {secs}"));
+                    }
+                    let mut rounds = 1usize;
+                    i += 2;
+                    if let Some(n) = args.get(i) {
+                        rounds = parse::<usize>(n)?.max(1);
+                        i += 1;
+                    }
+                    watch = Some((secs, rounds));
+                }
+                p if prefix.is_none() && !p.starts_with("--") => {
+                    prefix = Some(p.to_string());
+                    i += 1;
+                }
+                other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(MetricsArgs { prefix, watch })
+    }
+}
+
+/// Renders what moved between two metrics snapshots as per-second rates:
+/// counter deltas, changed gauges, and histogram sample arrival with the
+/// latest p99 — the `--watch` view of a live pipeline.
+fn print_metric_rates(before: &MetricsSnapshot, after: &MetricsSnapshot, secs: f64) {
+    let lookup = |rows: &[(String, u64)], name: &str| -> u64 {
+        rows.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    println!("-- deltas over {secs}s --");
+    let mut moved = 0usize;
+    for (name, v) in &after.counters {
+        let d = v.saturating_sub(lookup(&before.counters, name));
+        if d > 0 {
+            println!("  {name} +{d} ({:.1}/s)", d as f64 / secs);
+            moved += 1;
+        }
+    }
+    for (name, v) in &after.gauges {
+        if *v != lookup(&before.gauges, name) {
+            println!("  {name} = {v}");
+            moved += 1;
+        }
+    }
+    for (name, h) in &after.histograms {
+        let prev = before
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        let d = h.count.saturating_sub(prev);
+        if d > 0 {
+            println!(
+                "  {name} +{d} samples ({:.1}/s), p99 {} ns",
+                d as f64 / secs,
+                h.p99()
+            );
+            moved += 1;
+        }
+    }
+    if moved == 0 {
+        println!("  (no movement)");
+    }
+}
+
+/// Renders one epoch's trace events — the `TRACE EPOCH` reconstruction of
+/// a single commit's walk through the pipeline.
+fn print_trace(epoch: u64, events: &[TraceEvent]) {
+    if events.is_empty() {
+        println!(
+            "trace of epoch {epoch}: no events retained \
+             (tracing off, or the ring evicted this epoch; \
+             try 'store telemetry trace on')"
+        );
+        return;
+    }
+    println!("trace of epoch {epoch}: {} events", events.len());
+    for ev in events {
+        let what = match ev.stage {
+            TraceStage::Visit => format!(
+                "share {} -> {}",
+                ev.share,
+                telemetry::ladder_decision_name(ev.detail)
+            ),
+            TraceStage::Round => format!("{} shares visited", ev.detail),
+            TraceStage::FrameEncode => format!("{} bytes", ev.detail),
+            _ if ev.share != 0 => format!("share {} detail {}", ev.share, ev.detail),
+            _ => format!("detail {}", ev.detail),
+        };
+        println!("  {:>16}  {what}  ({} ns)", ev.stage.name(), ev.dur_ns);
     }
 }
 
@@ -1140,6 +1376,8 @@ fn print_output(out: QueryOutput) {
                 print_subscription(info);
             }
         }
+        QueryOutput::Metrics(snap) => print!("{}", snap.render_prometheus()),
+        QueryOutput::Trace { epoch, events } => print_trace(epoch, &events),
     }
 }
 

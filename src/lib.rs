@@ -96,17 +96,21 @@
 //!
 //! ```text
 //!  client A ──Insert/Update/Remove──▶ NetServer ──▶ ModStore commit
-//!                                                        │
+//!                                                        │   ⏱ commit_ns,
+//!                                                        │     wal_append_ns
 //!                                      SubscriptionRegistry::sync
 //!                                      (one shared engine per distinct
 //!                                       query; sharded: shared ops fetch,
 //!                                       cached skip proofs, scoped-
 //!                                       thread fan-out of patches)
+//!                                                        │   ⏱ maintenance_round_ns,
+//!                                                        │     ladder_*_total
 //!                                               │ AnswerDelta │ ProbRowDelta
 //!                                      encode once ─▶ one Arc<[u8]> frame
+//!                                                        │   ⏱ frame_encode_ns
 //!  clients B, C, … ◀─pushed Event/RowEvent── bounded outboxes ◀──┘
-//!            (fold deltas; `lagged` ⇒ resync from the full
-//!             AnswerSet / ProbRowSet)
+//!            (fold deltas; `lagged` ⇒ resync       ⏱ push_drain_lag_ns,
+//!             from the full AnswerSet / ProbRowSet)  commit_to_push_ns
 //! ```
 //!
 //! `REGISTER CONTINUOUS` over a connection attaches that connection's
@@ -126,6 +130,22 @@
 //! sockets: pushed deltas folded client-side equal a fresh exhaustive
 //! evaluation bit-for-bit, induced lag included, and same-name watchers
 //! receive byte-identical frames.
+//!
+//! ## Observability
+//!
+//! Every `⏱` in the diagram is a row in [`modb::telemetry`]'s lock-free
+//! registry: atomic counters, gauges, and log₂-bucketed latency
+//! histograms recorded at the hot boundaries (commit, WAL append/fsync,
+//! snapshot patch vs rebuild, maintenance rounds and their ladder
+//! decisions, kernel column refinement, frame encode, outbox drain lag,
+//! follower replication lag). `SHOW METRICS [PREFIX p]` exposes the
+//! merged snapshot through the query language and the wire protocol,
+//! `unn-cli store metrics [--watch]` renders it as Prometheus-style
+//! text or live rates, and `TRACE EPOCH e` replays one commit's path
+//! through the pipeline from a bounded ring of trace events. Both
+//! switches are runtime-togglable and, when off, cost one relaxed
+//! atomic load per boundary; the full catalog, the bucket scheme, and
+//! the measured overhead live in `docs/OBSERVABILITY.md`.
 //!
 //! ## Quickstart
 //!

@@ -236,6 +236,86 @@ fn wal_open_journals_and_a_second_session_recovers() {
 }
 
 #[test]
+fn live_server_renders_metrics_over_loopback() {
+    use std::io::{BufRead, BufReader};
+
+    let dump = std::env::temp_dir().join(format!("unn-cli-metrics-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+
+    // A live server on an ephemeral port; it prints the bound address
+    // and stops when its stdin closes.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_unn-cli"))
+        .args([
+            "serve",
+            "127.0.0.1:0",
+            "--gen",
+            "20",
+            "7",
+            "0.5",
+            "--metrics-dump",
+        ])
+        .arg(&dump)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut server_out = BufReader::new(server.stdout.take().expect("stdout piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            server_out.read_line(&mut line).expect("server output"),
+            0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            break rest.split_whitespace().next().expect("addr").to_string();
+        }
+    };
+
+    // A connected session: mutate (so the commit histogram has
+    // samples), then render the metrics over the wire.
+    let mut client = Command::new(env!("CARGO_BIN_EXE_unn-cli"))
+        .args(["connect", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client spawns");
+    client
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(
+            b"obj put Tr100 0 1.5 30 1.5\n\
+              store metrics\n\
+              store metrics commit\n\
+              sql SHOW METRICS PREFIX store_commits\n\
+              quit\n",
+        )
+        .expect("script written");
+    let out = client.wait_with_output().expect("client exits");
+    assert!(out.status.success(), "client exited with {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.is_empty(), "stderr: {stderr}");
+    // Prometheus-style rows from the live registry…
+    assert!(stdout.contains("# TYPE unn_commit_ns summary"), "{stdout}");
+    assert!(stdout.contains("unn_commit_ns_count"), "{stdout}");
+    assert!(stdout.contains("unn_store_commits_total"), "{stdout}");
+    // …and the prefix filter narrows the listing.
+    assert!(stdout.contains("unn_commit_to_push_ns_sum"), "{stdout}");
+
+    // Closing stdin stops the server and writes the shutdown dump.
+    drop(server.stdin.take());
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "server exited with {status:?}");
+    let json = std::fs::read_to_string(&dump).expect("metrics dump written");
+    assert!(json.contains("\"counters\""), "{json}");
+    assert!(json.contains("store_commits_total"), "{json}");
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
 fn store_delta_stats_track_the_delta_epoch_machinery() {
     let (stdout, stderr) = run_cli(
         "gen 30 5 0.5\n\

@@ -552,6 +552,7 @@ fn maintenance_counters_partition_the_commits() {
             "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
         )
         .unwrap();
+    let base_epoch = server.store().epoch();
     let commits = 12u64;
     for k in 0..commits {
         match k % 3 {
@@ -565,6 +566,15 @@ fn maintenance_counters_partition_the_commits() {
                 server.store().update(straight(0, 0.01 * k as f64));
             }
         }
+        // The partition holds after every single commit, not just at the
+        // end: sequentially each commit is one completed round, so the
+        // two visit classes always sum to the commits routed so far.
+        let SubscriptionInfo { stats, .. } = server.subscriptions().remove(0);
+        assert_eq!(
+            stats.visited + stats.skipped_unvisited,
+            server.store().epoch() - base_epoch,
+            "after commit {k}: {stats:?}"
+        );
     }
     let SubscriptionInfo { stats, .. } = server.subscriptions().remove(0);
     // Every round that examines the share lands in exactly one ladder
@@ -594,6 +604,91 @@ fn maintenance_counters_partition_the_commits() {
     assert!(
         stats.rebuilt >= 1,
         "query-object updates rebuild: {stats:?}"
+    );
+    assert_eq!(
+        maintained_intervals(&server, "near0"),
+        fresh_answer(&server, Oid(0), None)
+    );
+}
+
+/// The partition invariant under true concurrency: however rounds and
+/// commits interleave, no reader ever observes
+/// `visited + skipped_unvisited` exceeding the commits routed so far.
+/// The round counter only advances once a round's effects are
+/// published, and an in-flight round pre-claims its own slot, so the
+/// skipped-unvisited arithmetic never double-counts a round that a
+/// concurrent visit is still absorbing.
+#[test]
+fn maintenance_counters_never_overcount_mid_round() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let server = ModServer::new();
+    server
+        .register_all((0..10).map(|k| straight(k, 2.0 * k as f64)))
+        .unwrap();
+    server
+        .subscribe(
+            "near0",
+            "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0",
+        )
+        .unwrap();
+    let base_epoch = server.store().epoch();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        // Near writer: every update lands inside the share's band, so
+        // its rounds visit and walk the ladder.
+        let near = scope.spawn(move || {
+            for k in 0..40u64 {
+                server_ref
+                    .store()
+                    .update(straight(2, 3.0 + 0.01 * k as f64));
+            }
+        });
+        // Far writer: provably outside the corridor guard, so its
+        // commits are pruned unvisited once the guard is published.
+        let far = scope.spawn(move || {
+            for k in 0..40u64 {
+                let oid = 10_000 + k;
+                server_ref
+                    .register(straight(oid, 70_000.0 + k as f64))
+                    .unwrap();
+                if k % 2 == 0 {
+                    server_ref.store().remove(Oid(oid)).unwrap();
+                }
+            }
+        });
+        // Reader: counters first, commit count second. Reading the
+        // epoch *after* the stats biases the race against the
+        // invariant — a round publishing between the two reads only
+        // raises the right-hand side.
+        let done_ref = &done;
+        let reader = scope.spawn(move || {
+            while !done_ref.load(Ordering::Acquire) {
+                let SubscriptionInfo { stats, .. } = server_ref.subscriptions().remove(0);
+                let commits = server_ref.store().epoch() - base_epoch;
+                assert!(
+                    stats.visited + stats.skipped_unvisited <= commits,
+                    "mid-round overcount: visited {} + skipped_unvisited {} > commits {commits}",
+                    stats.visited,
+                    stats.skipped_unvisited,
+                );
+            }
+        });
+        near.join().unwrap();
+        far.join().unwrap();
+        done.store(true, Ordering::Release);
+        reader.join().unwrap();
+    });
+    // A final query-object update forces a visit that folds every
+    // outstanding pruned commit; the maintained answer must equal a
+    // fresh exhaustive evaluation bit-for-bit.
+    server.store().update(straight(0, 0.123));
+    let SubscriptionInfo { stats, .. } = server.subscriptions().remove(0);
+    assert!(stats.visited >= 1, "{stats:?}");
+    assert!(
+        stats.visited + stats.skipped_unvisited <= server.store().epoch() - base_epoch,
+        "{stats:?}"
     );
     assert_eq!(
         maintained_intervals(&server, "near0"),

@@ -12,6 +12,7 @@ use uncertain_nn::modb::net::wire::{
     decode_payload, encode_payload, read_frame, write_frame, Frame, WireOutput, WireRequest,
     WIRE_VERSION,
 };
+use uncertain_nn::modb::telemetry::{HistogramSnapshot, MetricsSnapshot, TraceEvent, TraceStage};
 use uncertain_nn::modb::{ReplOp, SubscriptionInfo, SubscriptionStats};
 use uncertain_nn::prelude::*;
 
@@ -253,6 +254,60 @@ fn arb_repl_ops() -> impl Strategy<Value = Vec<ReplOp>> {
     )
 }
 
+/// Sparse histogram buckets: strictly ascending in-range indices (the
+/// codec invariant), with a consistent total count.
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::btree_set(0u8..64, 0..6),
+        prop::collection::vec(1u64..1_000, 6),
+        0u64..1_000_000_000,
+        0u64..1_000_000_000,
+    )
+        .prop_map(|(idxs, counts, sum, max)| {
+            let buckets: Vec<(u8, u64)> = idxs.into_iter().zip(counts).collect();
+            HistogramSnapshot {
+                count: buckets.iter().map(|(_, c)| c).sum(),
+                sum,
+                max,
+                buckets,
+            }
+        })
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec((arb_string(), 0u64..1_000_000), 0..5),
+        prop::collection::vec((arb_string(), 0u64..1_000_000), 0..5),
+        prop::collection::vec((arb_string(), arb_histogram()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+/// Events with every valid stage code (the codec rejects unknown ones).
+fn arb_trace_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec(
+        (
+            0u64..1_000_000,
+            0u8..8,
+            0u64..10_000,
+            0u64..100_000,
+            0u64..1_000_000_000,
+        )
+            .prop_map(|(epoch, stage, share, detail, dur_ns)| TraceEvent {
+                epoch,
+                stage: TraceStage::from_u8(stage).expect("0..8 are valid stage codes"),
+                share,
+                detail,
+                dur_ns,
+            }),
+        0..6,
+    )
+}
+
 fn arb_output() -> impl Strategy<Value = WireOutput> {
     prop_oneof![
         (0u64..2).prop_map(|b| WireOutput::Boolean(b == 1)),
@@ -268,6 +323,9 @@ fn arb_output() -> impl Strategy<Value = WireOutput> {
         (0u64..1_000_000).prop_map(|epoch| WireOutput::FollowOk { epoch }),
         (0u64..1_000_000, arb_snapshot_objects())
             .prop_map(|(epoch, objects)| WireOutput::Resync { epoch, objects }),
+        arb_metrics().prop_map(WireOutput::Metrics),
+        (0u64..1_000_000, arb_trace_events())
+            .prop_map(|(epoch, events)| WireOutput::Trace { epoch, events }),
     ]
 }
 
@@ -346,6 +404,63 @@ proptest! {
         payload.push(0x00);
         prop_assert!(decode_payload(&payload).is_err());
     }
+}
+
+/// The metrics decoder enforces the histogram-bucket invariants the
+/// encoder relies on: indices strictly ascending and below 64.
+#[test]
+fn malformed_metrics_buckets_are_rejected() {
+    let hist = |buckets: Vec<(u8, u64)>| MetricsSnapshot {
+        counters: vec![],
+        gauges: vec![],
+        histograms: vec![(
+            "h".to_string(),
+            HistogramSnapshot {
+                count: buckets.iter().map(|(_, c)| c).sum(),
+                sum: 10,
+                max: 4,
+                buckets,
+            },
+        )],
+    };
+    let encode = |snap: MetricsSnapshot| {
+        encode_payload(&Frame::Response {
+            id: 1,
+            result: Ok(WireOutput::Metrics(snap)),
+        })
+    };
+    assert!(decode_payload(&encode(hist(vec![(2, 3), (5, 1)]))).is_ok());
+    // Out-of-range index (>= 64 buckets).
+    assert!(decode_payload(&encode(hist(vec![(64, 1)]))).is_err());
+    // Non-ascending indices.
+    assert!(decode_payload(&encode(hist(vec![(5, 1), (2, 3)]))).is_err());
+    assert!(decode_payload(&encode(hist(vec![(3, 1), (3, 1)]))).is_err());
+}
+
+/// An unknown trace-stage code is rejected rather than mis-decoded —
+/// the enum can't represent it, so the check lives in the decoder.
+#[test]
+fn unknown_trace_stage_is_rejected() {
+    let frame = Frame::Response {
+        id: 1,
+        result: Ok(WireOutput::Trace {
+            epoch: 7,
+            events: vec![TraceEvent {
+                epoch: 7,
+                stage: TraceStage::Visit,
+                share: 3,
+                detail: 1,
+                dur_ns: 100,
+            }],
+        }),
+    };
+    let mut payload = encode_payload(&frame);
+    // Layout: RESPONSE tag, id:u64, ok:u8, output tag, epoch:u64,
+    // count:u32, then the event's epoch:u64 and the stage byte.
+    let stage_at = 1 + 8 + 1 + 1 + 8 + 4 + 8;
+    assert_eq!(payload[stage_at], TraceStage::Visit as u8);
+    payload[stage_at] = 0xEE;
+    assert!(decode_payload(&payload).is_err());
 }
 
 /// The constants table in `docs/WIRE.md` is normative documentation:

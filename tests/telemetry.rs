@@ -1,0 +1,200 @@
+//! Telemetry must observe, never perturb. The metrics registry, the
+//! trace ring, and the global on/off switches sit on every hot path of
+//! the commit → maintenance → push pipeline; these tests pin the
+//! contract that the *answers* flowing through that pipeline are
+//! bit-identical whether the switches are on or off — flipping
+//! telemetry may change what is recorded, never what is answered.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use uncertain_nn::modb::net::wire::{encode_payload, Frame, WireOutput};
+use uncertain_nn::modb::subscription::SubAnswer;
+use uncertain_nn::modb::telemetry;
+use uncertain_nn::prelude::*;
+
+const WINDOW: (f64, f64) = (0.0, 60.0);
+const RADIUS: f64 = 0.5;
+
+/// The telemetry switches are process globals; every test that flips
+/// them serializes on this lock and restores the defaults when done.
+static FLAGS: Mutex<()> = Mutex::new(());
+
+struct FlagGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl Drop for FlagGuard<'_> {
+    fn drop(&mut self) {
+        telemetry::set_metrics(true);
+        telemetry::set_trace(false);
+    }
+}
+
+fn hold_flags(metrics: bool, trace: bool) -> FlagGuard<'static> {
+    let guard = FLAGS.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_metrics(metrics);
+    telemetry::set_trace(trace);
+    FlagGuard(guard)
+}
+
+fn straight(oid: u64, y: f64) -> UncertainTrajectory {
+    UncertainTrajectory::with_uniform_pdf(
+        Trajectory::from_triples(Oid(oid), &[(0.0, y, WINDOW.0), (30.0, y, WINDOW.1)]).unwrap(),
+        RADIUS,
+    )
+    .unwrap()
+}
+
+/// One step of a randomized workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(u64, f64),
+    Remove(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..6, -1.0..6.0f64).prop_map(|(oid, y)| Op::Upsert(oid, y)),
+            (1u64..6, -1.0..6.0f64).prop_map(|(oid, y)| Op::Upsert(oid, y + 0.5)),
+            (1u64..6, -1.0..6.0f64).prop_map(|(oid, y)| Op::Upsert(oid, y - 0.5)),
+            (1u64..6).prop_map(Op::Remove),
+        ],
+        1..12,
+    )
+}
+
+/// Runs the workload from scratch and returns the full wire-encoded
+/// answer stream it produces: after every mutation, the maintained
+/// standing-query answer and a fresh one-shot query, both as the exact
+/// frame bytes a client would receive.
+fn answer_stream(ops: &[Op]) -> Vec<Vec<u8>> {
+    let server = ModServer::new();
+    server
+        .register_all((0..4).map(|k| straight(k, k as f64)))
+        .unwrap();
+    server
+        .execute(
+            "REGISTER CONTINUOUS SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] \
+             AND PROB_NN(*, Tr0, TIME) > 0 AS s",
+        )
+        .unwrap();
+    let mut frames = Vec::new();
+    for (k, op) in ops.iter().enumerate() {
+        match op {
+            Op::Upsert(oid, y) => {
+                server.store().update(straight(*oid, *y));
+            }
+            // Removing an absent oid is a workload no-op, not an error
+            // the stream should diverge on.
+            Op::Remove(oid) => {
+                let _ = server.store().remove(Oid(*oid));
+            }
+        }
+        let (answer, epoch) = server
+            .subscription_registry()
+            .answer_with_epoch("s")
+            .expect("standing query lives");
+        let maintained = match answer {
+            SubAnswer::Intervals(a) => a,
+            other => panic!("expected intervals, got {other:?}"),
+        };
+        frames.push(encode_payload(&Frame::Response {
+            id: k as u64,
+            result: Ok(WireOutput::Answer {
+                epoch,
+                answer: maintained,
+            }),
+        }));
+        let one_shot = server
+            .execute(
+                "SELECT * FROM MOD WHERE EXISTS TIME IN [0, 60] AND PROB_NN(*, Tr0, TIME) > 0.25",
+            )
+            .unwrap();
+        let objects = match one_shot {
+            QueryOutput::Objects(objs) => objs,
+            other => panic!("expected objects, got {other:?}"),
+        };
+        frames.push(encode_payload(&Frame::Response {
+            id: k as u64,
+            result: Ok(WireOutput::Objects(objects)),
+        }));
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The observable answer stream is bit-identical across all three
+    /// switch settings: telemetry fully off, metrics on, and metrics +
+    /// tracing on.
+    #[test]
+    fn answer_stream_is_bit_identical_across_telemetry_settings(ops in arb_ops()) {
+        let bare = {
+            let _flags = hold_flags(false, false);
+            answer_stream(&ops)
+        };
+        let metered = {
+            let _flags = hold_flags(true, false);
+            answer_stream(&ops)
+        };
+        let traced = {
+            let _flags = hold_flags(true, true);
+            answer_stream(&ops)
+        };
+        prop_assert_eq!(&bare, &metered, "metrics recording changed the answer bytes");
+        prop_assert_eq!(&bare, &traced, "tracing changed the answer bytes");
+    }
+}
+
+/// With metrics on, the commit path visibly moves the registry — the
+/// same workload that must not change answers must change the metrics.
+#[test]
+fn metrics_move_while_answers_do_not() {
+    let _flags = hold_flags(true, false);
+    let server = ModServer::new();
+    server
+        .register_all((0..4).map(|k| straight(k, k as f64)))
+        .unwrap();
+    let before = server.metrics_snapshot(Some("commit"));
+    server.store().update(straight(1, 0.25)).unwrap();
+    server.store().update(straight(2, 0.75)).unwrap();
+    let after = server.metrics_snapshot(Some("commit"));
+    let count = |snap: &telemetry::MetricsSnapshot| {
+        snap.histograms.iter().map(|(_, h)| h.count).sum::<u64>()
+    };
+    assert!(
+        count(&after) >= count(&before) + 2,
+        "two commits must land at least two commit-latency samples \
+         (before {before:?}, after {after:?})"
+    );
+}
+
+/// With metrics off, the same path leaves the registry untouched.
+#[test]
+fn disabled_metrics_record_nothing() {
+    let _flags = hold_flags(false, false);
+    let server = ModServer::new();
+    server
+        .register_all((0..4).map(|k| straight(k, k as f64)))
+        .unwrap();
+    // The raw registry only — `metrics_snapshot` also merges derived
+    // views (cache/delta-log stats) that legitimately move with the
+    // store whatever the switch says.
+    let before = server.store().telemetry().snapshot();
+    server.store().update(straight(1, 0.25)).unwrap();
+    let after = server.store().telemetry().snapshot();
+    let totals = |snap: &telemetry::MetricsSnapshot| {
+        (
+            snap.counters.iter().map(|(_, v)| *v).sum::<u64>(),
+            snap.histograms.iter().map(|(_, h)| h.count).sum::<u64>(),
+        )
+    };
+    // Derived views (per-subscription stats re-expressed as gauges)
+    // still move with the store; the recorded counters and histogram
+    // samples must not.
+    assert_eq!(
+        totals(&before),
+        totals(&after),
+        "a disabled registry must not record"
+    );
+}
